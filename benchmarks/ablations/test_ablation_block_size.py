@@ -1,0 +1,51 @@
+"""Ablation: compression-block size (the paper fixes 16 instructions).
+
+Smaller blocks waste pad bits and index reach; larger blocks amortise
+padding but make every miss fetch and decompress more bytes.  This
+bench quantifies both directions of the trade the paper's designers
+took.
+"""
+
+import pytest
+
+from repro.codepack.compressor import compress_program
+from repro.eval.tables import TableResult, format_table
+from repro.sim import ARCH_4_ISSUE, CodePackConfig, simulate
+
+
+@pytest.mark.parametrize("block_instructions", [8, 16, 32])
+def test_ablation_block_size(benchmark, wb, block_instructions):
+    prog = wb.program("cc1")
+    image = benchmark.pedantic(
+        lambda: compress_program(prog,
+                                 block_instructions=block_instructions,
+                                 group_blocks=2),
+        rounds=1, iterations=1)
+    native = wb.run("cc1", ARCH_4_ISSUE)
+    packed = simulate(prog, ARCH_4_ISSUE, codepack=CodePackConfig(),
+                      image=image, static=wb.static("cc1"))
+    speedup = packed.speedup_over(native)
+    print("\nblock=%2d insts: ratio=%.4f speedup=%.3f"
+          % (block_instructions, image.compression_ratio, speedup))
+    assert 0.4 < image.compression_ratio < 0.8
+    assert 0.5 < speedup < 1.5
+
+
+def test_block_size_tradeoff_direction(benchmark, wb, show):
+    """Pad overhead shrinks with block size; miss cost grows."""
+    prog = wb.program("cc1")
+
+    def sweep():
+        rows = []
+        for block in (8, 16, 32):
+            image = compress_program(prog, block_instructions=block)
+            pad = image.stats.fractions()["pad_bits"]
+            rows.append([block, image.compression_ratio, pad])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(TableResult("Ablation", "Block size vs ratio and pad",
+                     ["block insts", "ratio", "pad fraction"], rows,
+                     formats={1: "%.4f", 2: "%.4f"}))
+    pads = [row[2] for row in rows]
+    assert pads[0] > pads[1] > pads[2]

@@ -1,0 +1,56 @@
+"""Ablation: dictionary size classes.
+
+The paper's dictionaries hold <512 entries with 2-11-bit codewords.
+Shrinking the classes shortens codewords but spills symbols to raw
+escapes; growing them captures more symbols with longer codewords.
+"""
+
+from repro.codepack.codewords import CodewordClass, CodewordScheme
+from repro.codepack.compressor import compress_words
+from repro.codepack.decompressor import decompress_program
+from repro.eval.tables import TableResult
+
+SMALL_HIGH = CodewordScheme("high-small", zero_special=False, classes=(
+    CodewordClass(0b00, 2, 4), CodewordClass(0b01, 2, 6)))
+SMALL_LOW = CodewordScheme("low-small", zero_special=True, classes=(
+    CodewordClass(0b01, 2, 4), CodewordClass(0b10, 2, 6)))
+
+LARGE_HIGH = CodewordScheme("high-large", zero_special=False, classes=(
+    CodewordClass(0b00, 2, 4), CodewordClass(0b01, 2, 8),
+    CodewordClass(0b10, 2, 10)))
+LARGE_LOW = CodewordScheme("low-large", zero_special=True, classes=(
+    CodewordClass(0b01, 2, 4), CodewordClass(0b10, 2, 8),
+    CodewordClass(0b110, 3, 10)))
+
+
+def test_ablation_dictionary_sizes(benchmark, wb, show):
+    words = wb.program("perl").text
+
+    def compress_three():
+        small = compress_words(words, high_scheme=SMALL_HIGH,
+                               low_scheme=SMALL_LOW)
+        default = compress_words(words)
+        large = compress_words(words, high_scheme=LARGE_HIGH,
+                               low_scheme=LARGE_LOW)
+        return small, default, large
+
+    small, default, large = benchmark.pedantic(compress_three, rounds=1,
+                                               iterations=1)
+    rows = []
+    for label, image in (("small (80/80)", small),
+                         ("paper-sized (336/336)", default),
+                         ("large (1296/1296)", large)):
+        frac = image.stats.fractions()
+        rows.append([label, image.compression_ratio, frac["raw_bits"],
+                     len(image.high_dict) + len(image.low_dict)])
+    show(TableResult("Ablation", "Dictionary sizing (perl)",
+                     ["scheme", "ratio", "raw fraction", "entries"],
+                     rows, formats={1: "%.4f", 2: "%.4f"}))
+    # All variants must remain lossless.
+    assert decompress_program(small) == words
+    assert decompress_program(large) == words
+    # Small dictionaries spill more raw bits.
+    assert small.stats.fractions()["raw_bits"] \
+        > default.stats.fractions()["raw_bits"]
+    # The paper-sized scheme should be at least competitive with both.
+    assert default.compression_ratio <= small.compression_ratio + 0.02

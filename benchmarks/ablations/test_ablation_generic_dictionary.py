@@ -1,0 +1,42 @@
+"""Ablation: per-program vs generic dictionaries.
+
+Paper Section 3.1: "The dictionaries are fixed at program load-time
+which allows them to be adapted for specific programs."  Compressing
+each benchmark with a *foreign* program's dictionaries measures what
+that adaptation buys.
+"""
+
+from repro.codepack.compressor import compress_program
+from repro.codepack.decompressor import decompress_program
+from repro.codepack.dictionary import build_dictionaries
+from repro.eval.tables import TableResult
+
+
+def test_ablation_generic_dictionary(benchmark, wb, show):
+    donor = wb.program("go")  # the dictionary donor
+
+    def sweep():
+        high, low = build_dictionaries(donor.text)
+        rows = []
+        for bench in ("cc1", "perl", "vortex"):
+            program = wb.program(bench)
+            own = wb.image(bench)
+            generic = compress_program(program, high_dict=high,
+                                       low_dict=low)
+            assert decompress_program(generic) == program.text
+            rows.append([bench, own.compression_ratio,
+                         generic.compression_ratio,
+                         generic.compression_ratio
+                         - own.compression_ratio])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(TableResult(
+        "Ablation", "Load-time dictionary adaptation (donor: go)",
+        ["bench", "own dictionaries", "generic dictionaries", "penalty"],
+        rows, formats={1: "%.3f", 2: "%.3f", 3: "%+.3f"},
+        notes="Our stand-ins share a code generator, so dictionaries "
+              "transfer unusually well; real cross-program penalties "
+              "would be larger.  Adaptation never hurts."))
+    for row in rows:
+        assert row[2] >= row[1] - 1e-9, row[0]  # adaptation never loses

@@ -1,0 +1,32 @@
+"""Ablation: index-entry granularity (1 vs 2 blocks per group).
+
+The paper's 2-block groups halve the index table "to optimize table
+size" at the cost of a short-offset add on block-2 lookups.  One-block
+groups double index-table overhead.
+"""
+
+from repro.codepack.compressor import compress_program
+from repro.eval.tables import TableResult
+
+
+def test_ablation_index_granularity(benchmark, wb, show):
+    prog = wb.program("vortex")
+
+    def build_both():
+        one = compress_program(prog, group_blocks=1)
+        two = compress_program(prog, group_blocks=2)
+        return one, two
+
+    one, two = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    rows = [
+        [1, one.n_groups, one.stats.fractions()["index_table_bits"],
+         one.compression_ratio],
+        [2, two.n_groups, two.stats.fractions()["index_table_bits"],
+         two.compression_ratio],
+    ]
+    show(TableResult("Ablation", "Index granularity (vortex)",
+                     ["blocks/group", "index entries", "index fraction",
+                      "ratio"], rows, formats={2: "%.4f", 3: "%.4f"}))
+    assert one.n_groups > two.n_groups * 1.9
+    assert one.stats.index_table_bits > two.stats.index_table_bits * 1.9
+    assert one.compression_ratio > two.compression_ratio

@@ -1,0 +1,44 @@
+"""Ablation: give native code a next-line prefetcher.
+
+The paper explains CodePack's occasional wins over native code by "the
+inherent prefetching behavior of the CodePack algorithm" plus its lower
+memory traffic.  Granting the native machine a one-line next-line
+prefetcher isolates the prefetch mechanism: whatever advantage remains
+for CodePack is the traffic reduction itself.
+"""
+
+from repro.eval.tables import TableResult
+from repro.sim import ARCH_4_ISSUE, CodePackConfig, simulate
+
+
+def test_ablation_native_prefetch(benchmark, wb, show):
+    prog = wb.program("cc1")
+    static = wb.static("cc1")
+
+    def run_all():
+        native = simulate(prog, ARCH_4_ISSUE, static=static)
+        prefetching = simulate(prog, ARCH_4_ISSUE, static=static,
+                               native_prefetch=True, mode="native+nlp")
+        optimized = simulate(prog, ARCH_4_ISSUE, static=static,
+                             image=wb.image("cc1"),
+                             codepack=CodePackConfig.optimized())
+        return native, prefetching, optimized
+
+    native, prefetching, optimized = benchmark.pedantic(run_all, rounds=1,
+                                                        iterations=1)
+    rows = [
+        ["native", native.cycles, 1.0],
+        ["native + next-line prefetch", prefetching.cycles,
+         prefetching.speedup_over(native)],
+        ["CodePack optimized", optimized.cycles,
+         optimized.speedup_over(native)],
+    ]
+    show(TableResult("Ablation",
+                     "Next-line prefetch for native code (cc1, 4-issue)",
+                     ["model", "cycles", "speedup"], rows,
+                     formats={2: "%.3f"}))
+    # Prefetch helps native code, but (on this call-driven miss stream)
+    # does not close the gap to compressed fetches: the traffic
+    # reduction is doing real work beyond prefetching.
+    assert prefetching.cycles <= native.cycles
+    assert optimized.cycles < prefetching.cycles

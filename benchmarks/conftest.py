@@ -1,0 +1,41 @@
+"""Benchmark-harness fixtures.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one paper exhibit: the benchmarked callable
+does the actual simulation/compression work, and the resulting table is
+printed in the paper's layout (use ``-s`` to see it inline; a summary
+always lands in the benchmark name).
+
+``BENCH_SCALE`` shortens benchmark trip counts so the whole harness
+finishes in minutes; EXPERIMENTS.md records full-scale (scale=1.0)
+numbers produced with ``python -m repro.eval all``.
+"""
+
+import pytest
+
+from repro.eval.runner import Workbench
+from repro.eval.tables import format_table
+
+#: Trip-count multiplier for harness runs.
+BENCH_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def wb():
+    """A session-wide Workbench: programs/images built once."""
+    return Workbench(scale=BENCH_SCALE)
+
+
+@pytest.fixture()
+def show():
+    """Print a TableResult (visible with ``pytest -s``)."""
+
+    def _show(table):
+        print()
+        print(format_table(table))
+        return table
+
+    return _show

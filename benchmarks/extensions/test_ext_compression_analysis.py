@@ -1,0 +1,17 @@
+"""Extension bench: coding efficiency vs the halfword-entropy bound."""
+
+from repro.eval.extensions import compression_analysis
+
+
+def test_ext_compression_analysis(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: compression_analysis(wb=wb),
+                               rounds=1, iterations=1)
+    show(table)
+    for row in table.rows:
+        bench = row[0]
+        bound_bits, achieved_bits, efficiency = row[1:4]
+        # Information theory: achieved symbol coding can't beat the
+        # zeroth-order bound, and CodePack's tagged classes should stay
+        # within striking distance of it.
+        assert achieved_bits >= bound_bits - 1e-9, bench
+        assert efficiency > 0.6, bench

@@ -1,0 +1,19 @@
+"""Extension bench: dense 16-bit ISA (SS16) vs CodePack."""
+
+from repro.eval.extensions import dense_isa
+
+
+def test_ext_dense_isa(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: dense_isa(wb=wb), rounds=1,
+                               iterations=1)
+    show(table)
+    for row in table.rows:
+        bench, ss16_ratio, cp_ratio = row[:3]
+        extra, base, ideal, narrow = row[3:]
+        # CodePack always compresses harder than a 16-bit re-encoding.
+        assert cp_ratio < ss16_ratio, bench
+        assert ss16_ratio < 1.0, bench
+        # Section 2.1's trade: extra instructions cost on (near-)ideal
+        # memory, fetch density pays on a narrow bus.
+        assert ideal <= 1.01, bench
+        assert narrow >= base - 1e-9, bench

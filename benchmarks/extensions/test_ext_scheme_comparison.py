@@ -1,0 +1,20 @@
+"""Extension bench: CodePack vs CCRP vs full-word dictionary."""
+
+from repro.eval.extensions import scheme_comparison
+
+
+def test_ext_scheme_comparison(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: scheme_comparison(wb=wb),
+                               rounds=1, iterations=1)
+    show(table)
+    for row in table.rows:
+        bench = row[0]
+        cp_ratio, ccrp_ratio, dw_ratio = row[1:4]
+        cp_speed, ccrp_speed, dw_speed = row[4:7]
+        # Size: CodePack best, CCRP clearly worst (paper Section 2).
+        assert cp_ratio < ccrp_ratio - 0.08, bench
+        # Speed: CCRP's serial byte-Huffman is the laggard wherever
+        # there are misses.
+        if bench in ("cc1", "go", "perl", "vortex"):
+            assert ccrp_speed < cp_speed - 0.1, bench
+            assert abs(dw_speed - cp_speed) < 0.1, bench

@@ -1,0 +1,19 @@
+"""Extension bench: software-managed decompression sweep."""
+
+from repro.eval.extensions import software_decompression
+
+
+def test_ext_software_decomp(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: software_decompression(wb=wb),
+                               rounds=1, iterations=1)
+    show(table)
+    by_bench = {row[0]: row for row in table.rows}
+    # Miss-heavy code cannot afford software decompression...
+    assert by_bench["cc1"][3] < 0.6
+    # ...loop code barely notices it.
+    assert by_bench["pegwit"][3] > 0.7
+    # Cost monotonicity.
+    for row in table.rows:
+        costs = row[3:]
+        assert all(costs[i] >= costs[i + 1] - 1e-9
+                   for i in range(len(costs) - 1)), row[0]

@@ -1,0 +1,70 @@
+"""Codec throughput: how fast the software implementation itself runs.
+
+Unlike the exhibit benches (one round, table output), these use
+pytest-benchmark's statistics properly: several rounds of pure
+compression / decompression work over the same real program, reporting
+MB/s-style numbers for the library's own users.
+"""
+
+import pytest
+
+from repro.codepack.compressor import compress_program, compress_words
+from repro.codepack.decompressor import decompress_program
+from repro.schemes.ccrp import compress_ccrp, decompress_ccrp
+from repro.schemes.dictword import compress_dictword, decompress_dictword
+
+
+@pytest.fixture(scope="module")
+def program(wb):
+    return wb.program("perl")
+
+
+def test_codepack_compress_throughput(benchmark, program):
+    image = benchmark(compress_program, program)
+    assert image.compression_ratio < 0.7
+
+
+def test_codepack_decompress_throughput(benchmark, program, wb):
+    image = wb.image("perl")
+    words = benchmark(decompress_program, image)
+    assert words == program.text
+
+
+def test_dictionary_build_throughput(benchmark, program):
+    from repro.codepack.dictionary import build_dictionaries
+    high, low = benchmark(build_dictionaries, program.text)
+    assert len(high) > 0 and len(low) > 0
+
+
+def test_ccrp_compress_throughput(benchmark, program):
+    image = benchmark(compress_ccrp, program)
+    assert image.compression_ratio < 1.0
+
+
+def test_ccrp_decompress_throughput(benchmark, program):
+    image = compress_ccrp(program)
+    data = benchmark(decompress_ccrp, image)
+    assert data == program.text_bytes()
+
+
+def test_dictword_compress_throughput(benchmark, program):
+    image = benchmark(compress_dictword, program)
+    assert image.compression_ratio < 0.8
+
+
+def test_dictword_decompress_throughput(benchmark, program):
+    image = compress_dictword(program)
+    words = benchmark(decompress_dictword, image)
+    assert words == program.text
+
+
+def test_simulator_throughput(benchmark, wb):
+    """Instructions simulated per second on the 4-issue OoO model."""
+    from repro.sim import ARCH_4_ISSUE, simulate
+    program = wb.program("pegwit")
+    static = wb.static("pegwit")
+
+    result = benchmark.pedantic(
+        lambda: simulate(program, ARCH_4_ISSUE, static=static),
+        rounds=3, iterations=1)
+    assert result.instructions > 0

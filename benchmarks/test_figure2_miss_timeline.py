@@ -1,0 +1,15 @@
+"""Regenerates paper Figure 2: the worked L1-miss timeline.
+
+This is the one exhibit our model must (and does) match cycle-exactly:
+native critical word at t=10, baseline CodePack at t=25, optimized
+CodePack at t=14.
+"""
+
+from repro.eval.experiments import figure2
+
+
+def test_figure2_miss_timeline(benchmark, show):
+    table = benchmark.pedantic(figure2, rounds=5, iterations=1)
+    show(table)
+    for model, measured, paper in table.rows:
+        assert measured == paper, model

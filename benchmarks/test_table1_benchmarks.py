@@ -1,0 +1,17 @@
+"""Regenerates paper Table 1: benchmark characterisation."""
+
+from repro.eval.experiments import table1
+
+
+def test_table1_benchmarks(benchmark, wb, show):
+    """Dynamic instruction counts and 4-issue I-miss rates."""
+    table = benchmark.pedantic(lambda: table1(wb=wb), rounds=1,
+                               iterations=1)
+    show(table)
+    # Shape check against paper Table 1: the call-heavy four miss, the
+    # media kernels do not.
+    rates = {row[0]: row[2] for row in table.rows}
+    assert rates["cc1"] > 0.03
+    assert rates["go"] > 0.03
+    assert rates["mpeg2enc"] < 0.005
+    assert rates["pegwit"] < 0.01

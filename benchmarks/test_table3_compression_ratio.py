@@ -1,0 +1,15 @@
+"""Regenerates paper Table 3: compression ratio of the .text section."""
+
+from repro.eval.experiments import table3
+
+
+def test_table3_compression_ratio(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: table3(wb=wb), rounds=1,
+                               iterations=1)
+    show(table)
+    # Paper band: every benchmark compresses to 54-64% of native size.
+    for row in table.rows:
+        bench, _, _, ratio, paper = row
+        assert 0.50 <= ratio <= 0.68, (bench, ratio)
+        assert abs(ratio - paper) < 0.08, \
+            "%s drifted from the paper's ratio" % bench

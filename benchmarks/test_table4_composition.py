@@ -1,0 +1,18 @@
+"""Regenerates paper Table 4: composition of the compressed region."""
+
+from repro.eval.experiments import table4
+from repro.eval.paperdata import TABLE4
+
+
+def test_table4_composition(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: table4(wb=wb), rounds=1,
+                               iterations=1)
+    show(table)
+    for row in table.rows:
+        bench = row[0]
+        index_frac, raw_frac = row[1], row[6]
+        # Paper: index table ~5%, raw bits 14-25%.
+        assert 0.02 <= index_frac <= 0.09, (bench, index_frac)
+        assert 0.10 <= raw_frac <= 0.30, (bench, raw_frac)
+        # Tags+indices carry the bulk of the image, as in the paper.
+        assert row[3] + row[4] > 0.5, bench

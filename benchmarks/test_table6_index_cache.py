@@ -1,0 +1,16 @@
+"""Regenerates paper Table 6: index-cache miss ratio sweep (cc1)."""
+
+from repro.eval.experiments import table6
+
+
+def test_table6_index_cache(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: table6(wb=wb), rounds=1,
+                               iterations=1)
+    show(table)
+    grid = {row[0]: row[1:] for row in table.rows}
+    # More lines monotonically reduces misses (col-wise), and more
+    # entries per line helps (row-wise) -- the paper's two trends.
+    assert grid[64][3] < grid[1][3]
+    assert grid[64][3] < grid[64][0]
+    # The paper's 64x4 configuration reaches a low miss ratio.
+    assert grid[64][2] < 0.25

@@ -1,0 +1,16 @@
+"""Regenerates paper Table 8: speedup due to decompression rate."""
+
+from repro.eval.experiments import table8
+
+
+def test_table8_decoders(benchmark, wb, show):
+    table = benchmark.pedantic(lambda: table8(wb=wb), rounds=1,
+                               iterations=1)
+    show(table)
+    for row in table.rows:
+        bench, one, two, sixteen = row
+        assert two >= one - 1e-9, bench
+        assert sixteen >= two - 1e-9, bench
+        # Paper: "most of the benefit is achieved by using only 2
+        # decompressors" -- going to 16 adds little.
+        assert sixteen - two <= (two - one) + 0.02, bench

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Bring your own workload: evaluate CodePack on custom SS32 code.
+
+Shows the two ways to get a program into the toolchain -- the
+programmatic :class:`AsmBuilder` and text assembly -- and then answers
+the questions a user would ask about their own code:
+
+* how well does it compress, and what does the compressed image look
+  like (dictionary occupancy, raw fraction, per-block sizes)?
+* what does decompression cost at run time on a chosen machine?
+
+Run: ``python examples/custom_workload.py``
+"""
+
+from repro import (
+    ARCH_1_ISSUE,
+    AsmBuilder,
+    CodePackConfig,
+    compress_program,
+    simulate,
+)
+from repro.isa.registers import A0, RA, SP, T0, T1, T2, V0
+
+
+def build_fibonacci(n=18):
+    """Recursive fibonacci: call-heavy, stack-heavy embedded-ish code."""
+    b = AsmBuilder(name="fib")
+    b.addiu(A0, 0, n)
+    b.jal("fib")
+    b.move(A0, V0)
+    b.addiu(V0, 0, 1)
+    b.syscall()  # print fib(n)
+    b.halt()
+
+    b.label("fib")
+    b.addiu(T0, 0, 2)
+    b.slt(T1, A0, T0)  # n < 2 ?
+    b.beq(T1, 0, "recurse")
+    b.move(V0, A0)
+    b.ret()
+    b.label("recurse")
+    b.addiu(SP, SP, -16)
+    b.sw(RA, 12, SP)
+    b.sw(A0, 8, SP)
+    b.addiu(A0, A0, -1)
+    b.jal("fib")  # fib(n-1)
+    b.sw(V0, 4, SP)
+    b.lw(A0, 8, SP)
+    b.addiu(A0, A0, -2)
+    b.jal("fib")  # fib(n-2)
+    b.lw(T2, 4, SP)
+    b.addu(V0, V0, T2)
+    b.lw(RA, 12, SP)
+    b.addiu(SP, SP, 16)
+    b.ret()
+    return b.build()
+
+
+def inspect_image(image):
+    print("compression ratio: %.1f%% (%d -> %d bytes)"
+          % (100 * image.compression_ratio, image.original_bytes,
+             image.compressed_bytes))
+    fractions = image.stats.fractions()
+    print("image composition:")
+    for key, label in (
+            ("index_table_bits", "index table"),
+            ("dictionary_bits", "dictionaries"),
+            ("compressed_tag_bits", "codeword tags"),
+            ("dictionary_index_bits", "dictionary indices"),
+            ("raw_tag_bits", "raw tags"),
+            ("raw_bits", "raw bits"),
+            ("pad_bits", "pad")):
+        print("  %-19s %5.1f%%" % (label, 100 * fractions[key]))
+    print("dictionary occupancy: %d high, %d low entries"
+          % (len(image.high_dict), len(image.low_dict)))
+    sizes = [block.byte_length for block in image.blocks]
+    print("block sizes: min %dB, max %dB over %d blocks "
+          "(native block = 64B)"
+          % (min(sizes), max(sizes), len(sizes)))
+
+
+def main():
+    program = build_fibonacci()
+    print("=== fib: %d instructions of hand-built SS32 ==="
+          % len(program))
+    image = compress_program(program)
+    inspect_image(image)
+
+    print()
+    print("running on the 1-issue embedded baseline:")
+    native = simulate(program, ARCH_1_ISSUE)
+    packed = simulate(program, ARCH_1_ISSUE, codepack=CodePackConfig(),
+                      image=image)
+    optimized = simulate(program, ARCH_1_ISSUE,
+                         codepack=CodePackConfig.optimized(), image=image)
+    print("  program prints: %s" % native.output)
+    for result in (native, packed, optimized):
+        print("  %-22s %8d cycles  IPC %.3f  (%.3fx vs native)"
+              % (result.mode, result.cycles, result.ipc,
+                 result.speedup_over(native)))
+    print()
+    print("engine activity (baseline codepack): %d misses, %d buffer "
+          "hits, %d index fetches"
+          % (packed.engine.misses, packed.engine.buffer_hits,
+             packed.engine.index_fetches))
+
+
+if __name__ == "__main__":
+    main()

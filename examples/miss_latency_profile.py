@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Figure 2 at population scale: the distribution of miss latencies.
+
+The paper's Figure 2 works through one miss per model (native t=10,
+CodePack t=25, optimized t=14).  This example traces *every* miss of a
+real run and prints the latency histograms, which show where those
+point examples sit and reveal the populations behind them:
+
+* native -- a spike at the first-access latency (critical word first);
+* baseline CodePack -- output-buffer hits near t=1, index-buffer hits
+  in the teens, full index-fetch misses in the twenties and thirties;
+* optimized -- the index-miss population collapses into the index-cache
+  hit population, and 2-wide decode shaves the tail.
+
+Run: ``python examples/miss_latency_profile.py [--benchmark cc1]``
+"""
+
+import argparse
+
+from repro import ARCH_4_ISSUE, CodePackConfig, build_benchmark, simulate
+from repro.codepack import compress_program
+from repro.sim.machine import prepare
+from repro.sim.trace import MissTrace, format_histogram
+
+
+def profile(label, program, image, static, codepack):
+    trace = MissTrace()
+    result = simulate(program, ARCH_4_ISSUE, codepack=codepack,
+                      image=image, static=static, trace=trace)
+    summary = trace.summary()
+    print("=== %s: %d misses, critical-instruction latency "
+          "min/median/mean/max = %d/%d/%.1f/%d cycles ==="
+          % (label, summary["count"], summary["min"], summary["median"],
+             summary["mean"], summary["max"]))
+    print(format_histogram(trace.critical_latencies(), bucket=4))
+    print()
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="cc1")
+    parser.add_argument("--scale", type=float, default=0.25)
+    args = parser.parse_args()
+
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    image = compress_program(program)
+    static = prepare(program)
+
+    native = profile("native", program, image, static, None)
+    profile("CodePack baseline", program, image, static,
+            CodePackConfig())
+    optimized = profile("CodePack optimized", program, image, static,
+                        CodePackConfig.optimized())
+
+    print("net effect: optimized CodePack runs this benchmark %.1f%% "
+          "%s than native (%d vs %d cycles)"
+          % (abs(100 * (native.cycles / optimized.cycles - 1)),
+             "faster" if optimized.cycles < native.cycles else "slower",
+             optimized.cycles, native.cycles))
+    print()
+    print("(compare the paper's Figure 2 point examples: native t=10, "
+          "baseline t=25, optimized t=14 -- visible here as the native "
+          "spike, the baseline index-miss population, and the "
+          "optimized distribution's collapse toward the left)")
+
+
+if __name__ == "__main__":
+    main()

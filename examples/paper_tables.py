@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables at a chosen scale.
+
+A thin convenience wrapper over ``python -m repro.eval`` that runs the
+headline exhibits in a sensible order with one shared workbench.  At
+the default reduced scale the whole set takes a couple of minutes; use
+``--scale 1.0`` (several minutes) to reproduce the numbers recorded in
+EXPERIMENTS.md.
+
+Run: ``python examples/paper_tables.py [--scale 0.2] [--exhibits table3 table9]``
+"""
+
+import argparse
+import time
+
+from repro.eval import ALL_EXPERIMENTS, Workbench, format_table, run_experiment
+
+DEFAULT_ORDER = ("figure2", "table3", "table4", "table1", "table9",
+                 "table10")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--exhibits", nargs="*", default=DEFAULT_ORDER,
+                        choices=sorted(ALL_EXPERIMENTS),
+                        help="which exhibits to regenerate")
+    args = parser.parse_args()
+
+    wb = Workbench(scale=args.scale)
+    total = time.time()
+    for name in args.exhibits:
+        start = time.time()
+        print(format_table(run_experiment(name, wb=wb)))
+        print("[%s in %.1fs]" % (name, time.time() - start))
+        print()
+    print("regenerated %d exhibits in %.1fs at scale %.2f"
+          % (len(args.exhibits), time.time() - total, args.scale))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Scheme shootout: CodePack vs its ancestors, plus software decode.
+
+The paper's Section 2 surveys the compression schemes CodePack grew out
+of; this example puts three of them on the same machine and the same
+program and shows the size/speed trade each makes:
+
+* **CCRP** (byte-wise Huffman per cache line, LAT translation) — the
+  1992 approach: decent compression, painful serial decode.
+* **Full-word dictionary** (Lefurgy '97) — CodePack-like ratios, needs
+  a several-thousand-entry dictionary.
+* **CodePack** — two small halfword dictionaries, best of both.
+* **Software decompression** — the paper's future-work idea, here swept
+  over handler speeds.
+
+Run: ``python examples/scheme_shootout.py [--benchmark cc1] [--scale 0.25]``
+"""
+
+import argparse
+
+from repro import ARCH_4_ISSUE, CodePackConfig, build_benchmark, simulate
+from repro.codepack import compress_program
+from repro.schemes import (
+    CcrpEngine,
+    DictWordEngine,
+    SoftwareDecompEngine,
+    compress_ccrp,
+    compress_dictword,
+)
+from repro.sim.machine import prepare
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="cc1")
+    parser.add_argument("--scale", type=float, default=0.25)
+    args = parser.parse_args()
+
+    arch = ARCH_4_ISSUE
+    program = build_benchmark(args.benchmark, scale=args.scale)
+    static = prepare(program)
+    print("benchmark %s: %d KB of .text on the %s machine\n"
+          % (program.name, program.text_size // 1024, arch.name))
+
+    native = simulate(program, arch, static=static)
+
+    codepack_image = compress_program(program)
+    ccrp_image = compress_ccrp(program)
+    dict_image = compress_dictword(program)
+
+    runs = [
+        ("native", None, native),
+        ("CodePack (baseline)", codepack_image.compression_ratio,
+         simulate(program, arch, static=static, image=codepack_image,
+                  codepack=CodePackConfig())),
+        ("CodePack (optimized)", codepack_image.compression_ratio,
+         simulate(program, arch, static=static, image=codepack_image,
+                  codepack=CodePackConfig.optimized())),
+        ("CCRP (byte Huffman)", ccrp_image.compression_ratio,
+         simulate(program, arch, static=static, mode="ccrp",
+                  miss_path=CcrpEngine(ccrp_image, arch.memory))),
+        ("dictionary (full words)", dict_image.compression_ratio,
+         simulate(program, arch, static=static, mode="dictword",
+                  miss_path=DictWordEngine(dict_image, arch.memory,
+                                           CodePackConfig()))),
+    ]
+    for cost in (8, 32):
+        engine = SoftwareDecompEngine(codepack_image, arch.memory,
+                                      cycles_per_instruction=cost)
+        runs.append(("software decode @%d cyc/inst" % cost,
+                     codepack_image.compression_ratio,
+                     simulate(program, arch, static=static,
+                              miss_path=engine, mode="sw%d" % cost)))
+
+    header = "%-28s %8s %10s %8s %9s" % (
+        "scheme", "ratio", "cycles", "IPC", "speedup")
+    print(header)
+    print("-" * len(header))
+    for label, ratio, result in runs:
+        assert result.output == native.output, "architectural divergence!"
+        print("%-28s %8s %10d %8.3f %8.3fx"
+              % (label, "%.1f%%" % (100 * ratio) if ratio else "-",
+                 result.cycles, result.ipc, result.speedup_over(native)))
+
+    print()
+    print("dictionary storage: CodePack %d+%d halfword entries vs "
+          "full-word scheme's %d word entries"
+          % (len(codepack_image.high_dict), len(codepack_image.low_dict),
+             len(dict_image.dictionary)))
+    print("CCRP Huffman code: %d byte symbols, max codeword %d bits"
+          % (len(ccrp_image.code), ccrp_image.code.max_bits))
+
+
+if __name__ == "__main__":
+    main()

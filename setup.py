@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel``
+package, so PEP 517/660 builds cannot run; this file lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro: a reproduction of *Evaluation of a High Performance Code
+Compression Method* (Lefurgy, Piccininni & Mudge, MICRO-32, 1999).
+
+The package implements IBM's CodePack instruction compression and
+evaluates it on a from-scratch cycle-level simulator, regenerating
+every table and figure of the paper's evaluation section.
+
+Layered public API (see DESIGN.md for the system inventory):
+
+* :mod:`repro.isa` -- the SS32 32-bit RISC toolchain (assembler,
+  disassembler, programmatic builder, program images).
+* :mod:`repro.codepack` -- the CodePack codec: dictionaries, tagged
+  variable-length codewords, compression blocks/groups, index table,
+  and bit-exact size accounting.
+* :mod:`repro.sim` -- the simulator: caches, main memory, branch
+  predictors, the native and CodePack fetch paths, and in-order /
+  out-of-order pipeline models.
+* :mod:`repro.workloads` -- the six synthetic benchmark stand-ins.
+* :mod:`repro.eval` -- one experiment per paper exhibit.
+
+Quickstart::
+
+    from repro import assemble, compress_program, simulate, ARCH_4_ISSUE
+    from repro.sim import CodePackConfig
+
+    program = assemble(open("prog.s").read())
+    image = compress_program(program)
+    native = simulate(program, ARCH_4_ISSUE)
+    packed = simulate(program, ARCH_4_ISSUE, codepack=CodePackConfig())
+    print(image.compression_ratio, packed.speedup_over(native))
+"""
+
+from repro.codepack import (
+    CodePackImage,
+    compress_program,
+    decompress_program,
+)
+from repro.isa import AsmBuilder, Program, assemble, disassemble
+from repro.sim import (
+    ARCH_1_ISSUE,
+    ARCH_4_ISSUE,
+    ARCH_8_ISSUE,
+    BASELINES,
+    ArchConfig,
+    CodePackConfig,
+    SimResult,
+    simulate,
+)
+from repro.workloads import BENCHMARK_NAMES, build_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARCH_1_ISSUE",
+    "ARCH_4_ISSUE",
+    "ARCH_8_ISSUE",
+    "ArchConfig",
+    "AsmBuilder",
+    "BASELINES",
+    "BENCHMARK_NAMES",
+    "CodePackConfig",
+    "CodePackImage",
+    "Program",
+    "SimResult",
+    "__version__",
+    "assemble",
+    "build_benchmark",
+    "compress_program",
+    "decompress_program",
+    "disassemble",
+    "simulate",
+]

@@ -1,0 +1,170 @@
+"""Analytical companion to the codec: entropy bounds and coverage.
+
+Two questions the paper's Tables 3-4 raise but do not answer:
+
+* **How good is CodePack's encoding?**  The halfword streams have a
+  zeroth-order entropy; a perfect halfword coder would reach it.
+  :func:`entropy_report` compares the achieved bits/instruction against
+  that bound and against the raw 32 bits.
+* **Where do the bits go?**  :func:`coverage_report` breaks each
+  halfword stream down by codeword class -- how many symbol
+  *occurrences* each tag class absorbs and at what cost -- which
+  explains Table 4's tag/index/raw composition mechanically.
+
+Both operate on a program plus its :class:`CodePackImage` and are used
+by the ``compression_analysis`` extension experiment and the examples.
+"""
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.codepack.codewords import (
+    LOW_ZERO_TAG_BITS,
+    RAW_CODEWORD_BITS,
+)
+from repro.codepack.dictionary import halfword_histograms
+
+
+def shannon_entropy(histogram):
+    """Zeroth-order entropy of a symbol histogram, in bits/symbol."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in histogram.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+@dataclass(frozen=True)
+class EntropyReport:
+    """Achieved vs entropy-bound coding cost for one program."""
+
+    n_instructions: int
+    high_entropy: float  # bits/symbol
+    low_entropy: float
+    achieved_code_bits: int  # tag+index+raw bits (no framing)
+    framing_bits: int  # index table + dictionaries + pad
+
+    @property
+    def bound_bits_per_instruction(self):
+        """Entropy bound for a (memoryless) halfword coder."""
+        return self.high_entropy + self.low_entropy
+
+    @property
+    def achieved_bits_per_instruction(self):
+        return self.achieved_code_bits / self.n_instructions
+
+    @property
+    def coding_efficiency(self):
+        """Bound over achieved: 1.0 = entropy-optimal symbol coding."""
+        if not self.achieved_code_bits:
+            return 1.0
+        return self.bound_bits_per_instruction \
+            / self.achieved_bits_per_instruction
+
+    @property
+    def bound_ratio(self):
+        """Best possible compression ratio for this symbol model
+        (ignoring framing)."""
+        return self.bound_bits_per_instruction / 32.0
+
+
+def entropy_report(program, image):
+    """Compare the image's coding cost against the entropy bound."""
+    high_hist, low_hist = halfword_histograms(program.text)
+    stats = image.stats
+    code_bits = (stats.compressed_tag_bits + stats.dictionary_index_bits
+                 + stats.raw_tag_bits + stats.raw_bits)
+    framing = stats.index_table_bits + stats.dictionary_bits \
+        + stats.pad_bits
+    return EntropyReport(
+        n_instructions=image.n_instructions,
+        high_entropy=shannon_entropy(high_hist),
+        low_entropy=shannon_entropy(low_hist),
+        achieved_code_bits=code_bits,
+        framing_bits=framing,
+    )
+
+
+@dataclass(frozen=True)
+class ClassCoverage:
+    """One codeword class's share of a halfword stream."""
+
+    label: str
+    codeword_bits: int
+    occurrences: int  # symbol instances encoded through this class
+    distinct_values: int
+    total_bits: int
+
+    def fraction_of(self, total_occurrences):
+        if not total_occurrences:
+            return 0.0
+        return self.occurrences / total_occurrences
+
+
+def _stream_coverage(scheme, dictionary, histogram):
+    """Per-class coverage for one halfword stream."""
+    rows = []
+    remaining = Counter(histogram)
+    if scheme.zero_special:
+        zero_count = remaining.pop(0, 0)
+        rows.append(ClassCoverage(
+            label="zero escape (tag only)",
+            codeword_bits=LOW_ZERO_TAG_BITS,
+            occurrences=zero_count,
+            distinct_values=1 if zero_count else 0,
+            total_bits=zero_count * LOW_ZERO_TAG_BITS))
+    base = 0
+    for cls in scheme.classes:
+        values = dictionary.entries[base:base + cls.capacity]
+        occurrences = sum(remaining.pop(value, 0) for value in values)
+        rows.append(ClassCoverage(
+            label="%d-bit class (tag %s)" % (cls.total_bits,
+                                             format(cls.tag,
+                                                    "0%db" % cls.tag_bits)),
+            codeword_bits=cls.total_bits,
+            occurrences=occurrences,
+            distinct_values=len(values),
+            total_bits=occurrences * cls.total_bits))
+        base += cls.capacity
+    raw_occurrences = sum(remaining.values())
+    rows.append(ClassCoverage(
+        label="raw escape (19 bits)",
+        codeword_bits=RAW_CODEWORD_BITS,
+        occurrences=raw_occurrences,
+        distinct_values=len(remaining),
+        total_bits=raw_occurrences * RAW_CODEWORD_BITS))
+    return rows
+
+
+def coverage_report(program, image):
+    """Per-class coverage for both streams: ``{"high": [...], "low":
+    [...]}`` of :class:`ClassCoverage` rows."""
+    high_hist, low_hist = halfword_histograms(program.text)
+    return {
+        "high": _stream_coverage(image.high_scheme, image.high_dict,
+                                 high_hist),
+        "low": _stream_coverage(image.low_scheme, image.low_dict,
+                                low_hist),
+    }
+
+
+def format_entropy_report(report):
+    """Render an :class:`EntropyReport` as text."""
+    lines = [
+        "halfword entropies: high %.2f + low %.2f = %.2f bits/instruction"
+        % (report.high_entropy, report.low_entropy,
+           report.bound_bits_per_instruction),
+        "achieved coding:    %.2f bits/instruction "
+        "(%.1f%% of entropy-optimal)"
+        % (report.achieved_bits_per_instruction,
+           100 * report.coding_efficiency),
+        "entropy-bound ratio %.3f vs native 32 bits "
+        "(framing adds %.2f bits/instruction)"
+        % (report.bound_ratio,
+           report.framing_bits / report.n_instructions),
+    ]
+    return "\n".join(lines)

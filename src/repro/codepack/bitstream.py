@@ -1,0 +1,96 @@
+"""MSB-first bit-level I/O.
+
+CodePack codewords are variable-length (2--19 bits including the raw
+escape) and are packed back to back within a compression block; blocks
+are then padded out to a byte boundary so that the index table can use
+byte offsets.  :class:`BitWriter` and :class:`BitReader` implement
+exactly that framing.
+"""
+
+
+class BitWriter:
+    """Accumulates an MSB-first bit string and renders it as bytes."""
+
+    def __init__(self):
+        self._bits = 0  # integer holding the bits written so far
+        self._length = 0  # number of valid bits in _bits
+
+    def write(self, value, width):
+        """Append the *width* low bits of *value*, MSB first."""
+        if width < 0:
+            raise ValueError("negative width")
+        if not 0 <= value < (1 << width):
+            raise ValueError("value %d does not fit in %d bits"
+                             % (value, width))
+        self._bits = (self._bits << width) | value
+        self._length += width
+
+    @property
+    def bit_length(self):
+        """Number of bits written so far."""
+        return self._length
+
+    def pad_to_byte(self):
+        """Zero-pad to the next byte boundary; returns the pad bit count."""
+        pad = (8 - self._length % 8) % 8
+        if pad:
+            self.write(0, pad)
+        return pad
+
+    def to_bytes(self):
+        """Render the stream (must be byte aligned) as ``bytes``."""
+        if self._length % 8:
+            raise ValueError("bitstream not byte aligned (%d bits)"
+                             % self._length)
+        return self._bits.to_bytes(self._length // 8, "big")
+
+
+class BitReader:
+    """Reads an MSB-first bit string produced by :class:`BitWriter`."""
+
+    def __init__(self, data, bit_offset=0):
+        self._data = bytes(data)
+        self._pos = bit_offset  # absolute bit position
+
+    @property
+    def position(self):
+        """Current absolute bit position."""
+        return self._pos
+
+    @property
+    def bits_remaining(self):
+        """Bits left before the end of the underlying buffer."""
+        return len(self._data) * 8 - self._pos
+
+    def read(self, width):
+        """Consume and return the next *width* bits as an unsigned int."""
+        if width < 0:
+            raise ValueError("negative width")
+        if width == 0:
+            return 0
+        end = self._pos + width
+        if end > len(self._data) * 8:
+            raise EOFError("bitstream exhausted")
+        value = 0
+        pos = self._pos
+        while pos < end:
+            byte = self._data[pos // 8]
+            bit_in_byte = pos % 8
+            take = min(8 - bit_in_byte, end - pos)
+            chunk = (byte >> (8 - bit_in_byte - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            pos += take
+        self._pos = end
+        return value
+
+    def peek(self, width):
+        """Read *width* bits without consuming them."""
+        saved = self._pos
+        try:
+            return self.read(width)
+        finally:
+            self._pos = saved
+
+    def skip_to_byte(self):
+        """Advance to the next byte boundary."""
+        self._pos = (self._pos + 7) // 8 * 8

@@ -1,0 +1,146 @@
+"""CodePack codeword classes.
+
+Paper Section 3.1: each 16-bit halfword symbol is translated to "a
+variable bit codeword from 2 to 11 bits"; a codeword starts with "a 2 or
+3 bit tag that tells the size", followed by a dictionary index.  The
+all-zero *low* halfword -- by far the most common symbol -- is encoded
+with a 2-bit tag and no index.  Halfwords absent from the dictionary are
+escaped with a 3-bit raw tag followed by the 16 literal bits.
+
+The paper does not publish IBM's exact tag allocation (and explicitly
+does not model the PPC405 bit-for-bit), so we fix a concrete prefix-free
+allocation satisfying every published constraint:
+
+===========  ===========  ==========  ================  ============
+tag (bits)   low stream   high stream index bits        codeword len
+===========  ===========  ==========  ================  ============
+``00``       literal 0    class A     0 (low) / 4 (hi)  2 / 6
+``01``       class A      class B     4 / 6             6 / 8
+``10``       class B      class C     6 / 8             8 / 10
+``110``      class C      --          8 / --            11 / --
+``111``      raw escape   raw escape  16 literal        19
+===========  ===========  ==========  ================  ============
+
+Class capacities are 16 / 64 / 256 entries, so each dictionary holds at
+most 336 entries -- within the paper's "2 dictionaries of less than 512
+entries each", and the maximum *compressed* codeword is 11 bits.
+"""
+
+from dataclasses import dataclass
+
+#: Bits in the raw-escape tag.
+RAW_TAG_BITS = 3
+#: Literal bits following a raw tag.
+RAW_HALFWORD_BITS = 16
+#: Total length of a raw-escaped halfword.
+RAW_CODEWORD_BITS = RAW_TAG_BITS + RAW_HALFWORD_BITS
+
+
+@dataclass(frozen=True)
+class CodewordClass:
+    """One tagged size class: *capacity* entries of *index_bits* each."""
+
+    tag: int
+    tag_bits: int
+    index_bits: int
+
+    @property
+    def capacity(self):
+        return 1 << self.index_bits
+
+    @property
+    def total_bits(self):
+        return self.tag_bits + self.index_bits
+
+
+@dataclass(frozen=True)
+class CodewordScheme:
+    """The complete codeword allocation for one halfword stream.
+
+    ``classes`` are ordered shortest-first; dictionary entry *i* belongs
+    to the first class whose cumulative capacity exceeds *i*.
+    ``zero_special`` marks the low stream, where the value 0 is encoded
+    by the first tag alone (2 bits, no index) and never occupies a
+    dictionary slot.
+    """
+
+    name: str
+    classes: tuple
+    zero_special: bool
+    raw_tag: int = 0b111
+    raw_tag_bits: int = RAW_TAG_BITS
+
+    @property
+    def dictionary_capacity(self):
+        """Maximum number of dictionary entries the scheme can index."""
+        return sum(cls.capacity for cls in self.classes)
+
+    def class_of_entry(self, entry_index):
+        """The (class, index-within-class) pair for a dictionary slot."""
+        base = 0
+        for cls in self.classes:
+            if entry_index < base + cls.capacity:
+                return cls, entry_index - base
+            base += cls.capacity
+        raise IndexError("dictionary entry %d beyond capacity %d"
+                         % (entry_index, self.dictionary_capacity))
+
+    def entry_of_class(self, cls, index_in_class):
+        """Inverse of :meth:`class_of_entry`."""
+        base = 0
+        for candidate in self.classes:
+            if candidate is cls or candidate == cls:
+                return base + index_in_class
+            base += candidate.capacity
+        raise ValueError("class not part of scheme")
+
+    def encoded_bits(self, entry_index):
+        """Codeword length for dictionary slot *entry_index*."""
+        cls, _ = self.class_of_entry(entry_index)
+        return cls.total_bits
+
+    def class_for_tag(self, tag, tag_bits):
+        """Look up a class by its decoded tag; None for the raw tag."""
+        if tag == self.raw_tag and tag_bits == self.raw_tag_bits:
+            return None
+        for cls in self.classes:
+            if cls.tag == tag and cls.tag_bits == tag_bits:
+                return cls
+        raise KeyError("unknown tag %s/%d in %s stream"
+                       % (bin(tag), tag_bits, self.name))
+
+
+def _low_scheme():
+    # Tag 00 is the zero escape (2-bit codeword, no index); the remaining
+    # classes index the low dictionary.
+    return CodewordScheme(
+        name="low",
+        zero_special=True,
+        classes=(
+            CodewordClass(tag=0b01, tag_bits=2, index_bits=4),
+            CodewordClass(tag=0b10, tag_bits=2, index_bits=6),
+            CodewordClass(tag=0b110, tag_bits=3, index_bits=8),
+        ),
+    )
+
+
+def _high_scheme():
+    # The high halfword has no dominant single value, so tag 00 is a
+    # normal (shortest) dictionary class.
+    return CodewordScheme(
+        name="high",
+        zero_special=False,
+        classes=(
+            CodewordClass(tag=0b00, tag_bits=2, index_bits=4),
+            CodewordClass(tag=0b01, tag_bits=2, index_bits=6),
+            CodewordClass(tag=0b10, tag_bits=2, index_bits=8),
+        ),
+    )
+
+
+LOW_SCHEME = _low_scheme()
+HIGH_SCHEME = _high_scheme()
+
+#: Tag used by the low stream for the literal-zero halfword.
+LOW_ZERO_TAG = 0b00
+LOW_ZERO_TAG_BITS = 2

@@ -1,0 +1,281 @@
+"""The CodePack encoder.
+
+Compression walks the ``.text`` section in 16-instruction *compression
+blocks* (paper: "This is the granularity at which decompression
+occurs").  Each instruction contributes a high codeword followed by a
+low codeword; blocks are zero-padded to a byte boundary so that the
+index table can address them with byte offsets.  Two consecutive blocks
+form a *compression group* described by a single 32-bit index entry.
+
+A block whose compressed form would be no smaller than its native 64
+bytes is stored raw and flagged in the index entry (paper: "CodePack may
+choose to not compress entire blocks in the case that using the
+compression algorithm would expand them").
+
+The resulting :class:`CodePackImage` carries everything downstream
+consumers need: the raw compressed bytes and index table for the
+functional decompressor, per-block geometry (including per-instruction
+bit boundaries) for the decompression-engine timing model, and the
+bit-exact :class:`~repro.codepack.stats.CompositionStats` for Table 4.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.codepack.bitstream import BitWriter
+from repro.codepack.codewords import (
+    HIGH_SCHEME,
+    LOW_SCHEME,
+    LOW_ZERO_TAG,
+    LOW_ZERO_TAG_BITS,
+    RAW_HALFWORD_BITS,
+)
+from repro.codepack.dictionary import build_dictionaries
+from repro.codepack.index_table import IndexEntry
+from repro.codepack.stats import CompositionStats
+from repro.isa.encoding import INSTRUCTION_BYTES
+
+#: Instructions per compression block (fixed by the paper).
+BLOCK_INSTRUCTIONS = 16
+#: Blocks per compression group / index entry.
+GROUP_BLOCKS = 2
+#: Instructions covered by one index entry.
+GROUP_INSTRUCTIONS = BLOCK_INSTRUCTIONS * GROUP_BLOCKS
+#: Native bits in a full block.
+BLOCK_NATIVE_BITS = BLOCK_INSTRUCTIONS * 32
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Geometry of one compressed block inside the code region.
+
+    ``inst_end_bits[i]`` is the bit offset, from the start of the block,
+    at which instruction *i*'s codewords end -- the decompression-engine
+    timing model uses it to decide when each instruction's bits have
+    arrived over the memory bus.
+    """
+
+    index: int
+    byte_offset: int
+    byte_length: int
+    is_raw: bool
+    n_instructions: int
+    inst_end_bits: tuple
+
+    @property
+    def bit_length(self):
+        return self.byte_length * 8
+
+
+@dataclass
+class CodePackImage:
+    """A fully compressed program image.
+
+    The native program is *not* stored here; CodePack keeps compressed
+    and native address spaces disjoint and the CPU never sees this
+    image directly -- only the decompression engine does.
+
+    ``block_instructions``/``group_blocks`` default to the paper's
+    16-instruction blocks and 2-block groups; the ablation benchmarks
+    vary them.
+    """
+
+    name: str
+    text_base: int
+    n_instructions: int
+    high_dict: object
+    low_dict: object
+    index_entries: list
+    code_bytes: bytes
+    blocks: list
+    stats: CompositionStats
+    original_bytes: int
+    high_scheme: object = field(default=HIGH_SCHEME)
+    low_scheme: object = field(default=LOW_SCHEME)
+    block_instructions: int = BLOCK_INSTRUCTIONS
+    group_blocks: int = GROUP_BLOCKS
+
+    # -- size metrics --------------------------------------------------------
+
+    @property
+    def compressed_bytes(self):
+        """Total compressed size: index table + dictionaries + code."""
+        return self.stats.total_bytes
+
+    @property
+    def compression_ratio(self):
+        """Paper Eq. 1: compressed size / original size (smaller is better)."""
+        return self.compressed_bytes / float(self.original_bytes)
+
+    @property
+    def n_blocks(self):
+        return len(self.blocks)
+
+    @property
+    def n_groups(self):
+        return len(self.index_entries)
+
+    # -- address mapping -------------------------------------------------------
+
+    def block_of_address(self, addr):
+        """Compression-block number containing native address *addr*."""
+        index = (addr - self.text_base) \
+            // (self.block_instructions * INSTRUCTION_BYTES)
+        if not 0 <= index < len(self.blocks):
+            raise IndexError("address %#x outside compressed text" % addr)
+        return index
+
+    def group_of_address(self, addr):
+        """Compression-group number containing native address *addr*."""
+        return self.block_of_address(addr) // self.group_blocks
+
+    def block_base_address(self, block_index):
+        """Native address of a block's first instruction."""
+        return self.text_base \
+            + block_index * self.block_instructions * INSTRUCTION_BYTES
+
+    def slot_in_block(self, addr):
+        """Position of the instruction at *addr* inside its block."""
+        return ((addr - self.text_base) // INSTRUCTION_BYTES) \
+            % self.block_instructions
+
+
+def encode_halfword(writer, scheme, dictionary, value, stats):
+    """Emit one halfword symbol; update *stats*; return bit count."""
+    start = writer.bit_length
+    if scheme.zero_special and value == 0:
+        writer.write(LOW_ZERO_TAG, LOW_ZERO_TAG_BITS)
+        stats.compressed_tag_bits += LOW_ZERO_TAG_BITS
+        return writer.bit_length - start
+    slot = dictionary.slot(value)
+    if slot is None:
+        writer.write(scheme.raw_tag, scheme.raw_tag_bits)
+        writer.write(value, RAW_HALFWORD_BITS)
+        stats.raw_tag_bits += scheme.raw_tag_bits
+        stats.raw_bits += RAW_HALFWORD_BITS
+        return writer.bit_length - start
+    cls, index_in_class = scheme.class_of_entry(slot)
+    writer.write(cls.tag, cls.tag_bits)
+    writer.write(index_in_class, cls.index_bits)
+    stats.compressed_tag_bits += cls.tag_bits
+    stats.dictionary_index_bits += cls.index_bits
+    return writer.bit_length - start
+
+
+def _encode_block(words, image_args):
+    """Compress one block; returns (bytes, BlockInfo fields, stats)."""
+    high_scheme, low_scheme, high_dict, low_dict = image_args
+    writer = BitWriter()
+    stats = CompositionStats()
+    end_bits = []
+    for word in words:
+        encode_halfword(writer, high_scheme, high_dict,
+                        (word >> 16) & 0xFFFF, stats)
+        encode_halfword(writer, low_scheme, low_dict, word & 0xFFFF, stats)
+        end_bits.append(writer.bit_length)
+    pad = writer.pad_to_byte()
+    stats.pad_bits += pad
+    native_bits = len(words) * 32
+    if writer.bit_length > native_bits:
+        # Whole-block raw escape: store the native words unchanged.
+        raw_writer = BitWriter()
+        for word in words:
+            raw_writer.write(word, 32)
+        raw_stats = CompositionStats(raw_bits=native_bits)
+        raw_ends = tuple(32 * (i + 1) for i in range(len(words)))
+        return raw_writer.to_bytes(), True, raw_ends, raw_stats
+    return writer.to_bytes(), False, tuple(end_bits), stats
+
+
+def compress_words(words, text_base=0, name="program",
+                   high_scheme=None, low_scheme=None,
+                   block_instructions=BLOCK_INSTRUCTIONS,
+                   group_blocks=GROUP_BLOCKS,
+                   high_dict=None, low_dict=None):
+    """Compress a list of instruction words into a :class:`CodePackImage`.
+
+    ``block_instructions`` and ``group_blocks`` default to the paper's
+    fixed 16 and 2; they are exposed for the ablation studies only.
+    Pre-built ``high_dict``/``low_dict`` override the per-program
+    frequency build (the paper's load-time adaptation) -- used by the
+    generic-dictionary ablation.
+    """
+    high_scheme = high_scheme or HIGH_SCHEME
+    low_scheme = low_scheme or LOW_SCHEME
+    if high_dict is None or low_dict is None:
+        built_high, built_low = build_dictionaries(
+            words, high_scheme=high_scheme, low_scheme=low_scheme)
+        high_dict = high_dict or built_high
+        low_dict = low_dict or built_low
+    args = (high_scheme, low_scheme, high_dict, low_dict)
+
+    blocks = []
+    chunks = []
+    stats = CompositionStats()
+    offset = 0
+    for start in range(0, len(words), block_instructions):
+        chunk_words = words[start:start + block_instructions]
+        data, is_raw, end_bits, block_stats = _encode_block(chunk_words, args)
+        blocks.append(BlockInfo(
+            index=len(blocks),
+            byte_offset=offset,
+            byte_length=len(data),
+            is_raw=is_raw,
+            n_instructions=len(chunk_words),
+            inst_end_bits=end_bits,
+        ))
+        chunks.append(data)
+        stats = stats.merged(block_stats)
+        offset += len(data)
+
+    index_entries = []
+    for group_start in range(0, len(blocks), group_blocks):
+        first = blocks[group_start]
+        if group_blocks > 1 and group_start + 1 < len(blocks):
+            second = blocks[group_start + 1]
+            entry = IndexEntry(
+                block1_base=first.byte_offset,
+                block2_offset=second.byte_offset - first.byte_offset,
+                block1_raw=first.is_raw,
+                block2_raw=second.is_raw,
+            )
+        else:
+            entry = IndexEntry(
+                block1_base=first.byte_offset,
+                block2_offset=first.byte_length,
+                block1_raw=first.is_raw,
+                block2_raw=False,
+            )
+        index_entries.append(entry)
+
+    stats.index_table_bits = len(index_entries) * 32
+    stats.dictionary_bits = high_dict.storage_bits + low_dict.storage_bits
+
+    return CodePackImage(
+        name=name,
+        text_base=text_base,
+        n_instructions=len(words),
+        high_dict=high_dict,
+        low_dict=low_dict,
+        index_entries=index_entries,
+        code_bytes=b"".join(chunks),
+        blocks=blocks,
+        stats=stats,
+        original_bytes=len(words) * INSTRUCTION_BYTES,
+        high_scheme=high_scheme,
+        low_scheme=low_scheme,
+        block_instructions=block_instructions,
+        group_blocks=group_blocks,
+    )
+
+
+def compress_program(program, high_scheme=None, low_scheme=None,
+                     block_instructions=BLOCK_INSTRUCTIONS,
+                     group_blocks=GROUP_BLOCKS,
+                     high_dict=None, low_dict=None):
+    """Compress a :class:`~repro.isa.program.Program`'s ``.text`` section."""
+    return compress_words(program.text, text_base=program.text_base,
+                          name=program.name, high_scheme=high_scheme,
+                          low_scheme=low_scheme,
+                          block_instructions=block_instructions,
+                          group_blocks=group_blocks,
+                          high_dict=high_dict, low_dict=low_dict)

@@ -1,0 +1,78 @@
+"""The functional CodePack decoder.
+
+This is the software model of paper Figure 1 step C: given the
+compressed bytes of one block and the two dictionaries, reconstruct the
+original 32-bit instructions.  The hardware timing aspects (burst
+arrival, decode rate, output buffer) live in
+:mod:`repro.sim.codepack_engine`; this module only cares about bit-exact
+correctness and is what the round-trip tests exercise.
+"""
+
+from repro.codepack.bitstream import BitReader
+from repro.codepack.codewords import RAW_HALFWORD_BITS
+
+
+class DecompressionError(ValueError):
+    """Raised when the compressed stream is malformed."""
+
+
+def _decode_halfword(reader, scheme, dictionary):
+    """Decode one halfword symbol from *reader*."""
+    tag = reader.read(2)
+    tag_bits = 2
+    if tag == 0b11:
+        tag = (tag << 1) | reader.read(1)
+        tag_bits = 3
+    if tag == scheme.raw_tag and tag_bits == scheme.raw_tag_bits:
+        return reader.read(RAW_HALFWORD_BITS)
+    if scheme.zero_special and tag == 0b00 and tag_bits == 2:
+        return 0
+    try:
+        cls = scheme.class_for_tag(tag, tag_bits)
+    except KeyError as exc:
+        raise DecompressionError(str(exc))
+    index_in_class = reader.read(cls.index_bits)
+    slot = scheme.entry_of_class(cls, index_in_class)
+    if slot >= len(dictionary):
+        raise DecompressionError(
+            "dictionary slot %d beyond %s dictionary (%d entries)"
+            % (slot, scheme.name, len(dictionary)))
+    return dictionary.value(slot)
+
+
+def iter_block_symbols(image, block_index):
+    """Yield ``(instruction_word, end_bit_offset)`` for one block.
+
+    ``end_bit_offset`` is measured from the start of the block's bytes;
+    for raw blocks it advances 32 bits per instruction.  This is the
+    decode loop the hardware engine performs serially, so the timing
+    model shares it.
+    """
+    block = image.blocks[block_index]
+    reader = BitReader(image.code_bytes, bit_offset=block.byte_offset * 8)
+    base_bit = block.byte_offset * 8
+    if block.is_raw:
+        for _ in range(block.n_instructions):
+            yield reader.read(32), reader.position - base_bit
+        return
+    for _ in range(block.n_instructions):
+        high = _decode_halfword(reader, image.high_scheme, image.high_dict)
+        low = _decode_halfword(reader, image.low_scheme, image.low_dict)
+        yield (high << 16) | low, reader.position - base_bit
+
+
+def decompress_block(image, block_index):
+    """Decode one compression block back to instruction words."""
+    return [word for word, _ in iter_block_symbols(image, block_index)]
+
+
+def decompress_program(image):
+    """Decode the whole image back to the original ``.text`` words."""
+    words = []
+    for block_index in range(image.n_blocks):
+        words.extend(decompress_block(image, block_index))
+    if len(words) != image.n_instructions:
+        raise DecompressionError(
+            "decoded %d instructions, expected %d"
+            % (len(words), image.n_instructions))
+    return words

@@ -1,0 +1,71 @@
+"""Index table entries.
+
+Paper Section 3.1: "the instruction address from the cache miss is
+mapped to the corresponding compressed instruction address by an index
+table which is created during the compression process ... Each index is
+32-bits.  To optimize table size, each entry in the table maps one
+compression group consisting of 2 compressed blocks (32 instructions
+total).  The first block is specified as a byte offset into the
+compressed memory and the second block is specified using a shorter
+offset from the first block."
+
+Our 32-bit layout (documented in DESIGN.md section 3):
+
+    bit 31        raw-escape flag for block 1
+    bit 30        raw-escape flag for block 2
+    bits 29..8    byte offset of block 1 within the compressed code
+                  region (22 bits, 4 MiB reach)
+    bits 7..0     byte offset of block 2 *from block 1* (8 bits; a block
+                  never exceeds 64 bytes thanks to the whole-block raw
+                  escape, so 8 bits always suffice)
+"""
+
+from dataclasses import dataclass
+
+INDEX_ENTRY_BITS = 32
+INDEX_ENTRY_BYTES = 4
+
+_BASE_BITS = 22
+_OFFSET_BITS = 8
+MAX_BLOCK1_BASE = (1 << _BASE_BITS) - 1
+MAX_BLOCK2_OFFSET = (1 << _OFFSET_BITS) - 1
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Decoded index-table entry for one compression group."""
+
+    block1_base: int  # byte offset of block 1 in the code region
+    block2_offset: int  # byte offset of block 2 relative to block 1
+    block1_raw: bool = False
+    block2_raw: bool = False
+
+    @property
+    def block2_base(self):
+        return self.block1_base + self.block2_offset
+
+
+def pack_index_entry(entry):
+    """Encode an :class:`IndexEntry` into its 32-bit form."""
+    if not 0 <= entry.block1_base <= MAX_BLOCK1_BASE:
+        raise ValueError("block 1 base %d exceeds %d bits"
+                         % (entry.block1_base, _BASE_BITS))
+    if not 0 <= entry.block2_offset <= MAX_BLOCK2_OFFSET:
+        raise ValueError("block 2 offset %d exceeds %d bits"
+                         % (entry.block2_offset, _OFFSET_BITS))
+    word = (int(entry.block1_raw) << 31) | (int(entry.block2_raw) << 30)
+    word |= entry.block1_base << _OFFSET_BITS
+    word |= entry.block2_offset
+    return word
+
+
+def unpack_index_entry(word):
+    """Decode a 32-bit index-table word."""
+    if not 0 <= word < (1 << INDEX_ENTRY_BITS):
+        raise ValueError("index word out of range")
+    return IndexEntry(
+        block1_base=(word >> _OFFSET_BITS) & MAX_BLOCK1_BASE,
+        block2_offset=word & MAX_BLOCK2_OFFSET,
+        block1_raw=bool(word & (1 << 31)),
+        block2_raw=bool(word & (1 << 30)),
+    )

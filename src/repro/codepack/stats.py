@@ -1,0 +1,57 @@
+"""Bit-exact composition accounting for the compressed image.
+
+Paper Table 4 breaks the compressed region into seven categories:
+index table, dictionary, compressed tags, dictionary indices, raw tags,
+raw bits, and pad.  The compressor increments these counters as it
+emits every field, so the percentages we report are exact, not
+estimated.
+"""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class CompositionStats:
+    """Bit counts per Table 4 category."""
+
+    index_table_bits: int = 0
+    dictionary_bits: int = 0
+    compressed_tag_bits: int = 0
+    dictionary_index_bits: int = 0
+    raw_tag_bits: int = 0
+    raw_bits: int = 0
+    pad_bits: int = 0
+
+    @property
+    def total_bits(self):
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def total_bytes(self):
+        total = self.total_bits
+        if total % 8:
+            raise ValueError("compressed image is not byte aligned")
+        return total // 8
+
+    def fractions(self):
+        """Category -> fraction of the total, matching Table 4 columns."""
+        total = float(self.total_bits)
+        if not total:
+            return {f.name: 0.0 for f in fields(self)}
+        return {f.name: getattr(self, f.name) / total for f in fields(self)}
+
+    def merged(self, other):
+        """Element-wise sum (used when aggregating per-block stats)."""
+        merged = CompositionStats()
+        for f in fields(self):
+            setattr(merged, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def as_row(self):
+        """Percentages in Table 4 column order plus the byte total."""
+        frac = self.fractions()
+        order = ("index_table_bits", "dictionary_bits",
+                 "compressed_tag_bits", "dictionary_index_bits",
+                 "raw_tag_bits", "raw_bits", "pad_bits")
+        return [frac[name] for name in order] + [self.total_bytes]

@@ -1,0 +1,52 @@
+"""Experiment harness: one function per paper table/figure.
+
+:class:`~repro.eval.runner.Workbench` owns the expensive artifacts
+(programs, compressed images, predecoded text, memoised simulation
+runs); the ``table*``/``figure2`` functions in
+:mod:`repro.eval.experiments` each regenerate one exhibit of the
+paper's evaluation section as a :class:`~repro.eval.tables.TableResult`
+that renders in the paper's layout.
+
+Command line: ``python -m repro.eval table5`` (or ``all``).
+"""
+
+from repro.eval.experiments import (
+    ALL_EXPERIMENTS,
+    figure2,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+from repro.eval.runner import Workbench
+from repro.eval.tables import TableResult, format_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "TableResult",
+    "Workbench",
+    "figure2",
+    "format_table",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry point: regenerate paper exhibits.
+
+Usage::
+
+    python -m repro.eval table5            # one exhibit
+    python -m repro.eval table3 table4     # several, sharing a Workbench
+    python -m repro.eval all               # everything
+    python -m repro.eval all --scale 0.2   # quicker, shorter runs
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.eval.extensions import EXTENSION_EXPERIMENTS
+from repro.eval.runner import Workbench
+from repro.eval.tables import format_table, table_to_csv
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate tables/figures from 'Evaluation of a High "
+                    "Performance Code Compression Method' (MICRO-32).")
+    parser.add_argument("exhibits", nargs="+",
+                        help="exhibit names (table1..table12, figure2, "
+                             "or the extensions scheme_comparison, "
+                             "software_decompression, "
+                             "compressed_fetch_traffic), or 'all' / "
+                             "'extensions'")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="benchmark trip-count multiplier "
+                             "(default 1.0 = calibrated length)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="restrict to these benchmarks")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each exhibit as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    registry = dict(ALL_EXPERIMENTS)
+    registry.update(EXTENSION_EXPERIMENTS)
+    if "all" in args.exhibits:
+        names = list(ALL_EXPERIMENTS)
+    elif "extensions" in args.exhibits:
+        names = list(EXTENSION_EXPERIMENTS)
+    else:
+        names = args.exhibits
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        parser.error("unknown exhibits: %s (choose from %s)"
+                     % (", ".join(unknown), ", ".join(registry)))
+
+    wb = Workbench(scale=args.scale)
+    for name in names:
+        start = time.time()
+        table = registry[name](wb=wb, benchmarks=args.benchmarks)
+        print(format_table(table))
+        if args.csv:
+            import os
+            os.makedirs(args.csv, exist_ok=True)
+            csv_path = os.path.join(args.csv, "%s.csv" % name)
+            with open(csv_path, "w") as handle:
+                handle.write(table_to_csv(table))
+        print("[%s regenerated in %.1fs]" % (name, time.time() - start))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

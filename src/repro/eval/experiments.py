@@ -1,0 +1,433 @@
+"""One experiment per paper exhibit (Tables 1-12, Figure 2).
+
+Each function regenerates the corresponding table of the paper's
+evaluation with our simulator and benchmark stand-ins, in the paper's
+exact row/column layout.  Where the paper's numeric cells survived in
+our source text they are included as ``paper:`` columns or noted for
+comparison; where they did not, the prose claims from Section 5 are
+attached as notes (see :mod:`repro.eval.paperdata`).
+
+All functions accept an optional :class:`~repro.eval.runner.Workbench`
+so that a caller running several tables shares every simulation.
+"""
+
+from repro.codepack.compressor import BlockInfo, CodePackImage
+from repro.codepack.dictionary import Dictionary
+from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
+from repro.codepack.stats import CompositionStats
+from repro.eval import paperdata
+from repro.eval.runner import Workbench
+from repro.eval.tables import TableResult
+from repro.sim.codepack_engine import CodePackEngine
+from repro.sim.config import (
+    ARCH_4_ISSUE,
+    BASELINES,
+    CodePackConfig,
+    IndexCacheConfig,
+    KB,
+    MemoryConfig,
+)
+from repro.sim.fetch import NativeMissPath
+
+#: The paper's three decompressor models.
+CP_BASELINE = CodePackConfig()
+CP_OPTIMIZED = CodePackConfig.optimized()
+CP_INDEX_ONLY = CodePackConfig.with_index_cache()
+CP_PERFECT = CodePackConfig(perfect_index=True)
+CP_DEC2 = CodePackConfig.with_decoders(2)
+CP_DEC16 = CodePackConfig.with_decoders(16)
+
+
+def _wb(wb):
+    return wb if wb is not None else Workbench()
+
+
+# ---------------------------------------------------------------------------
+# Characterisation and configuration (Tables 1 and 2)
+# ---------------------------------------------------------------------------
+
+def table1(wb=None, benchmarks=None):
+    """Benchmark characterisation: dynamic length and 4-issue I-miss rate."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        result = wb.run(bench, ARCH_4_ISSUE)
+        paper_minst, paper_miss = paperdata.TABLE1[bench]
+        rows.append([bench, result.instructions, result.icache_miss_rate,
+                     paper_miss,
+                     paper_minst * 1_000_000 if paper_minst else None])
+    return TableResult(
+        exhibit="Table 1",
+        title="Benchmarks",
+        columns=["bench", "instructions executed",
+                 "L1 I-miss rate (4-issue)", "paper: miss rate",
+                 "paper: instructions"],
+        rows=rows,
+        formats={2: "%.3f", 3: "%.3f", 4: "%d"},
+        notes="Dynamic lengths are scaled ~2500x below the paper's "
+              ">1e9-instruction runs; miss *rates*, which drive every "
+              "result, are calibrated to Table 1.")
+
+
+def table2(wb=None, benchmarks=None):
+    """Simulated architectures (configuration, mirrors paper Table 2)."""
+    archs = list(BASELINES.values())
+
+    def row(label, getter, fmt=str):
+        return [label] + [fmt(getter(a)) for a in archs]
+
+    rows = [
+        row("fetch queue size", lambda a: a.fetch_queue),
+        row("issue width", lambda a: "%d %s" % (
+            a.issue_width, "in-order" if a.in_order else "out-of-order")),
+        row("commit width", lambda a: a.issue_width),
+        row("RUU entries", lambda a: a.ruu_size),
+        row("load/store queue", lambda a: a.lsq_size),
+        row("function units", lambda a: "alu:%d mult:%d memport:%d"
+            % (a.n_alu, a.n_mult, a.n_memport)),
+        row("branch predictor", lambda a: a.predictor.kind),
+        row("L1 I-cache", lambda a: "%dKB %dB-line %d-assoc"
+            % (a.icache.size_bytes // KB, a.icache.line_bytes,
+               a.icache.assoc)),
+        row("L1 D-cache", lambda a: "%dKB %dB-line %d-assoc"
+            % (a.dcache.size_bytes // KB, a.dcache.line_bytes,
+               a.dcache.assoc)),
+        row("memory latency", lambda a: "%d cycle, %d cycle rate"
+            % (a.memory.first_latency, a.memory.rate)),
+        row("memory width", lambda a: "%d bits" % a.memory.bus_bits),
+    ]
+    return TableResult(
+        exhibit="Table 2",
+        title="Simulated architectures",
+        columns=["parameter"] + [a.name for a in archs],
+        rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Code size (Tables 3 and 4)
+# ---------------------------------------------------------------------------
+
+def table3(wb=None, benchmarks=None):
+    """Compression ratio of the .text section."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        image = wb.image(bench)
+        paper = paperdata.TABLE3[bench]
+        rows.append([bench, image.original_bytes, image.compressed_bytes,
+                     image.compression_ratio, paper[2]])
+    return TableResult(
+        exhibit="Table 3",
+        title="Compression ratio of .text section (smaller is better)",
+        columns=["bench", "original (bytes)", "compressed (bytes)",
+                 "ratio", "paper: ratio"],
+        rows=rows,
+        formats={3: "%.3f", 4: "%.3f"})
+
+
+def table4(wb=None, benchmarks=None):
+    """Composition of the compressed region."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        rows.append([bench] + wb.image(bench).stats.as_row())
+    return TableResult(
+        exhibit="Table 4",
+        title="Composition of compressed region (fractions of total)",
+        columns=["bench", "index table", "dictionary", "compressed tags",
+                 "dictionary indices", "raw tags", "raw bits", "pad",
+                 "total (bytes)"],
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 8)},
+        notes="Paper Table 4 reports 19-25%% of the compressed program "
+              "left raw; our generators were calibrated to the same "
+              "bands (see workloads.suite).")
+
+
+# ---------------------------------------------------------------------------
+# Overall performance (Table 5)
+# ---------------------------------------------------------------------------
+
+def table5(wb=None, benchmarks=None):
+    """IPC: native vs baseline CodePack vs optimized, three machines."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        row = [bench]
+        for arch in BASELINES.values():
+            row.append(wb.run(bench, arch).ipc)
+            row.append(wb.run(bench, arch, CP_BASELINE).ipc)
+            row.append(wb.run(bench, arch, CP_OPTIMIZED).ipc)
+        rows.append(row)
+    columns = ["bench"]
+    for arch in BASELINES.values():
+        for mode in ("native", "codepack", "optimized"):
+            columns.append("%s %s" % (arch.name, mode))
+    return TableResult(
+        exhibit="Table 5",
+        title="Instructions per cycle",
+        columns=columns,
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 10)},
+        notes=paperdata.PROSE_ANCHORS["table5"])
+
+
+# ---------------------------------------------------------------------------
+# Decompression-latency components (Tables 6-9)
+# ---------------------------------------------------------------------------
+
+def table6(wb=None, benchmarks=None, bench="cc1"):
+    """Index-cache miss ratio sweep (paper uses cc1, the worst case)."""
+    wb = _wb(wb)
+    rows = []
+    for lines in paperdata.TABLE6_LINES:
+        row = [lines]
+        for entries in paperdata.TABLE6_ENTRIES:
+            config = CodePackConfig(
+                index_cache=IndexCacheConfig(lines, entries))
+            result = wb.run(bench, ARCH_4_ISSUE, config)
+            row.append(result.engine.index_cache.miss_rate)
+        rows.append(row)
+    return TableResult(
+        exhibit="Table 6",
+        title="Index cache miss ratio for %s (during L1 misses, "
+              "fully-associative)" % bench,
+        columns=["lines"] + ["%d entries/line" % e
+                             for e in paperdata.TABLE6_ENTRIES],
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 5)},
+        notes="Paper values (entries/line 2,4,8): lines=1: .519 .429 "
+              ".358; 4: .391 .280 .192; 16: .297 .144 .046; 64: .027 "
+              ".008 .002.")
+
+
+def table7(wb=None, benchmarks=None):
+    """Speedup over native due to the index cache."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        rows.append([bench,
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_BASELINE),
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_INDEX_ONLY),
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_PERFECT)])
+    return TableResult(
+        exhibit="Table 7",
+        title="Speedup over native due to index cache (4-issue)",
+        columns=["bench", "CodePack", "index cache (64x4)", "perfect"],
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 4)},
+        notes=paperdata.PROSE_ANCHORS["table7"])
+
+
+def table8(wb=None, benchmarks=None):
+    """Speedup over native due to decompression rate."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        rows.append([bench,
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_BASELINE),
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_DEC2),
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_DEC16)])
+    return TableResult(
+        exhibit="Table 8",
+        title="Speedup over native due to decompression rate (4-issue)",
+        columns=["bench", "CodePack", "2 decoders", "16 decoders"],
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 4)},
+        notes=paperdata.PROSE_ANCHORS["table8"])
+
+
+def table9(wb=None, benchmarks=None):
+    """The two optimizations individually and combined."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        rows.append([bench,
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_BASELINE),
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_INDEX_ONLY),
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_DEC2),
+                     wb.speedup(bench, ARCH_4_ISSUE, CP_OPTIMIZED)])
+    return TableResult(
+        exhibit="Table 9",
+        title="Comparison of optimizations (speedup over native, 4-issue)",
+        columns=["bench", "CodePack", "index", "decompress", "all"],
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 5)},
+        notes=paperdata.PROSE_ANCHORS["table9"])
+
+
+# ---------------------------------------------------------------------------
+# Architecture sensitivity (Tables 10-12)
+# ---------------------------------------------------------------------------
+
+def table10(wb=None, benchmarks=None, sizes_kb=(1, 4, 16, 64)):
+    """Speedup over native across I-cache sizes."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        row = [bench]
+        for size_kb in sizes_kb:
+            arch = ARCH_4_ISSUE.with_icache(size_kb * KB)
+            native = wb.run(bench, arch)
+            row.append(wb.run(bench, arch, CP_BASELINE)
+                       .speedup_over(native))
+            row.append(wb.run(bench, arch, CP_OPTIMIZED)
+                       .speedup_over(native))
+        rows.append(row)
+    columns = ["bench"]
+    for size_kb in sizes_kb:
+        columns.append("%dKB CodePack" % size_kb)
+        columns.append("%dKB Optimized" % size_kb)
+    return TableResult(
+        exhibit="Table 10",
+        title="Variation in speedup due to I-cache size (4-issue)",
+        columns=columns,
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 9)},
+        notes=paperdata.PROSE_ANCHORS["table10"])
+
+
+def table11(wb=None, benchmarks=None, widths=(16, 32, 64, 128)):
+    """Speedup over native across main-memory bus widths."""
+    wb = _wb(wb)
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        row = [bench]
+        for bus_bits in widths:
+            arch = ARCH_4_ISSUE.with_memory(bus_bits=bus_bits)
+            native = wb.run(bench, arch)
+            row.append(wb.run(bench, arch, CP_BASELINE)
+                       .speedup_over(native))
+            row.append(wb.run(bench, arch, CP_OPTIMIZED)
+                       .speedup_over(native))
+        rows.append(row)
+    columns = ["bench"]
+    for bus_bits in widths:
+        columns.append("%db CodePack" % bus_bits)
+        columns.append("%db Optimized" % bus_bits)
+    return TableResult(
+        exhibit="Table 11",
+        title="Performance change by memory width (4-issue)",
+        columns=columns,
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 9)},
+        notes=paperdata.PROSE_ANCHORS["table11"])
+
+
+def table12(wb=None, benchmarks=None,
+            multipliers=(0.5, 1.0, 2.0, 4.0, 8.0)):
+    """Speedup over native across main-memory latencies."""
+    wb = _wb(wb)
+    base = ARCH_4_ISSUE.memory
+    rows = []
+    for bench in wb.benchmarks(benchmarks):
+        row = [bench]
+        for mult in multipliers:
+            arch = ARCH_4_ISSUE.with_memory(
+                first_latency=max(1, int(base.first_latency * mult)),
+                rate=max(1, int(base.rate * mult)))
+            native = wb.run(bench, arch)
+            row.append(wb.run(bench, arch, CP_BASELINE)
+                       .speedup_over(native))
+            row.append(wb.run(bench, arch, CP_OPTIMIZED)
+                       .speedup_over(native))
+        rows.append(row)
+    columns = ["bench"]
+    for mult in multipliers:
+        columns.append("%gx CodePack" % mult)
+        columns.append("%gx Optimized" % mult)
+    return TableResult(
+        exhibit="Table 12",
+        title="Performance change due to memory latency (4-issue)",
+        columns=columns,
+        rows=rows,
+        formats={i: "%.3f" for i in range(1, 11)},
+        notes=paperdata.PROSE_ANCHORS["table12"])
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: the worked L1-miss timeline
+# ---------------------------------------------------------------------------
+
+def _figure2_image():
+    """A synthetic one-block image matching Figure 2's beat pattern.
+
+    The example returns compressed instructions in per-beat quantities
+    2,3,3,3,3,2 on a 64-bit bus; instruction end-bits are placed so each
+    beat completes exactly that many instructions.
+    """
+    quantities = paperdata.FIGURE2["beat_quantities"]
+    end_bits = []
+    for beat, count in enumerate(quantities):
+        span_start = beat * 64
+        for i in range(count):
+            end_bits.append(span_start + (64 * (i + 1)) // count)
+    block = BlockInfo(index=0, byte_offset=0, byte_length=48, is_raw=False,
+                      n_instructions=16, inst_end_bits=tuple(end_bits))
+    return CodePackImage(
+        name="figure2", text_base=0, n_instructions=16,
+        high_dict=Dictionary(HIGH_SCHEME, []),
+        low_dict=Dictionary(LOW_SCHEME, []),
+        index_entries=[], code_bytes=b"\x00" * 48, blocks=[block],
+        stats=CompositionStats(), original_bytes=64)
+
+
+def figure2(wb=None, benchmarks=None):
+    """Reproduce the worked example: when is the critical word ready?
+
+    The miss requests the fifth instruction of the line (paper: "the
+    critical instruction is in the second access").
+    """
+    memory = MemoryConfig()
+    critical_addr = 16  # fifth instruction of the block/line
+    image = _figure2_image()
+
+    native = NativeMissPath(memory, line_bytes=32)
+    native_ready = native.miss(critical_addr, 0).critical_ready
+
+    baseline = CodePackEngine(image, memory, CodePackConfig(), line_bytes=32)
+    baseline_ready = baseline.miss(critical_addr, 0).critical_ready
+
+    optimized = CodePackEngine(
+        image, memory, CodePackConfig(decode_rate=2, perfect_index=True),
+        line_bytes=32)
+    optimized_ready = optimized.miss(critical_addr, 0).critical_ready
+
+    rows = [
+        ["native (critical word first)", native_ready,
+         paperdata.FIGURE2["native"]],
+        ["CodePack (index fetch, 1 decoder)", baseline_ready,
+         paperdata.FIGURE2["codepack"]],
+        ["CodePack optimized (index cache, 2 decoders)", optimized_ready,
+         paperdata.FIGURE2["optimized"]],
+    ]
+    return TableResult(
+        exhibit="Figure 2",
+        title="Critical-instruction availability in the worked example "
+              "(cycles after the miss)",
+        columns=["model", "critical ready", "paper"],
+        rows=rows,
+        notes="Beat quantities 2,3,3,3,3,2 on a 64-bit bus; 10-cycle "
+              "first access, 2-cycle rate.")
+
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+    "table10": table10,
+    "table11": table11,
+    "table12": table12,
+    "figure2": figure2,
+}
+
+
+def run_experiment(name, wb=None, benchmarks=None):
+    """Run one exhibit by name (e.g. ``"table5"``)."""
+    return ALL_EXPERIMENTS[name](wb=wb, benchmarks=benchmarks)

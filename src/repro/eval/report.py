@@ -1,0 +1,104 @@
+"""Report generation: render experiment results as Markdown.
+
+EXPERIMENTS.md-style sections can be regenerated mechanically::
+
+    python -m repro.eval.report --scale 1.0 -o results.md
+
+renders every paper exhibit (and, with ``--extensions``, the extension
+experiments) as one Markdown document, so the recorded numbers in the
+repository can always be refreshed from source.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import ALL_EXPERIMENTS
+from repro.eval.extensions import EXTENSION_EXPERIMENTS
+from repro.eval.runner import Workbench
+from repro.eval.tables import TableResult
+
+
+def _render_cell(value, fmt):
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return (fmt or "%.3f") % value
+    if isinstance(value, int) and fmt:
+        return fmt % value
+    return str(value)
+
+
+def table_to_markdown(table):
+    """Render one :class:`TableResult` as a Markdown section."""
+    lines = ["### %s — %s" % (table.exhibit, table.title), ""]
+    lines.append("| " + " | ".join(str(c) for c in table.columns) + " |")
+    lines.append("|" + "---|" * len(table.columns))
+    for row in table.rows:
+        cells = [_render_cell(value, table.formats.get(i))
+                 for i, value in enumerate(row)]
+        lines.append("| " + " | ".join(cells) + " |")
+    if table.notes:
+        lines.append("")
+        lines.append("*%s*" % table.notes)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(scale=1.0, include_paper=True, include_extensions=False,
+                    benchmarks=None, wb=None, progress=None):
+    """Run the selected experiments and return a Markdown document."""
+    wb = wb or Workbench(scale=scale)
+    sections = [
+        "# Regenerated results",
+        "",
+        "Produced by `python -m repro.eval.report` at benchmark scale "
+        "%.2f." % scale,
+        "",
+    ]
+    names = []
+    if include_paper:
+        names += list(ALL_EXPERIMENTS.items())
+    if include_extensions:
+        names += list(EXTENSION_EXPERIMENTS.items())
+    for name, experiment in names:
+        start = time.time()
+        table = experiment(wb=wb, benchmarks=benchmarks)
+        assert isinstance(table, TableResult)
+        sections.append(table_to_markdown(table))
+        if progress is not None:
+            progress("%s in %.1fs" % (name, time.time() - start))
+    return "\n".join(sections)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.report",
+        description="Render all experiments as one Markdown document.")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write to a file (default: stdout)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--extensions", action="store_true",
+                        help="include the extension experiments")
+    parser.add_argument("--no-paper", action="store_true",
+                        help="skip the paper exhibits")
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    document = generate_report(
+        scale=args.scale,
+        include_paper=not args.no_paper,
+        include_extensions=args.extensions,
+        benchmarks=args.benchmarks,
+        progress=lambda message: print("[%s]" % message, file=sys.stderr))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        print(document)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The Workbench: shared artifacts and memoised simulation runs.
+
+The paper's evaluation needs a few hundred simulator runs, many of
+which share the native baseline (every speedup table divides by it).
+The Workbench builds each benchmark once, compresses it once, predecodes
+it once, and memoises every (benchmark, architecture, decompressor)
+simulation, keyed by the frozen config dataclasses themselves.
+"""
+
+from repro.codepack.compressor import compress_program
+from repro.sim.machine import prepare, simulate
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+
+class Workbench:
+    """Caches programs, images and simulation results for experiments.
+
+    * ``scale`` shortens benchmark trip counts (1.0 = the calibrated
+      defaults; pytest benchmarks use ~0.1).
+    * ``max_instructions`` is a safety cap per simulation.
+    """
+
+    def __init__(self, scale=1.0, max_instructions=5_000_000):
+        self.scale = scale
+        self.max_instructions = max_instructions
+        self._programs = {}
+        self._images = {}
+        self._static = {}
+        self._results = {}
+
+    def program(self, bench):
+        """The benchmark program (built once)."""
+        if bench not in self._programs:
+            self._programs[bench] = build_benchmark(bench, self.scale)
+        return self._programs[bench]
+
+    def image(self, bench):
+        """The benchmark's CodePack image (compressed once)."""
+        if bench not in self._images:
+            self._images[bench] = compress_program(self.program(bench))
+        return self._images[bench]
+
+    def static(self, bench):
+        """The benchmark's predecoded text (decoded once)."""
+        if bench not in self._static:
+            self._static[bench] = prepare(self.program(bench))
+        return self._static[bench]
+
+    def run(self, bench, arch, codepack=None):
+        """Memoised :func:`repro.sim.machine.simulate` call."""
+        key = (bench, arch, codepack)
+        if key not in self._results:
+            self._results[key] = simulate(
+                self.program(bench), arch, codepack=codepack,
+                image=self.image(bench) if codepack is not None else None,
+                static=self.static(bench),
+                max_instructions=self.max_instructions)
+        return self._results[key]
+
+    def speedup(self, bench, arch, codepack):
+        """Speedup of a CodePack configuration over native on *arch*."""
+        native = self.run(bench, arch)
+        compressed = self.run(bench, arch, codepack)
+        return compressed.speedup_over(native)
+
+    def benchmarks(self, names=None):
+        """Benchmark-name iterator (defaults to the whole suite)."""
+        return tuple(names or BENCHMARK_NAMES)

@@ -1,0 +1,97 @@
+"""Result tables and plain-text rendering.
+
+Every experiment returns a :class:`TableResult`; ``format_table`` lays
+it out in the paper's row/column structure so the benchmark harness can
+print exactly the exhibit being reproduced.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TableResult:
+    """One regenerated paper exhibit.
+
+    ``columns`` are header strings; ``rows`` are lists of cells (str,
+    int, float or None).  ``formats`` optionally maps column index to a
+    printf-style format for numeric cells.  ``notes`` carries the
+    paper's prose anchor or any caveats.
+    """
+
+    exhibit: str  # e.g. "Table 5"
+    title: str
+    columns: list
+    rows: list
+    formats: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def cell(self, row, column):
+        """Cell by row index and column *name*."""
+        return self.rows[row][self.columns.index(column)]
+
+    def column_values(self, column):
+        """All values of one named column."""
+        index = self.columns.index(column)
+        return [row[index] for row in self.rows]
+
+    def row_by_key(self, key):
+        """Row whose first cell equals *key* (benchmarks, usually)."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)
+
+
+def _render_cell(value, fmt):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return (fmt or "%.3f") % value
+    if isinstance(value, int) and fmt:
+        return fmt % value
+    return str(value)
+
+
+def table_to_csv(table):
+    """Render a :class:`TableResult` as CSV text (for plotting tools).
+
+    Formats are applied so the CSV matches the printed table; ``None``
+    cells become empty fields.
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([str(c) for c in table.columns])
+    for row in table.rows:
+        writer.writerow(
+            ["" if value is None else
+             (table.formats.get(i, "%.6g") % value
+              if isinstance(value, float) else value)
+             for i, value in enumerate(row)])
+    return buffer.getvalue()
+
+
+def format_table(table):
+    """Render a :class:`TableResult` as aligned plain text."""
+    rendered = [[_render_cell(value, table.formats.get(i))
+                 for i, value in enumerate(row)] for row in table.rows]
+    headers = [str(c) for c in table.columns]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    out = ["%s: %s" % (table.exhibit, table.title),
+           line(headers),
+           line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    if table.notes:
+        out.append("")
+        out.append("note: %s" % table.notes)
+    return "\n".join(out)

@@ -1,0 +1,54 @@
+"""SS32: a 32-bit MIPS-like RISC instruction set.
+
+This package is the instruction-set substrate for the CodePack
+reproduction.  The MICRO-32 paper re-encoded SimpleScalar's loose 64-bit
+PISA into a dense 32-bit encoding "resembling the MIPS IV encoding" so
+that compression results would be representative; SS32 plays the same
+role here.  It provides:
+
+* :mod:`repro.isa.encoding` -- R/I/J instruction formats and field codecs
+* :mod:`repro.isa.opcodes` -- the instruction table with per-instruction
+  metadata (operands, function-unit class, branch/memory behaviour)
+* :mod:`repro.isa.registers` -- the 32-entry register file namespace
+* :mod:`repro.isa.assembler` / :mod:`repro.isa.disassembler` -- two-pass
+  text assembler and a symmetric disassembler
+* :mod:`repro.isa.program` -- linked program images (``.text`` + data)
+* :mod:`repro.isa.builder` -- a programmatic assembly builder used by the
+  synthetic workload generators
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.builder import AsmBuilder
+from repro.isa.disassembler import disassemble, disassemble_word
+from repro.isa.encoding import (
+    Instruction,
+    decode,
+    encode_i,
+    encode_j,
+    encode_r,
+    sign_extend_16,
+)
+from repro.isa.opcodes import INSTRUCTIONS, InstrClass, InstrSpec, spec_for_word
+from repro.isa.program import Program
+from repro.isa.registers import REG_NAMES, reg_num
+
+__all__ = [
+    "AsmBuilder",
+    "AssemblerError",
+    "INSTRUCTIONS",
+    "Instruction",
+    "InstrClass",
+    "InstrSpec",
+    "Program",
+    "REG_NAMES",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_word",
+    "encode_i",
+    "encode_j",
+    "encode_r",
+    "reg_num",
+    "sign_extend_16",
+    "spec_for_word",
+]

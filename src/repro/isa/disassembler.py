@@ -1,0 +1,71 @@
+"""Disassembler for SS32, symmetric with the assembler.
+
+``disassemble_word`` renders a single word; ``disassemble`` renders a
+whole :class:`~repro.isa.program.Program` with addresses, which the
+examples use to show what the CodePack decompressor reconstructed.
+"""
+
+from repro.isa.encoding import INSTRUCTION_BYTES, decode, sign_extend_16
+from repro.isa.opcodes import spec_for_word
+from repro.isa.registers import reg_name
+
+
+def disassemble_word(word, addr=0):
+    """Render one instruction word as assembly text.
+
+    *addr* is used to turn PC-relative branch offsets and jump targets
+    into absolute addresses.  Unknown encodings render as ``.word``.
+    """
+    spec = spec_for_word(word)
+    if spec is None:
+        return ".word 0x%08x" % word
+    fields = decode(word)
+    syntax = spec.syntax
+    if syntax == "rd,rs,rt":
+        ops = [reg_name(fields.rd), reg_name(fields.rs), reg_name(fields.rt)]
+    elif syntax == "rd,rt,shamt":
+        ops = [reg_name(fields.rd), reg_name(fields.rt), str(fields.shamt)]
+    elif syntax == "rd,rt,rs":
+        ops = [reg_name(fields.rd), reg_name(fields.rt), reg_name(fields.rs)]
+    elif syntax == "rs":
+        ops = [reg_name(fields.rs)]
+    elif syntax == "rd,rs":
+        ops = [reg_name(fields.rd), reg_name(fields.rs)]
+    elif syntax == "rd":
+        ops = [reg_name(fields.rd)]
+    elif syntax == "rs,rt":
+        ops = [reg_name(fields.rs), reg_name(fields.rt)]
+    elif syntax == "":
+        ops = []
+    elif syntax == "rt,rs,imm":
+        ops = [reg_name(fields.rt), reg_name(fields.rs),
+               str(sign_extend_16(fields.imm))]
+    elif syntax == "rt,imm":
+        ops = [reg_name(fields.rt), "0x%x" % fields.imm]
+    elif syntax == "rt,offset(rs)":
+        ops = [reg_name(fields.rt),
+               "%d(%s)" % (sign_extend_16(fields.imm), reg_name(fields.rs))]
+    elif syntax in ("rs,rt,label", "rs,label", "label"):
+        if syntax == "label":
+            target = (fields.target * INSTRUCTION_BYTES) & 0xFFFFFFFF
+            ops = ["0x%x" % target]
+        else:
+            target = addr + INSTRUCTION_BYTES \
+                + sign_extend_16(fields.imm) * INSTRUCTION_BYTES
+            regs = [reg_name(fields.rs)]
+            if syntax == "rs,rt,label":
+                regs.append(reg_name(fields.rt))
+            ops = regs + ["0x%x" % (target & 0xFFFFFFFF)]
+    else:  # pragma: no cover - table and disassembler are kept in sync
+        raise AssertionError("unhandled syntax %r" % syntax)
+    if not ops:
+        return spec.name
+    return "%s %s" % (spec.name, ", ".join(ops))
+
+
+def disassemble(program):
+    """Render a whole program as ``address: instruction`` lines."""
+    lines = []
+    for addr, word in program.iter_addresses():
+        lines.append("%08x: %s" % (addr, disassemble_word(word, addr)))
+    return "\n".join(lines)

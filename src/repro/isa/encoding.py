@@ -1,0 +1,118 @@
+"""Binary instruction formats for SS32.
+
+SS32 is a fixed-width 32-bit encoding with the three classic MIPS
+formats:
+
+* R-type: ``op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)``
+* I-type: ``op(6) rs(5) rt(5) imm(16)``
+* J-type: ``op(6) target(26)``
+
+CodePack never interprets these fields -- it compresses the raw 16-bit
+halves of each word -- but the simulator's functional core and the
+assembler/disassembler do, so the codecs live here in one place.
+"""
+
+from dataclasses import dataclass
+
+WORD_MASK = 0xFFFFFFFF
+INSTRUCTION_BYTES = 4
+
+
+def _check_range(value, bits, what):
+    if not 0 <= value < (1 << bits):
+        raise ValueError("%s out of range for %d bits: %d" % (what, bits, value))
+
+
+def encode_r(op, rs, rt, rd, shamt, funct):
+    """Pack an R-type instruction word."""
+    _check_range(op, 6, "opcode")
+    _check_range(rs, 5, "rs")
+    _check_range(rt, 5, "rt")
+    _check_range(rd, 5, "rd")
+    _check_range(shamt, 5, "shamt")
+    _check_range(funct, 6, "funct")
+    return (op << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+
+
+def encode_i(op, rs, rt, imm):
+    """Pack an I-type instruction word.  *imm* may be signed or unsigned."""
+    _check_range(op, 6, "opcode")
+    _check_range(rs, 5, "rs")
+    _check_range(rt, 5, "rt")
+    if not -0x8000 <= imm <= 0xFFFF:
+        raise ValueError("immediate out of range for 16 bits: %d" % imm)
+    return (op << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF)
+
+
+def encode_j(op, target):
+    """Pack a J-type instruction word.  *target* is a 26-bit word index."""
+    _check_range(op, 6, "opcode")
+    _check_range(target, 26, "jump target")
+    return (op << 26) | target
+
+
+def sign_extend_16(value):
+    """Sign-extend a 16-bit field to a Python int."""
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def sign_extend_32(value):
+    """Interpret a 32-bit word as a signed Python int."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded SS32 instruction word.
+
+    All fields are always populated; which ones are meaningful depends on
+    the format of the opcode (see :mod:`repro.isa.opcodes`).  ``imm`` is
+    the raw unsigned 16-bit field; use :func:`sign_extend_16` when the
+    instruction treats it as signed.
+    """
+
+    word: int
+    op: int
+    rs: int
+    rt: int
+    rd: int
+    shamt: int
+    funct: int
+    imm: int
+    target: int
+
+
+def decode(word):
+    """Split a 32-bit word into every possible field view."""
+    if not 0 <= word <= WORD_MASK:
+        raise ValueError("instruction word out of range: %#x" % word)
+    return Instruction(
+        word=word,
+        op=(word >> 26) & 0x3F,
+        rs=(word >> 21) & 0x1F,
+        rt=(word >> 16) & 0x1F,
+        rd=(word >> 11) & 0x1F,
+        shamt=(word >> 6) & 0x1F,
+        funct=word & 0x3F,
+        imm=word & 0xFFFF,
+        target=word & 0x3FFFFFF,
+    )
+
+
+def high_halfword(word):
+    """The 16-bit half CodePack calls the *high* symbol (opcode side)."""
+    return (word >> 16) & 0xFFFF
+
+
+def low_halfword(word):
+    """The 16-bit half CodePack calls the *low* symbol (immediate side)."""
+    return word & 0xFFFF
+
+
+def join_halfwords(high, low):
+    """Rebuild an instruction word from its CodePack symbols."""
+    _check_range(high, 16, "high halfword")
+    _check_range(low, 16, "low halfword")
+    return (high << 16) | low

@@ -1,0 +1,182 @@
+"""The SS32 instruction table.
+
+Every architecturally visible instruction is described by one
+:class:`InstrSpec`: how it is encoded, how its assembly syntax reads,
+which register fields it reads and writes, which function unit executes
+it and with what latency.  The functional core, the assembler, the
+disassembler and both timing models all key off this single table so the
+ISA cannot drift apart between components.
+"""
+
+import enum
+from dataclasses import dataclass
+
+OP_SPECIAL = 0x00
+OP_REGIMM = 0x01
+
+
+class InstrClass(enum.Enum):
+    """Behavioural class used by the timing models."""
+
+    ALU = "alu"
+    SHIFT = "shift"
+    MULT = "mult"
+    DIV = "div"
+    MFLOHI = "mflohi"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    JUMP_REG = "jump_reg"
+    CALL_REG = "call_reg"
+    SYSCALL = "syscall"
+
+
+# Instruction classes that redirect the PC.
+CONTROL_CLASSES = frozenset(
+    {
+        InstrClass.BRANCH,
+        InstrClass.JUMP,
+        InstrClass.CALL,
+        InstrClass.JUMP_REG,
+        InstrClass.CALL_REG,
+    }
+)
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one SS32 instruction.
+
+    ``syntax`` names the operand pattern used by the assembler and
+    disassembler.  ``reads``/``writes`` list encoding *fields* ("rs",
+    "rt", "rd") or the fixed resources "ra", "hi", "lo".  ``fu`` is the
+    function-unit pool from paper Table 2 ("alu", "mult", "memport") and
+    ``latency`` the execute latency in cycles.
+    """
+
+    name: str
+    fmt: str  # "R", "I", or "J"
+    op: int
+    funct: int = 0  # valid when op == OP_SPECIAL
+    regimm_rt: int = 0  # valid when op == OP_REGIMM
+    syntax: str = ""
+    iclass: InstrClass = InstrClass.ALU
+    reads: tuple = ()
+    writes: tuple = ()
+    fu: str = "alu"
+    latency: int = 1
+
+
+def _r(name, funct, syntax, iclass, reads, writes, fu="alu", latency=1):
+    return InstrSpec(name, "R", OP_SPECIAL, funct=funct, syntax=syntax,
+                     iclass=iclass, reads=reads, writes=writes, fu=fu,
+                     latency=latency)
+
+
+def _i(name, op, syntax, iclass, reads, writes, fu="alu", latency=1):
+    return InstrSpec(name, "I", op, syntax=syntax, iclass=iclass,
+                     reads=reads, writes=writes, fu=fu, latency=latency)
+
+
+_TABLE = [
+    # --- R-type ALU -------------------------------------------------------
+    _r("sll", 0x00, "rd,rt,shamt", InstrClass.SHIFT, ("rt",), ("rd",)),
+    _r("srl", 0x02, "rd,rt,shamt", InstrClass.SHIFT, ("rt",), ("rd",)),
+    _r("sra", 0x03, "rd,rt,shamt", InstrClass.SHIFT, ("rt",), ("rd",)),
+    _r("sllv", 0x04, "rd,rt,rs", InstrClass.SHIFT, ("rs", "rt"), ("rd",)),
+    _r("srlv", 0x06, "rd,rt,rs", InstrClass.SHIFT, ("rs", "rt"), ("rd",)),
+    _r("srav", 0x07, "rd,rt,rs", InstrClass.SHIFT, ("rs", "rt"), ("rd",)),
+    _r("jr", 0x08, "rs", InstrClass.JUMP_REG, ("rs",), ()),
+    _r("jalr", 0x09, "rd,rs", InstrClass.CALL_REG, ("rs",), ("rd",)),
+    _r("syscall", 0x0C, "", InstrClass.SYSCALL, (), ()),
+    _r("mfhi", 0x10, "rd", InstrClass.MFLOHI, ("hi",), ("rd",)),
+    _r("mflo", 0x12, "rd", InstrClass.MFLOHI, ("lo",), ("rd",)),
+    _r("mult", 0x18, "rs,rt", InstrClass.MULT, ("rs", "rt"), ("hi", "lo"),
+       fu="mult", latency=4),
+    _r("multu", 0x19, "rs,rt", InstrClass.MULT, ("rs", "rt"), ("hi", "lo"),
+       fu="mult", latency=4),
+    _r("div", 0x1A, "rs,rt", InstrClass.DIV, ("rs", "rt"), ("hi", "lo"),
+       fu="mult", latency=20),
+    _r("divu", 0x1B, "rs,rt", InstrClass.DIV, ("rs", "rt"), ("hi", "lo"),
+       fu="mult", latency=20),
+    _r("add", 0x20, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("addu", 0x21, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("sub", 0x22, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("subu", 0x23, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("and", 0x24, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("or", 0x25, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("xor", 0x26, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("nor", 0x27, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("slt", 0x2A, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    _r("sltu", 0x2B, "rd,rs,rt", InstrClass.ALU, ("rs", "rt"), ("rd",)),
+    # --- REGIMM branches --------------------------------------------------
+    InstrSpec("bltz", "I", OP_REGIMM, regimm_rt=0x00, syntax="rs,label",
+              iclass=InstrClass.BRANCH, reads=("rs",), writes=()),
+    InstrSpec("bgez", "I", OP_REGIMM, regimm_rt=0x01, syntax="rs,label",
+              iclass=InstrClass.BRANCH, reads=("rs",), writes=()),
+    # --- J-type -----------------------------------------------------------
+    InstrSpec("j", "J", 0x02, syntax="label", iclass=InstrClass.JUMP),
+    InstrSpec("jal", "J", 0x03, syntax="label", iclass=InstrClass.CALL,
+              writes=("ra",)),
+    # --- I-type branches --------------------------------------------------
+    _i("beq", 0x04, "rs,rt,label", InstrClass.BRANCH, ("rs", "rt"), ()),
+    _i("bne", 0x05, "rs,rt,label", InstrClass.BRANCH, ("rs", "rt"), ()),
+    _i("blez", 0x06, "rs,label", InstrClass.BRANCH, ("rs",), ()),
+    _i("bgtz", 0x07, "rs,label", InstrClass.BRANCH, ("rs",), ()),
+    # --- I-type ALU -------------------------------------------------------
+    _i("addi", 0x08, "rt,rs,imm", InstrClass.ALU, ("rs",), ("rt",)),
+    _i("addiu", 0x09, "rt,rs,imm", InstrClass.ALU, ("rs",), ("rt",)),
+    _i("slti", 0x0A, "rt,rs,imm", InstrClass.ALU, ("rs",), ("rt",)),
+    _i("sltiu", 0x0B, "rt,rs,imm", InstrClass.ALU, ("rs",), ("rt",)),
+    _i("andi", 0x0C, "rt,rs,imm", InstrClass.ALU, ("rs",), ("rt",)),
+    _i("ori", 0x0D, "rt,rs,imm", InstrClass.ALU, ("rs",), ("rt",)),
+    _i("xori", 0x0E, "rt,rs,imm", InstrClass.ALU, ("rs",), ("rt",)),
+    _i("lui", 0x0F, "rt,imm", InstrClass.ALU, (), ("rt",)),
+    # --- loads / stores ---------------------------------------------------
+    _i("lb", 0x20, "rt,offset(rs)", InstrClass.LOAD, ("rs",), ("rt",),
+       fu="memport", latency=1),
+    _i("lh", 0x21, "rt,offset(rs)", InstrClass.LOAD, ("rs",), ("rt",),
+       fu="memport", latency=1),
+    _i("lw", 0x23, "rt,offset(rs)", InstrClass.LOAD, ("rs",), ("rt",),
+       fu="memport", latency=1),
+    _i("lbu", 0x24, "rt,offset(rs)", InstrClass.LOAD, ("rs",), ("rt",),
+       fu="memport", latency=1),
+    _i("lhu", 0x25, "rt,offset(rs)", InstrClass.LOAD, ("rs",), ("rt",),
+       fu="memport", latency=1),
+    _i("sb", 0x28, "rt,offset(rs)", InstrClass.STORE, ("rs", "rt"), (),
+       fu="memport", latency=1),
+    _i("sh", 0x29, "rt,offset(rs)", InstrClass.STORE, ("rs", "rt"), (),
+       fu="memport", latency=1),
+    _i("sw", 0x2B, "rt,offset(rs)", InstrClass.STORE, ("rs", "rt"), (),
+       fu="memport", latency=1),
+]
+
+#: mnemonic -> spec
+INSTRUCTIONS = {spec.name: spec for spec in _TABLE}
+
+_BY_FUNCT = {spec.funct: spec for spec in _TABLE if spec.op == OP_SPECIAL}
+_BY_REGIMM = {spec.regimm_rt: spec for spec in _TABLE if spec.op == OP_REGIMM}
+_BY_OP = {
+    spec.op: spec for spec in _TABLE if spec.op not in (OP_SPECIAL, OP_REGIMM)
+}
+
+
+def spec_for_word(word):
+    """Find the :class:`InstrSpec` for an encoded word.
+
+    Returns ``None`` for words that do not decode to any SS32
+    instruction (the disassembler renders those as ``.word``).
+    """
+    op = (word >> 26) & 0x3F
+    if op == OP_SPECIAL:
+        return _BY_FUNCT.get(word & 0x3F)
+    if op == OP_REGIMM:
+        return _BY_REGIMM.get((word >> 16) & 0x1F)
+    return _BY_OP.get(op)
+
+
+def spec_for_name(name):
+    """Find the :class:`InstrSpec` for a mnemonic, or raise ``KeyError``."""
+    return INSTRUCTIONS[name]

@@ -1,0 +1,100 @@
+"""Program images for the SS32 toolchain.
+
+A :class:`Program` is the unit everything else operates on: the
+assembler produces one, the CodePack compressor consumes its ``.text``
+section, and the simulator executes it.  It deliberately mirrors the
+paper's setup, where only the statically linked ``.text`` section is
+compressed and measured (paper Table 3 is titled "Compression ratio of
+.text section").
+"""
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import INSTRUCTION_BYTES, WORD_MASK
+
+DEFAULT_TEXT_BASE = 0x0040_0000
+DEFAULT_DATA_BASE = 0x1000_0000
+DEFAULT_STACK_TOP = 0x7FFF_F000
+
+
+@dataclass
+class Program:
+    """A linked SS32 program.
+
+    ``text`` is the instruction stream as a list of 32-bit words starting
+    at ``text_base``.  ``data`` maps byte addresses to initialised data
+    bytes.  ``symbols`` maps labels to addresses; ``entry`` is the first
+    instruction executed.
+    """
+
+    text: list
+    text_base: int = DEFAULT_TEXT_BASE
+    data: dict = field(default_factory=dict)
+    symbols: dict = field(default_factory=dict)
+    entry: int = None
+    name: str = "program"
+    #: Word-aligned data addresses whose stored values are .text
+    #: pointers (function tables etc.).  Recorded by
+    #: AsmBuilder.data_label_word so layout-changing transforms (the
+    #: 16-bit translator) can relocate them.
+    data_relocs: tuple = ()
+
+    def __post_init__(self):
+        if self.text_base % INSTRUCTION_BYTES:
+            raise ValueError("text base must be word aligned")
+        for word in self.text:
+            if not 0 <= word <= WORD_MASK:
+                raise ValueError("text word out of range: %r" % (word,))
+        if self.entry is None:
+            self.entry = self.text_base
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def text_size(self):
+        """Size of the ``.text`` section in bytes."""
+        return len(self.text) * INSTRUCTION_BYTES
+
+    @property
+    def text_end(self):
+        """One past the last text byte."""
+        return self.text_base + self.text_size
+
+    def contains_text(self, addr):
+        """Whether *addr* falls inside the ``.text`` section."""
+        return self.text_base <= addr < self.text_end
+
+    # -- access ------------------------------------------------------------
+
+    def word_index(self, addr):
+        """Index into ``text`` for byte address *addr*."""
+        if addr % INSTRUCTION_BYTES:
+            raise ValueError("unaligned instruction address: %#x" % addr)
+        index = (addr - self.text_base) // INSTRUCTION_BYTES
+        if not 0 <= index < len(self.text):
+            raise IndexError("address %#x outside .text" % addr)
+        return index
+
+    def fetch(self, addr):
+        """Instruction word at byte address *addr*."""
+        return self.text[self.word_index(addr)]
+
+    def text_bytes(self):
+        """The ``.text`` section serialized big-endian, as the compressor
+        sees it."""
+        return b"".join(struct.pack(">I", word) for word in self.text)
+
+    def address_of(self, label):
+        """Address bound to *label*; raises ``KeyError`` if undefined."""
+        return self.symbols[label]
+
+    def iter_addresses(self):
+        """Yield ``(address, word)`` pairs over the ``.text`` section."""
+        addr = self.text_base
+        for word in self.text:
+            yield addr, word
+            addr += INSTRUCTION_BYTES
+
+    def __len__(self):
+        return len(self.text)

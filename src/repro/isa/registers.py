@@ -1,0 +1,50 @@
+"""Register-file namespace for SS32.
+
+SS32 uses the conventional MIPS register names.  ``$zero`` is hardwired
+to zero; the remaining 31 registers are general purpose.  The simulator
+additionally models the ``HI``/``LO`` multiply result registers.
+"""
+
+REG_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_NAME_TO_NUM = {name: num for num, name in enumerate(REG_NAMES)}
+
+# Symbolic constants for the programmatic builder.
+ZERO, AT, V0, V1, A0, A1, A2, A3 = range(8)
+T0, T1, T2, T3, T4, T5, T6, T7 = range(8, 16)
+S0, S1, S2, S3, S4, S5, S6, S7 = range(16, 24)
+T8, T9, K0, K1, GP, SP, FP, RA = range(24, 32)
+
+
+def reg_num(name):
+    """Resolve a register reference to its number.
+
+    Accepts ``"$t0"``, ``"t0"``, ``"$8"``, ``"8"``, or an ``int``.
+    Raises ``ValueError`` for anything that is not a valid register.
+    """
+    if isinstance(name, int):
+        if 0 <= name < 32:
+            return name
+        raise ValueError("register number out of range: %d" % name)
+    text = name.strip().lower()
+    if text.startswith("$"):
+        text = text[1:]
+    if text in _NAME_TO_NUM:
+        return _NAME_TO_NUM[text]
+    if text.isdigit():
+        num = int(text)
+        if 0 <= num < 32:
+            return num
+    raise ValueError("unknown register: %r" % (name,))
+
+
+def reg_name(num):
+    """Canonical ``$``-prefixed name for register number *num*."""
+    if not 0 <= num < 32:
+        raise ValueError("register number out of range: %d" % num)
+    return "$" + REG_NAMES[num]

@@ -1,0 +1,67 @@
+"""SS16: a Thumb/MIPS16-style dense re-encoding of SS32.
+
+Paper Section 2.1 frames 16-bit instruction subsets as the other road
+to code density: "Programs compiled for Thumb achieve 30% smaller code
+... but run 15%-20% slower on systems with ideal instruction memories";
+MIPS16 reaches 40% smaller.  The trade is the mirror image of
+CodePack's -- no decompression hardware and no miss-path latency, paid
+for with *more executed instructions* (two-operand forms, low-register
+pressure, expansion sequences).
+
+The transform is implemented end to end:
+
+* :mod:`repro.isa16.rules` -- which SS32 instructions have a 16-bit
+  form (Thumb-like constraints: 8 "low" registers, short immediates,
+  two-operand ALU shapes, short branch reach);
+* :mod:`repro.isa16.translator` -- a fixed-point layout pass producing
+  a :class:`~repro.isa16.translator.MixedProgram`: 2-byte and 4-byte
+  instructions interleaved, branches re-targeted, jump tables
+  relocated, and 32-bit instructions kept from straddling I-cache
+  lines;
+* :mod:`repro.isa16.encoding16` -- the actual bits: a prefix-allocated
+  16-bit encoding with encoder, decoder, whole-program assembler
+  (``assemble_mixed``) and a bit-level verifier
+  (``verify_mixed_encoding``).
+
+The result executes on the unmodified functional core and timing
+models (instructions carry their own size and control-flow targets),
+so SS16, native SS32 and CodePack can be compared on identical
+machines: see ``repro.eval.extensions.dense_isa``.
+"""
+
+from repro.isa16.encoding16 import (
+    assemble_mixed,
+    decode_half,
+    encode_half,
+    verify_mixed_encoding,
+)
+from repro.isa16.rules import CLASS_EXPAND, CLASS_HALF, CLASS_WORD, classify
+from repro.isa16.translator import MixedProgram, translate
+
+
+def simulate_ss16(mixed, arch, **kwargs):
+    """Simulate a :class:`MixedProgram` on *arch*.
+
+    A thin wrapper over :func:`repro.sim.machine.simulate` that supplies
+    the variable-length instruction stream and pc map.
+    """
+    from repro.sim.machine import simulate
+
+    kwargs.setdefault("mode", "ss16")
+    return simulate(mixed.program_shim(), arch, static=mixed.static,
+                    pc_index=mixed.pc_index, **kwargs)
+
+
+__all__ = [
+    "CLASS_EXPAND",
+    "CLASS_HALF",
+    "CLASS_WORD",
+    "MixedProgram",
+    "assemble_mixed",
+    "classify",
+    "decode_half",
+    "encode_half",
+    "simulate_ss16",
+    "translate",
+    "verify_mixed_encoding",
+]

@@ -1,0 +1,452 @@
+"""Binary encodings for SS16's 16-bit instruction forms.
+
+:mod:`repro.isa16.rules` decides *which* SS32 instructions have 16-bit
+forms; this module pins down the bits, so the translated program is a
+real binary object (``assemble_mixed``) and not just a layout model.
+
+Prefix allocation (MSB-first; ``p`` = 5-bit prefix ``h[15:11]``):
+
+====== ============ =====================================================
+prefix form         payload ``h[10:0]``
+====== ============ =====================================================
+0x00   SLL          shamt5, rt3, rd3
+0x01   SRL          shamt5, rt3, rd3
+0x02   SRA          shamt5, rt3, rd3
+0x03   ADD3/SUB3    sub1, rs3, rt3, rd3, 0
+0x04   MOVI         rd3, imm8            (addiu rd, $zero, imm8)
+0x05   ADDI8        rd3, imm8            (addiu rd, rd, imm8)
+0x06   SUBI8        rd3, imm8            (addiu rd, rd, -imm8)
+0x07   SLTI8        rd3, imm8            (slti rd, rd, imm8)
+0x08   ORI8         rd3, imm8
+0x09   ANDI8        rd3, imm8
+0x0A   XORI8        rd3, imm8
+0x0B   LW5          imm5, rs3, rt3       (offset = imm5 * 4)
+0x0C   SW5          imm5, rs3, rt3
+0x0D   LWSP         rt3, imm8            (offset = imm8 * 4, base $sp)
+0x0E   SWSP         rt3, imm8
+0x0F   LB5          imm5, rs3, rt3
+0x10   LBU5         imm5, rs3, rt3
+0x11   SB5          imm5, rs3, rt3
+0x12   LH5          imm5, rs3, rt3       (offset = imm5 * 2)
+0x13   LHU5         imm5, rs3, rt3
+0x14   SH5          imm5, rs3, rt3
+0x15   BEQZ         rs3, off8            (offset in halfwords, signed)
+0x16   BNEZ         rs3, off8
+0x17   BLTZ         rs3, off8
+0x18   BGEZ         rs3, off8
+0x19   BLEZ         rs3, off8
+0x1A   BGTZ         rs3, off8
+0x1B   B            off11                (halfwords, signed)
+0x1C   MISC         sub2 then: 0 SPADJ imm8s (offset = imm8s * 4);
+                    1 LWRA imm8 (lw $ra, imm8*4($sp)); 2 SWRA imm8;
+                    3 ADDI3 rd3, rs3, imm3
+0x1D   ALU2         funct5, a3, b3: and or xor nor slt sltu sllv srlv
+                    srav mult multu div divu mfhi mflo
+0x1E   MOVR         rd5, rs5, 0          (addu rd, rs, $zero)
+0x1F   CTRL         sub2 then: 0 JR rs5; 1 JALR rs5 (link $ra);
+                    2 SYSCALL; 3 NOP
+====== ============ =====================================================
+
+Low registers (3-bit fields) map to SS32 $t0-$t7 (see
+:data:`repro.isa16.rules.LOW_REGS`); MOVR/JR/JALR carry full 5-bit
+register numbers.
+
+Residual 32-bit instructions keep the SS32 encoding, except that
+branch/jump offsets become **halfword-granular** (targets in a mixed
+layout are only 2-byte aligned); ``assemble_mixed`` /
+``verify_mixed_encoding`` handle that rewrite.
+"""
+
+from repro.isa.encoding import decode, encode_i, encode_r, sign_extend_16
+from repro.isa.opcodes import InstrClass, spec_for_word
+from repro.isa16.rules import LOW_REGS, RA, SP, ZERO, classify, CLASS_HALF
+
+_LOW_LIST = sorted(LOW_REGS)
+_LOW_TO_3 = {reg: i for i, reg in enumerate(_LOW_LIST)}
+_3_TO_LOW = {i: reg for i, reg in enumerate(_LOW_LIST)}
+
+# Prefix numbers.
+P_SLL, P_SRL, P_SRA, P_ADD3 = 0x00, 0x01, 0x02, 0x03
+P_MOVI, P_ADDI8, P_SUBI8, P_SLTI8 = 0x04, 0x05, 0x06, 0x07
+P_ORI8, P_ANDI8, P_XORI8 = 0x08, 0x09, 0x0A
+P_LW5, P_SW5, P_LWSP, P_SWSP = 0x0B, 0x0C, 0x0D, 0x0E
+P_LB5, P_LBU5, P_SB5 = 0x0F, 0x10, 0x11
+P_LH5, P_LHU5, P_SH5 = 0x12, 0x13, 0x14
+P_BEQZ, P_BNEZ, P_BLTZ, P_BGEZ, P_BLEZ, P_BGTZ = (
+    0x15, 0x16, 0x17, 0x18, 0x19, 0x1A)
+P_B, P_MISC, P_ALU2, P_MOVR, P_CTRL = 0x1B, 0x1C, 0x1D, 0x1E, 0x1F
+
+_ALU2_FUNCTS = ("and", "or", "xor", "nor", "slt", "sltu",
+                "sllv", "srlv", "srav", "mult", "multu", "div", "divu",
+                "mfhi", "mflo")
+_ALU2_NUM = {name: i for i, name in enumerate(_ALU2_FUNCTS)}
+
+_SHIFT_PREFIX = {"sll": P_SLL, "srl": P_SRL, "sra": P_SRA}
+_BRANCH_PREFIX = {"beqz": P_BEQZ, "bnez": P_BNEZ, "bltz": P_BLTZ,
+                  "bgez": P_BGEZ, "blez": P_BLEZ, "bgtz": P_BGTZ}
+_MEM5_PREFIX = {"lw": P_LW5, "sw": P_SW5, "lb": P_LB5, "lbu": P_LBU5,
+                "sb": P_SB5, "lh": P_LH5, "lhu": P_LHU5, "sh": P_SH5}
+_MEM5_SCALE = {"lw": 4, "sw": 4, "lb": 1, "lbu": 1, "sb": 1,
+               "lh": 2, "lhu": 2, "sh": 2}
+_IMM8_PREFIX = {"ori": P_ORI8, "andi": P_ANDI8, "xori": P_XORI8}
+
+# SS32 funct codes for re-encoding on decode.
+_R_FUNCT = {"and": 0x24, "or": 0x25, "xor": 0x26, "nor": 0x27,
+            "slt": 0x2A, "sltu": 0x2B, "sllv": 0x04, "srlv": 0x06,
+            "srav": 0x07, "mult": 0x18, "multu": 0x19, "div": 0x1A,
+            "divu": 0x1B, "mfhi": 0x10, "mflo": 0x12}
+_MEM5_OP = {"lw": 0x23, "sw": 0x2B, "lb": 0x20, "lbu": 0x24, "sb": 0x28,
+            "lh": 0x21, "lhu": 0x25, "sh": 0x29}
+_BRANCH_DECODE = {
+    P_BEQZ: lambda rs: encode_i(0x04, rs, 0, 0),
+    P_BNEZ: lambda rs: encode_i(0x05, rs, 0, 0),
+    P_BLTZ: lambda rs: encode_i(0x01, rs, 0x00, 0),
+    P_BGEZ: lambda rs: encode_i(0x01, rs, 0x01, 0),
+    P_BLEZ: lambda rs: encode_i(0x06, rs, 0, 0),
+    P_BGTZ: lambda rs: encode_i(0x07, rs, 0, 0),
+}
+
+
+class EncodingError(ValueError):
+    """Raised when a word has no 16-bit form (or a form is malformed)."""
+
+
+def _h(prefix, payload):
+    if not 0 <= payload < (1 << 11):
+        raise EncodingError("payload overflow")
+    return (prefix << 11) | payload
+
+
+def _low3(reg):
+    if reg not in _LOW_TO_3:
+        raise EncodingError("register %d not encodable in 3 bits" % reg)
+    return _LOW_TO_3[reg]
+
+
+def canonical_form(word):
+    """The decode-canonical SS32 word for a HALF-class instruction.
+
+    Commutative two-operand ops with ``rd == rt`` are commuted into the
+    ``rd == rs`` shape; ``j`` becomes the unconditional-branch shape
+    (``beq $zero, $zero``, offset supplied at assembly); everything
+    else is already canonical.
+    """
+    spec = spec_for_word(word)
+    f = decode(word)
+    if spec is None:
+        return word
+    if spec.name in ("and", "or", "xor", "addu", "add") \
+            and f.rd == f.rt and f.rd != f.rs and f.rd != 0:
+        return encode_r(0, f.rd, f.rs, f.rd, 0, decode(word).funct)
+    if spec.name == "j":
+        return encode_i(0x04, 0, 0, 0)
+    if spec.iclass is InstrClass.BRANCH:
+        # Branch offsets are layout-dependent; canonical form is the
+        # zero-offset template, with the live register normalised into
+        # the rs field for beq/bne-against-zero.
+        if spec.name in ("beq", "bne") and f.rs == 0 and f.rt != 0:
+            return encode_i(f.op, f.rt, 0, 0)
+        return word & 0xFFFF0000
+    return word
+
+
+def encode_half(word, branch_offset=None):
+    """Encode a HALF-class SS32 *word* as its 16-bit form.
+
+    *branch_offset* (signed, in halfwords from the next instruction)
+    must be supplied for control-flow words and omitted otherwise.
+    """
+    spec = spec_for_word(word)
+    if spec is None:
+        raise EncodingError("undecodable word %#010x" % word)
+    f = decode(word)
+    name = spec.name
+
+    if name in ("sll", "srl", "sra"):
+        if f.rd == 0 and f.rt == 0 and f.shamt == 0:
+            return _h(P_CTRL, (3 << 9))  # NOP
+        return _h(_SHIFT_PREFIX[name],
+                  (f.shamt << 6) | (_low3(f.rt) << 3) | _low3(f.rd))
+    if name in ("addu", "add", "subu", "sub"):
+        if name in ("addu", "add") and f.rt == ZERO:
+            return _h(P_MOVR, (f.rd << 6) | (f.rs << 1))  # MOVR
+        sub = 1 if name in ("subu", "sub") else 0
+        canon = canonical_form(word)
+        f = decode(canon)
+        return _h(P_ADD3, (sub << 10) | (_low3(f.rs) << 7)
+                  | (_low3(f.rt) << 4) | (_low3(f.rd) << 1))
+    if name in ("and", "or", "xor", "nor", "slt", "sltu"):
+        canon = canonical_form(word)
+        f = decode(canon)
+        if f.rd != f.rs:
+            raise EncodingError("two-operand shape required")
+        return _h(P_ALU2, (_ALU2_NUM[name] << 6)
+                  | (_low3(f.rd) << 3) | _low3(f.rt))
+    if name in ("sllv", "srlv", "srav"):
+        if f.rd != f.rt:
+            raise EncodingError("two-operand shape required")
+        return _h(P_ALU2, (_ALU2_NUM[name] << 6)
+                  | (_low3(f.rd) << 3) | _low3(f.rs))
+    if name in ("mult", "multu", "div", "divu"):
+        return _h(P_ALU2, (_ALU2_NUM[name] << 6)
+                  | (_low3(f.rs) << 3) | _low3(f.rt))
+    if name in ("mfhi", "mflo"):
+        return _h(P_ALU2, (_ALU2_NUM[name] << 6) | (_low3(f.rd) << 3))
+    if name in ("addiu", "addi"):
+        simm = sign_extend_16(f.imm)
+        if f.rt == SP and f.rs == SP:
+            return _h(P_MISC, (0 << 9) | (((simm // 4) & 0xFF) << 1))
+        if f.rs == ZERO and 0 <= simm < 256:
+            return _h(P_MOVI, (_low3(f.rt) << 8) | simm)
+        if f.rt == f.rs and 0 <= simm < 256:
+            return _h(P_ADDI8, (_low3(f.rt) << 8) | simm)
+        if f.rt == f.rs and -256 < simm < 0:
+            return _h(P_SUBI8, (_low3(f.rt) << 8) | (-simm))
+        if 0 <= simm < 8:
+            return _h(P_MISC, (3 << 9) | (_low3(f.rt) << 6)
+                      | (_low3(f.rs) << 3) | simm)
+        raise EncodingError("addiu shape not encodable")
+    if name in ("slti", "sltiu"):
+        return _h(P_SLTI8, (_low3(f.rt) << 8) | f.imm)
+    if name in _IMM8_PREFIX:
+        return _h(_IMM8_PREFIX[name], (_low3(f.rt) << 8) | f.imm)
+    if name in _MEM5_PREFIX:
+        if f.rs == SP and name in ("lw", "sw"):
+            if f.rt == RA:
+                sub = 1 if name == "lw" else 2
+                return _h(P_MISC, (sub << 9) | ((f.imm // 4) << 1))
+            return _h(P_LWSP if name == "lw" else P_SWSP,
+                      (_low3(f.rt) << 8) | (f.imm // 4))
+        scale = _MEM5_SCALE[name]
+        return _h(_MEM5_PREFIX[name],
+                  ((f.imm // scale) << 6) | (_low3(f.rs) << 3)
+                  | _low3(f.rt))
+    if name in ("beq", "bne"):
+        if branch_offset is None:
+            raise EncodingError("branch needs an offset")
+        if f.rs == ZERO and f.rt == ZERO:
+            if not -1024 <= branch_offset < 1024:
+                raise EncodingError("B offset out of range")
+            return _h(P_B, branch_offset & 0x7FF)
+        reg = f.rs if f.rt == ZERO else f.rt
+        if not -128 <= branch_offset < 128:
+            raise EncodingError("branch offset out of range")
+        prefix = P_BEQZ if name == "beq" else P_BNEZ
+        return _h(prefix, (_low3(reg) << 8) | (branch_offset & 0xFF))
+    if name in ("bltz", "bgez", "blez", "bgtz"):
+        if branch_offset is None:
+            raise EncodingError("branch needs an offset")
+        if not -128 <= branch_offset < 128:
+            raise EncodingError("branch offset out of range")
+        prefix = _BRANCH_PREFIX["b" + name[1:]]
+        return _h(prefix, (_low3(f.rs) << 8) | (branch_offset & 0xFF))
+    if name == "j":
+        if branch_offset is None:
+            raise EncodingError("branch needs an offset")
+        if not -1024 <= branch_offset < 1024:
+            raise EncodingError("B offset out of range")
+        return _h(P_B, branch_offset & 0x7FF)
+    if name == "jr":
+        return _h(P_CTRL, (0 << 9) | (f.rs << 4))
+    if name == "jalr":
+        return _h(P_CTRL, (1 << 9) | (f.rs << 4))
+    if name == "syscall":
+        return _h(P_CTRL, (2 << 9))
+    raise EncodingError("no 16-bit form for %s" % name)
+
+
+class DecodedHalf:
+    """Result of :func:`decode_half`: the canonical SS32 word plus the
+    control-flow offset (halfwords) when the form carries one."""
+
+    __slots__ = ("word", "branch_offset")
+
+    def __init__(self, word, branch_offset=None):
+        self.word = word
+        self.branch_offset = branch_offset
+
+
+def decode_half(h):
+    """Decode a 16-bit SS16 value back to its canonical SS32 word."""
+    if not 0 <= h < (1 << 16):
+        raise EncodingError("not a halfword: %#x" % h)
+    prefix = h >> 11
+    payload = h & 0x7FF
+
+    if prefix in (P_SLL, P_SRL, P_SRA):
+        funct = {P_SLL: 0x00, P_SRL: 0x02, P_SRA: 0x03}[prefix]
+        shamt = payload >> 6
+        rt = _3_TO_LOW[(payload >> 3) & 7]
+        rd = _3_TO_LOW[payload & 7]
+        return DecodedHalf(encode_r(0, 0, rt, rd, shamt, funct))
+    if prefix == P_ADD3:
+        funct = 0x23 if payload >> 10 else 0x21
+        rs = _3_TO_LOW[(payload >> 7) & 7]
+        rt = _3_TO_LOW[(payload >> 4) & 7]
+        rd = _3_TO_LOW[(payload >> 1) & 7]
+        return DecodedHalf(encode_r(0, rs, rt, rd, 0, funct))
+    if prefix == P_MOVI:
+        return DecodedHalf(encode_i(0x09, 0, _3_TO_LOW[payload >> 8],
+                                    payload & 0xFF))
+    if prefix == P_ADDI8:
+        rd = _3_TO_LOW[payload >> 8]
+        return DecodedHalf(encode_i(0x09, rd, rd, payload & 0xFF))
+    if prefix == P_SUBI8:
+        rd = _3_TO_LOW[payload >> 8]
+        return DecodedHalf(encode_i(0x09, rd, rd, -(payload & 0xFF)))
+    if prefix == P_SLTI8:
+        rd = _3_TO_LOW[payload >> 8]
+        return DecodedHalf(encode_i(0x0A, rd, rd, payload & 0xFF))
+    if prefix in (P_ORI8, P_ANDI8, P_XORI8):
+        op = {P_ORI8: 0x0D, P_ANDI8: 0x0C, P_XORI8: 0x0E}[prefix]
+        rd = _3_TO_LOW[payload >> 8]
+        return DecodedHalf(encode_i(op, rd, rd, payload & 0xFF))
+    for name, mem_prefix in _MEM5_PREFIX.items():
+        if prefix == mem_prefix:
+            scale = _MEM5_SCALE[name]
+            imm = (payload >> 6) * scale
+            rs = _3_TO_LOW[(payload >> 3) & 7]
+            rt = _3_TO_LOW[payload & 7]
+            return DecodedHalf(encode_i(_MEM5_OP[name], rs, rt, imm))
+    if prefix in (P_LWSP, P_SWSP):
+        op = 0x23 if prefix == P_LWSP else 0x2B
+        rt = _3_TO_LOW[payload >> 8]
+        return DecodedHalf(encode_i(op, SP, rt, (payload & 0xFF) * 4))
+    if prefix in _BRANCH_DECODE:
+        rs = _3_TO_LOW[payload >> 8]
+        offset = payload & 0xFF
+        if offset >= 128:
+            offset -= 256
+        return DecodedHalf(_BRANCH_DECODE[prefix](rs), offset)
+    if prefix == P_B:
+        offset = payload
+        if offset >= 1024:
+            offset -= 2048
+        return DecodedHalf(encode_i(0x04, 0, 0, 0), offset)
+    if prefix == P_MISC:
+        sub = payload >> 9
+        if sub == 0:
+            imm = (payload >> 1) & 0xFF
+            if imm >= 128:
+                imm -= 256
+            return DecodedHalf(encode_i(0x09, SP, SP, imm * 4))
+        if sub == 1:
+            return DecodedHalf(encode_i(0x23, SP, RA,
+                                        ((payload >> 1) & 0xFF) * 4))
+        if sub == 2:
+            return DecodedHalf(encode_i(0x2B, SP, RA,
+                                        ((payload >> 1) & 0xFF) * 4))
+        rd = _3_TO_LOW[(payload >> 6) & 7]
+        rs = _3_TO_LOW[(payload >> 3) & 7]
+        return DecodedHalf(encode_i(0x09, rs, rd, payload & 7))
+    if prefix == P_ALU2:
+        name = _ALU2_FUNCTS[payload >> 6]
+        a = (payload >> 3) & 7
+        b = payload & 7
+        funct = _R_FUNCT[name]
+        if name in ("and", "or", "xor", "nor", "slt", "sltu"):
+            rd = _3_TO_LOW[a]
+            return DecodedHalf(encode_r(0, rd, _3_TO_LOW[b], rd, 0, funct))
+        if name in ("sllv", "srlv", "srav"):
+            rd = _3_TO_LOW[a]
+            return DecodedHalf(encode_r(0, _3_TO_LOW[b], rd, rd, 0, funct))
+        if name in ("mult", "multu", "div", "divu"):
+            return DecodedHalf(encode_r(0, _3_TO_LOW[a], _3_TO_LOW[b],
+                                        0, 0, funct))
+        return DecodedHalf(encode_r(0, 0, 0, _3_TO_LOW[a], 0, funct))
+    if prefix == P_MOVR:
+        rd = (payload >> 6) & 0x1F
+        rs = (payload >> 1) & 0x1F
+        return DecodedHalf(encode_r(0, rs, 0, rd, 0, 0x21))
+    if prefix == P_CTRL:
+        sub = payload >> 9
+        if sub == 0:
+            return DecodedHalf(encode_r(0, (payload >> 4) & 0x1F,
+                                        0, 0, 0, 0x08))
+        if sub == 1:
+            return DecodedHalf(encode_r(0, (payload >> 4) & 0x1F,
+                                        0, RA, 0, 0x09))
+        if sub == 2:
+            return DecodedHalf(encode_r(0, 0, 0, 0, 0, 0x0C))
+        return DecodedHalf(0)  # NOP (sll $zero, $zero, 0)
+    raise EncodingError("unknown prefix %#x" % prefix)
+
+
+def assemble_mixed(mixed):
+    """Emit the translated program's actual bytes (big-endian).
+
+    16-bit instructions use the SS16 forms above; residual 32-bit
+    instructions keep SS32 encodings with branch/jump offsets rewritten
+    to halfword granularity against the new layout.
+    """
+    out = bytearray()
+    for st in mixed.static:
+        if st.size == 2:
+            offset = None
+            spec = spec_for_word(st.word)
+            if spec is not None and spec.iclass.name in ("BRANCH", "JUMP"):
+                offset = (st.taken_target - (st.addr + 2)) // 2
+            h = encode_half(st.word, branch_offset=offset)
+            out += h.to_bytes(2, "big")
+        else:
+            word = st.word
+            spec = spec_for_word(word)
+            if spec is not None and spec.iclass is InstrClass.BRANCH:
+                offset = (st.taken_target - (st.addr + 4)) // 2
+                word = (word & 0xFFFF0000) | (offset & 0xFFFF)
+            elif spec is not None and spec.iclass in (InstrClass.JUMP,
+                                                      InstrClass.CALL):
+                word = (word & 0xFC000000) \
+                    | ((st.taken_target // 2) & 0x3FFFFFF)
+            out += word.to_bytes(4, "big")
+    return bytes(out)
+
+
+def verify_mixed_encoding(mixed):
+    """Decode ``assemble_mixed``'s bytes and check them against the
+    translated instruction stream.  Returns the instruction count.
+
+    For each 16-bit instruction the decoded canonical word must match
+    ``canonical_form`` of the translator's word, and reconstructed
+    control-flow targets must equal ``taken_target``.
+    """
+    data = assemble_mixed(mixed)
+    checked = 0
+    for st in mixed.static:
+        pos = st.addr - mixed.text_base
+        if st.size == 2:
+            h = int.from_bytes(data[pos:pos + 2], "big")
+            decoded = decode_half(h)
+            expected = canonical_form(st.word)
+            if decoded.branch_offset is not None:
+                target = st.addr + 2 + 2 * decoded.branch_offset
+                if target != st.taken_target:
+                    raise EncodingError(
+                        "branch target mismatch at %#x: %#x != %#x"
+                        % (st.addr, target, st.taken_target))
+                if decoded.word != expected:
+                    raise EncodingError(
+                        "branch template mismatch at %#x" % st.addr)
+            elif decoded.word != expected:
+                raise EncodingError(
+                    "decode mismatch at %#x: %#010x != %#010x"
+                    % (st.addr, decoded.word, expected))
+        else:
+            word = int.from_bytes(data[pos:pos + 4], "big")
+            spec = spec_for_word(st.word)
+            if spec is not None and spec.iclass is InstrClass.BRANCH:
+                offset = sign_extend_16(word & 0xFFFF)
+                target = st.addr + 4 + 2 * offset
+                if target != st.taken_target:
+                    raise EncodingError(
+                        "32-bit branch target mismatch at %#x" % st.addr)
+            elif spec is not None and spec.iclass in (InstrClass.JUMP,
+                                                      InstrClass.CALL):
+                if (word & 0x3FFFFFF) * 2 != st.taken_target:
+                    raise EncodingError(
+                        "32-bit jump target mismatch at %#x" % st.addr)
+            elif word != st.word:
+                raise EncodingError("32-bit word mismatch at %#x"
+                                    % st.addr)
+        checked += 1
+    return checked

@@ -1,0 +1,192 @@
+"""Convertibility rules: which SS32 instructions get 16-bit forms.
+
+The constraints mirror Thumb/MIPS16 reality:
+
+* only eight **low registers** are directly encodable in 3-bit fields
+  (we map SS32's $t0-$t7, the hottest registers in compiler-shaped
+  code), with $sp and $ra reachable by dedicated forms;
+* ALU operations are mostly **two-operand** (``rd == rs``), with
+  three-operand forms only for add/sub;
+* immediates shrink to 3-8 bits, load/store offsets to scaled 5-bit
+  fields (SP-relative gets 8 bits);
+* conditional branches compare one register against zero and reach
+  ~±256 bytes; unconditional branches ~±2KB (checked at layout time);
+* multiply/divide, ``lui``, ``jal`` and two-register compare-branches
+  stay 32-bit.
+
+``classify`` returns one of:
+
+* :data:`CLASS_HALF` -- a single 16-bit form exists;
+* :data:`CLASS_EXPAND` -- expressible as two 16-bit instructions
+  (``move rd, rs`` + two-operand op), the classic Thumb expansion that
+  inflates dynamic instruction count;
+* :data:`CLASS_WORD` -- stays 32-bit.
+
+Conditional control flow returns a *candidate* classification; the
+translator demotes candidates whose targets end up out of reach.
+"""
+
+from repro.isa.encoding import decode, sign_extend_16
+from repro.isa.opcodes import spec_for_word
+
+CLASS_HALF = "half"
+CLASS_EXPAND = "expand"
+CLASS_WORD = "word"
+
+#: SS32 registers encodable in SS16's 3-bit fields.  A Thumb/MIPS16
+#: compiler allocates hot values to the eight low registers; we map
+#: them onto $t0-$t7, the registers SS32 code (like MIPS compiler
+#: output) channels most traffic through.
+LOW_REGS = frozenset(range(8, 16))
+SP = 29
+RA = 31
+ZERO = 0
+
+#: Reach of a 16-bit conditional branch (bytes, either direction).
+BRANCH_REACH = 250
+#: Reach of a 16-bit unconditional branch.
+JUMP_REACH = 2000
+
+_COMMUTATIVE = frozenset({"addu", "add", "and", "or", "xor"})
+_TWO_OP_ALU = frozenset({"and", "or", "xor", "nor", "slt", "sltu"})
+_THREE_OP_ALU = frozenset({"addu", "add", "subu", "sub"})
+_SHIFTS = frozenset({"sll", "srl", "sra"})
+_VAR_SHIFTS = frozenset({"sllv", "srlv", "srav"})
+_MULTDIV = frozenset({"mult", "multu", "div", "divu"})
+
+
+def _low(*regs):
+    return all(reg in LOW_REGS for reg in regs)
+
+
+def _classify_rtype(spec, f):
+    name = spec.name
+    if name in _THREE_OP_ALU:
+        # Register moves (addu rd, rs, $zero) have a dedicated MOV
+        # form that even reaches high registers in Thumb.
+        if name in ("addu", "add") and f.rt == ZERO:
+            return CLASS_HALF if (f.rd in LOW_REGS or f.rs in LOW_REGS
+                                  or f.rs == ZERO) else CLASS_WORD
+        # Thumb has true three-operand ADD/SUB for low registers.
+        return CLASS_HALF if _low(f.rd, f.rs, f.rt) else CLASS_WORD
+    if name in _TWO_OP_ALU:
+        if f.rd == f.rs and _low(f.rd, f.rt):
+            return CLASS_HALF
+        if f.rd == f.rt and name in _COMMUTATIVE and _low(f.rd, f.rs):
+            return CLASS_HALF  # commutes into the two-operand shape
+        if f.rd != f.rt and _low(f.rd, f.rs, f.rt):
+            return CLASS_EXPAND  # move rd, rs ; op rd, rd, rt
+        return CLASS_WORD
+    if name in _SHIFTS:
+        # Immediate shifts have full imm5 fields in Thumb.
+        if f.rd == 0 and f.rt == 0 and f.shamt == 0:
+            return CLASS_HALF  # nop
+        return CLASS_HALF if _low(f.rd, f.rt) else CLASS_WORD
+    if name in _VAR_SHIFTS:
+        # Thumb register shifts are two-operand.
+        if f.rd == f.rt and _low(f.rd, f.rs):
+            return CLASS_HALF
+        return CLASS_WORD
+    if name in _MULTDIV:
+        return CLASS_HALF if _low(f.rs, f.rt) else CLASS_WORD
+    if name in ("mfhi", "mflo"):
+        return CLASS_HALF if f.rd in LOW_REGS else CLASS_WORD
+    if name == "jr":
+        return CLASS_HALF  # BX works with any register
+    if name == "jalr":
+        return CLASS_HALF if f.rd == RA else CLASS_WORD
+    if name == "syscall":
+        return CLASS_HALF
+    return CLASS_WORD
+
+
+def _classify_itype(spec, f):
+    name = spec.name
+    simm = sign_extend_16(f.imm & 0xFFFF)
+    if name in ("addiu", "addi"):
+        if f.rs == ZERO and f.rt in LOW_REGS and 0 <= simm < 256:
+            return CLASS_HALF  # MOV rd, #imm8
+        if f.rt == f.rs and f.rt in LOW_REGS and -256 < simm < 256:
+            return CLASS_HALF  # ADD/SUB rd, #imm8
+        if f.rt == SP and f.rs == SP and simm % 4 == 0 \
+                and -512 <= simm <= 508:
+            return CLASS_HALF  # ADD SP, #imm7<<2 (frame push/pop)
+        if _low(f.rt, f.rs) and 0 <= simm < 8:
+            return CLASS_HALF  # ADD rd, rs, #imm3
+        return CLASS_WORD
+    if name in ("ori", "andi", "xori"):
+        if f.rt == f.rs and f.rt in LOW_REGS and f.imm < 256:
+            return CLASS_HALF
+        return CLASS_WORD
+    if name in ("slti", "sltiu"):
+        if f.rt == f.rs and f.rt in LOW_REGS and 0 <= simm < 256:
+            return CLASS_HALF  # CMP-style
+        return CLASS_WORD
+    if name == "lw" or name == "sw":
+        if f.imm % 4:
+            return CLASS_WORD
+        if _low(f.rt, f.rs) and 0 <= f.imm < 128:
+            return CLASS_HALF  # imm5 scaled by 4
+        if f.rt in LOW_REGS and f.rs == SP and 0 <= f.imm < 1024:
+            return CLASS_HALF  # SP-relative imm8 scaled by 4
+        if f.rt == RA and f.rs == SP and 0 <= f.imm < 1024 \
+                and f.imm % 4 == 0:
+            return CLASS_HALF  # PUSH/POP {lr}
+        return CLASS_WORD
+    if name in ("lb", "lbu", "sb"):
+        if _low(f.rt, f.rs) and 0 <= f.imm < 32:
+            return CLASS_HALF
+        return CLASS_WORD
+    if name in ("lh", "lhu", "sh"):
+        if _low(f.rt, f.rs) and 0 <= f.imm < 64 and f.imm % 2 == 0:
+            return CLASS_HALF
+        return CLASS_WORD
+    if name in ("beq", "bne"):
+        # Only compare-against-zero has a 16-bit form (CBZ/CBNZ-like);
+        # reach is validated by the translator.
+        if f.rt == ZERO and f.rs in LOW_REGS:
+            return CLASS_HALF
+        if f.rs == ZERO and f.rt in LOW_REGS:
+            return CLASS_HALF
+        if f.rs == ZERO and f.rt == ZERO:
+            return CLASS_HALF  # unconditional branch
+        return CLASS_WORD
+    if name in ("blez", "bgtz", "bltz", "bgez"):
+        return CLASS_HALF if f.rs in LOW_REGS else CLASS_WORD
+    return CLASS_WORD
+
+
+def classify(word):
+    """Classify one SS32 instruction word (see module docstring)."""
+    spec = spec_for_word(word)
+    if spec is None:
+        return CLASS_WORD
+    fields = decode(word)
+    if spec.fmt == "J":
+        # j may become a short 16-bit branch (range checked at layout);
+        # jal always needs the 32-bit form for its 26-bit target.
+        return CLASS_HALF if spec.name == "j" else CLASS_WORD
+    if spec.fmt == "R" or spec.op == 0:
+        return _classify_rtype(spec, fields)
+    return _classify_itype(spec, fields)
+
+
+def is_reach_limited(word):
+    """Whether a HALF classification still needs a layout reach check."""
+    spec = spec_for_word(word)
+    return spec is not None and spec.name in (
+        "beq", "bne", "blez", "bgtz", "bltz", "bgez", "j")
+
+
+def expansion_words(word):
+    """The two SS32-equivalent words for a CLASS_EXPAND instruction.
+
+    ``op rd, rs, rt`` (rd distinct from both) becomes
+    ``addu rd, rs, $zero`` followed by ``op rd, rd, rt``.
+    """
+    from repro.isa.encoding import encode_r
+
+    fields = decode(word)
+    move = encode_r(0, fields.rs, 0, fields.rd, 0, 0x21)  # addu rd,rs,$0
+    op = (word & ~(0x1F << 21)) | (fields.rd << 21)  # rs := rd
+    return move, op

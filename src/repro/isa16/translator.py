@@ -1,0 +1,229 @@
+"""The SS32 -> SS16 layout translator.
+
+Produces a :class:`MixedProgram`: the same computation re-laid-out with
+2-byte and 4-byte instructions.  Because
+:class:`~repro.sim.cpu.StaticInstr` carries explicit ``size``,
+``fall_through`` and ``taken_target`` fields, the unmodified functional
+core and timing models execute the result directly (with a pc -> index
+map instead of the fixed-width divide).
+
+The layout pass runs to a fixed point: every reach-limited branch
+starts optimistically 16-bit and is demoted to 32-bit if its target
+lands out of range; demotions only grow the image, so the iteration
+terminates.  A 16-bit alignment nop is inserted wherever a 32-bit
+instruction would otherwise straddle an I-cache line (2-byte alignment
+is allowed everywhere else, as in Thumb-2).
+
+Indirect control flow works because (a) return addresses are produced
+by the translated ``jal``/``jalr`` themselves and (b) function-pointer
+tables recorded in ``Program.data_relocs`` are rewritten to the new
+addresses.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import decode, sign_extend_16
+from repro.isa.opcodes import InstrClass, spec_for_word
+from repro.isa16.rules import (
+    BRANCH_REACH,
+    CLASS_EXPAND,
+    CLASS_HALF,
+    JUMP_REACH,
+    classify,
+    expansion_words,
+    is_reach_limited,
+)
+from repro.sim.cpu import StaticInstr
+
+#: The 16-bit alignment nop (sll $zero, $zero, 0 in its short form).
+_NOP_WORD = 0
+
+
+@dataclass
+class TranslationStats:
+    """Static census of the translation."""
+
+    n_source: int = 0
+    n_half: int = 0  # one 16-bit instruction
+    n_expanded: int = 0  # source instructions that became two halves
+    n_word: int = 0  # kept 32-bit
+    n_align_nops: int = 0
+    demoted_branches: int = 0  # reach-limited candidates pushed to 32-bit
+
+    @property
+    def n_emitted(self):
+        return (self.n_half + 2 * self.n_expanded + self.n_word
+                + self.n_align_nops)
+
+
+@dataclass
+class MixedProgram:
+    """A translated program: variable-length layout over SS32 semantics."""
+
+    original: object  # the source Program
+    static: list  # StaticInstr records, in layout order
+    pc_index: dict  # byte address -> static index
+    text_base: int
+    text_size: int  # bytes
+    entry: int
+    data: dict  # relocated data segment
+    stats: TranslationStats
+    addr_map: dict = field(default_factory=dict)  # orig addr -> new addr
+
+    @property
+    def name(self):
+        return self.original.name + "-ss16"
+
+    @property
+    def size_ratio(self):
+        """Dense-code size over original size (smaller is better)."""
+        return self.text_size / float(self.original.text_size)
+
+    def program_shim(self):
+        """A Program-shaped view for the simulator (data/entry/name).
+
+        The instruction stream itself comes from ``static`` +
+        ``pc_index``; the shim only supplies the architectural
+        environment.
+        """
+        from repro.isa.program import Program
+
+        return Program(text=list(self.original.text),
+                       text_base=self.text_base, data=dict(self.data),
+                       symbols=dict(self.original.symbols),
+                       entry=self.entry, name=self.name)
+
+
+def _plan(program):
+    """Per-source-instruction plan: (classification, emitted words)."""
+    plan = []
+    for word in program.text:
+        kind = classify(word)
+        if kind == CLASS_EXPAND:
+            plan.append((kind, expansion_words(word)))
+        else:
+            plan.append((kind, (word,)))
+    return plan
+
+
+def _place(program, plan, demoted, line_bytes):
+    """Lay the plan out in memory.
+
+    Returns ``(placed, addr_of_source, end_addr, align_nops)`` where
+    *placed* is, per source instruction, a list of
+    ``(addr, word, size, is_pad)`` units (alignment nops included).
+    """
+    addr = program.text_base
+    placed = []
+    addr_of_source = {}
+    align_nops = 0
+    for index, (kind, words) in enumerate(plan):
+        if kind == CLASS_HALF and index not in demoted:
+            sizes = (2,) * len(words)
+        elif kind == CLASS_EXPAND:
+            sizes = (2, 2)
+        else:
+            sizes = (4,)
+        units = []
+        for word, size in zip(words, sizes):
+            if size == 4 and (addr % line_bytes) > line_bytes - 4:
+                units.append((addr, _NOP_WORD, 2, True))
+                align_nops += 1
+                addr += 2
+            if program.text_base + 4 * index not in addr_of_source:
+                addr_of_source[program.text_base + 4 * index] = addr
+            units.append((addr, word, size, False))
+            addr += size
+        placed.append(units)
+    return placed, addr_of_source, addr, align_nops
+
+
+def translate(program, line_bytes=32):
+    """Translate *program* to the mixed 16/32-bit layout."""
+    plan = _plan(program)
+    demoted = set()
+
+    # Fixed point: lay out, then demote any 16-bit control-flow whose
+    # target is out of reach; demotions only grow the image, so this
+    # terminates.
+    while True:
+        placed, addr_of_source, end_addr, align_nops = _place(
+            program, plan, demoted, line_bytes)
+        newly_demoted = False
+        for index, (kind, words) in enumerate(plan):
+            if kind != CLASS_HALF or index in demoted \
+                    or not is_reach_limited(words[0]):
+                continue
+            word = words[0]
+            spec = spec_for_word(word)
+            fields = decode(word)
+            source_addr = program.text_base + 4 * index
+            if spec.fmt == "J":
+                target = fields.target * 4
+                reach = JUMP_REACH
+            else:
+                target = source_addr + 4 + sign_extend_16(fields.imm) * 4
+                reach = BRANCH_REACH
+            new_target = addr_of_source.get(target)
+            new_from = addr_of_source[source_addr] + 2
+            if new_target is None or abs(new_target - new_from) > reach:
+                demoted.add(index)
+                newly_demoted = True
+        if not newly_demoted:
+            break
+
+    # Emit StaticInstr records from the final placement.
+    static = []
+    pc_index = {}
+    stats = TranslationStats(n_source=len(plan),
+                             n_align_nops=align_nops,
+                             demoted_branches=len(demoted))
+    for index, units in enumerate(placed):
+        kind = plan[index][0]
+        if kind == CLASS_HALF and index not in demoted:
+            stats.n_half += 1
+        elif kind == CLASS_EXPAND:
+            stats.n_expanded += 1
+        else:
+            stats.n_word += 1
+        source_addr = program.text_base + 4 * index
+        for addr, word, size, is_pad in units:
+            taken = None
+            if not is_pad:
+                spec = spec_for_word(word)
+                if spec.iclass is InstrClass.BRANCH:
+                    orig_target = source_addr + 4 \
+                        + sign_extend_16(decode(word).imm) * 4
+                    taken = addr_of_source[orig_target]
+                elif spec.iclass in (InstrClass.JUMP, InstrClass.CALL):
+                    taken = addr_of_source[decode(word).target * 4]
+            pc_index[addr] = len(static)
+            static.append(StaticInstr(addr, word, size=size,
+                                      taken_target=taken))
+
+    # Relocate function-pointer tables and the entry point.
+    data = dict(program.data)
+    for reloc_addr in program.data_relocs:
+        value = 0
+        for offset in range(4):
+            value = (value << 8) | data[reloc_addr + offset]
+        new_value = addr_of_source.get(value)
+        if new_value is None:
+            raise ValueError(
+                "data relocation at %#x targets %#x, which is not an "
+                "instruction boundary" % (reloc_addr, value))
+        for offset in range(4):
+            data[reloc_addr + offset] = \
+                (new_value >> (24 - 8 * offset)) & 0xFF
+
+    return MixedProgram(
+        original=program,
+        static=static,
+        pc_index=pc_index,
+        text_base=program.text_base,
+        text_size=end_addr - program.text_base,
+        entry=addr_of_source[program.entry],
+        data=data,
+        stats=stats,
+        addr_map=addr_of_source,
+    )

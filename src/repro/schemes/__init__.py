@@ -1,0 +1,49 @@
+"""Comparative code-compression schemes.
+
+The paper positions CodePack against the earlier hardware-managed
+approaches it evolved from (Section 2):
+
+* **CCRP** (Wolfe & Chanin 1992; Kozuch & Wolfe 1994) -- cache lines are
+  Huffman-coded byte-wise at compile time and decompressed on I-cache
+  refill, with a Line Address Table (LAT) translating miss addresses.
+  Reported ~73% compression ratio on MIPS.  :mod:`repro.schemes.ccrp`.
+* **Full-instruction dictionary compression** (Lefurgy et al. 1997) --
+  complete 32-bit instructions become 8/16-bit codewords indexing a
+  large dictionary, with an escape prefix for uncompressed
+  instructions.  :mod:`repro.schemes.dictword`.
+
+Both are implemented end to end -- codec, size accounting, and a timing
+model that plugs into the same
+:class:`~repro.sim.fetch.FetchUnit` miss-path interface as the CodePack
+engine -- so the three schemes can be compared on identical machines
+(see ``repro.eval.extensions``).
+
+:mod:`repro.schemes.huffman` provides the canonical-Huffman substrate
+CCRP builds on.
+"""
+
+from repro.schemes.ccrp import CcrpEngine, CcrpImage, compress_ccrp
+from repro.schemes.dictword import (
+    DictWordEngine,
+    DictWordImage,
+    compress_dictword,
+)
+from repro.schemes.huffman import (
+    CanonicalHuffman,
+    HuffmanError,
+    build_canonical_code,
+)
+from repro.schemes.software import SoftwareDecompEngine
+
+__all__ = [
+    "CanonicalHuffman",
+    "CcrpEngine",
+    "CcrpImage",
+    "DictWordEngine",
+    "DictWordImage",
+    "HuffmanError",
+    "SoftwareDecompEngine",
+    "build_canonical_code",
+    "compress_ccrp",
+    "compress_dictword",
+]

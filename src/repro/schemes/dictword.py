@@ -1,0 +1,250 @@
+"""Full-instruction dictionary compression (Lefurgy et al., MICRO-30
+1997; paper Section 2.3).
+
+Complete 32-bit instructions are replaced by short tagged codewords
+indexing a single large dictionary; instructions outside the dictionary
+are escaped in full.  The paper notes the scheme "achieves compression
+ratios similar to CodePack, but requires a dictionary with several
+thousand entries which could increase access time", and that — like
+CodePack — the tag-prefixed variable-length codewords permit parallel
+extraction.
+
+Codeword classes (tag + index, prefix-free):
+
+===========  =============  =========
+tag          index bits     total
+===========  =============  =========
+``0``        7 (128)        8 bits
+``10``       10 (1024)      12 bits
+``110``      12 (4096)      15 bits
+``111``      32 raw bits    35 bits
+===========  =============  =========
+
+Framing reuses CodePack's 16-instruction blocks and 2-block index
+groups so the two schemes are compared on identical miss machinery; the
+timing model *is* :class:`~repro.sim.codepack_engine.CodePackEngine`,
+pointed at a :class:`DictWordImage`.
+"""
+
+from dataclasses import dataclass
+
+from repro.codepack.bitstream import BitReader, BitWriter
+from repro.codepack.compressor import BLOCK_INSTRUCTIONS, GROUP_BLOCKS, BlockInfo
+from repro.codepack.index_table import IndexEntry
+from repro.codepack.stats import CompositionStats
+from repro.isa.encoding import INSTRUCTION_BYTES
+from repro.sim.codepack_engine import CodePackEngine
+
+#: (tag value, tag bits, index bits), shortest first.
+CODEWORD_CLASSES = ((0b0, 1, 7), (0b10, 2, 10), (0b110, 3, 12))
+RAW_TAG, RAW_TAG_BITS = 0b111, 3
+RAW_BITS = 32
+
+#: Total dictionary capacity ("several thousand entries").
+DICTIONARY_CAPACITY = sum(1 << bits for _, _, bits in CODEWORD_CLASSES)
+#: Bits per stored dictionary entry (a full instruction).
+DICT_ENTRY_BITS = 32
+
+
+def _class_of_slot(slot):
+    base = 0
+    for tag, tag_bits, index_bits in CODEWORD_CLASSES:
+        capacity = 1 << index_bits
+        if slot < base + capacity:
+            return tag, tag_bits, index_bits, slot - base
+        base += capacity
+    raise IndexError(slot)
+
+
+def _slot_cost_bits(slot):
+    tag, tag_bits, index_bits, _ = _class_of_slot(slot)
+    return tag_bits + index_bits
+
+
+@dataclass
+class DictWordImage:
+    """A dictionary-compressed image, interface-compatible with
+    :class:`~repro.codepack.compressor.CodePackImage` for the engine."""
+
+    name: str
+    text_base: int
+    n_instructions: int
+    dictionary: list  # slot -> 32-bit instruction word
+    index_entries: list
+    code_bytes: bytes
+    blocks: list
+    stats: CompositionStats
+    original_bytes: int
+    block_instructions: int = BLOCK_INSTRUCTIONS
+    group_blocks: int = GROUP_BLOCKS
+
+    def __post_init__(self):
+        self._slot_of = {word: i for i, word in enumerate(self.dictionary)}
+
+    @property
+    def compressed_bytes(self):
+        return self.stats.total_bytes
+
+    @property
+    def compression_ratio(self):
+        return self.compressed_bytes / float(self.original_bytes)
+
+    @property
+    def n_blocks(self):
+        return len(self.blocks)
+
+    def slot(self, word):
+        return self._slot_of.get(word)
+
+    def block_of_address(self, addr):
+        index = (addr - self.text_base) \
+            // (self.block_instructions * INSTRUCTION_BYTES)
+        if not 0 <= index < len(self.blocks):
+            raise IndexError("address %#x outside compressed text" % addr)
+        return index
+
+    def block_base_address(self, block_index):
+        return self.text_base \
+            + block_index * self.block_instructions * INSTRUCTION_BYTES
+
+
+def _build_dictionary(words):
+    """Frequency-ranked full-instruction dictionary with profitable
+    admission (slot cost vs the 35-bit raw escape, counting storage)."""
+    from collections import Counter
+
+    ranked = sorted(Counter(words).items(),
+                    key=lambda pair: (-pair[1], pair[0]))
+    entries = []
+    for word, count in ranked:
+        slot = len(entries)
+        if slot >= DICTIONARY_CAPACITY:
+            break
+        encoded = _slot_cost_bits(slot)
+        saving = count * (RAW_TAG_BITS + RAW_BITS - encoded)
+        if saving <= DICT_ENTRY_BITS:
+            break
+        entries.append(word)
+    return entries
+
+
+def compress_dictword(program, block_instructions=BLOCK_INSTRUCTIONS,
+                      group_blocks=GROUP_BLOCKS):
+    """Compress a program with the full-word dictionary scheme."""
+    words = program.text
+    dictionary = _build_dictionary(words)
+    slot_of = {word: i for i, word in enumerate(dictionary)}
+
+    blocks = []
+    chunks = []
+    stats = CompositionStats()
+    offset = 0
+    for start in range(0, len(words), block_instructions):
+        chunk = words[start:start + block_instructions]
+        writer = BitWriter()
+        ends = []
+        block_stats = CompositionStats()
+        for word in chunk:
+            slot = slot_of.get(word)
+            if slot is None:
+                writer.write(RAW_TAG, RAW_TAG_BITS)
+                writer.write(word, RAW_BITS)
+                block_stats.raw_tag_bits += RAW_TAG_BITS
+                block_stats.raw_bits += RAW_BITS
+            else:
+                tag, tag_bits, index_bits, index = _class_of_slot(slot)
+                writer.write(tag, tag_bits)
+                writer.write(index, index_bits)
+                block_stats.compressed_tag_bits += tag_bits
+                block_stats.dictionary_index_bits += index_bits
+            ends.append(writer.bit_length)
+        pad = writer.pad_to_byte()
+        block_stats.pad_bits += pad
+        if writer.bit_length > len(chunk) * 32:
+            raw = BitWriter()
+            for word in chunk:
+                raw.write(word, 32)
+            payload = raw.to_bytes()
+            blocks.append(BlockInfo(len(blocks), offset, len(payload), True,
+                                    len(chunk),
+                                    tuple(32 * (i + 1)
+                                          for i in range(len(chunk)))))
+            stats = stats.merged(CompositionStats(raw_bits=len(chunk) * 32))
+        else:
+            payload = writer.to_bytes()
+            blocks.append(BlockInfo(len(blocks), offset, len(payload), False,
+                                    len(chunk), tuple(ends)))
+            stats = stats.merged(block_stats)
+        chunks.append(payload)
+        offset += len(payload)
+
+    index_entries = []
+    for group_start in range(0, len(blocks), group_blocks):
+        first = blocks[group_start]
+        if group_blocks > 1 and group_start + 1 < len(blocks):
+            second = blocks[group_start + 1]
+            entry = IndexEntry(first.byte_offset,
+                               second.byte_offset - first.byte_offset,
+                               first.is_raw, second.is_raw)
+        else:
+            entry = IndexEntry(first.byte_offset, first.byte_length,
+                               first.is_raw, False)
+        index_entries.append(entry)
+
+    stats.index_table_bits = len(index_entries) * 32
+    stats.dictionary_bits = len(dictionary) * DICT_ENTRY_BITS
+
+    return DictWordImage(
+        name=program.name,
+        text_base=program.text_base,
+        n_instructions=len(words),
+        dictionary=dictionary,
+        index_entries=index_entries,
+        code_bytes=b"".join(chunks),
+        blocks=blocks,
+        stats=stats,
+        original_bytes=len(words) * INSTRUCTION_BYTES,
+        block_instructions=block_instructions,
+        group_blocks=group_blocks,
+    )
+
+
+def decompress_dictword_block(image, block_index):
+    """Functionally decode one block back to instruction words."""
+    block = image.blocks[block_index]
+    reader = BitReader(image.code_bytes, bit_offset=block.byte_offset * 8)
+    words = []
+    if block.is_raw:
+        return [reader.read(32) for _ in range(block.n_instructions)]
+    for _ in range(block.n_instructions):
+        if reader.read(1) == 0:  # tag '0'
+            slot_base, index_bits = 0, 7
+        elif reader.read(1) == 0:  # tag '10'
+            slot_base, index_bits = 128, 10
+        elif reader.read(1) == 0:  # tag '110'
+            slot_base, index_bits = 128 + 1024, 12
+        else:  # tag '111': raw escape
+            words.append(reader.read(RAW_BITS))
+            continue
+        slot = slot_base + reader.read(index_bits)
+        words.append(image.dictionary[slot])
+    return words
+
+
+def decompress_dictword(image):
+    """Decode the whole image back to the original ``.text`` words."""
+    words = []
+    for block_index in range(len(image.blocks)):
+        words.extend(decompress_dictword_block(image, block_index))
+    return words
+
+
+class DictWordEngine(CodePackEngine):
+    """The timing model: identical miss machinery to CodePack.
+
+    A :class:`DictWordImage` exposes the same block/group/geometry
+    interface, so the engine (index path, burst read, serial decode,
+    output buffer) is inherited unchanged -- which is the right model:
+    the paper groups both schemes as tag-prefixed variable-length
+    encodings with equivalent extraction hardware.
+    """

@@ -1,0 +1,179 @@
+"""Canonical Huffman coding.
+
+The CCRP scheme Huffman-codes instruction bytes; this module provides
+the substrate: length-limited code construction from a frequency
+histogram, canonical code assignment (so a decoder needs only the
+code-length table), and bit-level encode/decode over
+:mod:`repro.codepack.bitstream`.
+
+Code lengths are limited to :data:`MAX_CODE_BITS` using the standard
+heap-based Huffman construction followed by Kraft-sum repair, which is
+how hardware decoders (with fixed-depth decode tables) constrain the
+tree.
+"""
+
+import heapq
+from collections import Counter
+
+from repro.codepack.bitstream import BitReader, BitWriter
+
+#: Depth limit for hardware decode tables (16 levels, as in fast
+#: table-driven decoders of the CCRP era).
+MAX_CODE_BITS = 16
+
+
+class HuffmanError(ValueError):
+    """Raised for invalid code construction or corrupt streams."""
+
+
+def _huffman_lengths(histogram):
+    """Optimal (unlimited) code length per symbol via the classic heap."""
+    if not histogram:
+        raise HuffmanError("cannot build a code over no symbols")
+    if len(histogram) == 1:
+        return {next(iter(histogram)): 1}
+    heap = [(count, index, symbol, None, None)
+            for index, (symbol, count) in enumerate(sorted(histogram.items()))]
+    heapq.heapify(heap)
+    index = len(heap)
+    while len(heap) > 1:
+        a = heapq.heappop(heap)
+        b = heapq.heappop(heap)
+        heapq.heappush(heap, (a[0] + b[0], index, None, a, b))
+        index += 1
+    # Iterative walk to avoid recursion limits on skewed trees.
+    stack = [(heap[0], 0)]
+    lengths = {}
+    while stack:
+        node, depth = stack.pop()
+        count, _, symbol, left, right = node
+        if symbol is not None:
+            lengths[symbol] = max(1, depth)
+        else:
+            stack.append((left, depth + 1))
+            stack.append((right, depth + 1))
+    return lengths
+
+
+def _limit_lengths(lengths, max_bits):
+    """Clamp code lengths to *max_bits*, repairing the Kraft sum.
+
+    Overlong codes are clamped, which can push the Kraft sum above 1;
+    the standard repair demotes the deepest remaining codes until the
+    sum is feasible again, then promotes codes while slack remains.
+    """
+    if max(lengths.values()) <= max_bits:
+        return dict(lengths)
+    limited = {s: min(l, max_bits) for s, l in lengths.items()}
+    unit = 1 << max_bits  # work in units of 2**-max_bits
+
+    def kraft():
+        return sum(unit >> l for l in limited.values())
+
+    # Demote (lengthen) the shallowest over-budget contributors.
+    while kraft() > unit:
+        # Pick the deepest symbol shorter than max_bits with the lowest
+        # cost to demote; deterministic by (length, symbol).
+        candidates = [s for s, l in limited.items() if l < max_bits]
+        if not candidates:
+            raise HuffmanError("cannot satisfy depth limit %d" % max_bits)
+        victim = max(candidates, key=lambda s: (limited[s], -_key(s)))
+        limited[victim] += 1
+    # Promote (shorten) codes while slack remains, favouring frequent
+    # (short) symbols -- keeps the code near optimal.
+    improved = True
+    while improved:
+        improved = False
+        for symbol in sorted(limited, key=lambda s: (limited[s], _key(s))):
+            if limited[symbol] > 1 \
+                    and kraft() + (unit >> limited[symbol]) <= unit:
+                limited[symbol] -= 1
+                improved = True
+    return limited
+
+
+def _key(symbol):
+    """Deterministic tiebreak key for heterogeneous symbols."""
+    return symbol if isinstance(symbol, int) else hash(symbol)
+
+
+def build_canonical_code(histogram, max_bits=MAX_CODE_BITS):
+    """Build a canonical Huffman code from ``symbol -> count``.
+
+    Returns ``{symbol: (code, length)}`` with codes assigned in
+    canonical order (by length, then symbol), so the code is fully
+    described by its length table.
+    """
+    lengths = _limit_lengths(_huffman_lengths(dict(histogram)), max_bits)
+    code = 0
+    previous_length = 0
+    table = {}
+    for symbol in sorted(lengths, key=lambda s: (lengths[s], _key(s))):
+        length = lengths[symbol]
+        code <<= (length - previous_length)
+        table[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return table
+
+
+class CanonicalHuffman:
+    """An encoder/decoder pair over a fixed symbol alphabet."""
+
+    def __init__(self, histogram, max_bits=MAX_CODE_BITS):
+        self.table = build_canonical_code(histogram, max_bits)
+        self.max_bits = max(length for _, length in self.table.values())
+        self._decode = {(code, length): symbol
+                        for symbol, (code, length) in self.table.items()}
+
+    def __len__(self):
+        return len(self.table)
+
+    def encoded_bits(self, symbol):
+        """Code length for *symbol* (KeyError if not in the alphabet)."""
+        return self.table[symbol][1]
+
+    def encode_symbol(self, writer, symbol):
+        """Append *symbol*'s codeword to a :class:`BitWriter`."""
+        code, length = self.table[symbol]
+        writer.write(code, length)
+        return length
+
+    def decode_symbol(self, reader):
+        """Consume one codeword from a :class:`BitReader`."""
+        code = 0
+        for length in range(1, self.max_bits + 1):
+            code = (code << 1) | reader.read(1)
+            symbol = self._decode.get((code, length))
+            if symbol is not None:
+                return symbol
+        raise HuffmanError("no codeword within %d bits" % self.max_bits)
+
+    def encode(self, symbols):
+        """Encode an iterable of symbols; returns (bytes, bit_length)."""
+        writer = BitWriter()
+        for symbol in symbols:
+            self.encode_symbol(writer, symbol)
+        bit_length = writer.bit_length
+        writer.pad_to_byte()
+        return writer.to_bytes(), bit_length
+
+    def decode(self, data, count, bit_offset=0):
+        """Decode *count* symbols from *data*."""
+        reader = BitReader(data, bit_offset)
+        return [self.decode_symbol(reader) for _ in range(count)]
+
+    @property
+    def storage_bits(self):
+        """Bits to ship the code with the program.
+
+        A canonical code is fully described by its length table; for
+        CCRP's byte alphabet that is 256 5-bit lengths (0 = symbol
+        absent, 1..16 = code length).
+        """
+        return 256 * 5
+
+
+def histogram_of_bytes(data):
+    """Byte-frequency histogram of *data*."""
+    return Counter(data)

@@ -1,0 +1,121 @@
+"""Software-managed CodePack decompression.
+
+The paper's concluding suggestion: "Even completely software-managed
+decompression may be an attractive option to resource limited
+computers."  This engine models that option: an L1 I-miss raises a
+trap, and a handler running on the core itself walks the index table,
+reads the compressed block, and decodes it with ordinary loads, shifts
+and table lookups before resuming the missed fetch.
+
+Cost model per miss (all parameters in cycles):
+
+* ``trap_overhead`` -- pipeline flush, handler dispatch, and the
+  return; charged once per handled miss;
+* the index-entry load and the compressed-byte reads use the same
+  main-memory burst timing as the hardware engines (the handler's loads
+  miss the D-cache for freshly compressed bytes);
+* ``cycles_per_instruction`` -- software decode cost for one 32-bit
+  instruction (bit extraction, tag dispatch, one or two dictionary
+  loads): tens of cycles, where the hardware engine needs one;
+* the handler always decodes the whole block into a software buffer,
+  so -- like the hardware output buffer -- the adjacent line of the
+  block is served for only a trap plus a copy.
+
+Unlike hardware decompression there is no instruction forwarding: the
+core is *running the handler*, so the missed line becomes available
+only when decoding finishes.
+"""
+
+from dataclasses import dataclass
+
+from repro.codepack.index_table import INDEX_ENTRY_BYTES
+from repro.isa.encoding import INSTRUCTION_BYTES
+from repro.sim.fetch import LineFill
+
+#: Default software decode cost per instruction.  A hand-tuned
+#: assembly decoder spends roughly: tag extract + branch (~4), index
+#: extract (~3), dictionary load (~2, cached), merge + store (~3) per
+#: halfword.
+DEFAULT_CYCLES_PER_INSTRUCTION = 24
+#: Default trap entry + exit cost on a short embedded pipeline.
+DEFAULT_TRAP_OVERHEAD = 30
+
+
+@dataclass
+class SoftwareDecompStats:
+    """Event counts for the software miss handler."""
+
+    misses: int = 0
+    traps: int = 0
+    buffer_hits: int = 0
+    index_fetches: int = 0
+    blocks_decoded: int = 0
+    decode_cycles: int = 0
+    index_cache: object = None
+
+
+class SoftwareDecompEngine:
+    """A trap-and-decode miss path over a CodePack image."""
+
+    def __init__(self, image, memory,
+                 cycles_per_instruction=DEFAULT_CYCLES_PER_INSTRUCTION,
+                 trap_overhead=DEFAULT_TRAP_OVERHEAD,
+                 buffer_block=True, copy_cycles_per_word=1,
+                 line_bytes=32):
+        self.image = image
+        self.memory = memory
+        self.cycles_per_instruction = cycles_per_instruction
+        self.trap_overhead = trap_overhead
+        self.buffer_block = buffer_block
+        self.copy_cycles_per_word = copy_cycles_per_word
+        self.line_bytes = line_bytes
+        self.stats = SoftwareDecompStats()
+        self._last_group = -1
+        self._buffered_block = -1
+
+    def _fill(self, addr, done):
+        """All words of the missed line appear when the handler returns."""
+        words = self.line_bytes // INSTRUCTION_BYTES
+        times = [done] * words
+        return LineFill(addr // self.line_bytes, times, done, done)
+
+    def miss(self, addr, now):
+        image = self.image
+        stats = self.stats
+        stats.misses += 1
+        stats.traps += 1
+        block_index = image.block_of_address(addr)
+        t = now + self.trap_overhead
+
+        if self.buffer_block and block_index == self._buffered_block:
+            # The handler finds the block already decoded in its buffer
+            # and just copies the requested line into place.
+            stats.buffer_hits += 1
+            words = self.line_bytes // INSTRUCTION_BYTES
+            return self._fill(addr, t + self.copy_cycles_per_word * words)
+
+        group = block_index // image.group_blocks
+        if group != self._last_group:
+            self._last_group = group
+            stats.index_fetches += 1
+            t = self.memory.access_done(INDEX_ENTRY_BYTES, t)
+
+        block = image.blocks[block_index]
+        align = block.byte_offset % self.memory.bus_bytes
+        t = self.memory.access_done(block.byte_length, t, align)
+
+        decode = self.cycles_per_instruction * block.n_instructions
+        if block.is_raw:
+            # Raw blocks only need the copy loop.
+            decode = self.copy_cycles_per_word * block.n_instructions
+        stats.decode_cycles += decode
+        stats.blocks_decoded += 1
+        t += decode
+
+        if self.buffer_block:
+            self._buffered_block = block_index
+        # Copy the requested line from the software buffer to where the
+        # refill expects it.
+        words = self.line_bytes // INSTRUCTION_BYTES
+        t += self.copy_cycles_per_word * words
+        return self._fill(addr, t)

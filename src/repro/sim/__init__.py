@@ -1,0 +1,44 @@
+"""Cycle-level simulation substrate.
+
+The paper runs CodePack inside SimpleScalar 3.0; this package is our
+from-scratch equivalent.  It has two halves:
+
+* an architectural half -- :mod:`repro.sim.cpu` executes SS32 programs
+  exactly (registers, memory, syscalls), independent of any timing; and
+* a timing half -- :mod:`repro.sim.inorder` (single-issue 5-stage) and
+  :mod:`repro.sim.ooo` (4/8-issue out-of-order) consume the dynamic
+  instruction stream and charge cycles, using :mod:`repro.sim.fetch`
+  for the L1 I-miss path, which is where native and CodePack execution
+  differ (paper Figure 2).
+
+:func:`repro.sim.machine.simulate` wires the halves together and is the
+single entry point used by experiments, examples and tests.
+"""
+
+from repro.sim.config import (
+    ARCH_1_ISSUE,
+    ARCH_4_ISSUE,
+    ARCH_8_ISSUE,
+    BASELINES,
+    ArchConfig,
+    CacheConfig,
+    CodePackConfig,
+    IndexCacheConfig,
+    MemoryConfig,
+)
+from repro.sim.machine import simulate
+from repro.sim.results import SimResult
+
+__all__ = [
+    "ARCH_1_ISSUE",
+    "ARCH_4_ISSUE",
+    "ARCH_8_ISSUE",
+    "ArchConfig",
+    "BASELINES",
+    "CacheConfig",
+    "CodePackConfig",
+    "IndexCacheConfig",
+    "MemoryConfig",
+    "SimResult",
+    "simulate",
+]

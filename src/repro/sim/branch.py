@@ -1,0 +1,110 @@
+"""Branch direction predictors (paper Table 2).
+
+The three baselines use three different predictors: a 2048-entry bimode
+(bimodal) table for the 1-issue machine, gshare with 14 bits of global
+history for the 4-issue machine, and a hybrid of the two with a
+1024-entry meta chooser for the 8-issue machine.  All tables are 2-bit
+saturating counters initialised weakly taken.
+
+Only conditional branches consult the predictor.  Direct jumps and
+calls redirect fetch with no penalty (their targets are decoded early),
+and ``jr``/``jalr`` are treated the same way -- the paper's benchmarks
+are dominated by I-cache behaviour, which is the quantity under study.
+"""
+
+_WEAKLY_TAKEN = 2
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries=2048):
+        if entries & (entries - 1):
+            raise ValueError("table size must be a power of two")
+        self._mask = entries - 1
+        self._table = bytearray([_WEAKLY_TAKEN] * entries)
+
+    def predict(self, pc):
+        return self._table[(pc >> 2) & self._mask] >= 2
+
+    def update(self, pc, taken):
+        index = (pc >> 2) & self._mask
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+
+
+class GSharePredictor:
+    """Global-history predictor: PC xor history indexes the counters."""
+
+    def __init__(self, history_bits=14):
+        self._history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = bytearray([_WEAKLY_TAKEN] * (1 << history_bits))
+
+    def _index(self, pc):
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc):
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+
+class HybridPredictor:
+    """Bimodal + gshare with a bimodally-indexed meta chooser.
+
+    The meta counter picks which component's prediction to use; it is
+    trained toward whichever component was correct when they disagree.
+    """
+
+    def __init__(self, meta_entries=1024, entries=2048, history_bits=14):
+        if meta_entries & (meta_entries - 1):
+            raise ValueError("meta table size must be a power of two")
+        self._meta_mask = meta_entries - 1
+        self._meta = bytearray([_WEAKLY_TAKEN] * meta_entries)
+        self._bimodal = BimodalPredictor(entries)
+        self._gshare = GSharePredictor(history_bits)
+
+    def predict(self, pc):
+        use_gshare = self._meta[(pc >> 2) & self._meta_mask] >= 2
+        component = self._gshare if use_gshare else self._bimodal
+        return component.predict(pc)
+
+    def update(self, pc, taken):
+        bim_correct = self._bimodal.predict(pc) == taken
+        gsh_correct = self._gshare.predict(pc) == taken
+        index = (pc >> 2) & self._meta_mask
+        counter = self._meta[index]
+        if gsh_correct and not bim_correct:
+            if counter < 3:
+                self._meta[index] = counter + 1
+        elif bim_correct and not gsh_correct:
+            if counter > 0:
+                self._meta[index] = counter - 1
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)
+
+
+def make_predictor(config):
+    """Instantiate the predictor described by a BranchPredictorConfig."""
+    if config.kind == "bimode":
+        return BimodalPredictor(config.entries)
+    if config.kind == "gshare":
+        return GSharePredictor(config.history_bits)
+    if config.kind == "hybrid":
+        return HybridPredictor(config.meta_entries, config.entries,
+                               config.history_bits)
+    raise ValueError("unknown predictor kind %r" % config.kind)

@@ -1,0 +1,180 @@
+"""Timing model of the CodePack decompression engine.
+
+This models paper Figure 2-b/c.  On an L1 I-miss the engine:
+
+1. translates the native miss address to a compressed address via the
+   index table -- a main-memory access unless the last-index buffer,
+   the optional index cache (probed in parallel with the L1, so a hit
+   is free) or the perfect-index option removes it;
+2. burst-reads the compression block's bytes from main memory;
+3. decompresses serially at ``decode_rate`` instructions per cycle,
+   forwarding each instruction the cycle after its bits arrive
+   (instruction *i* finishes at ``max(arrive[i], finish[i - rate]) + 1``,
+   which reproduces the paper's worked example exactly: critical
+   instruction at t=25 baseline, t=14 with index cache + 2 decoders);
+4. always fills the 16-instruction output buffer, so a following miss
+   to the adjacent line of the same block is served without touching
+   main memory -- the "inherent prefetching" that lets CodePack beat
+   native code.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.codepack.index_table import INDEX_ENTRY_BYTES
+from repro.isa.encoding import INSTRUCTION_BYTES
+
+from repro.sim.fetch import LineFill
+
+
+@dataclass
+class IndexCacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class IndexCache:
+    """Fully-associative LRU cache of index-table entries.
+
+    A line holds ``entries_per_line`` consecutive entries (the paper
+    also burst-reads neighbouring entries on a miss), so its tag is the
+    compression-group number divided by the line size.
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.stats = IndexCacheStats()
+        self._lines = dict()  # tag -> True, insertion-ordered for LRU
+
+    def access(self, group):
+        """Probe for *group*'s entry; fills the line on a miss."""
+        tag = group // self.config.entries_per_line
+        self.stats.accesses += 1
+        if tag in self._lines:
+            del self._lines[tag]
+            self._lines[tag] = True
+            return True
+        self.stats.misses += 1
+        if len(self._lines) >= self.config.lines:
+            del self._lines[next(iter(self._lines))]
+        self._lines[tag] = True
+        return False
+
+
+@dataclass
+class EngineStats:
+    """Decompression-engine event counts."""
+
+    misses: int = 0  # L1 misses handled by the engine
+    buffer_hits: int = 0  # served from the output buffer
+    index_fetches: int = 0  # index reads that went to main memory
+    blocks_fetched: int = 0
+    compressed_bytes_fetched: int = 0
+    index_cache: IndexCacheStats = field(default_factory=IndexCacheStats)
+
+
+class CodePackEngine:
+    """The hardware decompressor, as a fetch-unit miss path."""
+
+    def __init__(self, image, memory, config, line_bytes=32):
+        self.image = image
+        self.memory = memory
+        self.config = config
+        self.line_bytes = line_bytes
+        self.stats = EngineStats()
+        self._index_cache = None
+        if config.index_cache is not None:
+            self._index_cache = IndexCache(config.index_cache)
+            self.stats.index_cache = self._index_cache.stats
+        self._last_group = -1  # baseline single-entry index buffer
+        self._buffered_block = -1
+        self._buffered_times = None
+
+    # -- index table ---------------------------------------------------------
+
+    def _index_ready(self, group, now):
+        """Cycle the index entry for *group* is available."""
+        if self.config.perfect_index:
+            return now
+        if self._index_cache is not None:
+            if self._index_cache.access(group):
+                # Probed in parallel with the L1: a hit costs nothing.
+                return now
+            self.stats.index_fetches += 1
+            return self.memory.access_done(INDEX_ENTRY_BYTES, now)
+        if group == self._last_group:
+            return now
+        self._last_group = group
+        self.stats.index_fetches += 1
+        return self.memory.access_done(INDEX_ENTRY_BYTES, now)
+
+    # -- decompression -------------------------------------------------------
+
+    def _decompress_block(self, block, start):
+        """Absolute finish cycle of each instruction in *block*.
+
+        *start* is when the engine may issue the compressed-byte burst.
+        """
+        memory = self.memory
+        beat_bits = memory.bus_bits
+        align_bits = (block.byte_offset % memory.bus_bytes) * 8
+        beats = memory.burst_arrivals(block.byte_length, start,
+                                      block.byte_offset % memory.bus_bytes)
+        rate = self.config.decode_rate
+        times = []
+        for i, end_bit in enumerate(block.inst_end_bits):
+            beat_index = (align_bits + end_bit - 1) // beat_bits
+            arrive = beats[beat_index]
+            if i >= rate:
+                finish = max(arrive, times[i - rate]) + 1
+            else:
+                finish = arrive + 1
+            times.append(finish)
+        self.stats.blocks_fetched += 1
+        self.stats.compressed_bytes_fetched += block.byte_length
+        return times
+
+    # -- the miss path ---------------------------------------------------------
+
+    def miss(self, addr, now):
+        """Handle an L1 I-miss at native address *addr* (paper Fig. 2-b/c)."""
+        image = self.image
+        self.stats.misses += 1
+        block_index = image.block_of_address(addr)
+
+        if self.config.output_buffer and block_index == self._buffered_block:
+            # Served from the output buffer: no index lookup, no memory
+            # traffic; one cycle to transfer each already-decompressed word.
+            self.stats.buffer_hits += 1
+            times = self._buffered_times
+            return self._line_fill(addr, now, block_index,
+                                   [max(now + 1, t) for t in times])
+
+        group = block_index // image.group_blocks
+        index_ready = self._index_ready(group, now)
+        block = image.blocks[block_index]
+        times = self._decompress_block(block, index_ready)
+        if self.config.output_buffer:
+            self._buffered_block = block_index
+            self._buffered_times = times
+        return self._line_fill(addr, now, block_index, times)
+
+    def _line_fill(self, addr, now, block_index, times):
+        """Package per-block finish times into a LineFill for the line."""
+        image = self.image
+        line_bytes = self.line_bytes
+        line_addr = addr // line_bytes
+        block_base = image.block_base_address(block_index)
+        base_slot = (line_addr * line_bytes - block_base) // INSTRUCTION_BYTES
+        words = line_bytes // INSTRUCTION_BYTES
+        last = times[-1] if times else now + 1
+        word_times = []
+        for w in range(words):
+            slot = base_slot + w
+            # The final block of a program may be partial; clamp.
+            word_times.append(times[slot] if 0 <= slot < len(times) else last)
+        critical = word_times[(addr % line_bytes) // INSTRUCTION_BYTES]
+        return LineFill(line_addr, word_times, critical, max(word_times))

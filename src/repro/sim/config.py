@@ -1,0 +1,227 @@
+"""Simulation configuration, mirroring paper Table 2.
+
+Three baseline architectures are provided (1-, 4- and 8-issue); the
+sensitivity experiments of Section 5.4 derive variants from the 4-issue
+baseline with :func:`dataclasses.replace`-style helpers
+(:meth:`ArchConfig.with_icache`, :meth:`ArchConfig.with_memory`).
+
+CodePack decompressor options live in :class:`CodePackConfig`; the
+paper's three machine models map to:
+
+* native code        -- ``codepack=None``
+* baseline CodePack  -- ``CodePackConfig()`` (one-entry last-index
+  buffer, 1 instruction/cycle decode)
+* optimized CodePack -- ``CodePackConfig.optimized()`` (64x4 index
+  cache, 2 instructions/cycle decode)
+"""
+
+import dataclasses
+from dataclasses import dataclass, field
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main-memory timing: *first_latency* cycles to the first bus beat
+    of an access, *rate* cycles per successive beat, *bus_bits* wide."""
+
+    bus_bits: int = 64
+    first_latency: int = 10
+    rate: int = 2
+
+    @property
+    def bus_bytes(self):
+        return self.bus_bits // 8
+
+    def burst_arrivals(self, nbytes, start, align_offset=0):
+        """Arrival cycles of each beat of a burst read.
+
+        *align_offset* is the byte offset of the requested data within
+        its first (bus-aligned) beat; the burst covers the whole span.
+        """
+        total = align_offset + nbytes
+        beats = -(-total // self.bus_bytes)
+        first = start + self.first_latency
+        return [first + i * self.rate for i in range(beats)]
+
+    def access_done(self, nbytes, start, align_offset=0):
+        """Cycle the last beat of a burst arrives."""
+        return self.burst_arrivals(nbytes, start, align_offset)[-1]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Set-associative cache geometry."""
+
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+
+    def __post_init__(self):
+        if self.size_bytes % (self.line_bytes * self.assoc):
+            raise ValueError("cache size must be a multiple of line*assoc")
+
+    @property
+    def n_sets(self):
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+
+@dataclass(frozen=True)
+class IndexCacheConfig:
+    """Fully-associative cache of index-table entries (paper Table 6).
+
+    ``lines`` LRU lines, each holding ``entries_per_line`` consecutive
+    index entries (one entry maps one 32-instruction compression
+    group).  The index cache is probed in parallel with the L1, so a
+    hit costs nothing on the miss path.
+    """
+
+    lines: int = 64
+    entries_per_line: int = 4
+
+    @property
+    def total_entries(self):
+        return self.lines * self.entries_per_line
+
+
+@dataclass(frozen=True)
+class CodePackConfig:
+    """Decompression-engine options.
+
+    * ``decode_rate`` -- instructions decompressed per cycle (paper
+      Table 8 explores 1, 2 and 16).
+    * ``index_cache`` -- optional :class:`IndexCacheConfig`; ``None``
+      models the baseline's single last-used-index buffer.
+    * ``perfect_index`` -- index lookups always hit (paper Table 7's
+      "Perfect" column, an on-chip ROM for small programs).
+    * ``output_buffer`` -- the 16-instruction output buffer that always
+      finishes decompressing the whole block and serves the adjacent
+      cache line (the paper's built-in prefetch).  On by default, as in
+      the IBM implementation; an ablation benchmark switches it off.
+    """
+
+    decode_rate: int = 1
+    index_cache: IndexCacheConfig = None
+    perfect_index: bool = False
+    output_buffer: bool = True
+
+    @classmethod
+    def optimized(cls):
+        """The paper's optimized model: 64x4 index cache + 2 decoders."""
+        return cls(decode_rate=2, index_cache=IndexCacheConfig(64, 4))
+
+    @classmethod
+    def with_index_cache(cls, lines=64, entries_per_line=4):
+        """Index-cache optimization alone (paper Table 7 middle column)."""
+        return cls(index_cache=IndexCacheConfig(lines, entries_per_line))
+
+    @classmethod
+    def with_decoders(cls, decode_rate):
+        """Decode-rate optimization alone (paper Table 8)."""
+        return cls(decode_rate=decode_rate)
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Predictor selection per paper Table 2."""
+
+    kind: str  # "bimode", "gshare", or "hybrid"
+    entries: int = 2048
+    history_bits: int = 14
+    meta_entries: int = 1024
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One simulated machine (a paper Table 2 column)."""
+
+    name: str
+    issue_width: int
+    in_order: bool
+    fetch_queue: int
+    ruu_size: int
+    lsq_size: int
+    n_alu: int
+    n_mult: int
+    n_memport: int
+    predictor: BranchPredictorConfig
+    icache: CacheConfig
+    dcache: CacheConfig
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    mispredict_penalty: int = 3
+    # Serialize I-fetch, index-fetch and D-miss bursts on one channel
+    # (off by default: the paper's Figure 2 timelines assume an idle
+    # channel per miss; see repro.sim.memory).
+    shared_memory_bus: bool = False
+
+    # -- derivation helpers for the Section 5.4 sweeps -----------------------
+
+    def with_icache(self, size_bytes):
+        """Same machine with a different I-cache size (paper Table 10)."""
+        icache = dataclasses.replace(self.icache, size_bytes=size_bytes)
+        return dataclasses.replace(
+            self, icache=icache,
+            name="%s/i%dk" % (self.name, size_bytes // KB))
+
+    def with_shared_bus(self):
+        """Same machine with one contended memory channel (ablation)."""
+        return dataclasses.replace(
+            self, shared_memory_bus=True, name="%s/sharedbus" % self.name)
+
+    def with_memory(self, bus_bits=None, first_latency=None, rate=None):
+        """Same machine with different main memory (Tables 11 and 12)."""
+        memory = dataclasses.replace(
+            self.memory,
+            bus_bits=self.memory.bus_bits if bus_bits is None else bus_bits,
+            first_latency=(self.memory.first_latency
+                           if first_latency is None else first_latency),
+            rate=self.memory.rate if rate is None else rate)
+        return dataclasses.replace(
+            self, memory=memory,
+            name="%s/bus%d/lat%d" % (self.name, memory.bus_bits,
+                                     memory.first_latency))
+
+
+def _baseline(name, issue, in_order, fetch_queue, ruu, lsq, alus, memports,
+              predictor, cache_kb):
+    return ArchConfig(
+        name=name,
+        issue_width=issue,
+        in_order=in_order,
+        fetch_queue=fetch_queue,
+        ruu_size=ruu,
+        lsq_size=lsq,
+        n_alu=alus,
+        n_mult=1,
+        n_memport=memports,
+        predictor=predictor,
+        icache=CacheConfig(cache_kb * KB, 32, 2),
+        dcache=CacheConfig(cache_kb * KB, 16, 2),
+        memory=MemoryConfig(),
+    )
+
+
+#: Paper Table 2, column "1-issue".
+ARCH_1_ISSUE = _baseline(
+    "1-issue", issue=1, in_order=True, fetch_queue=1, ruu=4, lsq=4,
+    alus=1, memports=1,
+    predictor=BranchPredictorConfig("bimode", entries=2048), cache_kb=8)
+
+#: Paper Table 2, column "4-issue".
+ARCH_4_ISSUE = _baseline(
+    "4-issue", issue=4, in_order=False, fetch_queue=4, ruu=16, lsq=8,
+    alus=4, memports=2,
+    predictor=BranchPredictorConfig("gshare", history_bits=14), cache_kb=16)
+
+#: Paper Table 2, column "8-issue".
+ARCH_8_ISSUE = _baseline(
+    "8-issue", issue=8, in_order=False, fetch_queue=8, ruu=32, lsq=16,
+    alus=8, memports=2,
+    predictor=BranchPredictorConfig("hybrid", meta_entries=1024), cache_kb=32)
+
+BASELINES = {
+    "1-issue": ARCH_1_ISSUE,
+    "4-issue": ARCH_4_ISSUE,
+    "8-issue": ARCH_8_ISSUE,
+}

@@ -1,0 +1,458 @@
+"""Architectural (functional) execution of SS32.
+
+The functional core executes the program exactly -- registers, memory,
+control flow, syscalls -- and knows nothing about cycles.  The timing
+models drive it one instruction at a time and charge cycles around the
+dynamic stream it produces.  Because compression is transparent to the
+CPU (paper Section 2.3: "The CPU is unaware of compression"), the same
+core underlies native and CodePack simulations; integration tests
+verify the architectural results are identical.
+
+The whole ``.text`` section is predecoded once into flat tuples, and
+``step()`` dispatches on a dense integer opcode, which keeps the
+interpreter around a microsecond per instruction -- the difference
+between minutes and hours over the full experiment suite.
+"""
+
+from repro.isa.encoding import sign_extend_16
+from repro.isa.opcodes import InstrClass, spec_for_word
+from repro.isa.program import DEFAULT_STACK_TOP
+
+# Dense execution opcodes (roughly frequency-ordered for dispatch speed).
+(
+    X_ADDIU, X_ADDU, X_LW, X_SW, X_BNE, X_BEQ, X_ORI, X_LUI, X_SLL, X_JAL,
+    X_JR, X_ADDI, X_SLTI, X_SLT, X_SLTU, X_SLTIU, X_ANDI, X_XORI, X_AND,
+    X_OR, X_XOR, X_NOR, X_SUB, X_SUBU, X_ADD, X_SRL, X_SRA, X_SLLV, X_SRLV,
+    X_SRAV, X_BLEZ, X_BGTZ, X_BLTZ, X_BGEZ, X_J, X_JALR, X_LB, X_LBU, X_LH,
+    X_LHU, X_SB, X_SH, X_MULT, X_MULTU, X_DIV, X_DIVU, X_MFHI, X_MFLO,
+    X_SYSCALL,
+) = range(49)
+
+_XOP_BY_NAME = {
+    "addiu": X_ADDIU, "addu": X_ADDU, "lw": X_LW, "sw": X_SW, "bne": X_BNE,
+    "beq": X_BEQ, "ori": X_ORI, "lui": X_LUI, "sll": X_SLL, "jal": X_JAL,
+    "jr": X_JR, "addi": X_ADDI, "slti": X_SLTI, "slt": X_SLT,
+    "sltu": X_SLTU, "sltiu": X_SLTIU, "andi": X_ANDI, "xori": X_XORI,
+    "and": X_AND, "or": X_OR, "xor": X_XOR, "nor": X_NOR, "sub": X_SUB,
+    "subu": X_SUBU, "add": X_ADD, "srl": X_SRL, "sra": X_SRA,
+    "sllv": X_SLLV, "srlv": X_SRLV, "srav": X_SRAV, "blez": X_BLEZ,
+    "bgtz": X_BGTZ, "bltz": X_BLTZ, "bgez": X_BGEZ, "j": X_J,
+    "jalr": X_JALR, "lb": X_LB, "lbu": X_LBU, "lh": X_LH, "lhu": X_LHU,
+    "sb": X_SB, "sh": X_SH, "mult": X_MULT, "multu": X_MULTU, "div": X_DIV,
+    "divu": X_DIVU, "mfhi": X_MFHI, "mflo": X_MFLO, "syscall": X_SYSCALL,
+}
+
+# Timing kinds shared with the pipeline models.
+KIND_PLAIN = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_COND_BRANCH = 3
+KIND_UNCOND = 4
+KIND_SYSCALL = 5
+
+# Function-unit pools (paper Table 2).
+FU_ALU = 0
+FU_MULT = 1
+FU_MEMPORT = 2
+
+# Virtual register ids for the multiply result registers.
+REG_HI = 32
+REG_LO = 33
+
+_FU_BY_NAME = {"alu": FU_ALU, "mult": FU_MULT, "memport": FU_MEMPORT}
+
+_KIND_BY_CLASS = {
+    InstrClass.ALU: KIND_PLAIN,
+    InstrClass.SHIFT: KIND_PLAIN,
+    InstrClass.MULT: KIND_PLAIN,
+    InstrClass.DIV: KIND_PLAIN,
+    InstrClass.MFLOHI: KIND_PLAIN,
+    InstrClass.LOAD: KIND_LOAD,
+    InstrClass.STORE: KIND_STORE,
+    InstrClass.BRANCH: KIND_COND_BRANCH,
+    InstrClass.JUMP: KIND_UNCOND,
+    InstrClass.CALL: KIND_UNCOND,
+    InstrClass.JUMP_REG: KIND_UNCOND,
+    InstrClass.CALL_REG: KIND_UNCOND,
+    InstrClass.SYSCALL: KIND_SYSCALL,
+}
+
+SYSCALL_PRINT_INT = 1
+SYSCALL_EXIT = 10
+SYSCALL_PRINT_CHAR = 11
+
+
+class SimulationError(RuntimeError):
+    """Raised for architectural faults (bad opcode, misalignment, ...)."""
+
+
+class StaticInstr:
+    """Predecoded static instruction: functional + timing views.
+
+    Control flow is fully precomputed: ``fall_through`` is the next
+    sequential address and ``taken_target`` the branch/jump
+    destination, so the interpreter never does PC arithmetic.  This is
+    what lets the 16/32-bit mixed layout of :mod:`repro.isa16` reuse
+    the same interpreter with 2-byte instructions: the translator
+    simply supplies different addresses and targets (and ``size``).
+    """
+
+    __slots__ = ("addr", "word", "xop", "rs", "rt", "rd", "shamt", "simm",
+                 "uimm", "target", "kind", "srcs", "dsts", "fu", "latency",
+                 "size", "fall_through", "taken_target")
+
+    def __init__(self, addr, word, size=4, fall_through=None,
+                 taken_target=None):
+        spec = spec_for_word(word)
+        if spec is None:
+            raise SimulationError(
+                "undecodable instruction %#010x at %#x" % (word, addr))
+        self.addr = addr
+        self.word = word
+        self.size = size
+        self.xop = _XOP_BY_NAME[spec.name]
+        self.rs = (word >> 21) & 0x1F
+        self.rt = (word >> 16) & 0x1F
+        self.rd = (word >> 11) & 0x1F
+        self.shamt = (word >> 6) & 0x1F
+        self.uimm = word & 0xFFFF
+        self.simm = sign_extend_16(word)
+        self.target = (word & 0x3FFFFFF) * 4
+        self.kind = _KIND_BY_CLASS[spec.iclass]
+        self.fu = _FU_BY_NAME[spec.fu]
+        self.latency = spec.latency
+        self.fall_through = (addr + size if fall_through is None
+                             else fall_through)
+        if taken_target is not None:
+            self.taken_target = taken_target
+        elif self.kind == KIND_COND_BRANCH:
+            self.taken_target = (addr + 4 + self.simm * 4) & 0xFFFFFFFF
+        elif spec.iclass in (InstrClass.JUMP, InstrClass.CALL):
+            self.taken_target = self.target
+        else:
+            self.taken_target = 0
+
+        field_regs = {"rs": self.rs, "rt": self.rt, "rd": self.rd,
+                      "hi": REG_HI, "lo": REG_LO, "ra": 31}
+        self.srcs = tuple(field_regs[f] for f in spec.reads
+                          if field_regs[f] != 0)
+        self.dsts = tuple(field_regs[f] for f in spec.writes
+                          if field_regs[f] != 0)
+
+
+def predecode(program):
+    """Predecode every ``.text`` word of *program*."""
+    return [StaticInstr(addr, word)
+            for addr, word in program.iter_addresses()]
+
+
+def _sdiv(a, b):
+    """C-style truncating signed division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+class FunctionalCore:
+    """Architectural state plus the instruction interpreter.
+
+    ``step()`` executes the instruction at ``pc`` and returns
+    ``(static, taken, mem_addr)`` where *static* is the
+    :class:`StaticInstr`, *taken* reports conditional-branch direction
+    (``False`` otherwise) and *mem_addr* is the byte address touched by
+    loads/stores (``-1`` otherwise).
+    """
+
+    def __init__(self, program, static=None, pc_index=None, entry=None):
+        self.program = program
+        self.static = static if static is not None else predecode(program)
+        self.regs = [0] * 34  # 32 GPRs + HI + LO
+        self.regs[29] = DEFAULT_STACK_TOP  # $sp
+        self.pc = entry if entry is not None else program.entry
+        self.halted = False
+        self.exit_code = 0
+        self.output = []  # syscall print stream
+        self.instret = 0
+        self._text_base = program.text_base
+        self._text_len = len(self.static)
+        # Variable-length layouts supply an explicit pc -> index map;
+        # the fixed-width SS32 fast path divides by 4.
+        self._pc_index = pc_index
+        self.mem = {}
+        for addr, byte in program.data.items():
+            word_index = addr >> 2
+            shift = 24 - 8 * (addr & 3)
+            word = self.mem.get(word_index, 0)
+            self.mem[word_index] = (word & ~(0xFF << shift)) | (byte << shift)
+
+    # -- data memory ---------------------------------------------------------
+
+    def load_word(self, addr):
+        if addr & 3:
+            raise SimulationError("misaligned lw at %#x" % addr)
+        return self.mem.get(addr >> 2, 0)
+
+    def store_word(self, addr, value):
+        if addr & 3:
+            raise SimulationError("misaligned sw at %#x" % addr)
+        self.mem[addr >> 2] = value & 0xFFFFFFFF
+
+    def load_byte(self, addr):
+        word = self.mem.get(addr >> 2, 0)
+        return (word >> (24 - 8 * (addr & 3))) & 0xFF
+
+    def store_byte(self, addr, value):
+        word_index = addr >> 2
+        shift = 24 - 8 * (addr & 3)
+        word = self.mem.get(word_index, 0)
+        self.mem[word_index] = (word & ~(0xFF << shift)) \
+            | ((value & 0xFF) << shift)
+
+    def load_half(self, addr):
+        if addr & 1:
+            raise SimulationError("misaligned lh at %#x" % addr)
+        word = self.mem.get(addr >> 2, 0)
+        return (word >> (16 - 8 * (addr & 2))) & 0xFFFF
+
+    def store_half(self, addr, value):
+        if addr & 1:
+            raise SimulationError("misaligned sh at %#x" % addr)
+        word_index = addr >> 2
+        shift = 16 - 8 * (addr & 2)
+        word = self.mem.get(word_index, 0)
+        self.mem[word_index] = (word & ~(0xFFFF << shift)) \
+            | ((value & 0xFFFF) << shift)
+
+    # -- syscalls -------------------------------------------------------------
+
+    def _syscall(self):
+        code = self.regs[2]  # $v0
+        if code == SYSCALL_EXIT:
+            self.halted = True
+            self.exit_code = self.regs[4]
+        elif code == SYSCALL_PRINT_INT:
+            value = self.regs[4]
+            self.output.append(str(value - 0x100000000
+                                   if value & 0x80000000 else value))
+        elif code == SYSCALL_PRINT_CHAR:
+            self.output.append(chr(self.regs[4] & 0xFF))
+        else:
+            raise SimulationError("unknown syscall %d at pc=%#x"
+                                  % (code, self.pc))
+
+    # -- the interpreter -------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction; see class docstring for the return."""
+        if self._pc_index is None:
+            index = (self.pc - self._text_base) >> 2
+            if not 0 <= index < self._text_len:
+                raise SimulationError("pc %#x outside .text" % self.pc)
+        else:
+            index = self._pc_index.get(self.pc, -1)
+            if index < 0:
+                raise SimulationError("pc %#x outside .text" % self.pc)
+        st = self.static[index]
+        regs = self.regs
+        xop = st.xop
+        next_pc = st.fall_through
+        taken = False
+        mem_addr = -1
+
+        if xop == X_ADDIU or xop == X_ADDI:
+            if st.rt:
+                regs[st.rt] = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+        elif xop == X_ADDU or xop == X_ADD:
+            if st.rd:
+                regs[st.rd] = (regs[st.rs] + regs[st.rt]) & 0xFFFFFFFF
+        elif xop == X_LW:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            if st.rt:
+                regs[st.rt] = self.load_word(mem_addr)
+        elif xop == X_SW:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            self.store_word(mem_addr, regs[st.rt])
+        elif xop == X_BNE:
+            taken = regs[st.rs] != regs[st.rt]
+            if taken:
+                next_pc = st.taken_target
+        elif xop == X_BEQ:
+            taken = regs[st.rs] == regs[st.rt]
+            if taken:
+                next_pc = st.taken_target
+        elif xop == X_ORI:
+            if st.rt:
+                regs[st.rt] = regs[st.rs] | st.uimm
+        elif xop == X_LUI:
+            if st.rt:
+                regs[st.rt] = (st.uimm << 16) & 0xFFFFFFFF
+        elif xop == X_SLL:
+            if st.rd:
+                regs[st.rd] = (regs[st.rt] << st.shamt) & 0xFFFFFFFF
+        elif xop == X_JAL:
+            regs[31] = st.fall_through
+            next_pc = st.taken_target
+        elif xop == X_JR:
+            next_pc = regs[st.rs]
+        elif xop == X_SLTI:
+            a = regs[st.rs]
+            if st.rt:
+                regs[st.rt] = int((a - 0x100000000 if a & 0x80000000 else a)
+                                  < st.simm)
+        elif xop == X_SLT:
+            if st.rd:
+                regs[st.rd] = int((regs[st.rs] ^ 0x80000000)
+                                  < (regs[st.rt] ^ 0x80000000))
+        elif xop == X_SLTU:
+            if st.rd:
+                regs[st.rd] = int(regs[st.rs] < regs[st.rt])
+        elif xop == X_SLTIU:
+            if st.rt:
+                regs[st.rt] = int(regs[st.rs] < (st.simm & 0xFFFFFFFF))
+        elif xop == X_ANDI:
+            if st.rt:
+                regs[st.rt] = regs[st.rs] & st.uimm
+        elif xop == X_XORI:
+            if st.rt:
+                regs[st.rt] = regs[st.rs] ^ st.uimm
+        elif xop == X_AND:
+            if st.rd:
+                regs[st.rd] = regs[st.rs] & regs[st.rt]
+        elif xop == X_OR:
+            if st.rd:
+                regs[st.rd] = regs[st.rs] | regs[st.rt]
+        elif xop == X_XOR:
+            if st.rd:
+                regs[st.rd] = regs[st.rs] ^ regs[st.rt]
+        elif xop == X_NOR:
+            if st.rd:
+                regs[st.rd] = ~(regs[st.rs] | regs[st.rt]) & 0xFFFFFFFF
+        elif xop == X_SUB or xop == X_SUBU:
+            if st.rd:
+                regs[st.rd] = (regs[st.rs] - regs[st.rt]) & 0xFFFFFFFF
+        elif xop == X_SRL:
+            if st.rd:
+                regs[st.rd] = regs[st.rt] >> st.shamt
+        elif xop == X_SRA:
+            if st.rd:
+                value = regs[st.rt]
+                if value & 0x80000000:
+                    value -= 0x100000000
+                regs[st.rd] = (value >> st.shamt) & 0xFFFFFFFF
+        elif xop == X_SLLV:
+            if st.rd:
+                regs[st.rd] = (regs[st.rt] << (regs[st.rs] & 31)) & 0xFFFFFFFF
+        elif xop == X_SRLV:
+            if st.rd:
+                regs[st.rd] = regs[st.rt] >> (regs[st.rs] & 31)
+        elif xop == X_SRAV:
+            if st.rd:
+                value = regs[st.rt]
+                if value & 0x80000000:
+                    value -= 0x100000000
+                regs[st.rd] = (value >> (regs[st.rs] & 31)) & 0xFFFFFFFF
+        elif xop == X_BLEZ:
+            value = regs[st.rs]
+            taken = value == 0 or bool(value & 0x80000000)
+            if taken:
+                next_pc = st.taken_target
+        elif xop == X_BGTZ:
+            value = regs[st.rs]
+            taken = value != 0 and not value & 0x80000000
+            if taken:
+                next_pc = st.taken_target
+        elif xop == X_BLTZ:
+            taken = bool(regs[st.rs] & 0x80000000)
+            if taken:
+                next_pc = st.taken_target
+        elif xop == X_BGEZ:
+            taken = not regs[st.rs] & 0x80000000
+            if taken:
+                next_pc = st.taken_target
+        elif xop == X_J:
+            next_pc = st.taken_target
+        elif xop == X_JALR:
+            if st.rd:
+                regs[st.rd] = st.fall_through
+            next_pc = regs[st.rs]
+        elif xop == X_LB:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            value = self.load_byte(mem_addr)
+            if st.rt:
+                regs[st.rt] = value - 0x100 if value & 0x80 else value
+                regs[st.rt] &= 0xFFFFFFFF
+        elif xop == X_LBU:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            if st.rt:
+                regs[st.rt] = self.load_byte(mem_addr)
+        elif xop == X_LH:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            value = self.load_half(mem_addr)
+            if st.rt:
+                regs[st.rt] = value - 0x10000 if value & 0x8000 else value
+                regs[st.rt] &= 0xFFFFFFFF
+        elif xop == X_LHU:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            if st.rt:
+                regs[st.rt] = self.load_half(mem_addr)
+        elif xop == X_SB:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            self.store_byte(mem_addr, regs[st.rt])
+        elif xop == X_SH:
+            mem_addr = (regs[st.rs] + st.simm) & 0xFFFFFFFF
+            self.store_half(mem_addr, regs[st.rt])
+        elif xop == X_MULT:
+            a, b = regs[st.rs], regs[st.rt]
+            if a & 0x80000000:
+                a -= 0x100000000
+            if b & 0x80000000:
+                b -= 0x100000000
+            product = (a * b) & 0xFFFFFFFFFFFFFFFF
+            regs[REG_LO] = product & 0xFFFFFFFF
+            regs[REG_HI] = (product >> 32) & 0xFFFFFFFF
+        elif xop == X_MULTU:
+            product = regs[st.rs] * regs[st.rt]
+            regs[REG_LO] = product & 0xFFFFFFFF
+            regs[REG_HI] = (product >> 32) & 0xFFFFFFFF
+        elif xop == X_DIV:
+            a, b = regs[st.rs], regs[st.rt]
+            if a & 0x80000000:
+                a -= 0x100000000
+            if b & 0x80000000:
+                b -= 0x100000000
+            if b == 0:
+                regs[REG_LO] = 0xFFFFFFFF
+                regs[REG_HI] = a & 0xFFFFFFFF
+            else:
+                regs[REG_LO] = _sdiv(a, b) & 0xFFFFFFFF
+                regs[REG_HI] = (a - _sdiv(a, b) * b) & 0xFFFFFFFF
+        elif xop == X_DIVU:
+            a, b = regs[st.rs], regs[st.rt]
+            if b == 0:
+                regs[REG_LO] = 0xFFFFFFFF
+                regs[REG_HI] = a
+            else:
+                regs[REG_LO] = a // b
+                regs[REG_HI] = a % b
+        elif xop == X_MFHI:
+            if st.rd:
+                regs[st.rd] = regs[REG_HI]
+        elif xop == X_MFLO:
+            if st.rd:
+                regs[st.rd] = regs[REG_LO]
+        elif xop == X_SYSCALL:
+            self._syscall()
+        else:  # pragma: no cover
+            raise SimulationError("unhandled xop %d" % xop)
+
+        self.pc = next_pc
+        self.instret += 1
+        return st, taken, mem_addr
+
+    def run(self, max_instructions=10_000_000):
+        """Run functionally to completion (no timing); returns instret."""
+        while not self.halted:
+            if self.instret >= max_instructions:
+                raise SimulationError(
+                    "instruction budget exceeded (%d)" % max_instructions)
+            self.step()
+        return self.instret

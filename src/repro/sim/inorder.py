@@ -1,0 +1,112 @@
+"""Single-issue in-order 5-stage pipeline timing model.
+
+Models the paper's 1-issue baseline: one instruction fetched, decoded,
+issued and committed per cycle; loads stall consumers on D-cache
+misses; a single non-pipelined multiply/divide unit; conditional-branch
+mispredictions squash the front end until the branch resolves in
+execute.
+
+The model is instruction-driven: each dynamic instruction computes its
+issue/complete cycles from its predecessors' times, which is exact for
+an in-order scalar machine and orders of magnitude faster in Python
+than a cycle loop.
+"""
+
+from repro.sim.cpu import (
+    FU_MULT,
+    KIND_COND_BRANCH,
+    KIND_LOAD,
+    KIND_STORE,
+    KIND_UNCOND,
+)
+
+#: Extra cycles between fetch and issue (decode stage of the 5-stage pipe).
+DECODE_LATENCY = 1
+
+
+def run_inorder(core, fetch_unit, dcache, memory, predictor, arch,
+                max_instructions):
+    """Drive *core* to completion under the 1-issue timing model.
+
+    Returns ``(cycles, branch_lookups, branch_mispredicts)``; cache
+    statistics accumulate inside the cache objects.
+    """
+    reg_ready = [0] * 34
+    fetch_time = 0
+    prev_issue = -1
+    mult_free = 0
+    last_complete = 0
+    branch_lookups = 0
+    branch_mispredicts = 0
+    dline = dcache.line_bytes
+    # With an uncontended channel the miss latency is a constant; a
+    # shared channel must be asked per miss so bursts queue up.
+    shared_bus = getattr(memory, "shared", False)
+    base_memory = memory.config if shared_bus else memory
+    dmiss_latency = base_memory.access_done(dline, 0) + 1
+
+    step = core.step
+    fetch = fetch_unit.fetch
+    redirect = fetch_unit.redirect
+    penalty = arch.mispredict_penalty
+
+    while not core.halted and core.instret < max_instructions:
+        st, taken, mem_addr = step()
+
+        available = fetch(st.addr, fetch_time)
+        fetch_time = available if available > fetch_time else fetch_time
+
+        issue = available + DECODE_LATENCY
+        if issue <= prev_issue:
+            issue = prev_issue + 1
+        for reg in st.srcs:
+            ready = reg_ready[reg]
+            if ready > issue:
+                issue = ready
+        if st.fu == FU_MULT and mult_free > issue:
+            issue = mult_free
+
+        kind = st.kind
+        complete = issue + st.latency
+        if kind == KIND_LOAD:
+            if not dcache.access(mem_addr):
+                if shared_bus:
+                    complete = memory.access_done(dline, issue) + 1
+                else:
+                    complete = issue + dmiss_latency
+        elif kind == KIND_STORE:
+            # Write-allocate fill happens off the critical path (write
+            # buffer); the store itself retires in one cycle.
+            dcache.access(mem_addr)
+        if st.fu == FU_MULT:
+            mult_free = complete
+
+        for reg in st.dsts:
+            reg_ready[reg] = complete
+        prev_issue = issue
+        if complete > last_complete:
+            last_complete = complete
+
+        if kind == KIND_COND_BRANCH:
+            branch_lookups += 1
+            predicted = predictor.predict(st.addr)
+            predictor.update(st.addr, taken)
+            if predicted != taken:
+                branch_mispredicts += 1
+                restart = complete + penalty - st.latency
+                if restart > fetch_time:
+                    fetch_time = restart
+                redirect()
+            elif taken:
+                fetch_time += 1
+                redirect()
+            else:
+                fetch_time += 1
+        elif kind == KIND_UNCOND:
+            # Direct and register jumps redirect with a one-cycle bubble.
+            fetch_time += 1
+            redirect()
+        else:
+            fetch_time += 1
+
+    return last_complete, branch_lookups, branch_mispredicts

@@ -1,0 +1,122 @@
+"""Top-level simulation driver.
+
+:func:`simulate` assembles a machine -- caches, predictor, fetch path,
+pipeline model -- around a program and runs it to completion, returning
+a :class:`~repro.sim.results.SimResult`.  Passing a
+:class:`~repro.sim.config.CodePackConfig` switches the I-miss path from
+native critical-word-first refill to the CodePack decompression engine;
+everything else (including the functional execution) is identical,
+which is exactly the paper's experimental control.
+
+Callers that sweep many configurations over one program should pass
+``static=`` (from :func:`repro.sim.cpu.predecode`) and ``image=`` (from
+:func:`repro.codepack.compress_program`) to amortise predecoding and
+compression across runs.
+"""
+
+from repro.codepack.compressor import compress_program
+from repro.sim.branch import make_predictor
+from repro.sim.cache import Cache
+from repro.sim.codepack_engine import CodePackEngine
+from repro.sim.cpu import FunctionalCore, predecode
+from repro.sim.fetch import FetchUnit, NativeMissPath
+from repro.sim.inorder import run_inorder
+from repro.sim.memory import MemoryChannel
+from repro.sim.ooo import run_ooo
+from repro.sim.results import SimResult
+
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+
+def describe_mode(codepack):
+    """Short label for a CodePack configuration (None = native)."""
+    if codepack is None:
+        return "native"
+    parts = ["codepack"]
+    if codepack.perfect_index:
+        parts.append("perfect-index")
+    elif codepack.index_cache is not None:
+        parts.append("ic%dx%d" % (codepack.index_cache.lines,
+                                  codepack.index_cache.entries_per_line))
+    if codepack.decode_rate != 1:
+        parts.append("dec%d" % codepack.decode_rate)
+    if not codepack.output_buffer:
+        parts.append("nobuf")
+    return "+".join(parts)
+
+
+def simulate(program, arch, codepack=None, image=None, static=None,
+             max_instructions=DEFAULT_MAX_INSTRUCTIONS, mode=None,
+             critical_word_first=True, miss_path=None, pc_index=None,
+             trace=None, native_prefetch=False):
+    """Run *program* on *arch*; returns a :class:`SimResult`.
+
+    * ``codepack`` -- ``None`` for native code, else a
+      :class:`~repro.sim.config.CodePackConfig`.
+    * ``image`` -- pre-compressed :class:`CodePackImage` (compressed on
+      demand when omitted and needed).
+    * ``static`` -- pre-decoded instruction list, for sweep callers.
+    * ``critical_word_first`` -- native-path refill policy (ablation
+      knob; the paper's baseline memory system always has it on).
+    * ``miss_path`` -- a custom I-miss path (an object with a
+      ``miss(addr, now) -> LineFill`` method, e.g. the CCRP or
+      software-decompression engines); overrides ``codepack``.
+    """
+    icache = Cache(arch.icache)
+    dcache = Cache(arch.dcache)
+    predictor = make_predictor(arch.predictor)
+    channel = MemoryChannel(arch.memory, shared=arch.shared_memory_bus)
+
+    engine = None
+    if miss_path is not None:
+        engine = miss_path
+    elif codepack is not None:
+        if image is None:
+            image = compress_program(program)
+        engine = CodePackEngine(image, channel, codepack,
+                                line_bytes=arch.icache.line_bytes)
+        miss_path = engine
+    else:
+        miss_path = NativeMissPath(channel, arch.icache.line_bytes,
+                                   critical_word_first=critical_word_first,
+                                   prefetch_next=native_prefetch)
+    fetch_unit = FetchUnit(icache, miss_path, trace=trace)
+
+    core = FunctionalCore(program, static=static, pc_index=pc_index)
+    pipeline = run_inorder if arch.in_order else run_ooo
+    cycles, lookups, mispredicts = pipeline(
+        core, fetch_unit, dcache, channel, predictor, arch,
+        max_instructions)
+
+    if not core.halted and core.instret >= max_instructions:
+        # Benchmarks are sized to halt; hitting the cap still yields a
+        # valid steady-state measurement, recorded in extra.
+        truncated = True
+    else:
+        truncated = False
+
+    return SimResult(
+        benchmark=program.name,
+        arch=arch.name,
+        mode=mode or (type(engine).__name__
+                      if miss_path is engine and codepack is None
+                      and engine is not None
+                      else describe_mode(codepack)),
+        instructions=core.instret,
+        cycles=cycles,
+        icache_accesses=icache.stats.accesses,
+        icache_misses=icache.stats.misses,
+        dcache_accesses=dcache.stats.accesses,
+        dcache_misses=dcache.stats.misses,
+        branch_lookups=lookups,
+        branch_mispredicts=mispredicts,
+        engine=getattr(engine, "stats", None),
+        output="".join(core.output),
+        exit_code=core.exit_code,
+        extra={"truncated": truncated},
+    )
+
+
+def prepare(program):
+    """Predecode once for reuse across many :func:`simulate` calls."""
+    return predecode(program)

@@ -1,0 +1,71 @@
+"""Main-memory channel with optional contention.
+
+The paper's Figure 2 timelines treat each miss's memory accesses as if
+the channel were otherwise idle, and gives no details about contention
+between instruction fetches, index fetches and data misses.  Our
+default model makes the same assumption (every requester sees a free
+channel); :class:`MemoryChannel` with ``shared=True`` adds the obvious
+refinement -- a single channel that serializes overlapping bursts -- as
+an explicit, ablatable knob.
+
+A channel duck-types :class:`~repro.sim.config.MemoryConfig`'s timing
+interface (``burst_arrivals`` / ``access_done`` / geometry properties),
+so the fetch paths and decompression engines accept either.
+"""
+
+
+class MemoryChannel:
+    """A (possibly shared) DRAM channel.
+
+    With ``shared=False`` the channel is stateless and identical to the
+    underlying :class:`MemoryConfig`.  With ``shared=True`` each burst
+    occupies the channel from its issue to its last beat, and a burst
+    issued while the channel is busy is delayed until it frees -- a
+    first-come-first-served single queue, which is how a simple
+    embedded memory controller behaves.
+    """
+
+    def __init__(self, config, shared=False):
+        self.config = config
+        self.shared = shared
+        self.busy_until = 0
+        self.requests = 0
+        self.delayed = 0
+        self.delay_cycles = 0
+
+    # -- geometry passthrough -------------------------------------------------
+
+    @property
+    def bus_bits(self):
+        return self.config.bus_bits
+
+    @property
+    def bus_bytes(self):
+        return self.config.bus_bytes
+
+    @property
+    def first_latency(self):
+        return self.config.first_latency
+
+    @property
+    def rate(self):
+        return self.config.rate
+
+    # -- timing -----------------------------------------------------------------
+
+    def burst_arrivals(self, nbytes, start, align_offset=0):
+        """Beat arrival times; under contention the burst may be queued."""
+        self.requests += 1
+        if self.shared:
+            if self.busy_until > start:
+                self.delayed += 1
+                self.delay_cycles += self.busy_until - start
+                start = self.busy_until
+            beats = self.config.burst_arrivals(nbytes, start, align_offset)
+            self.busy_until = beats[-1]
+            return beats
+        return self.config.burst_arrivals(nbytes, start, align_offset)
+
+    def access_done(self, nbytes, start, align_offset=0):
+        """Completion time of a whole burst (last beat)."""
+        return self.burst_arrivals(nbytes, start, align_offset)[-1]

@@ -1,0 +1,182 @@
+"""Out-of-order superscalar timing model (4- and 8-issue baselines).
+
+A one-pass, instruction-driven approximation of SimpleScalar's RUU
+machine: instructions are fetched in order subject to fetch bandwidth
+and I-cache timing, dispatch in order into a finite window (RUU),
+execute out of order as operands and function units allow, and commit
+in order subject to commit width.  Branch mispredictions stall fetch
+until the branch executes.
+
+Each dynamic instruction is processed in O(1), so simulation speed is
+independent of issue width -- essential for running the paper's several
+hundred configurations in pure Python.  The model reproduces the
+first-order behaviours the paper's results hinge on: I-miss latency
+exposure shrinking with window size, fetch bandwidth scaling, and the
+IPC gap between the 1-, 4- and 8-issue machines.
+"""
+
+from repro.sim.cpu import (
+    FU_ALU,
+    FU_MEMPORT,
+    FU_MULT,
+    KIND_COND_BRANCH,
+    KIND_LOAD,
+    KIND_STORE,
+    KIND_UNCOND,
+)
+
+#: Front-end depth from fetch to dispatch (decode/rename).
+FRONT_END_LATENCY = 1
+
+
+class _FuPool:
+    """A pool of identical function units tracked by next-free cycle."""
+
+    __slots__ = ("free",)
+
+    def __init__(self, count):
+        self.free = [0] * count
+
+    def acquire(self, ready, busy_for):
+        """Earliest start >= *ready* on any unit; occupy it for *busy_for*."""
+        free = self.free
+        best = 0
+        best_time = free[0]
+        for i in range(1, len(free)):
+            if free[i] < best_time:
+                best_time = free[i]
+                best = i
+        start = ready if ready > best_time else best_time
+        free[best] = start + busy_for
+        return start
+
+
+def run_ooo(core, fetch_unit, dcache, memory, predictor, arch,
+            max_instructions):
+    """Drive *core* to completion under the out-of-order timing model.
+
+    Returns ``(cycles, branch_lookups, branch_mispredicts)``.
+    """
+    reg_ready = [0] * 34
+    ruu_size = arch.ruu_size
+    commit_ring = [0] * ruu_size  # commit time of instruction i - ruu_size
+    ring_pos = 0
+
+    fetch_width = arch.fetch_queue
+    commit_width = arch.issue_width
+
+    alu = _FuPool(arch.n_alu)
+    mult = _FuPool(arch.n_mult)
+    memport = _FuPool(arch.n_memport)
+    pools = {FU_ALU: alu, FU_MULT: mult, FU_MEMPORT: memport}
+
+    fq_time = 0  # cycle currently being fetched into
+    fq_count = 0  # instructions fetched in that cycle
+    cm_time = 0  # cycle currently committing
+    cm_count = 0
+    last_commit = 0
+    prev_commit = 0
+
+    branch_lookups = 0
+    branch_mispredicts = 0
+    dline = dcache.line_bytes
+    # With an uncontended channel the miss latency is a constant; a
+    # shared channel must be asked per miss so bursts queue up.
+    shared_bus = getattr(memory, "shared", False)
+    base_memory = memory.config if shared_bus else memory
+    dmiss_latency = base_memory.access_done(dline, 0) + 1
+
+    step = core.step
+    fetch = fetch_unit.fetch
+    redirect = fetch_unit.redirect
+
+    while not core.halted and core.instret < max_instructions:
+        st, taken, mem_addr = step()
+
+        # ---- fetch: in order, fetch_width per cycle --------------------
+        available = fetch(st.addr, fq_time)
+        if available > fq_time:
+            fq_time = available
+            fq_count = 0
+        fetch_time = fq_time
+        fq_count += 1
+        if fq_count >= fetch_width:
+            fq_time += 1
+            fq_count = 0
+
+        # ---- dispatch: window occupancy (RUU) --------------------------
+        dispatch = fetch_time + FRONT_END_LATENCY
+        window_free = commit_ring[ring_pos]
+        if window_free > dispatch:
+            dispatch = window_free
+
+        # ---- issue/execute ---------------------------------------------
+        ready = dispatch
+        for reg in st.srcs:
+            t = reg_ready[reg]
+            if t > ready:
+                ready = t
+        kind = st.kind
+        latency = st.latency
+        if st.fu == FU_MULT:
+            # Non-pipelined multiply/divide: busy for the full latency.
+            start = mult.acquire(ready, latency)
+        elif kind == KIND_LOAD or kind == KIND_STORE:
+            start = memport.acquire(ready, 1)
+        else:
+            start = alu.acquire(ready, 1)
+        complete = start + latency
+        if kind == KIND_LOAD:
+            if not dcache.access(mem_addr):
+                if shared_bus:
+                    complete = memory.access_done(dline, start) + 1
+                else:
+                    complete = start + dmiss_latency
+        elif kind == KIND_STORE:
+            dcache.access(mem_addr)
+        for reg in st.dsts:
+            reg_ready[reg] = complete
+
+        # ---- commit: in order, commit_width per cycle -------------------
+        commit = complete + 1
+        if commit < prev_commit:
+            commit = prev_commit
+        if commit > cm_time:
+            cm_time = commit
+            cm_count = 0
+        else:
+            commit = cm_time
+        cm_count += 1
+        if cm_count >= commit_width:
+            cm_time += 1
+            cm_count = 0
+        prev_commit = commit
+        commit_ring[ring_pos] = commit
+        ring_pos += 1
+        if ring_pos == ruu_size:
+            ring_pos = 0
+        if commit > last_commit:
+            last_commit = commit
+
+        # ---- control flow ------------------------------------------------
+        if kind == KIND_COND_BRANCH:
+            branch_lookups += 1
+            predicted = predictor.predict(st.addr)
+            predictor.update(st.addr, taken)
+            if predicted != taken:
+                branch_mispredicts += 1
+                restart = complete + arch.mispredict_penalty
+                if restart > fq_time:
+                    fq_time = restart
+                    fq_count = 0
+                redirect()
+            elif taken:
+                fq_time += 1
+                fq_count = 0
+                redirect()
+        elif kind == KIND_UNCOND:
+            fq_time += 1
+            fq_count = 0
+            redirect()
+
+    return last_commit, branch_lookups, branch_mispredicts

@@ -1,0 +1,63 @@
+"""Simulation result record."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run reports.
+
+    ``ipc`` is the paper's Table 5 metric; speedups between runs are
+    computed as cycle ratios (same dynamic instruction count, since the
+    functional execution is identical for native and compressed code).
+    """
+
+    benchmark: str
+    arch: str
+    mode: str  # "native", "codepack", or a descriptive variant
+    instructions: int
+    cycles: int
+    icache_accesses: int
+    icache_misses: int
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    engine: object = None  # EngineStats for CodePack runs
+    output: str = ""
+    exit_code: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def icache_miss_rate(self):
+        if not self.icache_accesses:
+            return 0.0
+        return self.icache_misses / self.icache_accesses
+
+    @property
+    def mispredict_rate(self):
+        if not self.branch_lookups:
+            return 0.0
+        return self.branch_mispredicts / self.branch_lookups
+
+    def speedup_over(self, baseline):
+        """Cycle-count speedup of *self* relative to *baseline*.
+
+        Both runs must have executed the same work; >1 means *self* is
+        faster (the paper's convention for its speedup tables).
+        """
+        if self.instructions != baseline.instructions:
+            raise ValueError(
+                "speedup between runs of different work: %d vs %d insts"
+                % (self.instructions, baseline.instructions))
+        return baseline.cycles / self.cycles
+
+    def summary(self):
+        """One-line human-readable digest."""
+        return ("%s/%s/%s: %d insts, %d cycles, IPC %.3f, I$ miss %.2f%%"
+                % (self.benchmark, self.arch, self.mode, self.instructions,
+                   self.cycles, self.ipc, 100.0 * self.icache_miss_rate))

@@ -1,0 +1,102 @@
+"""Per-miss tracing and latency analysis.
+
+Attach a :class:`MissTrace` to a simulation to record every L1 I-miss
+event -- address, request cycle, when the critical instruction arrived,
+when the whole line finished.  This exposes the distribution behind the
+paper's Figure 2 point examples: native misses cluster at the
+critical-word-first latency; CodePack misses split into index-hit,
+index-miss and output-buffer-hit populations.
+
+::
+
+    trace = MissTrace()
+    simulate(program, arch, codepack=CodePackConfig(), trace=trace)
+    print(format_histogram(trace.critical_latencies()))
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MissEvent:
+    """One recorded L1 I-miss."""
+
+    addr: int
+    requested: int  # cycle the miss was issued
+    critical_ready: int
+    fill_done: int
+
+    @property
+    def critical_latency(self):
+        return self.critical_ready - self.requested
+
+    @property
+    def fill_latency(self):
+        return self.fill_done - self.requested
+
+
+class MissTrace:
+    """A bounded recorder of miss events.
+
+    ``limit`` caps memory (first events kept; the count keeps
+    accumulating so truncation is visible).
+    """
+
+    def __init__(self, limit=100_000):
+        self.limit = limit
+        self.events = []
+        self.count = 0
+
+    def record(self, addr, requested, fill):
+        self.count += 1
+        if len(self.events) < self.limit:
+            self.events.append(MissEvent(addr, requested,
+                                         fill.critical_ready,
+                                         fill.fill_done))
+
+    @property
+    def truncated(self):
+        return self.count > len(self.events)
+
+    def critical_latencies(self):
+        """Critical-instruction latency of each recorded miss."""
+        return [event.critical_latency for event in self.events]
+
+    def fill_latencies(self):
+        return [event.fill_latency for event in self.events]
+
+    def summary(self):
+        """Min/mean/median/max of the critical latencies."""
+        values = sorted(self.critical_latencies())
+        if not values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "min": values[0],
+            "median": values[len(values) // 2],
+            "mean": sum(values) / len(values),
+            "max": values[-1],
+        }
+
+
+def latency_histogram(values, bucket=4):
+    """Bucketed counts: ``{bucket_start: count}``."""
+    histogram = {}
+    for value in values:
+        start = (value // bucket) * bucket
+        histogram[start] = histogram.get(start, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def format_histogram(values, bucket=4, width=50):
+    """Render a text histogram of miss latencies."""
+    histogram = latency_histogram(values, bucket)
+    if not histogram:
+        return "(no misses)"
+    peak = max(histogram.values())
+    lines = []
+    for start, count in histogram.items():
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append("%4d-%-4d %6d %s"
+                     % (start, start + bucket - 1, count, bar))
+    return "\n".join(lines)

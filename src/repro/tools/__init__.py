@@ -1,0 +1,17 @@
+"""Command-line tools.
+
+Thin, scriptable front ends over the library, in the spirit of a
+binutils for SS32 + CodePack:
+
+* ``python -m repro.tools.asm``       -- assemble SS32 source to a flat
+  binary image (+ optional symbol map)
+* ``python -m repro.tools.disasm``    -- disassemble a flat binary
+* ``python -m repro.tools.codepack``  -- compress/decompress/inspect
+  CodePack images on disk
+* ``python -m repro.tools.run``       -- execute a program on a chosen
+  machine model and print the run report
+* ``python -m repro.tools.densify``   -- translate a program to the
+  SS16 dense encoding and emit its binary
+
+Binary container format: see :mod:`repro.tools.container`.
+"""

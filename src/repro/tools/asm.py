@@ -1,0 +1,50 @@
+"""``python -m repro.tools.asm`` -- the SS32 assembler front end.
+
+Examples::
+
+    python -m repro.tools.asm prog.s -o prog.ss32
+    python -m repro.tools.asm prog.s -o prog.ss32 --map prog.map
+"""
+
+import argparse
+import sys
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.tools.container import save_program
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.asm",
+        description="Assemble SS32 source into a .ss32 program image.")
+    parser.add_argument("source", help="assembly source file")
+    parser.add_argument("-o", "--output", required=True,
+                        help="output .ss32 image path")
+    parser.add_argument("--map", help="also write a symbol map file")
+    parser.add_argument("--name", help="program name (default: source stem)")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as handle:
+        source = handle.read()
+    name = args.name or args.source.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    try:
+        program = assemble(source, name=name)
+    except AssemblerError as error:
+        print("%s: %s" % (args.source, error), file=sys.stderr)
+        return 1
+    save_program(args.output, program)
+    print("%s: %d instructions (%d bytes of .text), entry %#x -> %s"
+          % (name, len(program), program.text_size, program.entry,
+             args.output))
+    if args.map:
+        with open(args.map, "w") as handle:
+            for label in sorted(program.symbols,
+                                key=program.symbols.get):
+                handle.write("%08x %s\n"
+                             % (program.symbols[label], label))
+        print("symbol map -> %s" % args.map)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

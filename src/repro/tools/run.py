@@ -1,0 +1,95 @@
+"""``python -m repro.tools.run`` -- execute a program on a machine model.
+
+Examples::
+
+    python -m repro.tools.run prog.ss32
+    python -m repro.tools.run prog.ss32 --arch 1-issue --codepack
+    python -m repro.tools.run prog.ss32 --codepack --optimized --image p.cpk
+    python -m repro.tools.run prog.ss32 --compare
+"""
+
+import argparse
+import sys
+
+from repro.sim.config import BASELINES, CodePackConfig
+from repro.sim.machine import simulate
+from repro.tools.container import load_image, load_program
+
+
+def _report(result):
+    print("run report: %s" % result.summary())
+    print("  cycles:        %d" % result.cycles)
+    print("  instructions:  %d" % result.instructions)
+    print("  IPC:           %.3f" % result.ipc)
+    print("  I-cache:       %d accesses, %d misses (%.2f%%)"
+          % (result.icache_accesses, result.icache_misses,
+             100 * result.icache_miss_rate))
+    print("  D-cache:       %d accesses, %d misses"
+          % (result.dcache_accesses, result.dcache_misses))
+    print("  branches:      %d, %.2f%% mispredicted"
+          % (result.branch_lookups, 100 * result.mispredict_rate))
+    if result.engine is not None:
+        engine = result.engine
+        print("  decompressor:  %d misses, %d buffer hits, "
+              "%d index fetches, %d blocks (%d compressed bytes)"
+              % (engine.misses, engine.buffer_hits, engine.index_fetches,
+                 engine.blocks_fetched, engine.compressed_bytes_fetched))
+    if result.output:
+        print("  program output: %s" % result.output)
+    print("  exit code:     %d" % result.exit_code)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.run",
+        description="Run a .ss32 program on a simulated machine.")
+    parser.add_argument("program", help=".ss32 image path")
+    parser.add_argument("--arch", choices=sorted(BASELINES),
+                        default="4-issue")
+    parser.add_argument("--codepack", action="store_true",
+                        help="execute through the CodePack decompressor")
+    parser.add_argument("--optimized", action="store_true",
+                        help="use the optimized decompressor "
+                             "(index cache + 2 decoders)")
+    parser.add_argument("--image", help="pre-compressed .cpk image")
+    parser.add_argument("--compare", action="store_true",
+                        help="run native, baseline and optimized and "
+                             "print a comparison")
+    parser.add_argument("--max-instructions", type=int,
+                        default=5_000_000)
+    args = parser.parse_args(argv)
+
+    program = load_program(args.program)
+    arch = BASELINES[args.arch]
+    image = load_image(args.image) if args.image else None
+
+    if args.compare:
+        native = simulate(program, arch,
+                          max_instructions=args.max_instructions)
+        baseline = simulate(program, arch, codepack=CodePackConfig(),
+                            image=image,
+                            max_instructions=args.max_instructions)
+        optimized = simulate(program, arch,
+                             codepack=CodePackConfig.optimized(),
+                             image=image,
+                             max_instructions=args.max_instructions)
+        print("%-24s %10s %8s %9s" % ("model", "cycles", "IPC",
+                                      "speedup"))
+        for result in (native, baseline, optimized):
+            print("%-24s %10d %8.3f %8.3fx"
+                  % (result.mode, result.cycles, result.ipc,
+                     result.speedup_over(native)))
+        return 0
+
+    codepack = None
+    if args.codepack or args.optimized:
+        codepack = CodePackConfig.optimized() if args.optimized \
+            else CodePackConfig()
+    result = simulate(program, arch, codepack=codepack, image=image,
+                      max_instructions=args.max_instructions)
+    _report(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

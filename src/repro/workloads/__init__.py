@@ -1,0 +1,43 @@
+"""Synthetic benchmark suite.
+
+The paper evaluates six statically linked binaries: cc1, go, perl and
+vortex from SPEC CINT95 (chosen for their *high* L1 I-miss rates) and
+mpeg2enc and pegwit from MediaBench (representative *loop-intensive*
+embedded codes, with essentially no I-misses).  Those binaries and
+their reference inputs are not available here, so this package
+generates SS32 stand-ins that reproduce the properties the paper's
+experiments depend on -- static footprint, dynamic I-cache behaviour,
+call-heavy vs. loop-dominated control flow, and realistic operand-value
+distributions for the compressor (see DESIGN.md section 3).
+
+Use :func:`build_benchmark` / :data:`BENCHMARK_NAMES` to obtain them.
+"""
+
+from repro.workloads.calibration import check_suite, measure
+from repro.workloads.generators import (
+    CallHeavyParams,
+    build_call_heavy,
+    build_crypto_kernel,
+    build_media_kernel,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    BenchmarkSpec,
+    SUITE,
+    build_benchmark,
+    build_suite,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkSpec",
+    "CallHeavyParams",
+    "SUITE",
+    "build_benchmark",
+    "build_call_heavy",
+    "build_crypto_kernel",
+    "build_media_kernel",
+    "build_suite",
+    "check_suite",
+    "measure",
+]

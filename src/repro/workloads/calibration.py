@@ -1,0 +1,102 @@
+"""Calibration utilities for synthetic workloads.
+
+The suite in :mod:`repro.workloads.suite` was calibrated against the
+paper's published numbers (Table 1 miss rates, Table 3 compression
+ratios).  This module packages that process so it is reproducible and
+reusable for new stand-ins:
+
+* :func:`measure` -- one program's calibration-relevant metrics;
+* :func:`check_suite` -- every benchmark against its recorded targets,
+  with tolerances (the regression test the suite itself runs);
+* :func:`tune_cold_threshold` -- the search used during calibration: a
+  monotone bisection of the call-heavy generator's cold-call
+  probability toward a target I-miss rate.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.codepack.compressor import compress_program
+from repro.sim.config import ARCH_4_ISSUE
+from repro.sim.machine import simulate
+from repro.workloads.generators import build_call_heavy
+from repro.workloads.suite import SUITE
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Calibration-relevant metrics for one program."""
+
+    name: str
+    text_bytes: int
+    compression_ratio: float
+    raw_fraction: float
+    miss_rate: float  # 4-issue L1 I-miss rate
+    instructions: int
+
+    def within(self, target_miss, target_ratio, miss_tol=0.02,
+               ratio_tol=0.05):
+        """Whether this measurement hits both calibration targets."""
+        miss_ok = target_miss is None \
+            or abs(self.miss_rate - target_miss) <= miss_tol
+        ratio_ok = abs(self.compression_ratio - target_ratio) <= ratio_tol
+        return miss_ok and ratio_ok
+
+
+def measure(program, arch=ARCH_4_ISSUE, max_instructions=5_000_000):
+    """Measure a program's calibration metrics."""
+    image = compress_program(program)
+    result = simulate(program, arch, max_instructions=max_instructions)
+    return Measurement(
+        name=program.name,
+        text_bytes=program.text_size,
+        compression_ratio=image.compression_ratio,
+        raw_fraction=image.stats.fractions()["raw_bits"],
+        miss_rate=result.icache_miss_rate,
+        instructions=result.instructions,
+    )
+
+
+def check_suite(scale=1.0, names=None, miss_tol=0.02, ratio_tol=0.05):
+    """Measure the whole suite against its paper targets.
+
+    Returns ``{name: (Measurement, ok)}``.  Tolerances are deliberately
+    loose for sub-scale runs, whose cold-start misses are inflated.
+    """
+    from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+    results = {}
+    for name in names or BENCHMARK_NAMES:
+        spec = SUITE[name]
+        measurement = measure(build_benchmark(name, scale))
+        ok = measurement.within(spec.paper_miss_rate,
+                                spec.paper_compression_ratio,
+                                miss_tol=miss_tol, ratio_tol=ratio_tol)
+        results[name] = (measurement, ok)
+    return results
+
+
+def tune_cold_threshold(params, target_miss, low=0, high=256,
+                        tolerance=0.003, max_steps=8, name="tuning"):
+    """Bisection search of ``cold_threshold`` toward *target_miss*.
+
+    The call-heavy generator's I-miss rate is monotone in the cold-call
+    probability, so bisection converges; returns
+    ``(best_params, measurement)``.
+    """
+    best = None
+    for _ in range(max_steps):
+        mid = (low + high) // 2
+        candidate = dataclasses.replace(params, cold_threshold=mid)
+        measurement = measure(build_call_heavy(name, candidate))
+        best = (candidate, measurement)
+        error = measurement.miss_rate - target_miss
+        if abs(error) <= tolerance:
+            break
+        if error < 0:
+            low = mid + 1
+        else:
+            high = mid
+        if low >= high:
+            break
+    return best

@@ -1,0 +1,453 @@
+"""Program generators for the synthetic benchmark suite.
+
+Two families:
+
+* :func:`build_call_heavy` -- a large population of generated functions
+  driven by a data-dependent dispatch loop.  A linear-congruential
+  generator computed *in simulated code* picks each callee: mostly from
+  a small cache-resident "hot" subset, occasionally from the whole
+  population.  The cold-call probability and population size dial in
+  the L1 I-miss rate, mimicking cc1/go/perl/vortex.
+* :func:`build_media_kernel` / :func:`build_crypto_kernel` --
+  loop-dominated kernels with tiny instruction footprints, mimicking
+  mpeg2enc/pegwit.
+
+Generated code is deliberately "compiler shaped" so that CodePack sees
+a realistic halfword distribution: a small set of registers carries
+most traffic, immediates are mostly small but occasionally arbitrary,
+and global accesses materialise scattered 32-bit addresses with
+``lui``/``ori`` -- the source of the paper's 15-25% raw bits.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.builder import AsmBuilder
+from repro.isa.registers import (
+    A0, A1, A2, A3, RA, SP, V0, V1,
+    S0, S1, S2, S3, S4, S5, S6, S7,
+    T0, T1, T2, T3, T4, T5, T6, T7, T8, T9,
+)
+
+#: Data-segment layout (byte addresses).
+TABLE_BASE = 0x1000_0000  # function-pointer dispatch table
+GLOBAL_BASE = 0x1010_0000  # scattered global variables
+ARRAY_BASE = 0x1020_0000  # dense kernel arrays
+
+_LCG_MULTIPLIER = 1103515245
+_LCG_INCREMENT = 12345
+
+# Registers generated function bodies may clobber.
+_TEMP_REGS = (T0, T1, T2, T3, T4, T5, T6, T7, T8, T9, A1, A2, A3, V1)
+# Register-allocation skew profiles.  CodePack's high halfword packs
+# op|rs|rt, so the number of *register pair* combinations in flight
+# directly sets how much of the high stream fits the dictionary; the
+# "tight" profile mimics a compiler that channels most traffic through
+# two or three registers (low raw fraction, go/vortex-like) while
+# "flat" spreads it (cc1/perl-like, 20%+ raw).
+_REG_PROFILES = {
+    "flat": (18, 16, 14, 12, 8, 6, 4, 3, 2, 2, 4, 3, 2, 2),
+    "tight": (45, 28, 14, 7, 4, 3, 2, 1, 1, 1, 2, 1, 1, 1),
+}
+
+_FRAME_BYTES = 48
+_FRAME_RA_OFFSET = 44
+
+
+@dataclass(frozen=True)
+class CallHeavyParams:
+    """Tuning knobs for the call-heavy generator.
+
+    * ``n_funcs`` -- population size (power of two), sets static footprint
+    * ``hot_funcs`` -- size of the cache-resident subset (power of two)
+    * ``cold_threshold`` -- out of 256: probability of a cold call
+    * ``iterations`` -- dispatch-loop trip count (dynamic length)
+    * ``body_min``/``body_max`` -- operations per generated function
+    * ``rare_imm_pct`` -- percent of immediates drawn uniformly from 16
+      bits (drives the raw-bits fraction of the compressed image)
+    """
+
+    n_funcs: int = 1024
+    hot_funcs: int = 64
+    cold_threshold: int = 32
+    iterations: int = 8000
+    body_min: int = 10
+    body_max: int = 28
+    rare_imm_pct: int = 12
+    call_leaf_pct: int = 20
+    global_pct: int = 12
+    global_span: int = 16 * 1024
+    reg_profile: str = "flat"
+    cold_window: int = 0  # 0 = uniform over n_funcs; else window size
+    window_step_shift: int = 3  # window drifts every 2**shift iterations
+    seed: int = 1
+
+    def __post_init__(self):
+        for field in ("n_funcs", "hot_funcs"):
+            value = getattr(self, field)
+            if value & (value - 1):
+                raise ValueError("%s must be a power of two" % field)
+        if not 0 <= self.cold_threshold <= 256:
+            raise ValueError("cold_threshold out of range")
+        if self.reg_profile not in _REG_PROFILES:
+            raise ValueError("unknown reg_profile %r" % self.reg_profile)
+        if self.cold_window and self.cold_window & (self.cold_window - 1):
+            raise ValueError("cold_window must be a power of two")
+
+
+class _OperandSampler:
+    """Draws registers and immediates with benchmark-specific skew."""
+
+    def __init__(self, rng, params):
+        self.rng = rng
+        self.params = params
+        self._weights = _REG_PROFILES[params.reg_profile]
+
+    def reg(self):
+        return self.rng.choices(_TEMP_REGS, weights=self._weights, k=1)[0]
+
+    def imm(self):
+        """Mostly-small immediates with a rare arbitrary tail."""
+        roll = self.rng.randrange(100)
+        if roll < self.params.rare_imm_pct:
+            return self.rng.randrange(0, 0x8000)
+        if roll < self.params.rare_imm_pct + 50:
+            return self.rng.randrange(0, 16)
+        return self.rng.randrange(0, 256)
+
+
+def _emit_alu(b, s):
+    rng = s.rng
+    choice = rng.randrange(10)
+    rd, rs, rt = s.reg(), s.reg(), s.reg()
+    if choice < 4:
+        op = rng.choice((b.addu, b.subu, b.xor, b.or_, b.and_))
+        op(rd, rs, rt)
+    elif choice < 7:
+        op = rng.choice((b.addiu, b.andi, b.ori, b.xori, b.slti))
+        op(rd, rs, s.imm())
+    elif choice < 9:
+        op = rng.choice((b.sll, b.srl, b.sra))
+        op(rd, rs, rng.randrange(1, 9))
+    else:
+        b.slt(rd, rs, rt)
+
+
+def _emit_stack_access(b, s):
+    offset = 4 * s.rng.randrange(0, 8)  # within the frame, below $ra
+    if s.rng.randrange(2):
+        b.sw(s.reg(), offset, SP)
+    else:
+        b.lw(s.reg(), offset, SP)
+
+
+def _emit_global_access(b, s):
+    # A scattered global: lui/ori materialises the address.  A random
+    # low halfword from a wide span is exactly the kind of value
+    # CodePack leaves raw; a narrow span repeats values the dictionary
+    # captures, which is how the low-raw-fraction benchmarks behave.
+    addr = GLOBAL_BASE + 4 * s.rng.randrange(0, s.params.global_span)
+    reg = s.reg()
+    b.li(reg, addr)
+    if s.rng.randrange(3):
+        b.lw(s.reg(), 0, reg)
+    else:
+        b.sw(s.reg(), 0, reg)
+
+
+def _emit_diamond(b, s, label_stem):
+    ra_reg, rb_reg = s.reg(), s.reg()
+    skip = "%s_skip_%d" % (label_stem, len(b._words))
+    if s.rng.randrange(2):
+        b.beq(ra_reg, rb_reg, skip)
+    else:
+        b.bne(ra_reg, rb_reg, skip)
+    for _ in range(s.rng.randrange(1, 4)):
+        _emit_alu(b, s)
+    b.label(skip)
+
+
+def _emit_mult(b, s):
+    b.mult(s.reg(), s.reg())
+    b.mflo(s.reg())
+
+
+def _emit_body(b, s, label_stem, leaf_labels, allow_calls):
+    """Emit one function body between prologue and epilogue."""
+    params = s.params
+    rng = s.rng
+    n_ops = rng.randrange(params.body_min, params.body_max + 1)
+    for _ in range(n_ops):
+        kind = rng.randrange(100)
+        if kind < 45:
+            _emit_alu(b, s)
+        elif kind < 60:
+            _emit_stack_access(b, s)
+        elif kind < 60 + params.global_pct:
+            _emit_global_access(b, s)
+        elif kind < 86:
+            _emit_diamond(b, s, label_stem)
+        elif kind < 92:
+            _emit_mult(b, s)
+        elif allow_calls and leaf_labels \
+                and kind < 92 + params.call_leaf_pct // 2:
+            b.jal(rng.choice(leaf_labels))
+        else:
+            _emit_alu(b, s)
+    b.addu(V0, s.reg(), s.reg())
+
+
+def _emit_leaf(b, s, name):
+    """A tiny frameless helper (always cache hot)."""
+    b.label(name)
+    for _ in range(s.rng.randrange(4, 9)):
+        _emit_alu(b, s)
+    b.addu(V0, s.reg(), s.reg())
+    b.ret()
+
+
+def _emit_function(b, s, name, leaf_labels):
+    """A full generated function with frame, body and epilogue."""
+    b.label(name)
+    b.addiu(SP, SP, -_FRAME_BYTES)
+    b.sw(RA, _FRAME_RA_OFFSET, SP)
+    _emit_body(b, s, name, leaf_labels, allow_calls=True)
+    b.lw(RA, _FRAME_RA_OFFSET, SP)
+    b.addiu(SP, SP, _FRAME_BYTES)
+    b.ret()
+
+
+def build_call_heavy(name, params=None):
+    """Generate a call-heavy benchmark (the cc1/go/perl/vortex family).
+
+    Register roles in the dispatch loop: S0 = LCG state, S1 = loop
+    counter, S2 = trip count, S3 = table base, S4 = checksum, S7 = LCG
+    multiplier.  Generated functions preserve S-registers and $sp.
+    """
+    params = params or CallHeavyParams()
+    rng = random.Random(params.seed)
+    b = AsmBuilder(name=name)
+
+    # ---- dispatch loop -----------------------------------------------------
+    b.li(S0, params.seed * 2654435761 % (1 << 32) | 1)
+    b.li(S7, _LCG_MULTIPLIER)
+    b.li(S1, 0)
+    b.li(S2, params.iterations)
+    b.li(S3, TABLE_BASE)
+    b.li(S4, 0)
+    b.label("main_loop")
+    b.mult(S0, S7)
+    b.mflo(S0)
+    b.addiu(S0, S0, _LCG_INCREMENT)
+    b.srl(T0, S0, 18)
+    b.andi(T0, T0, 0xFF)
+    b.sltiu(T1, T0, params.cold_threshold)
+    b.bne(T1, 0, "cold_call")
+    b.srl(T2, S0, 8)
+    b.andi(T2, T2, params.hot_funcs - 1)
+    b.branch_always("do_call")
+    b.label("cold_call")
+    b.srl(T2, S0, 8)
+    if params.cold_window:
+        # Cold calls cluster in a window that drifts through the
+        # population as the run proceeds -- real programs take their
+        # I-misses in phases, which is what gives the index cache its
+        # locality (paper Table 6's steep curve).
+        b.andi(T2, T2, params.cold_window - 1)
+        b.srl(T5, S1, params.window_step_shift)
+        b.addu(T2, T2, T5)
+        b.andi(T2, T2, params.n_funcs - 1)
+    else:
+        b.andi(T2, T2, params.n_funcs - 1)
+    b.label("do_call")
+    b.sll(T3, T2, 2)
+    b.addu(T3, T3, S3)
+    b.lw(T4, 0, T3)
+    b.jalr(RA, T4)
+    b.addu(S4, S4, V0)
+    b.addiu(S1, S1, 1)
+    b.bne(S1, S2, "main_loop")
+    # ---- epilogue: print the checksum and exit ------------------------------
+    b.move(A0, S4)
+    b.addiu(V0, 0, 1)
+    b.syscall()
+    b.halt()
+
+    # ---- leaf helpers (hot, shared) ------------------------------------------
+    sampler = _OperandSampler(rng, params)
+    leaf_labels = []
+    for i in range(8):
+        label = "leaf_%d" % i
+        _emit_leaf(b, sampler, label)
+        leaf_labels.append(label)
+
+    # ---- function population --------------------------------------------------
+    for i in range(params.n_funcs):
+        _emit_function(b, sampler, "fn_%d" % i, leaf_labels)
+        b.data_label_word(TABLE_BASE + 4 * i, "fn_%d" % i)
+
+    return b.build()
+
+
+def _emit_dead_library(b, rng, params, count):
+    """Emit *count* never-called functions after the program's hot code.
+
+    The paper's benchmarks are statically linked, so most of their
+    ``.text`` is library code the run never touches; it still gets
+    compressed and counted.  This keeps the kernels' compression-ratio
+    denominators realistic without perturbing their I-cache behaviour.
+    """
+    sampler = _OperandSampler(rng, params)
+    for i in range(count):
+        _emit_function(b, sampler, "lib_%d" % i, leaf_labels=())
+
+
+def build_media_kernel(name="mpeg2enc", iterations=600, seed=7,
+                       dead_funcs=280):
+    """A loop-dominated DCT/SAD-style kernel (the mpeg2enc stand-in).
+
+    Per outer iteration: an 8x8 integer butterfly transform over one
+    block (unrolled row loop) followed by a sum-of-absolute-differences
+    loop against a reference block.  Instruction footprint is a few
+    hundred words, so the I-cache never misses after warm-up -- the
+    paper reports 0.0% for mpeg2enc.
+    """
+    rng = random.Random(seed)
+    b = AsmBuilder(name=name)
+    block_a = ARRAY_BASE
+    block_b = ARRAY_BASE + 0x400
+    out = ARRAY_BASE + 0x800
+    for i in range(64):
+        b.data_word(block_a + 4 * i, rng.randrange(0, 256))
+        b.data_word(block_b + 4 * i, rng.randrange(0, 256))
+
+    b.li(S0, 0)  # outer counter
+    b.li(S1, iterations)
+    b.li(S4, 0)  # checksum
+    b.label("outer")
+
+    # -- row transform: 8 rows, loop-controlled --------------------------------
+    b.li(S2, block_a)
+    b.li(S3, out)
+    b.li(T9, 8)
+    b.label("row_loop")
+    for col in range(0, 8, 2):
+        b.lw(T0, 4 * col, S2)
+        b.lw(T1, 4 * col + 4, S2)
+        b.addu(T2, T0, T1)  # butterfly
+        b.subu(T3, T0, T1)
+        b.sra(T2, T2, 1)
+        b.sll(T4, T3, 2)
+        b.addu(T5, T2, T4)
+        b.sw(T2, 4 * col, S3)
+        b.sw(T5, 4 * col + 4, S3)
+        b.addu(S4, S4, T5)
+    b.addiu(S2, S2, 32)
+    b.addiu(S3, S3, 32)
+    b.addiu(T9, T9, -1)
+    b.bne(T9, 0, "row_loop")
+
+    # -- SAD loop over the block against the reference ---------------------------
+    b.li(S2, out)
+    b.li(S3, block_b)
+    b.li(T9, 64)
+    b.li(T8, 0)
+    b.label("sad_loop")
+    b.lw(T0, 0, S2)
+    b.lw(T1, 0, S3)
+    b.subu(T2, T0, T1)
+    b.sra(T3, T2, 31)
+    b.xor(T2, T2, T3)
+    b.subu(T2, T2, T3)  # |a - b|
+    b.addu(T8, T8, T2)
+    b.addiu(S2, S2, 4)
+    b.addiu(S3, S3, 4)
+    b.addiu(T9, T9, -1)
+    b.bne(T9, 0, "sad_loop")
+    b.addu(S4, S4, T8)
+
+    b.addiu(S0, S0, 1)
+    b.bne(S0, S1, "outer")
+    b.move(A0, S4)
+    b.addiu(V0, 0, 1)
+    b.syscall()
+    b.halt()
+    _emit_dead_library(
+        b, rng, CallHeavyParams(body_min=14, body_max=34, rare_imm_pct=12,
+                                seed=seed), dead_funcs)
+    return b.build()
+
+
+def build_crypto_kernel(name="pegwit", iterations=6000, seed=11,
+                        cold_funcs=64, excursion_mask=511, dead_funcs=140):
+    """An ARX/sbox cipher loop (the pegwit stand-in).
+
+    The hot loop mixes state with add/rotate/xor rounds and an S-box
+    lookup.  Every ``excursion_mask + 1`` iterations it calls one of
+    ``cold_funcs`` generated functions, producing the faint 0.1% I-miss
+    rate the paper reports for pegwit.
+    """
+    rng = random.Random(seed)
+    b = AsmBuilder(name=name)
+    sbox = ARRAY_BASE + 0x1000
+    for i in range(256):
+        b.data_word(sbox + 4 * i, rng.randrange(0, 1 << 32))
+
+    params = CallHeavyParams(n_funcs=cold_funcs, hot_funcs=cold_funcs,
+                             cold_threshold=0, iterations=0,
+                             body_min=14, body_max=30, rare_imm_pct=11,
+                             global_pct=8, global_span=2048,
+                             reg_profile="tight", seed=seed)
+
+    b.li(S0, (0x12345678 ^ seed) & 0xFFFFFFFF)  # cipher state a
+    b.li(S5, 0x9E3779B9)  # round constant (golden ratio)
+    b.li(S1, 0)  # iteration counter
+    b.li(S2, iterations)
+    b.li(S3, sbox)
+    b.li(S4, 0)  # checksum
+    b.li(S6, TABLE_BASE)
+    b.label("main_loop")
+    # Four unrolled ARX rounds: state = rotl(state + K, r) ^ counter.
+    for shift in (7, 13, 5, 11):
+        b.addu(S0, S0, S5)
+        b.sll(T0, S0, shift)
+        b.srl(T1, S0, 32 - shift)
+        b.or_(S0, T0, T1)
+        b.xor(S0, S0, S1)
+    # S-box substitution of the low byte.
+    b.andi(T2, S0, 0xFF)
+    b.sll(T2, T2, 2)
+    b.addu(T2, T2, S3)
+    b.lw(T3, 0, T2)
+    b.xor(S0, S0, T3)
+    b.addu(S4, S4, S0)
+    # Rare excursion into cold code, once every excursion_mask+1 trips.
+    b.andi(T4, S1, excursion_mask)
+    b.bne(T4, 0, "no_excursion")
+    b.srl(T5, S0, 3)
+    b.andi(T5, T5, cold_funcs - 1)
+    b.sll(T5, T5, 2)
+    b.addu(T5, T5, S6)
+    b.lw(T6, 0, T5)
+    b.jalr(RA, T6)
+    b.addu(S4, S4, V0)
+    b.label("no_excursion")
+    b.addiu(S1, S1, 1)
+    b.bne(S1, S2, "main_loop")
+    b.move(A0, S4)
+    b.addiu(V0, 0, 1)
+    b.syscall()
+    b.halt()
+
+    # Cold function population reached only by the excursions.
+    sampler = _OperandSampler(rng, params)
+    leaf_labels = []
+    for i in range(4):
+        label = "leaf_%d" % i
+        _emit_leaf(b, sampler, label)
+        leaf_labels.append(label)
+    for i in range(cold_funcs):
+        _emit_function(b, sampler, "fn_%d" % i, leaf_labels)
+        b.data_label_word(TABLE_BASE + 4 * i, "fn_%d" % i)
+    _emit_dead_library(b, rng, params, dead_funcs)
+    return b.build()

@@ -1,0 +1,121 @@
+"""Tests for the entropy/coverage analysis module."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codepack.analysis import (
+    coverage_report,
+    entropy_report,
+    format_entropy_report,
+    shannon_entropy,
+)
+from repro.codepack.compressor import compress_program
+from tests.conftest import make_counting_program
+
+
+class TestShannonEntropy:
+    def test_uniform_distribution(self):
+        hist = {i: 1 for i in range(8)}
+        assert shannon_entropy(hist) == pytest.approx(3.0)
+
+    def test_single_symbol_is_zero(self):
+        assert shannon_entropy({42: 100}) == 0.0
+
+    def test_empty_is_zero(self):
+        assert shannon_entropy({}) == 0.0
+
+    def test_biased_coin(self):
+        hist = {0: 3, 1: 1}
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert shannon_entropy(hist) == pytest.approx(expected)
+
+    @given(st.dictionaries(st.integers(0, 1000), st.integers(1, 100),
+                           min_size=1, max_size=64))
+    def test_bounds(self, hist):
+        entropy = shannon_entropy(hist)
+        assert 0.0 <= entropy <= math.log2(len(hist)) + 1e-9
+
+
+class TestEntropyReport:
+    @pytest.fixture(scope="class")
+    def report(self, cc1_small):
+        image = compress_program(cc1_small)
+        return entropy_report(cc1_small, image)
+
+    def test_achieved_above_bound(self, report):
+        """No symbol coder beats the zeroth-order entropy."""
+        assert report.achieved_bits_per_instruction \
+            >= report.bound_bits_per_instruction - 1e-9
+
+    def test_efficiency_in_unit_interval(self, report):
+        assert 0.0 < report.coding_efficiency <= 1.0
+
+    def test_codepack_reasonably_efficient(self, report):
+        """The tagged scheme should land within ~65-100% of entropy."""
+        assert report.coding_efficiency > 0.60
+
+    def test_bound_ratio_below_achieved_ratio(self, report, cc1_small):
+        image = compress_program(cc1_small)
+        assert report.bound_ratio < image.compression_ratio
+
+    def test_formatting(self, report):
+        text = format_entropy_report(report)
+        assert "bits/instruction" in text
+        assert "entropy" in text
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def artifacts(self, cc1_small):
+        image = compress_program(cc1_small)
+        return cc1_small, image, coverage_report(cc1_small, image)
+
+    def test_occurrences_account_for_every_symbol(self, artifacts):
+        program, image, report = artifacts
+        for stream in ("high", "low"):
+            total = sum(row.occurrences for row in report[stream])
+            assert total == len(program.text)
+
+    def test_bits_match_image_stats(self, artifacts):
+        """Sum of class bits equals the compressor's own accounting
+        (modulo raw-escaped whole blocks, absent in this program)."""
+        program, image, report = artifacts
+        if any(block.is_raw for block in image.blocks):
+            pytest.skip("raw blocks break per-symbol accounting")
+        stats = image.stats
+        total_bits = sum(row.total_bits
+                         for stream in report.values() for row in stream)
+        assert total_bits == (stats.compressed_tag_bits
+                              + stats.dictionary_index_bits
+                              + stats.raw_tag_bits + stats.raw_bits)
+
+    def test_low_stream_has_zero_escape(self, artifacts):
+        _, _, report = artifacts
+        labels = [row.label for row in report["low"]]
+        assert any("zero escape" in label for label in labels)
+        assert not any("zero escape" in row.label
+                       for row in report["high"])
+
+    def test_raw_class_present_in_both(self, artifacts):
+        _, _, report = artifacts
+        for stream in ("high", "low"):
+            assert "raw escape" in report[stream][-1].label
+
+    def test_fraction_helper(self, artifacts):
+        _, _, report = artifacts
+        fractions = [row.fraction_of(len(artifacts[0].text))
+                     for row in report["low"]]
+        assert abs(sum(fractions) - 1.0) < 1e-9
+
+    def test_counting_program_zero_heavy(self):
+        # lui-heavy code has many zero low halfwords.
+        prog = make_counting_program(10)
+        image = compress_program(prog)
+        report = coverage_report(prog, image)
+        zero_row = report["low"][0]
+        assert "zero escape" in zero_row.label
+        assert zero_row.occurrences > 0

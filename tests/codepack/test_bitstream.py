@@ -1,0 +1,98 @@
+"""Unit and property tests for MSB-first bit I/O."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codepack.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_msb_first_packing(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b00011, 5)
+        assert w.to_bytes() == bytes([0b10100011])
+
+    def test_zero_width_is_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.bit_length == 0
+
+    def test_rejects_value_too_wide(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(4, 2)
+
+    def test_rejects_negative(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(-1, 4)
+        with pytest.raises(ValueError):
+            w.write(0, -1)
+
+    def test_pad_to_byte(self):
+        w = BitWriter()
+        w.write(1, 3)
+        assert w.pad_to_byte() == 5
+        assert w.bit_length == 8
+        assert w.pad_to_byte() == 0
+
+    def test_to_bytes_requires_alignment(self):
+        w = BitWriter()
+        w.write(1, 3)
+        with pytest.raises(ValueError):
+            w.to_bytes()
+
+
+class TestBitReader:
+    def test_reads_across_byte_boundaries(self):
+        r = BitReader(bytes([0b10100011, 0b11000000]))
+        assert r.read(3) == 0b101
+        assert r.read(7) == 0b0001111
+
+    def test_offset_start(self):
+        r = BitReader(bytes([0xFF, 0x0F]), bit_offset=8)
+        assert r.read(4) == 0
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(bytes([0b10110000]))
+        assert r.peek(4) == 0b1011
+        assert r.read(4) == 0b1011
+
+    def test_eof(self):
+        r = BitReader(b"\x00")
+        r.read(8)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_zero_width_read(self):
+        r = BitReader(b"")
+        assert r.read(0) == 0
+
+    def test_skip_to_byte(self):
+        r = BitReader(bytes([0xFF, 0x80]))
+        r.read(3)
+        r.skip_to_byte()
+        assert r.position == 8
+        assert r.read(1) == 1
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        r.read(5)
+        assert r.bits_remaining == 11
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=24),
+                          st.integers(min_value=0)),
+                min_size=0, max_size=60))
+def test_write_read_roundtrip(fields):
+    """Any sequence of (width, value) fields round-trips bit-exactly."""
+    fields = [(w, v & ((1 << w) - 1)) for w, v in fields]
+    writer = BitWriter()
+    for width, value in fields:
+        writer.write(value, width)
+    writer.pad_to_byte()
+    reader = BitReader(writer.to_bytes())
+    for width, value in fields:
+        assert reader.read(width) == value

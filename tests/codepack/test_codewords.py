@@ -1,0 +1,118 @@
+"""Tests for the codeword schemes (paper Section 3.1 constraints)."""
+
+import pytest
+
+from repro.codepack.codewords import (
+    HIGH_SCHEME,
+    LOW_SCHEME,
+    LOW_ZERO_TAG_BITS,
+    RAW_CODEWORD_BITS,
+    RAW_HALFWORD_BITS,
+    RAW_TAG_BITS,
+)
+
+
+def all_tags(scheme):
+    """(tag, tag_bits) pairs used by the scheme, including raw and the
+    low-zero escape."""
+    tags = [(cls.tag, cls.tag_bits) for cls in scheme.classes]
+    tags.append((scheme.raw_tag, scheme.raw_tag_bits))
+    if scheme.zero_special:
+        tags.append((0b00, LOW_ZERO_TAG_BITS))
+    return tags
+
+
+class TestPaperConstraints:
+    """The scheme must satisfy everything the paper states."""
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_tags_are_2_or_3_bits(self, scheme):
+        for _, bits in all_tags(scheme):
+            assert bits in (2, 3)
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_compressed_codewords_within_2_to_11_bits(self, scheme):
+        for i in range(scheme.dictionary_capacity):
+            assert 2 <= scheme.encoded_bits(i) <= 11
+
+    def test_low_zero_is_two_bits(self):
+        assert LOW_ZERO_TAG_BITS == 2
+        assert LOW_SCHEME.zero_special
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_dictionaries_below_512_entries(self, scheme):
+        assert scheme.dictionary_capacity < 512
+
+    def test_raw_escape_costs_19_bits(self):
+        assert RAW_TAG_BITS == 3
+        assert RAW_HALFWORD_BITS == 16
+        assert RAW_CODEWORD_BITS == 19
+
+
+class TestPrefixFreedom:
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_no_tag_prefixes_another(self, scheme):
+        tags = all_tags(scheme)
+        for tag_a, bits_a in tags:
+            for tag_b, bits_b in tags:
+                if (tag_a, bits_a) == (tag_b, bits_b):
+                    continue
+                shorter, s_bits = ((tag_a, bits_a)
+                                   if bits_a <= bits_b else (tag_b, bits_b))
+                longer, l_bits = ((tag_b, bits_b)
+                                  if bits_a <= bits_b else (tag_a, bits_a))
+                assert longer >> (l_bits - s_bits) != shorter or \
+                    s_bits == l_bits, \
+                    "tag %s/%d prefixes %s/%d" % (bin(shorter), s_bits,
+                                                  bin(longer), l_bits)
+
+
+class TestEntryClassMapping:
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_class_of_entry_inverse(self, scheme):
+        for slot in range(scheme.dictionary_capacity):
+            cls, index = scheme.class_of_entry(slot)
+            assert index < cls.capacity
+            assert scheme.entry_of_class(cls, index) == slot
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_entry_beyond_capacity_rejected(self, scheme):
+        with pytest.raises(IndexError):
+            scheme.class_of_entry(scheme.dictionary_capacity)
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_codeword_lengths_monotonic_in_slot(self, scheme):
+        lengths = [scheme.encoded_bits(i)
+                   for i in range(scheme.dictionary_capacity)]
+        assert lengths == sorted(lengths), \
+            "earlier (more frequent) slots must get shorter codewords"
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_class_for_tag_finds_every_class(self, scheme):
+        for cls in scheme.classes:
+            assert scheme.class_for_tag(cls.tag, cls.tag_bits) == cls
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_class_for_raw_tag_is_none(self, scheme):
+        assert scheme.class_for_tag(scheme.raw_tag,
+                                    scheme.raw_tag_bits) is None
+
+    @pytest.mark.parametrize("scheme", [HIGH_SCHEME, LOW_SCHEME])
+    def test_unknown_tag_raises(self, scheme):
+        with pytest.raises(KeyError):
+            scheme.class_for_tag(0b110 if scheme is HIGH_SCHEME else 0b00,
+                                 3 if scheme is HIGH_SCHEME else 2)
+
+
+class TestCapacityAccounting:
+    def test_high_capacity(self):
+        assert HIGH_SCHEME.dictionary_capacity == 16 + 64 + 256
+
+    def test_low_capacity(self):
+        assert LOW_SCHEME.dictionary_capacity == 16 + 64 + 256
+
+    def test_both_dictionaries_fit_2kb_buffer(self):
+        # Paper: "Both dictionaries are kept in a 2KB on-chip buffer."
+        total_bytes = 2 * (HIGH_SCHEME.dictionary_capacity
+                           + LOW_SCHEME.dictionary_capacity)
+        assert total_bytes <= 2048

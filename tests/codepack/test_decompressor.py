@@ -1,0 +1,71 @@
+"""Tests for the functional decoder."""
+
+import pytest
+
+from repro.codepack.compressor import compress_words
+from repro.codepack.decompressor import (
+    DecompressionError,
+    decompress_block,
+    decompress_program,
+    iter_block_symbols,
+)
+from repro.codepack.dictionary import Dictionary
+from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
+
+
+class TestBlockDecode:
+    def test_per_block_matches_source(self):
+        words = list(range(0x5000, 0x5000 + 40))
+        image = compress_words(words)
+        assert decompress_block(image, 0) == words[:16]
+        assert decompress_block(image, 1) == words[16:32]
+        assert decompress_block(image, 2) == words[32:]
+
+    def test_iter_symbols_reports_bit_offsets(self):
+        words = [0x12340000] * 16 + [0x43210000] * 16
+        image = compress_words(words)
+        for block_index in range(image.n_blocks):
+            block = image.blocks[block_index]
+            offsets = [end for _, end in
+                       iter_block_symbols(image, block_index)]
+            assert offsets == list(block.inst_end_bits)
+
+    def test_raw_block_decodes(self):
+        words = [(i * 2654435761 + 99) & 0xFFFFFFFF for i in range(16)]
+        image = compress_words(words)
+        assert image.blocks[0].is_raw
+        assert decompress_block(image, 0) == words
+
+
+class TestWholeProgram:
+    def test_program_roundtrip(self):
+        words = [0x24210001, 0x00000000, 0x8FBF002C] * 30
+        image = compress_words(words)
+        assert decompress_program(image) == words
+
+    def test_zero_low_halfword_roundtrip(self):
+        # The 2-bit tag-only encoding of a zero low halfword.
+        words = [0x3C080000] * 20  # lui $t0, 0 -- low half is zero
+        image = compress_words(words)
+        assert decompress_program(image) == words
+
+    def test_length_mismatch_detected(self):
+        image = compress_words([1, 2, 3])
+        image.n_instructions = 5
+        with pytest.raises(DecompressionError):
+            decompress_program(image)
+
+
+class TestCorruption:
+    def test_dictionary_slot_out_of_range(self):
+        # Build an image whose dictionary is then truncated: decoding a
+        # codeword that points past the shortened dictionary must fail
+        # loudly, not return garbage.
+        words = [0x11110000 + i for i in range(16)] * 4
+        image = compress_words(words)
+        if image.blocks[0].is_raw:
+            pytest.skip("stream compressed to raw; nothing to corrupt")
+        image.high_dict = Dictionary(HIGH_SCHEME, image.high_dict.entries[:1])
+        image.low_dict = Dictionary(LOW_SCHEME, [])
+        with pytest.raises(DecompressionError):
+            decompress_program(image)

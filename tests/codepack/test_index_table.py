@@ -1,0 +1,51 @@
+"""Tests for index-table entry packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codepack.index_table import (
+    INDEX_ENTRY_BITS,
+    MAX_BLOCK1_BASE,
+    MAX_BLOCK2_OFFSET,
+    IndexEntry,
+    pack_index_entry,
+    unpack_index_entry,
+)
+
+
+class TestPacking:
+    def test_fits_32_bits(self):
+        word = pack_index_entry(IndexEntry(MAX_BLOCK1_BASE,
+                                           MAX_BLOCK2_OFFSET, True, True))
+        assert 0 <= word < (1 << INDEX_ENTRY_BITS)
+
+    def test_block2_base_derived(self):
+        entry = IndexEntry(block1_base=100, block2_offset=40)
+        assert entry.block2_base == 140
+
+    def test_base_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_index_entry(IndexEntry(MAX_BLOCK1_BASE + 1, 0))
+
+    def test_offset_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_index_entry(IndexEntry(0, MAX_BLOCK2_OFFSET + 1))
+
+    def test_unpack_rejects_wide_word(self):
+        with pytest.raises(ValueError):
+            unpack_index_entry(1 << 32)
+
+    def test_flags_in_top_bits(self):
+        word = pack_index_entry(IndexEntry(0, 0, block1_raw=True))
+        assert word >> 31 == 1
+        word = pack_index_entry(IndexEntry(0, 0, block2_raw=True))
+        assert (word >> 30) & 1 == 1
+
+
+@given(base=st.integers(0, MAX_BLOCK1_BASE),
+       offset=st.integers(0, MAX_BLOCK2_OFFSET),
+       raw1=st.booleans(), raw2=st.booleans())
+def test_pack_unpack_roundtrip(base, offset, raw1, raw2):
+    entry = IndexEntry(base, offset, raw1, raw2)
+    assert unpack_index_entry(pack_index_entry(entry)) == entry

@@ -1,0 +1,108 @@
+"""Robustness: the decoder must fail loudly, never wrongly, on garbage.
+
+A hardware decompressor faces whatever bytes the memory system hands
+it; the software model must either decode (any bit pattern that happens
+to be a valid codeword stream) or raise a typed error -- never crash
+with an unrelated exception or loop forever.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
+from repro.codepack.compressor import BlockInfo, CodePackImage, compress_words
+from repro.codepack.decompressor import DecompressionError, decompress_block
+from repro.codepack.dictionary import Dictionary
+from repro.codepack.stats import CompositionStats
+
+
+def image_over(data, n_instructions=4, high_entries=(), low_entries=()):
+    """Wrap raw bytes as a single compressed block."""
+    block = BlockInfo(index=0, byte_offset=0, byte_length=len(data),
+                      is_raw=False, n_instructions=n_instructions,
+                      inst_end_bits=tuple(range(8, 8 * (n_instructions + 1),
+                                                8)))
+    return CodePackImage(
+        name="fuzz", text_base=0, n_instructions=n_instructions,
+        high_dict=Dictionary(HIGH_SCHEME, list(high_entries)),
+        low_dict=Dictionary(LOW_SCHEME, list(low_entries)),
+        index_entries=[], code_bytes=bytes(data), blocks=[block],
+        stats=CompositionStats(), original_bytes=4 * n_instructions)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=1, max_size=64),
+       st.integers(min_value=1, max_value=8))
+def test_garbage_bytes_never_crash(data, count):
+    """Random bytes either decode or raise typed errors."""
+    image = image_over(data, n_instructions=count)
+    try:
+        words = decompress_block(image, 0)
+    except (DecompressionError, EOFError):
+        return
+    assert len(words) == count
+    assert all(0 <= word < (1 << 32) for word in words)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=4, max_size=64),
+       st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=40,
+                unique=True),
+       st.lists(st.integers(1, 0xFFFF), min_size=1, max_size=40,
+                unique=True))
+def test_garbage_with_populated_dictionaries(data, high, low):
+    image = image_over(data, n_instructions=4, high_entries=high,
+                       low_entries=low)
+    try:
+        words = decompress_block(image, 0)
+    except (DecompressionError, EOFError):
+        return
+    assert len(words) == 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=64),
+       st.integers(0, 200), st.integers(0, 7))
+def test_bitflip_corruption_detected_or_decoded(words, byte_pos, bit):
+    """Flipping one bit of a real image never escapes the error types."""
+    image = compress_words(words)
+    if not image.code_bytes:
+        return
+    data = bytearray(image.code_bytes)
+    data[byte_pos % len(data)] ^= 1 << bit
+    image.code_bytes = bytes(data)
+    try:
+        from repro.codepack.decompressor import decompress_program
+        decoded = decompress_program(image)
+        assert len(decoded) == len(words)
+    except (DecompressionError, EOFError):
+        pass
+
+
+class TestAdversarialStreams:
+    def test_all_ones_stream(self):
+        # 0b111... parses as raw escapes; must decode or raise cleanly.
+        image = image_over(b"\xff" * 40, n_instructions=4)
+        try:
+            words = decompress_block(image, 0)
+            assert len(words) == 4
+        except (DecompressionError, EOFError):
+            pass
+
+    def test_all_zero_stream_decodes_with_dictionary(self):
+        # 0b00... = high class-A slot 0 + low zero escape, repeated.
+        image = image_over(b"\x00" * 16, n_instructions=4,
+                           high_entries=[0x1234])
+        words = decompress_block(image, 0)
+        assert words == [0x12340000] * 4
+
+    def test_all_zero_stream_fails_without_dictionary(self):
+        image = image_over(b"\x00" * 16, n_instructions=4)
+        with pytest.raises(DecompressionError):
+            decompress_block(image, 0)
+
+    def test_truncated_stream_raises_eof(self):
+        image = image_over(b"\xff", n_instructions=4)
+        with pytest.raises((EOFError, DecompressionError)):
+            decompress_block(image, 0)

@@ -1,0 +1,54 @@
+"""Tests for composition accounting."""
+
+import pytest
+
+from repro.codepack.stats import CompositionStats
+
+
+class TestTotals:
+    def test_total_bits(self):
+        stats = CompositionStats(index_table_bits=32, dictionary_bits=64,
+                                 compressed_tag_bits=10,
+                                 dictionary_index_bits=20, raw_tag_bits=3,
+                                 raw_bits=16, pad_bits=7)
+        assert stats.total_bits == 152
+        assert stats.total_bytes == 19
+
+    def test_unaligned_total_rejected(self):
+        with pytest.raises(ValueError):
+            CompositionStats(raw_bits=3).total_bytes
+
+    def test_empty_fractions(self):
+        assert all(v == 0.0
+                   for v in CompositionStats().fractions().values())
+
+    def test_fractions_sum_to_one(self):
+        stats = CompositionStats(index_table_bits=10, raw_bits=30)
+        assert abs(sum(stats.fractions().values()) - 1.0) < 1e-12
+
+
+class TestMerge:
+    def test_merged_adds_fieldwise(self):
+        a = CompositionStats(raw_bits=8, pad_bits=1)
+        b = CompositionStats(raw_bits=8, compressed_tag_bits=4)
+        merged = a.merged(b)
+        assert merged.raw_bits == 16
+        assert merged.pad_bits == 1
+        assert merged.compressed_tag_bits == 4
+
+    def test_merge_does_not_mutate(self):
+        a = CompositionStats(raw_bits=8)
+        a.merged(CompositionStats(raw_bits=8))
+        assert a.raw_bits == 8
+
+
+class TestRow:
+    def test_as_row_order_matches_table4(self):
+        stats = CompositionStats(index_table_bits=8, dictionary_bits=8,
+                                 compressed_tag_bits=8,
+                                 dictionary_index_bits=8, raw_tag_bits=8,
+                                 raw_bits=8, pad_bits=8)
+        row = stats.as_row()
+        assert len(row) == 8
+        assert all(abs(f - 1.0 / 7) < 1e-12 for f in row[:7])
+        assert row[7] == 7

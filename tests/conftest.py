@@ -1,0 +1,104 @@
+"""Shared fixtures.
+
+Benchmark programs are expensive to generate (tens of thousands of
+instructions), so they are built once per session at a reduced dynamic
+scale; tests that need full-scale behaviour build their own.
+"""
+
+import pytest
+
+from repro.isa.builder import AsmBuilder
+from repro.isa.registers import A0, T0, T1, T2, T3, V0
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+#: Dynamic-length multiplier for session fixtures (keeps pytest quick).
+TEST_SCALE = 0.05
+
+
+def make_counting_program(n=100):
+    """A tiny deterministic program: sums 1..n, prints, halts."""
+    b = AsmBuilder(name="counting")
+    b.li(T0, 0)  # i
+    b.li(T1, n)
+    b.li(T2, 0)  # acc
+    b.label("loop")
+    b.addiu(T0, T0, 1)
+    b.addu(T2, T2, T0)
+    b.bne(T0, T1, "loop")
+    b.move(A0, T2)
+    b.addiu(V0, 0, 1)
+    b.syscall()
+    b.halt()
+    return b.build()
+
+
+def make_static_program(n_words):
+    """A program whose .text is *n_words* long (for geometry tests).
+
+    Executes straight through a run of distinct ALU instructions and
+    halts; only its static size usually matters.
+    """
+    if n_words < 2:
+        raise ValueError("need at least the 2-instruction halt")
+    b = AsmBuilder(name="static%d" % n_words)
+    for i in range(n_words - 2):
+        b.addiu(T0, T0, i & 0x7FFF)
+    b.halt()  # li $v0,10 ; syscall
+    prog = b.build()
+    assert len(prog.text) == n_words
+    return prog
+
+
+def make_memory_program(words=64):
+    """Writes then reads back an array; exercises the D-cache path."""
+    b = AsmBuilder(name="memtest")
+    base = 0x1030_0000
+    b.li(T0, base)
+    b.li(T1, 0)
+    b.li(T3, words)
+    b.label("wloop")
+    b.sw(T1, 0, T0)
+    b.addiu(T0, T0, 4)
+    b.addiu(T1, T1, 1)
+    b.bne(T1, T3, "wloop")
+    b.li(T0, base)
+    b.li(T1, 0)
+    b.li(T2, 0)
+    b.label("rloop")
+    b.lw(A0, 0, T0)
+    b.addu(T2, T2, A0)
+    b.addiu(T0, T0, 4)
+    b.addiu(T1, T1, 1)
+    b.bne(T1, T3, "rloop")
+    b.move(A0, T2)
+    b.addiu(V0, 0, 1)
+    b.syscall()
+    b.halt()
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def counting_program():
+    return make_counting_program()
+
+
+@pytest.fixture(scope="session")
+def memory_program():
+    return make_memory_program()
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """All six benchmarks at a small dynamic scale, built once."""
+    return {name: build_benchmark(name, scale=TEST_SCALE)
+            for name in BENCHMARK_NAMES}
+
+
+@pytest.fixture(scope="session")
+def cc1_small(small_suite):
+    return small_suite["cc1"]
+
+
+@pytest.fixture(scope="session")
+def pegwit_small(small_suite):
+    return small_suite["pegwit"]

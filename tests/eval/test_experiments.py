@@ -1,0 +1,117 @@
+"""Tests for the experiment harness.
+
+Full-scale experiments run for minutes; here every exhibit runs on a
+tiny Workbench (two benchmarks, very short trip counts) and the tests
+check structure plus the cheap exactness properties (Figure 2).
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    ALL_EXPERIMENTS,
+    figure2,
+    run_experiment,
+    table2,
+    table3,
+    table4,
+    table6,
+    table9,
+)
+from repro.eval.runner import Workbench
+from repro.eval.tables import TableResult
+
+BENCHES = ("pegwit", "mpeg2enc")  # the two cheapest to simulate
+
+
+@pytest.fixture(scope="module")
+def wb():
+    return Workbench(scale=0.02)
+
+
+class TestFigure2:
+    """The worked example must reproduce cycle-exactly."""
+
+    def test_paper_numbers(self):
+        table = figure2()
+        by_model = {row[0]: row for row in table.rows}
+        for row in table.rows:
+            measured, paper = row[1], row[2]
+            assert measured == paper, row[0]
+        assert len(by_model) == 3
+
+
+class TestStructure:
+    def test_all_exhibits_registered(self):
+        expected = {"table%d" % i for i in range(1, 13)} | {"figure2"}
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_run_experiment_dispatch(self, wb):
+        table = run_experiment("table3", wb=wb, benchmarks=BENCHES)
+        assert isinstance(table, TableResult)
+        assert table.exhibit == "Table 3"
+
+    def test_table2_is_static(self):
+        table = table2()
+        assert [c for c in table.columns[1:]] \
+            == ["1-issue", "4-issue", "8-issue"]
+        assert table.row_by_key("RUU entries")[1:] == ["4", "16", "32"]
+
+
+class TestSizeTables:
+    def test_table3_ratio_consistency(self, wb):
+        table = table3(wb=wb, benchmarks=BENCHES)
+        for row in table.rows:
+            bench, original, compressed, ratio, paper = row
+            assert abs(ratio - compressed / original) < 1e-9
+            assert 0 < ratio < 1
+
+    def test_table4_fractions_sum_to_one(self, wb):
+        table = table4(wb=wb, benchmarks=BENCHES)
+        for row in table.rows:
+            assert abs(sum(row[1:8]) - 1.0) < 1e-9
+
+    def test_table4_total_matches_table3(self, wb):
+        t3 = table3(wb=wb, benchmarks=BENCHES)
+        t4 = table4(wb=wb, benchmarks=BENCHES)
+        for bench in BENCHES:
+            assert t3.row_by_key(bench)[2] == t4.row_by_key(bench)[8]
+
+
+class TestPerformanceTables:
+    def test_table9_columns_are_consistent(self, wb):
+        table = table9(wb=wb, benchmarks=("pegwit",))
+        row = table.row_by_key("pegwit")
+        baseline, index, decompress, combined = row[1:]
+        # Each optimization can only help relative to the baseline.
+        assert index >= baseline - 1e-9
+        assert decompress >= baseline - 1e-9
+        assert combined >= max(index, decompress) - 0.02
+
+    def test_table6_monotone_in_capacity(self, wb):
+        table = table6(wb=wb, bench="pegwit")
+        # More lines can only reduce the miss ratio, column-wise.
+        for col in range(1, 5):
+            values = [row[col] for row in table.rows]
+            assert all(values[i] >= values[i + 1] - 0.05
+                       for i in range(len(values) - 1))
+
+    def test_speedups_are_positive(self, wb):
+        table = table9(wb=wb, benchmarks=BENCHES)
+        for row in table.rows:
+            assert all(v > 0 for v in row[1:])
+
+
+class TestWorkbench:
+    def test_results_memoised(self, wb):
+        from repro.sim.config import ARCH_4_ISSUE
+        a = wb.run("pegwit", ARCH_4_ISSUE)
+        b = wb.run("pegwit", ARCH_4_ISSUE)
+        assert a is b
+
+    def test_programs_built_once(self, wb):
+        assert wb.program("pegwit") is wb.program("pegwit")
+
+    def test_speedup_helper(self, wb):
+        from repro.sim.config import ARCH_4_ISSUE, CodePackConfig
+        value = wb.speedup("pegwit", ARCH_4_ISSUE, CodePackConfig())
+        assert 0.5 < value < 1.5

@@ -1,0 +1,63 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.eval.report import generate_report, main, table_to_markdown
+from repro.eval.runner import Workbench
+from repro.eval.tables import TableResult
+
+
+def sample_table():
+    return TableResult(
+        exhibit="Table X", title="Sample",
+        columns=["bench", "ratio"],
+        rows=[["cc1", 0.605], ["go", None]],
+        formats={1: "%.2f"},
+        notes="a note")
+
+
+class TestMarkdownRendering:
+    def test_structure(self):
+        text = table_to_markdown(sample_table())
+        assert text.startswith("### Table X — Sample")
+        assert "| bench | ratio |" in text
+        assert "| cc1 | 0.60 |" in text
+        assert "*a note*" in text
+
+    def test_none_renders_dash(self):
+        assert "| go | – |" in table_to_markdown(sample_table())
+
+    def test_separator_row(self):
+        lines = table_to_markdown(sample_table()).splitlines()
+        assert lines[3] == "|---|---|"
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def wb(self):
+        return Workbench(scale=0.02)
+
+    def test_small_document(self, wb):
+        # Use only the cheap static exhibits via a custom run.
+        from repro.eval.experiments import figure2, table3
+        document = table_to_markdown(figure2()) \
+            + table_to_markdown(table3(wb=wb, benchmarks=("pegwit",)))
+        assert "Figure 2" in document
+        assert "Table 3" in document
+
+    def test_generate_report_extensions_only(self, wb):
+        document = generate_report(
+            include_paper=False, include_extensions=True,
+            benchmarks=("pegwit",), wb=wb)
+        assert "Extension A" in document
+        assert "Extension E" in document
+
+    def test_cli_writes_file(self, tmp_path, wb, monkeypatch):
+        out = tmp_path / "report.md"
+        # Patch Workbench so the CLI run is cheap.
+        import repro.eval.report as report_module
+        monkeypatch.setattr(report_module, "Workbench",
+                            lambda scale: wb)
+        assert main(["-o", str(out), "--no-paper", "--extensions",
+                     "--benchmarks", "pegwit"]) == 0
+        assert "Extension" in out.read_text()

@@ -1,0 +1,74 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.eval.tables import TableResult, format_table
+
+
+def sample():
+    return TableResult(
+        exhibit="Table X",
+        title="Sample",
+        columns=["bench", "ratio", "count"],
+        rows=[["cc1", 0.605, 10], ["go", None, 20]],
+        formats={1: "%.2f"},
+        notes="anchor text")
+
+
+class TestAccessors:
+    def test_cell(self):
+        assert sample().cell(0, "ratio") == 0.605
+
+    def test_column_values(self):
+        assert sample().column_values("count") == [10, 20]
+
+    def test_row_by_key(self):
+        assert sample().row_by_key("go")[2] == 20
+        with pytest.raises(KeyError):
+            sample().row_by_key("perl")
+
+
+class TestFormatting:
+    def test_header_and_rows_present(self):
+        text = format_table(sample())
+        assert "Table X: Sample" in text
+        assert "bench" in text and "cc1" in text
+
+    def test_float_format_applied(self):
+        assert "0.60" in format_table(sample())
+        assert "0.605" not in format_table(sample())
+
+    def test_none_renders_dash(self):
+        lines = format_table(sample()).splitlines()
+        go_line = next(line for line in lines if line.startswith("go"))
+        assert "-" in go_line
+
+    def test_notes_rendered(self):
+        assert "note: anchor text" in format_table(sample())
+
+    def test_columns_aligned(self):
+        lines = format_table(sample()).splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+    def test_no_notes_section_when_empty(self):
+        table = sample()
+        table.notes = ""
+        assert "note:" not in format_table(table)
+
+
+class TestCsv:
+    def test_csv_structure(self):
+        from repro.eval.tables import table_to_csv
+        text = table_to_csv(sample())
+        lines = text.strip().splitlines()
+        assert lines[0] == "bench,ratio,count"
+        assert lines[1] == "cc1,0.60,10"
+        assert lines[2] == "go,,20"
+
+    def test_cli_writes_csv(self, tmp_path, capsys):
+        from repro.eval.__main__ import main
+        assert main(["figure2", "--csv", str(tmp_path)]) == 0
+        csv_file = tmp_path / "figure2.csv"
+        assert csv_file.exists()
+        assert "critical ready" in csv_file.read_text()

@@ -1,0 +1,143 @@
+"""End-to-end integration: toolchain -> codec -> simulator.
+
+These tests exercise the full stack the way the paper's experiments do,
+asserting the system-level invariants every exhibit relies on.
+"""
+
+import pytest
+
+from repro import (
+    ARCH_1_ISSUE,
+    ARCH_4_ISSUE,
+    ARCH_8_ISSUE,
+    CodePackConfig,
+    compress_program,
+    decompress_program,
+    simulate,
+)
+from repro.sim.config import IndexCacheConfig
+
+ARCHS = (ARCH_1_ISSUE, ARCH_4_ISSUE, ARCH_8_ISSUE)
+CONFIGS = (
+    None,
+    CodePackConfig(),
+    CodePackConfig.optimized(),
+    CodePackConfig(perfect_index=True),
+    CodePackConfig(decode_rate=16,
+                   index_cache=IndexCacheConfig(16, 2)),
+    CodePackConfig(output_buffer=False),
+)
+
+
+class TestArchitecturalEquivalence:
+    """Same program, any machine, any decompressor: same answers."""
+
+    @pytest.mark.parametrize("arch", ARCHS, ids=lambda a: a.name)
+    def test_all_decompressors_agree(self, cc1_small, arch):
+        reference = None
+        for config in CONFIGS:
+            result = simulate(cc1_small, arch, codepack=config,
+                              max_instructions=2_000_000)
+            key = (result.instructions, result.output, result.exit_code)
+            if reference is None:
+                reference = key
+            assert key == reference, "config %r diverged" % (config,)
+
+    def test_decompressed_text_is_what_executes(self, pegwit_small):
+        image = compress_program(pegwit_small)
+        assert decompress_program(image) == pegwit_small.text
+
+
+class TestTimingSanity:
+    def test_codepack_never_free(self, cc1_small):
+        """With a cold index path and serial decode, baseline CodePack
+        can never beat native on a benchmark with I-misses."""
+        native = simulate(cc1_small, ARCH_4_ISSUE)
+        packed = simulate(cc1_small, ARCH_4_ISSUE,
+                          codepack=CodePackConfig())
+        assert packed.cycles > native.cycles
+
+    def test_optimizations_monotone(self, cc1_small):
+        baseline = simulate(cc1_small, ARCH_4_ISSUE,
+                            codepack=CodePackConfig())
+        optimized = simulate(cc1_small, ARCH_4_ISSUE,
+                             codepack=CodePackConfig.optimized())
+        assert optimized.cycles <= baseline.cycles
+
+    def test_output_buffer_helps(self, cc1_small):
+        with_buf = simulate(cc1_small, ARCH_4_ISSUE,
+                            codepack=CodePackConfig())
+        without = simulate(cc1_small, ARCH_4_ISSUE,
+                           codepack=CodePackConfig(output_buffer=False))
+        assert with_buf.cycles <= without.cycles
+        assert with_buf.engine.buffer_hits > 0
+        assert without.engine.buffer_hits == 0
+
+    def test_perfect_index_at_least_as_fast_as_cache(self, cc1_small):
+        cached = simulate(cc1_small, ARCH_4_ISSUE,
+                          codepack=CodePackConfig.with_index_cache())
+        perfect = simulate(cc1_small, ARCH_4_ISSUE,
+                           codepack=CodePackConfig(perfect_index=True))
+        assert perfect.cycles <= cached.cycles
+
+    def test_no_misses_means_no_penalty(self, small_suite):
+        prog = small_suite["mpeg2enc"]
+        native = simulate(prog, ARCH_4_ISSUE)
+        packed = simulate(prog, ARCH_4_ISSUE, codepack=CodePackConfig())
+        assert abs(packed.cycles - native.cycles) / native.cycles < 0.01
+
+
+class TestEngineAccounting:
+    def test_engine_miss_count_matches_icache(self, cc1_small):
+        result = simulate(cc1_small, ARCH_4_ISSUE,
+                          codepack=CodePackConfig())
+        assert result.engine.misses == result.icache_misses
+
+    def test_compressed_bytes_fetched_reasonable(self, cc1_small):
+        image = compress_program(cc1_small)
+        result = simulate(cc1_small, ARCH_4_ISSUE,
+                          codepack=CodePackConfig(), image=image)
+        fetched = result.engine.compressed_bytes_fetched
+        # Every fetched block is 16 instructions, compressed below 64B.
+        assert fetched <= result.engine.blocks_fetched * 64
+        assert fetched > 0
+
+    def test_index_fetches_bounded_by_misses(self, cc1_small):
+        result = simulate(cc1_small, ARCH_4_ISSUE,
+                          codepack=CodePackConfig())
+        assert result.engine.index_fetches <= result.engine.misses
+
+
+class TestMemorySweepDirections:
+    """The directional claims of Tables 11 and 12 on a small run."""
+
+    def test_narrow_bus_favours_compression(self, cc1_small):
+        def gap(bus_bits):
+            arch = ARCH_4_ISSUE.with_memory(bus_bits=bus_bits)
+            native = simulate(cc1_small, arch)
+            packed = simulate(cc1_small, arch,
+                              codepack=CodePackConfig.optimized())
+            return packed.speedup_over(native)
+
+        assert gap(16) > gap(128)
+
+    def test_slow_memory_favours_compression(self, cc1_small):
+        def gap(latency, rate):
+            arch = ARCH_4_ISSUE.with_memory(first_latency=latency,
+                                            rate=rate)
+            native = simulate(cc1_small, arch)
+            packed = simulate(cc1_small, arch,
+                              codepack=CodePackConfig.optimized())
+            return packed.speedup_over(native)
+
+        assert gap(80, 16) > gap(5, 1)
+
+    def test_large_cache_converges_to_native(self, cc1_small):
+        def gap(size_kb):
+            arch = ARCH_4_ISSUE.with_icache(size_kb * 1024)
+            native = simulate(cc1_small, arch)
+            packed = simulate(cc1_small, arch,
+                              codepack=CodePackConfig())
+            return abs(1 - packed.speedup_over(native))
+
+        assert gap(64) < gap(1)

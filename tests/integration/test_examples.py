@@ -1,0 +1,86 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are deliverables, not decoration; these tests execute each one
+in-process (with reduced scales where the example accepts ``--scale``)
+and sanity-check its output so the examples cannot silently rot.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv, capsys):
+    """Execute an example as ``__main__`` with a patched argv."""
+    saved_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "decompression_walkthrough.py",
+            "embedded_design_space.py", "custom_workload.py",
+            "scheme_shootout.py", "paper_tables.py",
+            "miss_latency_profile.py"} <= names
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "compression" in out
+    assert "speedup" in out
+    assert "lossless round trip OK" in out
+
+
+def test_decompression_walkthrough(capsys):
+    out = run_example("decompression_walkthrough.py", [], capsys)
+    assert "index table" in out
+    assert "decoded block matches the original .text exactly." in out
+    assert "Figure 2" in out
+
+
+def test_custom_workload(capsys):
+    out = run_example("custom_workload.py", [], capsys)
+    assert "compression ratio" in out
+    assert "2584" in out  # fib(18)
+
+
+@pytest.mark.slow
+def test_embedded_design_space(capsys):
+    out = run_example("embedded_design_space.py",
+                      ["--scale", "0.04"], capsys)
+    assert "winner" in out
+    assert "CodePack" in out
+
+
+@pytest.mark.slow
+def test_scheme_shootout(capsys):
+    out = run_example("scheme_shootout.py",
+                      ["--scale", "0.04", "--benchmark", "perl"], capsys)
+    assert "CCRP" in out
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_miss_latency_profile(capsys):
+    out = run_example("miss_latency_profile.py",
+                      ["--scale", "0.04"], capsys)
+    assert "misses" in out
+    assert "#" in out  # histogram bars
+
+
+@pytest.mark.slow
+def test_paper_tables(capsys):
+    out = run_example("paper_tables.py",
+                      ["--scale", "0.02", "--exhibits", "figure2",
+                       "table3"], capsys)
+    assert "Figure 2" in out
+    assert "Table 3" in out

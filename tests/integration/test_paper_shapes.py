@@ -1,0 +1,106 @@
+"""Directional paper claims, verified in-suite at test scale.
+
+The full-scale numbers live in EXPERIMENTS.md; these tests keep the
+*shape* of each claim under regression whenever the test suite runs,
+independent of the benchmark harness.  One shared Workbench keeps the
+cost to a few seconds of simulation.
+"""
+
+import pytest
+
+from repro.eval.runner import Workbench
+from repro.sim.config import ARCH_4_ISSUE, CodePackConfig, KB
+
+BASELINE = CodePackConfig()
+OPTIMIZED = CodePackConfig.optimized()
+
+
+@pytest.fixture(scope="module")
+def wb():
+    return Workbench(scale=0.06)
+
+
+class TestTable5Shape:
+    """Overall performance claims (Section 5.2)."""
+
+    def test_loss_bounds_hold(self, wb):
+        # Paper: loss under 18% for 4-issue on every benchmark.
+        for bench in ("cc1", "go", "perl", "vortex"):
+            assert wb.speedup(bench, ARCH_4_ISSUE, BASELINE) > 0.82, bench
+
+    def test_loop_kernels_unaffected(self, wb):
+        for bench in ("mpeg2enc", "pegwit"):
+            speedup = wb.speedup(bench, ARCH_4_ISSUE, BASELINE)
+            assert abs(speedup - 1.0) < 0.02, bench
+
+
+class TestSection53Shape:
+    """Decompression-latency component claims."""
+
+    def test_index_cache_recovers_most_loss(self, wb):
+        for bench in ("cc1", "perl"):
+            baseline = wb.speedup(bench, ARCH_4_ISSUE, BASELINE)
+            indexed = wb.speedup(bench, ARCH_4_ISSUE,
+                                 CodePackConfig.with_index_cache())
+            assert indexed > baseline, bench
+            assert indexed > 0.97, bench
+
+    def test_two_decoders_get_most_of_the_rate_benefit(self, wb):
+        bench = "cc1"
+        one = wb.speedup(bench, ARCH_4_ISSUE, BASELINE)
+        two = wb.speedup(bench, ARCH_4_ISSUE,
+                         CodePackConfig.with_decoders(2))
+        sixteen = wb.speedup(bench, ARCH_4_ISSUE,
+                             CodePackConfig.with_decoders(16))
+        assert two > one
+        assert sixteen - two < (two - one)
+
+    def test_combined_beats_either_alone(self, wb):
+        bench = "vortex"
+        combined = wb.speedup(bench, ARCH_4_ISSUE, OPTIMIZED)
+        indexed = wb.speedup(bench, ARCH_4_ISSUE,
+                             CodePackConfig.with_index_cache())
+        decoded = wb.speedup(bench, ARCH_4_ISSUE,
+                             CodePackConfig.with_decoders(2))
+        assert combined >= max(indexed, decoded) - 0.02
+
+
+class TestSection54Shape:
+    """Architecture-sensitivity claims (one benchmark each, for cost)."""
+
+    def test_cache_size_convergence(self, wb):
+        bench = "go"
+        gaps = []
+        for size_kb in (1, 16, 64):
+            arch = ARCH_4_ISSUE.with_icache(size_kb * KB)
+            gaps.append(abs(1 - wb.run(bench, arch, BASELINE)
+                            .speedup_over(wb.run(bench, arch))))
+        assert gaps[0] > gaps[1] > gaps[2] * 0.8
+
+    def test_optimized_beats_native_on_small_caches(self, wb):
+        arch = ARCH_4_ISSUE.with_icache(1 * KB)
+        for bench in ("cc1", "perl"):
+            native = wb.run(bench, arch)
+            optimized = wb.run(bench, arch, OPTIMIZED)
+            assert optimized.speedup_over(native) > 1.0, bench
+
+    def test_bus_width_trend(self, wb):
+        bench = "vortex"
+        narrow = ARCH_4_ISSUE.with_memory(bus_bits=16)
+        wide = ARCH_4_ISSUE.with_memory(bus_bits=128)
+        narrow_gain = wb.run(bench, narrow, BASELINE) \
+            .speedup_over(wb.run(bench, narrow))
+        wide_gain = wb.run(bench, wide, BASELINE) \
+            .speedup_over(wb.run(bench, wide))
+        assert narrow_gain > 1.0 > wide_gain
+
+    def test_latency_trend(self, wb):
+        bench = "go"
+        fast = ARCH_4_ISSUE.with_memory(first_latency=5, rate=1)
+        slow = ARCH_4_ISSUE.with_memory(first_latency=80, rate=16)
+        fast_gain = wb.run(bench, fast, OPTIMIZED) \
+            .speedup_over(wb.run(bench, fast))
+        slow_gain = wb.run(bench, slow, OPTIMIZED) \
+            .speedup_over(wb.run(bench, slow))
+        assert slow_gain > fast_gain
+        assert slow_gain > 1.0

@@ -1,0 +1,123 @@
+"""Property-based end-to-end testing with randomly generated programs.
+
+Hypothesis builds small random (but always-halting) SS32 programs; for
+each one we check the two system-level invariants every experiment
+rests on:
+
+1. the CodePack codec is lossless on real instruction streams, and
+2. execution through the decompression engine is architecturally
+   identical to native execution on every pipeline model.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codepack import compress_program, decompress_program
+from repro.isa.builder import AsmBuilder
+from repro.isa.registers import A0, V0
+from repro.sim import ARCH_1_ISSUE, ARCH_4_ISSUE, CodePackConfig, simulate
+
+TEMPS = list(range(8, 16)) + [2, 3, 5, 6, 7]  # t0-t7, v0/v1, a1-a3
+
+reg = st.sampled_from(TEMPS)
+imm = st.integers(-0x8000, 0x7FFF)
+uimm = st.integers(0, 0xFFFF)
+shamt = st.integers(0, 31)
+mem_slot = st.integers(0, 63)
+
+
+@st.composite
+def straightline_op(draw):
+    """One safe straight-line operation for the random program body."""
+    kind = draw(st.sampled_from(
+        ["rrr", "imm", "shift", "lui", "store", "load", "mult", "skip2"]))
+    if kind == "rrr":
+        return ("rrr", draw(st.sampled_from(
+            ["addu", "subu", "and_", "or_", "xor", "nor", "slt", "sltu"])),
+            draw(reg), draw(reg), draw(reg))
+    if kind == "imm":
+        return ("imm", draw(st.sampled_from(
+            ["addiu", "slti"])), draw(reg), draw(reg), draw(imm))
+    if kind == "shift":
+        return ("shift", draw(st.sampled_from(["sll", "srl", "sra"])),
+                draw(reg), draw(reg), draw(shamt))
+    if kind == "lui":
+        return ("lui", draw(reg), draw(uimm))
+    if kind == "store":
+        return ("store", draw(reg), draw(mem_slot))
+    if kind == "load":
+        return ("load", draw(reg), draw(mem_slot))
+    if kind == "mult":
+        return ("mult", draw(reg), draw(reg), draw(reg))
+    return ("skip2", draw(reg), draw(reg))
+
+
+def build_program(ops):
+    """Straight-line body + a forward branch or two, then print & halt."""
+    b = AsmBuilder(name="random")
+    base = 0x1050_0000
+    b.li(9, base)  # $t1 anchors the data region initially
+    for i, op in enumerate(ops):
+        if op[0] == "rrr":
+            getattr(b, op[1])(op[2], op[3], op[4])
+        elif op[0] == "imm":
+            getattr(b, op[1])(op[2], op[3], op[4])
+        elif op[0] == "shift":
+            getattr(b, op[1])(op[2], op[3], op[4])
+        elif op[0] == "lui":
+            b.lui(op[1], op[2])
+        elif op[0] == "store":
+            b.li(8, base + 4 * op[2])
+            b.sw(op[1], 0, 8)
+        elif op[0] == "load":
+            b.li(8, base + 4 * op[2])
+            b.lw(op[1], 0, 8)
+        elif op[0] == "mult":
+            b.mult(op[1], op[2])
+            b.mflo(op[3])
+        elif op[0] == "skip2":
+            label = "skip_%d" % i
+            b.beq(op[1], op[2], label)
+            b.addiu(op[1], op[1], 1)
+            b.xor(op[2], op[2], op[1])
+            b.label(label)
+    # Print a digest of the register file so divergence is observable.
+    for r in TEMPS:
+        b.addu(A0, 0, r) if r == TEMPS[0] else b.addu(A0, A0, r)
+    b.addiu(V0, 0, 1)
+    b.syscall()
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(straightline_op(), min_size=1, max_size=60))
+def test_codec_lossless_on_random_programs(ops):
+    program = build_program(ops)
+    image = compress_program(program)
+    assert decompress_program(image) == program.text
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(straightline_op(), min_size=1, max_size=40))
+def test_execution_identical_native_vs_compressed(ops):
+    program = build_program(ops)
+    native = simulate(program, ARCH_4_ISSUE, max_instructions=50_000)
+    packed = simulate(program, ARCH_4_ISSUE, codepack=CodePackConfig(),
+                      max_instructions=50_000)
+    assert native.output == packed.output
+    assert native.instructions == packed.instructions
+    assert native.exit_code == packed.exit_code
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(straightline_op(), min_size=1, max_size=40))
+def test_inorder_and_ooo_agree_architecturally(ops):
+    program = build_program(ops)
+    one = simulate(program, ARCH_1_ISSUE, max_instructions=50_000)
+    four = simulate(program, ARCH_4_ISSUE, max_instructions=50_000)
+    assert one.output == four.output
+    assert one.instructions == four.instructions

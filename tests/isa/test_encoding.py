@@ -1,0 +1,126 @@
+"""Unit and property tests for the SS32 binary formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    Instruction,
+    decode,
+    encode_i,
+    encode_j,
+    encode_r,
+    high_halfword,
+    join_halfwords,
+    low_halfword,
+    sign_extend_16,
+    sign_extend_32,
+)
+
+
+class TestEncodeR:
+    def test_fields_land_in_place(self):
+        word = encode_r(0, 1, 2, 3, 4, 5)
+        fields = decode(word)
+        assert (fields.op, fields.rs, fields.rt, fields.rd,
+                fields.shamt, fields.funct) == (0, 1, 2, 3, 4, 5)
+
+    def test_all_ones(self):
+        word = encode_r(63, 31, 31, 31, 31, 63)
+        assert word == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("field,value", [
+        ("op", 64), ("rs", 32), ("rt", 32), ("rd", 32),
+        ("shamt", 32), ("funct", 64),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        kwargs = dict(op=0, rs=0, rt=0, rd=0, shamt=0, funct=0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            encode_r(**kwargs)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_r(0, -1, 0, 0, 0, 0)
+
+
+class TestEncodeI:
+    def test_positive_immediate(self):
+        word = encode_i(8, 1, 2, 100)
+        assert decode(word).imm == 100
+
+    def test_negative_immediate_wraps(self):
+        word = encode_i(8, 1, 2, -1)
+        assert decode(word).imm == 0xFFFF
+
+    def test_immediate_bounds(self):
+        encode_i(8, 0, 0, -0x8000)
+        encode_i(8, 0, 0, 0xFFFF)
+        with pytest.raises(ValueError):
+            encode_i(8, 0, 0, -0x8001)
+        with pytest.raises(ValueError):
+            encode_i(8, 0, 0, 0x10000)
+
+
+class TestEncodeJ:
+    def test_target_field(self):
+        word = encode_j(2, 0x123456)
+        assert decode(word).target == 0x123456
+
+    def test_rejects_27_bit_target(self):
+        with pytest.raises(ValueError):
+            encode_j(2, 1 << 26)
+
+
+class TestSignExtension:
+    @pytest.mark.parametrize("raw,expected", [
+        (0, 0), (1, 1), (0x7FFF, 0x7FFF),
+        (0x8000, -0x8000), (0xFFFF, -1),
+    ])
+    def test_sign_extend_16(self, raw, expected):
+        assert sign_extend_16(raw) == expected
+
+    @pytest.mark.parametrize("raw,expected", [
+        (0, 0), (0x7FFFFFFF, 0x7FFFFFFF),
+        (0x80000000, -0x80000000), (0xFFFFFFFF, -1),
+    ])
+    def test_sign_extend_32(self, raw, expected):
+        assert sign_extend_32(raw) == expected
+
+
+class TestDecode:
+    def test_returns_instruction(self):
+        assert isinstance(decode(0), Instruction)
+
+    def test_rejects_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            decode(1 << 32)
+        with pytest.raises(ValueError):
+            decode(-1)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_fields_reassemble_to_word(self, word):
+        fields = decode(word)
+        rebuilt = ((fields.op << 26) | (fields.rs << 21)
+                   | (fields.rt << 16) | fields.imm)
+        assert rebuilt == word
+
+
+class TestHalfwords:
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_split_join_roundtrip(self, word):
+        assert join_halfwords(high_halfword(word), low_halfword(word)) \
+            == word
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_join_split_roundtrip(self, high, low):
+        word = join_halfwords(high, low)
+        assert high_halfword(word) == high
+        assert low_halfword(word) == low
+
+    def test_join_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            join_halfwords(0x10000, 0)
+        with pytest.raises(ValueError):
+            join_halfwords(0, 0x10000)

@@ -1,0 +1,83 @@
+"""Consistency tests for the instruction table."""
+
+import pytest
+
+from repro.isa.encoding import encode_i, encode_j, encode_r
+from repro.isa.opcodes import (
+    CONTROL_CLASSES,
+    INSTRUCTIONS,
+    InstrClass,
+    OP_REGIMM,
+    OP_SPECIAL,
+    spec_for_name,
+    spec_for_word,
+)
+
+
+class TestTableConsistency:
+    def test_mnemonics_are_unique_keys(self):
+        assert len(INSTRUCTIONS) >= 45
+
+    def test_encodings_do_not_collide(self):
+        seen = set()
+        for spec in INSTRUCTIONS.values():
+            if spec.op == OP_SPECIAL:
+                key = ("special", spec.funct)
+            elif spec.op == OP_REGIMM:
+                key = ("regimm", spec.regimm_rt)
+            else:
+                key = ("op", spec.op)
+            assert key not in seen, "encoding collision for %s" % spec.name
+            seen.add(key)
+
+    def test_every_spec_has_known_fu(self):
+        for spec in INSTRUCTIONS.values():
+            assert spec.fu in ("alu", "mult", "memport")
+
+    def test_latencies_positive(self):
+        for spec in INSTRUCTIONS.values():
+            assert spec.latency >= 1
+
+    def test_reads_writes_reference_valid_fields(self):
+        valid = {"rs", "rt", "rd", "hi", "lo", "ra"}
+        for spec in INSTRUCTIONS.values():
+            assert set(spec.reads) <= valid
+            assert set(spec.writes) <= valid
+
+    def test_control_classes_cover_branches_and_jumps(self):
+        for name in ("beq", "bne", "blez", "bgtz", "bltz", "bgez"):
+            assert INSTRUCTIONS[name].iclass is InstrClass.BRANCH
+        for name in ("j", "jal", "jr", "jalr"):
+            assert INSTRUCTIONS[name].iclass in CONTROL_CLASSES
+
+
+class TestSpecForWord:
+    def test_roundtrip_every_instruction(self):
+        for spec in INSTRUCTIONS.values():
+            if spec.op == OP_SPECIAL:
+                word = encode_r(spec.op, 1, 2, 3, 0, spec.funct)
+            elif spec.op == OP_REGIMM:
+                word = encode_i(spec.op, 1, spec.regimm_rt, 4)
+            elif spec.fmt == "J":
+                word = encode_j(spec.op, 16)
+            else:
+                word = encode_i(spec.op, 1, 2, 4)
+            assert spec_for_word(word) is spec
+
+    def test_unknown_funct_returns_none(self):
+        assert spec_for_word(encode_r(0, 0, 0, 0, 0, 0x3F)) is None
+
+    def test_unknown_opcode_returns_none(self):
+        assert spec_for_word(encode_i(0x3F, 0, 0, 0)) is None
+
+    def test_unknown_regimm_returns_none(self):
+        assert spec_for_word(encode_i(OP_REGIMM, 0, 0x1F, 0)) is None
+
+
+class TestSpecForName:
+    def test_lookup(self):
+        assert spec_for_name("addu").name == "addu"
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            spec_for_name("frobnicate")

@@ -1,0 +1,68 @@
+"""Tests for Program images."""
+
+import pytest
+
+from repro.isa.program import Program
+
+
+def make(words=None, base=0x400000):
+    return Program(text=words or [1, 2, 3], text_base=base)
+
+
+class TestGeometry:
+    def test_sizes(self):
+        prog = make([0] * 10)
+        assert prog.text_size == 40
+        assert prog.text_end == prog.text_base + 40
+        assert len(prog) == 10
+
+    def test_contains_text(self):
+        prog = make()
+        assert prog.contains_text(prog.text_base)
+        assert prog.contains_text(prog.text_end - 4)
+        assert not prog.contains_text(prog.text_end)
+        assert not prog.contains_text(prog.text_base - 4)
+
+    def test_entry_defaults_to_base(self):
+        assert make().entry == 0x400000
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            make(base=0x400002)
+
+    def test_bad_word_rejected(self):
+        with pytest.raises(ValueError):
+            make([1 << 32])
+
+
+class TestAccess:
+    def test_fetch(self):
+        prog = make([10, 20, 30])
+        assert prog.fetch(prog.text_base + 4) == 20
+
+    def test_fetch_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            make().fetch(0x400001)
+
+    def test_fetch_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            make().fetch(0x400000 + 100)
+
+    def test_word_index(self):
+        prog = make()
+        assert prog.word_index(prog.text_base + 8) == 2
+
+    def test_iter_addresses(self):
+        prog = make([7, 8])
+        assert list(prog.iter_addresses()) \
+            == [(0x400000, 7), (0x400004, 8)]
+
+    def test_text_bytes_big_endian(self):
+        prog = make([0x01020304])
+        assert prog.text_bytes() == b"\x01\x02\x03\x04"
+
+    def test_address_of(self):
+        prog = Program(text=[0], symbols={"main": 0x400000})
+        assert prog.address_of("main") == 0x400000
+        with pytest.raises(KeyError):
+            prog.address_of("other")

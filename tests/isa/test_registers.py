@@ -1,0 +1,49 @@
+"""Tests for the register namespace."""
+
+import pytest
+
+from repro.isa.registers import REG_NAMES, SP, ZERO, reg_name, reg_num
+
+
+class TestRegNum:
+    def test_by_symbolic_name(self):
+        assert reg_num("$t0") == 8
+        assert reg_num("t0") == 8
+
+    def test_by_number_string(self):
+        assert reg_num("$31") == 31
+        assert reg_num("0") == 0
+
+    def test_by_int_passthrough(self):
+        assert reg_num(17) == 17
+
+    def test_case_insensitive(self):
+        assert reg_num("$RA") == 31
+
+    def test_whitespace_tolerated(self):
+        assert reg_num(" $sp ") == 29
+
+    @pytest.mark.parametrize("bad", ["$t99", "$32", "nope", "", 32, -1])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            reg_num(bad)
+
+    def test_all_names_resolve(self):
+        for number, name in enumerate(REG_NAMES):
+            assert reg_num("$" + name) == number
+
+
+class TestRegName:
+    def test_roundtrip(self):
+        for number in range(32):
+            assert reg_num(reg_name(number)) == number
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(32)
+
+
+class TestConstants:
+    def test_symbolic_constants_match_names(self):
+        assert ZERO == reg_num("$zero")
+        assert SP == reg_num("$sp")

@@ -1,0 +1,83 @@
+"""Whole-program toolchain round trips.
+
+Builder -> disassembler -> assembler -> identical words, over randomly
+generated (but always well-formed) programs.  This pins the three
+components of the toolchain to one another at program granularity,
+complementing the single-instruction round trips elsewhere.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.builder import AsmBuilder
+from repro.isa.disassembler import disassemble_word
+
+REGS = st.integers(1, 31)
+LOWS = st.integers(8, 15)
+
+
+@st.composite
+def random_builder_program(draw):
+    """A structurally valid random program via the builder."""
+    b = AsmBuilder(name="random")
+    n_blocks = draw(st.integers(1, 6))
+    for block in range(n_blocks):
+        b.label("block%d" % block)
+        for _ in range(draw(st.integers(1, 8))):
+            kind = draw(st.integers(0, 6))
+            if kind == 0:
+                b.addu(draw(REGS), draw(REGS), draw(REGS))
+            elif kind == 1:
+                b.addiu(draw(REGS), draw(REGS),
+                        draw(st.integers(-0x8000, 0x7FFF)))
+            elif kind == 2:
+                b.sll(draw(REGS), draw(REGS), draw(st.integers(0, 31)))
+            elif kind == 3:
+                b.lw(draw(REGS), draw(st.integers(-64, 64)) * 4,
+                     draw(REGS))
+            elif kind == 4:
+                b.lui(draw(REGS), draw(st.integers(0, 0xFFFF)))
+            elif kind == 5:
+                b.slt(draw(REGS), draw(REGS), draw(REGS))
+            else:
+                b.mult(draw(REGS), draw(REGS))
+        # A backward branch to a random earlier block.
+        target = "block%d" % draw(st.integers(0, block))
+        b.bne(draw(REGS), 0, target)
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_builder_program())
+def test_disassemble_reassemble_identity(program):
+    lines = [".text %#x" % program.text_base]
+    for addr, word in program.iter_addresses():
+        lines.append(disassemble_word(word, addr))
+    reassembled = assemble("\n".join(lines))
+    assert reassembled.text == program.text
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_builder_program())
+def test_random_programs_compress_losslessly(program):
+    from repro.codepack import compress_program, decompress_program
+    image = compress_program(program)
+    assert decompress_program(image) == program.text
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_builder_program())
+def test_random_programs_survive_container_roundtrip(program):
+    import os
+    import tempfile
+
+    from repro.tools.container import load_program, save_program
+    handle, path = tempfile.mkstemp(suffix=".ss32")
+    os.close(handle)
+    try:
+        save_program(path, program)
+        assert load_program(path).text == program.text
+    finally:
+        os.unlink(path)

@@ -1,0 +1,172 @@
+"""Tests for the SS16 binary encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa16 import translate
+from repro.isa16.encoding16 import (
+    EncodingError,
+    assemble_mixed,
+    canonical_form,
+    decode_half,
+    encode_half,
+    verify_mixed_encoding,
+)
+from repro.isa16.rules import CLASS_HALF, classify
+
+
+def word_of(text):
+    return assemble(".text 0x400000\n" + text).text[0]
+
+
+NON_CONTROL_HALves = [
+    "addu $t0, $t1, $t2",
+    "subu $t3, $t4, $t5",
+    "move $t0, $s3",
+    "move $s1, $t2",
+    "and $t0, $t0, $t1",
+    "or $t2, $t2, $t3",
+    "xor $t0, $t1, $t0",  # commutes
+    "nor $t4, $t4, $t5",
+    "slt $t0, $t0, $t7",
+    "sltu $t6, $t6, $t0",
+    "sllv $t0, $t0, $t1",
+    "srav $t5, $t5, $t2",
+    "sll $t0, $t1, 5",
+    "srl $t2, $t3, 31",
+    "sra $t4, $t5, 1",
+    "nop",
+    "mult $t0, $t1",
+    "divu $t2, $t3",
+    "mfhi $t0",
+    "mflo $t7",
+    "addiu $t0, $t0, 200",
+    "addiu $t1, $t1, -200",
+    "addiu $t2, $zero, 99",
+    "addiu $t3, $t4, 7",
+    "addiu $sp, $sp, -48",
+    "addiu $sp, $sp, 48",
+    "slti $t0, $t0, 100",
+    "ori $t1, $t1, 0x7F",
+    "andi $t2, $t2, 0xFF",
+    "xori $t3, $t3, 1",
+    "lw $t0, 64($t1)",
+    "sw $t2, 0($t3)",
+    "lw $t4, 800($sp)",
+    "sw $t5, 1020($sp)",
+    "lw $ra, 44($sp)",
+    "sw $ra, 1020($sp)",
+    "lb $t0, 31($t1)",
+    "lbu $t2, 0($t3)",
+    "sb $t4, 15($t5)",
+    "lh $t6, 62($t7)",
+    "lhu $t0, 2($t1)",
+    "sh $t2, 0($t3)",
+    "jr $ra",
+    "jr $t0",
+    "jalr $ra, $t9",
+    "syscall",
+]
+
+
+class TestRoundtripNonControl:
+    @pytest.mark.parametrize("text", NON_CONTROL_HALves)
+    def test_encode_decode_roundtrip(self, text):
+        word = word_of(text)
+        assert classify(word) == CLASS_HALF, text
+        h = encode_half(word)
+        assert 0 <= h < (1 << 16)
+        decoded = decode_half(h)
+        assert decoded.branch_offset is None
+        assert decoded.word == canonical_form(word), text
+
+    def test_all_encodings_distinct(self):
+        halves = [encode_half(word_of(t)) for t in NON_CONTROL_HALves]
+        assert len(set(halves)) == len(halves)
+
+
+class TestControlEncodings:
+    @pytest.mark.parametrize("text,offset", [
+        ("here: beq $t0, $zero, here", -1),
+        ("here: beq $zero, $t3, here", 100),
+        ("here: bne $t1, $zero, here", -128),
+        ("here: bne $zero, $t2, here", 127),
+        ("here: bltz $t0, here", 5),
+        ("here: bgez $t1, here", -5),
+        ("here: blez $t2, here", 64),
+        ("here: bgtz $t3, here", -64),
+        ("here: beq $zero, $zero, here", 1000),
+        ("here: j here", -1024),
+    ])
+    def test_roundtrip_with_offset(self, text, offset):
+        word = word_of(text)
+        h = encode_half(word, branch_offset=offset)
+        decoded = decode_half(h)
+        assert decoded.branch_offset == offset
+        assert decoded.word == canonical_form(word)
+
+    def test_conditional_offset_range_enforced(self):
+        word = word_of("here: beq $t0, $zero, here")
+        with pytest.raises(EncodingError):
+            encode_half(word, branch_offset=128)
+        with pytest.raises(EncodingError):
+            encode_half(word, branch_offset=-129)
+
+    def test_unconditional_offset_range_enforced(self):
+        word = word_of("here: j here")
+        with pytest.raises(EncodingError):
+            encode_half(word, branch_offset=1024)
+
+    def test_branch_without_offset_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_half(word_of("here: beq $t0, $zero, here"))
+
+
+class TestErrors:
+    def test_word_class_instruction_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_half(word_of("lui $t0, 5"))
+
+    def test_high_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_half(word_of("addu $s0, $s1, $s2"))
+
+    def test_bad_halfword_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_half(1 << 16)
+
+
+class TestWholeProgram:
+    def test_counting_program_verifies(self):
+        from tests.conftest import make_counting_program
+        mixed = translate(make_counting_program(100))
+        count = verify_mixed_encoding(mixed)
+        assert count == len(mixed.static)
+
+    def test_benchmark_verifies(self, cc1_small):
+        mixed = translate(cc1_small)
+        assert verify_mixed_encoding(mixed) == len(mixed.static)
+
+    def test_assembled_size_matches_layout(self, pegwit_small):
+        mixed = translate(pegwit_small)
+        assert len(assemble_mixed(mixed)) == mixed.text_size
+
+    def test_whole_suite_verifies(self, small_suite):
+        for name, program in small_suite.items():
+            mixed = translate(program)
+            assert verify_mixed_encoding(mixed) == len(mixed.static), name
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 0xFFFF))
+def test_decode_never_crashes_unexpectedly(h):
+    """Any 16-bit value decodes or raises EncodingError/KeyError-free."""
+    try:
+        decoded = decode_half(h)
+    except (EncodingError, KeyError, IndexError):
+        # Unallocated funct numbers surface as lookup errors; that is
+        # acceptable for a sparse funct space but must not corrupt.
+        return
+    assert 0 <= decoded.word < (1 << 32)

@@ -1,0 +1,129 @@
+"""Tests for the SS16 convertibility rules."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa16.rules import (
+    CLASS_EXPAND,
+    CLASS_HALF,
+    CLASS_WORD,
+    LOW_REGS,
+    classify,
+    expansion_words,
+    is_reach_limited,
+)
+
+
+def word_of(text):
+    return assemble(".text 0x400000\n" + text).text[0]
+
+
+class TestAluRules:
+    @pytest.mark.parametrize("text,expected", [
+        # three-operand add/sub for low registers
+        ("addu $t0, $t1, $t2", CLASS_HALF),
+        ("subu $t0, $t1, $t2", CLASS_HALF),
+        ("addu $s0, $t1, $t2", CLASS_WORD),  # high destination
+        # two-operand logical shapes
+        ("and $t0, $t0, $t1", CLASS_HALF),
+        ("xor $t0, $t1, $t0", CLASS_HALF),  # commutes into shape
+        ("slt $t0, $t1, $t0", CLASS_WORD),  # non-commutative, rd==rt
+        ("or $t0, $t1, $t2", CLASS_EXPAND),  # needs a move first
+        ("nor $t0, $t1, $t2", CLASS_EXPAND),
+        ("and $s0, $s0, $t1", CLASS_WORD),
+        # shifts
+        ("sll $t0, $t1, 5", CLASS_HALF),
+        ("sll $t0, $t1, 31", CLASS_HALF),
+        ("srl $s0, $t1, 2", CLASS_WORD),
+        ("nop", CLASS_HALF),
+        # multiply family
+        ("mult $t0, $t1", CLASS_HALF),
+        ("div $t0, $s1", CLASS_WORD),
+        ("mflo $t0", CLASS_HALF),
+        ("mfhi $s0", CLASS_WORD),
+    ])
+    def test_classification(self, text, expected):
+        assert classify(word_of(text)) == expected
+
+
+class TestImmediateRules:
+    @pytest.mark.parametrize("text,expected", [
+        ("addiu $t0, $t0, 100", CLASS_HALF),
+        ("addiu $t0, $t0, -100", CLASS_HALF),
+        ("addiu $t0, $t0, 300", CLASS_WORD),
+        ("addiu $t0, $zero, 200", CLASS_HALF),  # MOV imm8
+        ("addiu $t0, $t1, 5", CLASS_HALF),  # ADD imm3
+        ("addiu $t0, $t1, 12", CLASS_WORD),
+        ("addiu $sp, $sp, -48", CLASS_HALF),  # frame adjust
+        ("addiu $sp, $sp, -1000", CLASS_WORD),
+        ("ori $t0, $t0, 0xFF", CLASS_HALF),
+        ("ori $t0, $t0, 0x100", CLASS_WORD),
+        ("ori $t0, $t1, 1", CLASS_WORD),
+        ("lui $t0, 1", CLASS_WORD),
+        ("slti $t0, $t0, 10", CLASS_HALF),
+    ])
+    def test_classification(self, text, expected):
+        assert classify(word_of(text)) == expected
+
+
+class TestMemoryRules:
+    @pytest.mark.parametrize("text,expected", [
+        ("lw $t0, 8($t1)", CLASS_HALF),
+        ("lw $t0, 124($t1)", CLASS_HALF),
+        ("lw $t0, 128($t1)", CLASS_WORD),
+        ("lw $t0, 6($t1)", CLASS_WORD),  # unaligned offset
+        ("sw $t0, 200($sp)", CLASS_HALF),  # SP-relative imm8
+        ("sw $ra, 44($sp)", CLASS_HALF),  # PUSH {lr}
+        ("lw $s0, 8($t1)", CLASS_WORD),
+        ("lb $t0, 20($t1)", CLASS_HALF),
+        ("lb $t0, 40($t1)", CLASS_WORD),
+        ("lhu $t0, 62($t1)", CLASS_HALF),
+        ("sh $t0, 63($t1)", CLASS_WORD),
+    ])
+    def test_classification(self, text, expected):
+        assert classify(word_of(text)) == expected
+
+
+class TestControlRules:
+    @pytest.mark.parametrize("text,expected", [
+        ("here: beq $t0, $zero, here", CLASS_HALF),
+        ("here: bne $zero, $t0, here", CLASS_HALF),
+        ("here: beq $zero, $zero, here", CLASS_HALF),
+        ("here: beq $t0, $t1, here", CLASS_WORD),  # two live registers
+        ("here: bltz $t0, here", CLASS_HALF),
+        ("here: bgez $s0, here", CLASS_WORD),
+        ("here: j here", CLASS_HALF),
+        ("here: jal here", CLASS_WORD),
+        ("jr $ra", CLASS_HALF),
+        ("jalr $ra, $t9", CLASS_HALF),
+        ("jalr $t0, $t9", CLASS_WORD),
+        ("syscall", CLASS_HALF),
+    ])
+    def test_classification(self, text, expected):
+        assert classify(word_of(text)) == expected
+
+    def test_reach_limited_set(self):
+        assert is_reach_limited(word_of("here: beq $t0, $zero, here"))
+        assert is_reach_limited(word_of("here: j here"))
+        assert not is_reach_limited(word_of("addu $t0, $t1, $t2"))
+        assert not is_reach_limited(word_of("jr $ra"))
+
+
+class TestExpansion:
+    def test_expansion_preserves_semantics(self):
+        from repro.isa.disassembler import disassemble_word
+        word = word_of("or $t0, $t1, $t2")
+        move, op = expansion_words(word)
+        assert disassemble_word(move) == "addu $t0, $t1, $zero"
+        assert disassemble_word(op) == "or $t0, $t0, $t2"
+
+    def test_expansion_classifies_half(self):
+        word = word_of("or $t0, $t1, $t2")
+        for part in expansion_words(word):
+            assert classify(part) == CLASS_HALF
+
+    def test_low_regs_are_eight(self):
+        assert len(LOW_REGS) == 8
+
+    def test_undecodable_word_stays_word(self):
+        assert classify(0xFC000000) == CLASS_WORD

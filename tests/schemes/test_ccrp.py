@@ -1,0 +1,182 @@
+"""Tests for the CCRP scheme."""
+
+import pytest
+
+from repro.schemes.ccrp import (
+    LAT_ENTRY_BYTES,
+    LAT_GROUP_LINES,
+    CcrpEngine,
+    compress_ccrp,
+    decompress_ccrp,
+    decompress_ccrp_line,
+)
+from repro.sim import ARCH_4_ISSUE, CodePackConfig, simulate
+from repro.sim.config import MemoryConfig
+from tests.conftest import make_counting_program, make_static_program
+
+
+class TestCodec:
+    def test_roundtrip(self, cc1_small):
+        image = compress_ccrp(cc1_small)
+        assert decompress_ccrp(image) == cc1_small.text_bytes()
+
+    def test_roundtrip_small_program(self):
+        prog = make_counting_program(50)
+        image = compress_ccrp(prog)
+        assert decompress_ccrp(image) == prog.text_bytes()
+
+    def test_per_line_decode(self):
+        prog = make_counting_program(50)
+        image = compress_ccrp(prog)
+        data = prog.text_bytes()
+        for i, line in enumerate(image.lines):
+            start = i * image.line_bytes
+            assert decompress_ccrp_line(image, i) \
+                == data[start:start + image.line_bytes]
+
+    def test_partial_final_line(self):
+        prog = make_counting_program(3)  # not a multiple of 8 insts
+        image = compress_ccrp(prog)
+        assert decompress_ccrp(image) == prog.text_bytes()
+        assert image.lines[-1].n_bytes == len(prog.text_bytes()) % 32
+
+    def test_lines_contiguous(self, pegwit_small):
+        image = compress_ccrp(pegwit_small)
+        offset = 0
+        for line in image.lines:
+            assert line.byte_offset == offset
+            offset += line.byte_length
+        assert offset == len(image.code_bytes)
+
+
+class TestSizeAccounting:
+    def test_stats_sum(self, pegwit_small):
+        image = compress_ccrp(pegwit_small)
+        assert image.compressed_bytes == image.stats.total_bytes
+        assert image.stats.index_table_bits \
+            == -(-len(image.lines) // LAT_GROUP_LINES) * 96
+
+    def test_ratio_worse_than_codepack(self, cc1_small):
+        """The paper's size comparison: CCRP ~73%+, CodePack ~60%."""
+        from repro.codepack import compress_program
+        ccrp = compress_ccrp(cc1_small)
+        codepack = compress_program(cc1_small)
+        assert ccrp.compression_ratio > codepack.compression_ratio + 0.1
+        assert ccrp.compression_ratio < 1.0
+
+
+class TestAddressing:
+    def test_line_of_address(self):
+        prog = make_counting_program(100)
+        image = compress_ccrp(prog)
+        assert image.line_of_address(prog.text_base) == 0
+        assert image.line_of_address(prog.text_base + 32) == 1
+        with pytest.raises(IndexError):
+            image.line_of_address(prog.text_base + 1 << 20)
+
+    def test_line_base_address(self):
+        prog = make_counting_program(100)
+        image = compress_ccrp(prog)
+        assert image.line_base_address(2) == prog.text_base + 64
+
+
+class TestEngine:
+    def make_engine(self, prog, **kwargs):
+        image = compress_ccrp(prog)
+        return CcrpEngine(image, MemoryConfig(), **kwargs), image
+
+    def test_serial_byte_decode_is_slow(self):
+        prog = make_counting_program(200)
+        engine, image = self.make_engine(prog)
+        fill = engine.miss(prog.text_base, now=0)
+        # LAT fetch (~12 bytes on a 64-bit bus: 2 beats, done t=12),
+        # then the burst and 32 serial byte decodes: far beyond native
+        # code's t=10 critical word.
+        assert fill.critical_ready > 20
+        assert fill.fill_done >= fill.critical_ready
+
+    def test_lat_buffer_hit(self):
+        prog = make_static_program(400)
+        engine, image = self.make_engine(prog)
+        engine.miss(prog.text_base, 0)
+        engine.miss(prog.text_base + 32, 100)  # same 8-line LAT group
+        assert engine.stats.lat_fetches == 1
+        far = prog.text_base + 32 * LAT_GROUP_LINES
+        engine.miss(far, 200)
+        assert engine.stats.lat_fetches == 2
+
+    def test_no_lat_buffer(self):
+        prog = make_counting_program(200)
+        engine, _ = self.make_engine(prog, lat_buffer=False)
+        engine.miss(prog.text_base, 0)
+        engine.miss(prog.text_base, 100)
+        assert engine.stats.lat_fetches == 2
+
+    def test_faster_decoder_helps(self):
+        prog = make_counting_program(200)
+        slow, _ = self.make_engine(prog, bytes_per_cycle=1)
+        fast, _ = self.make_engine(prog, bytes_per_cycle=4)
+        slow_fill = slow.miss(prog.text_base + 28, 0)
+        fast_fill = fast.miss(prog.text_base + 28, 0)
+        assert fast_fill.critical_ready <= slow_fill.critical_ready
+
+    def test_stats_accumulate(self):
+        prog = make_counting_program(300)
+        engine, image = self.make_engine(prog)
+        engine.miss(prog.text_base, 0)
+        engine.miss(prog.text_base + 32, 50)
+        assert engine.stats.misses == 2
+        assert engine.stats.lines_fetched == 2
+        assert engine.stats.compressed_bytes_fetched \
+            == image.lines[0].byte_length + image.lines[1].byte_length
+
+
+class TestEndToEnd:
+    def test_architecturally_transparent(self, cc1_small):
+        image = compress_ccrp(cc1_small)
+        native = simulate(cc1_small, ARCH_4_ISSUE,
+                          max_instructions=2_000_000)
+        ccrp = simulate(cc1_small, ARCH_4_ISSUE, mode="ccrp",
+                        miss_path=CcrpEngine(image, ARCH_4_ISSUE.memory),
+                        max_instructions=2_000_000)
+        assert ccrp.output == native.output
+        assert ccrp.instructions == native.instructions
+
+    def test_slower_than_hardware_codepack(self, cc1_small):
+        """The paper's motivation for halfword symbols over bytes."""
+        image = compress_ccrp(cc1_small)
+        ccrp = simulate(cc1_small, ARCH_4_ISSUE, mode="ccrp",
+                        miss_path=CcrpEngine(image, ARCH_4_ISSUE.memory),
+                        max_instructions=2_000_000)
+        codepack = simulate(cc1_small, ARCH_4_ISSUE,
+                            codepack=CodePackConfig(),
+                            max_instructions=2_000_000)
+        assert ccrp.cycles > codepack.cycles
+
+
+class TestLatCache:
+    def test_lat_cache_hits_avoid_fetches(self):
+        from repro.sim.config import IndexCacheConfig
+        prog = make_static_program(400)
+        image = compress_ccrp(prog)
+        engine = CcrpEngine(image, MemoryConfig(),
+                            lat_cache=IndexCacheConfig(8, 1))
+        engine.miss(prog.text_base, 0)
+        engine.miss(prog.text_base + 32 * LAT_GROUP_LINES, 100)
+        engine.miss(prog.text_base, 200)  # cached from the first miss
+        assert engine.stats.lat_fetches == 2
+        assert engine.stats.index_cache.accesses == 3
+        assert engine.stats.index_cache.misses == 2
+
+    def test_lat_cache_speeds_up_runs(self, cc1_small):
+        from repro.sim.config import IndexCacheConfig
+        image = compress_ccrp(cc1_small)
+        base = simulate(cc1_small, ARCH_4_ISSUE, mode="ccrp",
+                        miss_path=CcrpEngine(image, ARCH_4_ISSUE.memory),
+                        max_instructions=2_000_000)
+        cached = simulate(
+            cc1_small, ARCH_4_ISSUE, mode="ccrp+latcache",
+            miss_path=CcrpEngine(image, ARCH_4_ISSUE.memory,
+                                 lat_cache=IndexCacheConfig(64, 4)),
+            max_instructions=2_000_000)
+        assert cached.cycles <= base.cycles

@@ -1,0 +1,130 @@
+"""Unit and property tests for canonical Huffman coding."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codepack.bitstream import BitReader, BitWriter
+from repro.schemes.huffman import (
+    MAX_CODE_BITS,
+    CanonicalHuffman,
+    HuffmanError,
+    build_canonical_code,
+    histogram_of_bytes,
+)
+
+
+class TestCodeConstruction:
+    def test_single_symbol_gets_one_bit(self):
+        table = build_canonical_code({65: 10})
+        assert table[65] == (0, 1)
+
+    def test_two_symbols(self):
+        table = build_canonical_code({0: 5, 1: 3})
+        assert sorted(table.values()) == [(0, 1), (1, 1)]
+
+    def test_frequent_symbols_get_shorter_codes(self):
+        table = build_canonical_code({0: 100, 1: 10, 2: 10, 3: 1})
+        assert table[0][1] <= table[3][1]
+
+    def test_kraft_inequality_holds_with_equality(self):
+        hist = {i: i + 1 for i in range(40)}
+        table = build_canonical_code(hist)
+        assert sum(2 ** -length for _, length in table.values()) \
+            == pytest.approx(1.0)
+
+    def test_canonical_codes_are_prefix_free(self):
+        hist = {i: (i * 37) % 100 + 1 for i in range(64)}
+        table = build_canonical_code(hist)
+        items = sorted(table.values())
+        for (code_a, len_a) in items:
+            for (code_b, len_b) in items:
+                if (code_a, len_a) == (code_b, len_b):
+                    continue
+                if len_a <= len_b:
+                    assert code_b >> (len_b - len_a) != code_a
+
+    def test_length_limit_enforced(self):
+        # Fibonacci-like frequencies force deep optimal trees.
+        freq = {}
+        a, b = 1, 1
+        for i in range(40):
+            freq[i] = a
+            a, b = b, a + b
+        table = build_canonical_code(freq, max_bits=12)
+        assert max(length for _, length in table.values()) <= 12
+        assert sum(2 ** -length for _, length in table.values()) <= 1.0
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(HuffmanError):
+            build_canonical_code({})
+
+
+class TestCodec:
+    def test_roundtrip_bytes(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 5
+        code = CanonicalHuffman(histogram_of_bytes(data))
+        encoded, bits = code.encode(data)
+        assert code.decode(encoded, len(data)) == list(data)
+        assert bits <= len(data) * 8
+
+    def test_skewed_data_compresses(self):
+        data = bytes([0] * 900 + list(range(1, 30)))
+        code = CanonicalHuffman(histogram_of_bytes(data))
+        _, bits = code.encode(data)
+        assert bits < len(data) * 4
+
+    def test_encode_symbol_outside_alphabet_raises(self):
+        code = CanonicalHuffman({1: 5, 2: 5})
+        with pytest.raises(KeyError):
+            code.encode_symbol(BitWriter(), 3)
+
+    def test_decode_garbage_raises(self):
+        code = CanonicalHuffman({i: 1 for i in range(4)})
+        # All codes are 2 bits here; feed more bits than any codeword
+        # by building a reader over a pattern that cannot resolve...
+        # with a complete code every pattern resolves, so instead check
+        # the error path via a truncated stream.
+        with pytest.raises(EOFError):
+            code.decode(b"", 1)
+
+    def test_encoded_bits_matches_table(self):
+        code = CanonicalHuffman({10: 100, 20: 1})
+        assert code.encoded_bits(10) == code.table[10][1]
+
+    def test_storage_bits_constant(self):
+        code = CanonicalHuffman({1: 1})
+        assert code.storage_bits == 256 * 5
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=1, max_size=400))
+def test_roundtrip_arbitrary_bytes(data):
+    code = CanonicalHuffman(histogram_of_bytes(data))
+    encoded, _ = code.encode(data)
+    assert bytes(code.decode(encoded, len(data))) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.integers(0, 255), st.integers(1, 10_000),
+                       min_size=1, max_size=256))
+def test_code_always_valid(hist):
+    table = build_canonical_code(hist, max_bits=MAX_CODE_BITS)
+    assert set(table) == set(hist)
+    assert all(1 <= length <= MAX_CODE_BITS
+               for _, length in table.values())
+    assert sum(2 ** -length for _, length in table.values()) <= 1.0 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=100))
+def test_symbolwise_decode_matches_stream(symbols):
+    code = CanonicalHuffman(Counter(symbols))
+    writer = BitWriter()
+    for symbol in symbols:
+        code.encode_symbol(writer, symbol)
+    writer.pad_to_byte()
+    reader = BitReader(writer.to_bytes())
+    assert [code.decode_symbol(reader) for _ in symbols] == symbols

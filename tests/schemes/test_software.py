@@ -1,0 +1,109 @@
+"""Tests for the software-managed decompression engine."""
+
+from repro.codepack import compress_program
+from repro.schemes.software import SoftwareDecompEngine
+from repro.sim import ARCH_4_ISSUE, CodePackConfig, simulate
+from repro.sim.config import MemoryConfig
+from tests.conftest import make_counting_program, make_static_program
+
+
+def make_engine(prog, **kwargs):
+    image = compress_program(prog)
+    return SoftwareDecompEngine(image, MemoryConfig(), **kwargs), image
+
+
+class TestMissCost:
+    def test_trap_overhead_charged(self):
+        prog = make_counting_program(200)
+        cheap, _ = make_engine(prog, trap_overhead=0,
+                               cycles_per_instruction=1)
+        dear, _ = make_engine(prog, trap_overhead=100,
+                              cycles_per_instruction=1)
+        assert dear.miss(prog.text_base, 0).critical_ready \
+            == cheap.miss(prog.text_base, 0).critical_ready + 100
+
+    def test_decode_cost_scales_with_block(self):
+        prog = make_counting_program(200)
+        slow, image = make_engine(prog, cycles_per_instruction=50)
+        fast, _ = make_engine(prog, cycles_per_instruction=5)
+        block = image.blocks[0]
+        delta = slow.miss(prog.text_base, 0).critical_ready \
+            - fast.miss(prog.text_base, 0).critical_ready
+        assert delta == 45 * block.n_instructions
+
+    def test_whole_line_appears_at_once(self):
+        prog = make_counting_program(200)
+        engine, _ = make_engine(prog)
+        fill = engine.miss(prog.text_base, 0)
+        assert len(set(fill.word_times)) == 1  # no forwarding
+        assert fill.critical_ready == fill.fill_done
+
+    def test_buffer_hit_is_trap_plus_copy(self):
+        prog = make_static_program(64)
+        engine, _ = make_engine(prog, trap_overhead=30,
+                                copy_cycles_per_word=1)
+        engine.miss(prog.text_base, 0)
+        hit = engine.miss(prog.text_base + 32, 1000)
+        assert hit.critical_ready == 1000 + 30 + 8
+        assert engine.stats.buffer_hits == 1
+
+    def test_buffer_disabled(self):
+        prog = make_static_program(64)
+        engine, _ = make_engine(prog, buffer_block=False)
+        engine.miss(prog.text_base, 0)
+        engine.miss(prog.text_base + 32, 1000)
+        assert engine.stats.buffer_hits == 0
+        assert engine.stats.blocks_decoded == 2
+
+    def test_index_reuse_within_group(self):
+        prog = make_static_program(128)  # four 16-instruction blocks
+        engine, _ = make_engine(prog, buffer_block=False)
+        engine.miss(prog.text_base, 0)
+        engine.miss(prog.text_base + 64, 500)  # block 1, same group
+        assert engine.stats.index_fetches == 1
+        engine.miss(prog.text_base + 128, 1000)  # next group
+        assert engine.stats.index_fetches == 2
+
+    def test_stats_decode_cycles(self):
+        prog = make_counting_program(200)
+        engine, image = make_engine(prog, cycles_per_instruction=10)
+        engine.miss(prog.text_base, 0)
+        expected = 10 * image.blocks[0].n_instructions
+        if image.blocks[0].is_raw:
+            expected = image.blocks[0].n_instructions
+        assert engine.stats.decode_cycles == expected
+
+
+class TestEndToEnd:
+    def test_transparent(self, pegwit_small):
+        image = compress_program(pegwit_small)
+        engine = SoftwareDecompEngine(image, ARCH_4_ISSUE.memory)
+        native = simulate(pegwit_small, ARCH_4_ISSUE,
+                          max_instructions=2_000_000)
+        soft = simulate(pegwit_small, ARCH_4_ISSUE, miss_path=engine,
+                        mode="software", max_instructions=2_000_000)
+        assert soft.output == native.output
+
+    def test_slower_than_hardware(self, cc1_small):
+        image = compress_program(cc1_small)
+        hardware = simulate(cc1_small, ARCH_4_ISSUE,
+                            codepack=CodePackConfig(), image=image,
+                            max_instructions=2_000_000)
+        soft = simulate(
+            cc1_small, ARCH_4_ISSUE, mode="software",
+            miss_path=SoftwareDecompEngine(image, ARCH_4_ISSUE.memory),
+            max_instructions=2_000_000)
+        assert soft.cycles > hardware.cycles
+
+    def test_nearly_free_on_loop_code(self, small_suite):
+        prog = small_suite["mpeg2enc"]
+        image = compress_program(prog)
+        native = simulate(prog, ARCH_4_ISSUE, max_instructions=2_000_000)
+        soft = simulate(
+            prog, ARCH_4_ISSUE, mode="software",
+            miss_path=SoftwareDecompEngine(image, ARCH_4_ISSUE.memory),
+            max_instructions=2_000_000)
+        # The paper's "attractive option" case: almost no misses, so
+        # almost no cost.  (At test scale the cold-start decodes are a
+        # visible fraction; at full scale the overhead vanishes.)
+        assert soft.cycles < native.cycles * 1.25

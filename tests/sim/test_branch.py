@@ -1,0 +1,96 @@
+"""Tests for the branch predictors."""
+
+import pytest
+
+from repro.sim.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    make_predictor,
+)
+from repro.sim.config import BranchPredictorConfig
+
+
+def train(predictor, pc, outcomes):
+    correct = 0
+    for taken in outcomes:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        p = BimodalPredictor(64)
+        correct = train(p, 0x400000, [True] * 20)
+        assert correct >= 18  # warms up within a couple of updates
+
+    def test_learns_always_not_taken(self):
+        p = BimodalPredictor(64)
+        train(p, 0x400000, [False] * 4)
+        assert p.predict(0x400000) is False
+
+    def test_counters_saturate(self):
+        p = BimodalPredictor(64)
+        train(p, 0, [True] * 100)
+        # One not-taken cannot flip a saturated counter.
+        p.update(0, False)
+        assert p.predict(0) is True
+
+    def test_aliasing_by_table_size(self):
+        p = BimodalPredictor(64)
+        train(p, 0, [True] * 4)
+        # pc 64*4 bytes later aliases to the same counter.
+        assert p.predict(64 * 4) is True
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        # Bimodal cannot learn strict alternation; gshare's history can.
+        p = GSharePredictor(history_bits=8)
+        pattern = [bool(i % 2) for i in range(400)]
+        correct = train(p, 0x400000, pattern)
+        assert correct > 350
+
+    def test_history_advances(self):
+        p = GSharePredictor(history_bits=4)
+        p.update(0, True)
+        assert p._history == 1
+        p.update(0, False)
+        assert p._history == 2
+
+
+class TestHybrid:
+    def test_beats_components_on_mixed_workload(self):
+        hybrid = HybridPredictor(meta_entries=64)
+        correct = train(hybrid, 0x400000, [True] * 50)
+        assert correct >= 45
+
+    def test_meta_picks_gshare_for_patterns(self):
+        hybrid = HybridPredictor(meta_entries=64, history_bits=8)
+        pattern = [bool(i % 2) for i in range(600)]
+        correct = train(hybrid, 0x400000, pattern)
+        assert correct > 400
+
+    def test_meta_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            HybridPredictor(meta_entries=100)
+
+
+class TestFactory:
+    def test_make_each_kind(self):
+        assert isinstance(make_predictor(BranchPredictorConfig("bimode")),
+                          BimodalPredictor)
+        assert isinstance(make_predictor(BranchPredictorConfig("gshare")),
+                          GSharePredictor)
+        assert isinstance(make_predictor(BranchPredictorConfig("hybrid")),
+                          HybridPredictor)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_predictor(BranchPredictorConfig("neural"))

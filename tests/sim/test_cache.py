@@ -1,0 +1,105 @@
+"""Tests for the set-associative LRU cache."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache
+from repro.sim.config import CacheConfig
+
+
+def make_cache(size=256, line=32, assoc=2):
+    return Cache(CacheConfig(size, line, assoc))
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert not cache.access(0)
+        assert cache.stats.misses == 1
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(0)
+        assert cache.access(31)  # same line
+        assert not cache.access(32)  # next line
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+        assert cache.stats.hits == 1
+
+    def test_probe_is_silent(self):
+        cache = make_cache()
+        cache.access(0)
+        before = cache.stats.accesses
+        assert cache.probe(0)
+        assert not cache.probe(4096)
+        assert cache.stats.accesses == before
+
+    def test_invalidate_all(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.invalidate_all()
+        assert not cache.access(0)
+
+    def test_empty_stats(self):
+        assert make_cache().stats.miss_rate == 0.0
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        # 2-way: sets = 256/(32*2) = 4; lines mapping to set 0 are
+        # line numbers 0, 4, 8, ... i.e. addresses 0, 128, 256.
+        cache = make_cache()
+        cache.access(0)
+        cache.access(128)
+        cache.access(256)  # evicts line of addr 0
+        assert not cache.access(0)
+
+    def test_touch_refreshes_lru(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)  # refresh: 128 becomes LRU
+        cache.access(256)  # evicts 128
+        assert cache.access(0)
+        assert not cache.access(128)
+
+    def test_direct_mapped(self):
+        cache = make_cache(size=64, line=32, assoc=1)
+        cache.access(0)
+        cache.access(64)  # same set (2 sets), evicts
+        assert not cache.access(0)
+
+    def test_fully_associative(self):
+        cache = make_cache(size=128, line=32, assoc=4)
+        for addr in (0, 32, 64, 96):
+            cache.access(addr)
+        for addr in (0, 32, 64, 96):
+            assert cache.access(addr)
+
+
+class TestGeometry:
+    def test_n_sets(self):
+        assert CacheConfig(16 * 1024, 32, 2).n_sets == 256
+
+    def test_line_addr(self):
+        cache = make_cache()
+        assert cache.line_addr(0) == 0
+        assert cache.line_addr(33) == 1
+
+
+@given(st.lists(st.integers(0, 4095), min_size=1, max_size=300))
+def test_occupancy_never_exceeds_assoc(addresses):
+    """No set ever holds more than `assoc` lines, and re-access of the
+    most recent address always hits."""
+    cache = make_cache(size=256, line=32, assoc=2)
+    for addr in addresses:
+        cache.access(addr)
+        assert cache.access(addr)  # immediate re-access must hit
+    for cache_set in cache._sets:
+        assert len(cache_set) <= cache.assoc
+    assert cache.stats.misses <= cache.stats.accesses

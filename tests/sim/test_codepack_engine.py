@@ -1,0 +1,212 @@
+"""Tests for the decompression-engine timing model.
+
+The key fixture reconstructs the paper's Figure 2 worked example and
+checks the engine reproduces its cycle counts exactly.
+"""
+
+import pytest
+
+from repro.codepack.compressor import BlockInfo, CodePackImage, compress_words
+from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
+from repro.codepack.dictionary import Dictionary
+from repro.codepack.stats import CompositionStats
+from repro.sim.codepack_engine import CodePackEngine, IndexCache
+from repro.sim.config import CodePackConfig, IndexCacheConfig, MemoryConfig
+
+
+def figure2_image():
+    """One 16-instruction block arriving 2,3,3,3,3,2 per 64-bit beat."""
+    end_bits = []
+    for beat, count in enumerate((2, 3, 3, 3, 3, 2)):
+        for i in range(count):
+            end_bits.append(beat * 64 + (64 * (i + 1)) // count)
+    block = BlockInfo(index=0, byte_offset=0, byte_length=48, is_raw=False,
+                      n_instructions=16, inst_end_bits=tuple(end_bits))
+    return CodePackImage(
+        name="fig2", text_base=0, n_instructions=16,
+        high_dict=Dictionary(HIGH_SCHEME, []),
+        low_dict=Dictionary(LOW_SCHEME, []),
+        index_entries=[], code_bytes=b"\x00" * 48, blocks=[block],
+        stats=CompositionStats(), original_bytes=64)
+
+
+def make_engine(config=None, image=None, memory=None):
+    return CodePackEngine(image or figure2_image(),
+                          memory or MemoryConfig(),
+                          config or CodePackConfig(), line_bytes=32)
+
+
+class TestFigure2:
+    """The paper's worked example, cycle for cycle."""
+
+    def test_baseline_critical_at_25(self):
+        engine = make_engine(CodePackConfig())
+        fill = engine.miss(16, now=0)  # fifth instruction
+        assert fill.critical_ready == 25
+
+    def test_optimized_critical_at_14(self):
+        engine = make_engine(CodePackConfig(decode_rate=2,
+                                            perfect_index=True))
+        fill = engine.miss(16, now=0)
+        assert fill.critical_ready == 14
+
+    def test_index_hit_alone_saves_ten_cycles(self):
+        engine = make_engine(CodePackConfig(perfect_index=True))
+        fill = engine.miss(16, now=0)
+        assert fill.critical_ready == 15  # 25 minus the index fetch
+
+    def test_serial_decode_one_per_cycle(self):
+        engine = make_engine(CodePackConfig(perfect_index=True))
+        fill = engine.miss(0, now=0)
+        # First beat arrives t=10 carrying 2 instructions: decoded at
+        # 11, 12; next beat at 12 carries 3 more: 13, 14, 15...
+        assert fill.word_times[:4] == [11, 12, 13, 14]
+
+    def test_whole_block_always_decompressed(self):
+        engine = make_engine(CodePackConfig())
+        engine.miss(0, now=0)
+        assert engine._buffered_block == 0
+        assert len(engine._buffered_times) == 16
+
+
+class TestOutputBuffer:
+    def test_adjacent_line_served_from_buffer(self):
+        engine = make_engine(CodePackConfig())
+        first = engine.miss(0, now=0)
+        # The second line of the block (instructions 8..15) is already
+        # decompressed; a miss shortly after costs no memory access.
+        second = engine.miss(32, now=first.fill_done)
+        assert engine.stats.buffer_hits == 1
+        assert engine.stats.blocks_fetched == 1
+        assert second.critical_ready <= first.fill_done + 16
+
+    def test_buffer_hit_after_decompression_is_one_cycle(self):
+        engine = make_engine(CodePackConfig())
+        engine.miss(0, now=0)
+        late = engine.miss(32, now=1000)
+        assert late.critical_ready == 1001
+
+    def test_buffer_disabled(self):
+        engine = make_engine(CodePackConfig(output_buffer=False))
+        engine.miss(0, now=0)
+        engine.miss(32, now=100)
+        assert engine.stats.buffer_hits == 0
+        assert engine.stats.blocks_fetched == 2
+
+    def test_buffer_replaced_by_new_block(self):
+        words = [0x24210001] * 48
+        image = compress_words(words, text_base=0)
+        engine = CodePackEngine(image, MemoryConfig(), CodePackConfig(),
+                                line_bytes=32)
+        engine.miss(0, now=0)  # block 0
+        engine.miss(64 * 1, now=100)  # block 1 replaces the buffer
+        engine.miss(32, now=200)  # block 0 again: not a buffer hit
+        assert engine.stats.buffer_hits == 0
+        assert engine.stats.blocks_fetched == 3
+
+
+class TestIndexPath:
+    def test_last_index_buffer(self):
+        words = [0x24210001] * 64  # two groups
+        image = compress_words(words, text_base=0)
+        engine = CodePackEngine(image, MemoryConfig(),
+                                CodePackConfig(output_buffer=False),
+                                line_bytes=32)
+        engine.miss(0, now=0)
+        engine.miss(32, now=100)  # same group: buffered index
+        assert engine.stats.index_fetches == 1
+        engine.miss(128, now=200)  # next group
+        assert engine.stats.index_fetches == 2
+
+    def test_index_fetch_cost_is_one_access(self):
+        engine = make_engine(CodePackConfig())
+        with_index = engine.miss(0, now=0).critical_ready
+        perfect = make_engine(CodePackConfig(perfect_index=True)) \
+            .miss(0, now=0).critical_ready
+        assert with_index - perfect == MemoryConfig().first_latency
+
+    def test_index_fetch_on_narrow_bus_costs_two_beats(self):
+        memory = MemoryConfig(bus_bits=16)
+        baseline = make_engine(CodePackConfig(), memory=memory)
+        perfect = make_engine(CodePackConfig(perfect_index=True),
+                              memory=memory)
+        delta = baseline.miss(0, 0).critical_ready \
+            - perfect.miss(0, 0).critical_ready
+        assert delta == memory.first_latency + memory.rate
+
+
+class TestIndexCache:
+    def test_hit_and_miss_counting(self):
+        cache = IndexCache(IndexCacheConfig(lines=2, entries_per_line=1))
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert not cache.access(1)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+
+    def test_line_groups_share_entry(self):
+        cache = IndexCache(IndexCacheConfig(lines=1, entries_per_line=4))
+        cache.access(0)
+        assert cache.access(3)  # same 4-entry line
+        assert not cache.access(4)
+
+    def test_lru_eviction(self):
+        cache = IndexCache(IndexCacheConfig(lines=2, entries_per_line=1))
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # refresh 0
+        cache.access(2)  # evicts 1
+        assert cache.access(0)
+        assert not cache.access(1)
+
+    def test_empty_stats_miss_rate(self):
+        cache = IndexCache(IndexCacheConfig())
+        assert cache.stats.miss_rate == 0.0
+
+    def test_engine_uses_index_cache(self):
+        words = [0x24210001] * 128
+        image = compress_words(words, text_base=0)
+        config = CodePackConfig(
+            index_cache=IndexCacheConfig(lines=4, entries_per_line=1),
+            output_buffer=False)
+        engine = CodePackEngine(image, MemoryConfig(), config,
+                                line_bytes=32)
+        engine.miss(0, now=0)
+        engine.miss(0, now=100)
+        assert engine.stats.index_cache.accesses == 2
+        assert engine.stats.index_cache.misses == 1
+
+
+class TestDecodeRates:
+    @pytest.mark.parametrize("rate", [1, 2, 4, 16])
+    def test_higher_rate_never_slower(self, rate):
+        base = make_engine(CodePackConfig(perfect_index=True))
+        fast = make_engine(CodePackConfig(perfect_index=True,
+                                          decode_rate=rate))
+        slow_fill = base.miss(0, 0)
+        fast_fill = fast.miss(0, 0)
+        assert fast_fill.fill_done <= slow_fill.fill_done
+        assert all(f <= s for f, s in zip(fast_fill.word_times,
+                                          slow_fill.word_times))
+
+    def test_rate16_bound_by_arrival(self):
+        engine = make_engine(CodePackConfig(perfect_index=True,
+                                            decode_rate=16))
+        fill = engine.miss(0, 0)
+        # Even infinitely wide decode waits for the bits: the requested
+        # line's words are bound by their beat arrivals (last at t=14),
+        # and the block's final instruction by the last beat at t=20.
+        assert fill.word_times[0] == 11
+        assert max(fill.word_times) == 15
+        assert max(engine._buffered_times) == 21
+
+
+class TestPartialBlocks:
+    def test_final_partial_block(self):
+        words = [0x24210001] * 20  # block 1 has 4 instructions
+        image = compress_words(words, text_base=0)
+        engine = CodePackEngine(image, MemoryConfig(), CodePackConfig(),
+                                line_bytes=32)
+        fill = engine.miss(16 * 4, now=0)
+        assert fill.critical_ready > 0
+        assert len(fill.word_times) == 8  # clamped to the line

@@ -1,0 +1,109 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.sim.config import (
+    ARCH_1_ISSUE,
+    ARCH_4_ISSUE,
+    ARCH_8_ISSUE,
+    BASELINES,
+    CacheConfig,
+    CodePackConfig,
+    IndexCacheConfig,
+    KB,
+    MemoryConfig,
+)
+
+
+class TestBaselinesMatchPaperTable2:
+    def test_issue_widths(self):
+        assert ARCH_1_ISSUE.issue_width == 1 and ARCH_1_ISSUE.in_order
+        assert ARCH_4_ISSUE.issue_width == 4 and not ARCH_4_ISSUE.in_order
+        assert ARCH_8_ISSUE.issue_width == 8 and not ARCH_8_ISSUE.in_order
+
+    def test_windows(self):
+        assert (ARCH_1_ISSUE.ruu_size, ARCH_4_ISSUE.ruu_size,
+                ARCH_8_ISSUE.ruu_size) == (4, 16, 32)
+        assert (ARCH_1_ISSUE.lsq_size, ARCH_4_ISSUE.lsq_size,
+                ARCH_8_ISSUE.lsq_size) == (4, 8, 16)
+
+    def test_function_units(self):
+        assert (ARCH_4_ISSUE.n_alu, ARCH_4_ISSUE.n_mult,
+                ARCH_4_ISSUE.n_memport) == (4, 1, 2)
+        assert ARCH_8_ISSUE.n_alu == 8
+
+    def test_predictors(self):
+        assert ARCH_1_ISSUE.predictor.kind == "bimode"
+        assert ARCH_4_ISSUE.predictor.kind == "gshare"
+        assert ARCH_8_ISSUE.predictor.kind == "hybrid"
+
+    def test_cache_scaling(self):
+        assert ARCH_1_ISSUE.icache.size_bytes == 8 * KB
+        assert ARCH_4_ISSUE.icache.size_bytes == 16 * KB
+        assert ARCH_8_ISSUE.icache.size_bytes == 32 * KB
+        for arch in BASELINES.values():
+            assert arch.icache.line_bytes == 32
+            assert arch.dcache.line_bytes == 16
+            assert arch.icache.assoc == 2
+
+    def test_memory_defaults(self):
+        for arch in BASELINES.values():
+            assert arch.memory == MemoryConfig(64, 10, 2)
+
+
+class TestDerivationHelpers:
+    def test_with_icache_only_changes_icache(self):
+        derived = ARCH_4_ISSUE.with_icache(1 * KB)
+        assert derived.icache.size_bytes == 1 * KB
+        assert derived.icache.line_bytes == 32
+        assert derived.dcache == ARCH_4_ISSUE.dcache
+        assert derived.memory == ARCH_4_ISSUE.memory
+        assert derived.name != ARCH_4_ISSUE.name
+
+    def test_with_memory_partial_overrides(self):
+        derived = ARCH_4_ISSUE.with_memory(bus_bits=16)
+        assert derived.memory.bus_bits == 16
+        assert derived.memory.first_latency == 10
+        derived = ARCH_4_ISSUE.with_memory(first_latency=80, rate=16)
+        assert derived.memory.bus_bits == 64
+        assert derived.memory.first_latency == 80
+
+    def test_derived_configs_are_hashable(self):
+        {ARCH_4_ISSUE.with_icache(1 * KB): 1,
+         ARCH_4_ISSUE.with_memory(bus_bits=16): 2}
+
+    def test_baselines_unchanged_by_derivation(self):
+        ARCH_4_ISSUE.with_icache(1 * KB)
+        assert ARCH_4_ISSUE.icache.size_bytes == 16 * KB
+
+
+class TestCacheConfig:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 32, 2)
+
+    def test_n_sets(self):
+        assert CacheConfig(8 * KB, 32, 2).n_sets == 128
+
+
+class TestCodePackConfig:
+    def test_factories(self):
+        opt = CodePackConfig.optimized()
+        assert opt.decode_rate == 2
+        assert opt.index_cache == IndexCacheConfig(64, 4)
+        assert CodePackConfig.with_decoders(16).decode_rate == 16
+        ic = CodePackConfig.with_index_cache(16, 8)
+        assert ic.index_cache.total_entries == 128
+
+    def test_defaults_are_paper_baseline(self):
+        base = CodePackConfig()
+        assert base.decode_rate == 1
+        assert base.index_cache is None
+        assert not base.perfect_index
+        assert base.output_buffer
+
+    def test_hashable_for_workbench_keys(self):
+        {CodePackConfig(): 1, CodePackConfig.optimized(): 2}
+
+    def test_index_cache_total_entries(self):
+        assert IndexCacheConfig(64, 4).total_entries == 256

@@ -1,0 +1,336 @@
+"""Architectural semantics tests for the functional core.
+
+Each snippet runs to a halt and the test checks registers, memory or
+the syscall output stream.  Register conventions in the snippets: $v0
+is syscall code, $a0 the syscall argument.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.cpu import (
+    REG_HI,
+    REG_LO,
+    FunctionalCore,
+    SimulationError,
+    predecode,
+)
+
+
+def run(body, max_steps=100_000):
+    """Assemble *body* followed by an exit syscall and run it."""
+    source = ".text 0x400000\n" + body + """
+        addiu $v0, $zero, 10
+        syscall
+    """
+    core = FunctionalCore(assemble(source))
+    core.run(max_instructions=max_steps)
+    return core
+
+
+def reg(core, name):
+    from repro.isa.registers import reg_num
+    return core.regs[reg_num(name)]
+
+
+class TestAluOps:
+    @pytest.mark.parametrize("body,register,expected", [
+        ("li $t0, 7\nli $t1, 5\naddu $t2, $t0, $t1", "$t2", 12),
+        ("li $t0, 7\nli $t1, 5\nsubu $t2, $t0, $t1", "$t2", 2),
+        ("li $t0, 5\nli $t1, 7\nsubu $t2, $t0, $t1", "$t2", 0xFFFFFFFE),
+        ("li $t0, 0xF0\nli $t1, 0x0F\nand $t2, $t0, $t1", "$t2", 0),
+        ("li $t0, 0xF0\nli $t1, 0x0F\nor $t2, $t0, $t1", "$t2", 0xFF),
+        ("li $t0, 0xFF\nli $t1, 0x0F\nxor $t2, $t0, $t1", "$t2", 0xF0),
+        ("li $t0, 0\nli $t1, 0\nnor $t2, $t0, $t1", "$t2", 0xFFFFFFFF),
+        ("addiu $t0, $zero, -1", "$t0", 0xFFFFFFFF),
+        ("addi $t0, $zero, 100", "$t0", 100),
+        ("ori $t0, $zero, 0xFFFF", "$t0", 0xFFFF),
+        ("andi $t0, $zero, 0xFFFF", "$t0", 0),
+        ("li $t0, 0xFF00\nxori $t1, $t0, 0x00FF", "$t1", 0xFFFF),
+        ("lui $t0, 0x8000", "$t0", 0x80000000),
+    ])
+    def test_result(self, body, register, expected):
+        assert reg(run(body), register) == expected
+
+    def test_addu_wraps_32_bits(self):
+        core = run("li $t0, 0xFFFFFFFF\nli $t1, 2\naddu $t2, $t0, $t1")
+        assert reg(core, "$t2") == 1
+
+    def test_writes_to_zero_ignored(self):
+        core = run("li $t0, 7\naddu $zero, $t0, $t0")
+        assert core.regs[0] == 0
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("body,expected", [
+        ("li $t0, 1\nli $t1, 2\nslt $t2, $t0, $t1", 1),
+        ("li $t0, 2\nli $t1, 1\nslt $t2, $t0, $t1", 0),
+        ("li $t0, -1\nli $t1, 1\nslt $t2, $t0, $t1", 1),  # signed
+        ("li $t0, -1\nli $t1, 1\nsltu $t2, $t0, $t1", 0),  # unsigned
+        ("li $t0, -5\nslti $t2, $t0, -4", 1),
+        ("li $t0, 3\nslti $t2, $t0, -4", 0),
+        ("li $t0, 3\nsltiu $t2, $t0, 10", 1),
+        ("li $t0, -1\nsltiu $t2, $t0, 10", 0),
+    ])
+    def test_result(self, body, expected):
+        assert reg(run(body), "$t2") == expected
+
+
+class TestShifts:
+    @pytest.mark.parametrize("body,expected", [
+        ("li $t0, 1\nsll $t1, $t0, 4", 16),
+        ("li $t0, 0x80000000\nsrl $t1, $t0, 31", 1),
+        ("li $t0, 0x80000000\nsra $t1, $t0, 31", 0xFFFFFFFF),
+        ("li $t0, 0x7FFFFFFF\nsra $t1, $t0, 1", 0x3FFFFFFF),
+        ("li $t0, 1\nli $t2, 8\nsllv $t1, $t0, $t2", 256),
+        ("li $t0, 256\nli $t2, 8\nsrlv $t1, $t0, $t2", 1),
+        ("li $t0, -256\nli $t2, 4\nsrav $t1, $t0, $t2", 0xFFFFFFF0),
+        # Variable shifts use only the low 5 bits of rs.
+        ("li $t0, 1\nli $t2, 33\nsllv $t1, $t0, $t2", 2),
+    ])
+    def test_result(self, body, expected):
+        assert reg(run(body), "$t1") == expected
+
+
+class TestMultDiv:
+    def test_mult_signed(self):
+        core = run("li $t0, -3\nli $t1, 4\nmult $t0, $t1\n"
+                   "mflo $t2\nmfhi $t3")
+        assert reg(core, "$t2") == 0xFFFFFFF4  # -12
+        assert reg(core, "$t3") == 0xFFFFFFFF
+
+    def test_multu_large(self):
+        core = run("li $t0, 0xFFFFFFFF\nli $t1, 2\nmultu $t0, $t1\n"
+                   "mflo $t2\nmfhi $t3")
+        assert reg(core, "$t2") == 0xFFFFFFFE
+        assert reg(core, "$t3") == 1
+
+    def test_div_truncates_toward_zero(self):
+        core = run("li $t0, -7\nli $t1, 2\ndiv $t0, $t1\n"
+                   "mflo $t2\nmfhi $t3")
+        assert reg(core, "$t2") == 0xFFFFFFFD  # -3, not -4
+        assert reg(core, "$t3") == 0xFFFFFFFF  # remainder -1
+
+    def test_divu(self):
+        core = run("li $t0, 7\nli $t1, 2\ndivu $t0, $t1\n"
+                   "mflo $t2\nmfhi $t3")
+        assert reg(core, "$t2") == 3
+        assert reg(core, "$t3") == 1
+
+    def test_div_by_zero_does_not_crash(self):
+        core = run("li $t0, 7\nli $t1, 0\ndiv $t0, $t1\nmflo $t2")
+        assert reg(core, "$t2") == 0xFFFFFFFF
+
+    def test_hi_lo_virtual_registers(self):
+        core = run("li $t0, 6\nli $t1, 7\nmult $t0, $t1")
+        assert core.regs[REG_LO] == 42
+        assert core.regs[REG_HI] == 0
+
+
+class TestMemory:
+    def test_word_store_load(self):
+        core = run("""
+            li $t0, 0x10000000
+            li $t1, 0xdeadbeef
+            sw $t1, 0($t0)
+            lw $t2, 0($t0)
+        """)
+        assert reg(core, "$t2") == 0xDEADBEEF
+
+    def test_byte_granularity_big_endian(self):
+        core = run("""
+            li $t0, 0x10000000
+            li $t1, 0x11223344
+            sw $t1, 0($t0)
+            lbu $t2, 0($t0)
+            lbu $t3, 3($t0)
+        """)
+        assert reg(core, "$t2") == 0x11
+        assert reg(core, "$t3") == 0x44
+
+    def test_lb_sign_extends(self):
+        core = run("""
+            li $t0, 0x10000000
+            li $t1, 0x80
+            sb $t1, 0($t0)
+            lb $t2, 0($t0)
+            lbu $t3, 0($t0)
+        """)
+        assert reg(core, "$t2") == 0xFFFFFF80
+        assert reg(core, "$t3") == 0x80
+
+    def test_halfword_ops(self):
+        core = run("""
+            li $t0, 0x10000000
+            li $t1, 0x8001
+            sh $t1, 2($t0)
+            lh $t2, 2($t0)
+            lhu $t3, 2($t0)
+        """)
+        assert reg(core, "$t2") == 0xFFFF8001
+        assert reg(core, "$t3") == 0x8001
+
+    def test_sb_preserves_other_bytes(self):
+        core = run("""
+            li $t0, 0x10000000
+            li $t1, 0x11223344
+            sw $t1, 0($t0)
+            li $t2, 0xAA
+            sb $t2, 1($t0)
+            lw $t3, 0($t0)
+        """)
+        assert reg(core, "$t3") == 0x11AA3344
+
+    def test_negative_offset(self):
+        core = run("""
+            li $t0, 0x10000010
+            li $t1, 77
+            sw $t1, -16($t0)
+            lw $t2, -16($t0)
+        """)
+        assert reg(core, "$t2") == 77
+
+    def test_misaligned_word_faults(self):
+        with pytest.raises(SimulationError):
+            run("li $t0, 0x10000001\nlw $t1, 0($t0)")
+
+    def test_misaligned_half_faults(self):
+        with pytest.raises(SimulationError):
+            run("li $t0, 0x10000001\nlh $t1, 0($t0)")
+
+    def test_uninitialised_memory_reads_zero(self):
+        core = run("li $t0, 0x10005000\nlw $t1, 0($t0)")
+        assert reg(core, "$t1") == 0
+
+    def test_data_segment_initialised(self):
+        source = """
+        .data 0x10000000
+        val: .word 1234
+        .text 0x400000
+        la $t0, val
+        lw $t1, 0($t0)
+        addiu $v0, $zero, 10
+        syscall
+        """
+        core = FunctionalCore(assemble(source))
+        core.run()
+        assert reg(core, "$t1") == 1234
+
+
+class TestControlFlow:
+    def test_loop_count(self):
+        core = run("""
+            li $t0, 0
+            li $t1, 10
+        loop:
+            addiu $t0, $t0, 1
+            bne $t0, $t1, loop
+        """)
+        assert reg(core, "$t0") == 10
+
+    @pytest.mark.parametrize("op,value,taken", [
+        ("blez", -1, True), ("blez", 0, True), ("blez", 1, False),
+        ("bgtz", -1, False), ("bgtz", 0, False), ("bgtz", 1, True),
+        ("bltz", -1, True), ("bltz", 0, False),
+        ("bgez", -1, False), ("bgez", 0, True),
+    ])
+    def test_single_operand_branches(self, op, value, taken):
+        core = run("""
+            li $t0, %d
+            li $t2, 0
+            %s $t0, target
+            li $t2, 1
+        target:
+        """ % (value, op))
+        assert reg(core, "$t2") == (0 if taken else 1)
+
+    def test_jal_links(self):
+        core = run("""
+            jal func
+            j done
+        func:
+            li $t0, 55
+            jr $ra
+        done:
+        """)
+        assert reg(core, "$t0") == 55
+
+    def test_jalr_links_and_jumps(self):
+        core = run("""
+            la $t9, func
+            jalr $ra, $t9
+            j done
+        func:
+            li $t0, 66
+            jr $ra
+        done:
+        """)
+        assert reg(core, "$t0") == 66
+
+    def test_pc_escape_faults(self):
+        source = ".text 0x400000\naddiu $t0, $zero, 1"  # falls off the end
+        core = FunctionalCore(assemble(source))
+        with pytest.raises(SimulationError):
+            core.run()
+
+
+class TestSyscalls:
+    def test_exit_code(self):
+        source = """
+        .text 0x400000
+        addiu $a0, $zero, 3
+        addiu $v0, $zero, 10
+        syscall
+        """
+        core = FunctionalCore(assemble(source))
+        core.run()
+        assert core.halted and core.exit_code == 3
+
+    def test_print_int_negative(self):
+        core = run("li $a0, -5\naddiu $v0, $zero, 1\nsyscall")
+        assert core.output == ["-5"]
+
+    def test_print_char(self):
+        core = run("li $a0, 65\naddiu $v0, $zero, 11\nsyscall")
+        assert core.output == ["A"]
+
+    def test_unknown_syscall_faults(self):
+        with pytest.raises(SimulationError):
+            run("addiu $v0, $zero, 99\nsyscall")
+
+    def test_instruction_budget(self):
+        source = ".text 0x400000\nself: j self"
+        core = FunctionalCore(assemble(source))
+        with pytest.raises(SimulationError):
+            core.run(max_instructions=100)
+
+
+class TestPredecode:
+    def test_predecode_length(self):
+        prog = assemble(".text 0x400000\nsyscall\nsyscall")
+        assert len(predecode(prog)) == 2
+
+    def test_undecodable_word_rejected(self):
+        from repro.isa.program import Program
+        prog = Program(text=[0xFC000000])  # opcode 0x3F: unassigned
+        with pytest.raises(SimulationError):
+            predecode(prog)
+
+    def test_static_srcs_exclude_zero_register(self):
+        prog = assemble(".text 0x400000\naddu $t0, $zero, $zero")
+        (st,) = predecode(prog)
+        assert st.srcs == ()
+
+    def test_shared_static_across_cores(self):
+        prog = assemble("""
+        .text 0x400000
+        li $t0, 9
+        addiu $v0, $zero, 10
+        syscall
+        """)
+        static = predecode(prog)
+        a = FunctionalCore(prog, static=static)
+        b = FunctionalCore(prog, static=static)
+        a.run()
+        b.run()
+        assert reg(a, "$t0") == reg(b, "$t0") == 9

@@ -1,0 +1,93 @@
+"""Tests for the native fetch path and the fetch unit."""
+
+from repro.sim.cache import Cache
+from repro.sim.config import CacheConfig, MemoryConfig
+from repro.sim.fetch import FetchUnit, NativeMissPath
+
+
+def make_unit(line=32, size=1024, bus_bits=64):
+    icache = Cache(CacheConfig(size, line, 2))
+    path = NativeMissPath(MemoryConfig(bus_bits=bus_bits), line)
+    return FetchUnit(icache, path), icache
+
+
+class TestNativeMissPath:
+    def test_critical_word_first(self):
+        path = NativeMissPath(MemoryConfig(), 32)
+        fill = path.miss(0x400010, now=0)  # fifth word of the line
+        assert fill.critical_ready == 10  # paper Figure 2-a
+        assert fill.fill_done == 16
+
+    def test_word_order_wraps_around(self):
+        path = NativeMissPath(MemoryConfig(), 32)
+        fill = path.miss(0x400010, now=0)
+        # Beat order: words 4-5 first (t=10), then 6-7, then wrap to 0-1,
+        # 2-3 (t=14, 16).
+        assert fill.word_times[4] == 10
+        assert fill.word_times[6] == 12
+        assert fill.word_times[0] == 14
+        assert fill.word_times[2] == 16
+
+    def test_first_word_miss(self):
+        path = NativeMissPath(MemoryConfig(), 32)
+        fill = path.miss(0x400000, now=0)
+        assert fill.word_times == [10, 10, 12, 12, 14, 14, 16, 16]
+
+    def test_narrow_bus_word_takes_two_beats(self):
+        path = NativeMissPath(MemoryConfig(bus_bits=16), 32)
+        fill = path.miss(0x400000, now=0)
+        # Each 4-byte word needs two 2-byte beats; word 0 completes at
+        # the second beat.
+        assert fill.critical_ready == 12
+        assert fill.fill_done == 10 + 15 * 2
+
+    def test_now_offsets_everything(self):
+        path = NativeMissPath(MemoryConfig(), 32)
+        fill = path.miss(0x400000, now=100)
+        assert fill.critical_ready == 110
+
+
+class TestFetchUnit:
+    def test_miss_then_hits(self):
+        unit, icache = make_unit()
+        ready = unit.fetch(0x400000, now=0)
+        assert ready == 10
+        assert icache.stats.misses == 1
+        # Next word of the same line: no new cache access, available at
+        # its beat arrival.
+        assert unit.fetch(0x400004, now=10) == 10
+        assert icache.stats.accesses == 1
+
+    def test_line_transition_counts_access(self):
+        unit, icache = make_unit()
+        unit.fetch(0x400000, 0)
+        unit.fetch(0x400020, 20)  # next line
+        assert icache.stats.accesses == 2
+
+    def test_within_line_waits_for_beat(self):
+        unit, _ = make_unit()
+        unit.fetch(0x400000, 0)
+        # Word 7 arrives with the last beat at t=16.
+        assert unit.fetch(0x40001C, 11) == 16
+
+    def test_hit_after_fill_is_instant(self):
+        unit, _ = make_unit()
+        unit.fetch(0x400000, 0)
+        unit.redirect()
+        assert unit.fetch(0x400000, 50) == 50
+
+    def test_redirect_recounts_access(self):
+        unit, icache = make_unit()
+        unit.fetch(0x400000, 0)
+        unit.redirect()
+        unit.fetch(0x400000, 20)
+        assert icache.stats.accesses == 2
+        assert icache.stats.misses == 1
+
+    def test_refetch_during_fill_respects_word_time(self):
+        unit, _ = make_unit()
+        unit.fetch(0x400010, 0)  # critical word 4 at t=10
+        unit.redirect()
+        # Branch back into the same line while it is still arriving:
+        # word 0 lands at t=14 and must not be available earlier.
+        assert unit.fetch(0x400000, 11) == 14

@@ -1,0 +1,97 @@
+"""Tests for the top-level simulation driver."""
+
+import pytest
+
+from repro.codepack.compressor import compress_program
+from repro.sim import (
+    ARCH_1_ISSUE,
+    ARCH_4_ISSUE,
+    CodePackConfig,
+    simulate,
+)
+from repro.sim.config import IndexCacheConfig
+from repro.sim.machine import describe_mode, prepare
+from tests.conftest import make_counting_program, make_memory_program
+
+
+class TestTransparency:
+    """Compression must be architecturally invisible (paper S2.3)."""
+
+    def test_same_output_and_exit(self):
+        prog = make_counting_program(500)
+        native = simulate(prog, ARCH_4_ISSUE)
+        packed = simulate(prog, ARCH_4_ISSUE, codepack=CodePackConfig())
+        assert native.output == packed.output
+        assert native.exit_code == packed.exit_code
+        assert native.instructions == packed.instructions
+
+    def test_memory_program_identical(self):
+        prog = make_memory_program()
+        native = simulate(prog, ARCH_1_ISSUE)
+        packed = simulate(prog, ARCH_1_ISSUE,
+                          codepack=CodePackConfig.optimized())
+        assert native.output == packed.output
+
+
+class TestModeLabels:
+    def test_native(self):
+        assert describe_mode(None) == "native"
+
+    def test_baseline(self):
+        assert describe_mode(CodePackConfig()) == "codepack"
+
+    def test_optimized(self):
+        assert describe_mode(CodePackConfig.optimized()) \
+            == "codepack+ic64x4+dec2"
+
+    def test_perfect(self):
+        assert describe_mode(CodePackConfig(perfect_index=True)) \
+            == "codepack+perfect-index"
+
+    def test_nobuf(self):
+        assert describe_mode(CodePackConfig(output_buffer=False)) \
+            == "codepack+nobuf"
+
+    def test_result_carries_mode(self):
+        prog = make_counting_program(10)
+        result = simulate(prog, ARCH_1_ISSUE, codepack=CodePackConfig(
+            index_cache=IndexCacheConfig(8, 2)))
+        assert result.mode == "codepack+ic8x2"
+
+
+class TestArtifactReuse:
+    def test_prebuilt_image_and_static(self):
+        prog = make_counting_program(200)
+        image = compress_program(prog)
+        static = prepare(prog)
+        a = simulate(prog, ARCH_4_ISSUE, codepack=CodePackConfig(),
+                     image=image, static=static)
+        b = simulate(prog, ARCH_4_ISSUE, codepack=CodePackConfig())
+        assert a.cycles == b.cycles
+
+
+class TestResultFields:
+    def test_engine_stats_only_for_codepack(self):
+        prog = make_counting_program(100)
+        assert simulate(prog, ARCH_1_ISSUE).engine is None
+        packed = simulate(prog, ARCH_1_ISSUE, codepack=CodePackConfig())
+        assert packed.engine is not None
+        assert packed.engine.misses >= 1
+
+    def test_truncation_flag(self):
+        prog = make_counting_program(10_000)
+        result = simulate(prog, ARCH_1_ISSUE, max_instructions=500)
+        assert result.extra["truncated"]
+        assert result.instructions == 500
+
+    def test_speedup_requires_same_work(self):
+        prog = make_counting_program(100)
+        full = simulate(prog, ARCH_1_ISSUE)
+        short = simulate(prog, ARCH_1_ISSUE, max_instructions=50)
+        with pytest.raises(ValueError):
+            full.speedup_over(short)
+
+    def test_summary_mentions_key_numbers(self):
+        result = simulate(make_counting_program(100), ARCH_1_ISSUE)
+        text = result.summary()
+        assert "counting" in text and "IPC" in text

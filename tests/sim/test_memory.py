@@ -1,0 +1,48 @@
+"""Tests for the main-memory timing model."""
+
+from repro.sim.config import MemoryConfig
+
+
+class TestBurstArrivals:
+    def test_single_beat(self):
+        mem = MemoryConfig(bus_bits=64, first_latency=10, rate=2)
+        assert mem.burst_arrivals(8, start=0) == [10]
+
+    def test_paper_native_line_fill(self):
+        # 32-byte line over a 64-bit bus: 4 accesses at t=10,12,14,16
+        # (paper Figure 2-a).
+        mem = MemoryConfig()
+        assert mem.burst_arrivals(32, start=0) == [10, 12, 14, 16]
+
+    def test_misalignment_adds_beats(self):
+        mem = MemoryConfig()
+        # 8 bytes starting 4 bytes into a beat spans two beats.
+        assert mem.burst_arrivals(8, start=0, align_offset=4) == [10, 12]
+
+    def test_narrow_bus(self):
+        mem = MemoryConfig(bus_bits=16)
+        # A 4-byte read needs two 2-byte beats.
+        assert mem.burst_arrivals(4, start=0) == [10, 12]
+
+    def test_wide_bus(self):
+        mem = MemoryConfig(bus_bits=128)
+        assert mem.burst_arrivals(32, start=0) == [10, 12]
+
+    def test_start_offsets_all_beats(self):
+        mem = MemoryConfig()
+        assert mem.burst_arrivals(16, start=100) == [110, 112]
+
+    def test_access_done_is_last_beat(self):
+        mem = MemoryConfig()
+        assert mem.access_done(32, 0) == 16
+        assert mem.access_done(4, 0) == 10
+
+
+class TestGeometry:
+    def test_bus_bytes(self):
+        assert MemoryConfig(bus_bits=64).bus_bytes == 8
+        assert MemoryConfig(bus_bits=16).bus_bytes == 2
+
+    def test_latency_scaling(self):
+        mem = MemoryConfig(first_latency=40, rate=8)
+        assert mem.burst_arrivals(16, 0) == [40, 48]

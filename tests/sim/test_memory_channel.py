@@ -1,0 +1,65 @@
+"""Tests for the (optionally shared) memory channel."""
+
+from repro.sim.config import ARCH_4_ISSUE, MemoryConfig
+from repro.sim.memory import MemoryChannel
+
+
+class TestUncontended:
+    def test_matches_config_timing(self):
+        config = MemoryConfig()
+        channel = MemoryChannel(config, shared=False)
+        assert channel.burst_arrivals(32, 0) == config.burst_arrivals(32, 0)
+        assert channel.access_done(8, 5) == config.access_done(8, 5)
+
+    def test_no_state_between_bursts(self):
+        channel = MemoryChannel(MemoryConfig(), shared=False)
+        channel.burst_arrivals(32, 0)
+        # A second burst issued at the same time sees the same timing.
+        assert channel.burst_arrivals(32, 0)[0] == 10
+
+    def test_geometry_passthrough(self):
+        channel = MemoryChannel(MemoryConfig(bus_bits=16))
+        assert channel.bus_bytes == 2
+        assert channel.bus_bits == 16
+        assert channel.first_latency == 10
+        assert channel.rate == 2
+
+
+class TestShared:
+    def test_overlapping_bursts_queue(self):
+        channel = MemoryChannel(MemoryConfig(), shared=True)
+        first = channel.burst_arrivals(32, 0)  # beats 10,12,14,16
+        second = channel.burst_arrivals(32, 0)  # queued behind
+        assert second[0] == first[-1] + 10
+        assert channel.delayed == 1
+        assert channel.delay_cycles == 16
+
+    def test_idle_channel_adds_nothing(self):
+        channel = MemoryChannel(MemoryConfig(), shared=True)
+        channel.burst_arrivals(8, 0)  # done at 10
+        beats = channel.burst_arrivals(8, 100)
+        assert beats == [110]
+        assert channel.delayed == 0
+
+    def test_request_counters(self):
+        channel = MemoryChannel(MemoryConfig(), shared=True)
+        channel.access_done(8, 0)
+        channel.access_done(8, 0)
+        assert channel.requests == 2
+
+
+class TestEndToEnd:
+    def test_shared_bus_never_faster(self, cc1_small):
+        from repro.sim import CodePackConfig, simulate
+        idle = simulate(cc1_small, ARCH_4_ISSUE,
+                        max_instructions=2_000_000)
+        shared = simulate(cc1_small, ARCH_4_ISSUE.with_shared_bus(),
+                          max_instructions=2_000_000)
+        assert shared.cycles >= idle.cycles
+        assert shared.output == idle.output
+
+    def test_with_shared_bus_helper(self):
+        derived = ARCH_4_ISSUE.with_shared_bus()
+        assert derived.shared_memory_bus
+        assert not ARCH_4_ISSUE.shared_memory_bus
+        assert "sharedbus" in derived.name

@@ -1,0 +1,97 @@
+"""Tests for the native next-line prefetcher."""
+
+from repro.sim.cache import Cache
+from repro.sim.config import ARCH_4_ISSUE, CacheConfig, MemoryConfig
+from repro.sim.fetch import NativeMissPath
+from tests.conftest import make_static_program
+
+
+def make_path(**kwargs):
+    return NativeMissPath(MemoryConfig(), 32, **kwargs)
+
+
+class TestPrefetchPath:
+    def test_sequential_miss_hits_buffer(self):
+        path = make_path(prefetch_next=True)
+        first = path.miss(0x400000, 0)
+        second = path.miss(0x400020, first.fill_done + 10)
+        assert path.prefetch_hits == 1
+        # Buffer hit costs a transfer cycle, not a memory access.
+        assert second.critical_ready <= first.fill_done + 11
+
+    def test_nonsequential_miss_goes_to_memory(self):
+        path = make_path(prefetch_next=True)
+        path.miss(0x400000, 0)
+        far = path.miss(0x400100, 100)
+        assert path.prefetch_hits == 0
+        assert far.critical_ready == 110
+
+    def test_prefetch_in_flight_still_arriving(self):
+        path = make_path(prefetch_next=True)
+        first = path.miss(0x400000, 0)  # done 16; next line done ~32
+        second = path.miss(0x400020, first.fill_done)
+        # If requested before the prefetch finished streaming, the
+        # words are available no earlier than their arrival.
+        assert second.fill_done >= first.fill_done
+
+    def test_disabled_by_default(self):
+        path = make_path()
+        path.miss(0x400000, 0)
+        second = path.miss(0x400020, 50)
+        assert second.critical_ready == 60  # full memory access
+        assert path.prefetch_hits == 0
+
+    def test_demand_timing_unchanged_by_prefetcher(self):
+        plain = make_path().miss(0x400010, 0)
+        prefetching = make_path(prefetch_next=True).miss(0x400010, 0)
+        assert prefetching.critical_ready == plain.critical_ready
+        assert prefetching.word_times == plain.word_times
+
+
+class TestEndToEnd:
+    def test_loop_chain_code_benefits(self):
+        """NLP pays when compute gaps between line transitions let the
+        prefetch run ahead (on bandwidth-bound straight-line streaming
+        it cannot help: the front end consumes lines as fast as memory
+        delivers them)."""
+        from repro.isa.builder import AsmBuilder
+        from repro.isa.registers import T0, T2
+        from repro.sim import simulate
+
+        b = AsmBuilder(name="loopchain")
+        b.li(T2, 0)
+        for k in range(600):
+            b.li(T0, 6)
+            label = "blk%d" % k
+            b.label(label)
+            b.addiu(T2, T2, 1)
+            b.addiu(T0, T0, -1)
+            b.bne(T0, 0, label)  # a short loop per line: compute gap
+        b.halt()
+        prog = b.build()
+        native = simulate(prog, ARCH_4_ISSUE)
+        prefetching = simulate(prog, ARCH_4_ISSUE, native_prefetch=True,
+                               mode="native+nlp")
+        assert prefetching.output == native.output
+        assert prefetching.cycles < native.cycles * 0.9
+
+    def test_bandwidth_bound_streaming_gains_nothing(self):
+        """The complementary case: back-to-back line misses are paced
+        by the memory stream, so the prefetcher cannot run ahead."""
+        from repro.sim import simulate
+        prog = make_static_program(4096)
+        native = simulate(prog, ARCH_4_ISSUE)
+        prefetching = simulate(prog, ARCH_4_ISSUE, native_prefetch=True,
+                               mode="native+nlp")
+        assert abs(prefetching.cycles - native.cycles) \
+            <= native.cycles * 0.02
+
+    def test_architecturally_transparent(self, cc1_small):
+        from repro.sim import simulate
+        native = simulate(cc1_small, ARCH_4_ISSUE,
+                          max_instructions=2_000_000)
+        prefetching = simulate(cc1_small, ARCH_4_ISSUE,
+                               native_prefetch=True,
+                               max_instructions=2_000_000)
+        assert prefetching.output == native.output
+        assert prefetching.cycles <= native.cycles

@@ -1,0 +1,154 @@
+"""Behavioural tests for the in-order and out-of-order timing models.
+
+These do not pin exact cycle counts (the models are approximations);
+they assert the *relationships* the paper's results depend on: wider
+issue is faster, dependent chains serialise, cache misses cost cycles,
+mispredictions cost cycles.
+"""
+
+from repro.isa.builder import AsmBuilder
+from repro.isa.registers import A0, T0, T1, T2, T3, T4, T5, V0
+from repro.sim import ARCH_1_ISSUE, ARCH_4_ISSUE, ARCH_8_ISSUE, simulate
+from tests.conftest import make_counting_program
+
+
+def independent_chain_program(n=2000):
+    """Blocks of independent ALU ops: ILP for wide machines to mine."""
+    b = AsmBuilder(name="ilp")
+    b.li(T0, 0)
+    b.li(T1, n)
+    b.label("loop")
+    b.addiu(T2, T2, 1)
+    b.addiu(T3, T3, 2)
+    b.addiu(T4, T4, 3)
+    b.addiu(T5, T5, 4)
+    b.addiu(T0, T0, 1)
+    b.bne(T0, T1, "loop")
+    b.halt()
+    return b.build()
+
+
+def dependent_chain_program(n=2000):
+    """A serial dependence chain: no ILP anywhere."""
+    b = AsmBuilder(name="serial")
+    b.li(T0, 0)
+    b.li(T1, n)
+    b.label("loop")
+    b.addiu(T2, T2, 1)
+    b.addiu(T2, T2, 1)
+    b.addiu(T2, T2, 1)
+    b.addiu(T2, T2, 1)
+    b.addiu(T0, T0, 1)
+    b.bne(T0, T1, "loop")
+    b.halt()
+    return b.build()
+
+
+def pointer_chase_program(links=400, stride=1024):
+    """Loads whose addresses defeat a small D-cache (cold misses)."""
+    b = AsmBuilder(name="chase")
+    base = 0x1040_0000
+    for i in range(links):
+        addr = base + i * stride
+        nxt = base + (i + 1) * stride
+        b.data_word(addr, nxt)
+    b.li(T0, base)
+    b.li(T1, links)
+    b.li(T2, 0)
+    b.label("loop")
+    b.lw(T0, 0, T0)
+    b.addiu(T2, T2, 1)
+    b.bne(T2, T1, "loop")
+    b.halt()
+    return b.build()
+
+
+def branchy_program(n=3000):
+    """Data-dependent branches an LCG makes unpredictable."""
+    b = AsmBuilder(name="branchy")
+    b.li(T0, 12345)
+    b.li(T1, 1103515245)
+    b.li(T2, 0)
+    b.li(T3, n)
+    b.label("loop")
+    b.mult(T0, T1)
+    b.mflo(T0)
+    b.addiu(T0, T0, 12345)
+    b.srl(T4, T0, 16)
+    b.andi(T4, T4, 1)
+    b.beq(T4, 0, "skip")
+    b.addiu(T5, T5, 1)
+    b.label("skip")
+    b.addiu(T2, T2, 1)
+    b.bne(T2, T3, "loop")
+    b.halt()
+    return b.build()
+
+
+class TestIssueWidthScaling:
+    def test_wider_machines_are_faster_on_ilp(self):
+        prog = independent_chain_program()
+        one = simulate(prog, ARCH_1_ISSUE)
+        four = simulate(prog, ARCH_4_ISSUE)
+        eight = simulate(prog, ARCH_8_ISSUE)
+        assert one.ipc <= four.ipc <= eight.ipc
+        assert four.ipc > 1.2 * one.ipc
+
+    def test_single_issue_ipc_at_most_one(self):
+        result = simulate(independent_chain_program(), ARCH_1_ISSUE)
+        assert result.ipc <= 1.0
+
+    def test_dependent_chain_defeats_width(self):
+        prog = dependent_chain_program()
+        four = simulate(prog, ARCH_4_ISSUE)
+        # A serial chain cannot exploit 4-wide issue.
+        assert four.ipc < 1.6
+
+    def test_ilp_beats_serial_on_wide_machine(self):
+        ilp = simulate(independent_chain_program(), ARCH_4_ISSUE)
+        serial = simulate(dependent_chain_program(), ARCH_4_ISSUE)
+        assert ilp.ipc > serial.ipc
+
+
+class TestMemoryEffects:
+    def test_dcache_misses_cost_cycles(self):
+        cold = simulate(pointer_chase_program(stride=1024), ARCH_4_ISSUE)
+        warm = simulate(pointer_chase_program(stride=4), ARCH_4_ISSUE)
+        assert cold.dcache_misses > warm.dcache_misses
+        assert cold.ipc < warm.ipc
+
+    def test_dcache_stats_populated(self):
+        result = simulate(pointer_chase_program(), ARCH_4_ISSUE)
+        assert result.dcache_accesses > 0
+
+
+class TestBranchEffects:
+    def test_mispredicts_recorded(self):
+        result = simulate(branchy_program(), ARCH_4_ISSUE)
+        assert result.branch_lookups > 0
+        # The LCG-driven branch is essentially random: mispredict rate
+        # should be substantial but below 100%.
+        assert 0.05 < result.mispredict_rate < 0.9
+
+    def test_predictable_loop_branch_learned(self):
+        result = simulate(make_counting_program(500), ARCH_4_ISSUE)
+        assert result.mispredict_rate < 0.1
+
+    def test_mispredicts_cost_cycles(self):
+        branchy = simulate(branchy_program(), ARCH_4_ISSUE)
+        steady = simulate(make_counting_program(3000), ARCH_4_ISSUE)
+        assert branchy.ipc < steady.ipc
+
+
+class TestDeterminism:
+    def test_same_run_same_cycles(self):
+        prog = branchy_program()
+        a = simulate(prog, ARCH_4_ISSUE)
+        b = simulate(prog, ARCH_4_ISSUE)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+
+    def test_cycle_count_positive_and_bounded(self):
+        result = simulate(make_counting_program(100), ARCH_8_ISSUE)
+        assert result.instructions <= result.cycles * 8
+        assert result.cycles >= result.instructions / 8

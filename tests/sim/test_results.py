@@ -1,0 +1,53 @@
+"""Tests for the SimResult record."""
+
+import pytest
+
+from repro.sim.results import SimResult
+
+
+def make(instructions=1000, cycles=2000, **kwargs):
+    defaults = dict(benchmark="b", arch="4-issue", mode="native",
+                    instructions=instructions, cycles=cycles,
+                    icache_accesses=100, icache_misses=10)
+    defaults.update(kwargs)
+    return SimResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert make().ipc == 0.5
+
+    def test_ipc_zero_cycles(self):
+        assert make(cycles=0).ipc == 0.0
+
+    def test_miss_rate(self):
+        assert make().icache_miss_rate == 0.1
+
+    def test_miss_rate_no_accesses(self):
+        assert make(icache_accesses=0, icache_misses=0) \
+            .icache_miss_rate == 0.0
+
+    def test_mispredict_rate(self):
+        result = make(branch_lookups=100, branch_mispredicts=7)
+        assert result.mispredict_rate == 0.07
+        assert make().mispredict_rate == 0.0
+
+
+class TestSpeedup:
+    def test_speedup_over(self):
+        fast = make(cycles=1000)
+        slow = make(cycles=2000)
+        assert fast.speedup_over(slow) == 2.0
+        assert slow.speedup_over(fast) == 0.5
+
+    def test_mismatched_work_rejected(self):
+        with pytest.raises(ValueError):
+            make(instructions=10).speedup_over(make(instructions=20))
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        text = make().summary()
+        assert "b/4-issue/native" in text
+        assert "IPC 0.500" in text
+        assert "10.00%" in text

@@ -1,0 +1,95 @@
+"""Tests for miss tracing and latency analysis."""
+
+from repro.sim import ARCH_4_ISSUE, CodePackConfig, simulate
+from repro.sim.trace import (
+    MissEvent,
+    MissTrace,
+    format_histogram,
+    latency_histogram,
+)
+from repro.sim.fetch import LineFill
+from tests.conftest import make_counting_program
+
+
+def _fill(critical, done):
+    return LineFill(0, [critical] * 8, critical, done)
+
+
+class TestMissTrace:
+    def test_records_events(self):
+        trace = MissTrace()
+        trace.record(0x400000, 100, _fill(110, 116))
+        (event,) = trace.events
+        assert event.critical_latency == 10
+        assert event.fill_latency == 16
+        assert trace.count == 1
+        assert not trace.truncated
+
+    def test_limit_truncates_but_counts(self):
+        trace = MissTrace(limit=2)
+        for i in range(5):
+            trace.record(i, 0, _fill(10, 16))
+        assert len(trace.events) == 2
+        assert trace.count == 5
+        assert trace.truncated
+
+    def test_summary(self):
+        trace = MissTrace()
+        for latency in (10, 20, 30):
+            trace.record(0, 0, _fill(latency, latency))
+        summary = trace.summary()
+        assert summary["min"] == 10
+        assert summary["max"] == 30
+        assert summary["mean"] == 20
+        assert summary["median"] == 20
+
+    def test_empty_summary(self):
+        assert MissTrace().summary() == {"count": 0}
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = latency_histogram([1, 2, 5, 9, 10], bucket=4)
+        assert histogram == {0: 2, 4: 1, 8: 2}
+
+    def test_format_nonempty(self):
+        text = format_histogram([10, 10, 12, 30], bucket=4)
+        assert "#" in text
+        assert "2" in text
+
+    def test_format_empty(self):
+        assert format_histogram([]) == "(no misses)"
+
+
+class TestEndToEnd:
+    def test_native_latencies_are_first_access(self):
+        prog = make_counting_program(100)
+        trace = MissTrace()
+        simulate(prog, ARCH_4_ISSUE, trace=trace)
+        assert trace.count >= 1
+        # Every native miss is served critical-word-first at the
+        # 10-cycle first-access latency.
+        assert set(trace.critical_latencies()) == {10}
+
+    def test_codepack_latency_population(self, cc1_small):
+        trace = MissTrace()
+        simulate(cc1_small, ARCH_4_ISSUE, codepack=CodePackConfig(),
+                 trace=trace, max_instructions=2_000_000)
+        latencies = trace.critical_latencies()
+        # Buffer hits (1 cycle) and full index-miss paths (>20 cycles)
+        # must both appear.
+        assert min(latencies) <= 2
+        assert max(latencies) >= 20
+
+    def test_trace_count_matches_miss_stats(self, cc1_small):
+        trace = MissTrace()
+        result = simulate(cc1_small, ARCH_4_ISSUE, trace=trace,
+                          max_instructions=2_000_000)
+        assert trace.count == result.icache_misses
+
+    def test_fill_latency_at_least_critical(self, cc1_small):
+        trace = MissTrace()
+        simulate(cc1_small, ARCH_4_ISSUE, codepack=CodePackConfig(),
+                 trace=trace, max_instructions=2_000_000)
+        for event in trace.events:
+            assert event.fill_latency >= event.critical_latency

@@ -1,0 +1,73 @@
+"""Tests for the calibration utilities."""
+
+import pytest
+
+from repro.workloads.calibration import (
+    Measurement,
+    check_suite,
+    measure,
+    tune_cold_threshold,
+)
+from repro.workloads.generators import CallHeavyParams
+
+
+class TestMeasurement:
+    def test_measure_basic(self, pegwit_small):
+        m = measure(pegwit_small)
+        assert m.name == "pegwit"
+        assert m.text_bytes == pegwit_small.text_size
+        assert 0 < m.compression_ratio < 1
+        assert 0 <= m.miss_rate < 1
+        assert m.instructions > 0
+
+    def test_within_both_targets(self):
+        m = Measurement("x", 1000, 0.60, 0.2, 0.05, 1000)
+        assert m.within(0.06, 0.61)
+        assert not m.within(0.10, 0.61)
+        assert not m.within(0.06, 0.70)
+
+    def test_within_miss_target_optional(self):
+        m = Measurement("x", 1000, 0.60, 0.2, 0.05, 1000)
+        assert m.within(None, 0.61)
+
+
+class TestSuiteCheck:
+    def test_kernels_hit_targets_at_small_scale(self):
+        # The loop kernels' metrics are stable even at tiny scale.
+        results = check_suite(scale=0.05, names=("mpeg2enc", "pegwit"),
+                              miss_tol=0.02, ratio_tol=0.06)
+        for name, (measurement, ok) in results.items():
+            assert ok, (name, measurement)
+
+    def test_returns_all_requested(self):
+        results = check_suite(scale=0.02, names=("pegwit",))
+        assert set(results) == {"pegwit"}
+
+
+class TestTuning:
+    def test_bisection_converges(self):
+        params = CallHeavyParams(n_funcs=256, hot_funcs=32,
+                                 cold_threshold=0, iterations=800,
+                                 body_min=8, body_max=16, seed=3)
+        tuned, measurement = tune_cold_threshold(
+            params, target_miss=0.05, tolerance=0.01, max_steps=6,
+            name="tune-test")
+        assert abs(measurement.miss_rate - 0.05) < 0.03
+        assert 0 <= tuned.cold_threshold <= 256
+
+    def test_monotonicity_assumption_holds(self):
+        """More cold calls means more I-misses (the bisection's
+        premise)."""
+        import dataclasses
+        base = CallHeavyParams(n_funcs=256, hot_funcs=32,
+                               cold_threshold=8, iterations=800,
+                               body_min=8, body_max=16, seed=3)
+        low = measure(_build(base))
+        high = measure(_build(dataclasses.replace(base,
+                                                  cold_threshold=128)))
+        assert high.miss_rate > low.miss_rate
+
+
+def _build(params):
+    from repro.workloads.generators import build_call_heavy
+    return build_call_heavy("mono-test", params)

@@ -1,0 +1,98 @@
+"""Tests for the six-benchmark suite."""
+
+import pytest
+
+from repro.codepack.compressor import compress_program
+from repro.codepack.decompressor import decompress_program
+from repro.sim import ARCH_4_ISSUE, simulate
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    SUITE,
+    build_benchmark,
+    build_suite,
+)
+
+
+class TestSuiteDefinition:
+    def test_all_six_paper_benchmarks_present(self):
+        assert set(BENCHMARK_NAMES) \
+            == {"cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"}
+
+    def test_specs_carry_paper_numbers(self):
+        for name in BENCHMARK_NAMES:
+            spec = SUITE[name]
+            assert 0.5 < spec.paper_compression_ratio < 0.7
+            assert spec.paper_miss_rate is None \
+                or 0 <= spec.paper_miss_rate < 0.1
+            assert spec.description
+
+    def test_build_suite_returns_all(self, small_suite):
+        assert set(small_suite) == set(BENCHMARK_NAMES)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("gcc")
+
+
+class TestPrograms:
+    def test_determinism(self):
+        a = build_benchmark("perl", scale=0.02)
+        b = build_benchmark("perl", scale=0.02)
+        assert a.text == b.text
+
+    def test_scale_changes_dynamic_not_static(self):
+        small = build_benchmark("go", scale=0.02)
+        big = build_benchmark("go", scale=0.04)
+        assert small.text_size == big.text_size
+
+    def test_names_match(self, small_suite):
+        for name, prog in small_suite.items():
+            assert prog.name == name
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_halts(self, small_suite, name):
+        result = simulate(small_suite[name], ARCH_4_ISSUE,
+                          max_instructions=2_000_000)
+        assert not result.extra["truncated"]
+        assert result.output
+
+
+class TestCompressionProperties:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_roundtrip(self, small_suite, name):
+        prog = small_suite[name]
+        image = compress_program(prog)
+        assert decompress_program(image) == prog.text
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_ratio_in_paper_band(self, small_suite, name):
+        """The suite must compress like the paper's binaries: 54-66%."""
+        image = compress_program(small_suite[name])
+        assert 0.50 <= image.compression_ratio <= 0.68, \
+            "%s ratio %.3f outside the calibrated band" \
+            % (name, image.compression_ratio)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_raw_fraction_in_paper_band(self, small_suite, name):
+        """Paper Table 4: 14-25% of the compressed image is raw bits."""
+        stats = compress_program(small_suite[name]).stats
+        raw = stats.fractions()["raw_bits"]
+        assert 0.10 <= raw <= 0.30, "%s raw fraction %.3f" % (name, raw)
+
+
+class TestCacheBehaviourShape:
+    """Relative I-miss ordering must match paper Table 1."""
+
+    def test_call_heavy_miss_more_than_kernels(self, small_suite):
+        rates = {name: simulate(prog, ARCH_4_ISSUE,
+                                max_instructions=2_000_000).icache_miss_rate
+                 for name, prog in small_suite.items()}
+        for heavy in ("cc1", "go", "perl", "vortex"):
+            for kernel in ("mpeg2enc", "pegwit"):
+                assert rates[heavy] > rates[kernel] * 5
+
+    def test_kernels_essentially_never_miss(self, small_suite):
+        for name in ("mpeg2enc", "pegwit"):
+            result = simulate(small_suite[name], ARCH_4_ISSUE,
+                              max_instructions=2_000_000)
+            assert result.icache_miss_rate < 0.02
