@@ -4,12 +4,24 @@ Unlike the exhibit benches (one round, table output), these use
 pytest-benchmark's statistics properly: several rounds of pure
 compression / decompression work over the same real program, reporting
 MB/s-style numbers for the library's own users.
+
+The ``fast path`` benchmarks exercise the table-driven codec the
+library actually ships; the ``reference`` benchmarks time the retained
+per-bit oracle (:mod:`repro.codepack.reference`), and
+``test_fast_path_speedup`` pins the contract that the fast path beats
+it by >= 3x for both compression and decompression.
 """
+
+import time
 
 import pytest
 
 from repro.codepack.compressor import compress_program, compress_words
 from repro.codepack.decompressor import decompress_program
+from repro.codepack.reference import (
+    compress_program_reference,
+    decompress_program_reference,
+)
 from repro.schemes.ccrp import compress_ccrp, decompress_ccrp
 from repro.schemes.dictword import compress_dictword, decompress_dictword
 
@@ -28,6 +40,55 @@ def test_codepack_decompress_throughput(benchmark, program, wb):
     image = wb.image("perl")
     words = benchmark(decompress_program, image)
     assert words == program.text
+
+
+def test_codepack_reference_compress_throughput(benchmark, program):
+    image = benchmark(compress_program_reference, program)
+    assert image.compression_ratio < 0.7
+
+
+def test_codepack_reference_decompress_throughput(benchmark, program, wb):
+    image = wb.image("perl")
+    words = benchmark(decompress_program_reference, image)
+    assert words == program.text
+
+
+def _best_of(f, rounds):
+    times = []
+    for _ in range(rounds):
+        begin = time.perf_counter()
+        f()
+        times.append(time.perf_counter() - begin)
+    return min(times)
+
+
+def test_fast_path_speedup(wb):
+    """The headline contract: >= 3x over the reference codec, both
+    directions, on a real benchmark program (vortex, the largest).
+
+    Plain best-of-N wall timing rather than the ``benchmark`` fixture so
+    the assertion also runs under ``--benchmark-disable`` smoke runs.
+    """
+    program = wb.program("vortex")
+    image = compress_program(program)
+    reference_image = compress_program_reference(program)
+    assert image.code_bytes == reference_image.code_bytes
+
+    compress_fast = _best_of(lambda: compress_program(program), 5)
+    compress_ref = _best_of(lambda: compress_program_reference(program), 3)
+    decompress_fast = _best_of(lambda: decompress_program(image), 5)
+    decompress_ref = _best_of(
+        lambda: decompress_program_reference(reference_image), 3)
+
+    compress_speedup = compress_ref / compress_fast
+    decompress_speedup = decompress_ref / decompress_fast
+    print("\ncompress  %.1fms vs %.1fms reference: %.2fx"
+          % (compress_fast * 1e3, compress_ref * 1e3, compress_speedup))
+    print("decompress %.1fms vs %.1fms reference: %.2fx"
+          % (decompress_fast * 1e3, decompress_ref * 1e3,
+             decompress_speedup))
+    assert compress_speedup >= 3.0
+    assert decompress_speedup >= 3.0
 
 
 def test_dictionary_build_throughput(benchmark, program):

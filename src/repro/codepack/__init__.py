@@ -16,11 +16,22 @@ paper reports in Tables 3 and 4:
 * :mod:`repro.codepack.codewords` -- the tag/index codeword classes
 * :mod:`repro.codepack.dictionary` -- frequency-driven dictionary build
 * :mod:`repro.codepack.compressor` -- block/group/index-table encoder
-* :mod:`repro.codepack.decompressor` -- the functional decoder
+  (the table-driven fast path)
+* :mod:`repro.codepack.decompressor` -- the functional decoder (fast)
+* :mod:`repro.codepack.fastcodec` -- precomputed codeword tables the
+  fast paths share
+* :mod:`repro.codepack.reference` -- the retained per-bit codec, the
+  oracle for the differential test harness
+* :mod:`repro.codepack.batch` -- multi-program / multi-group batch API
 * :mod:`repro.codepack.index_table` -- index entry packing
 * :mod:`repro.codepack.stats` -- bit-exact composition breakdown
 """
 
+from repro.codepack.batch import (
+    compress_many,
+    compress_words_parallel,
+    decompress_many,
+)
 from repro.codepack.bitstream import BitReader, BitWriter
 from repro.codepack.codewords import (
     HIGH_SCHEME,
@@ -44,6 +55,12 @@ from repro.codepack.decompressor import (
 )
 from repro.codepack.dictionary import Dictionary, build_dictionaries
 from repro.codepack.index_table import IndexEntry, pack_index_entry, unpack_index_entry
+from repro.codepack.reference import (
+    compress_program_reference,
+    compress_words_reference,
+    decompress_block_reference,
+    decompress_program_reference,
+)
 from repro.codepack.stats import CompositionStats
 
 __all__ = [
@@ -63,9 +80,16 @@ __all__ = [
     "LOW_SCHEME",
     "RAW_HALFWORD_BITS",
     "build_dictionaries",
+    "compress_many",
     "compress_program",
+    "compress_program_reference",
+    "compress_words_parallel",
+    "compress_words_reference",
     "decompress_block",
+    "decompress_block_reference",
+    "decompress_many",
     "decompress_program",
+    "decompress_program_reference",
     "iter_block_symbols",
     "pack_index_entry",
     "unpack_index_entry",

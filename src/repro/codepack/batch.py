@@ -1,0 +1,184 @@
+"""Batch compression/decompression over a worker pool.
+
+The eval harness compresses six benchmark programs (and the ablation
+sweeps recompress them dozens of times with varied geometry); this
+module fans that work out across a :mod:`concurrent.futures` pool.
+
+Parallel granularity is the **compression group**: dictionaries are
+built up front (they are a global property of the program), then runs
+of ``group_blocks`` blocks are encoded independently -- block encodings
+never reference each other, only the final byte offsets do, and those
+are fixed up sequentially after the fan-out.  Decompression fans out
+the same way.
+
+Everything falls back to plain sequential execution when no pool is
+available (``max_workers <= 1``, a pool that cannot be created in the
+current environment, or a worker failure mid-flight), so callers never
+need to care whether the fan-out actually happened; results are
+bit-identical either way, which the batch tests assert.
+"""
+
+import concurrent.futures
+
+from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
+from repro.codepack.compressor import (
+    BLOCK_INSTRUCTIONS,
+    GROUP_BLOCKS,
+    BlockInfo,
+    CodePackImage,
+)
+from repro.codepack.decompressor import decompress_block
+from repro.codepack.dictionary import build_dictionaries
+from repro.codepack.fastcodec import BlockEncoder
+from repro.codepack.reference import build_index_entries
+from repro.codepack.stats import CompositionStats
+from repro.isa.encoding import INSTRUCTION_BYTES
+
+__all__ = ["compress_many", "decompress_many", "compress_words_parallel"]
+
+
+def _encode_group(encoder, words, block_instructions):
+    """Encode one compression group's worth of words into block parts."""
+    return [encoder.encode_block(words[start:start + block_instructions])
+            for start in range(0, len(words), block_instructions)]
+
+
+def _map_maybe_parallel(func, items, max_workers):
+    """Order-preserving map over *items*, pooled when possible.
+
+    Returns the mapped list; any pool-infrastructure failure (inability
+    to spawn threads in a constrained environment) degrades to the
+    sequential path.  Exceptions raised by *func* itself propagate
+    unchanged in both modes.
+    """
+    if max_workers is None or max_workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    try:
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
+    except (OSError, RuntimeError):
+        return [func(item) for item in items]
+    with pool:
+        return list(pool.map(func, items))
+
+
+def compress_words_parallel(words, text_base=0, name="program",
+                            high_scheme=None, low_scheme=None,
+                            block_instructions=BLOCK_INSTRUCTIONS,
+                            group_blocks=GROUP_BLOCKS,
+                            high_dict=None, low_dict=None,
+                            max_workers=None):
+    """Like :func:`~repro.codepack.compressor.compress_words`, but with
+    the per-group block encoding fanned out across a worker pool.
+
+    Bit-identical to the sequential compressor for any *max_workers*.
+    """
+    high_scheme = high_scheme or HIGH_SCHEME
+    low_scheme = low_scheme or LOW_SCHEME
+    if high_dict is None or low_dict is None:
+        built_high, built_low = build_dictionaries(
+            words, high_scheme=high_scheme, low_scheme=low_scheme)
+        high_dict = high_dict or built_high
+        low_dict = low_dict or built_low
+    encoder = BlockEncoder(high_scheme, low_scheme, high_dict, low_dict)
+
+    group_words = group_blocks * block_instructions
+    groups = [words[start:start + group_words]
+              for start in range(0, len(words), group_words)]
+    encoded_groups = _map_maybe_parallel(
+        lambda chunk: _encode_group(encoder, chunk, block_instructions),
+        groups, max_workers)
+
+    blocks = []
+    chunks = []
+    ct = di = rt = rb = pad = 0
+    offset = 0
+    for group in encoded_groups:
+        for data, is_raw, end_bits, block_stats in group:
+            blocks.append(BlockInfo(
+                index=len(blocks),
+                byte_offset=offset,
+                byte_length=len(data),
+                is_raw=is_raw,
+                n_instructions=len(end_bits),
+                inst_end_bits=end_bits,
+            ))
+            chunks.append(data)
+            ct += block_stats[0]
+            di += block_stats[1]
+            rt += block_stats[2]
+            rb += block_stats[3]
+            pad += block_stats[4]
+            offset += len(data)
+
+    index_entries = build_index_entries(blocks, group_blocks)
+    stats = CompositionStats(
+        index_table_bits=len(index_entries) * 32,
+        dictionary_bits=high_dict.storage_bits + low_dict.storage_bits,
+        compressed_tag_bits=ct,
+        dictionary_index_bits=di,
+        raw_tag_bits=rt,
+        raw_bits=rb,
+        pad_bits=pad,
+    )
+
+    return CodePackImage(
+        name=name,
+        text_base=text_base,
+        n_instructions=len(words),
+        high_dict=high_dict,
+        low_dict=low_dict,
+        index_entries=index_entries,
+        code_bytes=b"".join(chunks),
+        blocks=blocks,
+        stats=stats,
+        original_bytes=len(words) * INSTRUCTION_BYTES,
+        high_scheme=high_scheme,
+        low_scheme=low_scheme,
+        block_instructions=block_instructions,
+        group_blocks=group_blocks,
+    )
+
+
+def compress_many(programs, max_workers=None, **kwargs):
+    """Compress several programs; returns images in input order.
+
+    *programs* may be :class:`~repro.isa.program.Program` objects or
+    plain lists of instruction words.  With ``max_workers > 1`` the
+    programs are compressed concurrently (and each program's group
+    encoding additionally fans out); ``max_workers=None`` picks a
+    sequential, deterministic default.  Keyword arguments are forwarded
+    to the compressor.
+    """
+
+    def _compress(item):
+        if hasattr(item, "text"):
+            return compress_words_parallel(
+                item.text, text_base=item.text_base, name=item.name,
+                max_workers=None, **kwargs)
+        return compress_words_parallel(item, max_workers=None, **kwargs)
+
+    return _map_maybe_parallel(_compress, list(programs), max_workers)
+
+
+def decompress_many(images, max_workers=None):
+    """Decompress several images; returns word lists in input order.
+
+    Fans the per-block decodes of each image out across the pool; the
+    sequential fallback mirrors
+    :func:`~repro.codepack.decompressor.decompress_program`, including
+    its instruction-count integrity check.
+    """
+    from repro.codepack.errors import DecompressionError
+
+    def _decompress(image):
+        block_words = _map_maybe_parallel(
+            lambda index: decompress_block(image, index),
+            list(range(image.n_blocks)), None)
+        words = [word for block in block_words for word in block]
+        if len(words) != image.n_instructions:
+            raise DecompressionError(
+                "decoded %d instructions, expected %d"
+                % (len(words), image.n_instructions))
+        return words
+
+    return _map_maybe_parallel(_decompress, list(images), max_workers)

@@ -5,15 +5,28 @@ escape) and are packed back to back within a compression block; blocks
 are then padded out to a byte boundary so that the index table can use
 byte offsets.  :class:`BitWriter` and :class:`BitReader` implement
 exactly that framing.
+
+Both classes are tuned for long streams: the writer flushes its
+accumulator to rendered bytes whenever enough whole bytes are pending
+(so appending n bits costs O(n) total, not the O(n^2) a single growing
+integer would), and the reader extracts each field from a byte-slice in
+one ``int.from_bytes`` call.  The CodePack hot loops no longer go
+through this module at all (see :mod:`repro.codepack.fastcodec`), but
+the Huffman/CCRP/dictionary schemes still frame their streams here.
 """
+
+#: Flush the writer's accumulator once it holds this many bits.
+_FLUSH_BITS = 4096
 
 
 class BitWriter:
     """Accumulates an MSB-first bit string and renders it as bytes."""
 
     def __init__(self):
-        self._bits = 0  # integer holding the bits written so far
-        self._length = 0  # number of valid bits in _bits
+        self._rendered = []  # byte-aligned chunks already rendered
+        self._acc = 0  # pending bits, MSB first
+        self._acc_bits = 0  # number of valid bits in _acc
+        self._length = 0  # total bits written
 
     def write(self, value, width):
         """Append the *width* low bits of *value*, MSB first."""
@@ -22,8 +35,24 @@ class BitWriter:
         if not 0 <= value < (1 << width):
             raise ValueError("value %d does not fit in %d bits"
                              % (value, width))
-        self._bits = (self._bits << width) | value
+        self._acc = (self._acc << width) | value
+        self._acc_bits += width
         self._length += width
+        if self._acc_bits >= _FLUSH_BITS:
+            self._flush()
+
+    def _flush(self):
+        """Render the accumulator's whole leading bytes.
+
+        The stream prefix before the accumulator is always byte
+        aligned, so the accumulator's top ``8 * (bits // 8)`` bits can
+        be emitted as bytes, keeping only the sub-byte remainder.
+        """
+        nbytes, rem = divmod(self._acc_bits, 8)
+        if nbytes:
+            self._rendered.append((self._acc >> rem).to_bytes(nbytes, "big"))
+            self._acc &= (1 << rem) - 1
+            self._acc_bits = rem
 
     @property
     def bit_length(self):
@@ -42,7 +71,11 @@ class BitWriter:
         if self._length % 8:
             raise ValueError("bitstream not byte aligned (%d bits)"
                              % self._length)
-        return self._bits.to_bytes(self._length // 8, "big")
+        self._flush()
+        data = b"".join(self._rendered)
+        # Keep the writer usable for further appends after rendering.
+        self._rendered = [data]
+        return data
 
 
 class BitReader:
@@ -68,20 +101,15 @@ class BitReader:
             raise ValueError("negative width")
         if width == 0:
             return 0
-        end = self._pos + width
+        pos = self._pos
+        end = pos + width
         if end > len(self._data) * 8:
             raise EOFError("bitstream exhausted")
-        value = 0
-        pos = self._pos
-        while pos < end:
-            byte = self._data[pos // 8]
-            bit_in_byte = pos % 8
-            take = min(8 - bit_in_byte, end - pos)
-            chunk = (byte >> (8 - bit_in_byte - take)) & ((1 << take) - 1)
-            value = (value << take) | chunk
-            pos += take
+        first_byte = pos >> 3
+        last_byte = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[first_byte:last_byte], "big")
         self._pos = end
-        return value
+        return (chunk >> (last_byte * 8 - end)) & ((1 << width) - 1)
 
     def peek(self, width):
         """Read *width* bits without consuming them."""

@@ -27,6 +27,7 @@ entries each", and the maximum *compressed* codeword is 11 bits.
 """
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 #: Bits in the raw-escape tag.
 RAW_TAG_BITS = 3
@@ -108,6 +109,20 @@ class CodewordScheme:
                 return cls
         raise KeyError("unknown tag %s/%d in %s stream"
                        % (bin(tag), tag_bits, self.name))
+
+
+@lru_cache(maxsize=None)
+def slot_widths(scheme):
+    """Codeword length of every dictionary slot of *scheme*, as a tuple.
+
+    Memoised per scheme (schemes are frozen, hence hashable); replaces
+    per-slot :meth:`CodewordScheme.encoded_bits` class scans in the
+    dictionary-admission hot path.
+    """
+    widths = []
+    for cls in scheme.classes:
+        widths.extend([cls.total_bits] * cls.capacity)
+    return tuple(widths)
 
 
 def _low_scheme():

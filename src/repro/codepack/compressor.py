@@ -17,22 +17,34 @@ consumers need: the raw compressed bytes and index table for the
 functional decompressor, per-block geometry (including per-instruction
 bit boundaries) for the decompression-engine timing model, and the
 bit-exact :class:`~repro.codepack.stats.CompositionStats` for Table 4.
+
+This is the **fast path**: blocks are packed word-at-a-time through the
+precomputed codeword tables of :mod:`repro.codepack.fastcodec`.  The
+original per-bit encoder survives as
+:func:`repro.codepack.reference.compress_words_reference` and the
+differential harness keeps the two bit-identical.
 """
 
 from dataclasses import dataclass, field
 
-from repro.codepack.bitstream import BitWriter
-from repro.codepack.codewords import (
-    HIGH_SCHEME,
-    LOW_SCHEME,
-    LOW_ZERO_TAG,
-    LOW_ZERO_TAG_BITS,
-    RAW_HALFWORD_BITS,
-)
+from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
 from repro.codepack.dictionary import build_dictionaries
-from repro.codepack.index_table import IndexEntry
+from repro.codepack.fastcodec import BlockEncoder
+from repro.codepack.reference import build_index_entries, encode_halfword
 from repro.codepack.stats import CompositionStats
 from repro.isa.encoding import INSTRUCTION_BYTES
+
+__all__ = [
+    "BLOCK_INSTRUCTIONS",
+    "GROUP_BLOCKS",
+    "GROUP_INSTRUCTIONS",
+    "BLOCK_NATIVE_BITS",
+    "BlockInfo",
+    "CodePackImage",
+    "compress_words",
+    "compress_program",
+    "encode_halfword",
+]
 
 #: Instructions per compression block (fixed by the paper).
 BLOCK_INSTRUCTIONS = 16
@@ -103,7 +115,13 @@ class CodePackImage:
 
     @property
     def compression_ratio(self):
-        """Paper Eq. 1: compressed size / original size (smaller is better)."""
+        """Paper Eq. 1: compressed size / original size (smaller is better).
+
+        An empty program has no meaningful ratio; report 1.0 rather than
+        dividing by zero (the image still carries fixed container overhead).
+        """
+        if not self.original_bytes:
+            return 1.0
         return self.compressed_bytes / float(self.original_bytes)
 
     @property
@@ -139,53 +157,6 @@ class CodePackImage:
             % self.block_instructions
 
 
-def encode_halfword(writer, scheme, dictionary, value, stats):
-    """Emit one halfword symbol; update *stats*; return bit count."""
-    start = writer.bit_length
-    if scheme.zero_special and value == 0:
-        writer.write(LOW_ZERO_TAG, LOW_ZERO_TAG_BITS)
-        stats.compressed_tag_bits += LOW_ZERO_TAG_BITS
-        return writer.bit_length - start
-    slot = dictionary.slot(value)
-    if slot is None:
-        writer.write(scheme.raw_tag, scheme.raw_tag_bits)
-        writer.write(value, RAW_HALFWORD_BITS)
-        stats.raw_tag_bits += scheme.raw_tag_bits
-        stats.raw_bits += RAW_HALFWORD_BITS
-        return writer.bit_length - start
-    cls, index_in_class = scheme.class_of_entry(slot)
-    writer.write(cls.tag, cls.tag_bits)
-    writer.write(index_in_class, cls.index_bits)
-    stats.compressed_tag_bits += cls.tag_bits
-    stats.dictionary_index_bits += cls.index_bits
-    return writer.bit_length - start
-
-
-def _encode_block(words, image_args):
-    """Compress one block; returns (bytes, BlockInfo fields, stats)."""
-    high_scheme, low_scheme, high_dict, low_dict = image_args
-    writer = BitWriter()
-    stats = CompositionStats()
-    end_bits = []
-    for word in words:
-        encode_halfword(writer, high_scheme, high_dict,
-                        (word >> 16) & 0xFFFF, stats)
-        encode_halfword(writer, low_scheme, low_dict, word & 0xFFFF, stats)
-        end_bits.append(writer.bit_length)
-    pad = writer.pad_to_byte()
-    stats.pad_bits += pad
-    native_bits = len(words) * 32
-    if writer.bit_length > native_bits:
-        # Whole-block raw escape: store the native words unchanged.
-        raw_writer = BitWriter()
-        for word in words:
-            raw_writer.write(word, 32)
-        raw_stats = CompositionStats(raw_bits=native_bits)
-        raw_ends = tuple(32 * (i + 1) for i in range(len(words)))
-        return raw_writer.to_bytes(), True, raw_ends, raw_stats
-    return writer.to_bytes(), False, tuple(end_bits), stats
-
-
 def compress_words(words, text_base=0, name="program",
                    high_scheme=None, low_scheme=None,
                    block_instructions=BLOCK_INSTRUCTIONS,
@@ -206,15 +177,16 @@ def compress_words(words, text_base=0, name="program",
             words, high_scheme=high_scheme, low_scheme=low_scheme)
         high_dict = high_dict or built_high
         low_dict = low_dict or built_low
-    args = (high_scheme, low_scheme, high_dict, low_dict)
+    encoder = BlockEncoder(high_scheme, low_scheme, high_dict, low_dict)
 
     blocks = []
     chunks = []
-    stats = CompositionStats()
+    ct = di = rt = rb = pad = 0
     offset = 0
     for start in range(0, len(words), block_instructions):
         chunk_words = words[start:start + block_instructions]
-        data, is_raw, end_bits, block_stats = _encode_block(chunk_words, args)
+        data, is_raw, end_bits, block_stats = encoder.encode_block(
+            chunk_words)
         blocks.append(BlockInfo(
             index=len(blocks),
             byte_offset=offset,
@@ -224,31 +196,23 @@ def compress_words(words, text_base=0, name="program",
             inst_end_bits=end_bits,
         ))
         chunks.append(data)
-        stats = stats.merged(block_stats)
+        ct += block_stats[0]
+        di += block_stats[1]
+        rt += block_stats[2]
+        rb += block_stats[3]
+        pad += block_stats[4]
         offset += len(data)
 
-    index_entries = []
-    for group_start in range(0, len(blocks), group_blocks):
-        first = blocks[group_start]
-        if group_blocks > 1 and group_start + 1 < len(blocks):
-            second = blocks[group_start + 1]
-            entry = IndexEntry(
-                block1_base=first.byte_offset,
-                block2_offset=second.byte_offset - first.byte_offset,
-                block1_raw=first.is_raw,
-                block2_raw=second.is_raw,
-            )
-        else:
-            entry = IndexEntry(
-                block1_base=first.byte_offset,
-                block2_offset=first.byte_length,
-                block1_raw=first.is_raw,
-                block2_raw=False,
-            )
-        index_entries.append(entry)
-
-    stats.index_table_bits = len(index_entries) * 32
-    stats.dictionary_bits = high_dict.storage_bits + low_dict.storage_bits
+    index_entries = build_index_entries(blocks, group_blocks)
+    stats = CompositionStats(
+        index_table_bits=len(index_entries) * 32,
+        dictionary_bits=high_dict.storage_bits + low_dict.storage_bits,
+        compressed_tag_bits=ct,
+        dictionary_index_bits=di,
+        raw_tag_bits=rt,
+        raw_bits=rb,
+        pad_bits=pad,
+    )
 
     return CodePackImage(
         name=name,

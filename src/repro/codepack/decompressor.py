@@ -1,4 +1,4 @@
-"""The functional CodePack decoder.
+"""The functional CodePack decoder (fast path).
 
 This is the software model of paper Figure 1 step C: given the
 compressed bytes of one block and the two dictionaries, reconstruct the
@@ -6,38 +6,58 @@ original 32-bit instructions.  The hardware timing aspects (burst
 arrival, decode rate, output buffer) live in
 :mod:`repro.sim.codepack_engine`; this module only cares about bit-exact
 correctness and is what the round-trip tests exercise.
+
+Decoding is table-driven: a per-image :class:`~repro.codepack.fastcodec.
+BlockDecoder` resolves each codeword with a single ``2**11``-entry
+lookup instead of the reference decoder's field-by-field bit reads.  The
+decoder is cached on the image (keyed by dictionary identity, so
+swapping an image's dictionaries invalidates it) and is proven
+bit-identical to :mod:`repro.codepack.reference` by the differential
+test harness.
 """
 
-from repro.codepack.bitstream import BitReader
-from repro.codepack.codewords import RAW_HALFWORD_BITS
+from repro.codepack.errors import DecompressionError
+from repro.codepack.fastcodec import BlockDecoder, decode_raw_block
+from repro.codepack.reference import decode_halfword_reference
+
+#: Backwards-compatible alias: the per-bit halfword decoder now lives in
+#: :mod:`repro.codepack.reference`.
+_decode_halfword = decode_halfword_reference
+
+__all__ = [
+    "DecompressionError",
+    "decoder_for_image",
+    "decompress_block",
+    "decompress_program",
+    "iter_block_symbols",
+]
 
 
-class DecompressionError(ValueError):
-    """Raised when the compressed stream is malformed."""
+def decoder_for_image(image):
+    """The image's cached :class:`BlockDecoder`, (re)built on demand.
+
+    The decode tables depend only on the image's schemes and
+    dictionaries; the cache is invalidated when either dictionary
+    object is replaced (the corruption tests do exactly that).
+    """
+    cache = getattr(image, "_fast_decoder", None)
+    if cache is not None and cache[0] is image.high_dict \
+            and cache[1] is image.low_dict:
+        return cache[2]
+    decoder = BlockDecoder(image.high_scheme, image.low_scheme,
+                           image.high_dict, image.low_dict)
+    image._fast_decoder = (image.high_dict, image.low_dict, decoder)
+    return decoder
 
 
-def _decode_halfword(reader, scheme, dictionary):
-    """Decode one halfword symbol from *reader*."""
-    tag = reader.read(2)
-    tag_bits = 2
-    if tag == 0b11:
-        tag = (tag << 1) | reader.read(1)
-        tag_bits = 3
-    if tag == scheme.raw_tag and tag_bits == scheme.raw_tag_bits:
-        return reader.read(RAW_HALFWORD_BITS)
-    if scheme.zero_special and tag == 0b00 and tag_bits == 2:
-        return 0
-    try:
-        cls = scheme.class_for_tag(tag, tag_bits)
-    except KeyError as exc:
-        raise DecompressionError(str(exc))
-    index_in_class = reader.read(cls.index_bits)
-    slot = scheme.entry_of_class(cls, index_in_class)
-    if slot >= len(dictionary):
-        raise DecompressionError(
-            "dictionary slot %d beyond %s dictionary (%d entries)"
-            % (slot, scheme.name, len(dictionary)))
-    return dictionary.value(slot)
+def _decode_block(image, block_index):
+    """Decode one block; returns ``(words, end_bit_offsets)``."""
+    block = image.blocks[block_index]
+    if block.is_raw:
+        return decode_raw_block(image.code_bytes, block.byte_offset,
+                                block.n_instructions)
+    return decoder_for_image(image).decode_block(
+        image.code_bytes, block.byte_offset, block.n_instructions)
 
 
 def iter_block_symbols(image, block_index):
@@ -48,22 +68,13 @@ def iter_block_symbols(image, block_index):
     decode loop the hardware engine performs serially, so the timing
     model shares it.
     """
-    block = image.blocks[block_index]
-    reader = BitReader(image.code_bytes, bit_offset=block.byte_offset * 8)
-    base_bit = block.byte_offset * 8
-    if block.is_raw:
-        for _ in range(block.n_instructions):
-            yield reader.read(32), reader.position - base_bit
-        return
-    for _ in range(block.n_instructions):
-        high = _decode_halfword(reader, image.high_scheme, image.high_dict)
-        low = _decode_halfword(reader, image.low_scheme, image.low_dict)
-        yield (high << 16) | low, reader.position - base_bit
+    words, ends = _decode_block(image, block_index)
+    return iter(zip(words, ends))
 
 
 def decompress_block(image, block_index):
     """Decode one compression block back to instruction words."""
-    return [word for word, _ in iter_block_symbols(image, block_index)]
+    return _decode_block(image, block_index)[0]
 
 
 def decompress_program(image):

@@ -15,10 +15,13 @@ single-occurrence tail raw, which is what produces the paper's
 surprising 19--25% raw fraction (Table 4).
 """
 
+import array
+import heapq
+import sys
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.codepack.codewords import RAW_CODEWORD_BITS
+from repro.codepack.codewords import RAW_CODEWORD_BITS, slot_widths
 
 #: Bits each dictionary slot occupies in the compressed image.
 DICTIONARY_ENTRY_BITS = 16
@@ -76,12 +79,12 @@ def _admit(scheme, ranked):
     """
     entries = []
     capacity = scheme.dictionary_capacity
+    widths = slot_widths(scheme)
     for value, count in ranked:
         slot = len(entries)
         if slot >= capacity:
             break
-        encoded = scheme.encoded_bits(slot)
-        saving = count * (RAW_CODEWORD_BITS - encoded)
+        saving = count * (RAW_CODEWORD_BITS - widths[slot])
         if saving <= DICTIONARY_ENTRY_BITS:
             # Candidates are frequency-sorted and class widths only grow,
             # so no later candidate can be profitable either.
@@ -91,12 +94,24 @@ def _admit(scheme, ranked):
 
 
 def halfword_histograms(words):
-    """Count high and low halfword symbols over instruction *words*."""
-    high = Counter()
-    low = Counter()
-    for word in words:
-        high[(word >> 16) & 0xFFFF] += 1
-        low[word & 0xFFFF] += 1
+    """Count high and low halfword symbols over instruction *words*.
+
+    The fast path reinterprets the words as packed 16-bit halves via
+    :mod:`array` so splitting and counting both run in C; out-of-range
+    words (or platforms with unusual C-int sizes) fall back to the
+    generator path, which masks exactly like the reference encoder.
+    """
+    try:
+        packed = array.array("I", words)
+    except (OverflowError, TypeError):
+        packed = None
+    if packed is not None and packed.itemsize == 4:
+        halves = array.array("H", packed.tobytes())
+        if sys.byteorder == "little":
+            return Counter(halves[1::2]), Counter(halves[0::2])
+        return Counter(halves[0::2]), Counter(halves[1::2])
+    high = Counter((word >> 16) & 0xFFFF for word in words)
+    low = Counter(word & 0xFFFF for word in words)
     return high, low
 
 
@@ -105,8 +120,11 @@ def build_dictionary(scheme, histogram):
     items = histogram.items()
     if scheme.zero_special:
         items = ((value, count) for value, count in items if value != 0)
-    # Deterministic: ties broken by value.
-    ranked = sorted(items, key=lambda pair: (-pair[1], pair[0]))
+    # Deterministic: ties broken by value.  Only the top ``capacity``
+    # candidates can ever be admitted, so an O(n log capacity) partial
+    # sort replaces the full sort of the symbol tail.
+    ranked = heapq.nsmallest(scheme.dictionary_capacity, items,
+                             key=lambda pair: (-pair[1], pair[0]))
     return Dictionary(scheme=scheme, entries=_admit(scheme, ranked))
 
 

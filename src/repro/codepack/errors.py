@@ -1,0 +1,5 @@
+"""Codec error types, shared by the fast and reference paths."""
+
+
+class DecompressionError(ValueError):
+    """Raised when the compressed stream is malformed."""

@@ -21,7 +21,6 @@ model faithfully:
 
 from dataclasses import dataclass, field
 
-from repro.codepack.bitstream import BitWriter
 from repro.codepack.stats import CompositionStats
 from repro.isa.encoding import INSTRUCTION_BYTES
 from repro.schemes.huffman import CanonicalHuffman, histogram_of_bytes
@@ -76,6 +75,8 @@ class CcrpImage:
 
     @property
     def compression_ratio(self):
+        if not self.original_bytes:
+            return 1.0  # empty program: no meaningful ratio
         return self.compressed_bytes / float(self.original_bytes)
 
     def line_of_address(self, addr):
@@ -89,39 +90,51 @@ class CcrpImage:
 
 
 def compress_ccrp(program, line_bytes=LINE_BYTES):
-    """Huffman-compress *program*'s ``.text`` line-wise, CCRP style."""
+    """Huffman-compress *program*'s ``.text`` line-wise, CCRP style.
+
+    The per-line loop packs codewords from a 256-entry table with
+    whole-line integer shifts (the same fast path as the CodePack
+    encoder); output is bit-identical to the original
+    :class:`~repro.codepack.bitstream.BitWriter` transcription.
+    """
     data = program.text_bytes()
-    code = CanonicalHuffman(histogram_of_bytes(data))
+    # A zero-instruction program has no byte histogram; give the code a
+    # one-symbol alphabet so the image is well-formed (no lines follow).
+    code = CanonicalHuffman(histogram_of_bytes(data) if data else {0: 1})
+    # Indexable codeword table: every byte value occurring in *data* is
+    # in the alphabet by construction.
+    byte_codes = [code.table.get(value) for value in range(256)]
     lines = []
     chunks = []
     stats = CompositionStats()
     offset = 0
     for start in range(0, len(data), line_bytes):
         source = data[start:start + line_bytes]
-        writer = BitWriter()
+        acc = 0
+        nbits = 0
         ends = []
+        append = ends.append
         for byte in source:
-            code.encode_symbol(writer, byte)
-            ends.append(writer.bit_length)
-        pad = writer.pad_to_byte()
-        if writer.bit_length > len(source) * 8:
+            codeword, length = byte_codes[byte]
+            acc = (acc << length) | codeword
+            nbits += length
+            append(nbits)
+        pad = (8 - nbits % 8) % 8
+        if nbits + pad > len(source) * 8:
             # Raw escape: an incompressible line is stored verbatim.
-            raw = BitWriter()
-            for byte in source:
-                raw.write(byte, 8)
-            payload = raw.to_bytes()
+            payload = bytes(source)
             lines.append(CcrpLine(len(lines), offset, len(payload), True,
                                   len(source),
                                   tuple(8 * (j + 1)
                                         for j in range(len(source)))))
             stats.raw_bits += len(source) * 8
         else:
-            payload = writer.to_bytes()
+            payload = (acc << pad).to_bytes((nbits + pad) // 8, "big")
             lines.append(CcrpLine(len(lines), offset, len(payload), False,
                                   len(source), tuple(ends)))
             # Huffman output has no tag/index split; count codeword bits
             # as dictionary indices and the pad explicitly.
-            stats.dictionary_index_bits += writer.bit_length - pad
+            stats.dictionary_index_bits += nbits
             stats.pad_bits += pad
         chunks.append(payload)
         offset += len(payload)

@@ -24,13 +24,19 @@ Framing reuses CodePack's 16-instruction blocks and 2-block index
 groups so the two schemes are compared on identical miss machinery; the
 timing model *is* :class:`~repro.sim.codepack_engine.CodePackEngine`,
 pointed at a :class:`DictWordImage`.
+
+Like CodePack, the codec runs on the table-driven fast path of
+:mod:`repro.codepack.fastcodec`: codewords are packed through a
+precomputed word table with whole-block integer shifts, and decoding
+resolves the 1/2/3-bit tag with a single 3-bit peek.  The encoding is
+bit-identical to the original :class:`BitWriter` transcription.
 """
 
 from dataclasses import dataclass
 
-from repro.codepack.bitstream import BitReader, BitWriter
 from repro.codepack.compressor import BLOCK_INSTRUCTIONS, GROUP_BLOCKS, BlockInfo
-from repro.codepack.index_table import IndexEntry
+from repro.codepack.fastcodec import _STAT_MASK, _STAT_SHIFT, _pack_stats
+from repro.codepack.reference import build_index_entries
 from repro.codepack.stats import CompositionStats
 from repro.isa.encoding import INSTRUCTION_BYTES
 from repro.sim.codepack_engine import CodePackEngine
@@ -61,6 +67,46 @@ def _slot_cost_bits(slot):
     return tag_bits + index_bits
 
 
+def _build_tag_table():
+    """3-bit-peek decode table: ``table[peek3]`` is ``(tag_bits,
+    index_bits, slot_base)`` for dictionary classes or ``None`` for the
+    raw escape.  Every 3-bit value resolves (the class set is complete),
+    so block decoding needs one peek per instruction."""
+    table = [None] * 8
+    base = 0
+    for tag, tag_bits, index_bits in CODEWORD_CLASSES:
+        for low in range(1 << (3 - tag_bits)):
+            table[(tag << (3 - tag_bits)) | low] = (tag_bits, index_bits, base)
+        base += 1 << index_bits
+    return tuple(table)
+
+
+_TAG_TABLE = _build_tag_table()
+
+#: Longest codeword one instruction can produce (the raw escape).
+_MAX_CODEWORD_BITS = RAW_TAG_BITS + RAW_BITS
+
+
+def _build_encode_table(dictionary):
+    """Map instruction word -> ``(code, width, packed_stats)``, exactly
+    as :func:`repro.codepack.fastcodec.build_encode_table` does for
+    halfword dictionaries."""
+    table = {}
+    slot = 0
+    n = len(dictionary)
+    for tag, tag_bits, index_bits in CODEWORD_CLASSES:
+        if slot >= n:
+            break
+        tag_shifted = tag << index_bits
+        total = tag_bits + index_bits
+        stat = _pack_stats(tag_bits, index_bits, 0, 0)
+        for index_in_class in range(min(1 << index_bits, n - slot)):
+            table[dictionary[slot]] = (tag_shifted | index_in_class,
+                                       total, stat)
+            slot += 1
+    return table
+
+
 @dataclass
 class DictWordImage:
     """A dictionary-compressed image, interface-compatible with
@@ -87,6 +133,8 @@ class DictWordImage:
 
     @property
     def compression_ratio(self):
+        if not self.original_bytes:
+            return 1.0  # empty program: no meaningful ratio
         return self.compressed_bytes / float(self.original_bytes)
 
     @property
@@ -133,66 +181,65 @@ def compress_dictword(program, block_instructions=BLOCK_INSTRUCTIONS,
     """Compress a program with the full-word dictionary scheme."""
     words = program.text
     dictionary = _build_dictionary(words)
-    slot_of = {word: i for i, word in enumerate(dictionary)}
+    table = _build_encode_table(dictionary)
+    raw_code_base = RAW_TAG << RAW_BITS
+    raw_width = RAW_TAG_BITS + RAW_BITS
+    raw_stat = _pack_stats(0, 0, RAW_TAG_BITS, RAW_BITS)
 
     blocks = []
     chunks = []
-    stats = CompositionStats()
+    ct = di = rt = rb = pd = 0
     offset = 0
     for start in range(0, len(words), block_instructions):
         chunk = words[start:start + block_instructions]
-        writer = BitWriter()
+        acc = 0
+        nbits = 0
+        packed = 0
         ends = []
-        block_stats = CompositionStats()
+        append = ends.append
         for word in chunk:
-            slot = slot_of.get(word)
-            if slot is None:
-                writer.write(RAW_TAG, RAW_TAG_BITS)
-                writer.write(word, RAW_BITS)
-                block_stats.raw_tag_bits += RAW_TAG_BITS
-                block_stats.raw_bits += RAW_BITS
-            else:
-                tag, tag_bits, index_bits, index = _class_of_slot(slot)
-                writer.write(tag, tag_bits)
-                writer.write(index, index_bits)
-                block_stats.compressed_tag_bits += tag_bits
-                block_stats.dictionary_index_bits += index_bits
-            ends.append(writer.bit_length)
-        pad = writer.pad_to_byte()
-        block_stats.pad_bits += pad
-        if writer.bit_length > len(chunk) * 32:
-            raw = BitWriter()
-            for word in chunk:
-                raw.write(word, 32)
-            payload = raw.to_bytes()
+            entry = table.get(word)
+            if entry is None:
+                if not 0 <= word < (1 << RAW_BITS):
+                    raise ValueError(
+                        "value %d does not fit in %d bits" % (word, RAW_BITS))
+                entry = table[word] = (raw_code_base | word, raw_width,
+                                       raw_stat)
+            code, width, stat = entry
+            acc = (acc << width) | code
+            nbits += width
+            packed += stat
+            append(nbits)
+        pad = (8 - nbits % 8) % 8
+        if nbits + pad > len(chunk) * 32:
+            payload = b"".join(w.to_bytes(4, "big") for w in chunk)
             blocks.append(BlockInfo(len(blocks), offset, len(payload), True,
                                     len(chunk),
                                     tuple(32 * (i + 1)
                                           for i in range(len(chunk)))))
-            stats = stats.merged(CompositionStats(raw_bits=len(chunk) * 32))
+            rb += len(chunk) * 32
         else:
-            payload = writer.to_bytes()
+            payload = (acc << pad).to_bytes((nbits + pad) // 8, "big")
             blocks.append(BlockInfo(len(blocks), offset, len(payload), False,
                                     len(chunk), tuple(ends)))
-            stats = stats.merged(block_stats)
+            ct += (packed >> (3 * _STAT_SHIFT)) & _STAT_MASK
+            di += (packed >> (2 * _STAT_SHIFT)) & _STAT_MASK
+            rt += (packed >> _STAT_SHIFT) & _STAT_MASK
+            rb += packed & _STAT_MASK
+            pd += pad
         chunks.append(payload)
         offset += len(payload)
 
-    index_entries = []
-    for group_start in range(0, len(blocks), group_blocks):
-        first = blocks[group_start]
-        if group_blocks > 1 and group_start + 1 < len(blocks):
-            second = blocks[group_start + 1]
-            entry = IndexEntry(first.byte_offset,
-                               second.byte_offset - first.byte_offset,
-                               first.is_raw, second.is_raw)
-        else:
-            entry = IndexEntry(first.byte_offset, first.byte_length,
-                               first.is_raw, False)
-        index_entries.append(entry)
-
-    stats.index_table_bits = len(index_entries) * 32
-    stats.dictionary_bits = len(dictionary) * DICT_ENTRY_BITS
+    index_entries = build_index_entries(blocks, group_blocks)
+    stats = CompositionStats(
+        index_table_bits=len(index_entries) * 32,
+        dictionary_bits=len(dictionary) * DICT_ENTRY_BITS,
+        compressed_tag_bits=ct,
+        dictionary_index_bits=di,
+        raw_tag_bits=rt,
+        raw_bits=rb,
+        pad_bits=pd,
+    )
 
     return DictWordImage(
         name=program.name,
@@ -210,24 +257,54 @@ def compress_dictword(program, block_instructions=BLOCK_INSTRUCTIONS,
 
 
 def decompress_dictword_block(image, block_index):
-    """Functionally decode one block back to instruction words."""
+    """Functionally decode one block back to instruction words.
+
+    Table-driven: a single 3-bit peek resolves the tag (see
+    :data:`_TAG_TABLE`), then the index or raw literal is extracted from
+    a block-local integer window in one shift -- no per-bit reads.
+    """
     block = image.blocks[block_index]
-    reader = BitReader(image.code_bytes, bit_offset=block.byte_offset * 8)
-    words = []
+    data = image.code_bytes
+    byte_offset = block.byte_offset
+    n = block.n_instructions
     if block.is_raw:
-        return [reader.read(32) for _ in range(block.n_instructions)]
-    for _ in range(block.n_instructions):
-        if reader.read(1) == 0:  # tag '0'
-            slot_base, index_bits = 0, 7
-        elif reader.read(1) == 0:  # tag '10'
-            slot_base, index_bits = 128, 10
-        elif reader.read(1) == 0:  # tag '110'
-            slot_base, index_bits = 128 + 1024, 12
-        else:  # tag '111': raw escape
-            words.append(reader.read(RAW_BITS))
-            continue
-        slot = slot_base + reader.read(index_bits)
-        words.append(image.dictionary[slot])
+        end = byte_offset + 4 * n
+        if end > len(data):
+            raise EOFError("bitstream exhausted")
+        return [int.from_bytes(data[byte_offset + 4 * i:byte_offset + 4 * i + 4],
+                               "big") for i in range(n)]
+
+    tag_table = _TAG_TABLE
+    dictionary = image.dictionary
+    max_bytes = (_MAX_CODEWORD_BITS * n) // 8 + 8
+    window = data[byte_offset:byte_offset + max_bytes]
+    window_bits = len(window) * 8
+    avail = (len(data) - byte_offset) * 8
+    acc = int.from_bytes(window, "big")
+
+    words = []
+    pos = 0
+    for _ in range(n):
+        shift = window_bits - pos - 3
+        peek3 = (acc >> shift) & 0b111 if shift >= 0 else (acc << -shift) & 0b111
+        entry = tag_table[peek3]
+        if entry is None:  # raw escape
+            total = RAW_TAG_BITS + RAW_BITS
+            if pos + total > avail:
+                raise EOFError("bitstream exhausted")
+            shift = window_bits - pos - total
+            words.append((acc >> shift) & 0xFFFFFFFF)
+            pos += total
+        else:
+            tag_bits, index_bits, slot_base = entry
+            total = tag_bits + index_bits
+            if pos + total > avail:
+                raise EOFError("bitstream exhausted")
+            shift = window_bits - pos - total
+            index = (acc >> shift) & ((1 << index_bits) - 1) if shift >= 0 \
+                else (acc << -shift) & ((1 << index_bits) - 1)
+            words.append(dictionary[slot_base + index])
+            pos += total
     return words
 
 
@@ -248,3 +325,7 @@ class DictWordEngine(CodePackEngine):
     the paper groups both schemes as tag-prefixed variable-length
     encodings with equivalent extraction hardware.
     """
+
+    def decode_block(self, block_index):
+        """Functional decode through the dictword tag table."""
+        return decompress_dictword_block(self.image, block_index)

@@ -125,6 +125,7 @@ class CanonicalHuffman:
         self.max_bits = max(length for _, length in self.table.values())
         self._decode = {(code, length): symbol
                         for symbol, (code, length) in self.table.items()}
+        self._fast_decode = None  # built lazily on first bulk decode
 
     def __len__(self):
         return len(self.table)
@@ -158,10 +159,65 @@ class CanonicalHuffman:
         writer.pad_to_byte()
         return writer.to_bytes(), bit_length
 
+    def _decode_table(self):
+        """``2**max_bits``-entry table: peek -> ``(symbol, length)``.
+
+        A canonical code of length *l* owns the ``2**(max_bits - l)``
+        table slots sharing its *l*-bit prefix, so each slot is filled
+        with one C-level slice assignment.  Slots no codeword reaches
+        stay ``None`` (the code need not be complete after depth
+        repair); they reproduce :meth:`decode_symbol`'s
+        :class:`HuffmanError`.
+        """
+        if self._fast_decode is None:
+            width = self.max_bits
+            table = [None] * (1 << width)
+            for symbol, (code, length) in self.table.items():
+                first = code << (width - length)
+                run = 1 << (width - length)
+                table[first:first + run] = [(symbol, length)] * run
+            self._fast_decode = table
+        return self._fast_decode
+
     def decode(self, data, count, bit_offset=0):
-        """Decode *count* symbols from *data*."""
-        reader = BitReader(data, bit_offset)
-        return [self.decode_symbol(reader) for _ in range(count)]
+        """Decode *count* symbols from *data* (table-driven).
+
+        One table load per symbol, over an integer window -- same typed
+        errors as the per-bit :meth:`decode_symbol` loop: ``EOFError``
+        when the stream runs out mid-codeword, :class:`HuffmanError` on
+        a bit pattern no codeword matches.
+        """
+        table = self._decode_table()
+        width = self.max_bits
+        mask = (1 << width) - 1
+        first_byte = bit_offset // 8
+        # The window covers the worst case (every symbol at max width)
+        # plus slack; when it is instead truncated by the end of *data*,
+        # its end IS the end of the stream, making the bounds checks
+        # below exact.
+        last_byte = (bit_offset + count * width) // 8 + 1
+        window = data[first_byte:last_byte]
+        window_bits = len(window) * 8
+        acc = int.from_bytes(window, "big")
+        pos = bit_offset - first_byte * 8
+
+        symbols = []
+        append = symbols.append
+        for _ in range(count):
+            shift = window_bits - pos - width
+            peek = (acc >> shift) & mask if shift >= 0 \
+                else (acc << -shift) & mask
+            entry = table[peek]
+            if entry is None:
+                if window_bits - pos < width:
+                    raise EOFError("bitstream exhausted")
+                raise HuffmanError("no codeword within %d bits" % width)
+            symbol, length = entry
+            if pos + length > window_bits:
+                raise EOFError("bitstream exhausted")
+            append(symbol)
+            pos += length
+        return symbols
 
     @property
     def storage_bits(self):

@@ -113,6 +113,18 @@ class CodePackEngine:
 
     # -- decompression -------------------------------------------------------
 
+    def decode_block(self, block_index):
+        """Functionally decode *block_index* to instruction words.
+
+        Routed through the table-driven fast decoder (the per-image
+        decode tables are cached on the image), so simulations can
+        verify fetched instructions against native code without paying
+        the per-bit reference path.
+        """
+        from repro.codepack.decompressor import decompress_block
+
+        return decompress_block(self.image, block_index)
+
     def _decompress_block(self, block, start):
         """Absolute finish cycle of each instruction in *block*.
 

@@ -38,8 +38,9 @@ def _cmd_inspect(args):
           % (len(image.high_dict), len(image.low_dict)))
     raw_blocks = sum(1 for block in image.blocks if block.is_raw)
     sizes = [block.byte_length for block in image.blocks]
-    print("  blocks:      min %dB / avg %.1fB / max %dB, %d stored raw"
-          % (min(sizes), sum(sizes) / len(sizes), max(sizes), raw_blocks))
+    if sizes:
+        print("  blocks:      min %dB / avg %.1fB / max %dB, %d stored raw"
+              % (min(sizes), sum(sizes) / len(sizes), max(sizes), raw_blocks))
     print("  composition (paper Table 4 categories):")
     for key, value in image.stats.fractions().items():
         print("    %-22s %6.2f%%" % (key.replace("_bits", ""),

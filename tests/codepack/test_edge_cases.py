@@ -1,0 +1,116 @@
+"""Regression tests for the index-table and framing edge cases.
+
+Three historically easy-to-break spots, pinned here for both codec
+paths:
+
+* a ``.text`` section ending mid-compression-group (odd block count):
+  the tail group's entry must record the lone block's length so
+  ``block2_base`` points one past the end of the code region;
+* the zero-instruction program: empty image, no blocks, no index
+  entries, decodes to nothing;
+* the index-entry count: exactly ``ceil(blocks / group_blocks)`` --
+  neither a phantom entry for a just-completed final group nor a
+  missing entry for a dangling tail block.
+"""
+
+import random
+
+import pytest
+
+from repro.codepack.compressor import compress_words
+from repro.codepack.decompressor import decompress_program
+from repro.codepack.reference import compress_words_reference
+
+from tests.conftest import random_words
+
+BOTH_PATHS = [compress_words, compress_words_reference]
+
+
+@pytest.mark.parametrize("compress", BOTH_PATHS)
+class TestMidGroupTail:
+    def test_odd_block_count_gets_tail_entry(self, compress):
+        # 3 blocks -> 2 groups; the second group holds one block.
+        words = random_words(random.Random(1), 48 - 8, "workload")
+        image = compress(words)
+        assert image.n_blocks == 3
+        assert image.n_groups == 2
+        tail = image.index_entries[-1]
+        last_block = image.blocks[-1]
+        assert tail.block1_base == last_block.byte_offset
+        # The lone block's length stands in for the second offset, so
+        # block2_base is one past the end of the code region.
+        assert tail.block2_offset == last_block.byte_length
+        assert tail.block2_base == len(image.code_bytes)
+        assert not tail.block2_raw
+        assert decompress_program(image) == words
+
+    def test_even_block_count_has_no_phantom_entry(self, compress):
+        words = random_words(random.Random(2), 64, "workload")
+        image = compress(words)
+        assert image.n_blocks == 4
+        assert image.n_groups == 2  # not 3
+        assert decompress_program(image) == words
+
+    def test_partial_final_block(self, compress):
+        # 33 instructions: two full blocks plus a 1-instruction block.
+        words = random_words(random.Random(3), 33, "workload")
+        image = compress(words)
+        assert image.n_blocks == 3
+        assert image.blocks[-1].n_instructions == 1
+        assert image.n_groups == 2
+        assert decompress_program(image) == words
+
+
+@pytest.mark.parametrize("compress", BOTH_PATHS)
+class TestZeroInstructionProgram:
+    def test_empty_program(self, compress):
+        image = compress([])
+        assert image.n_instructions == 0
+        assert image.n_blocks == 0
+        assert image.n_groups == 0
+        assert image.code_bytes == b""
+        assert image.index_entries == []
+        assert image.compression_ratio == 1.0  # not ZeroDivisionError
+        assert decompress_program(image) == []
+
+    def test_empty_program_stats(self, compress):
+        image = compress([])
+        assert image.stats.index_table_bits == 0
+        assert image.stats.compressed_tag_bits == 0
+        assert image.stats.raw_bits == 0
+        # Dictionaries still carry their fixed headers.
+        assert image.stats.dictionary_bits == \
+            image.high_dict.storage_bits + image.low_dict.storage_bits
+
+
+@pytest.mark.parametrize("compress", BOTH_PATHS)
+def test_entry_count_never_off_by_one(compress):
+    """ceil(blocks / group_blocks) entries for every size around the
+    block and group boundaries."""
+    rng = random.Random(4)
+    for n in list(range(0, 70)) + [15 * 16, 15 * 16 + 1]:
+        words = random_words(rng, n, "workload")
+        image = compress(words)
+        expected_blocks = -(-n // 16)
+        assert image.n_blocks == expected_blocks, n
+        assert image.n_groups == -(-expected_blocks // 2), n
+        assert decompress_program(image) == words
+
+
+def test_empty_programs_for_comparison_schemes():
+    """The zero-instruction edge case holds for the scheme codecs too
+    (CCRP used to crash building a Huffman code over no symbols)."""
+    from repro.schemes.ccrp import compress_ccrp, decompress_ccrp
+    from repro.schemes.dictword import compress_dictword, decompress_dictword
+
+    from tests.conftest import make_word_program
+
+    program = make_word_program([], name="empty")
+    dict_image = compress_dictword(program)
+    assert decompress_dictword(dict_image) == []
+    ccrp_image = compress_ccrp(program)
+    assert decompress_ccrp(ccrp_image) == b""
+    assert ccrp_image.lines == []
+    # Ratio on zero original bytes reports 1.0 instead of dividing by zero.
+    assert dict_image.compression_ratio == 1.0
+    assert ccrp_image.compression_ratio == 1.0

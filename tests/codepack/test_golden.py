@@ -1,0 +1,106 @@
+"""Golden bitstream regression tests.
+
+``tests/codepack/golden/*.json`` pin the exact compressed artifacts --
+code bytes, index table, and composition stats -- of a set of fixed
+programs.  Any change to the bitstream layout, dictionary construction,
+codeword allocation, or stat accounting shows up here as a byte-for-byte
+diff, separating "intentional format change" (regenerate the fixtures,
+review the diff) from "accidental corruption" (fix the codec).
+
+Regenerate after an intentional format change with::
+
+    PYTHONPATH=src:. python tests/codepack/test_golden.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.codepack.compressor import compress_words
+from repro.codepack.decompressor import decompress_program
+from repro.codepack.reference import compress_words_reference
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+STAT_FIELDS = (
+    "index_table_bits",
+    "dictionary_bits",
+    "compressed_tag_bits",
+    "dictionary_index_bits",
+    "raw_tag_bits",
+    "raw_bits",
+    "pad_bits",
+)
+
+
+def golden_programs():
+    """The pinned inputs: deterministic word lists of varied shape."""
+    from tests.conftest import (
+        make_counting_program,
+        make_static_program,
+        random_words,
+    )
+    import random
+
+    programs = {
+        "counting": make_counting_program().text,
+        "static100": make_static_program(100).text,
+        # Mid-group tail: 3 blocks = 1.5 groups.
+        "tail48minus1": random_words(random.Random(101), 47, "workload"),
+        "zero_low": random_words(random.Random(202), 80, "zero_low"),
+        "incompressible": random_words(random.Random(303), 64,
+                                       "incompressible"),
+        "empty": [],
+    }
+    return programs
+
+
+def image_record(image):
+    return {
+        "code_hex": image.code_bytes.hex(),
+        "index_entries": [[e.block1_base, e.block2_offset,
+                           e.block1_raw, e.block2_raw]
+                          for e in image.index_entries],
+        "stats": {f: getattr(image.stats, f) for f in STAT_FIELDS},
+        "n_instructions": image.n_instructions,
+        "high_dict": list(image.high_dict.entries),
+        "low_dict": list(image.low_dict.entries),
+        "blocks": [[b.byte_offset, b.byte_length, b.is_raw,
+                    b.n_instructions] for b in image.blocks],
+    }
+
+
+@pytest.mark.parametrize("name", sorted(golden_programs()))
+def test_golden_bitstream(name):
+    path = GOLDEN_DIR / ("%s.json" % name)
+    golden = json.loads(path.read_text())
+    words = golden["words"]
+    assert golden_programs()[name] == words, \
+        "golden input drifted; regenerate fixtures"
+
+    for label, image in (("fast", compress_words(words, name=name)),
+                         ("reference",
+                          compress_words_reference(words, name=name))):
+        record = image_record(image)
+        for key, expected in golden["image"].items():
+            assert record[key] == expected, \
+                "%s path diverged from golden %s: %s" % (label, name, key)
+        assert decompress_program(image) == words
+
+
+def regenerate():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, words in golden_programs().items():
+        image = compress_words(words, name=name)
+        ref = compress_words_reference(words, name=name)
+        record = image_record(image)
+        assert record == image_record(ref), "fast != reference during regen"
+        path = GOLDEN_DIR / ("%s.json" % name)
+        path.write_text(json.dumps({"words": words, "image": record},
+                                   indent=1) + "\n")
+        print("wrote", path)
+
+
+if __name__ == "__main__":
+    regenerate()

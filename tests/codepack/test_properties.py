@@ -1,0 +1,111 @@
+"""Property-based round-trip tests for the CodePack codec.
+
+Hypothesis drives arbitrary instruction streams through the fast
+compressor and both decoders.  The invariants:
+
+* compress -> decompress is the identity on any word list;
+* the fast path is bit-exact against the reference on any word list
+  (the generalized form of the seeded differential sweep);
+* geometry holds for block counts that are not multiples of the
+  16-instruction block or 32-instruction group.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codepack.compressor import (
+    BLOCK_INSTRUCTIONS,
+    GROUP_INSTRUCTIONS,
+    compress_words,
+)
+from repro.codepack.decompressor import decompress_block, decompress_program
+from repro.codepack.reference import (
+    compress_words_reference,
+    decompress_program_reference,
+)
+
+word = st.integers(min_value=0, max_value=0xFFFFFFFF)
+#: All-zero low halves: the paper's dominant low symbol / zero escape.
+zero_low_word = st.builds(lambda high: high << 16,
+                          st.integers(min_value=0, max_value=0xFFFF))
+
+word_lists = st.lists(word, max_size=150)
+zero_low_lists = st.lists(zero_low_word, max_size=150)
+#: Tiny alphabet: everything dictionary-compressed.
+repetitive_lists = st.lists(st.sampled_from(
+    [0x00000000, 0x8C820000, 0x24420001, 0xAFBF0014]), max_size=150)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words=word_lists)
+def test_roundtrip_arbitrary_words(words):
+    image = compress_words(words)
+    assert decompress_program(image) == words
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=word_lists)
+def test_fast_matches_reference(words):
+    fast = compress_words(words)
+    ref = compress_words_reference(words)
+    assert fast.code_bytes == ref.code_bytes
+    assert fast.index_entries == ref.index_entries
+    assert fast.stats == ref.stats
+    assert fast.blocks == ref.blocks
+    assert decompress_program_reference(ref) == words
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=zero_low_lists)
+def test_roundtrip_all_zero_low_halves(words):
+    image = compress_words(words)
+    assert decompress_program(image) == words
+    # Every low half costs the 2-bit zero tag; none may be raw bits
+    # unless whole blocks fell back to raw.
+    if not any(block.is_raw for block in image.blocks):
+        assert image.stats.raw_bits % 16 == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=repetitive_lists)
+def test_roundtrip_repetitive_words(words):
+    image = compress_words(words)
+    assert decompress_program(image) == words
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=0, max_value=3 * GROUP_INSTRUCTIONS + 5),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_geometry_off_boundary_block_counts(n, seed):
+    """Block counts that are NOT multiples of 16/32 keep exact
+    geometry: block sizes, group count, instruction partition."""
+    import random
+
+    rng = random.Random(seed)
+    words = [rng.getrandbits(32) for _ in range(n)]
+    image = compress_words(words)
+    expected_blocks = -(-n // BLOCK_INSTRUCTIONS)
+    assert image.n_blocks == expected_blocks
+    assert image.n_groups == -(-expected_blocks // image.group_blocks)
+    assert sum(b.n_instructions for b in image.blocks) == n
+    if n % BLOCK_INSTRUCTIONS:
+        assert image.blocks[-1].n_instructions == n % BLOCK_INSTRUCTIONS
+    decoded = []
+    for i in range(image.n_blocks):
+        decoded.extend(decompress_block(image, i))
+    assert decoded == words
+
+
+@settings(max_examples=30, deadline=None)
+@given(words=st.lists(word, min_size=BLOCK_INSTRUCTIONS,
+                      max_size=2 * GROUP_INSTRUCTIONS))
+def test_all_raw_blocks_roundtrip(words):
+    """Uniformly random words rarely compress; whole-block raw escapes
+    must round-trip and keep native geometry."""
+    image = compress_words(words)
+    assert decompress_program(image) == words
+    for block in image.blocks:
+        if block.is_raw:
+            assert block.byte_length == 4 * block.n_instructions
+            assert block.inst_end_bits == tuple(
+                32 * (i + 1) for i in range(block.n_instructions))

@@ -5,14 +5,80 @@ instructions), so they are built once per session at a reduced dynamic
 scale; tests that need full-scale behaviour build their own.
 """
 
+import random
+
 import pytest
 
 from repro.isa.builder import AsmBuilder
+from repro.isa.program import Program
 from repro.isa.registers import A0, T0, T1, T2, T3, V0
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
 #: Dynamic-length multiplier for session fixtures (keeps pytest quick).
 TEST_SCALE = 0.05
+
+
+def make_word_program(words, name="words"):
+    """Wrap a raw instruction-word list in a :class:`Program`.
+
+    For codec tests that care about the bit stream, not about
+    executability.
+    """
+    return Program(text=list(words), name=name)
+
+
+#: The word-distribution shapes the differential harness fuzzes over.
+WORD_DISTRIBUTIONS = ("workload", "zero_low", "incompressible", "repetitive")
+
+
+def random_words(rng, n, kind="workload"):
+    """Generate *n* random instruction words of a given *kind*.
+
+    ``workload``
+        A mixture modelled on real .text sections: a hot pool of
+        repeated instructions (dictionary hits), words with an all-zero
+        low half (the paper's dominant low symbol), shared high halves
+        with varied immediates, and a fully random tail.
+    ``zero_low``
+        Every low halfword is zero (exercises the 2-bit zero escape).
+    ``incompressible``
+        Words drawn uniformly at random: nearly all raw escapes, so
+        most blocks take the whole-block raw path.
+    ``repetitive``
+        A tiny pool of words: everything lands in the dictionary.
+    """
+    if kind == "zero_low":
+        return [rng.getrandbits(16) << 16 for _ in range(n)]
+    if kind == "incompressible":
+        return [rng.getrandbits(32) for _ in range(n)]
+    if kind == "repetitive":
+        pool = [rng.getrandbits(32) for _ in range(4)]
+        return [rng.choice(pool) for _ in range(n)]
+    pool = [rng.getrandbits(32) for _ in range(12)]
+    highs = [rng.getrandbits(16) for _ in range(6)]
+    words = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.35:
+            words.append(rng.choice(pool))
+        elif r < 0.55:
+            words.append(rng.getrandbits(16) << 16)
+        elif r < 0.80:
+            words.append((rng.choice(highs) << 16) | rng.getrandbits(16))
+        else:
+            words.append(rng.getrandbits(32))
+    return words
+
+
+def random_word_program(seed, size=None, kind=None):
+    """A seeded random program for differential fuzzing."""
+    rng = random.Random(seed)
+    if kind is None:
+        kind = WORD_DISTRIBUTIONS[rng.randrange(len(WORD_DISTRIBUTIONS))]
+    if size is None:
+        size = rng.randrange(0, 200)
+    return make_word_program(random_words(rng, size, kind),
+                             name="fuzz-%s-%d" % (kind, seed))
 
 
 def make_counting_program(n=100):

@@ -1,0 +1,71 @@
+"""Property-based round-trip tests for the comparison schemes.
+
+Same contract as the CodePack property suite: arbitrary inputs through
+the table-driven fast paths must decode back exactly, for the full-word
+dictionary scheme, CCRP's per-line Huffman coding, and the canonical
+Huffman substrate itself.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codepack.bitstream import BitReader
+from repro.schemes.ccrp import compress_ccrp, decompress_ccrp
+from repro.schemes.dictword import compress_dictword, decompress_dictword
+from repro.schemes.huffman import CanonicalHuffman, histogram_of_bytes
+
+from tests.conftest import make_word_program
+
+word = st.integers(min_value=0, max_value=0xFFFFFFFF)
+word_lists = st.lists(word, max_size=120)
+repetitive_lists = st.lists(st.sampled_from(
+    [0x00000000, 0x8C820000, 0x24420001, 0xAFBF0014]), max_size=120)
+
+
+@settings(max_examples=50, deadline=None)
+@given(words=word_lists)
+def test_dictword_roundtrip_arbitrary(words):
+    image = compress_dictword(make_word_program(words))
+    assert decompress_dictword(image) == words
+
+
+@settings(max_examples=30, deadline=None)
+@given(words=repetitive_lists)
+def test_dictword_roundtrip_repetitive(words):
+    image = compress_dictword(make_word_program(words))
+    assert decompress_dictword(image) == words
+    if words:
+        # A four-word alphabet fits the shortest codeword class.
+        assert len(image.dictionary) <= 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(words=st.lists(word, min_size=1, max_size=120))
+def test_ccrp_roundtrip(words):
+    program = make_word_program(words)
+    image = compress_ccrp(program)
+    assert decompress_ccrp(image) == program.text_bytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=1, max_size=400))
+def test_huffman_bulk_decode_roundtrip(data):
+    code = CanonicalHuffman(histogram_of_bytes(data))
+    encoded, bit_length = code.encode(data)
+    assert bytes(code.decode(encoded, len(data))) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.binary(min_size=1, max_size=200),
+       offset_bytes=st.integers(min_value=0, max_value=3))
+def test_huffman_bulk_decode_matches_per_bit(data, offset_bytes):
+    """The table-driven bulk decode must agree with the retained
+    per-bit decode_symbol loop, including at non-zero bit offsets."""
+    code = CanonicalHuffman(histogram_of_bytes(data))
+    encoded, _ = code.encode(data)
+    padded = b"\0" * offset_bytes + encoded
+    bit_offset = offset_bytes * 8
+    fast = code.decode(padded, len(data), bit_offset=bit_offset)
+    reader = BitReader(padded, bit_offset)
+    slow = [code.decode_symbol(reader) for _ in range(len(data))]
+    assert fast == slow == list(data)

@@ -210,3 +210,33 @@ class TestPartialBlocks:
         fill = engine.miss(16 * 4, now=0)
         assert fill.critical_ready > 0
         assert len(fill.word_times) == 8  # clamped to the line
+
+
+class TestFunctionalDecode:
+    """The engine's decode_block hook: timing model and functional
+    decoder must agree on what the hardware hands the I-cache."""
+
+    def test_decode_block_matches_program(self):
+        from tests.conftest import random_word_program
+
+        program = random_word_program(555, size=100)
+        image = compress_words(program.text, name=program.name)
+        engine = CodePackEngine(image, MemoryConfig(), CodePackConfig(),
+                                line_bytes=32)
+        decoded = []
+        for block_index in range(image.n_blocks):
+            decoded.extend(engine.decode_block(block_index))
+        assert decoded == list(program.text)
+
+    def test_dictword_engine_decodes_through_its_own_tables(self):
+        from repro.schemes.dictword import DictWordEngine, compress_dictword
+        from tests.conftest import random_word_program
+
+        program = random_word_program(556, size=100)
+        image = compress_dictword(program)
+        engine = DictWordEngine(image, MemoryConfig(), CodePackConfig(),
+                                line_bytes=32)
+        decoded = []
+        for block_index in range(image.n_blocks):
+            decoded.extend(engine.decode_block(block_index))
+        assert decoded == list(program.text)
