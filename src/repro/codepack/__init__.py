@@ -27,6 +27,12 @@ paper reports in Tables 3 and 4:
 * :mod:`repro.codepack.stats` -- bit-exact composition breakdown
 """
 
+#: Codec behaviour version.  Bump whenever the compressed image format,
+#: dictionary construction or codeword assignment changes in a way that
+#: alters compression output, so persistently cached simulation results
+#: (see :mod:`repro.eval.sweep`) are invalidated.
+CODEC_VERSION = 1
+
 from repro.codepack.batch import (
     compress_many,
     compress_words_parallel,
@@ -65,6 +71,7 @@ from repro.codepack.stats import CompositionStats
 
 __all__ = [
     "BLOCK_INSTRUCTIONS",
+    "CODEC_VERSION",
     "BitReader",
     "BitWriter",
     "BlockInfo",

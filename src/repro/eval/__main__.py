@@ -6,15 +6,24 @@ Usage::
     python -m repro.eval table3 table4     # several, sharing a Workbench
     python -m repro.eval all               # everything
     python -m repro.eval all --scale 0.2   # quicker, shorter runs
+
+Sweep acceleration::
+
+    python -m repro.eval all --jobs auto   # parallel simulation workers
+    python -m repro.eval all --cache       # persist results (.repro_cache/)
+    python -m repro.eval all --cache /tmp/c --clear-cache
+    python -m repro.eval all --stats --timing-json timings.json
 """
 
 import argparse
+import json
 import sys
 import time
 
-from repro.eval.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.eval.experiments import ALL_EXPERIMENTS, sweep_cells
 from repro.eval.extensions import EXTENSION_EXPERIMENTS
 from repro.eval.runner import Workbench
+from repro.eval.sweep import DEFAULT_CACHE_DIR
 from repro.eval.tables import format_table, table_to_csv
 
 
@@ -36,6 +45,22 @@ def main(argv=None):
                         help="restrict to these benchmarks")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each exhibit as CSV into DIR")
+    parser.add_argument("--jobs", default=1, metavar="N|auto",
+                        help="simulation worker processes for the sweep "
+                             "(an integer, or 'auto' for one per CPU; "
+                             "default 1 = serial)")
+    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR,
+                        default=None, metavar="DIR",
+                        help="persist simulation results on disk "
+                             "(default directory: %s)" % DEFAULT_CACHE_DIR)
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="empty the result cache before running "
+                             "(requires --cache)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print sweep statistics (cache hits/misses, "
+                             "per-phase timing) after the exhibits")
+    parser.add_argument("--timing-json", metavar="PATH", default=None,
+                        help="write sweep statistics as JSON to PATH")
     args = parser.parse_args(argv)
 
     registry = dict(ALL_EXPERIMENTS)
@@ -50,8 +75,18 @@ def main(argv=None):
     if unknown:
         parser.error("unknown exhibits: %s (choose from %s)"
                      % (", ".join(unknown), ", ".join(registry)))
+    if args.clear_cache and args.cache is None:
+        parser.error("--clear-cache requires --cache")
 
-    wb = Workbench(scale=args.scale)
+    wb = Workbench(scale=args.scale, cache=args.cache, jobs=args.jobs)
+    if args.clear_cache:
+        wb.cache.clear()
+
+    # Run the whole sweep up front: cells the named exhibits will ask
+    # for are simulated across the worker pool (or pulled from the
+    # cache); the exhibit functions then only format memoised results.
+    wb.prefetch(sweep_cells(names, wb=wb, benchmarks=args.benchmarks))
+
     for name in names:
         start = time.time()
         table = registry[name](wb=wb, benchmarks=args.benchmarks)
@@ -62,8 +97,23 @@ def main(argv=None):
             csv_path = os.path.join(args.csv, "%s.csv" % name)
             with open(csv_path, "w") as handle:
                 handle.write(table_to_csv(table))
-        print("[%s regenerated in %.1fs]" % (name, time.time() - start))
+        elapsed = time.time() - start
+        wb.stats.add_phase("exhibit:%s" % name, elapsed)
+        print("[%s regenerated in %.1fs]" % (name, elapsed))
         print()
+
+    if args.stats:
+        print(wb.stats.summary())
+    if args.timing_json:
+        payload = {
+            "scale": args.scale,
+            "jobs": wb.jobs,
+            "exhibits": names,
+            "stats": wb.stats.as_dict(cache=wb.cache),
+        }
+        with open(args.timing_json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
     return 0
 
 

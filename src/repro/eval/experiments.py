@@ -411,6 +411,91 @@ def figure2(wb=None, benchmarks=None):
               "first access, 2-cycle rate.")
 
 
+# ---------------------------------------------------------------------------
+# Sweep-cell registry (parallel prefetch)
+# ---------------------------------------------------------------------------
+
+def _cells_table1(benchmarks):
+    return [(b, ARCH_4_ISSUE, None) for b in benchmarks]
+
+
+def _cells_table5(benchmarks):
+    return [(b, arch, cp)
+            for b in benchmarks
+            for arch in BASELINES.values()
+            for cp in (None, CP_BASELINE, CP_OPTIMIZED)]
+
+
+def _cells_table6(benchmarks):
+    return [("cc1", ARCH_4_ISSUE,
+             CodePackConfig(index_cache=IndexCacheConfig(lines, entries)))
+            for lines in paperdata.TABLE6_LINES
+            for entries in paperdata.TABLE6_ENTRIES]
+
+
+def _cells_vs_native(configs):
+    def cells(benchmarks):
+        return [(b, ARCH_4_ISSUE, cp)
+                for b in benchmarks
+                for cp in (None,) + tuple(configs)]
+    return cells
+
+
+def _cells_arch_sweep(archs):
+    def cells(benchmarks):
+        return [(b, arch, cp)
+                for b in benchmarks
+                for arch in archs
+                for cp in (None, CP_BASELINE, CP_OPTIMIZED)]
+    return cells
+
+
+#: Simulation cells each exhibit needs, mirroring its loops exactly.
+#: Exhibits that run no simulations (table2/3/4, figure2) are absent.
+EXHIBIT_CELLS = {
+    "table1": _cells_table1,
+    "table5": _cells_table5,
+    "table6": _cells_table6,
+    "table7": _cells_vs_native((CP_BASELINE, CP_INDEX_ONLY, CP_PERFECT)),
+    "table8": _cells_vs_native((CP_BASELINE, CP_DEC2, CP_DEC16)),
+    "table9": _cells_vs_native((CP_BASELINE, CP_INDEX_ONLY, CP_DEC2,
+                                CP_OPTIMIZED)),
+    "table10": _cells_arch_sweep(
+        tuple(ARCH_4_ISSUE.with_icache(kb * KB) for kb in (1, 4, 16, 64))),
+    "table11": _cells_arch_sweep(
+        tuple(ARCH_4_ISSUE.with_memory(bus_bits=b)
+              for b in (16, 32, 64, 128))),
+    "table12": _cells_arch_sweep(
+        tuple(ARCH_4_ISSUE.with_memory(
+            first_latency=max(1, int(ARCH_4_ISSUE.memory.first_latency * m)),
+            rate=max(1, int(ARCH_4_ISSUE.memory.rate * m)))
+            for m in (0.5, 1.0, 2.0, 4.0, 8.0))),
+}
+
+
+def sweep_cells(names, wb=None, benchmarks=None):
+    """All simulation cells the named exhibits will request, in order.
+
+    Feed this to :meth:`~repro.eval.runner.Workbench.prefetch` to run
+    an exhibit list's whole sweep up front (in parallel, against the
+    persistent cache); the exhibits themselves then hit the memo.
+    Duplicates across exhibits are dropped, preserving first-seen
+    order, so partitioning stays deterministic.
+    """
+    benchmarks = _wb(wb).benchmarks(benchmarks)
+    cells = []
+    seen = set()
+    for name in names:
+        maker = EXHIBIT_CELLS.get(name)
+        if maker is None:
+            continue
+        for cell in maker(benchmarks):
+            if cell not in seen:
+                seen.add(cell)
+                cells.append(cell)
+    return cells
+
+
 ALL_EXPERIMENTS = {
     "table1": table1,
     "table2": table2,

@@ -4,10 +4,28 @@ The paper's evaluation needs a few hundred simulator runs, many of
 which share the native baseline (every speedup table divides by it).
 The Workbench builds each benchmark once, compresses it once, predecodes
 it once, and memoises every (benchmark, architecture, decompressor)
-simulation, keyed by the frozen config dataclasses themselves.
+simulation, keyed by the frozen config dataclasses plus the workload
+identity (scale and instruction cap).
+
+Two optional layers speed up sweeps (see :mod:`repro.eval.sweep`):
+
+* ``cache`` -- a persistent on-disk :class:`~repro.eval.sweep
+  .ResultCache`; results survive across processes and are invalidated
+  by content hash when configs or behaviour versions change.
+* ``jobs`` -- :meth:`Workbench.prefetch` fans outstanding cells across
+  a process pool; subsequent :meth:`run` calls hit the memo.
 """
 
 from repro.codepack.compressor import compress_program
+from repro.eval.sweep import (
+    ResultCache,
+    SweepStats,
+    cell_key,
+    cell_payload,
+    resolve_jobs,
+    run_batches,
+    timed_phase,
+)
 from repro.sim.machine import prepare, simulate
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
@@ -18,11 +36,21 @@ class Workbench:
     * ``scale`` shortens benchmark trip counts (1.0 = the calibrated
       defaults; pytest benchmarks use ~0.1).
     * ``max_instructions`` is a safety cap per simulation.
+    * ``cache`` -- ``None`` (default) for no persistence, a directory
+      path, or a ready :class:`~repro.eval.sweep.ResultCache`.
+    * ``jobs`` -- worker processes for :meth:`prefetch`: an int,
+      ``"auto"`` (one per CPU), or ``None``/1 for serial.
     """
 
-    def __init__(self, scale=1.0, max_instructions=5_000_000):
+    def __init__(self, scale=1.0, max_instructions=5_000_000, cache=None,
+                 jobs=1):
         self.scale = scale
         self.max_instructions = max_instructions
+        self.jobs = resolve_jobs(jobs)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.stats = SweepStats()
         self._programs = {}
         self._images = {}
         self._static = {}
@@ -31,13 +59,15 @@ class Workbench:
     def program(self, bench):
         """The benchmark program (built once)."""
         if bench not in self._programs:
-            self._programs[bench] = build_benchmark(bench, self.scale)
+            with timed_phase(self.stats, "build"):
+                self._programs[bench] = build_benchmark(bench, self.scale)
         return self._programs[bench]
 
     def image(self, bench):
         """The benchmark's CodePack image (compressed once)."""
         if bench not in self._images:
-            self._images[bench] = compress_program(self.program(bench))
+            with timed_phase(self.stats, "compress"):
+                self._images[bench] = compress_program(self.program(bench))
         return self._images[bench]
 
     def static(self, bench):
@@ -46,16 +76,103 @@ class Workbench:
             self._static[bench] = prepare(self.program(bench))
         return self._static[bench]
 
+    def _memo_key(self, bench, arch, codepack):
+        # The workload identity (scale, cap) is part of the key: two
+        # Workbenches at different scales sharing a cache must not
+        # collide, and neither must two caps on one bench/arch pair.
+        return (bench, arch, codepack, self.scale, self.max_instructions)
+
+    def _cell_key(self, bench, arch, codepack):
+        return cell_key(bench, arch, codepack, self.scale,
+                        self.max_instructions)
+
     def run(self, bench, arch, codepack=None):
-        """Memoised :func:`repro.sim.machine.simulate` call."""
-        key = (bench, arch, codepack)
-        if key not in self._results:
-            self._results[key] = simulate(
-                self.program(bench), arch, codepack=codepack,
-                image=self.image(bench) if codepack is not None else None,
-                static=self.static(bench),
-                max_instructions=self.max_instructions)
-        return self._results[key]
+        """Memoised :func:`repro.sim.machine.simulate` call.
+
+        Lookup order: in-process memo, persistent cache (if any), then
+        a fresh simulation whose result is written back to both.
+        """
+        key = self._memo_key(bench, arch, codepack)
+        if key in self._results:
+            self.stats.memo_hits += 1
+            return self._results[key]
+        result = None
+        ck = None
+        if self.cache is not None:
+            ck = self._cell_key(bench, arch, codepack)
+            result = self.cache.get(ck)
+            if result is None:
+                self.stats.cache_misses += 1
+            else:
+                self.stats.cache_hits += 1
+        if result is None:
+            program = self.program(bench)
+            image = self.image(bench) if codepack is not None else None
+            static = self.static(bench)
+            with timed_phase(self.stats, "simulate"):
+                result = simulate(
+                    program, arch, codepack=codepack, image=image,
+                    static=static,
+                    max_instructions=self.max_instructions)
+            self.stats.sim_runs += 1
+            if self.cache is not None:
+                self.cache.put(ck, result,
+                               payload=cell_payload(bench, arch, codepack,
+                                                    self.scale,
+                                                    self.max_instructions))
+        self._results[key] = result
+        return result
+
+    def prefetch(self, cells):
+        """Run outstanding *cells* in parallel and memoise the results.
+
+        ``cells`` is an iterable of ``(bench, arch, codepack)`` triples
+        (e.g. from :func:`repro.eval.experiments.sweep_cells`).  Cells
+        already memoised or in the persistent cache are skipped; the
+        rest run across ``jobs`` worker processes, deterministically
+        partitioned per benchmark.  Cache writes happen only here, in
+        the parent.  Returns the number of cells actually simulated.
+        """
+        if self.jobs == 1:
+            # Serial: plain memoised runs (reusing this process's built
+            # programs and images beats a single-worker pool).
+            count = 0
+            for bench, arch, codepack in cells:
+                if self._memo_key(bench, arch, codepack) not in self._results:
+                    count += 1
+                self.run(bench, arch, codepack)
+            return count
+        todo = []
+        seen = set()
+        with timed_phase(self.stats, "prefetch"):
+            for cell in cells:
+                bench, arch, codepack = cell
+                key = self._memo_key(bench, arch, codepack)
+                if key in self._results or cell in seen:
+                    continue
+                seen.add(cell)
+                if self.cache is not None:
+                    cached = self.cache.get(self._cell_key(*cell))
+                    if cached is not None:
+                        self.stats.cache_hits += 1
+                        self._results[key] = cached
+                        continue
+                    self.stats.cache_misses += 1
+                todo.append(cell)
+            if not todo:
+                return 0
+            results = run_batches(todo, self.scale, self.max_instructions,
+                                  self.jobs, stats=self.stats)
+            for cell, result in results.items():
+                bench, arch, codepack = cell
+                self._results[self._memo_key(bench, arch, codepack)] = result
+                if self.cache is not None:
+                    self.cache.put(
+                        self._cell_key(*cell), result,
+                        payload=cell_payload(bench, arch, codepack,
+                                             self.scale,
+                                             self.max_instructions))
+        return len(todo)
 
     def speedup(self, bench, arch, codepack):
         """Speedup of a CodePack configuration over native on *arch*."""

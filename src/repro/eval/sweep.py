@@ -1,0 +1,381 @@
+"""Parallel sweep execution with a persistent on-disk result cache.
+
+The paper's evaluation is a few hundred independent simulator runs --
+*cells*, each a ``(benchmark, arch, codepack)`` triple at a given scale.
+This module supplies the machinery the
+:class:`~repro.eval.runner.Workbench` uses to run them fast:
+
+* :func:`cell_key` -- a content hash of everything that determines a
+  cell's result: the frozen config dataclasses, the benchmark name and
+  scale, the instruction cap, and the behaviour versions of the codec
+  (:data:`repro.codepack.CODEC_VERSION`), the workload generators
+  (:data:`repro.workloads.WORKLOAD_VERSION`) and the timing models
+  (:data:`repro.sim.SIM_VERSION`).  The hash is canonical-JSON based,
+  so it is independent of ``PYTHONHASHSEED``, dict insertion order and
+  process identity -- the same cell hashes identically across runs and
+  machines.
+* :class:`ResultCache` -- a directory of one JSON file per cell under
+  ``.repro_cache/`` (by default), written atomically; corrupt,
+  truncated or unreadable entries are treated as misses and re-run.
+* :func:`run_batches` -- fans cell batches across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Partitioning is
+  deterministic: cells are grouped per benchmark (so each worker builds
+  and compresses its program once) and large groups are split evenly
+  until every job slot has work.
+* :class:`SweepStats` -- hit/miss counters and per-phase wall-clock
+  timing, reported by ``python -m repro.eval --stats``.
+
+Versioning contract: bump the relevant ``*_VERSION`` whenever codec
+output, generator output or reported timing changes; stale cache
+entries then miss by construction (their key embeds the old version)
+and are re-simulated.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field, is_dataclass
+
+from repro.codepack import CODEC_VERSION
+from repro.codepack.compressor import compress_program
+from repro.sim import SIM_VERSION
+from repro.sim.codepack_engine import EngineStats
+from repro.sim.machine import prepare, simulate
+from repro.sim.results import SimResult
+from repro.workloads import WORKLOAD_VERSION
+from repro.workloads.suite import build_benchmark
+
+#: Bump when the cache *file format* (not simulated behaviour) changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+# ---------------------------------------------------------------------------
+# Cell keys
+# ---------------------------------------------------------------------------
+
+def config_fingerprint(config):
+    """A JSON-ready snapshot of a frozen config dataclass (or ``None``).
+
+    Nested dataclasses flatten recursively; the result contains only
+    JSON scalar types, so :func:`canonical_json` of it is stable.
+    """
+    if config is None:
+        return None
+    if is_dataclass(config):
+        return asdict(config)
+    raise TypeError("cannot fingerprint %r" % (config,))
+
+
+def canonical_json(payload):
+    """Deterministic JSON: sorted keys, no whitespace.
+
+    Canonicalisation makes the serialisation independent of dict
+    insertion order and ``PYTHONHASHSEED``; equal payloads always
+    produce byte-identical text.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cell_payload(bench, arch, codepack, scale, max_instructions):
+    """The full identity of one sweep cell, as JSON-ready data."""
+    return {
+        "format": CACHE_FORMAT_VERSION,
+        "codec_version": CODEC_VERSION,
+        "workload_version": WORKLOAD_VERSION,
+        "sim_version": SIM_VERSION,
+        "benchmark": bench,
+        "scale": scale,
+        "max_instructions": max_instructions,
+        "arch": config_fingerprint(arch),
+        "codepack": config_fingerprint(codepack),
+    }
+
+
+def cell_key(bench, arch, codepack, scale, max_instructions):
+    """Content hash identifying one sweep cell's result.
+
+    Any change to the configs, the workload identity or a behaviour
+    version yields a different key, which is how cache invalidation
+    works: stale entries are simply never looked up again.
+    """
+    payload = cell_payload(bench, arch, codepack, scale, max_instructions)
+    text = canonical_json(payload)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Persistent cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """One JSON file per cell under *root*; corruption-tolerant.
+
+    Files are written atomically (temp file + :func:`os.replace`), so a
+    killed run never leaves a half-written entry behind; any entry that
+    fails to load for whatever reason (truncation, hand-editing, a
+    format change) counts as a miss and is overwritten by the re-run.
+    """
+
+    def __init__(self, root=DEFAULT_CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key):
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key):
+        """The cached :class:`SimResult` for *key*, or ``None``."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("cache format mismatch")
+            result = SimResult.from_dict(entry["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupt/old-format entry: treat as a miss; the
+            # re-run's put() replaces it.
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key, result, payload=None):
+        """Store *result* under *key* (atomic; parent process only).
+
+        Results whose ``engine`` stats are not the standard dataclass
+        cannot round-trip and are not stored (custom miss paths from
+        the extension experiments).
+        """
+        if result.engine is not None and not isinstance(result.engine,
+                                                        EngineStats):
+            return False
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "cell": payload,  # for debugging; the key alone is binding
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return True
+
+    def clear(self):
+        """Delete every cache entry (not the directory itself)."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return 0
+        for name in names:
+            if name.endswith(".json") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def counters(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt, "stores": self.stores}
+
+
+# ---------------------------------------------------------------------------
+# Sweep statistics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Counters and per-phase timing for one evaluation run."""
+
+    memo_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    sim_runs: int = 0  # simulations run serially in-process
+    parallel_cells: int = 0  # simulations run by pool workers
+    parallel_batches: int = 0
+    phase_seconds: dict = field(default_factory=dict)
+
+    def add_phase(self, name, seconds):
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def as_dict(self, cache=None):
+        d = {
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "sim_runs": self.sim_runs,
+            "parallel_cells": self.parallel_cells,
+            "parallel_batches": self.parallel_batches,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+        if cache is not None:
+            d["cache_files"] = cache.counters()
+        return d
+
+    def summary(self):
+        """SimStats-style multi-line digest."""
+        lines = [
+            "sweep: %d simulated in-process, %d in workers (%d batches)"
+            % (self.sim_runs, self.parallel_cells, self.parallel_batches),
+            "cache: %d hits, %d misses, %d memo hits"
+            % (self.cache_hits, self.cache_misses, self.memo_hits),
+        ]
+        for name in sorted(self.phase_seconds):
+            lines.append("phase %-24s %8.2fs" % (name,
+                                                 self.phase_seconds[name]))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+
+def resolve_jobs(jobs):
+    """Normalise a ``--jobs`` value: int, ``"auto"`` or ``None``."""
+    if jobs in (None, 0, 1):
+        return 1
+    if jobs == "auto":
+        return max(1, os.cpu_count() or 1)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1 or 'auto'")
+    return jobs
+
+
+def partition_cells(cells, jobs):
+    """Deterministically partition cells into per-benchmark batches.
+
+    Cells sharing a benchmark land in the same batch (the worker builds
+    the program and compresses it once for all of them); when there are
+    fewer batches than job slots, the largest batch is split in half
+    repeatedly, preserving cell order.  The output depends only on the
+    input order and *jobs* -- never on hashing or timing.
+    """
+    groups = {}
+    order = []
+    for cell in cells:
+        bench = cell[0]
+        if bench not in groups:
+            groups[bench] = []
+            order.append(bench)
+        groups[bench].append(cell)
+    batches = [groups[bench] for bench in order]
+    while len(batches) < jobs:
+        largest = max(range(len(batches)), key=lambda i: len(batches[i]))
+        batch = batches[largest]
+        if len(batch) < 2:
+            break
+        mid = (len(batch) + 1) // 2
+        batches[largest:largest + 1] = [batch[:mid], batch[mid:]]
+    return batches
+
+
+def _run_batch(scale, max_instructions, cells):
+    """Pool worker: simulate a batch of same-benchmark cells.
+
+    Programs, predecoded text and compressed images are rebuilt in the
+    worker (compiled closures and block tables do not pickle, and
+    shipping them would cost more than rebuilding); results travel back
+    as plain dicts.
+    """
+    programs = {}
+    statics = {}
+    images = {}
+    out = []
+    for bench, arch, codepack in cells:
+        if bench not in programs:
+            programs[bench] = build_benchmark(bench, scale)
+            statics[bench] = prepare(programs[bench])
+        image = None
+        if codepack is not None:
+            if bench not in images:
+                images[bench] = compress_program(programs[bench])
+            image = images[bench]
+        result = simulate(programs[bench], arch, codepack=codepack,
+                          image=image, static=statics[bench],
+                          max_instructions=max_instructions)
+        out.append(result.to_dict())
+    return out
+
+
+def run_batches(cells, scale, max_instructions, jobs, stats=None):
+    """Run *cells* across a process pool; returns ``{cell: SimResult}``.
+
+    ``cells`` is a sequence of ``(bench, arch, codepack)`` triples
+    (hashable: the configs are frozen dataclasses).  Cache lookups and
+    stores are the caller's business -- workers never touch the cache,
+    so concurrent sweeps cannot race on files beyond the atomic
+    replace.
+    """
+    cells = list(cells)
+    if not cells:
+        return {}
+    jobs = resolve_jobs(jobs)
+    results = {}
+    if jobs == 1 or len(cells) == 1:
+        for batch in partition_cells(cells, 1):
+            for cell, d in zip(batch, _run_batch(scale, max_instructions,
+                                                 batch)):
+                results[cell] = SimResult.from_dict(d)
+        if stats is not None:
+            stats.sim_runs += len(cells)
+        return results
+    batches = partition_cells(cells, jobs)
+    if stats is not None:
+        stats.parallel_cells += len(cells)
+        stats.parallel_batches += len(batches)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(batches))) as pool:
+        futures = {pool.submit(_run_batch, scale, max_instructions, batch):
+                   batch for batch in batches}
+        for future in as_completed(futures):
+            batch = futures[future]
+            for cell, d in zip(batch, future.result()):
+                results[cell] = SimResult.from_dict(d)
+    return results
+
+
+def timed_phase(stats, name):
+    """Context manager recording a phase's wall-clock into *stats*."""
+    return _TimedPhase(stats, name)
+
+
+class _TimedPhase:
+    def __init__(self, stats, name):
+        self.stats = stats
+        self.name = name
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        if self.stats is not None:
+            self.stats.add_phase(self.name,
+                                 time.perf_counter() - self.start)
+        return False

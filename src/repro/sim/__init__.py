@@ -15,6 +15,11 @@ from-scratch equivalent.  It has two halves:
 single entry point used by experiments, examples and tests.
 """
 
+#: Timing-model behaviour version.  Bump whenever reported cycle counts
+#: or statistics change (pipeline models, fetch path, caches), so
+#: persistently cached simulation results are invalidated.
+SIM_VERSION = 1
+
 from repro.sim.config import (
     ARCH_1_ISSUE,
     ARCH_4_ISSUE,
@@ -39,6 +44,7 @@ __all__ = [
     "CodePackConfig",
     "IndexCacheConfig",
     "MemoryConfig",
+    "SIM_VERSION",
     "SimResult",
     "simulate",
 ]

@@ -1,0 +1,278 @@
+"""Batched (basic-block) in-order timing model.
+
+:func:`run_inorder_blocks` is a drop-in replacement for
+:func:`repro.sim.inorder.run_inorder` that executes straight-line runs
+of instructions without per-instruction Python dispatch:
+
+* every static instruction is compiled once (per predecoded program)
+  into a specialised closure (:func:`repro.sim.cpu.compile_exec`) with
+  operand fields and $zero-write guards baked in, replacing the 49-way
+  dispatch chain of ``FunctionalCore.step``;
+* the program is partitioned into basic blocks -- maximal straight-line
+  runs ended by a branch, jump or syscall -- so the per-instruction
+  pc-to-index mapping, bounds check, budget check and halt check all
+  happen once per *block* visit;
+* the fetch-path bookkeeping (line-visit tracking, I-cache access,
+  in-flight fill consultation) is inlined on locals and synced with the
+  :class:`~repro.sim.fetch.FetchUnit` at block boundaries, using the
+  line-granular :meth:`~repro.sim.cache.Cache.access_line` entry point,
+  so a resident straight-line run costs no method calls at all.
+
+The model is **cycle-exact** against ``run_inorder`` driving
+``FunctionalCore.step`` -- same cycles, same cache/branch statistics,
+same architectural results -- which the differential suite in
+``tests/sim/test_blockexec.py`` verifies over the whole benchmark suite
+and the ablation knobs.  ``run_inorder`` is deliberately kept unchanged
+as the reference implementation.
+
+The fast path requires the fixed-width SS32 layout (no explicit
+``pc_index``); :func:`repro.sim.machine.simulate` falls back to the
+reference model otherwise.
+"""
+
+from repro.sim.cpu import (
+    EX_BRANCH,
+    EX_JUMP,
+    EX_LOAD,
+    EX_MULT,
+    EX_STORE,
+    EX_SYSCALL,
+    EX_TERMINATORS,
+    SimulationError,
+    compile_exec,
+    exec_class,
+)
+from repro.sim.inorder import DECODE_LATENCY
+
+
+class BlockTable:
+    """Per-program compiled execution table.
+
+    ``ops[i]`` is ``(ex, fn, latency, srcs, dsts, taken_target)`` for
+    static instruction *i* (``ex`` an EX_* class, ``fn`` its compiled
+    closure); ``next_term[i]`` is the index of the first block
+    terminator at or after *i*, so the dynamic block starting at *i*
+    spans ``i .. next_term[i]`` inclusive.  Jumps into the middle of a
+    static block simply start a shorter dynamic block.
+    """
+
+    __slots__ = ("ops", "next_term")
+
+    def __init__(self, static):
+        self.ops = [(exec_class(st), compile_exec(st), st.latency,
+                     st.srcs, st.dsts, st.taken_target) for st in static]
+        n = len(static)
+        next_term = [n - 1] * n
+        term = n - 1
+        for i in range(n - 1, -1, -1):
+            if self.ops[i][0] in EX_TERMINATORS:
+                term = i
+            next_term[i] = term
+        self.next_term = next_term
+
+
+def get_block_table(static):
+    """The (cached) :class:`BlockTable` for a predecoded program."""
+    table = getattr(static, "block_table", None)
+    if table is None:
+        table = BlockTable(static)
+        try:
+            static.block_table = table  # StaticText caches; plain lists can't
+        except AttributeError:
+            pass
+    return table
+
+
+def run_inorder_blocks(core, fetch_unit, dcache, memory, predictor, arch,
+                       max_instructions):
+    """Drive *core* to completion, block at a time.
+
+    Same contract as :func:`repro.sim.inorder.run_inorder`: returns
+    ``(cycles, branch_lookups, branch_mispredicts)`` and leaves
+    identical state in the core, caches, predictor and miss path.
+    """
+    if core._pc_index is not None:
+        raise ValueError("the batched model requires the fixed-width "
+                         "SS32 layout (pc_index is None)")
+    static = core.static
+    table = get_block_table(static)
+    ops = table.ops
+    next_term = table.next_term
+
+    regs = core.regs
+    reg_ready = [0] * 34
+    fetch_time = 0
+    prev_issue = -1
+    mult_free = 0
+    last_complete = 0
+    branch_lookups = 0
+    branch_mispredicts = 0
+    dline = dcache.line_bytes
+    # With an uncontended channel the miss latency is a constant; a
+    # shared channel must be asked per miss so bursts queue up.
+    shared_bus = getattr(memory, "shared", False)
+    base_memory = memory.config if shared_bus else memory
+    dmiss_latency = base_memory.access_done(dline, 0) + 1
+
+    dcache_access = dcache.access
+    predict = predictor.predict
+    update = predictor.update
+    penalty = arch.mispredict_penalty
+    text_base = core._text_base
+    text_len = core._text_len
+
+    # The fetch unit's bookkeeping, inlined on locals (synced back on
+    # exit): current line visit, and the line/word-times of the most
+    # recent refill.  ``fill_line`` is -1 when no fill is in flight.
+    line_bytes = fetch_unit.line_bytes
+    access_line = fetch_unit.icache.access_line
+    miss = fetch_unit.miss_path.miss
+    trace = fetch_unit.trace
+    cur_line = fetch_unit._cur_line
+    fill = fetch_unit._fill
+    fill_line = fill.line_addr if fill is not None else -1
+    fill_times = fill.word_times if fill is not None else None
+
+    pc = core.pc
+    addr = pc
+    instret = core.instret
+    halted = core.halted
+
+    try:
+        while not halted and instret < max_instructions:
+            addr = pc
+            index = (pc - text_base) >> 2
+            if not 0 <= index < text_len:
+                raise SimulationError("pc %#x outside .text" % pc)
+            term = next_term[index]
+            # Respect the instruction budget mid-block: truncate so the
+            # dynamic count matches the reference model's
+            # per-instruction check exactly.
+            last = instret + (term - index)
+            if last >= max_instructions:
+                term -= last - max_instructions + 1
+
+            for j in range(index, term + 1):
+                ex, fn, latency, srcs, dsts, taken_target = ops[j]
+
+                # ---- fetch (one I-cache access per line visit) -------
+                line = addr // line_bytes
+                if line != cur_line:
+                    cur_line = line
+                    if not access_line(line):
+                        fill = miss(addr, fetch_time)
+                        fetch_unit._fill = fill
+                        if trace is not None:
+                            trace.record(addr, fetch_time, fill)
+                        fill_line = line
+                        fill_times = fill.word_times
+                        available = fill.critical_ready
+                        if available > fetch_time:
+                            fetch_time = available
+                    elif fill_line == line:
+                        available = fill_times[(addr % line_bytes) >> 2]
+                        if available > fetch_time:
+                            fetch_time = available
+                        else:
+                            available = fetch_time
+                    else:
+                        available = fetch_time
+                elif fill_line == line:
+                    available = fill_times[(addr % line_bytes) >> 2]
+                    if available > fetch_time:
+                        fetch_time = available
+                    else:
+                        available = fetch_time
+                else:
+                    available = fetch_time
+
+                # ---- issue / execute / complete ----------------------
+                issue = available + DECODE_LATENCY
+                if issue <= prev_issue:
+                    issue = prev_issue + 1
+                for reg in srcs:
+                    ready = reg_ready[reg]
+                    if ready > issue:
+                        issue = ready
+                if ex == 0:  # EX_PLAIN, the common case
+                    fn(regs)
+                    complete = issue + latency
+                elif ex == EX_LOAD:
+                    mem_addr = fn(core)
+                    complete = issue + latency
+                    if not dcache_access(mem_addr):
+                        if shared_bus:
+                            complete = memory.access_done(dline, issue) + 1
+                        else:
+                            complete = issue + dmiss_latency
+                elif ex == EX_STORE:
+                    mem_addr = fn(core)
+                    dcache_access(mem_addr)
+                    complete = issue + latency
+                elif ex == EX_MULT:
+                    # The non-pipelined multiply/divide unit.
+                    if mult_free > issue:
+                        issue = mult_free
+                    fn(regs)
+                    complete = issue + latency
+                    mult_free = complete
+                else:
+                    complete = issue + latency
+                for reg in dsts:
+                    reg_ready[reg] = complete
+                prev_issue = issue
+                if complete > last_complete:
+                    last_complete = complete
+                instret += 1
+
+                # ---- control flow ------------------------------------
+                if j != term:
+                    # Straight-line body: plain/load/store/mult only.
+                    fetch_time += 1
+                    addr += 4
+                elif ex == EX_BRANCH:
+                    taken = fn(regs)
+                    pc = taken_target if taken else addr + 4
+                    branch_lookups += 1
+                    predicted = predict(addr)
+                    update(addr, taken)
+                    if predicted != taken:
+                        branch_mispredicts += 1
+                        restart = complete + penalty - latency
+                        if restart > fetch_time:
+                            fetch_time = restart
+                        cur_line = -1  # redirect
+                    elif taken:
+                        fetch_time += 1
+                        cur_line = -1  # redirect
+                    else:
+                        fetch_time += 1
+                elif ex == EX_JUMP:
+                    pc = fn(regs)
+                    fetch_time += 1
+                    cur_line = -1  # redirect
+                elif ex == EX_SYSCALL:
+                    core.pc = addr  # syscalls observe the faulting pc
+                    fn(core)
+                    halted = core.halted
+                    pc = addr + 4
+                    fetch_time += 1
+                else:
+                    # A truncated block (budget) or text running out:
+                    # the last instruction is an ordinary one.
+                    pc = addr + 4
+                    fetch_time += 1
+    except SimulationError:
+        # An architectural fault (bad pc, misaligned access, unknown
+        # syscall): leave the core exactly as step() would have -- pc
+        # at the faulting instruction, instret counting only the
+        # instructions that completed before it.
+        core.pc = addr
+        core.instret = instret
+        fetch_unit._cur_line = cur_line
+        raise
+
+    core.pc = pc
+    core.instret = instret
+    fetch_unit._cur_line = cur_line
+    return last_complete, branch_lookups, branch_mispredicts

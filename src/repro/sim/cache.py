@@ -64,6 +64,27 @@ class Cache:
         cache_set[tag] = True
         return False
 
+    def access_line(self, line):
+        """Like :meth:`access` but on a line-granular address.
+
+        The batched fetch path (:meth:`FetchUnit.fetch_run
+        <repro.sim.fetch.FetchUnit.fetch_run>`) already tracks line
+        numbers, so it skips the byte-address division.
+        """
+        set_index = line % self.n_sets
+        tag = line // self.n_sets
+        cache_set = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in cache_set:
+            del cache_set[tag]
+            cache_set[tag] = True
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.assoc:
+            del cache_set[next(iter(cache_set))]
+        cache_set[tag] = True
+        return False
+
     def probe(self, addr):
         """Check residency without updating LRU state or statistics."""
         line = addr // self.line_bytes

@@ -140,10 +140,23 @@ class StaticInstr:
                           if field_regs[f] != 0)
 
 
+class StaticText(list):
+    """A predecoded ``.text`` section.
+
+    Behaves exactly like the plain list of :class:`StaticInstr` it used
+    to be; the extra slot lets the batched in-order model
+    (:mod:`repro.sim.blockexec`) cache its per-basic-block execution
+    table on the predecoded program, so sweeps that share one
+    ``static`` across hundreds of runs compile the blocks only once.
+    """
+
+    __slots__ = ("block_table",)
+
+
 def predecode(program):
     """Predecode every ``.text`` word of *program*."""
-    return [StaticInstr(addr, word)
-            for addr, word in program.iter_addresses()]
+    return StaticText(StaticInstr(addr, word)
+                      for addr, word in program.iter_addresses())
 
 
 def _sdiv(a, b):
@@ -456,3 +469,422 @@ class FunctionalCore:
                     "instruction budget exceeded (%d)" % max_instructions)
             self.step()
         return self.instret
+
+
+# ---------------------------------------------------------------------------
+# Compiled per-instruction closures (the batched model's dispatch)
+# ---------------------------------------------------------------------------
+#
+# ``compile_exec`` turns one StaticInstr into a specialised closure that
+# performs exactly the architectural effect ``step()`` would, with the
+# operand fields and $zero-write guards baked in at compile time, so the
+# batched in-order model (repro.sim.blockexec) executes straight-line
+# code without walking the 49-way dispatch chain above.  ``step()`` is
+# deliberately left untouched: it is the oracle the differential tests
+# compare the compiled path against.
+#
+# The closure signature depends on the execution class:
+#
+# * EX_PLAIN / EX_MULT   -- ``fn(regs)``; result registers written in place.
+# * EX_LOAD / EX_STORE   -- ``fn(core) -> mem_addr`` (byte address touched).
+# * EX_BRANCH            -- ``fn(regs) -> taken``.
+# * EX_JUMP              -- ``fn(regs) -> next_pc`` (link register written).
+# * EX_SYSCALL           -- ``fn(core)``; may halt the core.
+
+EX_PLAIN = 0
+EX_MULT = 1
+EX_LOAD = 2
+EX_STORE = 3
+EX_BRANCH = 4
+EX_JUMP = 5
+EX_SYSCALL = 6
+
+#: Execution classes that end a basic block (control may leave the
+#: straight line, or -- for syscalls -- the core may halt).
+EX_TERMINATORS = (EX_BRANCH, EX_JUMP, EX_SYSCALL)
+
+
+def _ex_nop(regs):
+    return None
+
+
+def exec_class(st):
+    """The EX_* class of one static instruction."""
+    kind = st.kind
+    if kind == KIND_LOAD:
+        return EX_LOAD
+    if kind == KIND_STORE:
+        return EX_STORE
+    if kind == KIND_COND_BRANCH:
+        return EX_BRANCH
+    if kind == KIND_UNCOND:
+        return EX_JUMP
+    if kind == KIND_SYSCALL:
+        return EX_SYSCALL
+    return EX_MULT if st.fu == FU_MULT else EX_PLAIN
+
+
+def compile_exec(st):
+    """Compile *st* to a specialised closure (see module comment)."""
+    xop = st.xop
+    rs = st.rs
+    rt = st.rt
+    rd = st.rd
+    shamt = st.shamt
+    simm = st.simm
+    uimm = st.uimm
+
+    # -- ALU / shift / immediate ------------------------------------------
+    if xop == X_ADDIU or xop == X_ADDI:
+        if not rt:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rt] = (regs[rs] + simm) & 0xFFFFFFFF
+        return fn
+    if xop == X_ADDU or xop == X_ADD:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = (regs[rs] + regs[rt]) & 0xFFFFFFFF
+        return fn
+    if xop == X_SUB or xop == X_SUBU:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = (regs[rs] - regs[rt]) & 0xFFFFFFFF
+        return fn
+    if xop == X_ORI:
+        if not rt:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rt] = regs[rs] | uimm
+        return fn
+    if xop == X_LUI:
+        if not rt:
+            return _ex_nop
+        value = (uimm << 16) & 0xFFFFFFFF
+
+        def fn(regs):
+            regs[rt] = value
+        return fn
+    if xop == X_ANDI:
+        if not rt:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rt] = regs[rs] & uimm
+        return fn
+    if xop == X_XORI:
+        if not rt:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rt] = regs[rs] ^ uimm
+        return fn
+    if xop == X_AND:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = regs[rs] & regs[rt]
+        return fn
+    if xop == X_OR:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = regs[rs] | regs[rt]
+        return fn
+    if xop == X_XOR:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = regs[rs] ^ regs[rt]
+        return fn
+    if xop == X_NOR:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = ~(regs[rs] | regs[rt]) & 0xFFFFFFFF
+        return fn
+    if xop == X_SLL:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = (regs[rt] << shamt) & 0xFFFFFFFF
+        return fn
+    if xop == X_SRL:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = regs[rt] >> shamt
+        return fn
+    if xop == X_SRA:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            value = regs[rt]
+            if value & 0x80000000:
+                value -= 0x100000000
+            regs[rd] = (value >> shamt) & 0xFFFFFFFF
+        return fn
+    if xop == X_SLLV:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = (regs[rt] << (regs[rs] & 31)) & 0xFFFFFFFF
+        return fn
+    if xop == X_SRLV:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = regs[rt] >> (regs[rs] & 31)
+        return fn
+    if xop == X_SRAV:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            value = regs[rt]
+            if value & 0x80000000:
+                value -= 0x100000000
+            regs[rd] = (value >> (regs[rs] & 31)) & 0xFFFFFFFF
+        return fn
+    if xop == X_SLTI:
+        if not rt:
+            return _ex_nop
+
+        def fn(regs):
+            a = regs[rs]
+            regs[rt] = int((a - 0x100000000 if a & 0x80000000 else a) < simm)
+        return fn
+    if xop == X_SLT:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = int((regs[rs] ^ 0x80000000) < (regs[rt] ^ 0x80000000))
+        return fn
+    if xop == X_SLTU:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = int(regs[rs] < regs[rt])
+        return fn
+    if xop == X_SLTIU:
+        if not rt:
+            return _ex_nop
+        bound = simm & 0xFFFFFFFF
+
+        def fn(regs):
+            regs[rt] = int(regs[rs] < bound)
+        return fn
+
+    # -- multiply / divide -------------------------------------------------
+    if xop == X_MULT:
+        def fn(regs):
+            a = regs[rs]
+            b = regs[rt]
+            if a & 0x80000000:
+                a -= 0x100000000
+            if b & 0x80000000:
+                b -= 0x100000000
+            product = (a * b) & 0xFFFFFFFFFFFFFFFF
+            regs[REG_LO] = product & 0xFFFFFFFF
+            regs[REG_HI] = (product >> 32) & 0xFFFFFFFF
+        return fn
+    if xop == X_MULTU:
+        def fn(regs):
+            product = regs[rs] * regs[rt]
+            regs[REG_LO] = product & 0xFFFFFFFF
+            regs[REG_HI] = (product >> 32) & 0xFFFFFFFF
+        return fn
+    if xop == X_DIV:
+        def fn(regs):
+            a = regs[rs]
+            b = regs[rt]
+            if a & 0x80000000:
+                a -= 0x100000000
+            if b & 0x80000000:
+                b -= 0x100000000
+            if b == 0:
+                regs[REG_LO] = 0xFFFFFFFF
+                regs[REG_HI] = a & 0xFFFFFFFF
+            else:
+                regs[REG_LO] = _sdiv(a, b) & 0xFFFFFFFF
+                regs[REG_HI] = (a - _sdiv(a, b) * b) & 0xFFFFFFFF
+        return fn
+    if xop == X_DIVU:
+        def fn(regs):
+            a = regs[rs]
+            b = regs[rt]
+            if b == 0:
+                regs[REG_LO] = 0xFFFFFFFF
+                regs[REG_HI] = a
+            else:
+                regs[REG_LO] = a // b
+                regs[REG_HI] = a % b
+        return fn
+    if xop == X_MFHI:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = regs[REG_HI]
+        return fn
+    if xop == X_MFLO:
+        if not rd:
+            return _ex_nop
+
+        def fn(regs):
+            regs[rd] = regs[REG_LO]
+        return fn
+
+    # -- loads / stores ----------------------------------------------------
+    if xop == X_LW:
+        if rt:
+            def fn(core):
+                regs = core.regs
+                addr = (regs[rs] + simm) & 0xFFFFFFFF
+                if addr & 3:
+                    raise SimulationError("misaligned lw at %#x" % addr)
+                regs[rt] = core.mem.get(addr >> 2, 0)
+                return addr
+        else:
+            def fn(core):
+                return (core.regs[rs] + simm) & 0xFFFFFFFF
+        return fn
+    if xop == X_SW:
+        def fn(core):
+            regs = core.regs
+            addr = (regs[rs] + simm) & 0xFFFFFFFF
+            if addr & 3:
+                raise SimulationError("misaligned sw at %#x" % addr)
+            core.mem[addr >> 2] = regs[rt] & 0xFFFFFFFF
+            return addr
+        return fn
+    if xop == X_LB:
+        def fn(core):
+            regs = core.regs
+            addr = (regs[rs] + simm) & 0xFFFFFFFF
+            value = core.load_byte(addr)
+            if rt:
+                regs[rt] = (value - 0x100 if value & 0x80
+                            else value) & 0xFFFFFFFF
+            return addr
+        return fn
+    if xop == X_LBU:
+        def fn(core):
+            regs = core.regs
+            addr = (regs[rs] + simm) & 0xFFFFFFFF
+            if rt:
+                regs[rt] = core.load_byte(addr)
+            return addr
+        return fn
+    if xop == X_LH:
+        def fn(core):
+            regs = core.regs
+            addr = (regs[rs] + simm) & 0xFFFFFFFF
+            value = core.load_half(addr)
+            if rt:
+                regs[rt] = (value - 0x10000 if value & 0x8000
+                            else value) & 0xFFFFFFFF
+            return addr
+        return fn
+    if xop == X_LHU:
+        def fn(core):
+            regs = core.regs
+            addr = (regs[rs] + simm) & 0xFFFFFFFF
+            if rt:
+                regs[rt] = core.load_half(addr)
+            return addr
+        return fn
+    if xop == X_SB:
+        def fn(core):
+            regs = core.regs
+            addr = (regs[rs] + simm) & 0xFFFFFFFF
+            core.store_byte(addr, regs[rt])
+            return addr
+        return fn
+    if xop == X_SH:
+        def fn(core):
+            regs = core.regs
+            addr = (regs[rs] + simm) & 0xFFFFFFFF
+            core.store_half(addr, regs[rt])
+            return addr
+        return fn
+
+    # -- control flow ------------------------------------------------------
+    if xop == X_BNE:
+        def fn(regs):
+            return regs[rs] != regs[rt]
+        return fn
+    if xop == X_BEQ:
+        def fn(regs):
+            return regs[rs] == regs[rt]
+        return fn
+    if xop == X_BLEZ:
+        def fn(regs):
+            value = regs[rs]
+            return value == 0 or bool(value & 0x80000000)
+        return fn
+    if xop == X_BGTZ:
+        def fn(regs):
+            value = regs[rs]
+            return value != 0 and not value & 0x80000000
+        return fn
+    if xop == X_BLTZ:
+        def fn(regs):
+            return bool(regs[rs] & 0x80000000)
+        return fn
+    if xop == X_BGEZ:
+        def fn(regs):
+            return not regs[rs] & 0x80000000
+        return fn
+    if xop == X_J:
+        target = st.taken_target
+
+        def fn(regs):
+            return target
+        return fn
+    if xop == X_JAL:
+        target = st.taken_target
+        link = st.fall_through
+
+        def fn(regs):
+            regs[31] = link
+            return target
+        return fn
+    if xop == X_JR:
+        def fn(regs):
+            return regs[rs]
+        return fn
+    if xop == X_JALR:
+        link = st.fall_through
+        if rd:
+            # Write the link register first: step() does, so jalr with
+            # rd == rs jumps to the fall-through address.
+            def fn(regs):
+                regs[rd] = link
+                return regs[rs]
+        else:
+            def fn(regs):
+                return regs[rs]
+        return fn
+    if xop == X_SYSCALL:
+        def fn(core):
+            core._syscall()
+        return fn
+    raise SimulationError("unhandled xop %d" % xop)  # pragma: no cover

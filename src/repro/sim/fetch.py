@@ -58,6 +58,10 @@ class NativeMissPath:
         self.prefetch_hits = 0
         self._buffer_line = -1
         self._buffer_times = None
+        # Per-start-beat word-arrival offsets, computed once: a burst's
+        # word times are ``now + offset``, so every demand fill is a
+        # bulk list add instead of a per-byte beat walk.
+        self._offsets = {}
 
     def miss(self, addr, now):
         if not self.prefetch_next:
@@ -83,33 +87,48 @@ class NativeMissPath:
         self._buffer_line = line_addr
         self._buffer_times = next_fill.word_times
 
-    def _demand_fill(self, addr, now):
+    def _word_offsets(self, start_beat):
+        """Word arrival offsets (relative to *now*) for one burst shape.
+
+        The burst is a circular sequence of bus-wide beats starting at
+        *start_beat* (the beat holding the critical word); the offsets
+        depend only on that shape, so they are computed once per shape
+        and every demand fill becomes a bulk ``now +`` add.
+        """
+        cached = self._offsets.get(start_beat)
+        if cached is not None:
+            return cached
         memory = self.memory
         line_bytes = self.line_bytes
         bus_bytes = memory.bus_bytes
-        line_addr = addr // line_bytes
         words = line_bytes // INSTRUCTION_BYTES
-        # The burst is a circular sequence of bus-wide beats starting at
-        # the beat holding the critical word.
         n_beats = max(1, line_bytes // bus_bytes)
-        beat_of_byte = [0] * line_bytes
-        start_beat = 0
-        if self.critical_word_first:
-            start_beat = (addr % line_bytes) // bus_bytes
         beat_arrival = [0] * n_beats
         for k in range(n_beats):
             beat = (start_beat + k) % n_beats
-            beat_arrival[beat] = now + memory.first_latency + k * memory.rate
-        for byte in range(line_bytes):
-            beat_of_byte[byte] = min(byte // bus_bytes, n_beats - 1)
-        word_times = []
+            beat_arrival[beat] = memory.first_latency + k * memory.rate
+        last_beat = n_beats - 1
+        offsets = []
         for w in range(words):
-            first_byte = w * INSTRUCTION_BYTES
-            last_byte = first_byte + INSTRUCTION_BYTES - 1
-            word_times.append(max(beat_arrival[beat_of_byte[first_byte]],
-                                  beat_arrival[beat_of_byte[last_byte]]))
+            first_beat = min(w * INSTRUCTION_BYTES // bus_bytes, last_beat)
+            end_beat = min((w * INSTRUCTION_BYTES + INSTRUCTION_BYTES - 1)
+                           // bus_bytes, last_beat)
+            offsets.append(max(beat_arrival[first_beat],
+                               beat_arrival[end_beat]))
+        cached = (offsets, max(offsets))
+        self._offsets[start_beat] = cached
+        return cached
+
+    def _demand_fill(self, addr, now):
+        line_bytes = self.line_bytes
+        line_addr = addr // line_bytes
+        start_beat = 0
+        if self.critical_word_first:
+            start_beat = (addr % line_bytes) // self.memory.bus_bytes
+        offsets, fill_offset = self._word_offsets(start_beat)
+        word_times = [now + offset for offset in offsets]
         critical = word_times[(addr % line_bytes) // INSTRUCTION_BYTES]
-        return LineFill(line_addr, word_times, critical, max(word_times))
+        return LineFill(line_addr, word_times, critical, now + fill_offset)
 
 
 class FetchUnit:
@@ -153,3 +172,68 @@ class FetchUnit:
             if ready > now:
                 return ready
         return now
+
+    def fetch_run(self, addr, count, now):
+        """Bulk-fetch a straight-line run of *count* 4-byte instructions.
+
+        Returns ``(times, now)``: the availability cycle of each
+        instruction and the advanced fetch clock.  Equivalent to
+        calling :meth:`fetch` once per instruction with the in-order
+        model's ``fetch_time = max(fetch_time, available) + 1``
+        bookkeeping folded in -- but with the line-visit accounting
+        done in one pass: one I-cache access per line visited, one
+        miss-path consultation per missing line, no per-instruction
+        method calls.  Used by the batched in-order model
+        (:mod:`repro.sim.blockexec`) for basic-block bodies.
+        """
+        line_bytes = self.line_bytes
+        words_per_line = line_bytes // INSTRUCTION_BYTES
+        access_line = self.icache.access_line
+        miss = self.miss_path.miss
+        trace = self.trace
+        cur = self._cur_line
+        fill = self._fill
+        times = []
+        append = times.append
+        extend = times.extend
+        while count:
+            line = addr // line_bytes
+            word = (addr % line_bytes) // INSTRUCTION_BYTES
+            # Instructions of this run that sit in the current line.
+            segment = words_per_line - word
+            if segment > count:
+                segment = count
+            if line != cur:
+                cur = line
+                if not access_line(line):
+                    fill = miss(addr, now)
+                    self._fill = fill
+                    if trace is not None:
+                        trace.record(addr, now, fill)
+                    ready = fill.critical_ready
+                    append(ready)
+                    now = (ready if ready > now else now) + 1
+                    addr += INSTRUCTION_BYTES
+                    count -= 1
+                    continue
+            if fill is not None and fill.line_addr == line:
+                # Words of a line still in flight must wait for their
+                # beat; walk this segment one word at a time.
+                word_times = fill.word_times
+                for w in range(word, word + segment):
+                    ready = word_times[w]
+                    if ready > now:
+                        append(ready)
+                        now = ready + 1
+                    else:
+                        append(now)
+                        now += 1
+            else:
+                # Resident line, nothing in flight: the segment streams
+                # one instruction per cycle.
+                extend(range(now, now + segment))
+                now += segment
+            addr += segment * INSTRUCTION_BYTES
+            count -= segment
+        self._cur_line = cur
+        return times, now

@@ -15,6 +15,7 @@ compression across runs.
 """
 
 from repro.codepack.compressor import compress_program
+from repro.sim.blockexec import run_inorder_blocks
 from repro.sim.branch import make_predictor
 from repro.sim.cache import Cache
 from repro.sim.codepack_engine import CodePackEngine
@@ -48,7 +49,7 @@ def describe_mode(codepack):
 def simulate(program, arch, codepack=None, image=None, static=None,
              max_instructions=DEFAULT_MAX_INSTRUCTIONS, mode=None,
              critical_word_first=True, miss_path=None, pc_index=None,
-             trace=None, native_prefetch=False):
+             trace=None, native_prefetch=False, batched=None):
     """Run *program* on *arch*; returns a :class:`SimResult`.
 
     * ``codepack`` -- ``None`` for native code, else a
@@ -61,6 +62,13 @@ def simulate(program, arch, codepack=None, image=None, static=None,
     * ``miss_path`` -- a custom I-miss path (an object with a
       ``miss(addr, now) -> LineFill`` method, e.g. the CCRP or
       software-decompression engines); overrides ``codepack``.
+    * ``batched`` -- use the basic-block in-order model
+      (:mod:`repro.sim.blockexec`).  ``None`` (the default) selects it
+      automatically for in-order machines on the fixed-width SS32
+      layout; ``False`` forces the per-instruction reference model;
+      ``True`` demands the batched model and raises if the
+      configuration cannot use it.  Both models are cycle-exact
+      against each other.
     """
     icache = Cache(arch.icache)
     dcache = Cache(arch.dcache)
@@ -83,7 +91,15 @@ def simulate(program, arch, codepack=None, image=None, static=None,
     fetch_unit = FetchUnit(icache, miss_path, trace=trace)
 
     core = FunctionalCore(program, static=static, pc_index=pc_index)
-    pipeline = run_inorder if arch.in_order else run_ooo
+    if batched is None:
+        batched = arch.in_order and pc_index is None
+    elif batched and not (arch.in_order and pc_index is None):
+        raise ValueError("batched=True requires an in-order arch on the "
+                         "fixed-width SS32 layout")
+    if batched:
+        pipeline = run_inorder_blocks
+    else:
+        pipeline = run_inorder if arch.in_order else run_ooo
     cycles, lookups, mispredicts = pipeline(
         core, fetch_unit, dcache, channel, predictor, arch,
         max_instructions)

@@ -1,5 +1,6 @@
 """Simulation result record."""
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -61,3 +62,66 @@ class SimResult:
         return ("%s/%s/%s: %d insts, %d cycles, IPC %.3f, I$ miss %.2f%%"
                 % (self.benchmark, self.arch, self.mode, self.instructions,
                    self.cycles, self.ipc, 100.0 * self.icache_miss_rate))
+
+    # -- serialization (persistent result cache, worker transport) -----------
+
+    def to_dict(self):
+        """JSON-serialisable form, round-tripped by :meth:`from_dict`.
+
+        ``engine`` survives only for dataclass stats objects (the
+        standard :class:`~repro.sim.codepack_engine.EngineStats`);
+        custom miss-path stats are dropped, which is why the result
+        cache refuses to store such runs.
+        """
+        d = {
+            "benchmark": self.benchmark,
+            "arch": self.arch,
+            "mode": self.mode,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "icache_accesses": self.icache_accesses,
+            "icache_misses": self.icache_misses,
+            "dcache_accesses": self.dcache_accesses,
+            "dcache_misses": self.dcache_misses,
+            "branch_lookups": self.branch_lookups,
+            "branch_mispredicts": self.branch_mispredicts,
+            "output": self.output,
+            "exit_code": self.exit_code,
+            "extra": dict(self.extra),
+        }
+        if self.engine is not None and dataclasses.is_dataclass(self.engine):
+            d["engine"] = dataclasses.asdict(self.engine)
+        else:
+            d["engine"] = None
+        return d
+
+    @classmethod
+    def from_dict(cls, d):
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro.sim.codepack_engine import EngineStats, IndexCacheStats
+
+        engine = d.get("engine")
+        if engine is not None:
+            fields = {f.name for f in dataclasses.fields(EngineStats)}
+            if set(engine) <= fields:
+                index_cache = IndexCacheStats(**(engine.get("index_cache")
+                                                 or {}))
+                engine = EngineStats(**{**engine,
+                                        "index_cache": index_cache})
+        return cls(
+            benchmark=d["benchmark"],
+            arch=d["arch"],
+            mode=d["mode"],
+            instructions=d["instructions"],
+            cycles=d["cycles"],
+            icache_accesses=d["icache_accesses"],
+            icache_misses=d["icache_misses"],
+            dcache_accesses=d.get("dcache_accesses", 0),
+            dcache_misses=d.get("dcache_misses", 0),
+            branch_lookups=d.get("branch_lookups", 0),
+            branch_mispredicts=d.get("branch_mispredicts", 0),
+            engine=engine,
+            output=d.get("output", ""),
+            exit_code=d.get("exit_code", 0),
+            extra=dict(d.get("extra") or {}),
+        )

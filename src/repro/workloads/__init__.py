@@ -13,6 +13,11 @@ distributions for the compressor (see DESIGN.md section 3).
 Use :func:`build_benchmark` / :data:`BENCHMARK_NAMES` to obtain them.
 """
 
+#: Workload-generator behaviour version.  Bump whenever generator
+#: output changes (instruction selection, layout, trip counts), so
+#: persistently cached simulation results are invalidated.
+WORKLOAD_VERSION = 1
+
 from repro.workloads.calibration import check_suite, measure
 from repro.workloads.generators import (
     CallHeavyParams,
@@ -30,6 +35,7 @@ from repro.workloads.suite import (
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "WORKLOAD_VERSION",
     "BenchmarkSpec",
     "CallHeavyParams",
     "SUITE",

@@ -1,0 +1,326 @@
+"""Tests for the sweep layer: cell keys, the persistent result cache,
+deterministic partitioning and the parallel prefetch path."""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.eval.sweep as sweep
+from repro.eval.runner import Workbench
+from repro.eval.sweep import (
+    ResultCache,
+    cell_key,
+    partition_cells,
+    resolve_jobs,
+    run_batches,
+)
+from repro.sim.codepack_engine import EngineStats, IndexCacheStats
+from repro.sim.config import ARCH_1_ISSUE, ARCH_4_ISSUE, CodePackConfig
+from repro.sim.results import SimResult
+
+CP = CodePackConfig()
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+def make_result(**overrides):
+    base = dict(
+        benchmark="pegwit", arch="1-issue", mode="codepack",
+        instructions=1000, cycles=2000, icache_accesses=200,
+        icache_misses=20, dcache_accesses=50, dcache_misses=5,
+        branch_lookups=80, branch_mispredicts=8,
+        engine=EngineStats(misses=20, buffer_hits=3, index_fetches=17,
+                           blocks_fetched=17, compressed_bytes_fetched=900,
+                           index_cache=IndexCacheStats(accesses=20,
+                                                       misses=17)),
+        output="ok", exit_code=0, extra={"truncated": False})
+    base.update(overrides)
+    return SimResult(**base)
+
+
+class TestCellKey:
+    def key(self, **overrides):
+        args = dict(bench="pegwit", arch=ARCH_1_ISSUE, codepack=CP,
+                    scale=0.1, max_instructions=100_000)
+        args.update(overrides)
+        return cell_key(args["bench"], args["arch"], args["codepack"],
+                        args["scale"], args["max_instructions"])
+
+    def test_deterministic_within_process(self):
+        assert self.key() == self.key()
+
+    def test_native_vs_codepack_differ(self):
+        assert self.key(codepack=None) != self.key()
+
+    def test_arch_field_edit_changes_key(self):
+        edited = dataclasses.replace(ARCH_1_ISSUE, mispredict_penalty=7)
+        assert self.key(arch=edited) != self.key()
+
+    def test_nested_arch_field_edit_changes_key(self):
+        memory = dataclasses.replace(ARCH_1_ISSUE.memory, first_latency=11)
+        edited = dataclasses.replace(ARCH_1_ISSUE, memory=memory)
+        assert self.key(arch=edited) != self.key()
+
+    def test_codepack_field_edit_changes_key(self):
+        assert (self.key(codepack=CodePackConfig(decode_rate=2))
+                != self.key())
+
+    def test_scale_changes_key(self):
+        assert self.key(scale=0.2) != self.key()
+
+    def test_max_instructions_changes_key(self):
+        assert self.key(max_instructions=50_000) != self.key()
+
+    @pytest.mark.parametrize("version", ("CODEC_VERSION", "WORKLOAD_VERSION",
+                                         "SIM_VERSION"))
+    def test_version_bump_changes_key(self, monkeypatch, version):
+        before = self.key()
+        monkeypatch.setattr(sweep, version, getattr(sweep, version) + 1)
+        assert self.key() != before
+
+    def test_stable_across_hash_seeds(self):
+        """The key must not depend on PYTHONHASHSEED (dict/set order)."""
+        script = (
+            "from repro.eval.sweep import cell_key\n"
+            "from repro.sim.config import ARCH_1_ISSUE, CodePackConfig\n"
+            "print(cell_key('pegwit', ARCH_1_ISSUE,"
+            " CodePackConfig.optimized(), 0.1, 100000))\n")
+        keys = []
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=SRC)
+            out = subprocess.run([sys.executable, "-c", script], env=env,
+                                 capture_output=True, text=True, check=True)
+            keys.append(out.stdout.strip())
+        assert len(set(keys)) == 1
+        assert keys[0] == TestCellKey().key(codepack=CodePackConfig
+                                            .optimized())
+
+
+class TestResultCache:
+    def test_roundtrip_with_engine_stats(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = make_result()
+        assert cache.put("k" * 64, result)
+        loaded = cache.get("k" * 64)
+        assert loaded == result
+        assert isinstance(loaded.engine, EngineStats)
+        assert loaded.engine.index_cache.miss_rate == pytest.approx(0.85)
+
+    def test_missing_entry_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("absent") is None
+        assert cache.misses == 1 and cache.corrupt == 0
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("key1", make_result())
+        with open(cache._path("key1"), "w") as handle:
+            handle.write("{ not json")
+        assert cache.get("key1") is None
+        assert cache.corrupt == 1
+
+    def test_truncated_entry_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("key2", make_result())
+        path = cache._path("key2")
+        data = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(data[:len(data) // 2])
+        assert cache.get("key2") is None
+        assert cache.corrupt == 1
+
+    def test_format_version_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("key3", make_result())
+        path = cache._path("key3")
+        entry = json.load(open(path))
+        entry["format"] = 0
+        json.dump(entry, open(path, "w"))
+        assert cache.get("key3") is None
+
+    def test_custom_engine_stats_not_stored(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+
+        class Other:
+            pass
+
+        assert not cache.put("key4", make_result(engine=Other()))
+        assert cache.get("key4") is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("key5", make_result())
+        cache.put("key6", make_result())
+        assert cache.clear() == 2
+        assert cache.get("key5") is None
+
+
+class TestSimResultSerialization:
+    def test_roundtrip_without_engine(self):
+        result = make_result(engine=None, mode="native")
+        assert SimResult.from_dict(result.to_dict()) == result
+
+    def test_roundtrip_preserves_extra(self):
+        result = make_result(extra={"truncated": True, "note": "x"})
+        assert SimResult.from_dict(result.to_dict()).extra == result.extra
+
+
+class TestPartitioning:
+    CELLS = [("a", 1, None), ("a", 2, None), ("b", 1, None),
+             ("a", 3, None), ("b", 2, None), ("c", 1, None)]
+
+    def test_groups_by_benchmark(self):
+        batches = partition_cells(self.CELLS, 1)
+        assert [[c[0] for c in b] for b in batches] == [
+            ["a", "a", "a"], ["b", "b"], ["c"]]
+
+    def test_deterministic(self):
+        assert (partition_cells(self.CELLS, 4)
+                == partition_cells(self.CELLS, 4))
+
+    def test_splits_largest_until_jobs_filled(self):
+        batches = partition_cells(self.CELLS, 4)
+        assert len(batches) == 4
+        flat = [cell for batch in batches for cell in batch]
+        assert sorted(flat) == sorted(self.CELLS)
+        # Splitting preserves per-benchmark cell order.
+        a_cells = [c for c in flat if c[0] == "a"]
+        assert a_cells == [c for c in self.CELLS if c[0] == "a"]
+
+    def test_single_cells_cannot_split(self):
+        batches = partition_cells([("a", 1, None)], 8)
+        assert batches == [[("a", 1, None)]]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("4") == 4
+        assert resolve_jobs("auto") >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestWorkbenchCache:
+    SCALE = 0.01
+
+    def test_warm_cache_skips_simulation(self, tmp_path):
+        cold = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        a = cold.run("pegwit", ARCH_1_ISSUE, CP)
+        assert cold.stats.sim_runs == 1
+
+        warm = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        b = warm.run("pegwit", ARCH_1_ISSUE, CP)
+        assert warm.stats.sim_runs == 0
+        assert warm.stats.cache_hits == 1
+        assert b == a
+
+    def test_version_bump_forces_rerun(self, tmp_path, monkeypatch):
+        cold = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        cold.run("pegwit", ARCH_1_ISSUE)
+        monkeypatch.setattr(sweep, "SIM_VERSION", sweep.SIM_VERSION + 1)
+        warm = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        warm.run("pegwit", ARCH_1_ISSUE)
+        assert warm.stats.sim_runs == 1  # stale entry never looked up
+
+    def test_arch_edit_forces_rerun(self, tmp_path):
+        wb = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        wb.run("pegwit", ARCH_1_ISSUE)
+        edited = dataclasses.replace(ARCH_1_ISSUE, mispredict_penalty=9)
+        wb.run("pegwit", edited)
+        assert wb.stats.sim_runs == 2
+
+    def test_corrupt_cache_forces_clean_rerun(self, tmp_path):
+        cold = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        a = cold.run("pegwit", ARCH_1_ISSUE)
+        for name in os.listdir(str(tmp_path)):
+            with open(os.path.join(str(tmp_path), name), "w") as handle:
+                handle.write('{"format": 1, "result": {"benchm')
+        warm = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        b = warm.run("pegwit", ARCH_1_ISSUE)
+        assert warm.stats.sim_runs == 1
+        assert warm.cache.corrupt == 1
+        assert b == a  # the re-run replaced the corrupt entry correctly
+
+    def test_scales_do_not_collide_in_shared_cache(self, tmp_path):
+        wb1 = Workbench(scale=0.01, cache=str(tmp_path))
+        wb2 = Workbench(scale=0.02, cache=str(tmp_path))
+        a = wb1.run("pegwit", ARCH_1_ISSUE)
+        b = wb2.run("pegwit", ARCH_1_ISSUE)
+        assert wb2.stats.sim_runs == 1  # not served wb1's entry
+        assert a.instructions != b.instructions
+
+    def test_max_instructions_do_not_collide(self, tmp_path):
+        wb1 = Workbench(scale=self.SCALE, cache=str(tmp_path),
+                        max_instructions=500)
+        wb2 = Workbench(scale=self.SCALE, cache=str(tmp_path),
+                        max_instructions=700)
+        assert wb1.run("pegwit", ARCH_1_ISSUE).instructions == 500
+        assert wb2.run("pegwit", ARCH_1_ISSUE).instructions == 700
+
+
+class TestWorkbenchMemoKeys:
+    def test_memo_key_includes_max_instructions(self):
+        # Changing the cap mid-life must not return the stale result.
+        wb = Workbench(scale=0.01, max_instructions=500)
+        truncated = wb.run("pegwit", ARCH_1_ISSUE)
+        assert truncated.instructions == 500
+        wb.max_instructions = 5_000_000
+        full = wb.run("pegwit", ARCH_1_ISSUE)
+        assert full.instructions > 500
+
+    def test_memo_key_includes_scale(self):
+        wb = Workbench(scale=0.01)
+        small = wb.run("pegwit", ARCH_1_ISSUE)
+        wb.scale = 0.02
+        wb._programs.clear()
+        wb._images.clear()
+        wb._static.clear()
+        bigger = wb.run("pegwit", ARCH_1_ISSUE)
+        assert bigger.instructions > small.instructions
+
+
+class TestParallelPrefetch:
+    SCALE = 0.01
+    CELLS = [("pegwit", ARCH_1_ISSUE, None),
+             ("pegwit", ARCH_1_ISSUE, CP),
+             ("mpeg2enc", ARCH_1_ISSUE, None),
+             ("mpeg2enc", ARCH_1_ISSUE, CP)]
+
+    def test_pool_matches_serial(self, tmp_path):
+        serial = Workbench(scale=self.SCALE)
+        parallel = Workbench(scale=self.SCALE, jobs=2,
+                             cache=str(tmp_path))
+        simulated = parallel.prefetch(self.CELLS)
+        assert simulated == len(self.CELLS)
+        assert parallel.stats.parallel_cells == len(self.CELLS)
+        for bench, arch, cp in self.CELLS:
+            assert (parallel.run(bench, arch, cp)
+                    == serial.run(bench, arch, cp))
+        # Prefetch memoised everything: run() did zero simulations.
+        assert parallel.stats.sim_runs == 0
+
+    def test_prefetch_writes_cache_in_parent(self, tmp_path):
+        wb = Workbench(scale=self.SCALE, jobs=2, cache=str(tmp_path))
+        wb.prefetch(self.CELLS[:2])
+        assert wb.cache.stores == 2
+        warm = Workbench(scale=self.SCALE, cache=str(tmp_path))
+        warm.run("pegwit", ARCH_1_ISSUE, CP)
+        assert warm.stats.sim_runs == 0
+
+    def test_prefetch_serial_path(self):
+        wb = Workbench(scale=self.SCALE)  # jobs=1
+        assert wb.prefetch(self.CELLS[:2]) == 2
+        assert wb.stats.sim_runs == 2
+        assert wb.prefetch(self.CELLS[:2]) == 0
+
+    def test_run_batches_results_match_direct_simulation(self):
+        results = run_batches(self.CELLS[:2], self.SCALE, 5_000_000, jobs=1)
+        wb = Workbench(scale=self.SCALE)
+        for cell, result in results.items():
+            bench, arch, cp = cell
+            assert result == wb.run(bench, arch, cp)

@@ -1,0 +1,228 @@
+"""Differential suite: the batched in-order model vs the reference.
+
+:mod:`repro.sim.blockexec` promises cycle-exactness against
+:func:`repro.sim.inorder.run_inorder` driving ``FunctionalCore.step``.
+These tests hold it to that across the benchmark suite, the CodePack
+and native miss paths, every ablation knob of the in-order machine,
+instruction-budget truncation, miss traces and architectural faults.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.eval.experiments import CP_BASELINE, CP_OPTIMIZED
+from repro.isa.assembler import assemble
+from repro.sim.blockexec import (
+    BlockTable,
+    get_block_table,
+    run_inorder_blocks,
+)
+from repro.sim.config import ARCH_1_ISSUE, ARCH_4_ISSUE
+from repro.sim.cpu import (
+    EX_TERMINATORS,
+    FunctionalCore,
+    SimulationError,
+    predecode,
+)
+from repro.sim.machine import prepare, simulate
+from repro.sim.trace import MissTrace
+from repro.workloads.suite import build_benchmark
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Programs + predecoded text for a few contrasting benchmarks."""
+    out = {}
+    for name in ("cc1", "pegwit", "mpeg2enc"):
+        program = build_benchmark(name, SCALE)
+        out[name] = (program, prepare(program))
+    return out
+
+
+def result_state(result):
+    """Everything two equivalent runs must agree on."""
+    d = result.to_dict()
+    d.pop("mode")  # informational label, not simulated state
+    return d
+
+
+def both(program, static, **kwargs):
+    ref = simulate(program, ARCH_1_ISSUE, static=static, batched=False,
+                   **kwargs)
+    fast = simulate(program, ARCH_1_ISSUE, static=static, batched=True,
+                    **kwargs)
+    return ref, fast
+
+
+class TestDifferentialSuite:
+    @pytest.mark.parametrize("bench", ("cc1", "pegwit", "mpeg2enc"))
+    @pytest.mark.parametrize("codepack", (None, CP_BASELINE, CP_OPTIMIZED),
+                             ids=("native", "codepack", "optimized"))
+    def test_cycle_exact(self, suite, bench, codepack):
+        program, static = suite[bench]
+        ref, fast = both(program, static, codepack=codepack)
+        assert result_state(ref) == result_state(fast)
+
+    def test_shared_memory_bus(self, suite):
+        program, static = suite["cc1"]
+        arch = ARCH_1_ISSUE.with_shared_bus()
+        ref = simulate(program, arch, static=static, codepack=CP_BASELINE,
+                       batched=False)
+        fast = simulate(program, arch, static=static, codepack=CP_BASELINE,
+                        batched=True)
+        assert result_state(ref) == result_state(fast)
+
+    def test_no_critical_word_first(self, suite):
+        program, static = suite["cc1"]
+        ref, fast = both(program, static, critical_word_first=False)
+        assert result_state(ref) == result_state(fast)
+
+    def test_native_prefetch(self, suite):
+        program, static = suite["cc1"]
+        ref, fast = both(program, static, native_prefetch=True)
+        assert result_state(ref) == result_state(fast)
+
+    @pytest.mark.parametrize("cap", (1, 7, 997))
+    def test_instruction_budget_truncation(self, suite, cap):
+        program, static = suite["cc1"]
+        ref, fast = both(program, static, max_instructions=cap)
+        assert ref.instructions == cap
+        assert result_state(ref) == result_state(fast)
+        assert ref.extra["truncated"] and fast.extra["truncated"]
+
+    def test_miss_trace_identical(self, suite):
+        program, static = suite["cc1"]
+        ref_trace, fast_trace = MissTrace(), MissTrace()
+        simulate(program, ARCH_1_ISSUE, static=static, codepack=CP_BASELINE,
+                 batched=False, trace=ref_trace)
+        simulate(program, ARCH_1_ISSUE, static=static, codepack=CP_BASELINE,
+                 batched=True, trace=fast_trace)
+        assert ref_trace.count == fast_trace.count
+        assert ([dataclasses.astuple(e) for e in ref_trace.events]
+                == [dataclasses.astuple(e) for e in fast_trace.events])
+
+    def test_default_selects_batched_for_inorder(self, suite):
+        # batched=None (the default) must route in-order SS32 runs
+        # through the block model and agree with an explicit True.
+        program, static = suite["pegwit"]
+        auto = simulate(program, ARCH_1_ISSUE, static=static)
+        forced = simulate(program, ARCH_1_ISSUE, static=static, batched=True)
+        assert result_state(auto) == result_state(forced)
+
+
+class TestFaultExactness:
+    def fault_pair(self, source, **kwargs):
+        program = assemble(source)
+        static = prepare(program)
+        states = []
+        for batched in (False, True):
+            with pytest.raises(SimulationError) as err:
+                simulate(program, ARCH_1_ISSUE, static=static,
+                         batched=batched, **kwargs)
+            states.append(str(err.value))
+        return states
+
+    def test_pc_escape_fault_matches(self):
+        ref, fast = self.fault_pair(
+            ".text 0x400000\naddiu $t0, $zero, 1")  # falls off the end
+        assert ref == fast
+
+    def test_misaligned_load_fault_matches(self):
+        ref, fast = self.fault_pair(
+            ".text 0x400000\nli $t0, 0x10000001\nlw $t1, 0($t0)")
+        assert ref == fast
+
+    def test_unknown_syscall_fault_matches(self):
+        ref, fast = self.fault_pair(
+            ".text 0x400000\naddiu $v0, $zero, 99\nsyscall")
+        assert ref == fast
+
+    def test_fault_core_state_matches(self):
+        # The faulting pc and retired-instruction count must match the
+        # reference model exactly, mid-block.
+        source = ".text 0x400000\nli $t0, 0x10000001\nlw $t1, 0($t0)"
+        program = assemble(source)
+        static = prepare(program)
+        cores = []
+        for batched in (False, True):
+            from repro.sim.cache import Cache
+            from repro.sim.branch import make_predictor
+            from repro.sim.fetch import FetchUnit, NativeMissPath
+            from repro.sim.inorder import run_inorder
+            from repro.sim.memory import MemoryChannel
+
+            arch = ARCH_1_ISSUE
+            core = FunctionalCore(program, static=static)
+            channel = MemoryChannel(arch.memory)
+            fetch_unit = FetchUnit(
+                Cache(arch.icache),
+                NativeMissPath(channel, arch.icache.line_bytes))
+            pipeline = run_inorder_blocks if batched else run_inorder
+            with pytest.raises(SimulationError):
+                pipeline(core, fetch_unit, Cache(arch.dcache), channel,
+                         make_predictor(arch.predictor), arch, 1000)
+            cores.append((core.pc, core.instret))
+        assert cores[0] == cores[1]
+
+
+class TestModelSelection:
+    def test_batched_true_rejects_ooo(self, suite):
+        program, static = suite["pegwit"]
+        with pytest.raises(ValueError):
+            simulate(program, ARCH_4_ISSUE, static=static, batched=True)
+
+    def test_batched_true_rejects_pc_index(self, suite):
+        program, static = suite["pegwit"]
+        pc_index = {st.addr: i for i, st in enumerate(static)}
+        with pytest.raises(ValueError):
+            simulate(program, ARCH_1_ISSUE, batched=True, pc_index=pc_index)
+
+    def test_run_inorder_blocks_rejects_pc_index(self, suite):
+        program, static = suite["pegwit"]
+        pc_index = {st.addr: i for i, st in enumerate(static)}
+        core = FunctionalCore(program, pc_index=pc_index)
+        with pytest.raises(ValueError):
+            run_inorder_blocks(core, None, None, None, None, ARCH_1_ISSUE, 1)
+
+    def test_ooo_archs_still_run(self, suite):
+        # batched=None on an OOO machine silently uses the OOO model.
+        program, static = suite["pegwit"]
+        result = simulate(program, ARCH_4_ISSUE, static=static)
+        assert result.instructions > 0
+        assert not result.extra["truncated"]
+
+
+class TestBlockTable:
+    def test_cached_on_static_text(self, suite):
+        _, static = suite["pegwit"]
+        assert get_block_table(static) is get_block_table(static)
+
+    def test_plain_list_not_cached_but_works(self, suite):
+        _, static = suite["pegwit"]
+        plain = list(static)
+        a = get_block_table(plain)
+        b = get_block_table(plain)
+        assert a is not b
+        assert a.next_term == b.next_term
+
+    def test_next_term_marks_first_terminator(self):
+        program = assemble("""
+        .text 0x400000
+            addiu $t0, $zero, 1
+            addiu $t1, $zero, 2
+            beq $t0, $t1, skip
+            addiu $t2, $zero, 3
+        skip:
+            addiu $v0, $zero, 10
+            syscall
+        """)
+        table = BlockTable(predecode(program))
+        # beq at index 2, syscall at index 5 terminate their blocks.
+        assert table.next_term == [2, 2, 2, 5, 5, 5]
+        for i, term in enumerate(table.next_term):
+            assert term >= i
+            last = table.ops[term][0]
+            assert last in EX_TERMINATORS or term == len(table.ops) - 1
