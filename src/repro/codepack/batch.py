@@ -43,14 +43,25 @@ def _encode_group(encoder, words, block_instructions):
             for start in range(0, len(words), block_instructions)]
 
 
-def _map_maybe_parallel(func, items, max_workers):
+def _map_maybe_parallel(func, items, max_workers, executor=None):
     """Order-preserving map over *items*, pooled when possible.
 
     Returns the mapped list; any pool-infrastructure failure (inability
-    to spawn threads in a constrained environment) degrades to the
-    sequential path.  Exceptions raised by *func* itself propagate
-    unchanged in both modes.
+    to spawn threads in a constrained environment, or an *executor*
+    that has already been shut down) degrades to the sequential path.
+    Exceptions raised by *func* itself propagate unchanged in all modes.
+
+    An injected *executor* takes precedence over *max_workers*: it is
+    used as-is and never shut down here, so long-lived callers (the
+    serving layer, repeated sweeps) amortize pool startup across calls.
     """
+    if executor is not None and len(items) > 1:
+        try:
+            return list(executor.map(func, items))
+        except RuntimeError:
+            # Executor already shut down: fall through to the local
+            # policy below rather than failing the whole map.
+            pass
     if max_workers is None or max_workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
     try:
@@ -66,11 +77,13 @@ def compress_words_parallel(words, text_base=0, name="program",
                             block_instructions=BLOCK_INSTRUCTIONS,
                             group_blocks=GROUP_BLOCKS,
                             high_dict=None, low_dict=None,
-                            max_workers=None):
+                            max_workers=None, executor=None):
     """Like :func:`~repro.codepack.compressor.compress_words`, but with
     the per-group block encoding fanned out across a worker pool.
 
     Bit-identical to the sequential compressor for any *max_workers*.
+    Passing a long-lived *executor* reuses it instead of building a
+    fresh pool per call (it is never shut down here).
     """
     high_scheme = high_scheme or HIGH_SCHEME
     low_scheme = low_scheme or LOW_SCHEME
@@ -86,7 +99,7 @@ def compress_words_parallel(words, text_base=0, name="program",
               for start in range(0, len(words), group_words)]
     encoded_groups = _map_maybe_parallel(
         lambda chunk: _encode_group(encoder, chunk, block_instructions),
-        groups, max_workers)
+        groups, max_workers, executor=executor)
 
     blocks = []
     chunks = []
@@ -139,15 +152,17 @@ def compress_words_parallel(words, text_base=0, name="program",
     )
 
 
-def compress_many(programs, max_workers=None, **kwargs):
+def compress_many(programs, max_workers=None, executor=None, **kwargs):
     """Compress several programs; returns images in input order.
 
     *programs* may be :class:`~repro.isa.program.Program` objects or
     plain lists of instruction words.  With ``max_workers > 1`` the
     programs are compressed concurrently (and each program's group
     encoding additionally fans out); ``max_workers=None`` picks a
-    sequential, deterministic default.  Keyword arguments are forwarded
-    to the compressor.
+    sequential, deterministic default.  An injected *executor* fans the
+    per-program work out over a caller-owned pool instead (and is left
+    running for the next call).  Keyword arguments are forwarded to the
+    compressor.
     """
 
     def _compress(item):
@@ -157,16 +172,19 @@ def compress_many(programs, max_workers=None, **kwargs):
                 max_workers=None, **kwargs)
         return compress_words_parallel(item, max_workers=None, **kwargs)
 
-    return _map_maybe_parallel(_compress, list(programs), max_workers)
+    return _map_maybe_parallel(_compress, list(programs), max_workers,
+                               executor=executor)
 
 
-def decompress_many(images, max_workers=None):
+def decompress_many(images, max_workers=None, executor=None):
     """Decompress several images; returns word lists in input order.
 
     Fans the per-block decodes of each image out across the pool; the
     sequential fallback mirrors
     :func:`~repro.codepack.decompressor.decompress_program`, including
-    its instruction-count integrity check.
+    its instruction-count integrity check.  An injected *executor* is
+    reused across calls (the serving layer passes one pool for the
+    process lifetime).
     """
     from repro.codepack.errors import DecompressionError
 
@@ -181,4 +199,5 @@ def decompress_many(images, max_workers=None):
                 % (len(words), image.n_instructions))
         return words
 
-    return _map_maybe_parallel(_decompress, list(images), max_workers)
+    return _map_maybe_parallel(_decompress, list(images), max_workers,
+                               executor=executor)

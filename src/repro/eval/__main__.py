@@ -23,7 +23,7 @@ import time
 from repro.eval.experiments import ALL_EXPERIMENTS, sweep_cells
 from repro.eval.extensions import EXTENSION_EXPERIMENTS
 from repro.eval.runner import Workbench
-from repro.eval.sweep import DEFAULT_CACHE_DIR
+from repro.eval.sweep import DEFAULT_CACHE_DIR, default_cache_dir
 from repro.eval.tables import format_table, table_to_csv
 
 
@@ -49,10 +49,12 @@ def main(argv=None):
                         help="simulation worker processes for the sweep "
                              "(an integer, or 'auto' for one per CPU; "
                              "default 1 = serial)")
-    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR,
-                        default=None, metavar="DIR",
+    parser.add_argument("--cache", nargs="?", const="", default=None,
+                        metavar="DIR",
                         help="persist simulation results on disk "
-                             "(default directory: %s)" % DEFAULT_CACHE_DIR)
+                             "(default directory: $REPRO_CACHE_DIR, "
+                             "else %s; an explicit DIR wins over both)"
+                             % DEFAULT_CACHE_DIR)
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the result cache before running "
                              "(requires --cache)")
@@ -77,6 +79,9 @@ def main(argv=None):
                      % (", ".join(unknown), ", ".join(registry)))
     if args.clear_cache and args.cache is None:
         parser.error("--clear-cache requires --cache")
+    if args.cache == "":
+        # Bare --cache: environment override, then the built-in default.
+        args.cache = default_cache_dir()
 
     wb = Workbench(scale=args.scale, cache=args.cache, jobs=args.jobs)
     if args.clear_cache:

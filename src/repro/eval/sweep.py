@@ -55,6 +55,18 @@ CACHE_FORMAT_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 
+def default_cache_dir():
+    """The cache directory to use when none is given explicitly.
+
+    ``REPRO_CACHE_DIR`` (when set and non-empty) overrides the built-in
+    :data:`DEFAULT_CACHE_DIR`, so services and CI can point the result
+    cache at a writable volume without threading a flag through every
+    entry point.  An explicit directory argument (``--cache DIR``,
+    ``ResultCache(root=...)``) always wins over the environment.
+    """
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
 # ---------------------------------------------------------------------------
 # Cell keys
 # ---------------------------------------------------------------------------
@@ -122,13 +134,13 @@ class ResultCache:
     format change) counts as a miss and is overwritten by the re-run.
     """
 
-    def __init__(self, root=DEFAULT_CACHE_DIR):
-        self.root = root
+    def __init__(self, root=None):
+        self.root = default_cache_dir() if root is None else root
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
-        os.makedirs(root, exist_ok=True)
+        os.makedirs(self.root, exist_ok=True)
 
     def _path(self, key):
         return os.path.join(self.root, key + ".json")

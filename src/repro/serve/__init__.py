@@ -1,0 +1,49 @@
+"""`repro.serve` -- the batched, backpressured CodePack service.
+
+The serving layer turns the codec and sweep machinery into a network
+service: an asyncio TCP server speaking a length-prefixed binary frame
+protocol, a micro-batching scheduler that coalesces concurrent
+decompress requests into pooled decode calls behind an LRU cache of
+decoded compression groups, a metrics registry served in-band, and an
+open/closed-loop load generator for benchmarking it.
+
+* :mod:`repro.serve.protocol` -- sans-IO frames, payload codecs,
+  typed error codes
+* :mod:`repro.serve.server` -- the asyncio server (backpressure,
+  deadlines, graceful shutdown)
+* :mod:`repro.serve.batcher` -- image registry, group cache,
+  micro-batch scheduler
+* :mod:`repro.serve.metrics` -- qps / latency-percentile / occupancy /
+  hit-rate / queue-depth registry
+* :mod:`repro.serve.client` -- pipelined asyncio client
+* :mod:`repro.serve.loadgen` -- workload driver, emits
+  ``BENCH_serve.json``
+
+``python -m repro.tools.serve`` is the CLI front end.
+"""
+
+#: Serving-layer behaviour version (bump on protocol changes together
+#: with :data:`repro.serve.protocol.PROTOCOL_VERSION`).
+SERVE_VERSION = 1
+
+from repro.serve.batcher import GroupCache, ImageRegistry, MicroBatcher
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import LoadgenConfig, run_compare_sync, run_load_sync
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import CodePackServer, ServerConfig
+
+__all__ = [
+    "SERVE_VERSION",
+    "CodePackServer",
+    "GroupCache",
+    "ImageRegistry",
+    "LoadgenConfig",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ProtocolError",
+    "ServeClient",
+    "ServerConfig",
+    "run_compare_sync",
+    "run_load_sync",
+]

@@ -1,0 +1,321 @@
+"""Micro-batching decode scheduler, image registry and group cache.
+
+The unit of decode work is the **compression group** (the paper's
+2-block, 32-instruction index-table granule).  Every decompress request
+names a span of groups of a registered image; the scheduler turns
+concurrent requests into few pool calls three ways:
+
+* **LRU group cache** -- decoded groups are cached under
+  ``(image digest, group index)``.  Hot code (the whole point of a
+  compressed-code service) is served straight from the cache.
+* **Coalescing** -- concurrent requests needing the same group share a
+  single decode future; the group is decoded once per batch no matter
+  how many requests wait on it.
+* **Micro-batching** -- groups that miss the cache queue up for a
+  configurable *window*; everything queued when the window closes is
+  decoded in one executor call, so the event loop pays one
+  thread-handoff per batch rather than per group.
+
+``window=0`` disables the scheduler entirely: spans are decoded
+synchronously per request (still through the executor so the event
+loop never blocks).  That is the baseline the load generator's
+batched-vs-unbatched contract measures against.
+"""
+
+import asyncio
+import hashlib
+from collections import OrderedDict
+
+from repro.codepack.decompressor import decompress_block
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_NOT_FOUND,
+    ERR_SHUTTING_DOWN,
+    ProtocolError,
+)
+from repro.tools.container import dump_image
+
+__all__ = ["GroupCache", "ImageRegistry", "MicroBatcher",
+           "decode_group", "image_digest"]
+
+
+def image_digest(image):
+    """Canonical identity of an image: SHA-256 of its container bytes.
+
+    The container serialization is deterministic, so two images with
+    identical dictionaries, code and geometry share a digest and
+    therefore share cached decoded groups.
+    """
+    return hashlib.sha256(dump_image(image)).digest()
+
+
+def decode_group(image, group_index):
+    """Decode one compression group (``group_blocks`` blocks) to words."""
+    first = group_index * image.group_blocks
+    last = min(first + image.group_blocks, image.n_blocks)
+    words = []
+    for block in range(first, last):
+        words.extend(decompress_block(image, block))
+    return words
+
+
+class GroupCache:
+    """LRU cache of decoded groups keyed by ``(digest, group index)``.
+
+    ``max_entries=0`` disables caching (every lookup is a miss and
+    stores are dropped); the hit/miss counters keep working so the
+    metrics stay meaningful either way.
+    """
+
+    def __init__(self, max_entries=4096):
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        words = self._entries.get(key)
+        if words is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return words
+
+    def put(self, key, words):
+        if self.max_entries <= 0:
+            return
+        self._entries[key] = tuple(words)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self):
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "hit_rate": self.hit_rate()}
+
+
+class ImageRegistry:
+    """LRU registry of compressed images by digest.
+
+    Bounded so a client uploading images forever cannot grow server
+    memory without limit; evicted images simply need re-registering
+    (their cached groups stay valid -- the digest pins the content).
+    """
+
+    def __init__(self, max_images=64):
+        self.max_images = max_images
+        self._images = OrderedDict()
+
+    def __len__(self):
+        return len(self._images)
+
+    def __contains__(self, digest):
+        return digest in self._images
+
+    def register(self, digest, image):
+        self._images[digest] = image
+        self._images.move_to_end(digest)
+        while len(self._images) > self.max_images:
+            self._images.popitem(last=False)
+        return digest
+
+    def get(self, digest):
+        image = self._images.get(digest)
+        if image is None:
+            raise ProtocolError(ERR_NOT_FOUND,
+                                "unknown image digest %s"
+                                % digest.hex()[:16])
+        self._images.move_to_end(digest)
+        return image
+
+    def digests(self):
+        return list(self._images)
+
+
+class MicroBatcher:
+    """Coalesce concurrent group decodes into windowed pool calls."""
+
+    def __init__(self, registry, cache, window=0.002, max_batch=128,
+                 executor=None, metrics=None):
+        self.registry = registry
+        self.cache = cache
+        self.window = window
+        self.max_batch = max_batch
+        self.executor = executor
+        self.metrics = metrics
+        self._pending = {}  # (digest, group) -> [future, image, waiters]
+        self._queue = asyncio.Queue()
+        self._task = None
+        self._closing = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        if self._task is None and self.window > 0:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def stop(self, drain=True):
+        """Stop the scheduler; with *drain*, finish queued work first."""
+        self._closing = True
+        if drain:
+            while self._pending or not self._queue.empty():
+                await asyncio.sleep(0.005)
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for future, _image, _waiters in self._pending.values():
+            if not future.done():
+                future.set_exception(ProtocolError(
+                    ERR_SHUTTING_DOWN, "batcher stopped"))
+                future.exception()  # mark retrieved; waiters may be gone
+        self._pending.clear()
+
+    def depth(self):
+        """Groups queued or mid-decode (the queue-depth gauge)."""
+        return len(self._pending)
+
+    # -- request path --------------------------------------------------------
+
+    async def decode_span(self, digest, group_start, group_count):
+        """Decode ``group_count`` groups starting at *group_start*.
+
+        ``group_count=0`` means "through the end of the image".
+        Returns the concatenated instruction words, served from the
+        cache where possible; misses are coalesced and batched.
+        """
+        if self._closing:
+            raise ProtocolError(ERR_SHUTTING_DOWN, "server is draining")
+        image = self.registry.get(digest)
+        n_groups = image.n_groups
+        if group_count == 0:
+            group_count = n_groups - group_start
+        if group_start < 0 or group_count < 1 \
+                or group_start + group_count > n_groups:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                "span [%d, %d) outside image's %d groups"
+                % (group_start, group_start + group_count, n_groups))
+
+        span = range(group_start, group_start + group_count)
+        got = {}
+        missing = []
+        for group in span:
+            words = self.cache.get((digest, group))
+            if words is None:
+                missing.append(group)
+            else:
+                got[group] = words
+
+        if missing and self.window <= 0:
+            # Unbatched direct path: one executor call per request.
+            loop = asyncio.get_running_loop()
+            decoded = await loop.run_in_executor(
+                self.executor, self._decode_groups, image, missing)
+            for group, words in zip(missing, decoded):
+                if isinstance(words, Exception):
+                    raise words
+                self.cache.put((digest, group), words)
+                got[group] = words
+            if self.metrics is not None:
+                self.metrics.record_batch(1, len(missing))
+        elif missing:
+            futures = [self._enqueue(digest, image, group)
+                       for group in missing]
+            results = await asyncio.gather(
+                *[asyncio.shield(future) for future in futures])
+            for group, words in zip(missing, results):
+                got[group] = words
+
+        out = []
+        for group in span:
+            out.extend(got[group])
+        return out
+
+    def _enqueue(self, digest, image, group):
+        key = (digest, group)
+        entry = self._pending.get(key)
+        if entry is not None:
+            entry[2] += 1
+            return entry[0]
+        future = asyncio.get_running_loop().create_future()
+        self._pending[key] = [future, image, 1]
+        self._queue.put_nowait(key)
+        return future
+
+    # -- batch loop ----------------------------------------------------------
+
+    @staticmethod
+    def _decode_groups(image, groups):
+        """Executor-side decode; exceptions are returned, not raised, so
+        one corrupt group cannot fail a whole batch."""
+        out = []
+        for group in groups:
+            try:
+                out.append(tuple(decode_group(image, group)))
+            except Exception as exc:
+                out.append(exc)
+        return out
+
+    async def _run(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if self.window > 0:
+                # The micro-batch window: let concurrent requests pile
+                # onto the queue before paying for an executor handoff.
+                await asyncio.sleep(self.window)
+            keys = [first]
+            while len(keys) < self.max_batch:
+                try:
+                    keys.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            entries = [(key, self._pending[key]) for key in keys]
+            waiters = sum(entry[2] for _key, entry in entries)
+
+            by_image = []
+            for (digest, group), entry in entries:
+                by_image.append((digest, group, entry[1]))
+
+            def decode_batch(work=by_image):
+                results = []
+                for _digest, group, image in work:
+                    results.extend(
+                        MicroBatcher._decode_groups(image, [group]))
+                return results
+
+            try:
+                results = await loop.run_in_executor(self.executor,
+                                                     decode_batch)
+            except Exception as exc:  # executor infrastructure failure
+                results = [exc] * len(entries)
+
+            for ((digest, group), entry), words in zip(entries, results):
+                self._pending.pop((digest, group), None)
+                future = entry[0]
+                if isinstance(words, Exception):
+                    if not future.done():
+                        future.set_exception(words)
+                        future.exception()  # silence if waiters timed out
+                else:
+                    self.cache.put((digest, group), words)
+                    if not future.done():
+                        future.set_result(words)
+            if self.metrics is not None:
+                self.metrics.record_batch(waiters, len(keys))

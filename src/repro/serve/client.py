@@ -1,0 +1,168 @@
+"""Asyncio client for the CodePack serving protocol.
+
+:class:`ServeClient` keeps one connection, assigns request ids, and
+matches responses back to callers, so any number of requests can be in
+flight at once (the load generator leans on this for pipelining).
+Error frames surface as :class:`~repro.serve.protocol.ProtocolError`
+with the server's error code, and typed helpers wrap each request kind.
+"""
+
+import asyncio
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+__all__ = ["ServeClient", "ServerClosedError"]
+
+
+class ServerClosedError(ConnectionError):
+    """The connection died with requests still outstanding."""
+
+
+class ServeClient:
+    """One pipelined protocol connection.
+
+    Use as an async context manager or call :meth:`connect` /
+    :meth:`close` explicitly.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0,
+                 max_frame=protocol.MAX_FRAME_BYTES):
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self._reader = None
+        self._writer = None
+        self._pending = {}
+        self._next_id = 1
+        self._reader_task = None
+
+    async def connect(self):
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+        return self
+
+    async def close(self):
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._writer = None
+        self._fail_pending(ServerClosedError("client closed"))
+
+    async def __aenter__(self):
+        return await self.connect()
+
+    async def __aexit__(self, *exc):
+        await self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _fail_pending(self, error):
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _read_loop(self):
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader,
+                                                  max_frame=self.max_frame)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.request_id, None)
+                if future is None or future.done():
+                    continue  # response to a request we gave up on
+                if frame.type == protocol.RESP_ERROR:
+                    code, message = protocol.decode_error(frame.payload)
+                    future.set_exception(ProtocolError(code, message))
+                else:
+                    future.set_result(frame)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        except ProtocolError:
+            pass
+        finally:
+            self._fail_pending(
+                ServerClosedError("connection closed by server"))
+
+    async def request(self, ftype, payload=b"", timeout=None):
+        """Send one frame; await and return the matching response frame.
+
+        Raises :class:`ProtocolError` for server error frames,
+        :class:`ServerClosedError` when the connection dies first, and
+        :class:`asyncio.TimeoutError` past *timeout* seconds.
+        """
+        if self._writer is None:
+            raise ServerClosedError("client is not connected")
+        request_id = self._next_id
+        self._next_id = (self._next_id % 0xFFFFFFFF) + 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(protocol.encode_frame(
+            ftype, request_id, payload, max_frame=self.max_frame))
+        await self._writer.drain()
+        try:
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            self._pending.pop(request_id, None)
+
+    # -- typed helpers -------------------------------------------------------
+
+    async def ping(self, timeout=None):
+        await self.request(protocol.REQ_PING, b"", timeout=timeout)
+        return True
+
+    async def compress(self, words, text_base=0, name="program",
+                       timeout=None):
+        """Compress *words* server-side; returns ``(digest, image_bytes)``."""
+        frame = await self.request(
+            protocol.REQ_COMPRESS,
+            protocol.encode_compress_request(words, text_base, name),
+            timeout=timeout)
+        return protocol.decode_compress_response(frame.payload)
+
+    async def decompress(self, digest=None, image_bytes=None,
+                         group_start=0, group_count=protocol.WHOLE_IMAGE,
+                         timeout=None):
+        """Decode a group span; returns the instruction words."""
+        frame = await self.request(
+            protocol.REQ_DECOMPRESS,
+            protocol.encode_decompress_request(
+                digest=digest, image_bytes=image_bytes,
+                group_start=group_start, group_count=group_count),
+            timeout=timeout)
+        _digest, _start, words = \
+            protocol.decode_decompress_response(frame.payload)
+        return words
+
+    async def stats(self, digest, timeout=None):
+        frame = await self.request(protocol.REQ_STATS,
+                                   protocol.encode_stats_request(digest),
+                                   timeout=timeout)
+        return protocol.decode_json_payload(frame.payload)
+
+    async def sweep_cell(self, spec, timeout=None):
+        frame = await self.request(protocol.REQ_SWEEP_CELL,
+                                   protocol.encode_json_payload(spec),
+                                   timeout=timeout)
+        return protocol.decode_json_payload(frame.payload)
+
+    async def metrics(self, timeout=None):
+        frame = await self.request(protocol.REQ_METRICS, b"",
+                                   timeout=timeout)
+        return protocol.decode_json_payload(frame.payload)

@@ -1,0 +1,262 @@
+"""Open/closed-loop load generator for the CodePack server.
+
+The workload models a compressed-code store serving hot code: one
+benchmark program is compressed (server-side, via a ``compress``
+request), then a stream of ``decompress`` requests asks for spans of
+compression groups with a Zipf-skewed popularity over a bounded working
+set -- a few spans are very hot, a tail is cold, exactly the shape that
+rewards a decoded-group cache and micro-batching.
+
+Two driving disciplines:
+
+* **closed loop** -- ``connections x pipeline`` request streams, each
+  issuing its next request as soon as the previous one completes;
+  measures sustainable throughput.
+* **open loop** -- requests fire on a fixed arrival schedule
+  (``rate`` per second) regardless of completions; measures latency
+  under a target offered load, including queueing.
+
+:func:`run_compare` runs the same workload against a micro-batching
+server and a ``batch_window=0`` baseline and emits ``BENCH_serve.json``
+with both reports and the throughput ratio -- the CI serve-smoke job
+asserts on that ratio.
+"""
+
+import asyncio
+import json
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass, field, replace
+
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServerClosedError
+from repro.serve.metrics import percentile
+from repro.serve.protocol import ProtocolError
+from repro.tools.container import parse_image
+from repro.workloads.suite import build_benchmark
+
+__all__ = ["LoadgenConfig", "run_load", "run_load_sync",
+           "run_compare", "run_compare_sync"]
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation run."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    mode: str = "closed"        # "closed" or "open"
+    connections: int = 8        # TCP connections
+    pipeline: int = 4           # in-flight requests per connection
+    requests: int = 600         # total decompress requests
+    rate: float = 400.0         # open-loop arrivals per second (total)
+    span: int = 8               # compression groups per request
+    working_set: int = 32       # distinct spans in the workload
+    skew: float = 1.1           # Zipf exponent (0 = uniform popularity)
+    benchmark: str = "pegwit"   # suite program served
+    scale: float = 0.05         # benchmark build scale
+    seed: int = 1234
+    timeout: float = 30.0       # client-side per-request timeout
+
+    def describe(self):
+        return {
+            "mode": self.mode, "connections": self.connections,
+            "pipeline": self.pipeline, "requests": self.requests,
+            "rate": self.rate, "span": self.span,
+            "working_set": self.working_set, "skew": self.skew,
+            "benchmark": self.benchmark, "scale": self.scale,
+            "seed": self.seed,
+        }
+
+
+def _plan_spans(config, n_groups):
+    """The deterministic request plan: ``requests`` Zipf-skewed spans.
+
+    Working-set starts are spread evenly across the image; popularity
+    rank follows ``1 / (rank + 1) ** skew``.
+    """
+    span = max(1, min(config.span, n_groups))
+    n_starts = max(1, min(config.working_set, n_groups - span + 1))
+    stride = max(1, (n_groups - span) // max(1, n_starts))
+    starts = [(i * stride) % (n_groups - span + 1) for i in range(n_starts)]
+    weights = [1.0 / (rank + 1) ** config.skew for rank in range(n_starts)]
+    rng = random.Random(config.seed)
+    picks = rng.choices(range(n_starts), weights=weights,
+                        k=config.requests)
+    return [(starts[i], span) for i in picks]
+
+
+@dataclass
+class _Tally:
+    latencies: list = field(default_factory=list)
+    errors: Counter = field(default_factory=Counter)
+    words: int = 0
+
+    def record_error(self, exc):
+        if isinstance(exc, ProtocolError):
+            self.errors[protocol.ERROR_NAMES.get(exc.code,
+                                                 "unknown")] += 1
+        elif isinstance(exc, asyncio.TimeoutError):
+            self.errors["client-timeout"] += 1
+        else:
+            self.errors["connection"] += 1
+
+
+async def _one_request(client, digest, start, count, config, tally):
+    began = time.perf_counter()
+    try:
+        words = await client.decompress(digest=digest, group_start=start,
+                                        group_count=count,
+                                        timeout=config.timeout)
+    except (ProtocolError, asyncio.TimeoutError,
+            ServerClosedError, ConnectionError) as exc:
+        tally.record_error(exc)
+    else:
+        tally.latencies.append(time.perf_counter() - began)
+        tally.words += len(words)
+
+
+async def _closed_loop(clients, digest, plan, config, tally):
+    queue = iter(plan)
+
+    async def worker(client):
+        for start, count in queue:
+            await _one_request(client, digest, start, count, config,
+                               tally)
+
+    workers = []
+    for client in clients:
+        for _ in range(max(1, config.pipeline)):
+            workers.append(worker(client))
+    await asyncio.gather(*workers)
+
+
+async def _open_loop(clients, digest, plan, config, tally):
+    interval = 1.0 / max(config.rate, 1e-6)
+    began = time.perf_counter()
+    tasks = []
+    for i, (start, count) in enumerate(plan):
+        target = began + i * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        client = clients[i % len(clients)]
+        tasks.append(asyncio.get_running_loop().create_task(
+            _one_request(client, digest, start, count, config, tally)))
+    await asyncio.gather(*tasks)
+
+
+async def run_load(config):
+    """Run one load-generation pass; returns the report dict."""
+    program = build_benchmark(config.benchmark, config.scale)
+
+    clients = []
+    try:
+        for _ in range(max(1, config.connections)):
+            clients.append(await ServeClient(config.host,
+                                             config.port).connect())
+
+        digest, blob = await clients[0].compress(
+            program.text, text_base=program.text_base,
+            name=program.name, timeout=config.timeout)
+        n_groups = parse_image(blob).n_groups
+        plan = _plan_spans(config, n_groups)
+
+        tally = _Tally()
+        began = time.perf_counter()
+        if config.mode == "open":
+            await _open_loop(clients, digest, plan, config, tally)
+        else:
+            await _closed_loop(clients, digest, plan, config, tally)
+        wall = max(time.perf_counter() - began, 1e-9)
+
+        server_metrics = None
+        try:
+            server_metrics = await clients[0].metrics(
+                timeout=config.timeout)
+        except (ProtocolError, asyncio.TimeoutError, ServerClosedError):
+            pass
+    finally:
+        for client in clients:
+            await client.close()
+
+    completed = len(tally.latencies)
+    return {
+        "workload": dict(config.describe(), n_groups=n_groups,
+                         program_instructions=len(program.text)),
+        "completed": completed,
+        "errors": dict(tally.errors),
+        "wall_seconds": wall,
+        "throughput_rps": completed / wall,
+        "words_per_second": tally.words / wall,
+        "words_returned": tally.words,
+        "latency_ms": {
+            "mean": (sum(tally.latencies) / completed * 1000.0)
+                    if completed else 0.0,
+            "p50": percentile(tally.latencies, 0.50) * 1000.0,
+            "p90": percentile(tally.latencies, 0.90) * 1000.0,
+            "p99": percentile(tally.latencies, 0.99) * 1000.0,
+            "max": max(tally.latencies) * 1000.0 if completed else 0.0,
+        },
+        "server_metrics": server_metrics,
+    }
+
+
+def run_load_sync(config):
+    return asyncio.run(run_load(config))
+
+
+async def run_compare(loadgen=None, server_config=None, output=None):
+    """Same workload against micro-batching on vs. off.
+
+    *server_config* is the **batched** configuration (its
+    ``batch_window`` and ``group_cache_entries`` define "on"); the
+    baseline reuses it with ``batch_window=0`` and the cache disabled,
+    i.e. every request decodes its span from scratch.  Returns (and
+    optionally writes to *output*) the comparison report with the
+    throughput ``speedup``.
+    """
+    from repro.serve.server import CodePackServer, ServerConfig
+
+    loadgen = loadgen or LoadgenConfig()
+    server_config = server_config or ServerConfig()
+    if server_config.batch_window <= 0:
+        raise ValueError("the batched configuration needs a "
+                         "positive batch_window")
+    baseline_config = replace(server_config, batch_window=0.0,
+                              group_cache_entries=0)
+
+    reports = {}
+    for label, config in (("unbatched", baseline_config),
+                          ("batched", server_config)):
+        server = CodePackServer(replace(config))
+        await server.start()
+        try:
+            reports[label] = await run_load(
+                replace(loadgen, host=server.config.host,
+                        port=server.port))
+        finally:
+            await server.shutdown()
+
+    speedup = (reports["batched"]["throughput_rps"]
+               / max(reports["unbatched"]["throughput_rps"], 1e-9))
+    result = {
+        "bench": "serve",
+        "workload": reports["batched"]["workload"],
+        "server": server_config.describe(),
+        "batched": reports["batched"],
+        "unbatched": reports["unbatched"],
+        "speedup": speedup,
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def run_compare_sync(loadgen=None, server_config=None, output=None):
+    return asyncio.run(run_compare(loadgen=loadgen,
+                                   server_config=server_config,
+                                   output=output))

@@ -1,0 +1,144 @@
+"""Serving metrics: counters, latency percentiles, qps, gauges.
+
+One :class:`MetricsRegistry` per server.  Everything is cheap enough to
+record on every request (appending to bounded deques, integer adds);
+aggregation work -- sorting for percentiles, walking the qps window --
+happens only when a snapshot is taken, i.e. when somebody sends a
+``metrics`` request.
+
+The registry is event-loop-confined (the asyncio server records from
+coroutine context only), so no locking is needed; the load generator
+and tests read it through :meth:`snapshot`, which returns plain JSON
+data.
+"""
+
+import time
+from collections import Counter, deque
+
+__all__ = ["MetricsRegistry", "percentile"]
+
+#: Samples kept for percentile estimation / the qps window.
+LATENCY_WINDOW = 8192
+QPS_WINDOW_SECONDS = 10.0
+
+
+def percentile(samples, fraction):
+    """The *fraction*-quantile of *samples* (nearest-rank, sorted copy).
+
+    Returns ``0.0`` for an empty sample set -- metrics must never
+    raise just because the server has not served anything yet.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = int(fraction * (len(ordered) - 1) + 0.5)
+    return ordered[rank]
+
+
+class MetricsRegistry:
+    """Counters and gauges for one server instance."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.started = clock()
+        self.requests = Counter()       # by request type name
+        self.responses = Counter()      # by request type name
+        self.errors = Counter()         # by ERR_* name
+        self.rejected = 0               # refused before queueing
+        self._latencies = deque(maxlen=LATENCY_WINDOW)
+        self._completions = deque(maxlen=LATENCY_WINDOW)
+        self.batches = 0
+        self.batched_requests = 0
+        self.batched_groups = 0
+        self._gauges = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_request(self, kind):
+        self.requests[kind] += 1
+
+    def record_response(self, kind, seconds):
+        self.responses[kind] += 1
+        self._latencies.append(seconds)
+        self._completions.append(self._clock())
+
+    def record_error(self, name):
+        self.errors[name] += 1
+
+    def record_rejected(self):
+        self.rejected += 1
+
+    def record_batch(self, n_requests, n_groups):
+        """One pool call serviced *n_requests* coalesced requests that
+        needed *n_groups* unique group decodes."""
+        self.batches += 1
+        self.batched_requests += n_requests
+        self.batched_groups += n_groups
+
+    def register_gauge(self, name, callback):
+        """Register a zero-argument callable sampled at snapshot time."""
+        self._gauges[name] = callback
+
+    # -- aggregation --------------------------------------------------------
+
+    def qps(self, window=QPS_WINDOW_SECONDS):
+        """Completions per second over the trailing *window* seconds."""
+        now = self._clock()
+        horizon = now - window
+        recent = [t for t in self._completions if t >= horizon]
+        if not recent:
+            return 0.0
+        span = max(now - recent[0], 1e-9)
+        return len(recent) / span
+
+    def lifetime_qps(self):
+        elapsed = max(self._clock() - self.started, 1e-9)
+        return sum(self.responses.values()) / elapsed
+
+    def latency_summary(self):
+        samples = list(self._latencies)
+        count = len(samples)
+        return {
+            "count": count,
+            "mean_ms": (sum(samples) / count * 1000.0) if count else 0.0,
+            "p50_ms": percentile(samples, 0.50) * 1000.0,
+            "p90_ms": percentile(samples, 0.90) * 1000.0,
+            "p99_ms": percentile(samples, 0.99) * 1000.0,
+            "max_ms": max(samples) * 1000.0 if samples else 0.0,
+        }
+
+    def batch_summary(self):
+        return {
+            "batches": self.batches,
+            "requests": self.batched_requests,
+            "groups": self.batched_groups,
+            # How many coalesced requests the average pool call served;
+            # > 1.0 means micro-batching is actually merging work.
+            "occupancy": (self.batched_requests / self.batches
+                          if self.batches else 0.0),
+            "groups_per_batch": (self.batched_groups / self.batches
+                                 if self.batches else 0.0),
+        }
+
+    def snapshot(self):
+        """Everything as one JSON-ready dict (the ``metrics`` response)."""
+        gauges = {}
+        for name, callback in self._gauges.items():
+            try:
+                gauges[name] = callback()
+            except Exception:
+                gauges[name] = None
+        return {
+            "uptime_seconds": self._clock() - self.started,
+            "requests": dict(self.requests),
+            "responses": dict(self.responses),
+            "errors": dict(self.errors),
+            "rejected": self.rejected,
+            "qps": {
+                "window": self.qps(),
+                "lifetime": self.lifetime_qps(),
+            },
+            "latency": self.latency_summary(),
+            "batch": self.batch_summary(),
+            "gauges": gauges,
+        }

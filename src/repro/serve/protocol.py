@@ -1,0 +1,440 @@
+"""The CodePack serving wire protocol (sans-IO).
+
+Everything on the wire is a length-prefixed *frame* (little-endian,
+matching the container formats of :mod:`repro.tools.container`)::
+
+    u32 length      bytes that follow this field (>= 5)
+    u8  type        frame type (REQ_* / RESP_* below)
+    u32 request_id  client-chosen; echoed verbatim in the response
+    payload         (length - 5) bytes, layout per frame type
+
+The request id makes the protocol pipelinable: a client may have any
+number of requests in flight on one connection and match responses by
+id; the server never reorders bytes within a frame but may interleave
+*frames* of concurrent requests in completion order.
+
+This module is deliberately sans-IO: :func:`encode_frame` produces
+bytes, :class:`FrameDecoder` consumes bytes incrementally, and the
+payload codecs below are pure functions.  The asyncio server and client
+layer their socket handling on top, and the property tests round-trip
+frames here without any event loop.
+
+Malformed input never raises anything but :class:`ProtocolError`, which
+carries one of the ``ERR_*`` codes; the server maps it onto a typed
+``RESP_ERROR`` frame so clients can distinguish "your frame was
+garbage" from "the server is overloaded" from "that image is unknown".
+"""
+
+import json
+import struct
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "DIGEST_BYTES",
+    "REQ_COMPRESS", "REQ_DECOMPRESS", "REQ_STATS", "REQ_SWEEP_CELL",
+    "REQ_METRICS", "REQ_PING", "RESP_COMPRESS", "RESP_DECOMPRESS",
+    "RESP_STATS", "RESP_SWEEP_CELL", "RESP_METRICS", "RESP_PING",
+    "RESP_ERROR", "REQUEST_TYPES", "RESPONSE_TYPES",
+    "ERR_MALFORMED", "ERR_TOO_LARGE", "ERR_UNKNOWN_TYPE", "ERR_TIMEOUT",
+    "ERR_OVERLOADED", "ERR_NOT_FOUND", "ERR_INTERNAL",
+    "ERR_SHUTTING_DOWN", "ERR_BAD_REQUEST", "ERROR_NAMES",
+    "ProtocolError", "Frame", "FrameDecoder",
+    "encode_frame", "read_frame",
+    "encode_compress_request", "decode_compress_request",
+    "encode_compress_response", "decode_compress_response",
+    "encode_decompress_request", "decode_decompress_request",
+    "encode_decompress_response", "decode_decompress_response",
+    "encode_stats_request", "decode_stats_request",
+    "encode_json_payload", "decode_json_payload",
+    "encode_error", "decode_error",
+]
+
+#: Protocol behaviour version (bump on incompatible frame changes).
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on a frame's ``length`` field.  Large enough for a
+#: multi-megabyte compressed image, small enough that a garbage length
+#: prefix cannot make the server buffer gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: SHA-256 image digests travel in binary.
+DIGEST_BYTES = 32
+
+#: Bytes of a frame counted by the length prefix before the payload.
+_ENVELOPE_BYTES = 5
+
+_LENGTH = struct.Struct("<I")
+_ENVELOPE = struct.Struct("<BI")  # type, request_id
+
+# -- frame types ------------------------------------------------------------
+
+REQ_COMPRESS = 0x01
+REQ_DECOMPRESS = 0x02
+REQ_STATS = 0x03
+REQ_SWEEP_CELL = 0x04
+REQ_METRICS = 0x05
+REQ_PING = 0x06
+
+RESP_COMPRESS = 0x81
+RESP_DECOMPRESS = 0x82
+RESP_STATS = 0x83
+RESP_SWEEP_CELL = 0x84
+RESP_METRICS = 0x85
+RESP_PING = 0x86
+RESP_ERROR = 0x7F
+
+REQUEST_TYPES = frozenset((REQ_COMPRESS, REQ_DECOMPRESS, REQ_STATS,
+                           REQ_SWEEP_CELL, REQ_METRICS, REQ_PING))
+RESPONSE_TYPES = frozenset((RESP_COMPRESS, RESP_DECOMPRESS, RESP_STATS,
+                            RESP_SWEEP_CELL, RESP_METRICS, RESP_PING,
+                            RESP_ERROR))
+
+
+def response_type_for(request_type):
+    """The success-response type paired with *request_type*."""
+    return request_type | 0x80
+
+
+# -- error codes ------------------------------------------------------------
+
+ERR_MALFORMED = 1       # frame or payload failed to parse
+ERR_TOO_LARGE = 2       # length prefix exceeds the frame ceiling
+ERR_UNKNOWN_TYPE = 3    # frame type is not a known request
+ERR_TIMEOUT = 4         # request deadline expired before completion
+ERR_OVERLOADED = 5      # request queue full; retry later
+ERR_NOT_FOUND = 6       # referenced image digest is not registered
+ERR_INTERNAL = 7        # handler raised unexpectedly
+ERR_SHUTTING_DOWN = 8   # server is draining; no new work accepted
+ERR_BAD_REQUEST = 9     # well-formed frame, semantically invalid
+
+ERROR_NAMES = {
+    ERR_MALFORMED: "malformed",
+    ERR_TOO_LARGE: "too-large",
+    ERR_UNKNOWN_TYPE: "unknown-type",
+    ERR_TIMEOUT: "timeout",
+    ERR_OVERLOADED: "overloaded",
+    ERR_NOT_FOUND: "not-found",
+    ERR_INTERNAL: "internal",
+    ERR_SHUTTING_DOWN: "shutting-down",
+    ERR_BAD_REQUEST: "bad-request",
+}
+
+
+class ProtocolError(Exception):
+    """A wire-level or semantic protocol violation.
+
+    ``code`` is one of the ``ERR_*`` constants; the server turns it
+    into a :data:`RESP_ERROR` frame, so raising this anywhere in a
+    handler produces a typed error on the wire rather than a crash.
+    """
+
+    def __init__(self, code, message):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class Frame:
+    """One decoded frame: ``(type, request_id, payload bytes)``."""
+
+    __slots__ = ("type", "request_id", "payload")
+
+    def __init__(self, ftype, request_id, payload=b""):
+        self.type = ftype
+        self.request_id = request_id
+        self.payload = payload
+
+    def __eq__(self, other):
+        return (isinstance(other, Frame)
+                and self.type == other.type
+                and self.request_id == other.request_id
+                and self.payload == other.payload)
+
+    def __repr__(self):
+        return ("Frame(type=0x%02x, request_id=%d, payload=%d bytes)"
+                % (self.type, self.request_id, len(self.payload)))
+
+
+# -- frame encoding / decoding ----------------------------------------------
+
+def encode_frame(ftype, request_id, payload=b"", max_frame=MAX_FRAME_BYTES):
+    """Serialize one frame; refuses payloads over the frame ceiling."""
+    if not 0 <= ftype <= 0xFF:
+        raise ProtocolError(ERR_MALFORMED, "frame type out of range")
+    if not 0 <= request_id <= 0xFFFFFFFF:
+        raise ProtocolError(ERR_MALFORMED, "request id out of range")
+    length = _ENVELOPE_BYTES + len(payload)
+    if length > max_frame:
+        raise ProtocolError(ERR_TOO_LARGE,
+                            "frame of %d bytes exceeds limit %d"
+                            % (length, max_frame))
+    return b"".join((_LENGTH.pack(length),
+                     _ENVELOPE.pack(ftype, request_id),
+                     payload))
+
+
+class FrameDecoder:
+    """Incremental frame parser over a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; :meth:`next_frame` yields
+    complete frames in order, or ``None`` while the buffer holds only a
+    partial frame.  A length prefix over *max_frame* (or one too short
+    to hold the envelope) raises :class:`ProtocolError` -- after that
+    the stream cannot be resynchronised and the connection must close.
+    """
+
+    def __init__(self, max_frame=MAX_FRAME_BYTES):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data):
+        self._buffer.extend(data)
+
+    @property
+    def pending_bytes(self):
+        """Bytes buffered but not yet consumed as frames."""
+        return len(self._buffer)
+
+    def next_frame(self):
+        if len(self._buffer) < _LENGTH.size:
+            return None
+        (length,) = _LENGTH.unpack_from(self._buffer)
+        if length > self.max_frame:
+            raise ProtocolError(ERR_TOO_LARGE,
+                                "frame length %d exceeds limit %d"
+                                % (length, self.max_frame))
+        if length < _ENVELOPE_BYTES:
+            raise ProtocolError(ERR_MALFORMED,
+                                "frame length %d below envelope size"
+                                % length)
+        total = _LENGTH.size + length
+        if len(self._buffer) < total:
+            return None
+        ftype, request_id = _ENVELOPE.unpack_from(self._buffer,
+                                                  _LENGTH.size)
+        payload = bytes(self._buffer[_LENGTH.size + _ENVELOPE_BYTES:total])
+        del self._buffer[:total]
+        return Frame(ftype, request_id, payload)
+
+
+async def read_frame(reader, max_frame=MAX_FRAME_BYTES):
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  A connection
+    that dies mid-frame raises :class:`ProtocolError` (``truncated``),
+    as does an oversized or undersized length prefix -- the caller
+    cannot resynchronise after either and should close.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(ERR_MALFORMED, "truncated frame header")
+    (length,) = _LENGTH.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(ERR_TOO_LARGE,
+                            "frame length %d exceeds limit %d"
+                            % (length, max_frame))
+    if length < _ENVELOPE_BYTES:
+        raise ProtocolError(ERR_MALFORMED,
+                            "frame length %d below envelope size" % length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError(ERR_MALFORMED, "truncated frame body")
+    ftype, request_id = _ENVELOPE.unpack_from(body)
+    return Frame(ftype, request_id, bytes(body[_ENVELOPE_BYTES:]))
+
+
+# -- payload reader ----------------------------------------------------------
+
+class _PayloadReader:
+    """Cursor over a payload; every short read is :data:`ERR_MALFORMED`."""
+
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, count):
+        if count < 0 or self.pos + count > len(self.data):
+            raise ProtocolError(ERR_MALFORMED, "truncated payload")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def u8(self):
+        return self.take(1)[0]
+
+    def u16(self):
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def finish(self):
+        if self.pos != len(self.data):
+            raise ProtocolError(ERR_MALFORMED,
+                                "%d trailing payload bytes"
+                                % (len(self.data) - self.pos))
+
+
+def _check_digest(digest):
+    if len(digest) != DIGEST_BYTES:
+        raise ProtocolError(ERR_MALFORMED, "digest must be %d bytes"
+                            % DIGEST_BYTES)
+    return bytes(digest)
+
+
+# -- compress ----------------------------------------------------------------
+
+def encode_compress_request(words, text_base=0, name="program"):
+    """``u32 text_base, u32 n_words, n_words x u32, u16 name_len, name``."""
+    encoded_name = name.encode("utf-8")
+    if len(encoded_name) > 0xFFFF:
+        raise ProtocolError(ERR_MALFORMED, "program name too long")
+    try:
+        packed = struct.pack("<%dI" % len(words), *words)
+    except struct.error:
+        raise ProtocolError(ERR_MALFORMED,
+                            "instruction words must be u32")
+    return b"".join((struct.pack("<II", text_base, len(words)), packed,
+                     struct.pack("<H", len(encoded_name)), encoded_name))
+
+
+def decode_compress_request(payload):
+    """Returns ``(words, text_base, name)``."""
+    reader = _PayloadReader(payload)
+    text_base = reader.u32()
+    n_words = reader.u32()
+    words = list(struct.unpack("<%dI" % n_words, reader.take(4 * n_words)))
+    name = reader.take(reader.u16()).decode("utf-8", "replace")
+    reader.finish()
+    return words, text_base, name
+
+
+def encode_compress_response(digest, image_bytes):
+    """``32s digest, u32 image_len, image container bytes``."""
+    return b"".join((_check_digest(digest),
+                     struct.pack("<I", len(image_bytes)), image_bytes))
+
+
+def decode_compress_response(payload):
+    """Returns ``(digest, image_bytes)``."""
+    reader = _PayloadReader(payload)
+    digest = bytes(reader.take(DIGEST_BYTES))
+    image_bytes = bytes(reader.take(reader.u32()))
+    reader.finish()
+    return digest, image_bytes
+
+
+# -- decompress --------------------------------------------------------------
+
+#: ``group_count`` value meaning "through the end of the image".
+WHOLE_IMAGE = 0
+
+DECOMPRESS_BY_DIGEST = 0
+DECOMPRESS_INLINE = 1
+
+
+def encode_decompress_request(digest=None, image_bytes=None,
+                              group_start=0, group_count=WHOLE_IMAGE):
+    """Request decode of a span of compression groups.
+
+    Exactly one of *digest* (a registered image) and *image_bytes* (an
+    inline ``.cpk`` container, registered as a side effect) must be
+    given.  ``group_count=0`` means "to the end of the image".
+    """
+    if (digest is None) == (image_bytes is None):
+        raise ProtocolError(ERR_MALFORMED,
+                            "exactly one of digest/image_bytes required")
+    span = struct.pack("<II", group_start, group_count)
+    if digest is not None:
+        return b"".join((struct.pack("<B", DECOMPRESS_BY_DIGEST),
+                         _check_digest(digest), span))
+    return b"".join((struct.pack("<B", DECOMPRESS_INLINE),
+                     struct.pack("<I", len(image_bytes)), image_bytes,
+                     span))
+
+
+def decode_decompress_request(payload):
+    """Returns ``(digest_or_None, image_bytes_or_None, start, count)``."""
+    reader = _PayloadReader(payload)
+    mode = reader.u8()
+    if mode == DECOMPRESS_BY_DIGEST:
+        digest = bytes(reader.take(DIGEST_BYTES))
+        image_bytes = None
+    elif mode == DECOMPRESS_INLINE:
+        digest = None
+        image_bytes = bytes(reader.take(reader.u32()))
+    else:
+        raise ProtocolError(ERR_MALFORMED,
+                            "unknown decompress mode %d" % mode)
+    group_start = reader.u32()
+    group_count = reader.u32()
+    reader.finish()
+    return digest, image_bytes, group_start, group_count
+
+
+def encode_decompress_response(digest, group_start, words):
+    """``32s digest, u32 group_start, u32 n_words, words``."""
+    return b"".join((_check_digest(digest),
+                     struct.pack("<II", group_start, len(words)),
+                     struct.pack("<%dI" % len(words), *words)))
+
+
+def decode_decompress_response(payload):
+    """Returns ``(digest, group_start, words)``."""
+    reader = _PayloadReader(payload)
+    digest = bytes(reader.take(DIGEST_BYTES))
+    group_start = reader.u32()
+    n_words = reader.u32()
+    words = list(struct.unpack("<%dI" % n_words, reader.take(4 * n_words)))
+    reader.finish()
+    return digest, group_start, words
+
+
+# -- stats -------------------------------------------------------------------
+
+def encode_stats_request(digest):
+    """``32s digest`` of a registered image."""
+    return _check_digest(digest)
+
+
+def decode_stats_request(payload):
+    reader = _PayloadReader(payload)
+    digest = bytes(reader.take(DIGEST_BYTES))
+    reader.finish()
+    return digest
+
+
+# -- JSON payloads (stats/sweep/metrics responses, sweep requests) -----------
+
+def encode_json_payload(obj):
+    """Canonical JSON (sorted keys) as utf-8 payload bytes."""
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def decode_json_payload(payload):
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise ProtocolError(ERR_MALFORMED, "payload is not valid JSON")
+
+
+# -- errors ------------------------------------------------------------------
+
+def encode_error(code, message):
+    """``u16 code, u16 msg_len, utf-8 message``."""
+    encoded = message.encode("utf-8")[:0xFFFF]
+    return struct.pack("<HH", code, len(encoded)) + encoded
+
+
+def decode_error(payload):
+    """Returns ``(code, message)``."""
+    reader = _PayloadReader(payload)
+    code = reader.u16()
+    message = reader.take(reader.u16()).decode("utf-8", "replace")
+    reader.finish()
+    return code, message

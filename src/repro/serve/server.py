@@ -1,0 +1,448 @@
+"""The asyncio CodePack compression server.
+
+One :class:`CodePackServer` owns:
+
+* a TCP listener speaking the frame protocol of
+  :mod:`repro.serve.protocol` (pipelined, length-prefixed);
+* a worker :class:`~concurrent.futures.ThreadPoolExecutor` shared by
+  every codec call (and injected into the batch API of
+  :mod:`repro.codepack.batch`, so pool startup is paid once per server,
+  not once per request);
+* the :class:`~repro.serve.batcher.MicroBatcher` with its image
+  registry and LRU group cache;
+* a :class:`~repro.serve.metrics.MetricsRegistry` served over the
+  ``metrics`` request.
+
+Robustness model:
+
+* **Backpressure** -- at most ``queue_limit`` requests may be admitted
+  (queued or in flight) at once; excess requests are answered
+  immediately with an ``overloaded`` error frame instead of growing an
+  unbounded queue.
+* **Deadlines** -- every admitted request gets
+  ``request_timeout`` seconds; an expired request is answered with a
+  ``timeout`` error frame and its late result (if any) is discarded.
+* **Malformed input** -- payloads that fail to parse produce typed
+  ``malformed`` error frames; an unparseable *envelope* (bad length
+  prefix) is answered where possible and then the connection is closed,
+  because framing cannot be resynchronised.  The server itself keeps
+  serving other connections in every case.
+* **Graceful shutdown** -- :meth:`shutdown` stops accepting
+  connections and frames, lets every already-admitted request finish
+  and flush its response, then tears down the batcher and executor.
+"""
+
+import asyncio
+import concurrent.futures
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.codepack.batch import compress_words_parallel
+from repro.codepack.errors import DecompressionError
+from repro.serve import protocol
+from repro.serve.batcher import GroupCache, ImageRegistry, MicroBatcher
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import ProtocolError
+from repro.tools.container import ContainerError, dump_image, parse_image
+
+__all__ = ["ServerConfig", "CodePackServer"]
+
+_REQUEST_NAMES = {
+    protocol.REQ_COMPRESS: "compress",
+    protocol.REQ_DECOMPRESS: "decompress",
+    protocol.REQ_STATS: "stats",
+    protocol.REQ_SWEEP_CELL: "sweep_cell",
+    protocol.REQ_METRICS: "metrics",
+    protocol.REQ_PING: "ping",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                  # 0 = pick an ephemeral port
+    batch_window: float = 0.002    # seconds; 0 disables micro-batching
+    max_batch: int = 128           # group decodes per pool call
+    group_cache_entries: int = 4096  # 0 disables the decoded-group cache
+    max_images: int = 64
+    queue_limit: int = 256         # admitted requests before overload
+    request_timeout: float = 30.0  # per-request deadline, seconds
+    max_frame: int = protocol.MAX_FRAME_BYTES
+    workers: int = 2               # codec executor threads
+    sweep_cache: bool = True       # persist sweep_cell results on disk
+    sweep_cache_dir: str = None    # None = $REPRO_CACHE_DIR / default
+
+    def describe(self):
+        return {
+            "host": self.host, "port": self.port,
+            "batch_window": self.batch_window,
+            "max_batch": self.max_batch,
+            "group_cache_entries": self.group_cache_entries,
+            "max_images": self.max_images,
+            "queue_limit": self.queue_limit,
+            "request_timeout": self.request_timeout,
+            "max_frame": self.max_frame,
+            "workers": self.workers,
+        }
+
+
+class _Connection:
+    """Per-connection state: writer lock and in-flight request tasks."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.tasks = set()
+
+
+class CodePackServer:
+    """The serving loop.  Use::
+
+        server = CodePackServer(ServerConfig(port=0))
+        await server.start()
+        ...
+        await server.shutdown()
+    """
+
+    def __init__(self, config=None, metrics=None):
+        self.config = config or ServerConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.registry = ImageRegistry(max_images=self.config.max_images)
+        self.cache = GroupCache(max_entries=self.config.group_cache_entries)
+        self.batcher = None
+        self.executor = None
+        self._server = None
+        self._connections = set()
+        self._active = 0            # admitted (queued + running) requests
+        self._peak_active = 0
+        self._closing = False
+        self._sweep_cache = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self):
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self):
+        """Bind the listener and start the batch scheduler."""
+        self.executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="codepack-serve")
+        self.batcher = MicroBatcher(
+            self.registry, self.cache,
+            window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            executor=self.executor, metrics=self.metrics).start()
+        self.metrics.register_gauge("queue_depth", lambda: self._active)
+        self.metrics.register_gauge("queue_limit",
+                                    lambda: self.config.queue_limit)
+        self.metrics.register_gauge("queue_peak", lambda: self._peak_active)
+        self.metrics.register_gauge("batcher_depth", self.batcher.depth)
+        self.metrics.register_gauge("cache", self.cache.counters)
+        self.metrics.register_gauge("images", lambda: len(self.registry))
+        self._server = await asyncio.start_server(
+            self._on_connect, host=self.config.host, port=self.config.port)
+        return self
+
+    async def serve_forever(self):
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, drain=True):
+        """Stop accepting work; with *drain*, finish what was admitted."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            pending = [task for conn in list(self._connections)
+                       for task in list(conn.tasks)]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self.batcher is not None:
+            await self.batcher.stop(drain=drain)
+        for conn in list(self._connections):
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        self._connections.clear()
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connect(self, reader, writer):
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        try:
+            while not self._closing:
+                try:
+                    frame = await protocol.read_frame(
+                        reader, max_frame=self.config.max_frame)
+                except ProtocolError as exc:
+                    # Unrecoverable framing damage: answer (the id is
+                    # unknowable, so 0) and hang up this connection.
+                    self.metrics.record_error(
+                        protocol.ERROR_NAMES.get(exc.code, "malformed"))
+                    await self._send_error(conn, 0, exc)
+                    break
+                if frame is None:
+                    break
+                self._admit(conn, frame)
+            # Let this connection's admitted requests finish before the
+            # writer goes away (graceful even on client half-close).
+            if conn.tasks:
+                await asyncio.gather(*list(conn.tasks),
+                                     return_exceptions=True)
+        finally:
+            self._connections.discard(conn)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _admit(self, conn, frame):
+        """Admission control: reject, or spawn a tracked request task."""
+        if frame.type not in protocol.REQUEST_TYPES:
+            error = ProtocolError(protocol.ERR_UNKNOWN_TYPE,
+                                  "unknown request type 0x%02x" % frame.type)
+            self._reject(conn, frame, error)
+            return
+        if self._closing:
+            self._reject(conn, frame, ProtocolError(
+                protocol.ERR_SHUTTING_DOWN, "server is draining"))
+            return
+        if self._active >= self.config.queue_limit:
+            self.metrics.record_rejected()
+            self._reject(conn, frame, ProtocolError(
+                protocol.ERR_OVERLOADED,
+                "request queue full (%d in flight)" % self._active))
+            return
+        self._active += 1
+        self._peak_active = max(self._peak_active, self._active)
+        self.metrics.record_request(_REQUEST_NAMES[frame.type])
+        task = asyncio.get_running_loop().create_task(
+            self._serve_request(conn, frame))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    def _reject(self, conn, frame, error):
+        self.metrics.record_error(
+            protocol.ERROR_NAMES.get(error.code, "internal"))
+        task = asyncio.get_running_loop().create_task(
+            self._send_error(conn, frame.request_id, error))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _serve_request(self, conn, frame):
+        started = time.perf_counter()
+        kind = _REQUEST_NAMES[frame.type]
+        try:
+            try:
+                try:
+                    payload = await asyncio.wait_for(
+                        self._dispatch(frame),
+                        timeout=self.config.request_timeout)
+                except asyncio.TimeoutError:
+                    raise ProtocolError(
+                        protocol.ERR_TIMEOUT,
+                        "request exceeded %.3fs deadline"
+                        % self.config.request_timeout)
+                except ProtocolError:
+                    raise
+                except (ContainerError, DecompressionError, ValueError,
+                        KeyError) as exc:
+                    raise ProtocolError(protocol.ERR_BAD_REQUEST, str(exc))
+                except Exception as exc:
+                    raise ProtocolError(protocol.ERR_INTERNAL,
+                                        "%s: %s" % (type(exc).__name__, exc))
+                # A response larger than the frame ceiling is the
+                # server's fault; report it rather than dying silently.
+                await self._send(conn,
+                                 protocol.response_type_for(frame.type),
+                                 frame.request_id, payload)
+                self.metrics.record_response(
+                    kind, time.perf_counter() - started)
+            except ProtocolError as exc:
+                self.metrics.record_error(
+                    protocol.ERROR_NAMES.get(exc.code, "internal"))
+                await self._send_error(conn, frame.request_id, exc)
+        finally:
+            self._active -= 1
+
+    async def _dispatch(self, frame):
+        if frame.type == protocol.REQ_PING:
+            return b""
+        if frame.type == protocol.REQ_METRICS:
+            return protocol.encode_json_payload(self.metrics.snapshot())
+        if frame.type == protocol.REQ_COMPRESS:
+            return await self._handle_compress(frame.payload)
+        if frame.type == protocol.REQ_DECOMPRESS:
+            return await self._handle_decompress(frame.payload)
+        if frame.type == protocol.REQ_STATS:
+            return self._handle_stats(frame.payload)
+        if frame.type == protocol.REQ_SWEEP_CELL:
+            return await self._handle_sweep_cell(frame.payload)
+        raise ProtocolError(protocol.ERR_UNKNOWN_TYPE,
+                            "unknown request type 0x%02x" % frame.type)
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _handle_compress(self, payload):
+        words, text_base, name = protocol.decode_compress_request(payload)
+        loop = asyncio.get_running_loop()
+        # The compressor runs on the default loop executor and fans its
+        # per-group encoding out over the shared codec pool (the
+        # injected-executor path of repro.codepack.batch), so nested
+        # submission cannot deadlock the codec pool.
+        digest, blob = await loop.run_in_executor(
+            None, self._compress_sync, words, text_base, name)
+        return protocol.encode_compress_response(digest, blob)
+
+    def _compress_sync(self, words, text_base, name):
+        image = compress_words_parallel(
+            words, text_base=text_base, name=name,
+            executor=self.executor)
+        blob = dump_image(image)
+        digest = hashlib.sha256(blob).digest()
+        self.registry.register(digest, image)
+        return digest, blob
+
+    async def _handle_decompress(self, payload):
+        digest, image_bytes, start, count = \
+            protocol.decode_decompress_request(payload)
+        if image_bytes is not None:
+            # Inline image: canonicalise (parse + re-dump) so the digest
+            # never depends on how the client serialised it.
+            image = parse_image(image_bytes)
+            digest = hashlib.sha256(dump_image(image)).digest()
+            self.registry.register(digest, image)
+        words = await self.batcher.decode_span(digest, start, count)
+        return protocol.encode_decompress_response(digest, start, words)
+
+    def _handle_stats(self, payload):
+        digest = protocol.decode_stats_request(payload)
+        image = self.registry.get(digest)
+        raw_blocks = sum(1 for block in image.blocks if block.is_raw)
+        return protocol.encode_json_payload({
+            "name": image.name,
+            "digest": digest.hex(),
+            "n_instructions": image.n_instructions,
+            "original_bytes": image.original_bytes,
+            "compressed_bytes": image.compressed_bytes,
+            "compression_ratio": image.compression_ratio,
+            "n_blocks": image.n_blocks,
+            "n_groups": image.n_groups,
+            "raw_blocks": raw_blocks,
+            "block_instructions": image.block_instructions,
+            "group_blocks": image.group_blocks,
+            "dictionary_entries": {"high": len(image.high_dict),
+                                   "low": len(image.low_dict)},
+            "composition": image.stats.fractions(),
+        })
+
+    async def _handle_sweep_cell(self, payload):
+        spec = protocol.decode_json_payload(payload)
+        if not isinstance(spec, dict):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "sweep_cell payload must be an object")
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(None, self._sweep_cell_sync,
+                                            spec)
+        return protocol.encode_json_payload(result)
+
+    def _sweep_cell_sync(self, spec):
+        from repro.eval.sweep import ResultCache, cell_key
+        from repro.sim.config import (
+            ARCH_1_ISSUE,
+            ARCH_4_ISSUE,
+            ARCH_8_ISSUE,
+            CodePackConfig,
+        )
+        from repro.sim.machine import simulate
+        from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+        arches = {"1-issue": ARCH_1_ISSUE, "4-issue": ARCH_4_ISSUE,
+                  "8-issue": ARCH_8_ISSUE}
+        bench = spec.get("benchmark")
+        if bench not in BENCHMARK_NAMES:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "unknown benchmark %r (choose from %s)"
+                                % (bench, ", ".join(BENCHMARK_NAMES)))
+        arch_name = spec.get("arch", "4-issue")
+        if arch_name not in arches:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "unknown arch %r (choose from %s)"
+                                % (arch_name, ", ".join(sorted(arches))))
+        arch = arches[arch_name]
+        codepack = None
+        if spec.get("codepack", False):
+            codepack = (CodePackConfig.optimized()
+                        if spec.get("optimized", False)
+                        else CodePackConfig())
+        try:
+            scale = float(spec.get("scale", 0.1))
+            max_instructions = int(spec.get("max_instructions", 5_000_000))
+        except (TypeError, ValueError):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "scale/max_instructions must be numeric")
+        if not 0.0 < scale <= 10.0 or max_instructions < 1:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "scale or max_instructions out of range")
+
+        key = cell_key(bench, arch, codepack, scale, max_instructions)
+        cache = self._sweep_result_cache(ResultCache)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return {"cached": True, "key": key,
+                        "result": cached.to_dict()}
+        program = build_benchmark(bench, scale)
+        image = None
+        if codepack is not None:
+            from repro.codepack.compressor import compress_program
+            image = compress_program(program)
+        result = simulate(program, arch, codepack=codepack, image=image,
+                          max_instructions=max_instructions)
+        if cache is not None:
+            cache.put(key, result)
+        return {"cached": False, "key": key, "result": result.to_dict()}
+
+    def _sweep_result_cache(self, result_cache_cls):
+        if not self.config.sweep_cache:
+            return None
+        if self._sweep_cache is None:
+            # Root resolution honours $REPRO_CACHE_DIR (see
+            # repro.eval.sweep.default_cache_dir) unless the config
+            # pins an explicit directory.
+            self._sweep_cache = result_cache_cls(
+                root=self.config.sweep_cache_dir)
+        return self._sweep_cache
+
+    # -- writing -------------------------------------------------------------
+
+    async def _send(self, conn, ftype, request_id, payload):
+        frame = protocol.encode_frame(ftype, request_id, payload,
+                                      max_frame=self.config.max_frame)
+        async with conn.write_lock:
+            try:
+                conn.writer.write(frame)
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                pass  # client went away; its response is undeliverable
+
+    async def _send_error(self, conn, request_id, error):
+        await self._send(conn, protocol.RESP_ERROR, request_id,
+                         protocol.encode_error(error.code, error.message))

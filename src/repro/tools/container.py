@@ -86,8 +86,8 @@ def _check_header(reader, magic):
 
 # -- programs ---------------------------------------------------------------
 
-def save_program(path, program):
-    """Serialize a :class:`Program` to *path*."""
+def dump_program(program):
+    """Serialize a :class:`Program` to container bytes."""
     out = [PROGRAM_MAGIC, struct.pack("<I", FORMAT_VERSION)]
     out.append(struct.pack("<III", program.text_base, program.entry,
                            len(program.text)))
@@ -102,25 +102,35 @@ def save_program(path, program):
     name = program.name.encode("utf-8")
     out.append(struct.pack("<I", len(name)))
     out.append(name)
+    return b"".join(out)
+
+
+def save_program(path, program):
+    """Serialize a :class:`Program` to *path*."""
     with open(path, "wb") as handle:
-        handle.write(b"".join(out))
+        handle.write(dump_program(program))
+
+
+def parse_program(data):
+    """Load a :class:`Program` from :func:`dump_program` bytes."""
+    reader = _Reader(data)
+    _check_header(reader, PROGRAM_MAGIC)
+    text_base, entry, n_words = (reader.u32(), reader.u32(), reader.u32())
+    words = list(struct.unpack("<%dI" % n_words, reader.take(4 * n_words)))
+    data_bytes = {}
+    for _ in range(reader.u32()):
+        addr = reader.u32()
+        data_bytes[addr] = reader.u8()
+    symbols = json.loads(reader.take(reader.u32()).decode("utf-8"))
+    name = reader.take(reader.u32()).decode("utf-8")
+    return Program(text=words, text_base=text_base, data=data_bytes,
+                   symbols=symbols, entry=entry, name=name)
 
 
 def load_program(path):
     """Load a :class:`Program` written by :func:`save_program`."""
     with open(path, "rb") as handle:
-        reader = _Reader(handle.read())
-    _check_header(reader, PROGRAM_MAGIC)
-    text_base, entry, n_words = (reader.u32(), reader.u32(), reader.u32())
-    words = list(struct.unpack("<%dI" % n_words, reader.take(4 * n_words)))
-    data = {}
-    for _ in range(reader.u32()):
-        addr = reader.u32()
-        data[addr] = reader.u8()
-    symbols = json.loads(reader.take(reader.u32()).decode("utf-8"))
-    name = reader.take(reader.u32()).decode("utf-8")
-    return Program(text=words, text_base=text_base, data=data,
-                   symbols=symbols, entry=entry, name=name)
+        return parse_program(handle.read())
 
 
 # -- CodePack images -----------------------------------------------------------
@@ -130,8 +140,13 @@ _STATS_FIELDS = ("index_table_bits", "dictionary_bits",
                  "raw_tag_bits", "raw_bits", "pad_bits")
 
 
-def save_image(path, image):
-    """Serialize a :class:`CodePackImage` to *path*."""
+def dump_image(image):
+    """Serialize a :class:`CodePackImage` to container bytes.
+
+    The serialization is canonical: a given image always produces the
+    same bytes, which is what lets the serving layer identify images by
+    a digest of this encoding.
+    """
     out = [IMAGE_MAGIC, struct.pack("<I", FORMAT_VERSION)]
     out.append(struct.pack("<III", image.text_base, image.n_instructions,
                            image.original_bytes))
@@ -158,14 +173,18 @@ def save_image(path, image):
     name = image.name.encode("utf-8")
     out.append(struct.pack("<I", len(name)))
     out.append(name)
+    return b"".join(out)
+
+
+def save_image(path, image):
+    """Serialize a :class:`CodePackImage` to *path*."""
     with open(path, "wb") as handle:
-        handle.write(b"".join(out))
+        handle.write(dump_image(image))
 
 
-def load_image(path):
-    """Load a :class:`CodePackImage` written by :func:`save_image`."""
-    with open(path, "rb") as handle:
-        reader = _Reader(handle.read())
+def parse_image(data):
+    """Load a :class:`CodePackImage` from :func:`dump_image` bytes."""
+    reader = _Reader(data)
     _check_header(reader, IMAGE_MAGIC)
     text_base, n_instructions, original = (reader.u32(), reader.u32(),
                                            reader.u32())
@@ -197,3 +216,9 @@ def load_image(path):
         index_entries=index_entries, code_bytes=code_bytes, blocks=blocks,
         stats=stats, original_bytes=original,
         block_instructions=block_instructions, group_blocks=group_blocks)
+
+
+def load_image(path):
+    """Load a :class:`CodePackImage` written by :func:`save_image`."""
+    with open(path, "rb") as handle:
+        return parse_image(handle.read())

@@ -1,0 +1,185 @@
+"""``python -m repro.tools.serve`` -- run or benchmark the CodePack server.
+
+Subcommands::
+
+    serve                       run a server until interrupted
+    bench                       loadgen: self-hosted A/B compare, or
+                                --connect HOST:PORT for a running server
+
+Examples::
+
+    python -m repro.tools.serve serve --port 7633 --batch-window-ms 2
+    python -m repro.tools.serve bench --requests 600 -o BENCH_serve.json
+    python -m repro.tools.serve bench --connect 127.0.0.1:7633 --mode open
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    run_compare,
+    run_load,
+)
+from repro.serve.server import CodePackServer, ServerConfig
+
+
+def _server_config(args):
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        group_cache_entries=args.group_cache,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        workers=args.workers,
+    )
+
+
+def _add_server_options(parser):
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7633,
+                        help="listen port (0 = ephemeral; default 7633)")
+    parser.add_argument("--batch-window-ms", type=float, default=2.0,
+                        help="micro-batch coalescing window in ms "
+                             "(0 disables batching; default 2)")
+    parser.add_argument("--max-batch", type=int, default=128,
+                        help="max group decodes per pool call")
+    parser.add_argument("--group-cache", type=int, default=4096,
+                        help="LRU entries of decoded groups "
+                             "(0 disables; default 4096)")
+    parser.add_argument("--queue-limit", type=int, default=256,
+                        help="admitted requests before 'overloaded' "
+                             "errors (default 256)")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="codec executor threads")
+
+
+def _cmd_serve(args):
+    config = _server_config(args)
+
+    async def main():
+        server = await CodePackServer(config).start()
+        print("repro.serve listening on %s:%d "
+              "(window %.1fms, cache %d groups, queue limit %d)"
+              % (config.host, server.port, config.batch_window * 1000.0,
+                 config.group_cache_entries, config.queue_limit))
+        sys.stdout.flush()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining...")
+            await server.shutdown()
+            print("shutdown complete")
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _loadgen_config(args, host, port):
+    return LoadgenConfig(
+        host=host, port=port, mode=args.mode,
+        connections=args.connections, pipeline=args.pipeline,
+        requests=args.requests, rate=args.rate, span=args.span,
+        working_set=args.working_set, skew=args.skew,
+        benchmark=args.benchmark, scale=args.scale, seed=args.seed)
+
+
+def _print_report(label, report):
+    latency = report["latency_ms"]
+    print("%-10s %6d ok %4d err  %8.0f req/s  %9.0f words/s  "
+          "p50 %6.2fms  p99 %6.2fms"
+          % (label, report["completed"],
+             sum(report["errors"].values()), report["throughput_rps"],
+             report["words_per_second"], latency["p50"], latency["p99"]))
+
+
+def _cmd_bench(args):
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        loadgen = _loadgen_config(args, host or "127.0.0.1", int(port))
+
+        async def main():
+            return await run_load(loadgen)
+
+        report = asyncio.run(main())
+        _print_report("loadgen", report)
+        result = {"bench": "serve", "mode": "external",
+                  "report": report}
+    else:
+        loadgen = _loadgen_config(args, "127.0.0.1", 0)
+        server_config = _server_config(args)
+        server_config.port = 0
+        if server_config.batch_window <= 0:
+            print("bench compare needs --batch-window-ms > 0",
+                  file=sys.stderr)
+            return 2
+        result = asyncio.run(run_compare(loadgen=loadgen,
+                                         server_config=server_config))
+        _print_report("unbatched", result["unbatched"])
+        _print_report("batched", result["batched"])
+        print("speedup: %.2fx (micro-batching + group cache vs "
+              "window 0)" % result["speedup"])
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print("wrote %s" % args.output)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.serve",
+        description="Batched, backpressured CodePack compression "
+                    "service and load generator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a server until interrupted")
+    _add_server_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser("bench",
+                           help="drive a workload; by default compares "
+                                "batched vs unbatched in-process servers")
+    _add_server_options(bench)
+    bench.add_argument("--connect", metavar="HOST:PORT", default=None,
+                       help="drive an already-running server instead of "
+                            "self-hosting the A/B compare")
+    bench.add_argument("--mode", choices=("closed", "open"),
+                       default="closed")
+    bench.add_argument("--connections", type=int, default=4)
+    bench.add_argument("--pipeline", type=int, default=4)
+    bench.add_argument("--requests", type=int, default=600)
+    bench.add_argument("--rate", type=float, default=400.0,
+                       help="open-loop arrivals per second")
+    bench.add_argument("--span", type=int, default=16,
+                       help="compression groups per decompress request")
+    bench.add_argument("--working-set", type=int, default=24,
+                       help="distinct spans in the workload")
+    bench.add_argument("--skew", type=float, default=1.1,
+                       help="Zipf popularity exponent (0 = uniform)")
+    bench.add_argument("--benchmark", default="pegwit")
+    bench.add_argument("--scale", type=float, default=0.05)
+    bench.add_argument("--seed", type=int, default=1234)
+    bench.add_argument("-o", "--output", default=None,
+                       metavar="PATH", help="write the JSON report here")
+    bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,3 +100,60 @@ class TestDecompressMany:
         image.n_instructions += 1  # corrupt the declared count
         with pytest.raises(DecompressionError):
             decompress_many([image])
+
+
+class TestInjectedExecutor:
+    """The reusable-executor path: callers (the serving layer) own one
+    pool; the batch API must use it instead of spawning its own."""
+
+    def test_map_uses_injected_executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        submitted = []
+
+        class SpyExecutor(ThreadPoolExecutor):
+            def map(self, fn, *iterables, **kwargs):
+                submitted.append(fn)
+                return super().map(fn, *iterables, **kwargs)
+
+        with SpyExecutor(max_workers=2) as pool:
+            out = _map_maybe_parallel(lambda x: x + 1, [1, 2, 3],
+                                      max_workers=None, executor=pool)
+        assert out == [2, 3, 4]
+        assert len(submitted) == 1
+
+    def test_single_item_skips_executor(self):
+        class Unusable:
+            def map(self, *args, **kwargs):
+                raise AssertionError("must not be used for one item")
+
+        assert _map_maybe_parallel(lambda x: x * 3, [5], max_workers=None,
+                                   executor=Unusable()) == [15]
+
+    def test_dead_executor_falls_back_to_sequential(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(max_workers=1)
+        pool.shutdown(wait=True)
+        assert _map_maybe_parallel(lambda x: x - 1, [4, 5],
+                                   max_workers=None, executor=pool) \
+            == [3, 4]
+
+    def test_compress_words_parallel_bit_identical(self, fuzz_programs):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            for program in fuzz_programs[:4]:
+                injected = compress_words_parallel(
+                    program.text, name=program.name, executor=pool)
+                assert _image_key(injected) == _image_key(
+                    compress_words(program.text, name=program.name))
+
+    def test_compress_and_decompress_many_share_pool(self, fuzz_programs):
+        from concurrent.futures import ThreadPoolExecutor
+
+        programs = fuzz_programs[:4]
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            images = compress_many(programs, executor=pool)
+            decoded = decompress_many(images, executor=pool)
+        assert decoded == [list(p.text) for p in programs]

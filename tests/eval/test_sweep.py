@@ -324,3 +324,39 @@ class TestParallelPrefetch:
         for cell, result in results.items():
             bench, arch, cp = cell
             assert result == wb.run(bench, arch, cp)
+
+
+class TestCacheDirEnvOverride:
+    """$REPRO_CACHE_DIR moves the default cache root; an explicit
+    ``root`` (the CLI flag path) still wins."""
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert sweep.default_cache_dir() == sweep.DEFAULT_CACHE_DIR
+
+    def test_env_overrides_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert sweep.default_cache_dir() == str(tmp_path / "env-cache")
+
+    def test_empty_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert sweep.default_cache_dir() == sweep.DEFAULT_CACHE_DIR
+
+    def test_result_cache_honours_env(self, monkeypatch, tmp_path):
+        root = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        cache = ResultCache()
+        assert cache.root == str(root)
+        assert root.is_dir()  # created eagerly
+        cache.put("cell", make_result())
+        assert (root / "cell.json").is_file()
+        assert ResultCache().get("cell") is not None
+
+    def test_explicit_root_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        explicit = tmp_path / "explicit"
+        cache = ResultCache(root=str(explicit))
+        assert cache.root == str(explicit)
+        cache.put("cell", make_result())
+        assert (explicit / "cell.json").is_file()
+        assert not (tmp_path / "env-cache" / "cell.json").exists()

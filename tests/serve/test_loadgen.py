@@ -1,0 +1,117 @@
+"""Load-generator tests: span planning, report shape, a tiny real run."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    _plan_spans,
+    run_compare,
+    run_load,
+)
+from repro.serve.server import CodePackServer, ServerConfig
+
+
+class TestPlanSpans:
+    def test_deterministic_for_seed(self):
+        config = LoadgenConfig(requests=50, seed=9)
+        assert _plan_spans(config, 40) == _plan_spans(config, 40)
+        other = LoadgenConfig(requests=50, seed=10)
+        assert _plan_spans(other, 40) != _plan_spans(config, 40)
+
+    def test_spans_stay_in_bounds(self):
+        config = LoadgenConfig(requests=200, span=16, working_set=64,
+                               seed=3)
+        for n_groups in (1, 2, 5, 17, 100):
+            for start, count in _plan_spans(config, n_groups):
+                assert count >= 1
+                assert 0 <= start
+                assert start + count <= n_groups
+
+    def test_skew_concentrates_popularity(self):
+        config = LoadgenConfig(requests=2000, span=2, working_set=16,
+                               skew=1.5, seed=4)
+        plan = _plan_spans(config, 64)
+        counts = {}
+        for span in plan:
+            counts[span] = counts.get(span, 0) + 1
+        top = max(counts.values())
+        # Zipf 1.5 over 16 ranks: the hottest span takes far more than
+        # a uniform 1/16 share.
+        assert top / len(plan) > 2.0 / 16.0
+
+
+class TestRunLoad:
+    def test_closed_loop_report(self):
+        loadgen = LoadgenConfig(mode="closed", connections=2, pipeline=2,
+                                requests=40, span=4, working_set=8,
+                                scale=0.02, seed=7)
+
+        async def main():
+            server = CodePackServer(ServerConfig(port=0,
+                                                 batch_window=0.002))
+            await server.start()
+            try:
+                from dataclasses import replace
+                return await run_load(replace(loadgen, port=server.port))
+            finally:
+                await server.shutdown()
+
+        report = asyncio.run(main())
+        assert report["completed"] == 40
+        assert report["errors"] == {}
+        assert report["throughput_rps"] > 0
+        assert report["words_returned"] > 0
+        latency = report["latency_ms"]
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+        assert report["workload"]["n_groups"] >= 1
+        # Server-side metrics ride along in the report.
+        server_metrics = report["server_metrics"]
+        assert server_metrics["responses"]["decompress"] == 40
+        assert server_metrics["batch"]["batches"] >= 1
+
+    def test_open_loop_report(self):
+        loadgen = LoadgenConfig(mode="open", connections=2, requests=30,
+                                rate=600.0, span=4, working_set=8,
+                                scale=0.02, seed=8)
+
+        async def main():
+            server = CodePackServer(ServerConfig(port=0,
+                                                 batch_window=0.002))
+            await server.start()
+            try:
+                from dataclasses import replace
+                return await run_load(replace(loadgen, port=server.port))
+            finally:
+                await server.shutdown()
+
+        report = asyncio.run(main())
+        assert report["completed"] == 30
+        # 30 arrivals at 600/s take at least ~50ms of schedule.
+        assert report["wall_seconds"] >= 0.03
+
+
+class TestRunCompare:
+    def test_compare_report_and_output(self, tmp_path):
+        loadgen = LoadgenConfig(connections=2, pipeline=2, requests=30,
+                                span=4, working_set=6, scale=0.02,
+                                seed=5)
+        server_config = ServerConfig(batch_window=0.002)
+        out = tmp_path / "BENCH_serve.json"
+
+        result = asyncio.run(run_compare(loadgen=loadgen,
+                                         server_config=server_config,
+                                         output=str(out)))
+        assert result["bench"] == "serve"
+        assert result["batched"]["completed"] == 30
+        assert result["unbatched"]["completed"] == 30
+        assert result["speedup"] > 0
+        on_disk = json.loads(out.read_text())
+        assert on_disk["speedup"] == pytest.approx(result["speedup"])
+
+    def test_compare_requires_batching_enabled(self):
+        with pytest.raises(ValueError):
+            asyncio.run(run_compare(
+                server_config=ServerConfig(batch_window=0.0)))

@@ -1,0 +1,90 @@
+"""Metrics registry: percentile math, qps windows, batch occupancy."""
+
+import pytest
+
+from repro.serve.metrics import MetricsRegistry, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 0.0) == 1
+        assert percentile(samples, 0.50) == 51
+        assert percentile(samples, 0.99) == 99
+        assert percentile(samples, 1.0) == 100
+
+    def test_order_independent(self):
+        assert percentile([5, 1, 3, 2, 4], 0.5) == 3
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.record_request("decompress")
+        registry.record_request("decompress")
+        registry.record_response("decompress", 0.001)
+        registry.record_error("malformed")
+        registry.record_rejected()
+        snap = registry.snapshot()
+        assert snap["requests"]["decompress"] == 2
+        assert snap["responses"]["decompress"] == 1
+        assert snap["errors"]["malformed"] == 1
+        assert snap["rejected"] == 1
+
+    def test_latency_summary_ms(self):
+        registry = MetricsRegistry()
+        for seconds in (0.001, 0.002, 0.003, 0.004, 0.100):
+            registry.record_response("decompress", seconds)
+        summary = registry.latency_summary()
+        assert summary["count"] == 5
+        assert summary["p50_ms"] == pytest.approx(3.0)
+        assert summary["p99_ms"] == pytest.approx(100.0)
+        assert summary["max_ms"] == pytest.approx(100.0)
+        assert summary["mean_ms"] == pytest.approx(22.0)
+
+    def test_qps_window(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        for _ in range(20):
+            clock.now += 0.5
+            registry.record_response("decompress", 0.001)
+        # 20 completions over 10 seconds, window covers all of them.
+        assert registry.qps(window=100.0) == pytest.approx(2.0, rel=0.15)
+        # Nothing completes in the next 50s: windowed qps decays to zero.
+        clock.now += 50.0
+        assert registry.qps(window=10.0) == 0.0
+        assert registry.lifetime_qps() > 0.0
+
+    def test_batch_occupancy(self):
+        registry = MetricsRegistry()
+        registry.record_batch(10, 4)
+        registry.record_batch(2, 2)
+        summary = registry.batch_summary()
+        assert summary["batches"] == 2
+        assert summary["occupancy"] == pytest.approx(6.0)
+        assert summary["groups_per_batch"] == pytest.approx(3.0)
+
+    def test_gauges_sampled_at_snapshot(self):
+        registry = MetricsRegistry()
+        value = {"depth": 3}
+        registry.register_gauge("queue_depth", lambda: value["depth"])
+        registry.register_gauge("broken", lambda: 1 / 0)
+        snap = registry.snapshot()
+        assert snap["gauges"]["queue_depth"] == 3
+        assert snap["gauges"]["broken"] is None
+        value["depth"] = 9
+        assert registry.snapshot()["gauges"]["queue_depth"] == 9

@@ -1,0 +1,206 @@
+"""Wire-protocol tests: Hypothesis round-trips plus adversarial frames.
+
+The round-trip properties pin the frame envelope and every payload
+codec; the adversarial cases check that *any* malformed input surfaces
+as a typed :class:`ProtocolError` (never a struct.error, never a hang,
+never an unbounded buffer).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ERR_MALFORMED,
+    ERR_TOO_LARGE,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+)
+
+words_lists = st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                       max_size=200)
+digests = st.binary(min_size=protocol.DIGEST_BYTES,
+                    max_size=protocol.DIGEST_BYTES)
+request_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+frame_types = st.integers(min_value=0, max_value=0xFF)
+
+
+class TestFrameRoundTrip:
+    @given(ftype=frame_types, request_id=request_ids,
+           payload=st.binary(max_size=512))
+    @settings(max_examples=200)
+    def test_encode_decode_identity(self, ftype, request_id, payload):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(ftype, request_id, payload))
+        frame = decoder.next_frame()
+        assert frame == Frame(ftype, request_id, payload)
+        assert decoder.next_frame() is None
+        assert decoder.pending_bytes == 0
+
+    @given(frames=st.lists(st.tuples(frame_types, request_ids,
+                                     st.binary(max_size=64)),
+                           min_size=1, max_size=10),
+           chunk=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=100)
+    def test_stream_reassembly_any_chunking(self, frames, chunk):
+        """Concatenated frames split at arbitrary byte boundaries decode
+        to exactly the original frame sequence."""
+        stream = b"".join(encode_frame(t, r, p) for t, r, p in frames)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(stream), chunk):
+            decoder.feed(stream[start:start + chunk])
+            while True:
+                frame = decoder.next_frame()
+                if frame is None:
+                    break
+                out.append((frame.type, frame.request_id, frame.payload))
+        assert out == frames
+
+    @given(request_id=st.integers())
+    def test_bad_request_id_rejected(self, request_id):
+        if 0 <= request_id <= 0xFFFFFFFF:
+            encode_frame(0x01, request_id)
+        else:
+            with pytest.raises(ProtocolError):
+                encode_frame(0x01, request_id)
+
+
+class TestPayloadRoundTrips:
+    @given(words=words_lists,
+           text_base=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           name=st.text(max_size=40))
+    @settings(max_examples=150)
+    def test_compress_request(self, words, text_base, name):
+        payload = protocol.encode_compress_request(words, text_base, name)
+        assert protocol.decode_compress_request(payload) \
+            == (words, text_base, name)
+
+    @given(digest=digests, blob=st.binary(max_size=300))
+    def test_compress_response(self, digest, blob):
+        payload = protocol.encode_compress_response(digest, blob)
+        assert protocol.decode_compress_response(payload) == (digest, blob)
+
+    @given(digest=digests,
+           start=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           count=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decompress_request_by_digest(self, digest, start, count):
+        payload = protocol.encode_decompress_request(
+            digest=digest, group_start=start, group_count=count)
+        assert protocol.decode_decompress_request(payload) \
+            == (digest, None, start, count)
+
+    @given(blob=st.binary(max_size=300),
+           start=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decompress_request_inline(self, blob, start):
+        payload = protocol.encode_decompress_request(
+            image_bytes=blob, group_start=start, group_count=2)
+        assert protocol.decode_decompress_request(payload) \
+            == (None, blob, start, 2)
+
+    @given(digest=digests, start=st.integers(min_value=0,
+                                             max_value=0xFFFFFFFF),
+           words=words_lists)
+    @settings(max_examples=150)
+    def test_decompress_response(self, digest, start, words):
+        payload = protocol.encode_decompress_response(digest, start, words)
+        assert protocol.decode_decompress_response(payload) \
+            == (digest, start, words)
+
+    @given(code=st.integers(min_value=0, max_value=0xFFFF),
+           message=st.text(max_size=80))
+    def test_error_frame(self, code, message):
+        payload = protocol.encode_error(code, message)
+        got_code, got_message = protocol.decode_error(payload)
+        assert got_code == code
+        assert got_message == message
+
+    @given(obj=st.recursive(
+        st.none() | st.booleans()
+        | st.integers(min_value=-2**31, max_value=2**31)
+        | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=20))
+    def test_json_payload(self, obj):
+        assert protocol.decode_json_payload(
+            protocol.encode_json_payload(obj)) == obj
+
+    def test_decompress_request_requires_one_source(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_decompress_request()
+        with pytest.raises(ProtocolError):
+            protocol.encode_decompress_request(digest=b"\0" * 32,
+                                               image_bytes=b"xx")
+
+
+class TestAdversarialFrames:
+    def test_oversized_length_prefix_rejected(self):
+        decoder = FrameDecoder(max_frame=1024)
+        decoder.feed(b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError) as excinfo:
+            decoder.next_frame()
+        assert excinfo.value.code == ERR_TOO_LARGE
+
+    def test_undersized_length_prefix_rejected(self):
+        # length < envelope can never hold type + request id.
+        decoder = FrameDecoder()
+        decoder.feed(b"\x03\x00\x00\x00abc")
+        with pytest.raises(ProtocolError) as excinfo:
+            decoder.next_frame()
+        assert excinfo.value.code == ERR_MALFORMED
+
+    def test_truncated_frame_is_incomplete_not_error(self):
+        frame = encode_frame(0x01, 7, b"payload")
+        decoder = FrameDecoder()
+        decoder.feed(frame[:-3])
+        assert decoder.next_frame() is None  # waiting, not crashing
+        decoder.feed(frame[-3:])
+        assert decoder.next_frame() == Frame(0x01, 7, b"payload")
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_frame(0x01, 1, b"x" * 100, max_frame=50)
+        assert excinfo.value.code == ERR_TOO_LARGE
+
+    @given(junk=st.binary(max_size=64))
+    @settings(max_examples=200)
+    def test_arbitrary_junk_never_raises_anything_else(self, junk):
+        """Any byte soup either parses, waits for more, or raises a
+        typed ProtocolError -- nothing else."""
+        decoder = FrameDecoder(max_frame=4096)
+        decoder.feed(junk)
+        try:
+            while decoder.next_frame() is not None:
+                pass
+        except ProtocolError:
+            pass
+
+    @given(payload=st.binary(max_size=64))
+    @settings(max_examples=200)
+    def test_payload_codecs_reject_junk_typed(self, payload):
+        """Every decoder refuses arbitrary payloads with ProtocolError,
+        or parses them -- never an unhandled struct/index error."""
+        decoders = (
+            protocol.decode_compress_request,
+            protocol.decode_compress_response,
+            protocol.decode_decompress_request,
+            protocol.decode_decompress_response,
+            protocol.decode_stats_request,
+            protocol.decode_error,
+            protocol.decode_json_payload,
+        )
+        for decode in decoders:
+            try:
+                decode(payload)
+            except ProtocolError:
+                pass
+
+    def test_trailing_garbage_rejected(self):
+        good = protocol.encode_stats_request(b"\x11" * 32)
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_stats_request(good + b"extra")
+        assert excinfo.value.code == ERR_MALFORMED

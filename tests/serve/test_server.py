@@ -1,0 +1,416 @@
+"""End-to-end server tests over real sockets.
+
+Covers the acceptance contract: round trips, non-trivial metrics,
+the adversarial protocol suite (server answers with typed error frames
+and keeps serving), backpressure, deadlines, and graceful shutdown
+completing admitted requests.
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.codepack.compressor import compress_words
+from repro.codepack.decompressor import decompress_program
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServerClosedError
+from repro.serve.protocol import FrameDecoder, ProtocolError
+from repro.serve.server import CodePackServer, ServerConfig
+from repro.tools.container import dump_image
+
+from tests.conftest import random_word_program
+
+#: A 400-word program spans ~13 compression groups -- enough for
+#: interesting spans while keeping each test fast.
+PROGRAM = random_word_program(11, size=400, kind="workload")
+EXPECTED_WORDS = decompress_program(
+    compress_words(PROGRAM.text, name=PROGRAM.name))
+
+
+@contextlib.asynccontextmanager
+async def running_server(**overrides):
+    overrides.setdefault("port", 0)
+    server = CodePackServer(ServerConfig(**overrides))
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.shutdown()
+
+
+@contextlib.asynccontextmanager
+async def connected(server):
+    client = ServeClient(port=server.port)
+    await client.connect()
+    try:
+        yield client
+    finally:
+        await client.close()
+
+
+async def raw_exchange(port, data):
+    """Write raw bytes; return whatever the server sends before EOF."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(data)
+    await writer.drain()
+    received = b""
+    while True:
+        chunk = await asyncio.wait_for(reader.read(65536), timeout=5.0)
+        if not chunk:
+            break
+        received += chunk
+    writer.close()
+    with contextlib.suppress(Exception):
+        await writer.wait_closed()
+    return received
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRoundTrips:
+    def test_ping(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    assert await client.ping(timeout=5.0)
+
+        run(main())
+
+    def test_compress_then_decompress_by_digest(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    assert len(digest) == protocol.DIGEST_BYTES
+                    words = await client.decompress(digest=digest,
+                                                    timeout=30.0)
+            return blob, words
+
+        blob, words = run(main())
+        assert words == EXPECTED_WORDS
+        # The returned blob is the canonical container: same digest
+        # as a local compression of the same words.
+        image = compress_words(PROGRAM.text, name=PROGRAM.name)
+        assert blob == dump_image(image)
+
+    def test_decompress_inline_image(self):
+        image = compress_words(PROGRAM.text, name=PROGRAM.name)
+        blob = dump_image(image)
+        per_group = image.block_instructions * image.group_blocks
+
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    return await client.decompress(image_bytes=blob,
+                                                   group_start=2,
+                                                   group_count=3,
+                                                   timeout=30.0)
+
+        words = run(main())
+        assert words == EXPECTED_WORDS[2 * per_group:5 * per_group]
+
+    def test_stats(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    digest, _blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    return await client.stats(digest, timeout=30.0)
+
+        stats = run(main())
+        image = compress_words(PROGRAM.text, name=PROGRAM.name)
+        assert stats["n_instructions"] == len(PROGRAM.text)
+        assert stats["n_groups"] == image.n_groups
+        assert stats["compression_ratio"] == \
+            pytest.approx(image.compression_ratio)
+        assert stats["dictionary_entries"]["high"] == len(image.high_dict)
+        assert 0.0 < sum(stats["composition"].values()) <= 1.001
+
+    def test_unknown_digest_not_found(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    with pytest.raises(ProtocolError) as excinfo:
+                        await client.decompress(digest=b"\x01" * 32,
+                                                timeout=5.0)
+                    assert excinfo.value.code == protocol.ERR_NOT_FOUND
+                    with pytest.raises(ProtocolError) as excinfo:
+                        await client.stats(b"\x02" * 32, timeout=5.0)
+                    assert excinfo.value.code == protocol.ERR_NOT_FOUND
+
+        run(main())
+
+
+class TestMetricsEndpoint:
+    def test_metrics_nontrivial_after_traffic(self):
+        """qps, latency percentiles, batch occupancy, cache hit rate and
+        queue depth are all present and reflect the traffic served."""
+
+        async def main():
+            async with running_server(batch_window=0.01,
+                                      queue_limit=64) as server:
+                async with connected(server) as client:
+                    digest, _ = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    # Eight concurrent identical spans: coalesced into
+                    # few batches (occupancy > 1), then repeated
+                    # sequentially to generate cache hits.
+                    await asyncio.gather(*[
+                        client.decompress(digest=digest, group_start=0,
+                                          group_count=4, timeout=30.0)
+                        for _ in range(8)])
+                    for _ in range(4):
+                        await client.decompress(digest=digest,
+                                                group_start=0,
+                                                group_count=4,
+                                                timeout=30.0)
+                    return await client.metrics(timeout=30.0)
+
+        snap = run(main())
+        assert snap["requests"]["compress"] == 1
+        assert snap["requests"]["decompress"] == 12
+        assert snap["responses"]["decompress"] == 12
+        assert snap["qps"]["lifetime"] > 0.0
+        assert snap["qps"]["window"] > 0.0
+
+        latency = snap["latency"]
+        assert latency["count"] == 13  # compress + 12 decompress
+        assert 0.0 < latency["p50_ms"] <= latency["p99_ms"] \
+            <= latency["max_ms"]
+
+        batch = snap["batch"]
+        assert batch["batches"] >= 1
+        # Eight coalesced requests over few batches: real merging.
+        assert batch["occupancy"] > 1.0
+
+        cache = snap["gauges"]["cache"]
+        assert cache["hits"] >= 16  # 4 repeat spans x 4 groups
+        assert 0.0 < cache["hit_rate"] <= 1.0
+
+        # The metrics request itself is the only one in flight.
+        assert snap["gauges"]["queue_depth"] == 1
+        assert snap["gauges"]["queue_limit"] == 64
+        assert snap["gauges"]["queue_peak"] >= 8
+        assert snap["gauges"]["images"] == 1
+
+    def test_metrics_on_idle_server(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    return await client.metrics(timeout=5.0)
+
+        snap = run(main())
+        assert snap["latency"]["count"] == 0
+        assert snap["qps"]["window"] == 0.0
+        assert snap["batch"]["occupancy"] == 0.0
+
+
+class TestAdversarial:
+    """Malformed/oversized/unknown input gets typed error frames and the
+    server keeps serving -- the acceptance criterion, end to end."""
+
+    def _decode_error_frames(self, received):
+        decoder = FrameDecoder()
+        decoder.feed(received)
+        frames = []
+        while True:
+            frame = decoder.next_frame()
+            if frame is None:
+                break
+            frames.append(frame)
+        return frames
+
+    def test_oversized_length_prefix_closes_with_error(self):
+        async def main():
+            async with running_server(max_frame=4096) as server:
+                received = await raw_exchange(server.port,
+                                              b"\xff\xff\xff\xff")
+                # ...and the server still answers a fresh connection.
+                async with connected(server) as client:
+                    alive = await client.ping(timeout=5.0)
+            return received, alive
+
+        received, alive = run(main())
+        frames = self._decode_error_frames(received)
+        assert len(frames) == 1
+        assert frames[0].type == protocol.RESP_ERROR
+        code, _message = protocol.decode_error(frames[0].payload)
+        assert code == protocol.ERR_TOO_LARGE
+        assert alive
+
+    def test_undersized_length_prefix_closes_with_error(self):
+        async def main():
+            async with running_server() as server:
+                received = await raw_exchange(server.port,
+                                              b"\x02\x00\x00\x00ab")
+                async with connected(server) as client:
+                    alive = await client.ping(timeout=5.0)
+            return received, alive
+
+        received, alive = run(main())
+        frames = self._decode_error_frames(received)
+        code, _message = protocol.decode_error(frames[0].payload)
+        assert code == protocol.ERR_MALFORMED
+        assert alive
+
+    def test_unknown_request_type_keeps_connection(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    with pytest.raises(ProtocolError) as excinfo:
+                        await client.request(0x55, b"junk", timeout=5.0)
+                    assert excinfo.value.code == protocol.ERR_UNKNOWN_TYPE
+                    # Same connection still serves real requests.
+                    assert await client.ping(timeout=5.0)
+
+        run(main())
+
+    def test_malformed_payload_keeps_connection(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    with pytest.raises(ProtocolError) as excinfo:
+                        await client.request(protocol.REQ_DECOMPRESS,
+                                             b"\x07\x01", timeout=5.0)
+                    assert excinfo.value.code == protocol.ERR_MALFORMED
+                    assert await client.ping(timeout=5.0)
+
+        run(main())
+
+    def test_errors_are_counted(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    for _ in range(3):
+                        with pytest.raises(ProtocolError):
+                            await client.request(protocol.REQ_DECOMPRESS,
+                                                 b"zz", timeout=5.0)
+                    return await client.metrics(timeout=5.0)
+
+        snap = run(main())
+        assert snap["errors"]["malformed"] == 3
+
+
+def _slow_dispatch(server, delay):
+    """Wrap the server's dispatch with a sleep (deadline/drain tests)."""
+    real = server._dispatch
+
+    async def slow(frame):
+        await asyncio.sleep(delay)
+        return await real(frame)
+
+    server._dispatch = slow
+
+
+class TestDeadlinesAndBackpressure:
+    def test_deadline_returns_timeout_error(self):
+        async def main():
+            async with running_server(request_timeout=0.05) as server:
+                async with connected(server) as client:
+                    _slow_dispatch(server, 0.5)
+                    with pytest.raises(ProtocolError) as excinfo:
+                        await client.ping(timeout=5.0)
+                    assert excinfo.value.code == protocol.ERR_TIMEOUT
+
+        run(main())
+
+    def test_overload_rejected_with_typed_error(self):
+        async def main():
+            async with running_server(queue_limit=1) as server:
+                async with connected(server) as client:
+                    _slow_dispatch(server, 0.3)
+                    results = await asyncio.gather(
+                        *[client.ping(timeout=5.0) for _ in range(5)],
+                        return_exceptions=True)
+                    rejected = server.metrics.rejected
+            return results, rejected
+
+        results, rejected = run(main())
+        ok = [r for r in results if r is True]
+        overloaded = [r for r in results
+                      if isinstance(r, ProtocolError)
+                      and r.code == protocol.ERR_OVERLOADED]
+        assert ok, "at least one request must be admitted"
+        assert overloaded, "queue_limit=1 must shed concurrent load"
+        assert rejected == len(overloaded)
+
+
+class TestGracefulShutdown:
+    def test_shutdown_completes_admitted_request(self):
+        """A request in flight when shutdown starts still gets its
+        response before the connection is torn down."""
+
+        async def main():
+            server = CodePackServer(ServerConfig(port=0,
+                                                 batch_window=0.005))
+            await server.start()
+            client = await ServeClient(port=server.port).connect()
+            try:
+                digest, _ = await client.compress(
+                    PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                _slow_dispatch(server, 0.15)
+                pending = asyncio.get_running_loop().create_task(
+                    client.decompress(digest=digest, timeout=30.0))
+                await asyncio.sleep(0.05)  # let the server admit it
+                await server.shutdown(drain=True)
+                return await pending
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        assert run(main()) == EXPECTED_WORDS
+
+    def test_requests_after_shutdown_fail(self):
+        async def main():
+            server = CodePackServer(ServerConfig(port=0))
+            await server.start()
+            client = await ServeClient(port=server.port).connect()
+            try:
+                assert await client.ping(timeout=5.0)
+                await server.shutdown()
+                with pytest.raises((ProtocolError, ServerClosedError,
+                                    ConnectionError)):
+                    await client.ping(timeout=5.0)
+            finally:
+                await client.close()
+
+        run(main())
+
+
+class TestSweepCell:
+    def test_sweep_cell_caches_via_configured_dir(self, tmp_path):
+        spec = {"benchmark": "pegwit", "arch": "4-issue",
+                "codepack": False, "scale": 0.02,
+                "max_instructions": 200_000}
+
+        async def main():
+            async with running_server(
+                    sweep_cache_dir=str(tmp_path)) as server:
+                async with connected(server) as client:
+                    cold = await client.sweep_cell(spec, timeout=60.0)
+                    warm = await client.sweep_cell(spec, timeout=60.0)
+            return cold, warm
+
+        cold, warm = run(main())
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert warm["key"] == cold["key"]
+        assert warm["result"] == cold["result"]
+        assert cold["result"]["instructions"] > 0
+        assert list(tmp_path.glob("*.json")), \
+            "sweep results must persist in the configured cache dir"
+
+    def test_sweep_cell_bad_benchmark_typed_error(self):
+        async def main():
+            async with running_server(sweep_cache=False) as server:
+                async with connected(server) as client:
+                    with pytest.raises(ProtocolError) as excinfo:
+                        await client.sweep_cell({"benchmark": "no-such"},
+                                                timeout=30.0)
+                    assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+        run(main())
