@@ -12,6 +12,7 @@ per-bit oracle (:mod:`repro.codepack.reference`), and
 it by >= 3x for both compression and decompression.
 """
 
+import os
 import time
 
 import pytest
@@ -24,6 +25,9 @@ from repro.codepack.reference import (
 )
 from repro.schemes.ccrp import compress_ccrp, decompress_ccrp
 from repro.schemes.dictword import compress_dictword, decompress_dictword
+from repro.tools.benchinfo import write_report
+
+REPORT_PATH = os.environ.get("BENCH_CODEC_JSON", "BENCH_codec.json")
 
 
 @pytest.fixture(scope="module")
@@ -87,6 +91,15 @@ def test_fast_path_speedup(wb):
     print("decompress %.1fms vs %.1fms reference: %.2fx"
           % (decompress_fast * 1e3, decompress_ref * 1e3,
              decompress_speedup))
+    write_report(REPORT_PATH, {"fast_path": {
+        "benchmark": "vortex",
+        "compress_seconds": compress_fast,
+        "compress_reference_seconds": compress_ref,
+        "compress_speedup": compress_speedup,
+        "decompress_seconds": decompress_fast,
+        "decompress_reference_seconds": decompress_ref,
+        "decompress_speedup": decompress_speedup,
+    }})
     assert compress_speedup >= 3.0
     assert decompress_speedup >= 3.0
 

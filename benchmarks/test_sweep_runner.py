@@ -13,7 +13,6 @@ working directory so CI can upload it as an artifact::
     pytest benchmarks/test_sweep_runner.py -q -s
 """
 
-import json
 import os
 import time
 
@@ -24,6 +23,7 @@ from repro.eval.experiments import sweep_cells, table7
 from repro.eval.runner import Workbench
 from repro.sim.config import ARCH_1_ISSUE
 from repro.sim.machine import simulate
+from repro.tools.benchinfo import write_report
 
 #: Minimum cold/warm wall-clock ratio the persistent cache must deliver.
 WARM_SPEEDUP_FLOOR = 5.0
@@ -35,17 +35,7 @@ SWEEP_BENCHMARKS = ("cc1", "pegwit", "mpeg2enc")
 
 
 def _write_trajectory(payload):
-    record = {}
-    if os.path.exists(TRAJECTORY_PATH):
-        try:
-            with open(TRAJECTORY_PATH) as handle:
-                record = json.load(handle)
-        except Exception:
-            record = {}
-    record.update(payload)
-    with open(TRAJECTORY_PATH, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    write_report(TRAJECTORY_PATH, payload)
 
 
 def test_warm_cache_sweep_speedup(tmp_path):

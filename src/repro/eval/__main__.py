@@ -27,6 +27,40 @@ from repro.eval.sweep import DEFAULT_CACHE_DIR, default_cache_dir
 from repro.eval.tables import format_table, table_to_csv
 
 
+def profile_hottest(wb):
+    """cProfile the sweep's hottest cell; print top-20 by cumulative time.
+
+    The hottest cell is the memoised result that simulated the most
+    dynamic instructions (ties broken by cycles) -- the one worth
+    optimising.  It is re-simulated fresh (memo and cache bypassed) so
+    the profile reflects real simulation work, using the same
+    replay-vs-execute configuration as the sweep that just ran.
+    """
+    import cProfile
+    import pstats
+
+    from repro.sim.machine import describe_mode, simulate
+
+    if not wb._results:
+        print("[--profile: no simulated cells to profile]")
+        return
+    key, _ = max(wb._results.items(),
+                 key=lambda kv: (kv[1].instructions, kv[1].cycles))
+    bench, arch, codepack = key[0], key[1], key[2]
+    print("[profiling hottest cell: %s on %s, %s]"
+          % (bench, arch.name, describe_mode(codepack)))
+    program = wb.program(bench)
+    static = wb.static(bench)
+    image = wb.image(bench) if codepack is not None else None
+    replay = wb.trace(bench) if wb.replay else None
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate(program, arch, codepack=codepack, image=image, static=static,
+             max_instructions=wb.max_instructions, replay=replay)
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
@@ -63,6 +97,22 @@ def main(argv=None):
                              "per-phase timing) after the exhibits")
     parser.add_argument("--timing-json", metavar="PATH", default=None,
                         help="write sweep statistics as JSON to PATH")
+    parser.add_argument("--replay", dest="replay", action="store_true",
+                        default=True,
+                        help="trace each benchmark once and run all cells "
+                             "through the timing-only replay engines "
+                             "(cycle-exact; the default)")
+    parser.add_argument("--no-replay", dest="replay", action="store_false",
+                        help="force execute-driven simulation for every "
+                             "cell")
+    parser.add_argument("--trace-cache", metavar="DIR", default=None,
+                        help="persist functional traces under DIR (default: "
+                             "traces/ inside the result cache when --cache "
+                             "is on, else in-memory only)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the hottest cell (the largest "
+                             "uncached simulation) and print the top-20 "
+                             "cumulative entries")
     args = parser.parse_args(argv)
 
     registry = dict(ALL_EXPERIMENTS)
@@ -83,7 +133,8 @@ def main(argv=None):
         # Bare --cache: environment override, then the built-in default.
         args.cache = default_cache_dir()
 
-    wb = Workbench(scale=args.scale, cache=args.cache, jobs=args.jobs)
+    wb = Workbench(scale=args.scale, cache=args.cache, jobs=args.jobs,
+                   replay=args.replay, trace_cache=args.trace_cache)
     if args.clear_cache:
         wb.cache.clear()
 
@@ -107,6 +158,8 @@ def main(argv=None):
         print("[%s regenerated in %.1fs]" % (name, elapsed))
         print()
 
+    if args.profile:
+        profile_hottest(wb)
     if args.stats:
         print(wb.stats.summary())
     if args.timing_json:

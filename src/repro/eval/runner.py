@@ -16,6 +16,8 @@ Two optional layers speed up sweeps (see :mod:`repro.eval.sweep`):
   a process pool; subsequent :meth:`run` calls hit the memo.
 """
 
+import os
+
 from repro.codepack.compressor import compress_program
 from repro.eval.sweep import (
     ResultCache,
@@ -27,6 +29,7 @@ from repro.eval.sweep import (
     timed_phase,
 )
 from repro.sim.machine import prepare, simulate
+from repro.sim.replay import TraceCache, record_trace
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
 
@@ -40,20 +43,38 @@ class Workbench:
       path, or a ready :class:`~repro.eval.sweep.ResultCache`.
     * ``jobs`` -- worker processes for :meth:`prefetch`: an int,
       ``"auto"`` (one per CPU), or ``None``/1 for serial.
+    * ``replay`` -- default ``True``: record each benchmark's
+      functional trace once and run every simulation through the
+      timing-only replay engines (:mod:`repro.sim.replay`).  Replay is
+      cycle-exact against the execute-driven models, so results (and
+      hence memo/cache keys) are identical either way; ``False``
+      forces execute-driven runs.
+    * ``trace_cache`` -- a :class:`~repro.sim.replay.TraceCache` or a
+      directory path for persisted traces.  Defaults to a ``traces/``
+      directory inside the result cache when one is configured,
+      in-memory otherwise.
     """
 
     def __init__(self, scale=1.0, max_instructions=5_000_000, cache=None,
-                 jobs=1):
+                 jobs=1, replay=True, trace_cache=None):
         self.scale = scale
         self.max_instructions = max_instructions
         self.jobs = resolve_jobs(jobs)
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
+        self.replay = replay
+        if trace_cache is None and cache is not None:
+            trace_cache = os.path.join(cache.root, "traces")
+        if trace_cache is not None and not isinstance(trace_cache,
+                                                      TraceCache):
+            trace_cache = TraceCache(trace_cache)
+        self.trace_cache = trace_cache if replay else None
         self.stats = SweepStats()
         self._programs = {}
         self._images = {}
         self._static = {}
+        self._traces = {}
         self._results = {}
 
     def program(self, bench):
@@ -75,6 +96,23 @@ class Workbench:
         if bench not in self._static:
             self._static[bench] = prepare(self.program(bench))
         return self._static[bench]
+
+    def trace(self, bench):
+        """The benchmark's functional trace (recorded or loaded once)."""
+        # Scale and cap are part of the key for the same reason they
+        # are part of _memo_key: both change the recorded stream.
+        key = (bench, self.scale, self.max_instructions)
+        if key not in self._traces:
+            with timed_phase(self.stats, "trace"):
+                if self.trace_cache is not None:
+                    self._traces[key] = self.trace_cache.get_or_record(
+                        self.program(bench), static=self.static(bench),
+                        max_instructions=self.max_instructions)
+                else:
+                    self._traces[key] = record_trace(
+                        self.program(bench), static=self.static(bench),
+                        max_instructions=self.max_instructions)
+        return self._traces[key]
 
     def _memo_key(self, bench, arch, codepack):
         # The workload identity (scale, cap) is part of the key: two
@@ -109,11 +147,13 @@ class Workbench:
             program = self.program(bench)
             image = self.image(bench) if codepack is not None else None
             static = self.static(bench)
+            replay = self.trace(bench) if self.replay else None
             with timed_phase(self.stats, "simulate"):
                 result = simulate(
                     program, arch, codepack=codepack, image=image,
                     static=static,
-                    max_instructions=self.max_instructions)
+                    max_instructions=self.max_instructions,
+                    replay=replay)
             self.stats.sim_runs += 1
             if self.cache is not None:
                 self.cache.put(ck, result,
@@ -161,8 +201,11 @@ class Workbench:
                 todo.append(cell)
             if not todo:
                 return 0
+            trace_dir = (self.trace_cache.root
+                         if self.trace_cache is not None else None)
             results = run_batches(todo, self.scale, self.max_instructions,
-                                  self.jobs, stats=self.stats)
+                                  self.jobs, stats=self.stats,
+                                  replay=self.replay, trace_dir=trace_dir)
             for cell, result in results.items():
                 bench, arch, codepack = cell
                 self._results[self._memo_key(bench, arch, codepack)] = result

@@ -308,17 +308,27 @@ def partition_cells(cells, jobs):
     return batches
 
 
-def _run_batch(scale, max_instructions, cells):
+def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None):
     """Pool worker: simulate a batch of same-benchmark cells.
 
     Programs, predecoded text and compressed images are rebuilt in the
     worker (compiled closures and block tables do not pickle, and
     shipping them would cost more than rebuilding); results travel back
     as plain dicts.
+
+    With ``replay`` on, each benchmark's functional trace is recorded
+    (or loaded from the :class:`~repro.sim.replay.TraceCache` under
+    *trace_dir*) once, and every cell runs the timing-only replay
+    engine over it -- identical results, a fraction of the work.
     """
+    trace_cache = None
+    if replay and trace_dir is not None:
+        from repro.sim.replay import TraceCache
+        trace_cache = TraceCache(trace_dir)
     programs = {}
     statics = {}
     images = {}
+    traces = {}
     out = []
     for bench, arch, codepack in cells:
         if bench not in programs:
@@ -329,21 +339,34 @@ def _run_batch(scale, max_instructions, cells):
             if bench not in images:
                 images[bench] = compress_program(programs[bench])
             image = images[bench]
+        if replay and bench not in traces:
+            if trace_cache is not None:
+                traces[bench] = trace_cache.get_or_record(
+                    programs[bench], static=statics[bench],
+                    max_instructions=max_instructions)
+            else:
+                from repro.sim.replay import record_trace
+                traces[bench] = record_trace(
+                    programs[bench], static=statics[bench],
+                    max_instructions=max_instructions)
         result = simulate(programs[bench], arch, codepack=codepack,
                           image=image, static=statics[bench],
-                          max_instructions=max_instructions)
+                          max_instructions=max_instructions,
+                          replay=traces[bench] if replay else None)
         out.append(result.to_dict())
     return out
 
 
-def run_batches(cells, scale, max_instructions, jobs, stats=None):
+def run_batches(cells, scale, max_instructions, jobs, stats=None,
+                replay=False, trace_dir=None):
     """Run *cells* across a process pool; returns ``{cell: SimResult}``.
 
     ``cells`` is a sequence of ``(bench, arch, codepack)`` triples
     (hashable: the configs are frozen dataclasses).  Cache lookups and
     stores are the caller's business -- workers never touch the cache,
     so concurrent sweeps cannot race on files beyond the atomic
-    replace.
+    replace.  ``replay``/``trace_dir`` select the trace-replay fast
+    path in the workers (see :func:`_run_batch`).
     """
     cells = list(cells)
     if not cells:
@@ -353,7 +376,8 @@ def run_batches(cells, scale, max_instructions, jobs, stats=None):
     if jobs == 1 or len(cells) == 1:
         for batch in partition_cells(cells, 1):
             for cell, d in zip(batch, _run_batch(scale, max_instructions,
-                                                 batch)):
+                                                 batch, replay=replay,
+                                                 trace_dir=trace_dir)):
                 results[cell] = SimResult.from_dict(d)
         if stats is not None:
             stats.sim_runs += len(cells)
@@ -363,7 +387,8 @@ def run_batches(cells, scale, max_instructions, jobs, stats=None):
         stats.parallel_cells += len(cells)
         stats.parallel_batches += len(batches)
     with ProcessPoolExecutor(max_workers=min(jobs, len(batches))) as pool:
-        futures = {pool.submit(_run_batch, scale, max_instructions, batch):
+        futures = {pool.submit(_run_batch, scale, max_instructions, batch,
+                               replay, trace_dir):
                    batch for batch in batches}
         for future in as_completed(futures):
             batch = futures[future]

@@ -241,14 +241,16 @@ async def run_compare(loadgen=None, server_config=None, output=None):
 
     speedup = (reports["batched"]["throughput_rps"]
                / max(reports["unbatched"]["throughput_rps"], 1e-9))
-    result = {
+    from repro.tools.benchinfo import stamp
+
+    result = stamp({
         "bench": "serve",
         "workload": reports["batched"]["workload"],
         "server": server_config.describe(),
         "batched": reports["batched"],
         "unbatched": reports["unbatched"],
         "speedup": speedup,
-    }
+    })
     if output:
         with open(output, "w") as handle:
             json.dump(result, handle, indent=2)

@@ -18,6 +18,8 @@ _WEAKLY_TAKEN = 2
 class BimodalPredictor:
     """PC-indexed table of 2-bit saturating counters."""
 
+    __slots__ = ("_mask", "_table")
+
     def __init__(self, entries=2048):
         if entries & (entries - 1):
             raise ValueError("table size must be a power of two")
@@ -39,6 +41,8 @@ class BimodalPredictor:
 
 class GSharePredictor:
     """Global-history predictor: PC xor history indexes the counters."""
+
+    __slots__ = ("_history_bits", "_mask", "_history", "_table")
 
     def __init__(self, history_bits=14):
         self._history_bits = history_bits
@@ -69,6 +73,8 @@ class HybridPredictor:
     The meta counter picks which component's prediction to use; it is
     trained toward whichever component was correct when they disagree.
     """
+
+    __slots__ = ("_meta_mask", "_meta", "_bimodal", "_gshare")
 
     def __init__(self, meta_entries=1024, entries=2048, history_bits=14):
         if meta_entries & (meta_entries - 1):

@@ -31,6 +31,9 @@ class Cache:
     LRU in O(1).
     """
 
+    __slots__ = ("config", "line_bytes", "n_sets", "assoc", "stats",
+                 "_sets")
+
     def __init__(self, config):
         self.config = config
         self.line_bytes = config.line_bytes

@@ -44,6 +44,8 @@ class IndexCache:
     compression-group number divided by the line size.
     """
 
+    __slots__ = ("config", "stats", "_lines")
+
     def __init__(self, config):
         self.config = config
         self.stats = IndexCacheStats()
@@ -77,7 +79,24 @@ class EngineStats:
 
 
 class CodePackEngine:
-    """The hardware decompressor, as a fetch-unit miss path."""
+    """The hardware decompressor, as a fetch-unit miss path.
+
+    On an uncontended memory channel ``burst_arrivals`` is linear in its
+    start cycle and the decode recurrence ``max(arrive, prev) + 1`` is
+    shift-invariant, so each block's finish times are a fixed vector of
+    offsets added to the cycle the index is ready.  Those offsets depend
+    only on the block's bytes and the (memory, decode-rate, line-size)
+    geometry, so they are memoised on the *image* and shared by every
+    engine instance simulating the same program -- across architectures,
+    CodePack options and replay cells alike.  A ``shared=True``
+    :class:`~repro.sim.memory.MemoryChannel` is stateful (bursts queue),
+    so contended engines keep the exact per-miss computation.
+    """
+
+    __slots__ = ("image", "memory", "config", "line_bytes", "stats",
+                 "_index_cache", "_last_group", "_buffered_block",
+                 "_buffered_times", "_block_sched", "_line_sched",
+                 "_count_requests")
 
     def __init__(self, image, memory, config, line_bytes=32):
         self.image = image
@@ -92,6 +111,21 @@ class CodePackEngine:
         self._last_group = -1  # baseline single-entry index buffer
         self._buffered_block = -1
         self._buffered_times = None
+        self._block_sched = None
+        self._line_sched = None
+        self._count_requests = hasattr(memory, "requests")
+        if not getattr(memory, "shared", False):
+            schedules = getattr(image, "_schedules", None)
+            if schedules is None:
+                schedules = {}
+                image._schedules = schedules
+            key = (line_bytes, config.decode_rate, memory.bus_bits,
+                   memory.first_latency, memory.rate)
+            pair = schedules.get(key)
+            if pair is None:
+                pair = ({}, {})
+                schedules[key] = pair
+            self._block_sched, self._line_sched = pair
 
     # -- index table ---------------------------------------------------------
 
@@ -149,24 +183,93 @@ class CodePackEngine:
         self.stats.compressed_bytes_fetched += block.byte_length
         return times
 
+    def _block_rel(self, block_index):
+        """Start-relative finish offsets of *block_index* (memoised).
+
+        Identical arithmetic to :meth:`_decompress_block` with the burst
+        issued at cycle 0, without touching the memory channel.
+        """
+        block = self.image.blocks[block_index]
+        memory = self.memory
+        beat_bits = memory.bus_bits
+        align_bits = (block.byte_offset % memory.bus_bytes) * 8
+        first = memory.first_latency
+        beat_rate = memory.rate
+        rate = self.config.decode_rate
+        times = []
+        for i, end_bit in enumerate(block.inst_end_bits):
+            arrive = first + ((align_bits + end_bit - 1) // beat_bits) \
+                * beat_rate
+            if i >= rate:
+                finish = max(arrive, times[i - rate]) + 1
+            else:
+                finish = arrive + 1
+            times.append(finish)
+        entry = (tuple(times), block.byte_length)
+        self._block_sched[block_index] = entry
+        return entry
+
+    def _line_rel(self, line_addr, block_index, rel):
+        """Per-line word offsets into a block schedule (memoised)."""
+        base_slot = (line_addr * self.line_bytes
+                     - self.image.block_base_address(block_index)) \
+            // INSTRUCTION_BYTES
+        n = len(rel)
+        last = rel[-1]
+        relw = tuple(rel[base_slot + w]
+                     if 0 <= base_slot + w < n else last
+                     for w in range(self.line_bytes // INSTRUCTION_BYTES))
+        entry = (relw, max(relw))
+        self._line_sched[line_addr] = entry
+        return entry
+
     # -- the miss path ---------------------------------------------------------
 
     def miss(self, addr, now):
         """Handle an L1 I-miss at native address *addr* (paper Fig. 2-b/c)."""
         image = self.image
-        self.stats.misses += 1
+        stats = self.stats
+        stats.misses += 1
         block_index = image.block_of_address(addr)
 
         if self.config.output_buffer and block_index == self._buffered_block:
             # Served from the output buffer: no index lookup, no memory
             # traffic; one cycle to transfer each already-decompressed word.
-            self.stats.buffer_hits += 1
-            times = self._buffered_times
+            stats.buffer_hits += 1
+            floor = now + 1
             return self._line_fill(addr, now, block_index,
-                                   [max(now + 1, t) for t in times])
+                                   [t if t > floor else floor
+                                    for t in self._buffered_times])
 
         group = block_index // image.group_blocks
         index_ready = self._index_ready(group, now)
+        sched = self._block_sched
+        if sched is not None:
+            entry = sched.get(block_index)
+            if entry is None:
+                entry = self._block_rel(block_index)
+            rel, nbytes = entry
+            if rel:
+                times = [index_ready + r for r in rel]
+                stats.blocks_fetched += 1
+                stats.compressed_bytes_fetched += nbytes
+                if self._count_requests:
+                    self.memory.requests += 1
+                if self.config.output_buffer:
+                    self._buffered_block = block_index
+                    self._buffered_times = times
+                line_bytes = self.line_bytes
+                line_addr = addr // line_bytes
+                line_entry = self._line_sched.get(line_addr)
+                if line_entry is None:
+                    line_entry = self._line_rel(line_addr, block_index, rel)
+                relw, relmax = line_entry
+                word_times = [index_ready + r for r in relw]
+                critical = word_times[(addr % line_bytes)
+                                      // INSTRUCTION_BYTES]
+                return LineFill(line_addr, word_times, critical,
+                                index_ready + relmax)
+
         block = image.blocks[block_index]
         times = self._decompress_block(block, index_ready)
         if self.config.output_buffer:

@@ -86,6 +86,49 @@ class SimulationError(RuntimeError):
     """Raised for architectural faults (bad opcode, misalignment, ...)."""
 
 
+#: word -> decoded field tuple.  Every StaticInstr field other than the
+#: address-derived ones is a pure function of the instruction word, and
+#: generated programs repeat most words (register skew, small
+#: immediates), so predecode shares one decode per distinct word.
+_DECODE_CACHE = {}
+
+#: How ``taken_target`` derives from the word: 0 = not control flow,
+#: 1 = conditional branch (PC-relative), 2 = absolute jump/call target.
+_TT_NONE, _TT_COND, _TT_ABS = 0, 1, 2
+
+
+def _decode_word(word):
+    """Word-determined :class:`StaticInstr` fields, or ``None``."""
+    spec = spec_for_word(word)
+    if spec is None:
+        return None
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    kind = _KIND_BY_CLASS[spec.iclass]
+    if kind == KIND_COND_BRANCH:
+        tt_mode = _TT_COND
+    elif spec.iclass in (InstrClass.JUMP, InstrClass.CALL):
+        tt_mode = _TT_ABS
+    else:
+        tt_mode = _TT_NONE
+    field_regs = {"rs": rs, "rt": rt, "rd": rd,
+                  "hi": REG_HI, "lo": REG_LO, "ra": 31}
+    entry = (
+        _XOP_BY_NAME[spec.name], rs, rt, rd,
+        (word >> 6) & 0x1F,  # shamt
+        word & 0xFFFF,  # uimm
+        sign_extend_16(word),
+        (word & 0x3FFFFFF) * 4,  # target
+        kind, _FU_BY_NAME[spec.fu], spec.latency,
+        tuple(field_regs[f] for f in spec.reads if field_regs[f] != 0),
+        tuple(field_regs[f] for f in spec.writes if field_regs[f] != 0),
+        tt_mode,
+    )
+    _DECODE_CACHE[word] = entry
+    return entry
+
+
 class StaticInstr:
     """Predecoded static instruction: functional + timing views.
 
@@ -103,54 +146,44 @@ class StaticInstr:
 
     def __init__(self, addr, word, size=4, fall_through=None,
                  taken_target=None):
-        spec = spec_for_word(word)
-        if spec is None:
-            raise SimulationError(
-                "undecodable instruction %#010x at %#x" % (word, addr))
+        entry = _DECODE_CACHE.get(word)
+        if entry is None:
+            entry = _decode_word(word)
+            if entry is None:
+                raise SimulationError(
+                    "undecodable instruction %#010x at %#x" % (word, addr))
+        (self.xop, self.rs, self.rt, self.rd, self.shamt, self.uimm,
+         simm, target, self.kind, self.fu, self.latency, self.srcs,
+         self.dsts, tt_mode) = entry
+        self.simm = simm
+        self.target = target
         self.addr = addr
         self.word = word
         self.size = size
-        self.xop = _XOP_BY_NAME[spec.name]
-        self.rs = (word >> 21) & 0x1F
-        self.rt = (word >> 16) & 0x1F
-        self.rd = (word >> 11) & 0x1F
-        self.shamt = (word >> 6) & 0x1F
-        self.uimm = word & 0xFFFF
-        self.simm = sign_extend_16(word)
-        self.target = (word & 0x3FFFFFF) * 4
-        self.kind = _KIND_BY_CLASS[spec.iclass]
-        self.fu = _FU_BY_NAME[spec.fu]
-        self.latency = spec.latency
         self.fall_through = (addr + size if fall_through is None
                              else fall_through)
         if taken_target is not None:
             self.taken_target = taken_target
-        elif self.kind == KIND_COND_BRANCH:
-            self.taken_target = (addr + 4 + self.simm * 4) & 0xFFFFFFFF
-        elif spec.iclass in (InstrClass.JUMP, InstrClass.CALL):
-            self.taken_target = self.target
+        elif tt_mode == _TT_COND:
+            self.taken_target = (addr + 4 + simm * 4) & 0xFFFFFFFF
+        elif tt_mode == _TT_ABS:
+            self.taken_target = target
         else:
             self.taken_target = 0
-
-        field_regs = {"rs": self.rs, "rt": self.rt, "rd": self.rd,
-                      "hi": REG_HI, "lo": REG_LO, "ra": 31}
-        self.srcs = tuple(field_regs[f] for f in spec.reads
-                          if field_regs[f] != 0)
-        self.dsts = tuple(field_regs[f] for f in spec.writes
-                          if field_regs[f] != 0)
 
 
 class StaticText(list):
     """A predecoded ``.text`` section.
 
     Behaves exactly like the plain list of :class:`StaticInstr` it used
-    to be; the extra slot lets the batched in-order model
-    (:mod:`repro.sim.blockexec`) cache its per-basic-block execution
-    table on the predecoded program, so sweeps that share one
-    ``static`` across hundreds of runs compile the blocks only once.
+    to be; the extra slots let the batched in-order model
+    (:mod:`repro.sim.blockexec`) and the trace-replay engines
+    (:mod:`repro.sim.replay`) cache their per-program execution tables
+    on the predecoded program, so sweeps that share one ``static``
+    across hundreds of runs compile them only once.
     """
 
-    __slots__ = ("block_table",)
+    __slots__ = ("block_table", "replay_table")
 
 
 def predecode(program):
@@ -524,8 +557,27 @@ def exec_class(st):
     return EX_MULT if st.fu == FU_MULT else EX_PLAIN
 
 
+#: word -> compiled closure, for the word-determined execution classes.
+#: Jumps and calls close over ``taken_target``/``fall_through`` (address
+#: context), so they are compiled per site; everything else reads only
+#: word fields and architectural state passed in at call time, making
+#: one closure per distinct word safe to share across programs.
+_EXEC_CACHE = {}
+
+
 def compile_exec(st):
     """Compile *st* to a specialised closure (see module comment)."""
+    xop = st.xop
+    if xop == X_J or xop == X_JAL or xop == X_JALR:
+        return _compile_exec(st)
+    word = st.word
+    fn = _EXEC_CACHE.get(word)
+    if fn is None:
+        fn = _EXEC_CACHE[word] = _compile_exec(st)
+    return fn
+
+
+def _compile_exec(st):
     xop = st.xop
     rs = st.rs
     rt = st.rt

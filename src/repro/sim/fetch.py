@@ -49,6 +49,10 @@ class NativeMissPath:
     itself.
     """
 
+    __slots__ = ("memory", "line_bytes", "critical_word_first",
+                 "prefetch_next", "prefetch_hits", "_buffer_line",
+                 "_buffer_times", "_offsets")
+
     def __init__(self, memory, line_bytes, critical_word_first=True,
                  prefetch_next=False):
         self.memory = memory
@@ -141,6 +145,9 @@ class FetchUnit:
     recent refill so that words of a line still in flight are not used
     before they arrive.
     """
+
+    __slots__ = ("icache", "miss_path", "trace", "line_bytes",
+                 "_cur_line", "_fill")
 
     def __init__(self, icache, miss_path, trace=None):
         self.icache = icache

@@ -19,11 +19,19 @@ from repro.sim.blockexec import run_inorder_blocks
 from repro.sim.branch import make_predictor
 from repro.sim.cache import Cache
 from repro.sim.codepack_engine import CodePackEngine
-from repro.sim.cpu import FunctionalCore, predecode
+from repro.sim.cpu import FunctionalCore, SimulationError, predecode
 from repro.sim.fetch import FetchUnit, NativeMissPath
 from repro.sim.inorder import run_inorder
 from repro.sim.memory import MemoryChannel
 from repro.sim.ooo import run_ooo
+from repro.sim.replay import (
+    Trace,
+    TraceError,
+    program_digest,
+    record_trace,
+    replay_inorder,
+    replay_ooo,
+)
 from repro.sim.results import SimResult
 
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
@@ -49,7 +57,8 @@ def describe_mode(codepack):
 def simulate(program, arch, codepack=None, image=None, static=None,
              max_instructions=DEFAULT_MAX_INSTRUCTIONS, mode=None,
              critical_word_first=True, miss_path=None, pc_index=None,
-             trace=None, native_prefetch=False, batched=None):
+             trace=None, native_prefetch=False, batched=None,
+             replay=None, trace_cache=None):
     """Run *program* on *arch*; returns a :class:`SimResult`.
 
     * ``codepack`` -- ``None`` for native code, else a
@@ -69,6 +78,16 @@ def simulate(program, arch, codepack=None, image=None, static=None,
       ``True`` demands the batched model and raises if the
       configuration cannot use it.  Both models are cycle-exact
       against each other.
+    * ``replay`` -- functional/timing split (:mod:`repro.sim.replay`).
+      ``True`` records (or loads from ``trace_cache``) a functional
+      trace and runs the timing-only replay engine; a
+      :class:`~repro.sim.replay.Trace` replays that trace directly.
+      ``None``/``False`` (the default) executes normally.  Replay is
+      cycle-exact against the execute-driven models; it pays off when
+      one trace is reused across many timing configurations, which is
+      why it is opt-in here and default-on in the sweep.
+    * ``trace_cache`` -- a :class:`~repro.sim.replay.TraceCache`;
+      consulted (and populated) when ``replay=True``.
     """
     icache = Cache(arch.icache)
     dcache = Cache(arch.dcache)
@@ -90,21 +109,56 @@ def simulate(program, arch, codepack=None, image=None, static=None,
                                    prefetch_next=native_prefetch)
     fetch_unit = FetchUnit(icache, miss_path, trace=trace)
 
-    core = FunctionalCore(program, static=static, pc_index=pc_index)
-    if batched is None:
-        batched = arch.in_order and pc_index is None
-    elif batched and not (arch.in_order and pc_index is None):
-        raise ValueError("batched=True requires an in-order arch on the "
-                         "fixed-width SS32 layout")
-    if batched:
-        pipeline = run_inorder_blocks
+    if replay:
+        if pc_index is not None:
+            raise ValueError("replay requires the fixed-width SS32 layout "
+                             "(pc_index is None)")
+        if static is None:
+            static = predecode(program)
+        if isinstance(replay, Trace):
+            replay_trace = replay
+            if replay_trace.program_sha != program_digest(program):
+                raise TraceError(
+                    "trace was recorded for a different program")
+        elif trace_cache is not None:
+            replay_trace = trace_cache.get_or_record(
+                program, static=static, max_instructions=max_instructions)
+        else:
+            replay_trace = record_trace(
+                program, static=static, max_instructions=max_instructions)
+        kernel = replay_inorder if arch.in_order else replay_ooo
+        cycles, lookups, mispredicts, consumed = kernel(
+            static, replay_trace, fetch_unit, dcache, channel, predictor,
+            arch, max_instructions)
+        if replay_trace.fault is not None \
+                and max_instructions > replay_trace.n:
+            # The execute-driven run would have attempted the faulting
+            # instruction (there was budget left) and raised from it.
+            raise SimulationError(replay_trace.fault)
+        halted = replay_trace.halted and consumed == replay_trace.n
+        instructions = consumed
+        output = replay_trace.output_upto(consumed)
+        exit_code = replay_trace.exit_code if halted else 0
     else:
-        pipeline = run_inorder if arch.in_order else run_ooo
-    cycles, lookups, mispredicts = pipeline(
-        core, fetch_unit, dcache, channel, predictor, arch,
-        max_instructions)
+        core = FunctionalCore(program, static=static, pc_index=pc_index)
+        if batched is None:
+            batched = arch.in_order and pc_index is None
+        elif batched and not (arch.in_order and pc_index is None):
+            raise ValueError("batched=True requires an in-order arch on the "
+                             "fixed-width SS32 layout")
+        if batched:
+            pipeline = run_inorder_blocks
+        else:
+            pipeline = run_inorder if arch.in_order else run_ooo
+        cycles, lookups, mispredicts = pipeline(
+            core, fetch_unit, dcache, channel, predictor, arch,
+            max_instructions)
+        halted = core.halted
+        instructions = core.instret
+        output = "".join(core.output)
+        exit_code = core.exit_code
 
-    if not core.halted and core.instret >= max_instructions:
+    if not halted and instructions >= max_instructions:
         # Benchmarks are sized to halt; hitting the cap still yields a
         # valid steady-state measurement, recorded in extra.
         truncated = True
@@ -118,7 +172,7 @@ def simulate(program, arch, codepack=None, image=None, static=None,
                       if miss_path is engine and codepack is None
                       and engine is not None
                       else describe_mode(codepack)),
-        instructions=core.instret,
+        instructions=instructions,
         cycles=cycles,
         icache_accesses=icache.stats.accesses,
         icache_misses=icache.stats.misses,
@@ -127,8 +181,8 @@ def simulate(program, arch, codepack=None, image=None, static=None,
         branch_lookups=lookups,
         branch_mispredicts=mispredicts,
         engine=getattr(engine, "stats", None),
-        output="".join(core.output),
-        exit_code=core.exit_code,
+        output=output,
+        exit_code=exit_code,
         extra={"truncated": truncated},
     )
 

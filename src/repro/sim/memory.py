@@ -25,6 +25,9 @@ class MemoryChannel:
     embedded memory controller behaves.
     """
 
+    __slots__ = ("config", "shared", "busy_until", "requests", "delayed",
+                 "delay_cycles")
+
     def __init__(self, config, shared=False):
         self.config = config
         self.shared = shared

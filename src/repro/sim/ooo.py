@@ -15,6 +15,8 @@ exposure shrinking with window size, fetch bandwidth scaling, and the
 IPC gap between the 1-, 4- and 8-issue machines.
 """
 
+from heapq import heapreplace
+
 from repro.sim.cpu import (
     FU_ALU,
     FU_MEMPORT,
@@ -30,7 +32,14 @@ FRONT_END_LATENCY = 1
 
 
 class _FuPool:
-    """A pool of identical function units tracked by next-free cycle."""
+    """A pool of identical function units tracked by next-free cycle.
+
+    ``free`` is a min-heap of next-free cycles (a list of equal values
+    is already heap-ordered), so the earliest-available unit is read in
+    O(1) and re-busied in O(log n) instead of a linear min-scan.  Only
+    the multiset of free times matters for timing, so this is exactly
+    equivalent to scanning for the least-loaded unit.
+    """
 
     __slots__ = ("free",)
 
@@ -40,14 +49,9 @@ class _FuPool:
     def acquire(self, ready, busy_for):
         """Earliest start >= *ready* on any unit; occupy it for *busy_for*."""
         free = self.free
-        best = 0
         best_time = free[0]
-        for i in range(1, len(free)):
-            if free[i] < best_time:
-                best_time = free[i]
-                best = i
         start = ready if ready > best_time else best_time
-        free[best] = start + busy_for
+        heapreplace(free, start + busy_for)
         return start
 
 

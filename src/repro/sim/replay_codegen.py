@@ -1,0 +1,441 @@
+"""Compiled replay kernels: specialised OOO timing loops per trace.
+
+The generic :func:`repro.sim.replay.replay_ooo` loop spends most of its
+time on interpreter overhead that is the same for every dynamic
+instruction -- tuple unpacking, execution-class dispatch, operand-list
+loops, address arithmetic.  A recorded trace makes all of that static:
+the dynamic stream is a fixed sequence of *span shapes* (start index,
+length), and the paper's sweeps replay the same trace hundreds of
+times.  This module therefore generates, once per (program, trace), a
+single Python function containing
+
+* an **unrolled body for each hot span shape** -- straight-line code
+  with instruction addresses, latencies, source/destination registers
+  and execution classes baked in as constants, dispatched by a
+  precomputed per-span shape id (most frequent shape first);
+* the **generic per-instruction loop** inlined in the same function for
+  cold shapes and budget-truncated tails,
+
+so the whole replay runs on local variables with no per-instruction
+Python calls beyond the unavoidable ones (cache lookups, heap-ordered
+function units, branch predictor).  Dynamic span-shape distributions
+are heavily skewed (loops), so a few hundred unrolled shapes cover the
+bulk of the stream; everything else takes the generic path.
+
+The generated code mirrors :func:`repro.sim.ooo.run_ooo` exactly --
+same fetch-queue, window, function-unit, commit and control-flow
+arithmetic -- and the differential suite in ``tests/sim/test_replay.py``
+holds it cycle-exact against the execute-driven reference.  One
+deliberate simplification: commit times are non-decreasing (each commit
+is clamped to its predecessor), so the final commit time *is* the
+last-commit cycle and no per-instruction maximum is kept.
+
+All timing parameters stay runtime variables -- issue width, fetch
+queue, RUU size, cache geometry, penalties -- so one compiled kernel
+serves every architecture and CodePack configuration that replays the
+same trace (the kernel is cached on the :class:`~repro.sim.replay
+.Trace` object).
+"""
+
+from array import array
+from collections import Counter
+
+from repro.sim.cpu import (
+    EX_BRANCH,
+    EX_JUMP,
+    EX_LOAD,
+    EX_MULT,
+    EX_STORE,
+)
+from repro.sim.ooo import FRONT_END_LATENCY
+
+#: Unroll a span shape when it recurs at least this many times ...
+DEFAULT_MIN_COUNT = 6
+#: ... up to this many distinct shapes (most frequent first).
+DEFAULT_MAX_SHAPES = 512
+
+
+def _emit_fetch_first(out, pad, addr):
+    """Fetch timing for a span's first instruction (unknown line state).
+
+    A span may follow a redirect (``cur_line == -1``) or fall through
+    from a not-taken branch or syscall (line state intact), so the full
+    three-way check of ``FetchUnit.fetch`` is emitted.
+    """
+    out.append(pad + "line = %d // line_bytes" % addr)
+    out.append(pad + "if line != cur_line:")
+    out.append(pad + "    cur_line = line")
+    out.append(pad + "    if not access_line(line):")
+    _emit_miss(out, pad + "        ", addr)
+    out.append(pad + "    elif fill_line == line:")
+    _emit_consult(out, pad + "        ", addr)
+    out.append(pad + "elif fill_line == line:")
+    _emit_consult(out, pad + "    ", addr)
+
+
+def _emit_fetch_body(out, pad, addr):
+    """Fetch timing for an in-span instruction.
+
+    Straight-line code visits a new line only when the address crosses
+    a line boundary, so the resident-line fast path is two comparisons.
+    """
+    out.append(pad + "if not %d %% line_bytes:" % addr)
+    out.append(pad + "    cur_line = line = %d // line_bytes" % addr)
+    out.append(pad + "    if not access_line(line):")
+    _emit_miss(out, pad + "        ", addr)
+    out.append(pad + "    elif fill_line == line:")
+    _emit_consult(out, pad + "        ", addr)
+    out.append(pad + "elif fill_line == line:")
+    _emit_consult(out, pad + "    ", addr)
+
+
+def _emit_miss(out, pad, addr):
+    out.append(pad + "fill = miss(%d, fq_time)" % addr)
+    out.append(pad + "fetch_unit._fill = fill")
+    out.append(pad + "if mtrace is not None:")
+    out.append(pad + "    mtrace.record(%d, fq_time, fill)" % addr)
+    out.append(pad + "fill_line = line")
+    out.append(pad + "fill_times = fill.word_times")
+    out.append(pad + "a = fill.critical_ready")
+    out.append(pad + "if a > fq_time:")
+    out.append(pad + "    fq_time = a")
+    out.append(pad + "    fq_count = 0")
+
+
+def _emit_consult(out, pad, addr):
+    out.append(pad + "a = fill_times[%d %% line_bytes >> 2]" % addr)
+    out.append(pad + "if a > fq_time:")
+    out.append(pad + "    fq_time = a")
+    out.append(pad + "    fq_count = 0")
+
+
+def _emit_instr(out, pad, addr, op, first, penalty_expr="penalty"):
+    """Unrolled timing for one static instruction at *addr*."""
+    from repro.sim.replay import NO_DST, NO_SRC
+
+    ex, latency, s0, s1, d0, d1 = op
+    srcs = [r for r in (s0, s1) if r != NO_SRC]
+    dsts = [r for r in (d0, d1) if r != NO_DST]
+
+    # ---- fetch: in order, fetch_width per cycle ----------------------
+    if first:
+        _emit_fetch_first(out, pad, addr)
+    else:
+        _emit_fetch_body(out, pad, addr)
+    out.append(pad + "dispatch = fq_time + %d" % FRONT_END_LATENCY)
+    out.append(pad + "fq_count += 1")
+    out.append(pad + "if fq_count >= fetch_width:")
+    out.append(pad + "    fq_time += 1")
+    out.append(pad + "    fq_count = 0")
+
+    # ---- dispatch (window) and operand readiness ---------------------
+    out.append(pad + "t = commit_ring[ring_pos]")
+    out.append(pad + "if t > dispatch: dispatch = t")
+    for reg in srcs:
+        out.append(pad + "t = reg_ready[%d]" % reg)
+        out.append(pad + "if t > dispatch: dispatch = t")
+
+    # ---- function unit + completion ----------------------------------
+    if ex == EX_MULT:
+        out.append(pad + "t = mult_free[0]")
+        out.append(pad + "if dispatch > t: t = dispatch")
+        out.append(pad + "heapreplace(mult_free, t + %d)" % latency)
+        out.append(pad + "complete = t + %d" % latency)
+    elif ex == EX_LOAD or ex == EX_STORE:
+        out.append(pad + "t = mem_free[0]")
+        out.append(pad + "if dispatch > t: t = dispatch")
+        out.append(pad + "heapreplace(mem_free, t + 1)")
+        if ex == EX_LOAD:
+            out.append(pad + "complete = t + %d" % latency)
+            out.append(pad + "if not dcache_access(mem_addrs[mi]):")
+            out.append(pad + "    if shared_bus:")
+            out.append(pad + "        complete = "
+                             "memory_access_done(dline, t) + 1")
+            out.append(pad + "    else:")
+            out.append(pad + "        complete = t + dmiss_latency")
+        else:
+            out.append(pad + "dcache_access(mem_addrs[mi])")
+            out.append(pad + "complete = t + %d" % latency)
+        out.append(pad + "mi += 1")
+    else:  # plain, branch, jump, syscall: one ALU slot for one cycle
+        out.append(pad + "t = alu_free[0]")
+        out.append(pad + "if dispatch > t: t = dispatch")
+        if latency == 1:
+            out.append(pad + "complete = t + 1")
+            out.append(pad + "heapreplace(alu_free, complete)")
+        else:
+            out.append(pad + "heapreplace(alu_free, t + 1)")
+            out.append(pad + "complete = t + %d" % latency)
+    for reg in dsts:
+        out.append(pad + "reg_ready[%d] = complete" % reg)
+
+    # ---- commit: in order, commit_width per cycle --------------------
+    out.append(pad + "c = complete + 1")
+    out.append(pad + "if c < prev_commit: c = prev_commit")
+    out.append(pad + "if c > cm_time:")
+    out.append(pad + "    cm_time = c")
+    out.append(pad + "    cm_count = 1")
+    out.append(pad + "else:")
+    out.append(pad + "    c = cm_time")
+    out.append(pad + "    cm_count += 1")
+    out.append(pad + "if cm_count >= commit_width:")
+    out.append(pad + "    cm_time += 1")
+    out.append(pad + "    cm_count = 0")
+    out.append(pad + "prev_commit = c")
+    out.append(pad + "commit_ring[ring_pos] = c")
+    out.append(pad + "ring_pos += 1")
+    out.append(pad + "if ring_pos == ruu_size: ring_pos = 0")
+
+    # ---- control flow ------------------------------------------------
+    if ex == EX_BRANCH:
+        out.append(pad + "taken = takens[bi]")
+        out.append(pad + "bi += 1")
+        out.append(pad + "lookups += 1")
+        out.append(pad + "if predict(%d) != taken:" % addr)
+        out.append(pad + "    update(%d, taken)" % addr)
+        out.append(pad + "    mispredicts += 1")
+        out.append(pad + "    t = complete + %s" % penalty_expr)
+        out.append(pad + "    if t > fq_time:")
+        out.append(pad + "        fq_time = t")
+        out.append(pad + "        fq_count = 0")
+        out.append(pad + "    cur_line = -1")
+        out.append(pad + "else:")
+        out.append(pad + "    update(%d, taken)" % addr)
+        out.append(pad + "    if taken:")
+        out.append(pad + "        fq_time += 1")
+        out.append(pad + "        fq_count = 0")
+        out.append(pad + "        cur_line = -1")
+    elif ex == EX_JUMP:
+        out.append(pad + "fq_time += 1")
+        out.append(pad + "fq_count = 0")
+        out.append(pad + "cur_line = -1")
+    # EX_SYSCALL and plain span tails: no front-end effect.
+
+
+_GENERIC_LOOP = """\
+{pad}addr = {base} + (index << 2)
+{pad}for j in range(index, index + count):
+{pad}    ex, latency, s0, s1, d0, d1 = ops[j]
+{pad}    line = addr // line_bytes
+{pad}    if line != cur_line:
+{pad}        cur_line = line
+{pad}        if not access_line(line):
+{pad}            fill = miss(addr, fq_time)
+{pad}            fetch_unit._fill = fill
+{pad}            if mtrace is not None:
+{pad}                mtrace.record(addr, fq_time, fill)
+{pad}            fill_line = line
+{pad}            fill_times = fill.word_times
+{pad}            a = fill.critical_ready
+{pad}            if a > fq_time:
+{pad}                fq_time = a
+{pad}                fq_count = 0
+{pad}        elif fill_line == line:
+{pad}            a = fill_times[addr % line_bytes >> 2]
+{pad}            if a > fq_time:
+{pad}                fq_time = a
+{pad}                fq_count = 0
+{pad}    elif fill_line == line:
+{pad}        a = fill_times[addr % line_bytes >> 2]
+{pad}        if a > fq_time:
+{pad}            fq_time = a
+{pad}            fq_count = 0
+{pad}    dispatch = fq_time + {front_end}
+{pad}    fq_count += 1
+{pad}    if fq_count >= fetch_width:
+{pad}        fq_time += 1
+{pad}        fq_count = 0
+{pad}    t = commit_ring[ring_pos]
+{pad}    if t > dispatch: dispatch = t
+{pad}    t = reg_ready[s0]
+{pad}    if t > dispatch: dispatch = t
+{pad}    t = reg_ready[s1]
+{pad}    if t > dispatch: dispatch = t
+{pad}    if ex == {ex_load} or ex == {ex_store}:
+{pad}        t = mem_free[0]
+{pad}        if dispatch > t: t = dispatch
+{pad}        heapreplace(mem_free, t + 1)
+{pad}        complete = t + latency
+{pad}        if ex == {ex_load}:
+{pad}            if not dcache_access(mem_addrs[mi]):
+{pad}                if shared_bus:
+{pad}                    complete = memory_access_done(dline, t) + 1
+{pad}                else:
+{pad}                    complete = t + dmiss_latency
+{pad}        else:
+{pad}            dcache_access(mem_addrs[mi])
+{pad}        mi += 1
+{pad}    elif ex == {ex_mult}:
+{pad}        t = mult_free[0]
+{pad}        if dispatch > t: t = dispatch
+{pad}        heapreplace(mult_free, t + latency)
+{pad}        complete = t + latency
+{pad}    else:
+{pad}        t = alu_free[0]
+{pad}        if dispatch > t: t = dispatch
+{pad}        heapreplace(alu_free, t + 1)
+{pad}        complete = t + latency
+{pad}    reg_ready[d0] = complete
+{pad}    reg_ready[d1] = complete
+{pad}    c = complete + 1
+{pad}    if c < prev_commit: c = prev_commit
+{pad}    if c > cm_time:
+{pad}        cm_time = c
+{pad}        cm_count = 1
+{pad}    else:
+{pad}        c = cm_time
+{pad}        cm_count += 1
+{pad}    if cm_count >= commit_width:
+{pad}        cm_time += 1
+{pad}        cm_count = 0
+{pad}    prev_commit = c
+{pad}    commit_ring[ring_pos] = c
+{pad}    ring_pos += 1
+{pad}    if ring_pos == ruu_size: ring_pos = 0
+{pad}    if ex == {ex_branch}:
+{pad}        taken = takens[bi]
+{pad}        bi += 1
+{pad}        lookups += 1
+{pad}        if predict(addr) != taken:
+{pad}            update(addr, taken)
+{pad}            mispredicts += 1
+{pad}            t = complete + penalty
+{pad}            if t > fq_time:
+{pad}                fq_time = t
+{pad}                fq_count = 0
+{pad}            cur_line = -1
+{pad}        else:
+{pad}            update(addr, taken)
+{pad}            if taken:
+{pad}                fq_time += 1
+{pad}                fq_count = 0
+{pad}                cur_line = -1
+{pad}    elif ex == {ex_jump}:
+{pad}        fq_time += 1
+{pad}        fq_count = 0
+{pad}        cur_line = -1
+{pad}    addr += 4
+"""
+
+
+def _generic_loop(pad, text_base):
+    return _GENERIC_LOOP.format(
+        pad=pad, base=text_base, front_end=FRONT_END_LATENCY,
+        ex_load=EX_LOAD, ex_store=EX_STORE, ex_mult=EX_MULT,
+        ex_branch=EX_BRANCH, ex_jump=EX_JUMP).rstrip("\n").split("\n")
+
+
+def select_shapes(trace, min_count=DEFAULT_MIN_COUNT,
+                  max_shapes=DEFAULT_MAX_SHAPES):
+    """Pick span shapes worth unrolling; returns (shapes, sids).
+
+    ``shapes`` is a list of ``(start, length)`` ordered most frequent
+    first (shape id = position + 1); ``sids`` maps every span of the
+    trace to its shape id (0 = take the generic loop).
+    """
+    counts = Counter(zip(trace.span_start, trace.span_len))
+    hot = [shape for shape, n in counts.most_common(max_shapes)
+           if n >= min_count]
+    ids = {shape: i + 1 for i, shape in enumerate(hot)}
+    sids = array("i", (ids.get(shape, 0)
+                       for shape in zip(trace.span_start, trace.span_len)))
+    return hot, sids
+
+
+def build_ooo_source(ops, trace, shapes):
+    """The source of a specialised OOO replay kernel for *trace*.
+
+    ``ops`` is :attr:`repro.sim.replay.ReplayTable.ops`; ``shapes`` the
+    unroll list from :func:`select_shapes`.  The generated function has
+    the same contract as the generic kernel it specialises (see
+    :func:`repro.sim.replay.replay_ooo`), with span dispatch driven by
+    the matching ``sids`` array.
+    """
+    base = trace.text_base
+    out = [
+        "def _replay_ooo_compiled(trace, sids, ops, fetch_unit, dcache, "
+        "memory, predictor, arch, limit, heapreplace):",
+        "    span_start = trace.span_start",
+        "    span_len = trace.span_len",
+        "    takens = trace.takens",
+        "    mem_addrs = trace.mem_addrs",
+        "    reg_ready = [0] * 36",  # 34 arch slots + NO_SRC + NO_DST
+        "    ruu_size = arch.ruu_size",
+        "    commit_ring = [0] * ruu_size",
+        "    ring_pos = 0",
+        "    fetch_width = arch.fetch_queue",
+        "    commit_width = arch.issue_width",
+        "    penalty = arch.mispredict_penalty",
+        "    alu_free = [0] * arch.n_alu",
+        "    mult_free = [0] * arch.n_mult",
+        "    mem_free = [0] * arch.n_memport",
+        "    fq_time = 0",
+        "    fq_count = 0",
+        "    cm_time = 0",
+        "    cm_count = 0",
+        "    prev_commit = 0",
+        "    lookups = 0",
+        "    mispredicts = 0",
+        "    dline = dcache.line_bytes",
+        "    shared_bus = getattr(memory, 'shared', False)",
+        "    base_memory = memory.config if shared_bus else memory",
+        "    dmiss_latency = base_memory.access_done(dline, 0) + 1",
+        "    memory_access_done = memory.access_done",
+        "    dcache_access = dcache.access",
+        "    predict = predictor.predict",
+        "    update = predictor.update",
+        "    line_bytes = fetch_unit.line_bytes",
+        "    access_line = fetch_unit.icache.access_line",
+        "    miss = fetch_unit.miss_path.miss",
+        "    mtrace = fetch_unit.trace",
+        "    cur_line = fetch_unit._cur_line",
+        "    fill = fetch_unit._fill",
+        "    fill_line = fill.line_addr if fill is not None else -1",
+        "    fill_times = fill.word_times if fill is not None else None",
+        "    instret = 0",
+        "    mi = 0",
+        "    bi = 0",
+        "    part = -1",
+        "    for s in range(len(span_start)):",
+        "        count = span_len[s]",
+        "        if instret + count > limit:",
+        "            part = s",
+        "            break",
+        "        sid = sids[s]",
+    ]
+    keyword = "if"
+    for sid, (start, length) in enumerate(shapes, start=1):
+        out.append("        %s sid == %d:" % (keyword, sid))
+        keyword = "elif"
+        pad = "            "
+        for k in range(length):
+            j = start + k
+            _emit_instr(out, pad, base + (j << 2), ops[j], first=(k == 0))
+    if shapes:
+        out.append("        else:")
+        pad = "            "
+    else:
+        pad = "        "
+    out.append(pad + "index = span_start[s]")
+    out.extend(_generic_loop(pad, base))
+    out.append("        instret += count")
+    # Budget-truncated tail: the partial span replays generically.
+    out.append("    if part >= 0 and instret < limit:")
+    out.append("        index = span_start[part]")
+    out.append("        count = limit - instret")
+    out.extend(_generic_loop("        ", base))
+    out.append("        instret += count")
+    out.append("    fetch_unit._cur_line = cur_line")
+    out.append("    return prev_commit, lookups, mispredicts, instret")
+    return "\n".join(out) + "\n"
+
+
+def compile_ooo_kernel(ops, trace, min_count=DEFAULT_MIN_COUNT,
+                       max_shapes=DEFAULT_MAX_SHAPES):
+    """Build and compile the kernel; returns ``(function, sids)``."""
+    shapes, sids = select_shapes(trace, min_count=min_count,
+                                 max_shapes=max_shapes)
+    source = build_ooo_source(ops, trace, shapes)
+    namespace = {}
+    exec(compile(source, "<replay-ooo-kernel>", "exec"), namespace)
+    return namespace["_replay_ooo_compiled"], sids

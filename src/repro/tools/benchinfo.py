@@ -1,0 +1,94 @@
+"""Shared provenance header for ``BENCH_*.json`` reports.
+
+Every benchmark artifact the repo emits (codec, sweep, serve, replay)
+carries the same ``"provenance"`` block so a number can always be tied
+back to the machine, interpreter and commit that produced it::
+
+    {"provenance": {
+        "timestamp_utc": "2026-01-01T00:00:00+00:00",
+        "python": "3.12.3",
+        "implementation": "CPython",
+        "platform": "Linux-...-x86_64",
+        "cpu_count": 8,
+        "git_sha": "0123abcd..."    # or null outside a checkout
+    }, ...}
+
+:func:`provenance` never raises: fields it cannot determine (no git
+binary, not a checkout) are ``None`` rather than fatal, so benchmarks
+run identically in CI, in a bare container and from an sdist.
+"""
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+__all__ = ["provenance", "stamp", "write_report"]
+
+
+def _git_sha():
+    """The current commit hash, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.decode("ascii", "replace").strip()
+    return sha or None
+
+
+def provenance():
+    """Host/interpreter/commit identification for benchmark reports."""
+    return {
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def stamp(payload):
+    """Return *payload* with a ``"provenance"`` block added.
+
+    The payload's own keys win on collision (an existing provenance
+    block is preserved, e.g. when re-stamping a merged report).
+    """
+    stamped = {"provenance": provenance()}
+    stamped.update(payload)
+    return stamped
+
+
+def write_report(path, payload, merge=True):
+    """Write a stamped benchmark report to *path* as JSON.
+
+    With ``merge=True`` (the default) an existing readable report at
+    *path* is updated key-by-key rather than replaced, which is how the
+    multi-test benchmark modules accumulate their sections; the
+    provenance block is refreshed on every write.
+    """
+    record = {}
+    if merge and os.path.exists(path):
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except Exception:
+            record = {}
+    record.update(payload)
+    record["provenance"] = provenance()
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return record
+
+
+if __name__ == "__main__":
+    print(json.dumps(provenance(), indent=2))

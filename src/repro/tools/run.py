@@ -6,6 +6,8 @@ Examples::
     python -m repro.tools.run prog.ss32 --arch 1-issue --codepack
     python -m repro.tools.run prog.ss32 --codepack --optimized --image p.cpk
     python -m repro.tools.run prog.ss32 --compare
+    python -m repro.tools.run prog.ss32 --compare --replay
+    python -m repro.tools.run prog.ss32 --trace-cache .repro_cache/traces
 """
 
 import argparse
@@ -13,6 +15,7 @@ import sys
 
 from repro.sim.config import BASELINES, CodePackConfig
 from repro.sim.machine import simulate
+from repro.sim.replay import TraceCache, record_trace
 from repro.tools.container import load_image, load_program
 
 
@@ -57,21 +60,43 @@ def main(argv=None):
                              "print a comparison")
     parser.add_argument("--max-instructions", type=int,
                         default=5_000_000)
+    parser.add_argument("--replay", action="store_true", default=None,
+                        help="functional/timing split: record the trace "
+                             "once and drive the timing-only replay "
+                             "engine (implied by --trace-cache)")
+    parser.add_argument("--no-replay", dest="replay",
+                        action="store_false",
+                        help="force execute-driven simulation")
+    parser.add_argument("--trace-cache", metavar="DIR",
+                        help="persist/reuse recorded traces under DIR")
     args = parser.parse_args(argv)
 
     program = load_program(args.program)
     arch = BASELINES[args.arch]
     image = load_image(args.image) if args.image else None
 
+    trace_cache = TraceCache(args.trace_cache) if args.trace_cache \
+        else None
+    replay = args.replay if args.replay is not None \
+        else trace_cache is not None
+
     if args.compare:
-        native = simulate(program, arch,
+        # One functional pass serves all three timing models.
+        if replay:
+            if trace_cache is not None:
+                replay = trace_cache.get_or_record(
+                    program, max_instructions=args.max_instructions)
+            else:
+                replay = record_trace(
+                    program, max_instructions=args.max_instructions)
+        native = simulate(program, arch, replay=replay,
                           max_instructions=args.max_instructions)
         baseline = simulate(program, arch, codepack=CodePackConfig(),
-                            image=image,
+                            image=image, replay=replay,
                             max_instructions=args.max_instructions)
         optimized = simulate(program, arch,
                              codepack=CodePackConfig.optimized(),
-                             image=image,
+                             image=image, replay=replay,
                              max_instructions=args.max_instructions)
         print("%-24s %10s %8s %9s" % ("model", "cycles", "IPC",
                                       "speedup"))
@@ -86,7 +111,8 @@ def main(argv=None):
         codepack = CodePackConfig.optimized() if args.optimized \
             else CodePackConfig()
     result = simulate(program, arch, codepack=codepack, image=image,
-                      max_instructions=args.max_instructions)
+                      max_instructions=args.max_instructions,
+                      replay=replay, trace_cache=trace_cache)
     _report(result)
     return 0
 

@@ -20,7 +20,9 @@ and global accesses materialise scattered 32-bit addresses with
 """
 
 import random
+from bisect import bisect as _bisect
 from dataclasses import dataclass
+from itertools import accumulate as _accumulate
 
 from repro.isa.builder import AsmBuilder
 from repro.isa.registers import (
@@ -96,46 +98,78 @@ class CallHeavyParams:
 
 
 class _OperandSampler:
-    """Draws registers and immediates with benchmark-specific skew."""
+    """Draws registers and immediates with benchmark-specific skew.
+
+    Benchmark content is defined by the exact sequence of draws from the
+    seeded ``Random`` (golden results hash the generated programs), so
+    every shortcut here must consume the underlying stream identically
+    to the call it replaces: ``reg`` inlines ``choices(pop, weights,
+    k=1)[0]`` -- one ``random()`` bisected into a *precomputed*
+    cumulative-weight table instead of rebuilding it per draw -- and the
+    ``randbelow`` attribute exposes the kernel inside ``randrange``
+    (which is just argument checking around one ``_randbelow(width)``
+    call), falling back to ``randrange`` itself off CPython.
+    """
 
     def __init__(self, rng, params):
         self.rng = rng
         self.params = params
         self._weights = _REG_PROFILES[params.reg_profile]
+        self._cum = list(_accumulate(self._weights))
+        self._total = self._cum[-1] + 0.0
+        self._hi = len(_TEMP_REGS) - 1
+        self._random = rng.random
+        self.randbelow = getattr(rng, "_randbelow", rng.randrange)
 
     def reg(self):
-        return self.rng.choices(_TEMP_REGS, weights=self._weights, k=1)[0]
+        return _TEMP_REGS[_bisect(self._cum, self._random() * self._total,
+                                  0, self._hi)]
 
     def imm(self):
         """Mostly-small immediates with a rare arbitrary tail."""
-        roll = self.rng.randrange(100)
+        randbelow = self.randbelow
+        roll = randbelow(100)
         if roll < self.params.rare_imm_pct:
-            return self.rng.randrange(0, 0x8000)
+            return randbelow(0x8000)
         if roll < self.params.rare_imm_pct + 50:
-            return self.rng.randrange(0, 16)
-        return self.rng.randrange(0, 256)
+            return randbelow(16)
+        return randbelow(256)
+
+
+def _alu_tables(b):
+    """Per-builder bound-method tables for :func:`_emit_alu`.
+
+    ``rng.choice`` consumes the stream as a function of the sequence
+    *length* only, so hoisting the tuples out of the per-instruction
+    path cannot change the generated program.
+    """
+    tables = getattr(b, "_alu_tables", None)
+    if tables is None:
+        tables = ((b.addu, b.subu, b.xor, b.or_, b.and_),
+                  (b.addiu, b.andi, b.ori, b.xori, b.slti),
+                  (b.sll, b.srl, b.sra))
+        b._alu_tables = tables
+    return tables
 
 
 def _emit_alu(b, s):
     rng = s.rng
-    choice = rng.randrange(10)
+    choice = s.randbelow(10)
     rd, rs, rt = s.reg(), s.reg(), s.reg()
+    three_reg, immediate, shift = _alu_tables(b)
     if choice < 4:
-        op = rng.choice((b.addu, b.subu, b.xor, b.or_, b.and_))
-        op(rd, rs, rt)
+        rng.choice(three_reg)(rd, rs, rt)
     elif choice < 7:
-        op = rng.choice((b.addiu, b.andi, b.ori, b.xori, b.slti))
-        op(rd, rs, s.imm())
+        rng.choice(immediate)(rd, rs, s.imm())
     elif choice < 9:
-        op = rng.choice((b.sll, b.srl, b.sra))
-        op(rd, rs, rng.randrange(1, 9))
+        rng.choice(shift)(rd, rs, 1 + s.randbelow(8))
     else:
         b.slt(rd, rs, rt)
 
 
 def _emit_stack_access(b, s):
-    offset = 4 * s.rng.randrange(0, 8)  # within the frame, below $ra
-    if s.rng.randrange(2):
+    offset = 4 * s.randbelow(8)  # within the frame, below $ra
+    if s.randbelow(2):
         b.sw(s.reg(), offset, SP)
     else:
         b.lw(s.reg(), offset, SP)
@@ -146,10 +180,10 @@ def _emit_global_access(b, s):
     # low halfword from a wide span is exactly the kind of value
     # CodePack leaves raw; a narrow span repeats values the dictionary
     # captures, which is how the low-raw-fraction benchmarks behave.
-    addr = GLOBAL_BASE + 4 * s.rng.randrange(0, s.params.global_span)
+    addr = GLOBAL_BASE + 4 * s.randbelow(s.params.global_span)
     reg = s.reg()
     b.li(reg, addr)
-    if s.rng.randrange(3):
+    if s.randbelow(3):
         b.lw(s.reg(), 0, reg)
     else:
         b.sw(s.reg(), 0, reg)
@@ -158,11 +192,11 @@ def _emit_global_access(b, s):
 def _emit_diamond(b, s, label_stem):
     ra_reg, rb_reg = s.reg(), s.reg()
     skip = "%s_skip_%d" % (label_stem, len(b._words))
-    if s.rng.randrange(2):
+    if s.randbelow(2):
         b.beq(ra_reg, rb_reg, skip)
     else:
         b.bne(ra_reg, rb_reg, skip)
-    for _ in range(s.rng.randrange(1, 4)):
+    for _ in range(1 + s.randbelow(3)):
         _emit_alu(b, s)
     b.label(skip)
 
@@ -176,9 +210,11 @@ def _emit_body(b, s, label_stem, leaf_labels, allow_calls):
     """Emit one function body between prologue and epilogue."""
     params = s.params
     rng = s.rng
-    n_ops = rng.randrange(params.body_min, params.body_max + 1)
+    randbelow = s.randbelow
+    n_ops = params.body_min \
+        + randbelow(params.body_max + 1 - params.body_min)
     for _ in range(n_ops):
-        kind = rng.randrange(100)
+        kind = randbelow(100)
         if kind < 45:
             _emit_alu(b, s)
         elif kind < 60:

@@ -238,7 +238,10 @@ class TestWorkbenchCache:
         cold = Workbench(scale=self.SCALE, cache=str(tmp_path))
         a = cold.run("pegwit", ARCH_1_ISSUE)
         for name in os.listdir(str(tmp_path)):
-            with open(os.path.join(str(tmp_path), name), "w") as handle:
+            path = os.path.join(str(tmp_path), name)
+            if os.path.isdir(path):  # e.g. the traces/ subdirectory
+                continue
+            with open(path, "w") as handle:
                 handle.write('{"format": 1, "result": {"benchm')
         warm = Workbench(scale=self.SCALE, cache=str(tmp_path))
         b = warm.run("pegwit", ARCH_1_ISSUE)

@@ -1,0 +1,261 @@
+"""Differential suite: trace replay vs the execute-driven models.
+
+:mod:`repro.sim.replay` promises cycle-exactness: recording a program's
+functional trace once and replaying it under any timing configuration
+must reproduce the execute-driven :func:`run_inorder` / :func:`run_ooo`
+result bit-for-bit.  These tests hold it to that across issue widths,
+CodePack modes, ablation knobs, instruction-budget truncation, miss
+traces and architectural faults, and pin the compiled replay kernels
+against the generic interpreting loop they were generated from.
+"""
+
+import dataclasses
+from dataclasses import replace
+
+import pytest
+
+from repro.eval.experiments import CP_BASELINE, CP_OPTIMIZED
+from repro.codepack.compressor import compress_program
+from repro.isa.assembler import assemble
+from repro.sim.branch import make_predictor
+from repro.sim.cache import Cache
+from repro.sim.config import ARCH_1_ISSUE, ARCH_4_ISSUE, ARCH_8_ISSUE
+from repro.sim.cpu import SimulationError
+from repro.sim.fetch import FetchUnit, NativeMissPath
+from repro.sim.machine import prepare, simulate
+from repro.sim.memory import MemoryChannel
+from repro.sim.replay import (
+    TraceError,
+    record_trace,
+    replay_ooo,
+)
+from repro.sim.trace import MissTrace
+from repro.workloads.suite import build_benchmark
+
+SCALE = 0.02
+
+ARCHS = {a.name: a for a in (ARCH_1_ISSUE, ARCH_4_ISSUE, ARCH_8_ISSUE)}
+
+CP_NOBUF = replace(CP_BASELINE, output_buffer=False)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Programs, predecode, image and recorded trace per benchmark."""
+    out = {}
+    for name in ("cc1", "pegwit", "mpeg2enc"):
+        program = build_benchmark(name, SCALE)
+        static = prepare(program)
+        image = compress_program(program)
+        trace = record_trace(program, static=static)
+        out[name] = (program, static, image, trace)
+    return out
+
+
+def result_state(result):
+    """Everything two equivalent runs must agree on."""
+    d = result.to_dict()
+    d.pop("mode")  # informational label, not simulated state
+    return d
+
+
+def both(suite, bench, arch, codepack=None, **kwargs):
+    program, static, image, trace = suite[bench]
+    image = image if codepack else None
+    ref = simulate(program, arch, codepack=codepack, image=image,
+                   static=static, **kwargs)
+    got = simulate(program, arch, codepack=codepack, image=image,
+                   static=static, replay=trace, **kwargs)
+    return ref, got
+
+
+class TestDifferentialSuite:
+    @pytest.mark.parametrize("bench", ("cc1", "pegwit", "mpeg2enc"))
+    @pytest.mark.parametrize("codepack", (None, CP_BASELINE, CP_OPTIMIZED),
+                             ids=("native", "codepack", "optimized"))
+    @pytest.mark.parametrize("arch", sorted(ARCHS))
+    def test_cycle_exact(self, suite, bench, codepack, arch):
+        ref, got = both(suite, bench, ARCHS[arch], codepack=codepack)
+        assert result_state(ref) == result_state(got)
+
+    @pytest.mark.parametrize("arch", sorted(ARCHS))
+    @pytest.mark.parametrize("cap", (1, 7, 997))
+    def test_instruction_budget_truncation(self, suite, arch, cap):
+        ref, got = both(suite, "cc1", ARCHS[arch], max_instructions=cap)
+        assert ref.instructions == cap
+        assert result_state(ref) == result_state(got)
+        assert ref.extra["truncated"] and got.extra["truncated"]
+
+    @pytest.mark.parametrize("arch", sorted(ARCHS))
+    def test_shared_memory_bus(self, suite, arch):
+        ref, got = both(suite, "pegwit", ARCHS[arch].with_shared_bus(),
+                        codepack=CP_BASELINE)
+        assert result_state(ref) == result_state(got)
+
+    def test_no_output_buffer(self, suite):
+        ref, got = both(suite, "cc1", ARCH_4_ISSUE, codepack=CP_NOBUF)
+        assert result_state(ref) == result_state(got)
+
+    def test_no_critical_word_first(self, suite):
+        ref, got = both(suite, "cc1", ARCH_4_ISSUE,
+                        critical_word_first=False)
+        assert result_state(ref) == result_state(got)
+
+    def test_native_prefetch(self, suite):
+        ref, got = both(suite, "cc1", ARCH_4_ISSUE, native_prefetch=True)
+        assert result_state(ref) == result_state(got)
+
+    def test_replay_true_records_on_the_fly(self, suite):
+        # replay=True (no pre-recorded trace) must behave like passing
+        # the Trace object explicitly.
+        program, static, _, trace = suite["pegwit"]
+        ref = simulate(program, ARCH_4_ISSUE, static=static, replay=trace)
+        got = simulate(program, ARCH_4_ISSUE, static=static, replay=True)
+        assert result_state(ref) == result_state(got)
+
+    def test_miss_trace_identical(self, suite):
+        program, static, image, trace = suite["cc1"]
+        ref_trace, got_trace = MissTrace(), MissTrace()
+        simulate(program, ARCH_4_ISSUE, codepack=CP_BASELINE, image=image,
+                 static=static, trace=ref_trace)
+        simulate(program, ARCH_4_ISSUE, codepack=CP_BASELINE, image=image,
+                 static=static, replay=trace, trace=got_trace)
+        assert ref_trace.count == got_trace.count
+        assert ([dataclasses.astuple(e) for e in ref_trace.events]
+                == [dataclasses.astuple(e) for e in got_trace.events])
+
+
+class TestCompiledKernel:
+    """The per-trace generated OOO kernel vs the generic loop.
+
+    The compiled kernel only runs for truncating caps (full replays go
+    through the profile-driven stream kernel), so the comparison pins
+    a mid-stream cap on every architecture.
+    """
+
+    def timing_state(self, suite, bench, arch, cap, compiled):
+        program, static, image, trace = suite[bench]
+        channel = MemoryChannel(arch.memory, shared=arch.shared_memory_bus)
+        fetch_unit = FetchUnit(
+            Cache(arch.icache),
+            NativeMissPath(channel, arch.icache.line_bytes))
+        dcache = Cache(arch.dcache)
+        out = replay_ooo(static, trace, fetch_unit, dcache, channel,
+                         make_predictor(arch.predictor), arch, cap,
+                         compiled=compiled)
+        return out + (fetch_unit.icache.stats.accesses,
+                      fetch_unit.icache.stats.misses,
+                      dcache.stats.accesses, dcache.stats.misses)
+
+    @pytest.mark.parametrize("arch", ("4-issue", "8-issue"))
+    @pytest.mark.parametrize("cap", (7, 997, 4999))
+    def test_compiled_matches_generic(self, suite, arch, cap):
+        arch = ARCHS[arch]
+        fast = self.timing_state(suite, "pegwit", arch, cap, True)
+        slow = self.timing_state(suite, "pegwit", arch, cap, False)
+        assert fast == slow
+
+    def test_generic_matches_execute(self, suite):
+        # compiled=False is the oracle for the codegen; it must itself
+        # match the execute-driven model on a truncating cap.
+        program, static, _, trace = suite["pegwit"]
+        ref = simulate(program, ARCH_4_ISSUE, static=static,
+                       max_instructions=997)
+        generic = self.timing_state(suite, "pegwit", ARCH_4_ISSUE, 997,
+                                    False)
+        assert generic[0] == ref.cycles
+        assert generic[1] == ref.branch_lookups
+        assert generic[2] == ref.branch_mispredicts
+
+    def test_kernel_cached_on_trace(self, suite):
+        _, _, _, trace = suite["pegwit"]
+        self.timing_state(suite, "pegwit", ARCH_4_ISSUE, 997, True)
+        cached = trace._kernel
+        assert cached is not None
+        self.timing_state(suite, "pegwit", ARCH_8_ISSUE, 997, True)
+        assert trace._kernel is cached  # shared across architectures
+
+
+FAULTS = {
+    "pc_escape": ".text 0x400000\naddiu $t0, $zero, 1",
+    "misaligned_load":
+        ".text 0x400000\nli $t0, 0x10000001\nlw $t1, 0($t0)",
+    "unknown_syscall": ".text 0x400000\naddiu $v0, $zero, 99\nsyscall",
+}
+
+
+class TestFaultExactness:
+    @pytest.mark.parametrize("arch", ("1-issue", "4-issue"))
+    @pytest.mark.parametrize("codepack", (None, CP_BASELINE),
+                             ids=("native", "codepack"))
+    @pytest.mark.parametrize("fault", sorted(FAULTS))
+    def test_fault_matches(self, fault, codepack, arch):
+        program = assemble(FAULTS[fault])
+        static = prepare(program)
+        image = compress_program(program) if codepack else None
+        trace = record_trace(program, static=static)
+        assert trace.fault is not None or fault == "unknown_syscall"
+        messages = []
+        for replay in (None, trace):
+            with pytest.raises(SimulationError) as err:
+                simulate(program, ARCHS[arch], codepack=codepack,
+                         image=image, static=static, replay=replay)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+    def test_truncation_before_fault_is_clean(self):
+        # A cap that stops short of the faulting instruction must not
+        # raise -- exactly like the execute-driven model.
+        program = assemble(FAULTS["misaligned_load"])
+        static = prepare(program)
+        trace = record_trace(program, static=static)
+        cap = trace.n  # everything recorded before the fault
+        ref = simulate(program, ARCH_1_ISSUE, static=static,
+                       max_instructions=cap)
+        got = simulate(program, ARCH_1_ISSUE, static=static, replay=trace,
+                       max_instructions=cap)
+        assert result_state(ref) == result_state(got)
+
+
+class TestReplayContract:
+    def test_rejects_pc_index(self, suite):
+        program, static, _, _ = suite["pegwit"]
+        pc_index = {st.addr: i for i, st in enumerate(static)}
+        with pytest.raises(ValueError, match="fixed-width"):
+            simulate(program, ARCH_1_ISSUE, pc_index=pc_index, replay=True)
+
+    def test_rejects_foreign_trace(self, suite):
+        program = suite["cc1"][0]
+        trace = suite["pegwit"][3]
+        with pytest.raises(TraceError, match="different program"):
+            simulate(program, ARCH_1_ISSUE, replay=trace)
+
+    def test_rejects_undersized_trace(self, suite):
+        # A trace truncated by its own recording cap (no halt, no
+        # fault) cannot answer a larger replay cap.
+        program, static, _, _ = suite["pegwit"]
+        short = record_trace(program, static=static, max_instructions=100)
+        assert not short.halted and short.fault is None
+        with pytest.raises(TraceError, match="cannot"):
+            simulate(program, ARCH_4_ISSUE, static=static, replay=short,
+                     max_instructions=200)
+
+    def test_undersized_trace_replays_within_cap(self, suite):
+        program, static, _, _ = suite["pegwit"]
+        short = record_trace(program, static=static, max_instructions=100)
+        ref = simulate(program, ARCH_4_ISSUE, static=static,
+                       max_instructions=100)
+        got = simulate(program, ARCH_4_ISSUE, static=static, replay=short,
+                       max_instructions=100)
+        assert result_state(ref) == result_state(got)
+
+    def test_output_truncation_prefix(self, suite):
+        # Syscall output under a truncating cap must be the exact
+        # prefix the execute-driven run produces.
+        program, static, _, trace = suite["mpeg2enc"]
+        assert trace.out_pos, "fixture benchmark must produce output"
+        cap = int(trace.out_pos[0]) + 1  # just past the first write
+        ref, got = both(suite, "mpeg2enc", ARCH_1_ISSUE,
+                        max_instructions=cap)
+        assert ref.output == got.output
+        assert ref.output  # non-trivial prefix

@@ -1,0 +1,203 @@
+"""The persisted trace format and the SHA-keyed trace cache.
+
+:func:`save_trace` / :func:`load_trace` define a versioned, checksummed
+binary container; anything short of a whole, current-version,
+checksum-clean file must be rejected with :class:`TraceFormatError`.
+:class:`TraceCache` layers content-addressed storage on top and must
+invalidate on program change and format-version bumps by construction.
+"""
+
+import struct
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim import replay as replay_mod
+from repro.sim.machine import prepare
+from repro.sim.replay import (
+    TRACE_VERSION,
+    TraceCache,
+    TraceFormatError,
+    load_trace,
+    program_digest,
+    record_trace,
+    save_trace,
+)
+from repro.workloads.suite import build_benchmark
+
+_MAGIC = replay_mod._MAGIC
+
+SOURCE = """
+.text 0x400000
+    addiu $t0, $zero, 3
+    lui $t2, 0x1000
+loop:
+    lw $t1, 0($t2)
+    addiu $t1, $t1, 1
+    sw $t1, 0($t2)
+    addiu $t0, $t0, -1
+    bne $t0, $zero, loop
+    addiu $v0, $zero, 1
+    lw $a0, 0($t2)
+    syscall
+    addiu $v0, $zero, 10
+    syscall
+.data 0x10000000
+    .word 39
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def trace(program):
+    return record_trace(program, static=prepare(program))
+
+
+def trace_state(t):
+    return (t.n, list(t.span_start), list(t.span_len), bytes(t.takens),
+            list(t.mem_addrs), list(t.out_pos), list(t.out_text),
+            t.halted, t.exit_code, t.fault, t.max_instructions,
+            t.text_base, t.program_sha)
+
+
+class TestRoundTrip:
+    def test_fields_survive(self, trace, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace(trace, path)
+        assert trace_state(load_trace(path)) == trace_state(trace)
+
+    def test_benchmark_trace_survives(self, tmp_path):
+        # A real workload: thousands of instructions, output events.
+        program = build_benchmark("pegwit", 0.02)
+        t = record_trace(program, static=prepare(program))
+        path = str(tmp_path / "b.trace")
+        save_trace(t, path)
+        assert trace_state(load_trace(path)) == trace_state(t)
+
+    def test_faulting_trace_survives(self, tmp_path):
+        program = assemble(".text 0x400000\naddiu $t0, $zero, 1")
+        t = record_trace(program, static=prepare(program))
+        assert t.fault is not None
+        path = str(tmp_path / "f.trace")
+        save_trace(t, path)
+        assert load_trace(path).fault == t.fault
+
+    def test_save_creates_directories(self, trace, tmp_path):
+        path = str(tmp_path / "a" / "b" / "t.trace")
+        save_trace(trace, path)
+        assert load_trace(path).n == trace.n
+
+
+class TestRejection:
+    def saved(self, trace, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace(trace, path)
+        with open(path, "rb") as handle:
+            return path, bytearray(handle.read())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="unreadable"):
+            load_trace(str(tmp_path / "absent.trace"))
+
+    def test_bad_magic(self, trace, tmp_path):
+        path, raw = self.saved(trace, tmp_path)
+        raw[0] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        with pytest.raises(TraceFormatError, match="not a trace file"):
+            load_trace(path)
+
+    def test_version_mismatch(self, trace, tmp_path):
+        path, raw = self.saved(trace, tmp_path)
+        struct.pack_into("<I", raw, len(_MAGIC), TRACE_VERSION + 1)
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+    def test_truncated_header(self, trace, tmp_path):
+        path, raw = self.saved(trace, tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(raw[:len(_MAGIC) + 12])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path)
+
+    def test_corrupt_header_json(self, trace, tmp_path):
+        path, raw = self.saved(trace, tmp_path)
+        raw[len(_MAGIC) + 8] = ord("!")  # first header byte: not JSON
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        with pytest.raises(TraceFormatError, match="corrupt"):
+            load_trace(path)
+
+    def test_truncated_payload(self, trace, tmp_path):
+        path, raw = self.saved(trace, tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(raw[:-1])
+        with pytest.raises(TraceFormatError, match="expected"):
+            load_trace(path)
+
+    def test_corrupted_payload_byte(self, trace, tmp_path):
+        path, raw = self.saved(trace, tmp_path)
+        raw[-1] ^= 0x01  # length-preserving flip: only the checksum sees it
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        with pytest.raises(TraceFormatError, match="checksum"):
+            load_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.trace")
+        with open(path, "wb"):
+            pass
+        with pytest.raises(TraceFormatError, match="not a trace file"):
+            load_trace(path)
+
+
+class TestTraceCache:
+    def test_miss_then_hit(self, program, trace, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        assert cache.get(program, trace.max_instructions) is None
+        cache.put(program, trace)
+        got = cache.get(program, trace.max_instructions)
+        assert got is not None and trace_state(got) == trace_state(trace)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_get_or_record(self, program, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        first = cache.get_or_record(program, static=prepare(program))
+        again = cache.get_or_record(program)
+        assert trace_state(first) == trace_state(again)
+        assert cache.hits == 1  # second call served from disk
+
+    def test_cap_is_part_of_the_key(self, program, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        cache.get_or_record(program, max_instructions=5)
+        assert cache.get(program, 6) is None
+
+    def test_program_change_invalidates(self, program, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        cache.get_or_record(program)
+        other = assemble(".text 0x400000\naddiu $v0, $zero, 10\nsyscall")
+        assert program_digest(other) != program_digest(program)
+        assert cache.get(other, 5_000_000) is None
+
+    def test_version_bump_invalidates(self, program, trace, tmp_path,
+                                      monkeypatch):
+        cache = TraceCache(str(tmp_path))
+        cache.put(program, trace)
+        monkeypatch.setattr(replay_mod, "TRACE_VERSION", TRACE_VERSION + 1)
+        assert cache.get(program, trace.max_instructions) is None
+
+    def test_corrupt_entry_is_a_miss(self, program, trace, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        cache.put(program, trace)
+        path = cache._path(cache.key(program, trace.max_instructions))
+        with open(path, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"garbage!")
+        assert cache.get(program, trace.max_instructions) is None
+        assert cache.misses == 1

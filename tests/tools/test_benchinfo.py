@@ -1,0 +1,49 @@
+"""The shared bench-provenance block every BENCH_*.json writer uses."""
+
+import json
+
+from repro.tools.benchinfo import provenance, stamp, write_report
+
+EXPECTED_KEYS = {"timestamp_utc", "python", "implementation", "platform",
+                 "cpu_count", "git_sha"}
+
+
+class TestProvenance:
+    def test_keys(self):
+        info = provenance()
+        assert set(info) == EXPECTED_KEYS
+        assert info["cpu_count"] >= 1
+        assert info["python"].count(".") == 2
+
+    def test_stamp_keeps_payload(self):
+        record = stamp({"bench": "x", "speedup": 2.0})
+        assert record["bench"] == "x" and record["speedup"] == 2.0
+        assert set(record["provenance"]) == EXPECTED_KEYS
+
+    def test_json_serialisable(self):
+        json.dumps(stamp({"n": 1}))
+
+
+class TestWriteReport:
+    def test_writes_and_merges(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_report(str(path), {"first": {"a": 1}})
+        write_report(str(path), {"second": {"b": 2}})
+        record = json.loads(path.read_text())
+        assert record["first"] == {"a": 1}
+        assert record["second"] == {"b": 2}
+        assert set(record["provenance"]) == EXPECTED_KEYS
+
+    def test_merge_false_replaces(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_report(str(path), {"first": 1})
+        write_report(str(path), {"second": 2}, merge=False)
+        record = json.loads(path.read_text())
+        assert "first" not in record and record["second"] == 2
+
+    def test_overwrites_corrupt_file(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("not json{")
+        record = write_report(str(path), {"ok": True})
+        assert record["ok"] is True
+        assert json.loads(path.read_text())["ok"] is True

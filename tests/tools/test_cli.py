@@ -138,6 +138,35 @@ class TestRun:
         assert run.main([str(program_file), "--arch", "1-issue"]) == 0
         assert "1-issue" in capsys.readouterr().out
 
+    def test_replay_matches_execute(self, program_file, capsys):
+        assert run.main([str(program_file)]) == 0
+        executed = capsys.readouterr().out
+        assert run.main([str(program_file), "--replay"]) == 0
+        assert capsys.readouterr().out == executed
+
+    def test_trace_cache_implies_replay(self, tmp_path, program_file,
+                                        capsys):
+        cache_dir = tmp_path / "traces"
+        assert run.main([str(program_file),
+                         "--trace-cache", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("*.trace"))  # trace persisted
+        assert run.main([str(program_file), "--codepack",
+                         "--trace-cache", str(cache_dir)]) == 0
+        assert "decompressor" in capsys.readouterr().out
+        # --no-replay wins over the cache directory.
+        assert run.main([str(program_file), "--no-replay",
+                         "--trace-cache", str(cache_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_compare_replay(self, program_file, image_file, capsys):
+        assert run.main([str(program_file), "--compare",
+                         "--image", str(image_file)]) == 0
+        executed = capsys.readouterr().out
+        assert run.main([str(program_file), "--compare", "--replay",
+                         "--image", str(image_file)]) == 0
+        assert capsys.readouterr().out == executed
+
 
 class TestDensify:
     def test_translates_and_verifies(self, tmp_path, program_file,
