@@ -13,6 +13,15 @@ Sweep acceleration::
     python -m repro.eval all --cache       # persist results (.repro_cache/)
     python -m repro.eval all --cache /tmp/c --clear-cache
     python -m repro.eval all --stats --timing-json timings.json
+    python -m repro.eval all --no-vec      # force scalar replay
+
+The vectorized backend (``--vec``, default-on when NumPy is
+importable) prices whole groups of timing cells in one columnar trace
+pass, so on a single-CPU host ``--jobs 1`` (the default) with ``--vec``
+is usually faster than ``--jobs N`` scalar workers: workers pay a
+per-process rebuild and price cells one at a time, while the column
+kernels amortise each trace pass across every cell that shares a
+pipeline shape.  ``--jobs auto`` resolves to one worker per CPU.
 """
 
 import argparse
@@ -23,8 +32,29 @@ import time
 from repro.eval.experiments import ALL_EXPERIMENTS, sweep_cells
 from repro.eval.extensions import EXTENSION_EXPERIMENTS
 from repro.eval.runner import Workbench
-from repro.eval.sweep import DEFAULT_CACHE_DIR, default_cache_dir
+from repro.eval.sweep import (
+    DEFAULT_CACHE_DIR,
+    default_cache_dir,
+    resolve_jobs,
+)
 from repro.eval.tables import format_table, table_to_csv
+
+
+def parse_size(text):
+    """Parse a ``--trace-cache-limit`` byte size ('8M', '1G', '65536')."""
+    s = str(text).strip().lower()
+    mult = 1
+    if s and s[-1] in "kmg":
+        mult = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[s[-1]]
+        s = s[:-1]
+    try:
+        value = int(s)
+    except ValueError:
+        raise ValueError("invalid byte size %r: expected an integer with "
+                         "an optional K/M/G suffix" % (text,))
+    if value < 0:
+        raise ValueError("invalid byte size %r: must be >= 0" % (text,))
+    return value * mult
 
 
 def profile_hottest(wb):
@@ -56,7 +86,8 @@ def profile_hottest(wb):
     profiler = cProfile.Profile()
     profiler.enable()
     simulate(program, arch, codepack=codepack, image=image, static=static,
-             max_instructions=wb.max_instructions, replay=replay)
+             max_instructions=wb.max_instructions, replay=replay,
+             vec=wb.vec)
     profiler.disable()
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
 
@@ -109,6 +140,19 @@ def main(argv=None):
                         help="persist functional traces under DIR (default: "
                              "traces/ inside the result cache when --cache "
                              "is on, else in-memory only)")
+    parser.add_argument("--trace-cache-limit", metavar="BYTES", default=None,
+                        help="cap the on-disk trace cache at BYTES total "
+                             "(suffixes K/M/G allowed); least-recently-used "
+                             "traces are pruned after each store "
+                             "(default: unbounded)")
+    parser.add_argument("--vec", dest="vec", action="store_true",
+                        default=None,
+                        help="price cell groups with the NumPy column "
+                             "kernels (default: on when NumPy is "
+                             "importable; cycle-exact either way)")
+    parser.add_argument("--no-vec", dest="vec", action="store_false",
+                        help="force per-cell scalar replay even when NumPy "
+                             "is available")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the hottest cell (the largest "
                              "uncached simulation) and print the top-20 "
@@ -132,9 +176,22 @@ def main(argv=None):
     if args.cache == "":
         # Bare --cache: environment override, then the built-in default.
         args.cache = default_cache_dir()
-
-    wb = Workbench(scale=args.scale, cache=args.cache, jobs=args.jobs,
-                   replay=args.replay, trace_cache=args.trace_cache)
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+    limit = args.trace_cache_limit
+    if limit is not None:
+        try:
+            limit = parse_size(limit)
+        except ValueError as exc:
+            parser.error(str(exc))
+    try:
+        wb = Workbench(scale=args.scale, cache=args.cache, jobs=jobs,
+                       replay=args.replay, trace_cache=args.trace_cache,
+                       trace_cache_limit=limit, vec=args.vec)
+    except RuntimeError as exc:  # --vec without NumPy
+        parser.error(str(exc))
     if args.clear_cache:
         wb.cache.clear()
 

@@ -28,6 +28,7 @@ from repro.eval.sweep import (
     run_batches,
     timed_phase,
 )
+from repro.sim import vecreplay
 from repro.sim.machine import prepare, simulate
 from repro.sim.replay import TraceCache, record_trace
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
@@ -53,10 +54,21 @@ class Workbench:
       directory path for persisted traces.  Defaults to a ``traces/``
       directory inside the result cache when one is configured,
       in-memory otherwise.
+    * ``trace_cache_limit`` -- byte cap for the trace cache directory
+      (LRU-pruned after each store); ``None`` = unbounded.
+    * ``vec`` -- default ``None``: price sweep cells with the
+      vectorized replay backend (:mod:`repro.sim.vecreplay`) whenever
+      NumPy is importable, falling back to scalar replay per cell
+      where the column kernels cannot serve.  ``False`` forces the
+      scalar path everywhere (the PR 4 behaviour); ``True`` requires
+      NumPy.  Either way every result is identical -- the backends are
+      cycle-exact against each other -- so memo and cache keys do not
+      depend on this switch.
     """
 
     def __init__(self, scale=1.0, max_instructions=5_000_000, cache=None,
-                 jobs=1, replay=True, trace_cache=None):
+                 jobs=1, replay=True, trace_cache=None,
+                 trace_cache_limit=None, vec=None):
         self.scale = scale
         self.max_instructions = max_instructions
         self.jobs = resolve_jobs(jobs)
@@ -68,8 +80,18 @@ class Workbench:
             trace_cache = os.path.join(cache.root, "traces")
         if trace_cache is not None and not isinstance(trace_cache,
                                                       TraceCache):
-            trace_cache = TraceCache(trace_cache)
+            trace_cache = TraceCache(trace_cache,
+                                     limit_bytes=trace_cache_limit)
+        elif isinstance(trace_cache, TraceCache) \
+                and trace_cache_limit is not None:
+            trace_cache.limit_bytes = int(trace_cache_limit)
         self.trace_cache = trace_cache if replay else None
+        if vec is None:
+            vec = vecreplay.available()
+        elif vec and not vecreplay.available():
+            raise RuntimeError("vec=True requires NumPy; install the "
+                               "'perf' extra or pass vec=None/False")
+        self.vec = bool(vec)
         self.stats = SweepStats()
         self._programs = {}
         self._images = {}
@@ -108,6 +130,10 @@ class Workbench:
                     self._traces[key] = self.trace_cache.get_or_record(
                         self.program(bench), static=self.static(bench),
                         max_instructions=self.max_instructions)
+                    self.stats.trace_pruned_files = \
+                        self.trace_cache.pruned_files
+                    self.stats.trace_pruned_bytes = \
+                        self.trace_cache.pruned_bytes
                 else:
                     self._traces[key] = record_trace(
                         self.program(bench), static=self.static(bench),
@@ -144,17 +170,7 @@ class Workbench:
             else:
                 self.stats.cache_hits += 1
         if result is None:
-            program = self.program(bench)
-            image = self.image(bench) if codepack is not None else None
-            static = self.static(bench)
-            replay = self.trace(bench) if self.replay else None
-            with timed_phase(self.stats, "simulate"):
-                result = simulate(
-                    program, arch, codepack=codepack, image=image,
-                    static=static,
-                    max_instructions=self.max_instructions,
-                    replay=replay)
-            self.stats.sim_runs += 1
+            result = self._simulate_cell(bench, arch, codepack)
             if self.cache is not None:
                 self.cache.put(ck, result,
                                payload=cell_payload(bench, arch, codepack,
@@ -163,6 +179,62 @@ class Workbench:
         self._results[key] = result
         return result
 
+    def _simulate_cell(self, bench, arch, codepack):
+        """One scalar (per-cell) simulation, with stats accounting."""
+        program = self.program(bench)
+        image = self.image(bench) if codepack is not None else None
+        static = self.static(bench)
+        replay = self.trace(bench) if self.replay else None
+        with timed_phase(self.stats, "simulate"):
+            result = simulate(
+                program, arch, codepack=codepack, image=image,
+                static=static,
+                max_instructions=self.max_instructions,
+                replay=replay, vec=self.vec)
+        self.stats.sim_runs += 1
+        self.stats.note_backend(
+            "%s/%s/%s" % (bench, arch.name, result.mode), "scalar")
+        return result
+
+    def _store(self, cell, result):
+        bench, arch, codepack = cell
+        self._results[self._memo_key(bench, arch, codepack)] = result
+        if self.cache is not None:
+            self.cache.put(self._cell_key(*cell), result,
+                           payload=cell_payload(bench, arch, codepack,
+                                                self.scale,
+                                                self.max_instructions))
+
+    def _prefetch_vec(self, cells):
+        """Price *cells* through the column kernels; returns the cells
+        they could not serve (to run scalar)."""
+        by_bench = {}
+        for cell in cells:
+            by_bench.setdefault(cell[0], []).append(cell)
+        leftover = []
+        for bench, bcells in by_bench.items():
+            program = self.program(bench)
+            static = self.static(bench)
+            trace = self.trace(bench)
+            image = (self.image(bench)
+                     if any(c[2] is not None for c in bcells) else None)
+            with timed_phase(self.stats, "simulate"):
+                priced = vecreplay.price_cells(
+                    program, [(arch, cp) for _, arch, cp in bcells],
+                    static=static, trace=trace, image=image,
+                    max_instructions=self.max_instructions)
+            for pos, cell in enumerate(bcells):
+                result = priced.get(pos)
+                if result is None:
+                    leftover.append(cell)
+                    continue
+                self._store(cell, result)
+                self.stats.vec_cells += 1
+                self.stats.note_backend(
+                    "%s/%s/%s" % (bench, cell[1].name, result.mode),
+                    "vec")
+        return leftover
+
     def prefetch(self, cells):
         """Run outstanding *cells* in parallel and memoise the results.
 
@@ -170,18 +242,11 @@ class Workbench:
         (e.g. from :func:`repro.eval.experiments.sweep_cells`).  Cells
         already memoised or in the persistent cache are skipped; the
         rest run across ``jobs`` worker processes, deterministically
-        partitioned per benchmark.  Cache writes happen only here, in
-        the parent.  Returns the number of cells actually simulated.
+        partitioned per benchmark (with ``jobs=1``, in-process -- where
+        the vectorized backend prices whole cell groups at once).
+        Cache writes happen only here, in the parent.  Returns the
+        number of cells actually simulated.
         """
-        if self.jobs == 1:
-            # Serial: plain memoised runs (reusing this process's built
-            # programs and images beats a single-worker pool).
-            count = 0
-            for bench, arch, codepack in cells:
-                if self._memo_key(bench, arch, codepack) not in self._results:
-                    count += 1
-                self.run(bench, arch, codepack)
-            return count
         todo = []
         seen = set()
         with timed_phase(self.stats, "prefetch"):
@@ -201,20 +266,25 @@ class Workbench:
                 todo.append(cell)
             if not todo:
                 return 0
+            if self.jobs == 1:
+                # Serial: vectorized group pricing in-process, scalar
+                # runs for whatever the column kernels cannot serve
+                # (reusing this process's built programs and images
+                # beats a single-worker pool).
+                scalar_cells = todo
+                if self.vec and self.replay:
+                    scalar_cells = self._prefetch_vec(todo)
+                for cell in scalar_cells:
+                    self._store(cell, self._simulate_cell(*cell))
+                return len(todo)
             trace_dir = (self.trace_cache.root
                          if self.trace_cache is not None else None)
             results = run_batches(todo, self.scale, self.max_instructions,
                                   self.jobs, stats=self.stats,
-                                  replay=self.replay, trace_dir=trace_dir)
+                                  replay=self.replay, trace_dir=trace_dir,
+                                  vec=self.vec)
             for cell, result in results.items():
-                bench, arch, codepack = cell
-                self._results[self._memo_key(bench, arch, codepack)] = result
-                if self.cache is not None:
-                    self.cache.put(
-                        self._cell_key(*cell), result,
-                        payload=cell_payload(bench, arch, codepack,
-                                             self.scale,
-                                             self.max_instructions))
+                self._store(cell, result)
         return len(todo)
 
     def speedup(self, bench, arch, codepack):

@@ -229,12 +229,20 @@ class SweepStats:
     cache_hits: int = 0
     cache_misses: int = 0
     sim_runs: int = 0  # simulations run serially in-process
+    vec_cells: int = 0  # cells priced by the vectorized replay backend
     parallel_cells: int = 0  # simulations run by pool workers
     parallel_batches: int = 0
+    trace_pruned_files: int = 0  # trace-cache LRU evictions
+    trace_pruned_bytes: int = 0
     phase_seconds: dict = field(default_factory=dict)
+    backends: dict = field(default_factory=dict)  # cell label -> vec/scalar
 
     def add_phase(self, name, seconds):
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def note_backend(self, label, backend):
+        """Record which replay backend (vec/scalar) served a cell."""
+        self.backends[label] = backend
 
     def as_dict(self, cache=None):
         d = {
@@ -242,9 +250,13 @@ class SweepStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "sim_runs": self.sim_runs,
+            "vec_cells": self.vec_cells,
             "parallel_cells": self.parallel_cells,
             "parallel_batches": self.parallel_batches,
+            "trace_pruned_files": self.trace_pruned_files,
+            "trace_pruned_bytes": self.trace_pruned_bytes,
             "phase_seconds": dict(self.phase_seconds),
+            "backends": dict(self.backends),
         }
         if cache is not None:
             d["cache_files"] = cache.counters()
@@ -253,11 +265,25 @@ class SweepStats:
     def summary(self):
         """SimStats-style multi-line digest."""
         lines = [
-            "sweep: %d simulated in-process, %d in workers (%d batches)"
-            % (self.sim_runs, self.parallel_cells, self.parallel_batches),
+            "sweep: %d simulated in-process (%d vectorized), "
+            "%d in workers (%d batches)"
+            % (self.sim_runs + self.vec_cells, self.vec_cells,
+               self.parallel_cells, self.parallel_batches),
             "cache: %d hits, %d misses, %d memo hits"
             % (self.cache_hits, self.cache_misses, self.memo_hits),
         ]
+        if self.trace_pruned_files:
+            lines.append("trace cache: pruned %d files (%d bytes)"
+                         % (self.trace_pruned_files,
+                            self.trace_pruned_bytes))
+        if self.backends:
+            by_backend = {}
+            for label, backend in sorted(self.backends.items()):
+                by_backend.setdefault(backend, []).append(label)
+            for backend in sorted(by_backend):
+                cells = by_backend[backend]
+                lines.append("backend %-7s %4d cells: %s"
+                             % (backend, len(cells), ", ".join(cells)))
         for name in sorted(self.phase_seconds):
             lines.append("phase %-24s %8.2fs" % (name,
                                                  self.phase_seconds[name]))
@@ -269,14 +295,32 @@ class SweepStats:
 # ---------------------------------------------------------------------------
 
 def resolve_jobs(jobs):
-    """Normalise a ``--jobs`` value: int, ``"auto"`` or ``None``."""
+    """Normalise a ``--jobs`` value: int, ``"auto"`` or ``None``.
+
+    The single place ``auto`` is resolved (one worker per CPU, via
+    :func:`os.cpu_count`); every entry point funnels through here so
+    bad values fail the same way everywhere.  Note that on a
+    single-CPU host ``auto`` resolves to 1, which is also the value
+    that lets the vectorized replay backend price whole cell groups
+    in-process -- usually faster than scalar workers (see
+    ``python -m repro.eval --help``).
+    """
     if jobs in (None, 0, 1):
         return 1
-    if jobs == "auto":
-        return max(1, os.cpu_count() or 1)
-    jobs = int(jobs)
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                "invalid jobs value %r: expected a positive integer or "
+                "'auto'" % (jobs,))
     if jobs < 1:
-        raise ValueError("jobs must be >= 1 or 'auto'")
+        raise ValueError(
+            "invalid jobs value %r: must be >= 1 (or 'auto' for one "
+            "worker per CPU)" % (jobs,))
     return jobs
 
 
@@ -308,18 +352,23 @@ def partition_cells(cells, jobs):
     return batches
 
 
-def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None):
+def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None,
+               vec=None):
     """Pool worker: simulate a batch of same-benchmark cells.
 
     Programs, predecoded text and compressed images are rebuilt in the
     worker (compiled closures and block tables do not pickle, and
     shipping them would cost more than rebuilding); results travel back
-    as plain dicts.
+    as ``(dict, backend)`` pairs, *backend* being ``"vec"`` or
+    ``"scalar"``.
 
     With ``replay`` on, each benchmark's functional trace is recorded
     (or loaded from the :class:`~repro.sim.replay.TraceCache` under
     *trace_dir*) once, and every cell runs the timing-only replay
-    engine over it -- identical results, a fraction of the work.
+    engine over it -- identical results, a fraction of the work.  With
+    ``vec`` on (default: on when NumPy is importable), cells sharing a
+    pipeline shape are priced together by the column kernels of
+    :mod:`repro.sim.vecreplay`; the rest fall back to scalar replay.
     """
     trace_cache = None
     if replay and trace_dir is not None:
@@ -329,17 +378,9 @@ def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None):
     statics = {}
     images = {}
     traces = {}
-    out = []
-    for bench, arch, codepack in cells:
-        if bench not in programs:
-            programs[bench] = build_benchmark(bench, scale)
-            statics[bench] = prepare(programs[bench])
-        image = None
-        if codepack is not None:
-            if bench not in images:
-                images[bench] = compress_program(programs[bench])
-            image = images[bench]
-        if replay and bench not in traces:
+
+    def trace_for(bench):
+        if bench not in traces:
             if trace_cache is not None:
                 traces[bench] = trace_cache.get_or_record(
                     programs[bench], static=statics[bench],
@@ -349,38 +390,87 @@ def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None):
                 traces[bench] = record_trace(
                     programs[bench], static=statics[bench],
                     max_instructions=max_instructions)
+        return traces[bench]
+
+    for bench, arch, codepack in cells:
+        if bench not in programs:
+            programs[bench] = build_benchmark(bench, scale)
+            statics[bench] = prepare(programs[bench])
+        if codepack is not None and bench not in images:
+            images[bench] = compress_program(programs[bench])
+
+    vec_results = {}
+    if replay and (vec or vec is None):
+        from repro.sim import vecreplay
+        if vecreplay.available():
+            by_bench = {}
+            for pos, cell in enumerate(cells):
+                by_bench.setdefault(cell[0], []).append(pos)
+            for bench, positions in by_bench.items():
+                priced = vecreplay.price_cells(
+                    programs[bench],
+                    [(cells[p][1], cells[p][2]) for p in positions],
+                    static=statics[bench], trace=trace_for(bench),
+                    image=images.get(bench),
+                    max_instructions=max_instructions)
+                for local, result in priced.items():
+                    vec_results[positions[local]] = result
+
+    out = []
+    for pos, (bench, arch, codepack) in enumerate(cells):
+        result = vec_results.get(pos)
+        if result is not None:
+            out.append((result.to_dict(), "vec"))
+            continue
         result = simulate(programs[bench], arch, codepack=codepack,
-                          image=image, static=statics[bench],
+                          image=images.get(bench), static=statics[bench],
                           max_instructions=max_instructions,
-                          replay=traces[bench] if replay else None)
-        out.append(result.to_dict())
+                          replay=trace_for(bench) if replay else None,
+                          vec=vec)
+        out.append((result.to_dict(), "scalar"))
     return out
 
 
 def run_batches(cells, scale, max_instructions, jobs, stats=None,
-                replay=False, trace_dir=None):
+                replay=False, trace_dir=None, vec=None):
     """Run *cells* across a process pool; returns ``{cell: SimResult}``.
 
     ``cells`` is a sequence of ``(bench, arch, codepack)`` triples
     (hashable: the configs are frozen dataclasses).  Cache lookups and
     stores are the caller's business -- workers never touch the cache,
     so concurrent sweeps cannot race on files beyond the atomic
-    replace.  ``replay``/``trace_dir`` select the trace-replay fast
-    path in the workers (see :func:`_run_batch`).
+    replace.  ``replay``/``trace_dir``/``vec`` select the trace-replay
+    fast path and the vectorized cell-group pricing in the workers
+    (see :func:`_run_batch`).
     """
     cells = list(cells)
     if not cells:
         return {}
     jobs = resolve_jobs(jobs)
+
+    def record(cell, payload):
+        d, backend = payload
+        results[cell] = SimResult.from_dict(d)
+        if stats is not None:
+            bench, arch, codepack = cell
+            if backend == "vec":
+                stats.vec_cells += 1
+            stats.note_backend("%s/%s/%s" % (bench, arch.name,
+                                             results[cell].mode), backend)
+        return backend
+
     results = {}
     if jobs == 1 or len(cells) == 1:
+        scalar = 0
         for batch in partition_cells(cells, 1):
-            for cell, d in zip(batch, _run_batch(scale, max_instructions,
-                                                 batch, replay=replay,
-                                                 trace_dir=trace_dir)):
-                results[cell] = SimResult.from_dict(d)
+            for cell, payload in zip(
+                    batch, _run_batch(scale, max_instructions, batch,
+                                      replay=replay, trace_dir=trace_dir,
+                                      vec=vec)):
+                if record(cell, payload) == "scalar":
+                    scalar += 1
         if stats is not None:
-            stats.sim_runs += len(cells)
+            stats.sim_runs += scalar
         return results
     batches = partition_cells(cells, jobs)
     if stats is not None:
@@ -388,12 +478,12 @@ def run_batches(cells, scale, max_instructions, jobs, stats=None,
         stats.parallel_batches += len(batches)
     with ProcessPoolExecutor(max_workers=min(jobs, len(batches))) as pool:
         futures = {pool.submit(_run_batch, scale, max_instructions, batch,
-                               replay, trace_dir):
+                               replay, trace_dir, vec):
                    batch for batch in batches}
         for future in as_completed(futures):
             batch = futures[future]
-            for cell, d in zip(batch, future.result()):
-                results[cell] = SimResult.from_dict(d)
+            for cell, payload in zip(batch, future.result()):
+                record(cell, payload)
     return results
 
 

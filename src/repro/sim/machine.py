@@ -58,7 +58,7 @@ def simulate(program, arch, codepack=None, image=None, static=None,
              max_instructions=DEFAULT_MAX_INSTRUCTIONS, mode=None,
              critical_word_first=True, miss_path=None, pc_index=None,
              trace=None, native_prefetch=False, batched=None,
-             replay=None, trace_cache=None):
+             replay=None, trace_cache=None, vec=None):
     """Run *program* on *arch*; returns a :class:`SimResult`.
 
     * ``codepack`` -- ``None`` for native code, else a
@@ -88,6 +88,12 @@ def simulate(program, arch, codepack=None, image=None, static=None,
       why it is opt-in here and default-on in the sweep.
     * ``trace_cache`` -- a :class:`~repro.sim.replay.TraceCache`;
       consulted (and populated) when ``replay=True``.
+    * ``vec`` -- profile-builder selection for replay runs: ``None``
+      (default) uses the vectorized column scan when NumPy is
+      importable, ``False`` forces the scalar walk, ``True`` requires
+      NumPy.  Results are identical either way; batch cell pricing
+      lives in :func:`repro.sim.vecreplay.price_cells`, which callers
+      like the Workbench use directly.
     """
     icache = Cache(arch.icache)
     dcache = Cache(arch.dcache)
@@ -129,7 +135,7 @@ def simulate(program, arch, codepack=None, image=None, static=None,
         kernel = replay_inorder if arch.in_order else replay_ooo
         cycles, lookups, mispredicts, consumed = kernel(
             static, replay_trace, fetch_unit, dcache, channel, predictor,
-            arch, max_instructions)
+            arch, max_instructions, vec=vec)
         if replay_trace.fault is not None \
                 and max_instructions > replay_trace.n:
             # The execute-driven run would have attempted the faulting

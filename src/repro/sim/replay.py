@@ -143,7 +143,7 @@ class Trace:
     __slots__ = ("n", "span_start", "span_len", "takens", "mem_addrs",
                  "out_pos", "out_text", "halted", "exit_code", "fault",
                  "max_instructions", "text_base", "program_sha",
-                 "_kernel", "_profiles", "_dyn")
+                 "_kernel", "_profiles", "_dyn", "_columns", "_vdeps")
 
     def __init__(self, n, span_start, span_len, takens, mem_addrs,
                  out_pos, out_text, halted, exit_code, fault,
@@ -432,12 +432,26 @@ class TraceCache:
     :func:`repro.eval.sweep.cell_key`), so a format bump or program
     change invalidates by construction.  Unreadable entries count as
     misses and are overwritten on the next store.
+
+    ``limit_bytes`` bounds the directory's total ``.trace`` payload:
+    after every :meth:`put` the least-recently-used entries (by file
+    mtime -- :meth:`get` touches entries it serves) are deleted until
+    the total fits.  The entry just written survives even when it is
+    alone over the limit, so a store is never immediately useless.
+    ``None`` (the default) keeps the historical unbounded behaviour.
     """
 
-    def __init__(self, root):
+    def __init__(self, root, limit_bytes=None):
+        if limit_bytes is not None:
+            limit_bytes = int(limit_bytes)
+            if limit_bytes < 0:
+                raise ValueError("limit_bytes must be >= 0 or None")
         self.root = root
+        self.limit_bytes = limit_bytes
         self.hits = 0
         self.misses = 0
+        self.pruned_files = 0
+        self.pruned_bytes = 0
         os.makedirs(root, exist_ok=True)
 
     @staticmethod
@@ -464,11 +478,62 @@ class TraceCache:
             self.misses += 1
             return None
         self.hits += 1
+        path = self._path(self.key(program, max_instructions))
+        try:
+            os.utime(path)  # mark as recently used for LRU pruning
+        except OSError:
+            pass
         return trace
 
     def put(self, program, trace):
-        save_trace(trace, self._path(self.key(program,
-                                              trace.max_instructions)))
+        path = self._path(self.key(program, trace.max_instructions))
+        save_trace(trace, path)
+        if self.limit_bytes is not None:
+            self.prune(keep=path)
+
+    def prune(self, keep=None):
+        """Delete LRU ``.trace`` files until the total fits the limit.
+
+        *keep* (a path) is exempt -- the caller just wrote it.  Files
+        that vanish concurrently are skipped; pruning is best-effort
+        and never raises for racing sweeps.  Returns the number of
+        files deleted.
+        """
+        if self.limit_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".trace"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        if total <= self.limit_bytes:
+            return 0
+        deleted = 0
+        for mtime, size, path in sorted(entries):
+            if total <= self.limit_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            deleted += 1
+            self.pruned_files += 1
+            self.pruned_bytes += size
+        return deleted
 
     def get_or_record(self, program, static=None, max_instructions=5_000_000):
         """Load the trace, recording and persisting it on a miss."""
@@ -691,12 +756,18 @@ def build_profile(static, trace, arch):
     )
 
 
-def get_profile(static, trace, arch):
+def get_profile(static, trace, arch, vec=None):
     """The (cached) outcome profile of *trace* on *arch*'s geometry.
 
     Keyed by the cache and predictor configs only -- architectures
     differing in issue width, memory system or miss path share one
     profile.
+
+    ``vec`` selects the profile builder: ``None`` (the default) uses
+    the vectorized column scan (:mod:`repro.sim.vecreplay`) when NumPy
+    is importable, ``False`` forces the scalar walk above, ``True``
+    insists on the vectorized one.  Both produce identical profiles
+    (asserted by the differential suite), so the memo is shared.
     """
     key = (arch.icache, arch.dcache, arch.predictor)
     try:
@@ -705,7 +776,14 @@ def get_profile(static, trace, arch):
         profiles = trace._profiles = {}
     profile = profiles.get(key)
     if profile is None:
-        profile = profiles[key] = build_profile(static, trace, arch)
+        builder = build_profile
+        if vec or vec is None:
+            from repro.sim import vecreplay
+            if vecreplay.available():
+                builder = vecreplay.build_profile_vec
+            elif vec:
+                raise RuntimeError("vec=True requires NumPy")
+        profile = profiles[key] = builder(static, trace, arch)
     return profile
 
 
@@ -747,7 +825,7 @@ def _dyn_ops(trace, ops):
 # ---------------------------------------------------------------------------
 
 def replay_inorder(static, trace, fetch_unit, dcache, memory, predictor,
-                   arch, max_instructions):
+                   arch, max_instructions, vec=None):
     """Replay *trace* under the 1-issue in-order timing model.
 
     Cycle-exact against :func:`repro.sim.inorder.run_inorder` driving
@@ -766,7 +844,7 @@ def replay_inorder(static, trace, fetch_unit, dcache, memory, predictor,
         # Full replay: all cache/predictor outcomes come from the
         # (shared, cached) profile; the loop below is only needed for
         # truncating caps, whose statistics stop mid-stream.
-        profile = get_profile(static, trace, arch)
+        profile = get_profile(static, trace, arch, vec=vec)
         cycles = _replay_inorder_stream(ops, trace, profile, fetch_unit,
                                         dcache, memory, arch)
         _apply_profile_stats(profile, fetch_unit, dcache)
@@ -923,7 +1001,7 @@ def replay_inorder(static, trace, fetch_unit, dcache, memory, predictor,
 
 
 def replay_ooo(static, trace, fetch_unit, dcache, memory, predictor, arch,
-               max_instructions, compiled=True):
+               max_instructions, compiled=True, vec=None):
     """Replay *trace* under the out-of-order timing model.
 
     Cycle-exact against :func:`repro.sim.ooo.run_ooo` driving
@@ -949,7 +1027,7 @@ def replay_ooo(static, trace, fetch_unit, dcache, memory, predictor, arch,
     if max_instructions >= trace.n:
         # Full replay: the profile-driven stream kernel needs no
         # per-instruction calls and no compilation.
-        profile = get_profile(static, trace, arch)
+        profile = get_profile(static, trace, arch, vec=vec)
         cycles = _replay_ooo_stream(ops, trace, profile, fetch_unit,
                                     dcache, memory, arch)
         _apply_profile_stats(profile, fetch_unit, dcache)

@@ -1,0 +1,1563 @@
+"""Vectorized multi-cell replay: NumPy column kernels over one trace.
+
+The sweep's cells replay the *same* dynamic instruction stream under
+different timing parameters.  :mod:`repro.sim.replay` already factors
+the work into a per-geometry :class:`~repro.sim.replay.TraceProfile`
+plus a per-cell scalar scan; this module removes the remaining
+per-cell pass by pricing a whole *group* of cells -- every cell that
+shares a pipeline shape, D-cache and predictor -- in one trace
+traversal over structure-of-arrays NumPy columns:
+
+* :func:`trace_columns` converts a recorded trace's span/branch/mem
+  arrays into typed ``int64``/``uint8`` columns (dynamic static-index,
+  fetch address, execution class, branch/memory event positions),
+  versioned by :data:`COLUMNS_VERSION` and memoised on the trace.
+* :func:`build_profile_vec` recomputes
+  :func:`repro.sim.replay.build_profile` -- set-index/tag extraction,
+  true-LRU simulation, branch-predictor state -- as array passes:
+  predictor tables via segmented clamped-walk prefix scans, LRU via
+  the stack-distance property (hit iff at most ``assoc - 1`` distinct
+  lines touched the set since the previous visit), line visits via
+  shifted compares.  The result is *equal* to the scalar builder's
+  (same array types, same totals) and shares its per-trace cache.
+* :func:`price_cells` prices a family of sweep cells at once: the
+  per-instruction pipeline recurrences (fetch-queue slots, register
+  scoreboard, FU pools, commit ring) run in lockstep across a cell
+  axis, with fetch-queue and commit-slot evolution folded into
+  prefix-max scans over chunks between front-end events.  Native and
+  CodePack miss paths become per-event row broadcasts over
+  precomputed burst-offset / block-schedule matrices; which events
+  hit the output buffer or the index cache is timing-independent, so
+  one cheap per-class event walk yields those outcomes (and the exact
+  :class:`~repro.sim.codepack_engine.EngineStats`) for every cell of
+  the class.
+
+Everything here is an accelerator, not a model: the scalar
+``replay_inorder``/``replay_ooo`` engines remain the oracle, and the
+differential suite in ``tests/sim/test_vecreplay.py`` asserts
+cycle-exactness and statistics-identity across the paper's cell grid.
+NumPy is optional -- ``import repro.sim.vecreplay`` works without it
+and :func:`available` reports whether the fast path can run.
+"""
+
+from array import array
+
+from repro.sim.codepack_engine import (
+    INDEX_ENTRY_BYTES,
+    EngineStats,
+    IndexCacheStats,
+)
+from repro.sim.cpu import (
+    EX_BRANCH,
+    EX_JUMP,
+    EX_LOAD,
+    EX_MULT,
+    EX_STORE,
+    SimulationError,
+)
+from repro.sim.inorder import DECODE_LATENCY
+from repro.sim.machine import describe_mode
+from repro.sim.ooo import FRONT_END_LATENCY
+from repro.sim.replay import TraceProfile, get_replay_table
+from repro.sim.results import SimResult
+
+try:  # pragma: no cover - exercised by the no-NumPy CI leg
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+#: Bump when the column layout or their derivation changes; the
+#: per-trace memo embeds it, so stale columns are never reused.
+COLUMNS_VERSION = 1
+
+_WEAKLY_TAKEN = 2
+
+
+def available():
+    """Whether the vectorized backend can run (NumPy importable)."""
+    return np is not None
+
+
+# ---------------------------------------------------------------------------
+# Trace columns: the structure-of-arrays view of one trace
+# ---------------------------------------------------------------------------
+
+class TraceColumns:
+    """Typed column view of one trace (shared by every profile/kernel).
+
+    * ``index`` -- static instruction index per dynamic instruction.
+    * ``addr`` -- fetch byte address per dynamic instruction.
+    * ``ex`` -- execution class per dynamic instruction (``uint8``).
+    * ``bpos`` / ``mpos`` -- dynamic indices of conditional branches
+      and of load/store events (aligned with ``Trace.takens`` /
+      ``Trace.mem_addrs``).
+    * ``takens`` / ``mem_addrs`` -- the trace's outcome columns.
+    """
+
+    __slots__ = ("n", "index", "addr", "ex", "bpos", "mpos", "is_load",
+                 "takens", "mem_addrs")
+
+    def __init__(self, n, index, addr, ex, bpos, mpos, is_load, takens,
+                 mem_addrs):
+        self.n = n
+        self.index = index
+        self.addr = addr
+        self.ex = ex
+        self.bpos = bpos
+        self.mpos = mpos
+        self.is_load = is_load
+        self.takens = takens
+        self.mem_addrs = mem_addrs
+
+
+def trace_columns(trace, static):
+    """The (memoised) :class:`TraceColumns` for *trace*.
+
+    Spans expand to per-instruction columns with ``repeat``/``cumsum``
+    (no Python loop); the result is cached on the trace keyed by
+    :data:`COLUMNS_VERSION`.
+    """
+    cached = getattr(trace, "_columns", None)
+    if cached is not None and cached[0] == COLUMNS_VERSION:
+        return cached[1]
+    n = trace.n
+    span_start = np.frombuffer(trace.span_start, dtype=np.int64)
+    span_len = np.frombuffer(trace.span_len, dtype=np.int64)
+    # index[i] = span_start[s] + (i - first dynamic index of span s)
+    starts = np.cumsum(span_len) - span_len  # exclusive prefix
+    index = np.repeat(span_start - starts, span_len) + np.arange(
+        n, dtype=np.int64)
+    addr = np.int64(trace.text_base) + (index << 2)
+    ex_table = np.frombuffer(get_replay_table(static).ex, dtype=np.uint8)
+    ex = ex_table[index]
+    bpos = np.flatnonzero(ex == EX_BRANCH)
+    mem_mask = (ex == EX_LOAD) | (ex == EX_STORE)
+    mpos = np.flatnonzero(mem_mask)
+    is_load = ex[mpos] == EX_LOAD
+    takens = np.frombuffer(bytes(trace.takens), dtype=np.uint8)
+    mem_addrs = np.frombuffer(trace.mem_addrs, dtype=np.int64)
+    cols = TraceColumns(n, index, addr, ex, bpos, mpos, is_load, takens,
+                        mem_addrs)
+    try:
+        trace._columns = (COLUMNS_VERSION, cols)
+    except AttributeError:  # duck-typed stand-ins without the slot
+        pass
+    return cols
+
+
+# ---------------------------------------------------------------------------
+# Predictor state as segmented clamped-walk scans
+# ---------------------------------------------------------------------------
+#
+# A 2-bit saturating counter is a clamped walk: each update applies
+# x -> min(3, max(0, x + d)).  Maps of the form min(b, max(a, x + s))
+# compose into the same form --
+#
+#     (g o f)(x) = min(B, max(A, x + s_f + s_g))
+#     A = max(a_g, a_f + s_g),  B = min(b_g, max(a_g, b_f + s_g))
+#
+# -- so the state *before* every update of one table entry is an
+# exclusive prefix scan of (s, a, b) triples, computed here for all
+# entries at once: stable-sort events by table index, then Hillis-Steele
+# doubling restricted to equal-index runs.
+
+def _clamped_counter_scan(idx, steps, init=_WEAKLY_TAKEN, lo=0, hi=3):
+    """State of ``table[idx[i]]`` *before* event ``i``.
+
+    ``steps[i]`` is the (already clamped-form) increment the i-th event
+    applies to its entry.  All entries start at *init*; every map clamps
+    to ``[lo, hi]``.
+    """
+    n = len(idx)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(idx, kind="stable")
+    idx_s = idx[order]
+    # Exclusive shift within equal-index runs: event i sees the
+    # composition of the maps of the *earlier* events on its entry.
+    s = np.empty(n, dtype=np.int64)
+    a = np.empty(n, dtype=np.int64)
+    b = np.empty(n, dtype=np.int64)
+    s[1:] = steps[order][:-1]
+    a[1:] = lo
+    b[1:] = hi
+    run_start = np.empty(n, dtype=bool)
+    run_start[0] = True
+    run_start[1:] = idx_s[1:] != idx_s[:-1]
+    big = np.int64(1) << 40
+    s[run_start] = 0
+    a[run_start] = -big
+    b[run_start] = big
+    d = 1
+    while d < n:
+        same = np.zeros(n, dtype=bool)
+        same[d:] = idx_s[d:] == idx_s[:-d]
+        # compose: current map (covering (i-d, i]) after the map at i-d
+        sf, af, bf = s[:-d], a[:-d], b[:-d]
+        sg, ag, bg = s[d:], a[d:], b[d:]
+        ns = sf + sg
+        na = np.maximum(ag, af + sg)
+        nb = np.minimum(bg, np.maximum(ag, bf + sg))
+        m = same[d:]
+        s[d:][m] = ns[m]
+        a[d:][m] = na[m]
+        b[d:][m] = nb[m]
+        d <<= 1
+    state_s = np.minimum(b, np.maximum(a, init + s))
+    state = np.empty(n, dtype=np.int64)
+    state[order] = state_s
+    return state
+
+
+def _bimodal_states(pc2, takens, entries):
+    idx = pc2 & np.int64(entries - 1)
+    steps = np.where(takens, np.int64(1), np.int64(-1))
+    return _clamped_counter_scan(idx, steps)
+
+
+def _gshare_history(takens, history_bits):
+    nb = len(takens)
+    h = np.zeros(nb, dtype=np.int64)
+    t64 = takens.astype(np.int64)
+    for m in range(history_bits):
+        # bit m of the history before branch i is taken[i - 1 - m]
+        h[m + 1:] += t64[:nb - m - 1] << m
+    return h
+
+
+def _predictor_columns(cols, config):
+    """(predictions, states needed) for one predictor config, or None.
+
+    Returns the per-branch predicted direction as a boolean column;
+    ``None`` when the predictor kind is not vectorizable.
+    """
+    takens = cols.takens[:len(cols.bpos)].astype(bool)
+    pc2 = cols.addr[cols.bpos] >> 2
+    if config.kind == "bimode":
+        return _bimodal_states(pc2, takens, config.entries) >= 2
+    if config.kind == "gshare":
+        mask = np.int64((1 << config.history_bits) - 1)
+        idx = (pc2 ^ _gshare_history(takens, config.history_bits)) & mask
+        steps = np.where(takens, np.int64(1), np.int64(-1))
+        return _clamped_counter_scan(idx, steps) >= 2
+    if config.kind == "hybrid":
+        bim = _bimodal_states(pc2, takens, config.entries) >= 2
+        mask = np.int64((1 << config.history_bits) - 1)
+        gidx = (pc2 ^ _gshare_history(takens, config.history_bits)) & mask
+        gsteps = np.where(takens, np.int64(1), np.int64(-1))
+        gsh = _clamped_counter_scan(gidx, gsteps) >= 2
+        bim_correct = bim == takens
+        gsh_correct = gsh == takens
+        msteps = (gsh_correct & ~bim_correct).astype(np.int64) \
+            - (bim_correct & ~gsh_correct).astype(np.int64)
+        midx = pc2 & np.int64(config.meta_entries - 1)
+        meta = _clamped_counter_scan(midx, msteps) >= 2
+        return np.where(meta, gsh, bim)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# LRU caches via the stack-distance property
+# ---------------------------------------------------------------------------
+
+def _lru_hits(lines, n_sets, assoc):
+    """Hit/miss of each access of a true-LRU set-associative cache.
+
+    ``lines`` is the chronological line-address stream.  LRU is a stack
+    algorithm: access *i* hits iff the number of distinct lines that
+    touched its set since the previous access to the same line is at
+    most ``assoc - 1``.  Vector closed forms cover ``assoc`` 1 and 2
+    (the paper's geometries); other associativities take an exact
+    per-set Python walk.
+    """
+    ne = len(lines)
+    hits = np.zeros(ne, dtype=bool)
+    if ne == 0:
+        return hits
+    sets = lines % np.int64(n_sets)
+    if assoc not in (1, 2):
+        occupants = {}
+        for i in range(ne):
+            s = int(sets[i])
+            line = int(lines[i])
+            cache_set = occupants.get(s)
+            if cache_set is None:
+                cache_set = occupants[s] = dict()
+            if line in cache_set:
+                del cache_set[line]
+                cache_set[line] = True
+                hits[i] = True
+                continue
+            if len(cache_set) >= assoc:
+                del cache_set[next(iter(cache_set))]
+            cache_set[line] = True
+        return hits
+    order = np.argsort(sets, kind="stable")  # per-set chronological runs
+    line_s = lines[order]
+    set_s = sets[order]
+    # Previous access to the same line within the same set: stable-sort
+    # the set-ordered stream by line; equal consecutive entries are
+    # successive accesses of one (set, line) pair (equal line implies
+    # equal set, since the set index is a function of the line).
+    pos_by_line = np.argsort(line_s, kind="stable")
+    same_pair = np.zeros(ne, dtype=bool)
+    same_pair[1:] = line_s[pos_by_line[1:]] == line_s[pos_by_line[:-1]]
+    prev = np.full(ne, -1, dtype=np.int64)
+    prev[pos_by_line[1:][same_pair[1:]]] = pos_by_line[:-1][same_pair[1:]]
+    has_prev = prev >= 0
+    if assoc == 1:
+        hit_s = has_prev & (np.arange(ne) == prev + 1)
+    else:
+        # Distinct lines between occurrences: the span t[j+1..i-1] holds
+        # a single value iff it has no internal change points.
+        change = np.ones(ne, dtype=np.int64)
+        change[1:] = (line_s[1:] != line_s[:-1]).astype(np.int64)
+        change[0] = 1
+        seg_start = np.zeros(ne, dtype=bool)
+        seg_start[0] = True
+        seg_start[1:] = set_s[1:] != set_s[:-1]
+        change[seg_start] = 1
+        cum = np.cumsum(change)
+        i_pos = np.arange(ne)
+        pj = np.maximum(prev, 0)
+        adjacent = i_pos == prev + 1
+        one_distinct = cum[np.maximum(i_pos - 1, 0)] - cum[
+            np.minimum(pj + 1, ne - 1)] == 0
+        hit_s = has_prev & (adjacent | one_distinct)
+    hits[order] = hit_s
+    return hits
+
+
+# ---------------------------------------------------------------------------
+# The vectorized profile builder
+# ---------------------------------------------------------------------------
+
+def build_profile_vec(static, trace, arch):
+    """Vectorized :func:`repro.sim.replay.build_profile`.
+
+    Returns an equal :class:`~repro.sim.replay.TraceProfile` (same
+    array types and totals), or ``None`` when the geometry is outside
+    the vector paths (then the caller falls back to the scalar
+    builder).
+    """
+    if np is None or trace.n == 0:
+        return None
+    if arch.predictor.kind not in ("bimode", "gshare", "hybrid"):
+        return None
+    cols = trace_columns(trace, static)
+    n = cols.n
+    addr = cols.addr
+    ex = cols.ex
+
+    # Branch outcomes first: they determine front-end redirects, hence
+    # line-visit boundaries.
+    takens = cols.takens[:len(cols.bpos)].astype(bool)
+    pred = _predictor_columns(cols, arch.predictor)
+    if pred is None:
+        return None
+    mp_b = pred != takens
+    brk_b = np.where(mp_b, np.uint8(2),
+                     np.where(takens, np.uint8(1), np.uint8(0)))
+
+    # Line visits: first instruction, line change, or the instruction
+    # after a front-end redirect (taken/mispredicted branch or jump).
+    line_bytes = np.int64(arch.icache.line_bytes)
+    line = addr // line_bytes
+    reset_after = ex == EX_JUMP
+    if len(cols.bpos):
+        reset_after[cols.bpos] |= brk_b != 0
+    visit = np.empty(n, dtype=bool)
+    visit[0] = True
+    visit[1:] = (line[1:] != line[:-1]) | reset_after[:-1]
+    fe_pos_np = np.flatnonzero(visit)
+    fe_addr_np = addr[fe_pos_np]
+    vline = line[fe_pos_np]
+
+    ihits = _lru_hits(vline, arch.icache.n_sets, arch.icache.assoc)
+    nv = len(fe_pos_np)
+    # flag 2 = hit on the line most recently refilled by a miss.
+    miss_idx = np.where(~ihits, np.arange(nv), -1)
+    last_miss = np.maximum.accumulate(miss_idx)
+    fill_line = np.where(last_miss >= 0,
+                         vline[np.maximum(last_miss, 0)], np.int64(-1))
+    flags = np.where(~ihits, np.uint8(1),
+                     np.where(ihits & (fill_line == vline) & (last_miss >= 0),
+                              np.uint8(2), np.uint8(0)))
+
+    dhits = _lru_hits(cols.mem_addrs // np.int64(arch.dcache.line_bytes),
+                      arch.dcache.n_sets, arch.dcache.assoc)
+    dmiss_np = (~dhits) & cols.is_load
+
+    fe_pos = array("q")
+    fe_pos.frombytes(fe_pos_np.astype(np.int64).tobytes())
+    fe_addr = array("q")
+    fe_addr.frombytes(fe_addr_np.astype(np.int64).tobytes())
+    final_reset = bool(reset_after[n - 1])
+    return TraceProfile(
+        fe_pos=fe_pos,
+        fe_flags=bytearray(flags.astype(np.uint8).tobytes()),
+        fe_addr=fe_addr,
+        dmiss=bytearray(dmiss_np.astype(np.uint8).tobytes()),
+        mp=bytearray(mp_b.astype(np.uint8).tobytes()),
+        brk=bytearray(brk_b.astype(np.uint8).tobytes()),
+        icache_accesses=int(nv),
+        icache_misses=int(np.count_nonzero(~ihits)),
+        dcache_accesses=int(len(cols.mpos)),
+        dcache_misses=int(np.count_nonzero(~dhits)),
+        lookups=int(len(cols.bpos)),
+        mispredicts=int(np.count_nonzero(mp_b)),
+        final_cur_line=-1 if final_reset else int(line[n - 1]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cell-group pricing: one trace pass for every cell of a pipeline shape
+# ---------------------------------------------------------------------------
+
+NO_SRC = 34
+NO_DST = 35
+N_SLOTS = 36
+
+_LOW = -(np.int64(1) << 60) if np is not None else None
+
+
+class _VecUnsupported(Exception):
+    """A cell group fell outside the vector paths; price it scalar."""
+
+
+def _pow2_shift(value):
+    if value < 1 or value & (value - 1):
+        raise _VecUnsupported("width %r is not a power of two" % value)
+    return value.bit_length() - 1
+
+
+def _image_block_columns(image):
+    """Per-block geometry columns of a CodePack image (memoised)."""
+    cached = getattr(image, "_vec_blocks", None)
+    if cached is not None and cached[0] == COLUMNS_VERSION:
+        return cached[1]
+    blocks = image.blocks
+    nb = len(blocks)
+    width = image.block_instructions
+    end = np.zeros((nb, width), dtype=np.int64)
+    nvalid = np.zeros(nb, dtype=np.int64)
+    offset = np.zeros(nb, dtype=np.int64)
+    nbytes = np.zeros(nb, dtype=np.int64)
+    for b, block in enumerate(blocks):
+        bits = block.inst_end_bits
+        nvalid[b] = len(bits)
+        end[b, :len(bits)] = bits
+        offset[b] = block.byte_offset
+        nbytes[b] = block.byte_length
+    data = {"end": end, "nvalid": nvalid, "offset": offset,
+            "nbytes": nbytes, "width": width}
+    try:
+        image._vec_blocks = (COLUMNS_VERSION, data)
+    except AttributeError:
+        pass
+    return data
+
+
+def _block_rel_matrix(image, decode_rate, memory):
+    """All blocks' start-relative finish offsets as one matrix.
+
+    Row *b* equals ``CodePackEngine._block_rel(b)`` -- burst arrival
+    per instruction plus the serial-decoder recurrence -- padded to the
+    block width with the row's last valid value (which is exactly the
+    engine's partial-final-block clamp).  Memoised on the image per
+    (decode-rate, memory-timing) key.
+    """
+    key = ("rel", decode_rate, memory.bus_bits, memory.first_latency,
+           memory.rate)
+    memos = getattr(image, "_vec_schedules", None)
+    if memos is None:
+        memos = {}
+        try:
+            image._vec_schedules = memos
+        except AttributeError:
+            pass
+    entry = memos.get(key)
+    if entry is not None:
+        return entry
+    cols = _image_block_columns(image)
+    end = cols["end"]
+    nvalid = cols["nvalid"]
+    width = cols["width"]
+    nb = len(nvalid)
+    beat_bits = memory.bus_bits
+    align_bits = (cols["offset"] % memory.bus_bytes) * 8
+    arrive = memory.first_latency \
+        + ((align_bits[:, None] + end - 1) // beat_bits) * memory.rate
+    finish = np.empty((nb, width), dtype=np.int64)
+    for idx in range(width):
+        col = arrive[:, idx].copy()
+        if idx >= decode_rate:
+            np.maximum(col, finish[:, idx - decode_rate], out=col)
+        finish[:, idx] = col + 1
+    last = finish[np.arange(nb), np.maximum(nvalid - 1, 0)]
+    pad = np.arange(width)[None, :] >= nvalid[:, None]
+    finish[pad] = np.broadcast_to(last[:, None], (nb, width))[pad]
+    entry = (finish, cols["nbytes"], nvalid)
+    memos[key] = entry
+    return entry
+
+
+def _native_offset_row(memory, line_bytes, start_beat):
+    """``NativeMissPath._word_offsets`` as an ``int64`` row."""
+    bus_bytes = memory.bus_bytes
+    words = line_bytes // 4
+    n_beats = max(1, line_bytes // bus_bytes)
+    beat_arrival = [0] * n_beats
+    for k in range(n_beats):
+        beat_arrival[(start_beat + k) % n_beats] = \
+            memory.first_latency + k * memory.rate
+    last_beat = n_beats - 1
+    offsets = [max(beat_arrival[min(w * 4 // bus_bytes, last_beat)],
+                   beat_arrival[min((w * 4 + 3) // bus_bytes, last_beat)])
+               for w in range(words)]
+    return np.array(offsets, dtype=np.int64)
+
+
+def _cp_class_walk(blocks1, groups1, cfg):
+    """Timing-independent engine outcomes for one CodePack config class.
+
+    Replays :meth:`CodePackEngine.miss`'s *stateful* decisions -- output
+    buffer, last-index buffer or index cache -- over the subgroup's
+    miss events.  Which events buffer-hit or pay an index fetch depends
+    only on the event sequence, never on cycle times, so one walk
+    serves every cell sharing (output_buffer, perfect_index,
+    index_cache); the walk also yields the class's exact
+    :class:`EngineStats` counters.
+    """
+    n1 = len(blocks1)
+    bh = np.zeros(n1, dtype=bool)
+    idxon = np.zeros(n1, dtype=np.int64)
+    output_buffer = cfg.output_buffer
+    perfect = cfg.perfect_index
+    ic_cfg = cfg.index_cache
+    ic_lines = ic_cfg.lines if ic_cfg is not None else 0
+    ic_epl = ic_cfg.entries_per_line if ic_cfg is not None else 0
+    buffered = -1
+    last_group = -1
+    lines = {}
+    index_fetches = 0
+    ic_accesses = 0
+    ic_misses = 0
+    blist = blocks1.tolist()
+    glist = groups1.tolist()
+    for e in range(n1):
+        block = blist[e]
+        if output_buffer and block == buffered:
+            bh[e] = True
+            continue
+        group = glist[e]
+        if perfect:
+            pass
+        elif ic_cfg is not None:
+            tag = group // ic_epl
+            ic_accesses += 1
+            if tag in lines:
+                del lines[tag]
+                lines[tag] = True
+            else:
+                ic_misses += 1
+                index_fetches += 1
+                idxon[e] = 1
+                if len(lines) >= ic_lines:
+                    del lines[next(iter(lines))]
+                lines[tag] = True
+        elif group != last_group:
+            last_group = group
+            index_fetches += 1
+            idxon[e] = 1
+        if output_buffer:
+            buffered = block
+    stats = {
+        "buffer_hits": int(np.count_nonzero(bh)),
+        "index_fetches": index_fetches,
+        "ic_accesses": ic_accesses,
+        "ic_misses": ic_misses,
+    }
+    return bh, idxon, stats
+
+
+class _NativeSeg:
+    """Native-miss-path cells of one subgroup sharing a memory config."""
+
+    __slots__ = ("sl", "cells", "memory", "offs", "maxoff", "sb1",
+                 "prefetch", "pbline", "pbuf", "offs0", "off1")
+
+    def __init__(self, sl, cells, memory, line_bytes, ev_addr1, cwf,
+                 prefetch):
+        self.sl = sl
+        self.cells = cells
+        self.memory = memory
+        if cwf:
+            sb1 = (ev_addr1 % line_bytes) // memory.bus_bytes
+        else:
+            sb1 = np.zeros(len(ev_addr1), dtype=np.int64)
+        self.sb1 = sb1.tolist()
+        self.offs = {}
+        self.maxoff = {}
+        for sb in set(self.sb1) | ({0} if prefetch else set()):
+            row = _native_offset_row(memory, line_bytes, sb)
+            self.offs[sb] = row
+            self.maxoff[sb] = int(row.max())
+        self.off1 = None
+        if not prefetch:
+            # Per-event offset rows, so the subgroup can combine every
+            # non-prefetch native segment into one fill matrix.
+            nsb = int(sb1.max()) + 1 if len(self.sb1) else 1
+            offmat = np.zeros((nsb, line_bytes // 4), dtype=np.int64)
+            for sb, row in self.offs.items():
+                offmat[sb] = row
+            self.off1 = offmat[sb1]
+        self.prefetch = prefetch
+        self.pbline = -1
+        self.pbuf = None
+        self.offs0 = self.offs.get(0)
+        if prefetch and self.offs0 is None:
+            self.offs0 = _native_offset_row(memory, line_bytes, 0)
+            self.offs[0] = self.offs0
+            self.maxoff[0] = int(self.offs0.max())
+
+    def fill(self, sg, e1, now, line):
+        lsl = self.sl
+        nowseg = now[lsl]
+        if self.prefetch:
+            if self.pbuf is None:
+                self.pbuf = np.zeros((len(self.cells), sg.words),
+                                     dtype=np.int64)
+            if line == self.pbline:
+                times = np.maximum(self.pbuf, (nowseg + 1)[:, None])
+                sg.fill_mat[lsl] = times
+                start = np.maximum(nowseg, times[:, -1])
+                np.add(start[:, None], self.offs0[None, :], out=self.pbuf)
+                self.pbline = line + 1
+                return
+            row = self.offs[self.sb1[e1]]
+            np.add(nowseg[:, None], row[None, :], out=sg.fill_mat[lsl])
+            done = nowseg + self.maxoff[self.sb1[e1]]
+            np.add(done[:, None], self.offs0[None, :], out=self.pbuf)
+            self.pbline = line + 1
+            return
+        row = self.offs[self.sb1[e1]]
+        np.add(nowseg[:, None], row[None, :], out=sg.fill_mat[lsl])
+
+
+class _CodePackSeg:
+    """Column-order metadata for CodePack cells sharing a schedule key.
+
+    The timing work itself runs over the subgroup's *combined* CP
+    matrices (one op sequence per miss event for every CP cell); this
+    class only records the cells' column order for result assembly.
+    """
+
+    __slots__ = ("cells", "rel1", "idxadd1")
+
+    def __init__(self, cells, rel1, idxadd1):
+        self.cells = cells
+        self.rel1 = rel1
+        self.idxadd1 = idxadd1
+
+
+class _Subgroup:
+    """All cells of a group sharing one I-cache geometry.
+
+    CP cells occupy the trailing ``cp_sl`` columns; their per-event
+    tables are combined across schedule segments so one miss event
+    costs one short op sequence regardless of how many bus/decoder
+    variants share the subgroup:
+
+    * ``rel1[e]`` -- each CP cell's block-schedule row for event *e*.
+    * ``idxadd1[e]`` -- each cell's index-lookup penalty for event *e*
+      (0 on an index hit / perfect index, its burst cost otherwise).
+    * ``bh1``/``upd1`` -- per-event output-buffer hit and
+      buffer-refresh masks (timing-independent, from the class walks).
+    """
+
+    __slots__ = ("sl", "icache", "line_bytes", "words", "profile",
+                 "fe_pos", "fe_flags", "fe_addr", "n_fe", "fi", "e1",
+                 "consult", "w", "k0", "span_end", "next_fe", "nz_pos",
+                 "nbi", "next_break", "fill_mat", "buf", "native_segs",
+                 "cp_segs", "blocks1", "base1", "class_walks",
+                 "nbytes1", "cp_sl", "rel1", "idxadd1", "bh1", "upd1",
+                 "bh_any", "upd_any", "abs_buf", "ready_buf",
+                 "nat_sl", "noff1", "descw")
+
+    def __init__(self, sl, icache):
+        self.sl = sl
+        self.icache = icache
+        self.line_bytes = icache.line_bytes
+        self.words = icache.line_bytes // 4
+        self.native_segs = []
+        self.cp_segs = []
+        self.consult = False
+        self.w = 0
+        self.k0 = 0
+        self.fi = 0
+        self.e1 = 0
+        self.buf = None
+        self.blocks1 = None
+        self.base1 = None
+        self.class_walks = {}
+        self.nbytes1 = None
+        self.cp_sl = None
+        self.nat_sl = None
+
+    def attach_profile(self, profile, n):
+        self.profile = profile
+        self.fe_pos = profile.fe_pos  # array('q'): fast scalar indexing
+        self.fe_flags = profile.fe_flags
+        self.fe_addr = profile.fe_addr
+        self.n_fe = len(profile.fe_pos)
+        self.next_fe = self.fe_pos[0] if self.n_fe else n
+        # Positions of the *state-bearing* events (miss fills and
+        # in-flight-line hits).  Plain hit-visits only close a consult
+        # window, so they never force a chunk boundary.
+        fp = np.frombuffer(profile.fe_pos, dtype=np.int64)
+        fl = np.frombuffer(bytes(profile.fe_flags), dtype=np.uint8)
+        self.nz_pos = fp[fl != 0].tolist()
+        self.nz_pos.append(n)
+        self.nbi = 0
+        self.next_break = self.nz_pos[0]
+        self.span_end = 0
+
+    def fill_event(self, now, addr):
+        """Handle one flag-1 miss event; returns the critical column."""
+        e1 = self.e1
+        self.e1 = e1 + 1
+        if self.nat_sl is not None:
+            # All non-prefetch native segments in one outer add.
+            np.add(now[self.nat_sl][:, None], self.noff1[e1],
+                   self.fill_mat[self.nat_sl])
+        elif self.native_segs:
+            line = addr // self.line_bytes
+            for seg in self.native_segs:
+                seg.fill(self, e1, now, line)
+        if self.cp_sl is not None:
+            nowcp = now[self.cp_sl]
+            ready = self.ready_buf
+            np.add(nowcp, self.idxadd1[e1], ready)
+            absolute = self.abs_buf
+            np.add(ready[:, None], self.rel1[e1], absolute)
+            base = self.base1[e1]
+            words = self.words
+            if self.bh_any[e1]:
+                floored = np.maximum(self.buf, (nowcp + 1)[:, None])
+                self.fill_mat[self.cp_sl] = np.where(
+                    self.bh1[e1][:, None],
+                    floored[:, base:base + words],
+                    absolute[:, base:base + words])
+            else:
+                self.fill_mat[self.cp_sl] = \
+                    absolute[:, base:base + words]
+            if self.upd_any[e1]:
+                np.copyto(self.buf, absolute,
+                          where=self.upd1[e1][:, None])
+        critw = (addr % self.line_bytes) >> 2
+        return self.fill_mat[:, critw], critw
+
+
+def _prepare_group(group_cells, static, trace, image, cols,
+                   critical_word_first, native_prefetch):
+    """Order a group's cells into subgroups/segments and precompute
+    every per-event table the kernels consume."""
+    text_base = trace.text_base
+    by_icache = {}
+    for cell in group_cells:
+        by_icache.setdefault(cell[1].icache, []).append(cell)
+
+    subgroups = []
+    ordered = []  # (pos, arch, codepack) in column order
+    col = 0
+    for icache, members in by_icache.items():
+        # Segment members by miss-path key, insertion-ordered, so each
+        # segment's cells occupy a contiguous column range.
+        native_by_mem = {}
+        cp_by_key = {}
+        for c in members:
+            if c[2] is None:
+                native_by_mem.setdefault(c[1].memory, []).append(c)
+            else:
+                cp_by_key.setdefault((c[1].memory, c[2].decode_rate),
+                                     []).append(c)
+        start = col
+        sg = _Subgroup(slice(start, start + len(members)), icache)
+        n = trace.n
+        profile = _get_profile_for(static, trace, members[0][1])
+        sg.attach_profile(profile, n)
+        fe_flags_np = np.frombuffer(bytes(profile.fe_flags), dtype=np.uint8)
+        fe_addr_np = np.frombuffer(profile.fe_addr, dtype=np.int64)
+        ev_addr1 = fe_addr_np[fe_flags_np == 1]
+        sg.fill_mat = np.zeros((len(members), sg.words), dtype=np.int64)
+
+        lcol = 0
+        for mem, seg_cells in native_by_mem.items():
+            seg = _NativeSeg(slice(lcol, lcol + len(seg_cells)), seg_cells,
+                             mem, sg.line_bytes, ev_addr1,
+                             critical_word_first, native_prefetch)
+            sg.native_segs.append(seg)
+            ordered.extend(seg_cells)
+            lcol += len(seg_cells)
+        if sg.native_segs and not native_prefetch:
+            noff1 = np.empty((len(ev_addr1), lcol, sg.words),
+                             dtype=np.int64)
+            for seg in sg.native_segs:
+                noff1[:, seg.sl, :] = seg.off1[:, None, :]
+            sg.noff1 = noff1
+            sg.nat_sl = slice(0, lcol)
+
+        if cp_by_key:
+            if image is None:
+                raise _VecUnsupported("codepack cells without an image")
+            block_bytes = image.block_instructions * 4
+            width = image.block_instructions
+            blocks1 = (ev_addr1 - text_base) // block_bytes
+            groups1 = blocks1 // image.group_blocks
+            lines1 = ev_addr1 // sg.line_bytes
+            base1 = (lines1 * sg.line_bytes - text_base
+                     - blocks1 * block_bytes) // 4
+            if len(base1) and int(base1.max()) + sg.words > width:
+                raise _VecUnsupported("line spans multiple blocks")
+            n1 = len(blocks1)
+            sg.blocks1 = blocks1.tolist()
+            sg.base1 = base1.tolist()
+            sg.nbytes1 = _image_block_columns(image)["nbytes"][blocks1]
+            cp_start = lcol
+            rel_cols = []
+            idx_cols = []
+            bh_cols = []
+            hasbuf = []
+            for (mem, rate), seg_cells in cp_by_key.items():
+                rel, nbytes, nvalid = _block_rel_matrix(image, rate, mem)
+                if n1 and int(nvalid[blocks1].min()) == 0:
+                    raise _VecUnsupported("empty compression block")
+                rel1_seg = rel[blocks1]  # (n1, width), one gather per seg
+                beats = -(-INDEX_ENTRY_BYTES // mem.bus_bytes)
+                idxcost = mem.first_latency + (beats - 1) * mem.rate
+                for c in seg_cells:
+                    cp = c[2]
+                    ck = (cp.output_buffer, cp.perfect_index,
+                          cp.index_cache)
+                    walk = sg.class_walks.get(ck)
+                    if walk is None:
+                        walk = sg.class_walks[ck] = _cp_class_walk(
+                            blocks1, groups1, cp)
+                    bh_cols.append(walk[0])
+                    idx_cols.append(walk[1] * idxcost)
+                    rel_cols.append(rel1_seg)
+                    hasbuf.append(cp.output_buffer)
+                sg.cp_segs.append(_CodePackSeg(seg_cells, rel, idxcost))
+                ordered.extend(seg_cells)
+                lcol += len(seg_cells)
+            n_cp = len(rel_cols)
+            rel1 = np.empty((n1, n_cp, width), dtype=np.int64)
+            for j, rows in enumerate(rel_cols):
+                rel1[:, j, :] = rows
+            sg.rel1 = rel1
+            sg.idxadd1 = np.stack(idx_cols, axis=1)
+            bh1 = np.stack(bh_cols, axis=1)
+            upd1 = np.array(hasbuf, dtype=bool)[None, :] & ~bh1
+            sg.bh1 = bh1
+            sg.upd1 = upd1
+            sg.bh_any = bh1.any(axis=1).tolist()
+            sg.upd_any = upd1.any(axis=1).tolist()
+            sg.cp_sl = slice(cp_start, lcol)
+            sg.buf = np.zeros((n_cp, width), dtype=np.int64)
+            sg.abs_buf = np.empty((n_cp, width), dtype=np.int64)
+            sg.ready_buf = np.empty(n_cp, dtype=np.int64)
+        col += len(members)
+        subgroups.append(sg)
+    return subgroups, ordered
+
+
+def _get_profile_for(static, trace, arch):
+    from repro.sim.replay import get_profile
+
+    return get_profile(static, trace, arch)
+
+
+# ---------------------------------------------------------------------------
+# Lockstep pipeline kernels
+# ---------------------------------------------------------------------------
+#
+# Both scalar timing engines keep a fetch "slot" (a (cycle, count)
+# pair advancing `width` per cycle) and, out of order, a commit slot.
+# Encoding slot = cycle * width + count turns every scalar update into
+# one of two array forms --
+#
+#     conditional bump:  if a > cycle: cycle, count = a, 0
+#                        ==  slot = max(slot, a * width)
+#     advance:           count += 1 (normalising)  ==  slot += 1
+#
+# -- so a run of instructions between front-end events folds into a
+# prefix-max: with A_k the k-th instruction's fill-word bound (or -inf)
+# and F the slot entering the run,
+#
+#     slot_k = k + max(F, max_{m<=k}(A_m - m))
+#
+# and similarly for the commit slot with A_k = (complete_k+1)*W + 1.
+# The out-of-order kernel chunks the trace at front-end events,
+# redirects (jumps, taken/mispredicted branches) and the RUU size (so
+# ring reads stay pre-chunk), running the per-instruction dispatch /
+# FU / scoreboard recurrence across all cells at once inside each
+# chunk.  The in-order kernel is a straight per-instruction lockstep.
+
+_NO_DEP = -(1 << 62)
+
+
+def _dyn_deps(trace, dyn):
+    """Last-writer dynamic indices per instruction source slot.
+
+    ``deps[0][i]``/``deps[1][i]`` name the dynamic instruction that
+    last wrote the i-th instruction's first/second source (``_NO_DEP``
+    for an absent source, a never-written slot, or a duplicate of the
+    first writer), as plain lists for the kernels' scalar indexing;
+    ``deps[2]``/``deps[3]`` are the same as ``int64`` arrays and
+    ``deps[4]`` is the ``(n, 6)`` op matrix, for vectorized break-set
+    precomputation.  A pure property of the dynamic op stream, so it
+    is memoised on the trace and shared by every cell group -- the
+    kernels then carry no scoreboard at all, just these indices
+    against their completion-time state.
+    """
+    deps = getattr(trace, "_vdeps", None)
+    if deps is None:
+        n = len(dyn)
+        opmat = np.array(dyn, dtype=np.int64)  # (n, 6) op tuples
+        s0c, s1c = opmat[:, 2], opmat[:, 3]
+        d0c, d1c = opmat[:, 4], opmat[:, 5]
+        pos = np.arange(n, dtype=np.int64)
+        # last_w[s, i] = index of the last write to slot s at-or-before
+        # i: a one-hot of write positions, prefix-maxed along time.
+        last_w = np.full((N_SLOTS, n), _NO_DEP, dtype=np.int64)
+        last_w[d0c, pos] = pos
+        last_w[d1c, pos] = pos  # d1 == NO_DST lands in the unused slot
+        last_w[NO_DST] = _NO_DEP
+        np.maximum.accumulate(last_w, axis=1, out=last_w)
+        # Reads see writes *strictly* before them: gather at i-1 (the
+        # scalar model reads its sources before recording its own
+        # destinations).  Instruction 0 never has a prior writer.
+        pm1 = np.maximum(pos - 1, 0)
+        j0 = last_w[s0c, pm1]
+        j1 = last_w[s1c, pm1]
+        j1[(j1 == j0) | (s1c == s0c)] = _NO_DEP
+        j0[s0c == NO_SRC] = _NO_DEP
+        j1[s1c == NO_SRC] = _NO_DEP
+        if n:
+            j0[0] = _NO_DEP
+            j1[0] = _NO_DEP
+        trace._vdeps = deps = (j0.tolist(), j1.tolist(), j0, j1, opmat)
+    return deps
+
+
+def _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat, rlist,
+                   deps):
+    width_f = arch.fetch_queue
+    width_c = arch.issue_width
+    sf = _pow2_shift(width_f)
+    sc = _pow2_shift(width_c)
+    ruu = arch.ruu_size
+    penalty = arch.mispredict_penalty
+    low = -(1 << 60)
+
+    F = np.zeros(C, dtype=np.int64)
+    F2 = np.empty(C, dtype=np.int64)
+    K = np.zeros(C, dtype=np.int64)
+    hist = np.zeros((ruu, C), dtype=np.int64)
+    pools = {}
+    for ex_class, size in ((0, arch.n_alu), (1, arch.n_memport),
+                           (2, arch.n_mult)):
+        pool = np.zeros((size, C), dtype=np.int64)
+        pools[ex_class] = ([pool[j] for j in range(size)], size)
+    alu_pool = pools[0]
+    mem_pool = pools[1]
+    mult_pool = pools[2]
+
+    A = np.empty((ruu, C), dtype=np.int64)
+    Arows = [A[r] for r in range(ruu)]
+    # Completion times live in a ring indexed by dynamic position.
+    # A register written more than `ruu` instructions ago cannot bind:
+    # its writer's completion is below its commit, which is below the
+    # commit-ring bound already folded into the dispatch floor.  So
+    # stale dependency indices are skipped without touching NumPy and
+    # the kernel carries no scoreboard (see :func:`_dyn_deps`).
+    CM = np.empty((ruu, C), dtype=np.int64)
+    CMrows = [CM[r] for r in range(ruu)]
+    j0s, j1s = deps[0], deps[1]
+    Q = np.empty((ruu, C), dtype=np.int64)
+    KCOL = np.arange(ruu, dtype=np.int64)[:, None]
+    KNEG = -KCOL
+    DB = np.empty(C, dtype=np.int64)
+    PM = np.empty(C, dtype=np.int64)
+    T0 = np.empty(C, dtype=np.int64)
+    BT = np.empty(C, dtype=np.bool_)
+    ge = np.greater_equal
+    all_reduce = np.logical_and.reduce
+
+    mi = 0
+    bi = 0
+    last_brk = 0
+    rptr = 0
+    next_red = rlist[rptr]
+    front_end = FRONT_END_LATENCY
+    maximum = np.maximum
+    minimum = np.minimum
+    add = np.add
+
+    i = 0
+    while i < n:
+        # ---- front-end events at the chunk head ----------------------
+        any_consult = False
+        for sg in subgroups:
+            if sg.next_fe == i:
+                f = sg.fe_flags[sg.fi]
+                if f == 1:
+                    addr = sg.fe_addr[sg.fi]
+                    fsl = F[sg.sl]
+                    dsl = DB[sg.sl]
+                    crit, critw = sg.fill_event(fsl >> sf, addr)
+                    np.left_shift(crit, sf, dsl)
+                    maximum(fsl, dsl, out=fsl)
+                    sg.w = critw + 1
+                    sg.consult = True
+                elif f:
+                    addr = sg.fe_addr[sg.fi]
+                    w0 = (addr % sg.line_bytes) >> 2
+                    fsl = F[sg.sl]
+                    dsl = DB[sg.sl]
+                    np.left_shift(sg.fill_mat[:, w0], sf, dsl)
+                    maximum(fsl, dsl, out=fsl)
+                    sg.w = w0 + 1
+                    sg.consult = True
+                else:
+                    sg.consult = False
+                if f:
+                    sg.nbi += 1
+                    sg.next_break = sg.nz_pos[sg.nbi]
+                sg.fi += 1
+                sg.next_fe = sg.fe_pos[sg.fi] if sg.fi < sg.n_fe else n
+                sg.k0 = 1
+            else:
+                sg.k0 = 0
+            if sg.consult:
+                any_consult = True
+
+        # ---- chunk length --------------------------------------------
+        # Chunks break at state-bearing front-end events (miss fills,
+        # in-flight-line hits), redirects and the RUU size.  Plain
+        # hit-visits (flag 0) only close a consult window, so they are
+        # consumed by the walk below instead of ending the chunk.
+        L = n - i
+        if ruu < L:
+            L = ruu
+        d = next_red - i + 1
+        if d < L:
+            L = d
+        for sg in subgroups:
+            d = sg.next_break - i
+            if d < L:
+                L = d
+        lim = i + L
+        for sg in subgroups:
+            sg.span_end = L if sg.consult else 0
+            if sg.next_fe < lim:
+                # Interior events are all plain hit-visits (flag 0):
+                # the first one closes the consult window, the rest are
+                # no-ops.  Skip them all in one walk.
+                if sg.consult:
+                    sg.span_end = sg.next_fe - i
+                    sg.consult = False
+                fi = sg.fi
+                fe_pos = sg.fe_pos
+                n_fe = sg.n_fe
+                while fi < n_fe and fe_pos[fi] < lim:
+                    fi += 1
+                sg.fi = fi
+                sg.next_fe = fe_pos[fi] if fi < n_fe else n
+
+        # ---- fetch slots for the whole chunk -------------------------
+        Av = A[:L]
+        if any_consult:
+            Av.fill(low)
+            for sg in subgroups:
+                span = sg.span_end - sg.k0
+                if span > 0:
+                    base = sg.w
+                    if base + span > sg.words:
+                        raise _VecUnsupported("fill consult overran "
+                                              "the line")
+                    np.left_shift(
+                        sg.fill_mat[:, base:base + span].T, sf,
+                        Av[sg.k0:sg.span_end, sg.sl])
+                    sg.w = base + span
+            if L > 1:
+                add(Av, KNEG[:L], Av)
+                np.maximum.accumulate(Av, axis=0, out=Av)
+            maximum(Av, F, out=Av)
+            if L > 1:
+                add(Av, KCOL[:L], Av)
+        elif L > 1:
+            add(F[None, :], KCOL[:L], Av)
+        else:
+            np.copyto(Av[0], F)
+        Fend = F2
+        add(Av[L - 1], 1, Fend)
+        np.right_shift(Av, sf, Av)
+        add(Av, front_end, Av)  # Av is now the dispatch floor (fetch)
+
+        # Fuse the RUU commit-ring bound in up front: every ring read
+        # in this chunk is pre-chunk state (L <= ruu), so the per-
+        # instruction max against hist folds into <=2 block maxes.
+        p0 = i % ruu
+        if p0 + L <= ruu:
+            maximum(Av, hist[p0:p0 + L], out=Av)
+        else:
+            split = ruu - p0
+            maximum(Av[:split], hist[p0:], out=Av[:split])
+            maximum(Av[split:], hist[:L - split], out=Av[split:])
+
+        # Ring rows for this chunk, in chunk order: instruction i+k
+        # completes into CMrows[(i+k) % ruu].
+        if p0 + L <= ruu:
+            cmk = CMrows[p0:p0 + L]
+        else:
+            cmk = CMrows[p0:] + CMrows[:p0 + L - ruu]
+
+        # ---- per-instruction dispatch / FU / scoreboard --------------
+        # Ufunc `out` is passed positionally throughout this loop: the
+        # kernel is call-overhead bound and keyword parsing is a
+        # measurable share of each tiny-array ufunc call.
+        stale = i - ruu
+        for op, d, cm, j, j2 in zip(dyn[i:lim], Arows, cmk,
+                                    j0s[i:lim], j1s[i:lim]):
+            ex = op[0]
+            lat = op[1]
+            # d: this slot's dispatch row (free after the fetch fold)
+            if j > stale:
+                maximum(d, CMrows[j % ruu], out=d)
+            if j2 > stale:
+                maximum(d, CMrows[j2 % ruu], out=d)
+            dmiss_now = False
+            if ex == EX_LOAD:
+                dmiss_now = dmiss[mi] != 0
+                mi += 1
+                rows, size = mem_pool
+            elif ex == EX_STORE:
+                mi += 1
+                rows, size = mem_pool
+            elif ex == EX_MULT:
+                rows, size = mult_pool
+            else:
+                if ex == EX_BRANCH:
+                    last_brk = brk[bi]
+                    bi += 1
+                rows, size = alu_pool
+            if size == 1:
+                row = rows[0]
+                maximum(d, row, out=d)
+                if ex == EX_MULT:
+                    add(d, lat, cm)
+                    row[:] = cm
+                elif dmiss_now:
+                    add(d, 1, row)
+                    add(d, dlat, cm)
+                elif lat == 1:
+                    add(d, 1, cm)
+                    row[:] = cm
+                else:
+                    add(d, 1, row)
+                    add(d, lat, cm)
+            else:
+                # Sorted-ladder pool: rows kept ascending, so rows[0]
+                # is the heap min; replacing it with v leaves the
+                # other rows plus v, re-sorted by a min/max ladder
+                # (2(P-1) elementwise ops, no argmin/fancy indexing).
+                maximum(d, rows[0], out=d)
+                if ex == EX_MULT:
+                    add(d, lat, cm)
+                    v = cm
+                elif dmiss_now:
+                    add(d, 1, PM)
+                    add(d, dlat, cm)
+                    v = PM
+                elif lat == 1:
+                    add(d, 1, cm)
+                    v = cm
+                else:
+                    add(d, 1, PM)
+                    add(d, lat, cm)
+                    v = PM
+                if size > 2 and all_reduce(ge(v, rows[size - 1], BT)):
+                    # v tops the whole pool in every cell: replacing
+                    # the min is just a rotation plus one copy.
+                    rows.append(rows.pop(0))
+                    np.copyto(rows[size - 1], v)
+                else:
+                    for j in range(1, size - 1):
+                        rj = rows[j]
+                        minimum(rj, v, out=rows[j - 1])
+                        maximum(rj, v, out=T0)
+                        v = T0
+                    rl = rows[size - 1]
+                    minimum(rl, v, out=rows[size - 2])
+                    maximum(rl, v, out=rl)
+            stale += 1
+
+        # ---- commit slots for the whole chunk ------------------------
+        # Slot algebra with the +1/-1 constants folded away: with
+        # X_k = (CM_k+1) << sc, slot_k = k + 1 + max(K, runmax(X-m)),
+        # the reported commit is (slot_k-1) >> sc and the carried K is
+        # slot_{L-1}, so Qv never needs the +-1 round trip.
+        wrapped = p0 + L > ruu
+        if wrapped:
+            Qv = Q[:L]
+            split = ruu - p0
+            add(CM[p0:], 1, Qv[:split])
+            add(CM[:L - split], 1, Qv[split:])
+        else:
+            # Unwrapped chunks fold straight into the hist ring: the
+            # rows being written are exactly the ones this chunk owns.
+            Qv = hist[p0:p0 + L]
+            add(CM[p0:p0 + L], 1, Qv)
+        np.left_shift(Qv, sc, Qv)
+        if L > 1:
+            add(Qv, KNEG[:L], Qv)
+            np.maximum.accumulate(Qv, axis=0, out=Qv)
+            maximum(Qv, K, out=Qv)
+            add(Qv, KCOL[:L], Qv)
+        else:
+            maximum(Qv, K, out=Qv)
+        add(Qv[L - 1], 1, K)
+        np.right_shift(Qv, sc, Qv)  # rows: the reported commit times
+        if wrapped:
+            hist[p0:] = Qv[:split]
+            hist[:L - split] = Qv[split:]
+
+        # ---- redirect at the chunk's last instruction ----------------
+        last = i + L - 1
+        if last == next_red:
+            if dyn[last][0] == EX_JUMP or last_brk == 1:
+                np.right_shift(Fend, sf, Fend)
+                add(Fend, 1, Fend)
+                np.left_shift(Fend, sf, Fend)
+            else:  # mispredicted conditional branch
+                add(cmk[L - 1], penalty, DB)
+                np.left_shift(DB, sf, DB)
+                maximum(Fend, DB, out=Fend)
+            rptr += 1
+            next_red = rlist[rptr]
+        F, F2 = F2, F
+        i += L
+
+    K -= 1
+    K >>= sc
+    return K
+
+
+def _run_inorder_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat,
+                       cols, deps):
+    """Event-driven 1-issue in-order kernel.
+
+    A "light" instruction -- unit latency, no FU contention, no fetch
+    event or open consult window, no binding dependency -- advances
+    every timing quantity by exactly one slot, so a whole run of them
+    folds to closed form: ``issue_end = max(PI + gap, FT + D + gap-1)``
+    (the chain grows +1 per step and the fetch floor moves in
+    lock-step), ``FT += gap`` and ``LC = max(LC, issue_end + 1)``
+    (issue is strictly increasing, so the run's last completion
+    dominates).  Light register writes can never bind: a lat-1 value
+    completes at ``issue + 1``, which the +1-per-step issue chain
+    already dominates by the time any later reader could consult it.
+    Only the precomputed *break* positions -- fetch events and their
+    consult windows, loads that miss, multiplies, lat>1 producers and
+    their readers, mispredicted branches -- run the per-instruction
+    model.
+    """
+    penalty = arch.mispredict_penalty
+    FT = np.zeros(C, dtype=np.int64)
+    PI = np.full(C, -1, dtype=np.int64)
+    MF = np.zeros(C, dtype=np.int64)
+    LC = np.zeros(C, dtype=np.int64)
+    IS = np.empty(C, dtype=np.int64)
+    CPL = np.empty(C, dtype=np.int64)
+    T1 = np.empty(C, dtype=np.int64)
+    maximum = np.maximum
+    add = np.add
+
+    # ---- break-set precomputation (pure array work) ------------------
+    j0np, j1np, opmat = deps[2], deps[3], deps[4]
+    lat_col = opmat[:, 1]
+    ex_col = cols.ex
+    dmiss_np = np.frombuffer(bytes(dmiss), dtype=np.uint8)
+    brk_np = np.frombuffer(bytes(brk), dtype=np.uint8)
+    miss_mask = np.zeros(n, dtype=bool)
+    miss_mask[cols.mpos[cols.is_load & (dmiss_np != 0)]] = True
+    brk2_mask = np.zeros(n, dtype=bool)
+    brk2_mask[cols.bpos[brk_np == 2]] = True
+    heavy = miss_mask | (lat_col > 1) | (ex_col == EX_MULT)
+    hpos = np.flatnonzero(heavy)
+    hmap = np.full(n, -1, dtype=np.int64)
+    hmap[hpos] = np.arange(len(hpos))
+    hregs = np.empty((len(hpos), C), dtype=np.int64)
+    breaks = heavy | brk2_mask
+    m = j0np >= 0
+    breaks[m] |= heavy[j0np[m]]
+    m = j1np >= 0
+    breaks[m] |= heavy[j1np[m]]
+    for sg in subgroups:
+        fp = np.frombuffer(sg.fe_pos, dtype=np.int64)
+        fl = np.frombuffer(bytes(sg.fe_flags), dtype=np.uint8)
+        # State-bearing events and the events that close their consult
+        # windows are breaks; the window interiors fold vectorized.
+        nz = np.flatnonzero(fl)
+        breaks[fp[nz]] = True
+        closers = nz + 1
+        closers = closers[closers < len(fp)]
+        breaks[fp[closers]] = True
+        sg.descw = np.arange(sg.words - 1, -1, -1, dtype=np.int64)
+    bp = np.flatnonzero(breaks).tolist()
+    bp.append(n)  # sentinel: final light run flushes against it
+
+    flag1 = []
+    prev = 0
+    for i in bp:
+        gap = i - prev
+        if gap > 0:
+            # Light run [prev, i): skipped fetch events in it are
+            # plain hit-visits with no open window (state-bearing
+            # events and their closers are breaks), so they only need
+            # the cursor advanced.  An *open* consult window folds too:
+            # position k streams word w+k-prev, so the run's fetch
+            # floor is R = max_k(fill[w+k-prev] + (i-1-k)) -- each
+            # streamed word plus the +1-per-step drift to the run's
+            # end -- giving issue_end an extra R + D term and FT an
+            # extra R + 1 term.
+            for sg in subgroups:
+                fi = sg.fi
+                fe_pos = sg.fe_pos
+                n_fe = sg.n_fe
+                while fi < n_fe and fe_pos[fi] < i:
+                    fi += 1
+                sg.fi = fi
+                sg.next_fe = fe_pos[fi] if fi < n_fe else n
+            add(PI, gap, T1)
+            add(FT, DECODE_LATENCY + gap - 1, IS)
+            maximum(IS, T1, out=IS)
+            FT += gap
+            for sg in subgroups:
+                if sg.consult:
+                    w = sg.w
+                    if w + gap > sg.words:
+                        raise _VecUnsupported(
+                            "fill consult overran the line")
+                    R = (sg.fill_mat[:, w:w + gap]
+                         + sg.descw[sg.words - gap:]).max(axis=1)
+                    sl = sg.sl
+                    maximum(IS[sl], R + DECODE_LATENCY, out=IS[sl])
+                    maximum(FT[sl], R + 1, out=FT[sl])
+                    sg.w = w + gap
+            add(IS, 1, T1)
+            maximum(LC, T1, out=LC)
+            PI, IS = IS, PI
+        if i == n:
+            break
+        ex = dyn[i][0]
+        lat = dyn[i][1]
+        del flag1[:]
+        for sg in subgroups:
+            if sg.next_fe == i:
+                f = sg.fe_flags[sg.fi]
+                if f == 1:
+                    addr = sg.fe_addr[sg.fi]
+                    crit, critw = sg.fill_event(FT[sg.sl], addr)
+                    maximum(FT[sg.sl], crit, out=FT[sg.sl])
+                    # `available` stays the (unfloored) critical word
+                    flag1.append((sg, crit))
+                    sg.w = critw + 1
+                    sg.consult = True
+                elif f:
+                    addr = sg.fe_addr[sg.fi]
+                    w0 = (addr % sg.line_bytes) >> 2
+                    maximum(FT[sg.sl], sg.fill_mat[:, w0], out=FT[sg.sl])
+                    sg.w = w0 + 1
+                    sg.consult = True
+                else:
+                    sg.consult = False
+                sg.fi += 1
+                sg.next_fe = sg.fe_pos[sg.fi] if sg.fi < sg.n_fe else n
+            elif sg.consult:
+                if sg.w >= sg.words:
+                    raise _VecUnsupported("fill consult overran the line")
+                maximum(FT[sg.sl], sg.fill_mat[:, sg.w], out=FT[sg.sl])
+                sg.w += 1
+        add(FT, DECODE_LATENCY, out=IS)
+        for sg, crit in flag1:
+            add(crit, DECODE_LATENCY, out=IS[sg.sl])
+        add(PI, 1, out=T1)
+        maximum(IS, T1, out=IS)
+        j = j0np[i]
+        if j >= 0 and hmap[j] >= 0:
+            maximum(IS, hregs[hmap[j]], out=IS)
+        j = j1np[i]
+        if j >= 0 and hmap[j] >= 0:
+            maximum(IS, hregs[hmap[j]], out=IS)
+        if ex == EX_MULT:
+            maximum(IS, MF, out=IS)
+            add(IS, lat, out=CPL)
+            MF[:] = CPL
+        elif miss_mask[i]:
+            add(IS, dlat, out=CPL)
+        else:
+            add(IS, lat, out=CPL)
+        if hmap[i] >= 0:
+            hregs[hmap[i]] = CPL
+        PI, IS = IS, PI
+        maximum(LC, CPL, out=LC)
+        if brk2_mask[i]:
+            add(CPL, penalty - lat, out=T1)
+            maximum(FT, T1, out=FT)
+        else:
+            FT += 1
+        prev = i + 1
+    return LC
+
+
+# ---------------------------------------------------------------------------
+# price_cells: the public group-pricing entry point
+# ---------------------------------------------------------------------------
+
+def _group_key(arch):
+    return (arch.in_order, arch.issue_width, arch.fetch_queue,
+            arch.ruu_size, arch.n_alu, arch.n_mult, arch.n_memport,
+            arch.mispredict_penalty, arch.predictor, arch.dcache)
+
+
+def _price_group(program, group_cells, static, trace, image,
+                 critical_word_first, native_prefetch, halted, output,
+                 exit_code, truncated):
+    from repro.sim.replay import _dyn_ops
+
+    arch0 = group_cells[0][1]
+    cols = trace_columns(trace, static)
+    subgroups, ordered = _prepare_group(group_cells, static, trace, image,
+                                        cols, critical_word_first,
+                                        native_prefetch)
+    C = len(ordered)
+    n = trace.n
+    dlat = np.array(
+        [c[1].memory.access_done(c[1].dcache.line_bytes, 0) + 1
+         for c in ordered], dtype=np.int64)
+    dyn = _dyn_ops(trace, get_replay_table(static).ops)
+    prof0 = subgroups[0].profile
+    dmiss = prof0.dmiss
+    brk = prof0.brk
+    if arch0.in_order:
+        cycles = _run_inorder_group(subgroups, C, n, dyn, dmiss, brk,
+                                    arch0, dlat, cols,
+                                    _dyn_deps(trace, dyn))
+    else:
+        brk_np = np.frombuffer(bytes(brk), dtype=np.uint8)
+        redirects = np.union1d(np.flatnonzero(cols.ex == EX_JUMP),
+                               cols.bpos[brk_np != 0])
+        rlist = redirects.tolist()
+        rlist.append(n + 1)  # sentinel past the last chunk
+        cycles = _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch0,
+                                dlat, rlist, _dyn_deps(trace, dyn))
+
+    results = {}
+    col = 0
+    for sg in subgroups:
+        p = sg.profile
+        n1 = len(sg.blocks1) if sg.blocks1 is not None else 0
+        for seg in sg.native_segs + sg.cp_segs:
+            for c in seg.cells:
+                pos, arch, codepack = c
+                if codepack is None:
+                    engine = None
+                else:
+                    walk = sg.class_walks[(codepack.output_buffer,
+                                           codepack.perfect_index,
+                                           codepack.index_cache)]
+                    stats = walk[2]
+                    engine = EngineStats(
+                        misses=n1,
+                        buffer_hits=stats["buffer_hits"],
+                        index_fetches=stats["index_fetches"],
+                        blocks_fetched=n1 - stats["buffer_hits"],
+                        compressed_bytes_fetched=int(
+                            sg.nbytes1[~walk[0]].sum()),
+                        index_cache=IndexCacheStats(
+                            accesses=stats["ic_accesses"],
+                            misses=stats["ic_misses"]),
+                    )
+                results[pos] = SimResult(
+                    benchmark=program.name,
+                    arch=arch.name,
+                    mode=describe_mode(codepack),
+                    instructions=n,
+                    cycles=int(cycles[col]),
+                    icache_accesses=p.icache_accesses,
+                    icache_misses=p.icache_misses,
+                    dcache_accesses=p.dcache_accesses,
+                    dcache_misses=p.dcache_misses,
+                    branch_lookups=p.lookups,
+                    branch_mispredicts=p.mispredicts,
+                    engine=engine,
+                    output=output,
+                    exit_code=exit_code,
+                    extra={"truncated": truncated},
+                )
+                col += 1
+    return results
+
+
+def price_cells(program, cells, *, static, trace, image=None,
+                max_instructions, critical_word_first=True,
+                native_prefetch=False, min_group=6):
+    """Price many sweep cells of one benchmark in shared trace passes.
+
+    ``cells`` is a sequence of ``(arch, codepack)`` pairs (``codepack``
+    ``None`` for native).  Cells sharing a pipeline shape (issue/fetch
+    widths, RUU, FU pools, penalty, predictor, D-cache) are priced
+    together -- one lockstep trace pass per group -- and each priced
+    cell's :class:`~repro.sim.results.SimResult` is exactly what
+    :func:`repro.sim.machine.simulate` returns for it.
+
+    Returns ``{cell_index: SimResult}`` for the cells the vector
+    backend could serve; callers run the rest through the scalar
+    engines.  Unsupported shapes (shared bus, truncating caps,
+    non-power-of-two widths, groups smaller than *min_group*) are
+    simply left out.
+    """
+    out = {}
+    if np is None or trace is None or trace.n == 0:
+        return out
+    if max_instructions < trace.n or not trace.covers(max_instructions):
+        return out
+    if trace.fault is not None and max_instructions > trace.n:
+        return out  # the scalar path raises; keep that behaviour there
+    groups = {}
+    for pos, (arch, codepack) in enumerate(cells):
+        if arch.shared_memory_bus:
+            continue
+        groups.setdefault(_group_key(arch), []).append(
+            (pos, arch, codepack))
+    if not groups:
+        return out
+    halted = trace.halted  # full replay: consumed == trace.n
+    output = trace.output_upto(trace.n)
+    exit_code = trace.exit_code if halted else 0
+    truncated = not halted and trace.n >= max_instructions
+    for group_cells in groups.values():
+        if len(group_cells) < min_group:
+            continue
+        try:
+            results = _price_group(program, group_cells, static, trace,
+                                   image, critical_word_first,
+                                   native_prefetch, halted, output,
+                                   exit_code, truncated)
+        except _VecUnsupported:
+            continue
+        out.update(results)
+    return out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval.__main__ import main
+from repro.eval.__main__ import main, parse_size
 
 
 class TestArgumentHandling:
@@ -39,3 +39,42 @@ class TestArgumentHandling:
                      "--benchmarks", "pegwit"]) == 0
         out = capsys.readouterr().out
         assert "Table 3" in out and "Table 4" in out
+
+
+class TestSweepFlags:
+    def test_parse_size(self):
+        assert parse_size("65536") == 65536
+        assert parse_size("8k") == 8 << 10
+        assert parse_size("8M") == 8 << 20
+        assert parse_size("1G") == 1 << 30
+        assert parse_size(" 2K ") == 2048
+        for bad in ("huge", "4.5M", "", "-1"):
+            with pytest.raises(ValueError):
+                parse_size(bad)
+
+    def test_bad_trace_cache_limit_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--trace-cache-limit", "huge"])
+        assert "byte size" in capsys.readouterr().err
+
+    def test_bad_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--jobs", "several"])
+        assert "jobs" in capsys.readouterr().err
+
+    def test_jobs_auto_accepted(self, capsys):
+        assert main(["table2", "--jobs", "auto"]) == 0
+
+    def test_no_vec_forces_scalar_backend(self, capsys):
+        assert main(["table5", "--scale", "0.02", "--benchmarks",
+                     "pegwit", "--no-vec", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "(0 vectorized)" in out
+        assert "backend vec" not in out
+
+    def test_stats_report_backends(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["table5", "table10", "--scale", "0.02",
+                     "--benchmarks", "pegwit", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "backend vec" in out

@@ -1,0 +1,95 @@
+"""The scalar fallback: everything must work without NumPy.
+
+NumPy is an optional accelerator (the ``perf`` extra).  A subprocess
+with a shim that blocks ``import numpy`` proves the package imports,
+the sweep completes through the scalar replay engines, and the cell
+results are identical to the vectorized run -- the backends share memo
+and cache keys precisely because they are cycle-exact.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.eval.experiments import sweep_cells
+from repro.eval.runner import Workbench
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                   os.pardir, os.pardir, "src")
+
+SHIM = ('raise ImportError("numpy blocked by test shim")\n')
+
+SCRIPT = r"""
+import json
+import repro  # the package must import without NumPy
+from repro.sim import vecreplay
+assert not vecreplay.available()
+try:
+    import numpy
+except ImportError:
+    pass
+else:
+    raise SystemExit("the shim failed: numpy is importable")
+from repro.eval.experiments import sweep_cells
+from repro.eval.runner import Workbench
+wb = Workbench(scale=0.02, jobs=1)
+assert wb.vec is False  # vec=None resolves to the scalar fallback
+wb.prefetch(sweep_cells(["table5", "table10"], wb=wb,
+                        benchmarks=["pegwit"]))
+cells = [{"bench": key[0], "arch": key[1].name, "mode": result.mode,
+          "result": result.to_dict()}
+         for key, result in sorted(
+             wb._results.items(),
+             key=lambda kv: (kv[0][0], kv[0][1].name, str(kv[0][2])))]
+print(json.dumps({"vec_cells": wb.stats.vec_cells, "cells": cells},
+                 sort_keys=True))
+"""
+
+
+@pytest.fixture(scope="module")
+def shim_env(tmp_path_factory):
+    shim_dir = tmp_path_factory.mktemp("no_numpy_shim")
+    (shim_dir / "numpy.py").write_text(SHIM)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([str(shim_dir), SRC])
+    return env
+
+
+@pytest.fixture(scope="module")
+def no_numpy_payload(shim_env):
+    proc = subprocess.run([sys.executable, "-c", SCRIPT],
+                          capture_output=True, text=True, env=shim_env,
+                          timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_sweep_passes_without_numpy(no_numpy_payload):
+    assert no_numpy_payload["vec_cells"] == 0
+    assert no_numpy_payload["cells"]
+
+
+def test_cell_json_identical_to_vectorized_run(no_numpy_payload):
+    pytest.importorskip("numpy")
+    wb = Workbench(scale=0.02, jobs=1, vec=True)
+    wb.prefetch(sweep_cells(["table5", "table10"], wb=wb,
+                            benchmarks=["pegwit"]))
+    cells = [{"bench": key[0], "arch": key[1].name, "mode": result.mode,
+              "result": result.to_dict()}
+             for key, result in sorted(
+                 wb._results.items(),
+                 key=lambda kv: (kv[0][0], kv[0][1].name,
+                                 str(kv[0][2])))]
+    assert wb.stats.vec_cells > 0
+    assert cells == no_numpy_payload["cells"]
+
+
+def test_vec_flag_requires_numpy(shim_env):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.eval", "table2", "--vec"],
+        capture_output=True, text=True, env=shim_env, timeout=120)
+    assert proc.returncode != 0
+    assert "NumPy" in proc.stderr

@@ -7,6 +7,7 @@ checksum-clean file must be rejected with :class:`TraceFormatError`.
 invalidate on program change and format-version bumps by construction.
 """
 
+import os
 import struct
 
 import pytest
@@ -201,3 +202,62 @@ class TestTraceCache:
             handle.write(b"garbage!")
         assert cache.get(program, trace.max_instructions) is None
         assert cache.misses == 1
+
+
+class TestTraceCacheLimit:
+    """The byte cap: mtime-LRU pruning after every store."""
+
+    def _put(self, cache, program, cap, mtime):
+        trace = record_trace(program, static=prepare(program),
+                             max_instructions=cap)
+        cache.put(program, trace)
+        path = cache._path(cache.key(program, cap))
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_put_prunes_oldest_first(self, program, tmp_path):
+        cache = TraceCache(str(tmp_path))  # unbounded while seeding
+        old = self._put(cache, program, 5, 1_000)
+        mid = self._put(cache, program, 6, 2_000)
+        cache.limit_bytes = os.path.getsize(mid)
+        new = self._put(cache, program, 7, 3_000)
+        assert os.path.exists(new)
+        assert not os.path.exists(old) and not os.path.exists(mid)
+        assert cache.pruned_files == 2
+        assert cache.pruned_bytes > 0
+
+    def test_get_refreshes_lru_rank(self, program, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        a = self._put(cache, program, 5, 1_000)
+        b = self._put(cache, program, 6, 2_000)
+        assert cache.get(program, 5) is not None  # touch: now newest
+        cache.limit_bytes = os.path.getsize(a)
+        assert cache.prune() == 1
+        assert os.path.exists(a)
+        assert not os.path.exists(b)
+
+    def test_fresh_store_survives_alone_over_limit(self, program,
+                                                   tmp_path):
+        cache = TraceCache(str(tmp_path), limit_bytes=1)
+        self._put(cache, program, 5, 1_000)
+        assert cache.get(program, 5) is not None
+        assert cache.pruned_files == 0
+
+    def test_foreign_files_untouched(self, program, tmp_path):
+        keepsake = tmp_path / "README.txt"
+        keepsake.write_text("not a trace")
+        cache = TraceCache(str(tmp_path), limit_bytes=0)
+        self._put(cache, program, 5, 1_000)
+        self._put(cache, program, 6, 2_000)
+        assert keepsake.exists()
+        assert not os.path.exists(cache._path(cache.key(program, 5)))
+
+    def test_unbounded_never_prunes(self, program, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        self._put(cache, program, 5, 1_000)
+        assert cache.prune() == 0
+        assert cache.pruned_files == 0
+
+    def test_negative_limit_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="limit_bytes"):
+            TraceCache(str(tmp_path), limit_bytes=-1)

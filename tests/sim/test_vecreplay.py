@@ -1,0 +1,255 @@
+"""Differential suite: vectorized group pricing vs the scalar oracle.
+
+:mod:`repro.sim.vecreplay` promises that pricing a whole group of sweep
+cells through the NumPy column kernels returns exactly what the scalar
+``replay_inorder``/``replay_ooo`` engines produce cell by cell -- same
+cycles, same cache/predictor statistics, same CodePack engine counters.
+These tests hold it to that across the paper's full Table 5-12 cell
+grid (all issue widths, native/CodePack/optimized modes, index-cache
+ablations), the cwf/prefetch ablation knobs, and truncation caps, and
+pin the vectorized profile builder against the scalar walk -- both on
+the real benchmark traces and on Hypothesis-generated random access
+streams and geometries.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codepack.compressor import compress_program
+from repro.eval.experiments import (
+    ALL_EXPERIMENTS,
+    CP_BASELINE,
+    CP_OPTIMIZED,
+    sweep_cells,
+)
+from repro.eval.runner import Workbench
+from repro.sim import vecreplay
+from repro.sim.config import ARCH_1_ISSUE, ARCH_4_ISSUE, ARCH_8_ISSUE
+from repro.sim.machine import prepare, simulate
+from repro.sim.replay import build_profile, record_trace
+from repro.workloads.suite import build_benchmark
+
+SCALE = 0.02
+
+ARCHS = {a.name: a for a in (ARCH_1_ISSUE, ARCH_4_ISSUE, ARCH_8_ISSUE)}
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Programs, predecode, image and recorded trace per benchmark."""
+    out = {}
+    for name in ("cc1", "pegwit"):
+        program = build_benchmark(name, SCALE)
+        static = prepare(program)
+        image = compress_program(program)
+        trace = record_trace(program, static=static)
+        out[name] = (program, static, image, trace)
+    return out
+
+
+@pytest.fixture(scope="module")
+def grid_cells():
+    """The full sweep cell grid at test scale, as (arch, cp) per bench."""
+    wb = Workbench(scale=SCALE, vec=False)
+    cells = list(sweep_cells(list(ALL_EXPERIMENTS), wb=wb,
+                             benchmarks=["cc1", "pegwit"]))
+    by_bench = {}
+    for bench, arch, codepack in cells:
+        by_bench.setdefault(bench, []).append((arch, codepack))
+    return by_bench
+
+
+def price(suite, bench, bcells, **kwargs):
+    program, static, image, trace = suite[bench]
+    kwargs.setdefault("max_instructions", 5_000_000)
+    kwargs.setdefault("min_group", 1)
+    return vecreplay.price_cells(program, bcells, static=static,
+                                 trace=trace, image=image, **kwargs)
+
+
+class TestGridExactness:
+    """Every sweep cell, priced vectorized, equals its scalar run."""
+
+    @pytest.mark.parametrize("bench", ("cc1", "pegwit"))
+    def test_full_grid_cycle_and_stats_exact(self, suite, grid_cells,
+                                             bench):
+        program, static, image, trace = suite[bench]
+        bcells = grid_cells[bench]
+        priced = price(suite, bench, bcells)
+        # At min_group=1 every shape in the paper's grid is served --
+        # 1/4/8-issue, native and every CodePack/index-cache variant.
+        assert sorted(priced) == list(range(len(bcells)))
+        for pos, (arch, codepack) in enumerate(bcells):
+            ref = simulate(program, arch, codepack=codepack,
+                           image=image if codepack else None,
+                           static=static, replay=trace)
+            assert priced[pos].to_dict() == ref.to_dict(), (
+                bench, arch.name, codepack)
+
+    def test_all_issue_widths_grouped(self, suite, grid_cells):
+        # The grid exercises all three kernels: 1-issue in-order,
+        # 4-issue and 8-issue out-of-order.
+        widths = {(a.in_order, a.issue_width) for a, _ in
+                  grid_cells["cc1"]}
+        assert {(True, 1), (False, 4), (False, 8)} <= widths
+
+
+class TestAblationKnobs:
+    CELLS = [(ARCH_4_ISSUE, None), (ARCH_4_ISSUE, CP_BASELINE),
+             (ARCH_4_ISSUE, CP_OPTIMIZED)]
+
+    def test_no_critical_word_first(self, suite):
+        program, static, image, trace = suite["cc1"]
+        priced = price(suite, "cc1", self.CELLS,
+                       critical_word_first=False)
+        assert sorted(priced) == [0, 1, 2]
+        for pos, (arch, codepack) in enumerate(self.CELLS):
+            ref = simulate(program, arch, codepack=codepack,
+                           image=image if codepack else None,
+                           static=static, replay=trace,
+                           critical_word_first=False)
+            assert priced[pos].to_dict() == ref.to_dict()
+
+    def test_native_prefetch(self, suite):
+        program, static, image, trace = suite["cc1"]
+        priced = price(suite, "cc1", self.CELLS, native_prefetch=True)
+        assert sorted(priced) == [0, 1, 2]
+        for pos, (arch, codepack) in enumerate(self.CELLS):
+            ref = simulate(program, arch, codepack=codepack,
+                           image=image if codepack else None,
+                           static=static, replay=trace,
+                           native_prefetch=True)
+            assert priced[pos].to_dict() == ref.to_dict()
+
+    def test_truncation_cap_left_to_scalar(self, suite):
+        # A cap below the trace length truncates the stream; the vector
+        # backend declines such cells and the caller's scalar fallback
+        # keeps the sweep exact (asserted Workbench-level below).
+        priced = price(suite, "cc1", self.CELLS, max_instructions=997)
+        assert priced == {}
+
+    def test_min_group_gate(self, suite):
+        # Below min_group the group is declined, not mispriced.
+        priced = price(suite, "cc1", self.CELLS[:1], min_group=2)
+        assert priced == {}
+
+
+class TestWorkbenchIntegration:
+    def test_sweep_results_and_tables_identical(self):
+        from repro.eval.tables import format_table
+        from repro.eval.experiments import ALL_EXPERIMENTS
+
+        names = ["table5", "table10"]
+        benchmarks = ["pegwit"]
+        wbs = {}
+        for vec in (False, True):
+            wb = Workbench(scale=SCALE, jobs=1, vec=vec)
+            wb.prefetch(sweep_cells(names, wb=wb, benchmarks=benchmarks))
+            wbs[vec] = wb
+        scalar_wb, vec_wb = wbs[False], wbs[True]
+        assert vec_wb.stats.vec_cells > 0
+        assert set(vec_wb._results) == set(scalar_wb._results)
+        for key, expected in scalar_wb._results.items():
+            assert vec_wb._results[key].to_dict() == expected.to_dict()
+        for name in names:
+            exp = ALL_EXPERIMENTS[name]
+            assert (format_table(exp(wb=vec_wb, benchmarks=benchmarks))
+                    == format_table(exp(wb=scalar_wb,
+                                        benchmarks=benchmarks)))
+
+    def test_backend_stats_recorded(self):
+        wb = Workbench(scale=SCALE, jobs=1, vec=True)
+        wb.prefetch(sweep_cells(["table5", "table10"], wb=wb,
+                                benchmarks=["pegwit"]))
+        backends = set(wb.stats.backends.values())
+        assert "vec" in backends
+
+
+class TestProfileBuilder:
+    """build_profile_vec vs the scalar walk, field for field."""
+
+    FIELDS = ("fe_pos", "fe_flags", "fe_addr", "dmiss", "mp", "brk",
+              "icache_accesses", "icache_misses", "dcache_accesses",
+              "dcache_misses", "lookups", "mispredicts",
+              "final_cur_line")
+
+    @pytest.mark.parametrize("bench", ("cc1", "pegwit"))
+    @pytest.mark.parametrize("arch", sorted(ARCHS))
+    def test_profiles_equal(self, suite, bench, arch):
+        program, static, image, trace = suite[bench]
+        ref = build_profile(static, trace, ARCHS[arch])
+        got = vecreplay.build_profile_vec(static, trace, ARCHS[arch])
+        assert got is not None
+        for field in self.FIELDS:
+            r, g = getattr(ref, field), getattr(got, field)
+            if isinstance(r, int):
+                assert g == r, (arch, field)
+            else:
+                assert bytes(bytearray(r)) == bytes(bytearray(g)), \
+                    (arch, field)
+
+
+def _reference_lru(lines, n_sets, assoc):
+    """Independent dict-of-ordered-dict LRU model."""
+    sets = {}
+    hits = []
+    for line in lines:
+        s = line % n_sets
+        cache_set = sets.setdefault(s, {})
+        if line in cache_set:
+            del cache_set[line]
+            cache_set[line] = True
+            hits.append(True)
+            continue
+        hits.append(False)
+        if len(cache_set) >= assoc:
+            del cache_set[next(iter(cache_set))]
+        cache_set[line] = True
+    return hits
+
+
+class TestHypothesisProfiles:
+    """Scalar and vectorized cache/predictor state machines agree on
+    random access streams and geometries."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(lines=st.lists(st.integers(min_value=0, max_value=255),
+                          max_size=200),
+           set_bits=st.integers(min_value=0, max_value=4),
+           assoc=st.sampled_from([1, 2, 4]))
+    def test_lru_hits_match_reference(self, lines, set_bits, assoc):
+        n_sets = 1 << set_bits
+        got = vecreplay._lru_hits(np.array(lines, dtype=np.int64),
+                                  n_sets, assoc)
+        assert got.tolist() == _reference_lru(lines, n_sets, assoc)
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=st.lists(st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.sampled_from([-1, 1])), max_size=200))
+    def test_clamped_counter_scan_matches_loop(self, events):
+        idx = np.array([e[0] for e in events], dtype=np.int64)
+        steps = np.array([e[1] for e in events], dtype=np.int64)
+        got = vecreplay._clamped_counter_scan(idx, steps)
+        table = {}
+        for i, (entry, step) in enumerate(events):
+            state = table.get(entry, 2)
+            assert got[i] == state, i
+            table[entry] = min(3, max(0, state + step))
+
+
+class TestColumnCache:
+    def test_columns_memoised_and_versioned(self, suite):
+        program, static, image, trace = suite["pegwit"]
+        first = vecreplay.trace_columns(trace, static)
+        assert vecreplay.trace_columns(trace, static) is first
+        del trace._columns
+        rebuilt = vecreplay.trace_columns(trace, static)
+        assert rebuilt is not first
+        assert rebuilt.n == first.n
+        assert np.array_equal(rebuilt.addr, first.addr)
