@@ -10,6 +10,10 @@ library actually ships; the ``reference`` benchmarks time the retained
 per-bit oracle (:mod:`repro.codepack.reference`), and
 ``test_fast_path_speedup`` pins the contract that the fast path beats
 it by >= 3x for both compression and decompression.
+``test_vec_batch_speedup`` pins the next tier: the vectorized batch
+kernels (:mod:`repro.codepack.veccodec`) must decompress a batch of
+real images >= 5x faster than the scalar fast path.  Both write their
+rows into ``BENCH_codec.json``.
 """
 
 import os
@@ -102,6 +106,59 @@ def test_fast_path_speedup(wb):
     }})
     assert compress_speedup >= 3.0
     assert decompress_speedup >= 3.0
+
+
+def test_vec_batch_speedup(wb):
+    """The batch-kernel contract: the vectorized codec decompresses a
+    batch of real benchmark images >= 5x faster than the scalar fast
+    path, with byte-identical outputs (compress rows are reported too,
+    uncontracted -- dictionary construction stays scalar either way).
+
+    Best-of-N wall timing, same rationale as ``test_fast_path_speedup``.
+    The floor is overridable via ``BENCH_VEC_MIN_SPEEDUP`` for
+    constrained CI machines.
+    """
+    pytest.importorskip("numpy")
+    from repro.codepack.batch import compress_many, decompress_many
+
+    floor = float(os.environ.get("BENCH_VEC_MIN_SPEEDUP", "5.0"))
+    names = ["perl", "vortex", "go", "cc1"]
+    programs = [wb.program(name) for name in names]
+    images = [wb.image(name) for name in names]
+
+    vec_images = compress_many(programs, vec=True)
+    for image, vec_image in zip(images, vec_images):
+        assert image.code_bytes == vec_image.code_bytes
+    vec_words = decompress_many(images, vec=True)
+    assert vec_words == [list(p.text) for p in programs]
+
+    decompress_vec = _best_of(lambda: decompress_many(images, vec=True), 5)
+    decompress_scalar = _best_of(
+        lambda: decompress_many(images, vec=False), 3)
+    compress_vec = _best_of(lambda: compress_many(programs, vec=True), 3)
+    compress_scalar = _best_of(
+        lambda: compress_many(programs, vec=False), 3)
+
+    decompress_speedup = decompress_scalar / decompress_vec
+    compress_speedup = compress_scalar / compress_vec
+    total_words = sum(len(p.text) for p in programs)
+    print("\nbatch decompress %.1fms vs %.1fms scalar: %.2fx (%d words)"
+          % (decompress_vec * 1e3, decompress_scalar * 1e3,
+             decompress_speedup, total_words))
+    print("batch compress   %.1fms vs %.1fms scalar: %.2fx"
+          % (compress_vec * 1e3, compress_scalar * 1e3, compress_speedup))
+    write_report(REPORT_PATH, {"vec_batch": {
+        "benchmarks": names,
+        "total_words": total_words,
+        "decompress_seconds": decompress_vec,
+        "decompress_scalar_seconds": decompress_scalar,
+        "decompress_speedup": decompress_speedup,
+        "compress_seconds": compress_vec,
+        "compress_scalar_seconds": compress_scalar,
+        "compress_speedup": compress_speedup,
+        "min_speedup": floor,
+    }})
+    assert decompress_speedup >= floor
 
 
 def test_dictionary_build_throughput(benchmark, program):

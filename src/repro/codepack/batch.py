@@ -16,10 +16,20 @@ available (``max_workers <= 1``, a pool that cannot be created in the
 current environment, or a worker failure mid-flight), so callers never
 need to care whether the fan-out actually happened; results are
 bit-identical either way, which the batch tests assert.
+
+When NumPy is importable, the batch entry points route through the
+vectorized kernels in :mod:`repro.codepack.veccodec` instead of the
+scalar fast path -- one kernel invocation per batch rather than one
+Python loop iteration per codeword.  The ``vec`` parameter mirrors the
+:class:`~repro.eval.runner.Workbench` gating: ``None`` auto-detects,
+``True`` requires NumPy, ``False`` forces the scalar tier.  Outputs are
+bit-identical in every mode (the three-way differential suite asserts
+it), so the choice is purely a throughput knob.
 """
 
 import concurrent.futures
 
+from repro.codepack import veccodec
 from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
 from repro.codepack.compressor import (
     BLOCK_INSTRUCTIONS,
@@ -34,7 +44,22 @@ from repro.codepack.reference import build_index_entries
 from repro.codepack.stats import CompositionStats
 from repro.isa.encoding import INSTRUCTION_BYTES
 
-__all__ = ["compress_many", "decompress_many", "compress_words_parallel"]
+__all__ = ["compress_many", "decompress_many", "compress_words_parallel",
+           "decode_groups_batch", "use_vec"]
+
+
+def use_vec(vec):
+    """Resolve the tri-state ``vec`` flag against NumPy availability.
+
+    ``None`` auto-detects, ``True`` demands the vectorized kernels (and
+    raises if NumPy is missing), ``False`` forces the scalar tier.
+    """
+    if vec is None:
+        return veccodec.available()
+    if vec and not veccodec.available():
+        raise RuntimeError("vec=True requires NumPy; install the "
+                           "'perf' extra or pass vec=None/False")
+    return bool(vec)
 
 
 def _encode_group(encoder, words, block_instructions):
@@ -77,14 +102,24 @@ def compress_words_parallel(words, text_base=0, name="program",
                             block_instructions=BLOCK_INSTRUCTIONS,
                             group_blocks=GROUP_BLOCKS,
                             high_dict=None, low_dict=None,
-                            max_workers=None, executor=None):
+                            max_workers=None, executor=None, vec=None):
     """Like :func:`~repro.codepack.compressor.compress_words`, but with
-    the per-group block encoding fanned out across a worker pool.
+    the whole-program encode handed to the vectorized kernel (or, on
+    the scalar tier, the per-group block encoding fanned out across a
+    worker pool).
 
-    Bit-identical to the sequential compressor for any *max_workers*.
-    Passing a long-lived *executor* reuses it instead of building a
-    fresh pool per call (it is never shut down here).
+    Bit-identical to the sequential compressor for any *max_workers*
+    and either *vec* setting.  Passing a long-lived *executor* reuses
+    it instead of building a fresh pool per call (it is never shut down
+    here).
     """
+    if use_vec(vec):
+        return veccodec.compress_words_vec(
+            words, text_base=text_base, name=name,
+            high_scheme=high_scheme, low_scheme=low_scheme,
+            block_instructions=block_instructions,
+            group_blocks=group_blocks,
+            high_dict=high_dict, low_dict=low_dict)
     high_scheme = high_scheme or HIGH_SCHEME
     low_scheme = low_scheme or LOW_SCHEME
     if high_dict is None or low_dict is None:
@@ -152,41 +187,52 @@ def compress_words_parallel(words, text_base=0, name="program",
     )
 
 
-def compress_many(programs, max_workers=None, executor=None, **kwargs):
+def compress_many(programs, max_workers=None, executor=None, vec=None,
+                  **kwargs):
     """Compress several programs; returns images in input order.
 
     *programs* may be :class:`~repro.isa.program.Program` objects or
-    plain lists of instruction words.  With ``max_workers > 1`` the
-    programs are compressed concurrently (and each program's group
-    encoding additionally fans out); ``max_workers=None`` picks a
-    sequential, deterministic default.  An injected *executor* fans the
-    per-program work out over a caller-owned pool instead (and is left
-    running for the next call).  Keyword arguments are forwarded to the
-    compressor.
+    plain lists of instruction words.  With NumPy present (see
+    :func:`use_vec`) the batch goes through the vectorized kernels --
+    one fused encode pass per batch when the batch shares dictionaries,
+    one kernel invocation per program otherwise.  On the scalar tier,
+    ``max_workers > 1`` compresses the programs concurrently (and each
+    program's group encoding additionally fans out);
+    ``max_workers=None`` picks a sequential, deterministic default.  An
+    injected *executor* fans the per-program work out over a
+    caller-owned pool instead (and is left running for the next call).
+    Keyword arguments are forwarded to the compressor.
     """
+    if use_vec(vec):
+        return veccodec.compress_many_vec(list(programs), **kwargs)
 
     def _compress(item):
         if hasattr(item, "text"):
             return compress_words_parallel(
                 item.text, text_base=item.text_base, name=item.name,
-                max_workers=None, **kwargs)
-        return compress_words_parallel(item, max_workers=None, **kwargs)
+                max_workers=None, vec=False, **kwargs)
+        return compress_words_parallel(item, max_workers=None, vec=False,
+                                       **kwargs)
 
     return _map_maybe_parallel(_compress, list(programs), max_workers,
                                executor=executor)
 
 
-def decompress_many(images, max_workers=None, executor=None):
+def decompress_many(images, max_workers=None, executor=None, vec=None):
     """Decompress several images; returns word lists in input order.
 
-    Fans the per-block decodes of each image out across the pool; the
-    sequential fallback mirrors
+    With NumPy present the whole batch decodes in one vectorized kernel
+    pass (every compressed block is a lane).  The scalar tier fans the
+    per-block decodes of each image out across the pool; both mirror
     :func:`~repro.codepack.decompressor.decompress_program`, including
     its instruction-count integrity check.  An injected *executor* is
     reused across calls (the serving layer passes one pool for the
     process lifetime).
     """
     from repro.codepack.errors import DecompressionError
+
+    if use_vec(vec):
+        return veccodec.decompress_many_vec(list(images))
 
     def _decompress(image):
         block_words = _map_maybe_parallel(
@@ -201,3 +247,40 @@ def decompress_many(images, max_workers=None, executor=None):
 
     return _map_maybe_parallel(_decompress, list(images), max_workers,
                                executor=executor)
+
+
+def decode_groups_batch(requests, vec=None):
+    """Decode many ``(image, group_index)`` pairs; one kernel pass.
+
+    The serve tier's micro-batcher collects a window of group decodes
+    (possibly spanning several registered images) and hands them here
+    as one batch.  With NumPy present all groups decode in a single
+    vectorized pass over the concatenated bitstreams; otherwise each
+    group goes through the scalar fast path.
+
+    Returns one entry per request: the group's instruction words as a
+    tuple, or the exception that group's decode raised (captured, not
+    raised, so one corrupt group cannot fail a whole batch).
+    """
+    requests = list(requests)
+    if use_vec(vec):
+        block_sets = []
+        for image, group_index in requests:
+            first = group_index * image.group_blocks
+            last = min(first + image.group_blocks, image.n_blocks)
+            block_sets.append((image, range(first, last)))
+        return [result if isinstance(result, Exception) else tuple(result)
+                for result in veccodec.decode_block_sets_vec(block_sets)]
+
+    out = []
+    for image, group_index in requests:
+        first = group_index * image.group_blocks
+        last = min(first + image.group_blocks, image.n_blocks)
+        try:
+            words = []
+            for block in range(first, last):
+                words.extend(decompress_block(image, block))
+            out.append(tuple(words))
+        except Exception as exc:
+            out.append(exc)
+    return out

@@ -93,3 +93,82 @@ def test_vec_flag_requires_numpy(shim_env):
         capture_output=True, text=True, env=shim_env, timeout=120)
     assert proc.returncode != 0
     assert "NumPy" in proc.stderr
+
+
+CODEC_SCRIPT = r"""
+import hashlib
+import json
+from repro.codepack import batch, veccodec
+assert not veccodec.available()
+try:
+    batch.use_vec(True)
+except RuntimeError:
+    pass
+else:
+    raise SystemExit("vec=True must raise without NumPy")
+from tests.conftest import random_words
+import random
+rng = random.Random(31337)
+programs = [random_words(rng, n, kind)
+            for n, kind in ((0, "workload"), (17, "workload"),
+                            (48, "zero_low"), (33, "incompressible"),
+                            (64, "repetitive"))]
+images = batch.compress_many(programs)  # vec=None -> scalar fallback
+from repro.tools.container import dump_image
+digests = [hashlib.sha256(dump_image(image)).hexdigest()
+           for image in images]
+words = batch.decompress_many(images)
+assert words == programs
+groups = batch.decode_groups_batch(
+    [(image, group) for image in images for group in range(image.n_groups)])
+group_digest = hashlib.sha256(
+    repr([tuple(g) for g in groups]).encode()).hexdigest()
+print(json.dumps({"cpk": digests, "groups": group_digest}))
+"""
+
+
+@pytest.fixture(scope="module")
+def codec_shim_env(shim_env):
+    env = dict(shim_env)
+    # The script imports tests.conftest for the corpus generators.
+    env["PYTHONPATH"] = os.pathsep.join(
+        [env["PYTHONPATH"],
+         os.path.join(SRC, os.pardir)])
+    return env
+
+
+def test_codepack_batch_identical_without_numpy(codec_shim_env):
+    """`repro.codepack.batch` imports, compresses, and decodes on the
+    scalar tier without NumPy -- and the `.cpk` bytes are identical to
+    the vectorized kernels' output."""
+    proc = subprocess.run([sys.executable, "-c", CODEC_SCRIPT],
+                          capture_output=True, text=True,
+                          env=codec_shim_env, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+
+    pytest.importorskip("numpy")
+    import hashlib
+    import random
+
+    from repro.codepack import batch, veccodec
+    from repro.tools.container import dump_image
+    from tests.conftest import random_words
+
+    assert veccodec.available()
+    rng = random.Random(31337)
+    programs = [random_words(rng, n, kind)
+                for n, kind in ((0, "workload"), (17, "workload"),
+                                (48, "zero_low"), (33, "incompressible"),
+                                (64, "repetitive"))]
+    images = batch.compress_many(programs, vec=True)
+    digests = [hashlib.sha256(dump_image(image)).hexdigest()
+               for image in images]
+    assert digests == payload["cpk"]
+    assert batch.decompress_many(images, vec=True) == programs
+    groups = batch.decode_groups_batch(
+        [(image, group) for image in images
+         for group in range(image.n_groups)], vec=True)
+    group_digest = hashlib.sha256(
+        repr([tuple(g) for g in groups]).encode()).hexdigest()
+    assert group_digest == payload["groups"]

@@ -138,13 +138,14 @@ class TestMicroBatcher:
                                                monkeypatch):
         """Ten concurrent requests for one group: one decode call."""
         calls = []
-        real = batcher_mod.decode_group
+        real = batcher_mod.decode_groups_batch
 
-        def counting(image_, group):
-            calls.append(group)
-            return real(image_, group)
+        def counting(requests):
+            requests = list(requests)
+            calls.extend(group for _image, group in requests)
+            return real(requests)
 
-        monkeypatch.setattr(batcher_mod, "decode_group", counting)
+        monkeypatch.setattr(batcher_mod, "decode_groups_batch", counting)
         metrics = MetricsRegistry()
 
         async def main():
@@ -169,13 +170,14 @@ class TestMicroBatcher:
     def test_cache_serves_repeats_without_decoding(self, image, digest,
                                                   monkeypatch):
         calls = []
-        real = batcher_mod.decode_group
+        real = batcher_mod.decode_groups_batch
 
-        def counting(image_, group):
-            calls.append(group)
-            return real(image_, group)
+        def counting(requests):
+            requests = list(requests)
+            calls.extend(group for _image, group in requests)
+            return real(requests)
 
-        monkeypatch.setattr(batcher_mod, "decode_group", counting)
+        monkeypatch.setattr(batcher_mod, "decode_groups_batch", counting)
 
         async def main():
             batcher = make_batcher(image, digest, window=0.001).start()
