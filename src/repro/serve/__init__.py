@@ -7,43 +7,66 @@ decompress requests into pooled decode calls behind an LRU cache of
 decoded compression groups, a metrics registry served in-band, and an
 open/closed-loop load generator for benchmarking it.
 
+Since v2 the service scales out: N workers form a fleet sharded by a
+consistent-hash ring over ``(image digest, span start)`` routing keys,
+each worker owning a slice of the decoded-group cache.  Shard-aware
+clients route straight to the owner; misroutes come back as redirect
+frames.  Workers persist their hot set to versioned, checksummed
+snapshot files and restore them on start, so a bounced worker rejoins
+warm instead of refilling its cache from scratch.
+
 * :mod:`repro.serve.protocol` -- sans-IO frames, payload codecs,
   typed error codes
 * :mod:`repro.serve.server` -- the asyncio server (backpressure,
-  deadlines, graceful shutdown)
+  deadlines, graceful shutdown, shard ownership)
 * :mod:`repro.serve.batcher` -- image registry, group cache,
-  micro-batch scheduler
-* :mod:`repro.serve.metrics` -- qps / latency-percentile / occupancy /
-  hit-rate / queue-depth registry
-* :mod:`repro.serve.client` -- pipelined asyncio client
+  micro-batch scheduler (decode *and* compress windows)
+* :mod:`repro.serve.ring` -- the consistent-hash ring and routing keys
+* :mod:`repro.serve.snapshot` -- warm-start hot-set persistence
+* :mod:`repro.serve.fleet` -- in-loop and multiprocess fleet runners
+* :mod:`repro.serve.metrics` -- per-worker registry plus fleet-wide
+  snapshot merging
+* :mod:`repro.serve.client` -- pipelined asyncio client and the
+  shard-aware :class:`FleetClient`
 * :mod:`repro.serve.loadgen` -- workload driver, emits
-  ``BENCH_serve.json``
+  ``BENCH_serve.json`` (single-worker and fleet rows)
 
 ``python -m repro.tools.serve`` is the CLI front end.
 """
 
 #: Serving-layer behaviour version (bump on protocol changes together
-#: with :data:`repro.serve.protocol.PROTOCOL_VERSION`).
-SERVE_VERSION = 1
+#: with :data:`repro.serve.protocol.PROTOCOL_VERSION`).  v2: fleet
+#: sharding, redirect frames, warm-start snapshots, compress batching.
+SERVE_VERSION = 2
 
 from repro.serve.batcher import GroupCache, ImageRegistry, MicroBatcher
-from repro.serve.client import ServeClient
+from repro.serve.client import FleetClient, Redirected, ServeClient
+from repro.serve.fleet import Fleet, FleetError, LocalFleet
 from repro.serve.loadgen import LoadgenConfig, run_compare_sync, run_load_sync
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import MetricsRegistry, merge_snapshots
 from repro.serve.protocol import ProtocolError
+from repro.serve.ring import HashRing, routing_key
 from repro.serve.server import CodePackServer, ServerConfig
 
 __all__ = [
     "SERVE_VERSION",
     "CodePackServer",
+    "Fleet",
+    "FleetClient",
+    "FleetError",
     "GroupCache",
+    "HashRing",
     "ImageRegistry",
     "LoadgenConfig",
+    "LocalFleet",
     "MetricsRegistry",
     "MicroBatcher",
     "ProtocolError",
+    "Redirected",
     "ServeClient",
     "ServerConfig",
+    "merge_snapshots",
+    "routing_key",
     "run_compare_sync",
     "run_load_sync",
 ]

@@ -26,7 +26,7 @@ import asyncio
 import hashlib
 from collections import OrderedDict
 
-from repro.codepack.batch import decode_groups_batch
+from repro.codepack.batch import compress_many, decode_groups_batch
 from repro.codepack.decompressor import decompress_block
 from repro.serve.protocol import (
     ERR_BAD_REQUEST,
@@ -100,6 +100,15 @@ class GroupCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def items(self):
+        """``((digest, group), words)`` pairs, coldest first.
+
+        The LRU keeps least-recently-used entries at the front, so the
+        snapshot layer can replay this order verbatim to reproduce the
+        ranking in a restored cache.
+        """
+        return list(self._entries.items())
+
     def counters(self):
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses, "evictions": self.evictions,
@@ -144,48 +153,90 @@ class ImageRegistry:
         return list(self._images)
 
 
+class _CompressJob:
+    """Program-shaped holder so batched compress frames keep their
+    name and text base through :func:`compress_many`."""
+
+    __slots__ = ("text", "text_base", "name")
+
+    def __init__(self, text, text_base, name):
+        self.text = text
+        self.text_base = text_base
+        self.name = name
+
+
 class MicroBatcher:
-    """Coalesce concurrent group decodes into windowed pool calls."""
+    """Coalesce concurrent group decodes -- and, since the fleet
+    refactor, concurrent ``compress`` frames -- into windowed pool
+    calls.
+
+    Compress coalescing mirrors decode coalescing: frames arriving
+    within one batching window become a single
+    :func:`~repro.codepack.batch.compress_many` call, which is one
+    fused vectorized encode pass over the concatenated programs when
+    the batch shares dictionaries (*high_dict*/*low_dict* pinned, the
+    PR 6 shared-dictionary kernel) and one kernel invocation per
+    program otherwise.  Every fleet worker runs its own batcher, so the
+    fused path engages per worker, not just in a single-process server.
+    """
 
     def __init__(self, registry, cache, window=0.002, max_batch=128,
-                 executor=None, metrics=None):
+                 executor=None, metrics=None, high_dict=None,
+                 low_dict=None):
         self.registry = registry
         self.cache = cache
         self.window = window
         self.max_batch = max_batch
         self.executor = executor
         self.metrics = metrics
+        self.high_dict = high_dict
+        self.low_dict = low_dict
         self._pending = {}  # (digest, group) -> [future, image, waiters]
         self._queue = asyncio.Queue()
         self._task = None
+        self._compress_queue = asyncio.Queue()  # [future, words, base, name]
+        self._compress_task = None
+        self._compress_inflight = 0
         self._closing = False
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self):
         if self._task is None and self.window > 0:
-            self._task = asyncio.get_running_loop().create_task(self._run())
+            loop = asyncio.get_running_loop()
+            self._task = loop.create_task(self._run())
+            self._compress_task = loop.create_task(self._run_compress())
         return self
 
     async def stop(self, drain=True):
         """Stop the scheduler; with *drain*, finish queued work first."""
         self._closing = True
         if drain:
-            while self._pending or not self._queue.empty():
+            while self._pending or not self._queue.empty() \
+                    or self._compress_inflight \
+                    or not self._compress_queue.empty():
                 await asyncio.sleep(0.005)
-        if self._task is not None:
-            self._task.cancel()
-            try:
-                await self._task
-            except asyncio.CancelledError:
-                pass
-            self._task = None
+        for task in (self._task, self._compress_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._task = None
+        self._compress_task = None
         for future, _image, _waiters in self._pending.values():
             if not future.done():
                 future.set_exception(ProtocolError(
                     ERR_SHUTTING_DOWN, "batcher stopped"))
                 future.exception()  # mark retrieved; waiters may be gone
         self._pending.clear()
+        while not self._compress_queue.empty():
+            entry = self._compress_queue.get_nowait()
+            if not entry[0].done():
+                entry[0].set_exception(ProtocolError(
+                    ERR_SHUTTING_DOWN, "batcher stopped"))
+                entry[0].exception()
 
     def depth(self):
         """Groups queued or mid-decode (the queue-depth gauge)."""
@@ -247,6 +298,20 @@ class MicroBatcher:
         for group in span:
             out.extend(got[group])
         return out
+
+    async def compress(self, words, text_base=0, name="program"):
+        """Compress one program through the batching window.
+
+        Frames queued within one window compress in a single
+        :func:`~repro.codepack.batch.compress_many` call; with pinned
+        shared dictionaries that is one fused encode pass for the whole
+        window.  Returns the :class:`CodePackImage`.
+        """
+        if self._closing:
+            raise ProtocolError(ERR_SHUTTING_DOWN, "server is draining")
+        future = asyncio.get_running_loop().create_future()
+        self._compress_queue.put_nowait([future, words, text_base, name])
+        return await asyncio.shield(future)
 
     def _enqueue(self, digest, image, group):
         key = (digest, group)
@@ -320,3 +385,67 @@ class MicroBatcher:
                         future.set_result(words)
             if self.metrics is not None:
                 self.metrics.record_batch(waiters, len(keys))
+
+    async def _run_compress(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._compress_queue.get()
+            self._compress_inflight += 1
+            if self.window > 0:
+                await self._sleep_window()
+            jobs = [first]
+            while len(jobs) < self.max_batch:
+                try:
+                    jobs.append(self._compress_queue.get_nowait())
+                    self._compress_inflight += 1
+                except asyncio.QueueEmpty:
+                    break
+
+            programs = [_CompressJob(words, base, name)
+                        for _f, words, base, name in jobs]
+
+            def compress_batch(work=programs):
+                # One batch call per window.  Inner fan-out stays
+                # sequential (the call itself already occupies a pool
+                # thread; nesting onto the same pool could starve it),
+                # and the vectorized tier never needs a pool anyway --
+                # with shared dictionaries the whole window is one
+                # fused _encode_spans pass.
+                try:
+                    return compress_many(work,
+                                         high_dict=self.high_dict,
+                                         low_dict=self.low_dict)
+                except Exception:
+                    # One bad program must not fail its window-mates:
+                    # replay the batch one-by-one so each job gets its
+                    # own result or its own typed error.
+                    results = []
+                    for item in work:
+                        try:
+                            results.append(compress_many(
+                                [item], high_dict=self.high_dict,
+                                low_dict=self.low_dict)[0])
+                        except Exception as exc:
+                            results.append(exc)
+                    return results
+
+            try:
+                results = await loop.run_in_executor(self.executor,
+                                                     compress_batch)
+            except Exception as exc:
+                results = [exc] * len(jobs)
+
+            for job, image in zip(jobs, results):
+                future = job[0]
+                if isinstance(image, Exception):
+                    if not future.done():
+                        future.set_exception(image)
+                        future.exception()
+                elif not future.done():
+                    future.set_result(image)
+            self._compress_inflight -= len(jobs)
+            if self.metrics is not None:
+                self.metrics.record_compress_batch(len(jobs))
+
+    async def _sleep_window(self):
+        await asyncio.sleep(self.window)

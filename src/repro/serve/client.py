@@ -1,22 +1,49 @@
-"""Asyncio client for the CodePack serving protocol.
+"""Asyncio clients for the CodePack serving protocol.
 
 :class:`ServeClient` keeps one connection, assigns request ids, and
 matches responses back to callers, so any number of requests can be in
 flight at once (the load generator leans on this for pipelining).
 Error frames surface as :class:`~repro.serve.protocol.ProtocolError`
 with the server's error code, and typed helpers wrap each request kind.
+
+:class:`FleetClient` layers consistent-hash routing on top: one
+pipelined connection per fleet worker, every by-digest decompress sent
+straight to the shard owning its routing key.  Redirect frames (a
+stale or deliberately wrong route) are followed transparently, and a
+``not-found`` on a shard that has never seen an image is healed by
+re-sending the request with the container bytes inline (the client
+keeps every blob it compressed or registered).
 """
 
 import asyncio
+import hashlib
 
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
+from repro.serve.ring import HashRing, routing_key
 
-__all__ = ["ServeClient", "ServerClosedError"]
+__all__ = ["ServeClient", "FleetClient", "Redirected",
+           "ServerClosedError"]
 
 
 class ServerClosedError(ConnectionError):
     """The connection died with requests still outstanding."""
+
+
+class Redirected(Exception):
+    """The server answered with a redirect to the owning shard.
+
+    Plain :class:`ServeClient` callers see this exception as-is;
+    :class:`FleetClient` catches it and re-issues the request against
+    the named shard.
+    """
+
+    def __init__(self, shard_id, host, port):
+        super().__init__("redirected to shard %d at %s:%d"
+                         % (shard_id, host, port))
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
 
 
 class ServeClient:
@@ -88,6 +115,10 @@ class ServeClient:
                 if frame.type == protocol.RESP_ERROR:
                     code, message = protocol.decode_error(frame.payload)
                     future.set_exception(ProtocolError(code, message))
+                elif frame.type == protocol.RESP_REDIRECT:
+                    shard_id, host, port = \
+                        protocol.decode_redirect(frame.payload)
+                    future.set_exception(Redirected(shard_id, host, port))
                 else:
                     future.set_result(frame)
         except (asyncio.CancelledError, ConnectionError):
@@ -162,7 +193,199 @@ class ServeClient:
                                    timeout=timeout)
         return protocol.decode_json_payload(frame.payload)
 
-    async def metrics(self, timeout=None):
-        frame = await self.request(protocol.REQ_METRICS, b"",
+    async def metrics(self, samples=False, timeout=None):
+        payload = protocol.encode_json_payload({"samples": True}) \
+            if samples else b""
+        frame = await self.request(protocol.REQ_METRICS, payload,
                                    timeout=timeout)
         return protocol.decode_json_payload(frame.payload)
+
+    async def fleet(self, op="describe", timeout=None, **kwargs):
+        spec = {"op": op}
+        spec.update(kwargs)
+        frame = await self.request(protocol.REQ_FLEET,
+                                   protocol.encode_json_payload(spec),
+                                   timeout=timeout)
+        return protocol.decode_json_payload(frame.payload)
+
+
+def _split_address(address):
+    if isinstance(address, (tuple, list)):
+        host, port = address
+        return str(host), int(port)
+    host, _, port = str(address).rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+class FleetClient:
+    """Shard-aware client: one pipelined connection per fleet worker.
+
+    The client mirrors the fleet's hash ring (same shard ids, same
+    replica count), so by-digest decompress requests go straight to
+    the owning shard and arrive cache-warm.  Should routing ever
+    disagree with the server -- a stale topology, a deliberately
+    misrouted test -- the redirect frame names the owner and the
+    request is replayed there once.
+
+    Container blobs returned by :meth:`compress` (or passed inline)
+    are memoised by digest: a shard answering ``not-found`` for a
+    digest it never saw gets the request again with the bytes inline,
+    which registers the image there for every later span.
+    """
+
+    def __init__(self, addresses, replicas=None,
+                 max_frame=protocol.MAX_FRAME_BYTES):
+        if not addresses:
+            raise ValueError("fleet needs at least one worker address")
+        self.addresses = [_split_address(address) for address in addresses]
+        kwargs = {} if replicas is None else {"replicas": replicas}
+        self.ring = HashRing(range(len(self.addresses)), **kwargs)
+        self.max_frame = max_frame
+        self._clients = {}
+        self._blobs = {}
+        self._next_compress = 0
+
+    async def connect(self):
+        for shard in range(len(self.addresses)):
+            await self._client(shard)
+        return self
+
+    async def close(self):
+        clients, self._clients = self._clients, {}
+        for client in clients.values():
+            await client.close()
+
+    async def __aenter__(self):
+        return await self.connect()
+
+    async def __aexit__(self, *exc):
+        await self.close()
+
+    async def _client(self, shard):
+        client = self._clients.get(shard)
+        if client is not None:
+            alive = (client._reader_task is not None
+                     and not client._reader_task.done())
+            if alive:
+                return client
+            # The worker bounced (restart, crash): drop the dead
+            # connection and dial the same address again.
+            self._clients.pop(shard, None)
+            await client.close()
+        host, port = self.addresses[shard]
+        client = ServeClient(host, port, max_frame=self.max_frame)
+        await client.connect()
+        self._clients[shard] = client
+        return client
+
+    def shard_for(self, digest, group_start=0):
+        """The shard owning the span starting at *group_start*."""
+        return self.ring.owner(routing_key(digest, group_start))
+
+    def remember(self, image_bytes):
+        """Memoise a container blob for ``not-found`` healing; returns
+        its digest.  Lets a driver that received the blob out-of-band
+        (e.g. from the process that compressed it) heal cold shards."""
+        blob = bytes(image_bytes)
+        digest = hashlib.sha256(blob).digest()
+        self._blobs[digest] = blob
+        return digest
+
+    # -- typed helpers -------------------------------------------------------
+
+    async def ping(self, timeout=None):
+        for shard in range(len(self.addresses)):
+            await (await self._client(shard)).ping(timeout=timeout)
+        return True
+
+    async def compress(self, words, text_base=0, name="program",
+                       timeout=None):
+        """Compress on the next worker round-robin; memoises the blob."""
+        shard = self._next_compress % len(self.addresses)
+        self._next_compress += 1
+        client = await self._client(shard)
+        digest, blob = await client.compress(
+            words, text_base=text_base, name=name, timeout=timeout)
+        self._blobs[digest] = blob
+        return digest, blob
+
+    async def decompress(self, digest=None, image_bytes=None,
+                         group_start=0, group_count=protocol.WHOLE_IMAGE,
+                         timeout=None):
+        """Route a span to its owning shard; heal misses inline."""
+        if digest is None:
+            if image_bytes is None:
+                raise ValueError("need digest or image_bytes")
+            digest = hashlib.sha256(bytes(image_bytes)).digest()
+        if image_bytes is not None:
+            self._blobs[digest] = bytes(image_bytes)
+        shard = self.shard_for(digest, group_start)
+        client = await self._client(shard)
+        try:
+            try:
+                return await client.decompress(
+                    digest=digest, image_bytes=image_bytes,
+                    group_start=group_start, group_count=group_count,
+                    timeout=timeout)
+            except (ServerClosedError, ConnectionError):
+                # One reconnect: the worker may have bounced between
+                # requests (warm restarts are a supported operation).
+                client = await self._client(shard)
+                return await client.decompress(
+                    digest=digest, image_bytes=image_bytes,
+                    group_start=group_start, group_count=group_count,
+                    timeout=timeout)
+        except Redirected as redirect:
+            client = await self._client(redirect.shard_id)
+            return await client.decompress(
+                digest=digest, image_bytes=image_bytes,
+                group_start=group_start, group_count=group_count,
+                timeout=timeout)
+        except ProtocolError as error:
+            blob = self._blobs.get(digest)
+            if error.code != protocol.ERR_NOT_FOUND or blob is None:
+                raise
+            # The owner has never seen this image (fresh worker, cold
+            # snapshot): replay with the container inline, which also
+            # registers it there for every later span.
+            return await client.decompress(
+                image_bytes=blob, group_start=group_start,
+                group_count=group_count, timeout=timeout)
+
+    async def broadcast_register(self, digest=None, image_bytes=None,
+                                 timeout=None):
+        """Pre-register an image on every worker (decode group 0 inline).
+
+        Returns the digest.  Useful before a read-heavy phase so no
+        shard ever pays the ``not-found`` round trip.
+        """
+        if image_bytes is None:
+            if digest is None:
+                raise ValueError("need digest or image_bytes")
+            image_bytes = self._blobs[digest]
+        blob = bytes(image_bytes)
+        digest = hashlib.sha256(blob).digest()
+        self._blobs[digest] = blob
+        for shard in range(len(self.addresses)):
+            client = await self._client(shard)
+            await client.decompress(image_bytes=blob, group_start=0,
+                                    group_count=1, timeout=timeout)
+        return digest
+
+    async def stats(self, digest, group_start=0, timeout=None):
+        client = await self._client(self.shard_for(digest, group_start))
+        return await client.stats(digest, timeout=timeout)
+
+    async def metrics(self, fleet=True, samples=False, timeout=None):
+        """Fleet-merged metrics (served in-band by worker 0) or a
+        plain per-worker list with ``fleet=False``."""
+        if fleet:
+            client = await self._client(0)
+            return await client.fleet("metrics", samples=samples,
+                                      timeout=timeout)
+        out = []
+        for shard in range(len(self.addresses)):
+            client = await self._client(shard)
+            out.append(await client.metrics(samples=samples,
+                                            timeout=timeout))
+        return out

@@ -1,0 +1,274 @@
+"""Fleet orchestration: N serve workers as one consistent-hash fleet.
+
+Two runners share the same topology rules (shard ids ``0..n-1``, one
+``host:port`` per shard, every worker holding an identical
+:class:`~repro.serve.ring.HashRing`):
+
+* :class:`LocalFleet` starts every :class:`CodePackServer` inside the
+  *current* event loop.  No extra processes, so tests can reach into
+  any worker's registry, cache, or metrics directly -- but all workers
+  share one GIL, so it measures routing behaviour, not speedup.
+* :class:`Fleet` spawns one OS process per worker (``spawn`` context,
+  so it behaves identically under every start method), which is what
+  the load generator and the CLI use: per-worker processes are the
+  whole point of sharding, letting decode work scale across cores.
+
+Addresses must be known *before* workers start (each worker's config
+embeds the full fleet table), so :class:`Fleet` pre-reserves one
+ephemeral port per shard by binding and immediately releasing it.
+Workers shut down gracefully on SIGTERM -- drain admitted requests,
+write a farewell hot-set snapshot -- which is what makes
+:meth:`Fleet.restart` a *warm* restart when a snapshot directory is
+configured.
+"""
+
+import asyncio
+import dataclasses
+import multiprocessing
+import signal
+import socket
+import time
+
+from repro.serve.server import CodePackServer, ServerConfig
+
+__all__ = ["LocalFleet", "Fleet", "FleetError", "reserve_ports"]
+
+
+class FleetError(RuntimeError):
+    """A fleet worker failed to start or stopped unexpectedly."""
+
+
+def reserve_ports(n, host="127.0.0.1"):
+    """Pick *n* distinct free TCP ports on *host*.
+
+    Binds them all simultaneously (so the kernel cannot hand the same
+    port out twice), reads the assigned numbers, then releases them.
+    There is an inherent race before the worker re-binds; serve
+    workers report bind failures through their ready queue rather
+    than pretending the race cannot happen.
+    """
+    sockets = []
+    try:
+        for _ in range(n):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def _shard_config(base, shard_id, host, port, addresses):
+    return dataclasses.replace(
+        base, host=host, port=port, shard_id=shard_id,
+        fleet=tuple(addresses))
+
+
+class LocalFleet:
+    """Every worker in the current event loop (test harness).
+
+    Workers bind ephemeral ports first; the address table is
+    distributed afterwards via :meth:`CodePackServer.set_fleet` (safe
+    because the ring hashes shard *ids*, so late address delivery
+    cannot change ownership).
+    """
+
+    def __init__(self, n_workers=2, config=None, host="127.0.0.1"):
+        if n_workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.n_workers = n_workers
+        self.base_config = config or ServerConfig()
+        self.host = host
+        self.servers = []
+        self.addresses = []
+
+    async def start(self):
+        for shard in range(self.n_workers):
+            config = dataclasses.replace(
+                self.base_config, host=self.host, port=0,
+                shard_id=shard, fleet=None)
+            server = CodePackServer(config)
+            await server.start()
+            self.servers.append(server)
+        self.addresses = ["%s:%d" % (self.host, server.port)
+                          for server in self.servers]
+        for shard, server in enumerate(self.servers):
+            server.set_fleet(self.addresses, shard_id=shard)
+        return self
+
+    async def stop(self, drain=True):
+        servers, self.servers = self.servers, []
+        for server in servers:
+            await server.shutdown(drain=drain)
+
+    async def restart(self, shard, drain=True):
+        """Bounce one worker in place (same shard id, same port).
+
+        The outgoing worker drains and writes its farewell snapshot;
+        the replacement binds the *same* port (the address table stays
+        valid for every peer and client) and restores that snapshot on
+        start -- the warm-rejoin path, exercised end-to-end in tests.
+        """
+        old = self.servers[shard]
+        port = old.port
+        await old.shutdown(drain=drain)
+        config = dataclasses.replace(
+            self.base_config, host=self.host, port=port,
+            shard_id=shard, fleet=tuple(self.addresses))
+        server = CodePackServer(config)
+        await server.start()
+        self.servers[shard] = server
+        return server
+
+    async def __aenter__(self):
+        return await self.start()
+
+    async def __aexit__(self, *exc):
+        await self.stop()
+
+
+# -- multiprocess fleet ------------------------------------------------------
+
+def _worker_main(shard_id, host, port, addresses, config_kwargs, ready):
+    """Entry point of one fleet worker process."""
+    # The parent's SIGINT (Ctrl-C in a terminal) must not kill workers
+    # before the orchestrator can drain them; SIGTERM is the shutdown
+    # signal and is handled on the loop below.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    config = _shard_config(ServerConfig(**config_kwargs), shard_id,
+                           host, port, addresses)
+    try:
+        asyncio.run(_worker_serve(config, ready))
+    except Exception as exc:  # bind failure, corrupt config, ...
+        try:
+            ready.put(("error", shard_id,
+                       "%s: %s" % (type(exc).__name__, exc)))
+        except Exception:
+            pass
+        raise SystemExit(1)
+
+
+async def _worker_serve(config, ready):
+    server = CodePackServer(config)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+    except (NotImplementedError, ValueError):
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    ready.put(("ready", config.shard_id, server.port))
+    await stop.wait()
+    # Graceful exit: drain admitted requests, then shutdown() writes
+    # the farewell snapshot that makes the next start of this shard a
+    # warm one.
+    await server.shutdown(drain=True)
+
+
+class Fleet:
+    """One OS process per worker; the production-shaped runner.
+
+    ``config_kwargs`` are :class:`ServerConfig` field overrides applied
+    to every worker (each then gets its own ``shard_id``/``port``).
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    #: Seconds to wait for the whole fleet to report ready.
+    START_TIMEOUT = 60.0
+    #: Seconds a SIGTERM'd worker gets to drain before SIGKILL.
+    STOP_TIMEOUT = 20.0
+
+    def __init__(self, n_workers=2, host="127.0.0.1", **config_kwargs):
+        if n_workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.n_workers = n_workers
+        self.host = host
+        self.config_kwargs = dict(config_kwargs)
+        self.ports = []
+        self.addresses = []
+        self._processes = []
+        self._context = multiprocessing.get_context("spawn")
+        self._ready = None
+
+    def start(self):
+        self.ports = reserve_ports(self.n_workers, host=self.host)
+        self.addresses = ["%s:%d" % (self.host, port)
+                          for port in self.ports]
+        self._ready = self._context.Queue()
+        self._processes = [self._spawn(shard)
+                           for shard in range(self.n_workers)]
+        self._await_ready(range(self.n_workers))
+        return self
+
+    def _spawn(self, shard):
+        process = self._context.Process(
+            target=_worker_main,
+            args=(shard, self.host, self.ports[shard], self.addresses,
+                  self.config_kwargs, self._ready),
+            daemon=True,
+            name="serve-shard-%d" % shard)
+        process.start()
+        return process
+
+    def _await_ready(self, shards):
+        waiting = set(shards)
+        deadline = time.monotonic() + self.START_TIMEOUT
+        while waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.stop(graceful=False)
+                raise FleetError("workers %s never reported ready"
+                                 % sorted(waiting))
+            try:
+                status, shard, detail = self._ready.get(timeout=remaining)
+            except Exception:
+                continue
+            if status == "error":
+                self.stop(graceful=False)
+                raise FleetError("shard %d failed to start: %s"
+                                 % (shard, detail))
+            waiting.discard(shard)
+
+    def restart(self, shard):
+        """Bounce one worker process (SIGTERM, wait, respawn).
+
+        With a snapshot directory in ``config_kwargs`` this is a warm
+        restart: the dying worker persists its hot set on the way out
+        and the replacement restores it before accepting connections.
+        """
+        process = self._processes[shard]
+        if process.is_alive():
+            process.terminate()
+        process.join(self.STOP_TIMEOUT)
+        if process.is_alive():
+            process.kill()
+            process.join(self.STOP_TIMEOUT)
+        self._processes[shard] = self._spawn(shard)
+        self._await_ready([shard])
+
+    def stop(self, graceful=True):
+        processes, self._processes = self._processes, []
+        if graceful:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()  # SIGTERM -> drain + snapshot
+            for process in processes:
+                process.join(self.STOP_TIMEOUT)
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+                process.join(self.STOP_TIMEOUT)
+        if self._ready is not None:
+            self._ready.close()
+            self._ready = None
+
+    def alive(self):
+        return [process.is_alive() for process in self._processes]
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()

@@ -20,24 +20,38 @@ Two driving disciplines:
 server and a ``batch_window=0`` baseline and emits ``BENCH_serve.json``
 with both reports and the throughput ratio -- the CI serve-smoke job
 asserts on that ratio.
+
+Fleet mode (:func:`run_fleet_load` / :func:`run_fleet_compare`) drives
+a multi-worker fleet through shard-aware
+:class:`~repro.serve.client.FleetClient` connections.  The drivers are
+**separate OS processes** -- one asyncio client process cannot push
+enough load to saturate several server processes, and measuring a
+fleet through a single-process driver just measures the driver.  Each
+driver runs a closed loop over a slice of the same deterministic plan,
+tags every request with its owning shard, and the merged report adds
+per-shard latency percentiles plus Jain's fairness index over the
+per-shard request counts.
 """
 
 import asyncio
 import json
+import multiprocessing
+import os
 import random
 import time
 from collections import Counter
 from dataclasses import dataclass, field, replace
 
 from repro.serve import protocol
-from repro.serve.client import ServeClient, ServerClosedError
+from repro.serve.client import FleetClient, ServeClient, ServerClosedError
 from repro.serve.metrics import percentile
 from repro.serve.protocol import ProtocolError
 from repro.tools.container import parse_image
 from repro.workloads.suite import build_benchmark
 
 __all__ = ["LoadgenConfig", "run_load", "run_load_sync",
-           "run_compare", "run_compare_sync"]
+           "run_compare", "run_compare_sync",
+           "run_fleet_load", "run_fleet_compare", "jain_fairness"]
 
 
 @dataclass
@@ -262,3 +276,272 @@ def run_compare_sync(loadgen=None, server_config=None, output=None):
     return asyncio.run(run_compare(loadgen=loadgen,
                                    server_config=server_config,
                                    output=output))
+
+
+# -- fleet mode --------------------------------------------------------------
+
+def jain_fairness(counts):
+    """Jain's fairness index over per-shard request counts.
+
+    ``1.0`` means perfectly even; ``1/n`` means one shard took
+    everything.  Zero-request shards count -- an idle shard *is*
+    unfairness.
+    """
+    values = list(counts)
+    total = sum(values)
+    if not values or total == 0:
+        return 1.0
+    return total * total / (len(values) * sum(v * v for v in values))
+
+
+def default_drivers():
+    """Driver processes for fleet load.
+
+    One asyncio driver tops out near one worker's throughput (the
+    per-request client work mirrors the server work), so measuring an
+    N-worker fleet needs about N drivers; they are I/O-bound enough to
+    share cores with the workers.
+    """
+    return min(6, max(2, os.cpu_count() or 2))
+
+
+async def _fleet_setup(config, addresses):
+    """Compress the workload program and warm every shard's registry.
+
+    Returns ``(digest, blob, n_groups)``.  Registration up front means
+    the measured loop never pays the inline-retry round trip -- the
+    not-found healing path stays for topology churn, not steady state.
+    """
+    program = build_benchmark(config.benchmark, config.scale)
+    async with FleetClient(addresses) as client:
+        digest, blob = await client.compress(
+            program.text, text_base=program.text_base,
+            name=program.name, timeout=config.timeout)
+        await client.broadcast_register(image_bytes=blob,
+                                        timeout=config.timeout)
+    return digest, blob, parse_image(blob).n_groups, len(program.text)
+
+
+async def _fleet_drive(addresses, digest, blob, plan, config, streams,
+                       start_gate):
+    """One driver process's closed loop over its plan slice."""
+    client = FleetClient(addresses)
+    await client.connect()
+    client.remember(blob)
+    tally = _Tally()
+    shard_latencies = {}
+    try:
+        if start_gate is not None:
+            # Block until every driver is connected so the measured
+            # window starts simultaneously everywhere.
+            await asyncio.get_running_loop().run_in_executor(
+                None, start_gate.wait)
+        began = time.monotonic()
+        queue = iter(plan)
+
+        async def worker():
+            for start, count in queue:
+                shard = client.shard_for(digest, start)
+                t0 = time.perf_counter()
+                try:
+                    words = await client.decompress(
+                        digest=digest, group_start=start,
+                        group_count=count, timeout=config.timeout)
+                except (ProtocolError, asyncio.TimeoutError,
+                        ServerClosedError, ConnectionError) as exc:
+                    tally.record_error(exc)
+                else:
+                    elapsed = time.perf_counter() - t0
+                    tally.latencies.append(elapsed)
+                    tally.words += len(words)
+                    shard_latencies.setdefault(shard, []).append(elapsed)
+
+        await asyncio.gather(*[worker() for _ in range(max(1, streams))])
+        ended = time.monotonic()
+    finally:
+        await client.close()
+    return {
+        "began": began, "ended": ended,
+        "latencies": tally.latencies,
+        "errors": dict(tally.errors),
+        "words": tally.words,
+        "shard_latencies": {str(shard): lat
+                            for shard, lat in shard_latencies.items()},
+    }
+
+
+def _fleet_driver_main(addresses, digest_hex, blob_hex, plan, config,
+                       streams, start_gate, out):
+    try:
+        result = asyncio.run(_fleet_drive(
+            addresses, bytes.fromhex(digest_hex),
+            bytes.fromhex(blob_hex), plan, config, streams, start_gate))
+        out.put(("ok", result))
+    except Exception as exc:
+        # Break the start gate so sibling drivers fail fast instead of
+        # waiting forever on a peer that will never arrive.
+        if start_gate is not None:
+            try:
+                start_gate.abort()
+            except Exception:
+                pass
+        out.put(("error", "%s: %s" % (type(exc).__name__, exc)))
+
+
+def _per_shard_report(n_shards, shard_latencies):
+    rows = []
+    for shard in range(n_shards):
+        latencies = shard_latencies.get(shard, [])
+        rows.append({
+            "shard": shard,
+            "completed": len(latencies),
+            "p50_ms": percentile(latencies, 0.50) * 1000.0,
+            "p99_ms": percentile(latencies, 0.99) * 1000.0,
+        })
+    return rows
+
+
+def run_fleet_load(config, addresses, drivers=None, fetch_metrics=True):
+    """Drive a running fleet at *addresses*; returns the report dict.
+
+    Closed-loop only (the fleet contract is about sustainable
+    throughput).  ``connections x pipeline`` request streams are split
+    evenly across ``drivers`` OS processes; the wall clock spans the
+    union of the drivers' measured windows (they start through a
+    shared gate, so the union is tight).
+    """
+    if config.mode != "closed":
+        raise ValueError("fleet load generation is closed-loop only")
+    addresses = list(addresses)
+    n_drivers = drivers or default_drivers()
+    digest, blob, n_groups, n_instructions = asyncio.run(
+        _fleet_setup(config, addresses))
+    plan = _plan_spans(config, n_groups)
+    slices = [plan[i::n_drivers] for i in range(n_drivers)]
+    slices = [chunk for chunk in slices if chunk]
+    n_drivers = len(slices)
+    streams = max(1, (max(1, config.connections)
+                      * max(1, config.pipeline)) // n_drivers)
+
+    context = multiprocessing.get_context("spawn")
+    out = context.Queue()
+    start_gate = context.Barrier(n_drivers)
+    processes = [
+        context.Process(
+            target=_fleet_driver_main,
+            args=(addresses, digest.hex(), blob.hex(), chunk, config,
+                  streams, start_gate, out),
+            daemon=True, name="serve-driver-%d" % index)
+        for index, chunk in enumerate(slices)]
+    for process in processes:
+        process.start()
+    results = []
+    failures = []
+    try:
+        for _ in processes:
+            status, payload = out.get(
+                timeout=max(120.0, config.timeout * 4))
+            (results if status == "ok" else failures).append(payload)
+    except Exception:
+        failures.append("driver never reported (timeout)")
+    finally:
+        for process in processes:
+            process.join(30.0)
+            if process.is_alive():
+                process.kill()
+    if failures:
+        raise RuntimeError("fleet drivers failed: %s" % "; ".join(failures))
+
+    wall = max(r["ended"] for r in results) \
+        - min(r["began"] for r in results)
+    wall = max(wall, 1e-9)
+    latencies = [lat for r in results for lat in r["latencies"]]
+    errors = Counter()
+    for r in results:
+        errors.update(r["errors"])
+    words = sum(r["words"] for r in results)
+    shard_latencies = {}
+    for r in results:
+        for shard_text, lats in r["shard_latencies"].items():
+            shard_latencies.setdefault(int(shard_text), []).extend(lats)
+
+    fleet_metrics = None
+    if fetch_metrics:
+        async def _metrics():
+            async with FleetClient(addresses) as client:
+                return await client.metrics(fleet=True, samples=True)
+        try:
+            fleet_metrics = asyncio.run(_metrics())
+        except Exception:
+            pass
+
+    completed = len(latencies)
+    per_shard = _per_shard_report(len(addresses), shard_latencies)
+    return {
+        "workload": dict(config.describe(), n_groups=n_groups,
+                         program_instructions=n_instructions),
+        "n_workers": len(addresses),
+        "drivers": n_drivers,
+        "streams_per_driver": streams,
+        "completed": completed,
+        "errors": dict(errors),
+        "wall_seconds": wall,
+        "throughput_rps": completed / wall,
+        "words_per_second": words / wall,
+        "words_returned": words,
+        "latency_ms": {
+            "mean": (sum(latencies) / completed * 1000.0)
+                    if completed else 0.0,
+            "p50": percentile(latencies, 0.50) * 1000.0,
+            "p90": percentile(latencies, 0.90) * 1000.0,
+            "p99": percentile(latencies, 0.99) * 1000.0,
+            "max": max(latencies) * 1000.0 if completed else 0.0,
+        },
+        "per_shard": per_shard,
+        "fairness": jain_fairness(row["completed"] for row in per_shard),
+        "fleet_metrics": fleet_metrics,
+    }
+
+
+def run_fleet_compare(loadgen=None, n_workers=4, drivers=None,
+                      output=None, **server_kwargs):
+    """The fleet scaling benchmark: N workers vs one, same workload.
+
+    Both passes use multiprocess drivers and identical per-worker
+    configuration (``server_kwargs`` are :class:`ServerConfig`
+    overrides), so the ratio isolates what sharding buys.  Returns
+    (and optionally writes to *output*) the comparison with
+    ``fleet_speedup``, per-shard p99 rows, and the fairness index.
+    """
+    from repro.serve.fleet import Fleet
+
+    loadgen = loadgen or LoadgenConfig()
+    if n_workers < 2:
+        raise ValueError("a fleet comparison needs n_workers >= 2")
+
+    reports = {}
+    for label, count in (("single", 1), ("fleet", n_workers)):
+        with Fleet(n_workers=count, **server_kwargs) as fleet:
+            reports[label] = run_fleet_load(loadgen, fleet.addresses,
+                                            drivers=drivers)
+
+    speedup = (reports["fleet"]["throughput_rps"]
+               / max(reports["single"]["throughput_rps"], 1e-9))
+    from repro.tools.benchinfo import stamp
+
+    result = stamp({
+        "bench": "serve_fleet",
+        "workload": reports["fleet"]["workload"],
+        "server": dict(server_kwargs),
+        "n_workers": n_workers,
+        "single": reports["single"],
+        "fleet": reports["fleet"],
+        "per_shard": reports["fleet"]["per_shard"],
+        "fairness": reports["fleet"]["fairness"],
+        "fleet_speedup": speedup,
+    })
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result

@@ -10,12 +10,20 @@ The registry is event-loop-confined (the asyncio server records from
 coroutine context only), so no locking is needed; the load generator
 and tests read it through :meth:`snapshot`, which returns plain JSON
 data.
+
+Fleet mode adds :func:`merge_snapshots`: per-worker snapshots (fetched
+in-band over the ``metrics`` request) merge into one fleet-wide view --
+counters and qps sum, gauges that are cache counters combine into a
+fleet hit rate, and latency percentiles are **exact** when every worker
+exports its raw sample window (``snapshot(samples=True)``, requested
+on the wire with a ``{"samples": true}`` payload) rather than averaged
+approximations of per-worker percentiles.
 """
 
 import time
 from collections import Counter, deque
 
-__all__ = ["MetricsRegistry", "percentile"]
+__all__ = ["MetricsRegistry", "merge_snapshots", "percentile"]
 
 #: Samples kept for percentile estimation / the qps window.
 LATENCY_WINDOW = 8192
@@ -45,11 +53,14 @@ class MetricsRegistry:
         self.responses = Counter()      # by request type name
         self.errors = Counter()         # by ERR_* name
         self.rejected = 0               # refused before queueing
+        self.redirected = 0             # answered with RESP_REDIRECT
         self._latencies = deque(maxlen=LATENCY_WINDOW)
         self._completions = deque(maxlen=LATENCY_WINDOW)
         self.batches = 0
         self.batched_requests = 0
         self.batched_groups = 0
+        self.compress_batches = 0
+        self.compress_batched_requests = 0
         self._gauges = {}
 
     # -- recording ----------------------------------------------------------
@@ -68,12 +79,20 @@ class MetricsRegistry:
     def record_rejected(self):
         self.rejected += 1
 
+    def record_redirect(self):
+        self.redirected += 1
+
     def record_batch(self, n_requests, n_groups):
         """One pool call serviced *n_requests* coalesced requests that
         needed *n_groups* unique group decodes."""
         self.batches += 1
         self.batched_requests += n_requests
         self.batched_groups += n_groups
+
+    def record_compress_batch(self, n_requests):
+        """One fused encode pass served *n_requests* compress frames."""
+        self.compress_batches += 1
+        self.compress_batched_requests += n_requests
 
     def register_gauge(self, name, callback):
         """Register a zero-argument callable sampled at snapshot time."""
@@ -118,22 +137,32 @@ class MetricsRegistry:
                           if self.batches else 0.0),
             "groups_per_batch": (self.batched_groups / self.batches
                                  if self.batches else 0.0),
+            "compress_batches": self.compress_batches,
+            "compress_requests": self.compress_batched_requests,
+            "compress_occupancy": (
+                self.compress_batched_requests / self.compress_batches
+                if self.compress_batches else 0.0),
         }
 
-    def snapshot(self):
-        """Everything as one JSON-ready dict (the ``metrics`` response)."""
+    def snapshot(self, samples=False):
+        """Everything as one JSON-ready dict (the ``metrics`` response).
+
+        With *samples*, the raw latency window rides along (in ms) so a
+        fleet aggregator can merge exact percentiles across workers.
+        """
         gauges = {}
         for name, callback in self._gauges.items():
             try:
                 gauges[name] = callback()
             except Exception:
                 gauges[name] = None
-        return {
+        snap = {
             "uptime_seconds": self._clock() - self.started,
             "requests": dict(self.requests),
             "responses": dict(self.responses),
             "errors": dict(self.errors),
             "rejected": self.rejected,
+            "redirected": self.redirected,
             "qps": {
                 "window": self.qps(),
                 "lifetime": self.lifetime_qps(),
@@ -142,3 +171,117 @@ class MetricsRegistry:
             "batch": self.batch_summary(),
             "gauges": gauges,
         }
+        if samples:
+            snap["latency_samples_ms"] = [sec * 1000.0
+                                          for sec in self._latencies]
+        return snap
+
+
+def _merge_counters(out, key, snaps):
+    merged = Counter()
+    for snap in snaps:
+        merged.update(snap.get(key, {}))
+    out[key] = dict(merged)
+
+
+def merge_snapshots(snapshots, shards=None):
+    """Merge per-worker metric snapshots into one fleet-wide view.
+
+    *snapshots* is a list of :meth:`MetricsRegistry.snapshot` dicts
+    (optionally with ``latency_samples_ms``); *shards* optionally
+    labels them (same length).  Counters, qps and batch totals sum;
+    cache-counter gauges combine into a fleet-wide hit rate; latency
+    merges exactly from the union of raw samples when every snapshot
+    carries them, and falls back to count-weighted means plus
+    worst-of-fleet percentiles otherwise (flagged ``approximate``).
+    """
+    snaps = [snap for snap in snapshots if snap]
+    if not snaps:
+        return {"workers": 0}
+    out = {"workers": len(snaps)}
+    for key in ("requests", "responses", "errors"):
+        _merge_counters(out, key, snaps)
+    for key in ("rejected", "redirected"):
+        out[key] = sum(snap.get(key, 0) for snap in snaps)
+    out["uptime_seconds"] = max(snap.get("uptime_seconds", 0.0)
+                                for snap in snaps)
+    out["qps"] = {
+        "window": sum(snap.get("qps", {}).get("window", 0.0)
+                      for snap in snaps),
+        "lifetime": sum(snap.get("qps", {}).get("lifetime", 0.0)
+                        for snap in snaps),
+    }
+
+    batch = Counter()
+    for snap in snaps:
+        for key, value in snap.get("batch", {}).items():
+            if not key.endswith("occupancy") \
+                    and not key.endswith("per_batch"):
+                batch[key] += value
+    batch = dict(batch)
+    batch["occupancy"] = (batch.get("requests", 0)
+                          / batch["batches"]) if batch.get("batches") \
+        else 0.0
+    out["batch"] = batch
+
+    if all("latency_samples_ms" in snap for snap in snaps):
+        merged = []
+        for snap in snaps:
+            merged.extend(snap["latency_samples_ms"])
+        out["latency"] = {
+            "count": len(merged),
+            "mean_ms": sum(merged) / len(merged) if merged else 0.0,
+            "p50_ms": percentile(merged, 0.50),
+            "p90_ms": percentile(merged, 0.90),
+            "p99_ms": percentile(merged, 0.99),
+            "max_ms": max(merged) if merged else 0.0,
+            "approximate": False,
+        }
+    else:
+        total = sum(snap.get("latency", {}).get("count", 0)
+                    for snap in snaps)
+        weighted = sum(snap.get("latency", {}).get("mean_ms", 0.0)
+                       * snap.get("latency", {}).get("count", 0)
+                       for snap in snaps)
+        out["latency"] = {
+            "count": total,
+            "mean_ms": weighted / total if total else 0.0,
+            "p50_ms": max(snap.get("latency", {}).get("p50_ms", 0.0)
+                          for snap in snaps),
+            "p90_ms": max(snap.get("latency", {}).get("p90_ms", 0.0)
+                          for snap in snaps),
+            "p99_ms": max(snap.get("latency", {}).get("p99_ms", 0.0)
+                          for snap in snaps),
+            "max_ms": max(snap.get("latency", {}).get("max_ms", 0.0)
+                          for snap in snaps),
+            "approximate": True,
+        }
+
+    hits = misses = entries = 0
+    have_cache = False
+    for snap in snaps:
+        cache = snap.get("gauges", {}).get("cache")
+        if isinstance(cache, dict):
+            have_cache = True
+            hits += cache.get("hits", 0)
+            misses += cache.get("misses", 0)
+            entries += cache.get("entries", 0)
+    if have_cache:
+        total = hits + misses
+        out["cache"] = {"entries": entries, "hits": hits,
+                        "misses": misses,
+                        "hit_rate": hits / total if total else 0.0}
+
+    per_worker = []
+    for index, snap in enumerate(snaps):
+        cache = snap.get("gauges", {}).get("cache") or {}
+        per_worker.append({
+            "shard": (shards[index] if shards and index < len(shards)
+                      else index),
+            "qps": snap.get("qps", {}).get("lifetime", 0.0),
+            "p99_ms": snap.get("latency", {}).get("p99_ms", 0.0),
+            "responses": sum(snap.get("responses", {}).values()),
+            "hit_rate": cache.get("hit_rate", 0.0),
+        })
+    out["per_worker"] = per_worker
+    return out

@@ -31,9 +31,10 @@ import struct
 __all__ = [
     "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "DIGEST_BYTES",
     "REQ_COMPRESS", "REQ_DECOMPRESS", "REQ_STATS", "REQ_SWEEP_CELL",
-    "REQ_METRICS", "REQ_PING", "RESP_COMPRESS", "RESP_DECOMPRESS",
-    "RESP_STATS", "RESP_SWEEP_CELL", "RESP_METRICS", "RESP_PING",
-    "RESP_ERROR", "REQUEST_TYPES", "RESPONSE_TYPES",
+    "REQ_METRICS", "REQ_PING", "REQ_FLEET", "RESP_COMPRESS",
+    "RESP_DECOMPRESS", "RESP_STATS", "RESP_SWEEP_CELL", "RESP_METRICS",
+    "RESP_PING", "RESP_FLEET", "RESP_ERROR", "RESP_REDIRECT",
+    "REQUEST_TYPES", "RESPONSE_TYPES",
     "ERR_MALFORMED", "ERR_TOO_LARGE", "ERR_UNKNOWN_TYPE", "ERR_TIMEOUT",
     "ERR_OVERLOADED", "ERR_NOT_FOUND", "ERR_INTERNAL",
     "ERR_SHUTTING_DOWN", "ERR_BAD_REQUEST", "ERROR_NAMES",
@@ -46,10 +47,15 @@ __all__ = [
     "encode_stats_request", "decode_stats_request",
     "encode_json_payload", "decode_json_payload",
     "encode_error", "decode_error",
+    "encode_redirect", "decode_redirect",
 ]
 
 #: Protocol behaviour version (bump on incompatible frame changes).
-PROTOCOL_VERSION = 1
+#: Version 2 added the fleet frames: ``RESP_REDIRECT`` (a sharded
+#: worker pointing a misrouted request at the owning shard) and
+#: ``REQ_FLEET``/``RESP_FLEET`` (topology, forced snapshots, merged
+#: fleet metrics).
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on a frame's ``length`` field.  Large enough for a
 #: multi-megabyte compressed image, small enough that a garbage length
@@ -73,6 +79,7 @@ REQ_STATS = 0x03
 REQ_SWEEP_CELL = 0x04
 REQ_METRICS = 0x05
 REQ_PING = 0x06
+REQ_FLEET = 0x07
 
 RESP_COMPRESS = 0x81
 RESP_DECOMPRESS = 0x82
@@ -80,13 +87,16 @@ RESP_STATS = 0x83
 RESP_SWEEP_CELL = 0x84
 RESP_METRICS = 0x85
 RESP_PING = 0x86
+RESP_FLEET = 0x87
 RESP_ERROR = 0x7F
+RESP_REDIRECT = 0x7E
 
 REQUEST_TYPES = frozenset((REQ_COMPRESS, REQ_DECOMPRESS, REQ_STATS,
-                           REQ_SWEEP_CELL, REQ_METRICS, REQ_PING))
+                           REQ_SWEEP_CELL, REQ_METRICS, REQ_PING,
+                           REQ_FLEET))
 RESPONSE_TYPES = frozenset((RESP_COMPRESS, RESP_DECOMPRESS, RESP_STATS,
                             RESP_SWEEP_CELL, RESP_METRICS, RESP_PING,
-                            RESP_ERROR))
+                            RESP_FLEET, RESP_ERROR, RESP_REDIRECT))
 
 
 def response_type_for(request_type):
@@ -421,6 +431,36 @@ def decode_json_payload(payload):
         return json.loads(payload.decode("utf-8"))
     except (ValueError, UnicodeDecodeError):
         raise ProtocolError(ERR_MALFORMED, "payload is not valid JSON")
+
+
+# -- redirects ---------------------------------------------------------------
+
+def encode_redirect(shard_id, host, port):
+    """``u16 shard_id, u32 port, u16 host_len, utf-8 host``.
+
+    A sharded worker answers a misrouted by-digest decompress with this
+    frame instead of serving it: the named shard owns the span's
+    routing key, and a shard-aware client re-issues the request there.
+    """
+    encoded_host = host.encode("utf-8")
+    if len(encoded_host) > 0xFFFF:
+        raise ProtocolError(ERR_MALFORMED, "redirect host too long")
+    if not 0 <= shard_id <= 0xFFFF:
+        raise ProtocolError(ERR_MALFORMED, "shard id out of range")
+    if not 0 <= port <= 0xFFFFFFFF:
+        raise ProtocolError(ERR_MALFORMED, "redirect port out of range")
+    return b"".join((struct.pack("<HIH", shard_id, port,
+                                 len(encoded_host)), encoded_host))
+
+
+def decode_redirect(payload):
+    """Returns ``(shard_id, host, port)``."""
+    reader = _PayloadReader(payload)
+    shard_id = reader.u16()
+    port = reader.u32()
+    host = reader.take(reader.u16()).decode("utf-8", "replace")
+    reader.finish()
+    return shard_id, host, port
 
 
 # -- errors ------------------------------------------------------------------

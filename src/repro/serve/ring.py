@@ -1,0 +1,91 @@
+"""Consistent-hash routing for the serve fleet.
+
+The fleet shards the decoded-group cache by content: every decompress
+span routes to the worker that owns ``routing_key(digest, group_start)``
+on a consistent-hash ring.  Two properties matter and both are tested:
+
+* **Determinism across processes** -- points come from SHA-256, never
+  from Python's randomised ``hash()``, so a client ring and every
+  worker ring agree on ownership without any coordination (the shard
+  id list is the whole shared configuration).
+* **Minimal remapping** -- shards are placed on the ring as
+  ``replicas`` virtual nodes each.  Removing a shard reassigns *only*
+  the keys that shard owned (about ``1/N`` of the keyspace); every
+  other key keeps its owner, which is what keeps the surviving
+  workers' caches warm through a resize.
+
+Ring nodes are keyed by the **shard id**, not the socket address, so
+ephemeral ports (``port=0`` test fleets) never perturb ownership.
+"""
+
+import bisect
+import hashlib
+import struct
+
+__all__ = ["HashRing", "routing_key", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per shard.  64 keeps the ring small (N*64 points) while
+#: bounding shard load imbalance to a few percent for realistic N.
+DEFAULT_REPLICAS = 64
+
+
+def _point(data):
+    """A 64-bit ring position from stable bytes (SHA-256 prefix)."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+def routing_key(digest, group_start=0):
+    """The routing key of a decompress span: image digest + first group.
+
+    Spans route by their *first* group so a repeated span always lands
+    on the same worker (its decoded groups stay in exactly one shard's
+    LRU); overlapping spans with different starts may duplicate a few
+    boundary groups across shards, which costs a little cache capacity
+    but never correctness.
+    """
+    return bytes(digest) + struct.pack("<I", group_start)
+
+
+class HashRing:
+    """Consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shards, replicas=DEFAULT_REPLICAS):
+        self.shards = sorted(set(int(shard) for shard in shards))
+        if not self.shards:
+            raise ValueError("a ring needs at least one shard")
+        self.replicas = max(1, int(replicas))
+        points = []
+        for shard in self.shards:
+            for vnode in range(self.replicas):
+                label = b"shard:%d:vnode:%d" % (shard, vnode)
+                points.append((_point(label), shard))
+        points.sort()
+        self._points = [point for point, _shard in points]
+        self._owners = [shard for _point, shard in points]
+
+    def __len__(self):
+        return len(self.shards)
+
+    def __eq__(self, other):
+        return (isinstance(other, HashRing)
+                and self.shards == other.shards
+                and self.replicas == other.replicas)
+
+    def owner(self, key):
+        """The shard id owning *key* (bytes): first point at or after
+        the key's hash, wrapping at the top of the ring."""
+        where = bisect.bisect_left(self._points, _point(key))
+        if where == len(self._points):
+            where = 0
+        return self._owners[where]
+
+    def owner_of_span(self, digest, group_start=0):
+        return self.owner(routing_key(digest, group_start))
+
+    def without(self, shard):
+        """A new ring with *shard* removed (surviving vnodes unmoved)."""
+        return HashRing([s for s in self.shards if s != shard],
+                        replicas=self.replicas)
+
+    def describe(self):
+        return {"shards": list(self.shards), "replicas": self.replicas}

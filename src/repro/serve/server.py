@@ -40,10 +40,11 @@ from dataclasses import dataclass
 
 from repro.codepack.batch import compress_words_parallel
 from repro.codepack.errors import DecompressionError
-from repro.serve import protocol
+from repro.serve import protocol, snapshot as snapshot_format
 from repro.serve.batcher import GroupCache, ImageRegistry, MicroBatcher
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import MetricsRegistry, merge_snapshots
 from repro.serve.protocol import ProtocolError
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing, routing_key
 from repro.tools.container import ContainerError, dump_image, parse_image
 
 __all__ = ["ServerConfig", "CodePackServer"]
@@ -55,12 +56,31 @@ _REQUEST_NAMES = {
     protocol.REQ_SWEEP_CELL: "sweep_cell",
     protocol.REQ_METRICS: "metrics",
     protocol.REQ_PING: "ping",
+    protocol.REQ_FLEET: "fleet",
 }
+
+
+class _Redirect(Exception):
+    """Internal: this request belongs to another shard."""
+
+    def __init__(self, shard_id):
+        super().__init__("owned by shard %d" % shard_id)
+        self.shard_id = shard_id
 
 
 @dataclass
 class ServerConfig:
-    """Tunables for one server instance."""
+    """Tunables for one server instance.
+
+    The fleet fields turn a standalone server into one shard of a
+    worker fleet: *shard_id* names this worker on the consistent-hash
+    ring, *fleet* lists every shard's ``host:port`` (index = shard id),
+    and misrouted by-digest decompress requests are answered with a
+    redirect frame naming the owner.  *snapshot_dir* enables the
+    warm-start layer: the hot set is persisted every
+    *snapshot_interval* seconds (and on graceful shutdown), and
+    restored on start so a rebooted worker rejoins warm.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0                  # 0 = pick an ephemeral port
@@ -74,6 +94,14 @@ class ServerConfig:
     workers: int = 2               # codec executor threads
     sweep_cache: bool = True       # persist sweep_cell results on disk
     sweep_cache_dir: str = None    # None = $REPRO_CACHE_DIR / default
+    shard_id: int = None           # this worker's id on the ring
+    fleet: tuple = None            # ("host:port", ...) indexed by shard
+    ring_replicas: int = DEFAULT_REPLICAS
+    snapshot_dir: str = None       # None disables warm-start snapshots
+    snapshot_interval: float = 30.0  # seconds between hot-set writes
+    snapshot_groups: int = 2048    # hottest decoded groups persisted
+    shared_dictionaries: str = None  # suite benchmark pinning fleet dicts
+    shared_dict_scale: float = 0.05  # build scale for the pinned corpus
 
     def describe(self):
         return {
@@ -86,7 +114,35 @@ class ServerConfig:
             "request_timeout": self.request_timeout,
             "max_frame": self.max_frame,
             "workers": self.workers,
+            "shard_id": self.shard_id,
+            "fleet": list(self.fleet) if self.fleet else None,
+            "ring_replicas": self.ring_replicas,
+            "snapshot_dir": self.snapshot_dir,
+            "snapshot_interval": self.snapshot_interval,
+            "snapshot_groups": self.snapshot_groups,
+            "shared_dictionaries": self.shared_dictionaries,
         }
+
+
+def _build_shared_dictionaries(benchmark, scale):
+    """Pin one dictionary pair for every compress on this worker.
+
+    The paper fixes dictionaries at program load time; a fleet that
+    pins them to a canonical corpus benchmark trades a little
+    compression ratio for *fused* batch encoding -- every compress
+    window becomes one shared-dictionary kernel pass -- and for
+    cross-program dictionary reuse.  Deterministic: same benchmark and
+    scale give byte-identical dictionaries on every worker.
+    """
+    from repro.codepack.dictionary import build_dictionaries
+    from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+    if benchmark not in BENCHMARK_NAMES:
+        raise ValueError("unknown shared-dictionary benchmark %r "
+                         "(choose from %s)"
+                         % (benchmark, ", ".join(BENCHMARK_NAMES)))
+    program = build_benchmark(benchmark, scale)
+    return build_dictionaries(program.text)
 
 
 class _Connection:
@@ -121,6 +177,26 @@ class CodePackServer:
         self._peak_active = 0
         self._closing = False
         self._sweep_cache = None
+        self.shared_dicts = (None, None)
+        self.ring = None
+        self._addresses = list(self.config.fleet) if self.config.fleet \
+            else None
+        if self._addresses is not None:
+            if self.config.shard_id is None:
+                raise ValueError("a fleet member needs a shard_id")
+            self.ring = HashRing(range(len(self._addresses)),
+                                 replicas=self.config.ring_replicas)
+        self._snapshot_task = None
+        self._snapshot_state = {"restored_images": 0,
+                                "restored_groups": 0,
+                                "writes": 0, "last_bytes": 0,
+                                "last_groups": 0}
+        self._peer_clients = {}
+
+    @property
+    def shard_id(self):
+        return self.config.shard_id if self.config.shard_id is not None \
+            else 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -132,15 +208,27 @@ class CodePackServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self):
-        """Bind the listener and start the batch scheduler."""
+        """Bind the listener and start the batch scheduler.
+
+        With a snapshot directory configured, the previous hot set of
+        this shard is restored first (corrupt or stale snapshots are
+        silently ignored -- a cold start, never a crash) and the
+        periodic snapshot writer starts alongside the batcher.
+        """
         self.executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
             thread_name_prefix="codepack-serve")
+        if self.config.shared_dictionaries:
+            self.shared_dicts = _build_shared_dictionaries(
+                self.config.shared_dictionaries,
+                self.config.shared_dict_scale)
         self.batcher = MicroBatcher(
             self.registry, self.cache,
             window=self.config.batch_window,
             max_batch=self.config.max_batch,
-            executor=self.executor, metrics=self.metrics).start()
+            executor=self.executor, metrics=self.metrics,
+            high_dict=self.shared_dicts[0],
+            low_dict=self.shared_dicts[1]).start()
         self.metrics.register_gauge("queue_depth", lambda: self._active)
         self.metrics.register_gauge("queue_limit",
                                     lambda: self.config.queue_limit)
@@ -148,16 +236,51 @@ class CodePackServer:
         self.metrics.register_gauge("batcher_depth", self.batcher.depth)
         self.metrics.register_gauge("cache", self.cache.counters)
         self.metrics.register_gauge("images", lambda: len(self.registry))
+        self.metrics.register_gauge("shard", self._shard_gauge)
+        self.metrics.register_gauge("snapshot",
+                                    lambda: dict(self._snapshot_state))
+        if self.config.snapshot_dir:
+            self._restore_snapshot()
+            if self.config.snapshot_interval > 0:
+                self._snapshot_task = asyncio.get_running_loop() \
+                    .create_task(self._snapshot_loop())
         self._server = await asyncio.start_server(
             self._on_connect, host=self.config.host, port=self.config.port)
         return self
+
+    def set_fleet(self, addresses, shard_id=None):
+        """Join (or re-shape) a fleet after construction.
+
+        In-loop fleets bind ephemeral ports first and distribute the
+        address table afterwards; ownership never changes here unless
+        the shard *count* does, because the ring hashes shard ids, not
+        addresses.
+        """
+        if shard_id is not None:
+            self.config.shard_id = shard_id
+        self._addresses = list(addresses)
+        if self.config.shard_id is None:
+            raise ValueError("a fleet member needs a shard_id")
+        self.config.fleet = tuple(self._addresses)
+        self.ring = HashRing(range(len(self._addresses)),
+                             replicas=self.config.ring_replicas)
+
+    def _shard_gauge(self):
+        return {"id": self.shard_id,
+                "workers": len(self._addresses) if self._addresses else 1,
+                "sharded": self.ring is not None}
 
     async def serve_forever(self):
         async with self._server:
             await self._server.serve_forever()
 
     async def shutdown(self, drain=True):
-        """Stop accepting work; with *drain*, finish what was admitted."""
+        """Stop accepting work; with *drain*, finish what was admitted.
+
+        A final hot-set snapshot is written (when snapshots are
+        configured) after the drain, so a graceful restart rejoins with
+        the freshest possible cache.
+        """
         self._closing = True
         if self._server is not None:
             self._server.close()
@@ -169,6 +292,24 @@ class CodePackServer:
                 await asyncio.gather(*pending, return_exceptions=True)
         if self.batcher is not None:
             await self.batcher.stop(drain=drain)
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
+        if self.config.snapshot_dir:
+            try:
+                self._write_snapshot()
+            except Exception:
+                pass  # a failed farewell snapshot must not block exit
+        for client in self._peer_clients.values():
+            try:
+                await client.close()
+            except Exception:
+                pass
+        self._peer_clients.clear()
         for conn in list(self._connections):
             try:
                 conn.writer.close()
@@ -177,6 +318,66 @@ class CodePackServer:
         self._connections.clear()
         if self.executor is not None:
             self.executor.shutdown(wait=True)
+
+    # -- warm-start snapshots ------------------------------------------------
+
+    def _snapshot_file(self):
+        return snapshot_format.snapshot_path(self.config.snapshot_dir,
+                                             self.shard_id)
+
+    def _serve_version(self):
+        from repro.serve import SERVE_VERSION
+        return SERVE_VERSION
+
+    def _restore_snapshot(self):
+        body = snapshot_format.load_snapshot(
+            self._snapshot_file(), self.shard_id, self._serve_version())
+        if body is None:
+            return
+        n_images, n_groups = snapshot_format.restore_hot_set(
+            body, self.registry, self.cache)
+        self._snapshot_state["restored_images"] = n_images
+        self._snapshot_state["restored_groups"] = n_groups
+
+    def _write_snapshot(self, body=None):
+        """Persist the hot set (synchronous, atomic)."""
+        if body is None:
+            body = snapshot_format.collect_hot_set(
+                self.registry, self.cache,
+                max_groups=self.config.snapshot_groups)
+        size = snapshot_format.write_snapshot(
+            self._snapshot_file(), body, self.shard_id,
+            self._serve_version())
+        self._snapshot_state["writes"] += 1
+        self._snapshot_state["last_bytes"] = size
+        self._snapshot_state["last_groups"] = len(body["groups"])
+        return {"path": self._snapshot_file(), "bytes": size,
+                "images": len(body["images"]),
+                "groups": len(body["groups"])}
+
+    async def snapshot_now(self):
+        """Write a snapshot; returns the write summary.
+
+        The hot set is collected on the event loop (reference copies of
+        loop-confined structures -- no mutation races), only the file
+        write runs on the default executor.
+        """
+        if not self.config.snapshot_dir:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "snapshots are not configured")
+        body = snapshot_format.collect_hot_set(
+            self.registry, self.cache,
+            max_groups=self.config.snapshot_groups)
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._write_snapshot, body)
+
+    async def _snapshot_loop(self):
+        while True:
+            await asyncio.sleep(self.config.snapshot_interval)
+            try:
+                await self.snapshot_now()
+            except Exception:
+                pass  # persistence is best-effort; serving goes on
 
     # -- connection handling -------------------------------------------------
 
@@ -203,12 +404,19 @@ class CodePackServer:
             if conn.tasks:
                 await asyncio.gather(*list(conn.tasks),
                                      return_exceptions=True)
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels handler tasks; finish
+            # normally so StreamReaderProtocol's done-callback does
+            # not log the cancellation as an error.
+            pass
         finally:
             self._connections.discard(conn)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except Exception:
+            except BaseException:
+                # wait_closed re-raises CancelledError while the task
+                # is being torn down; nothing left to clean up either way.
                 pass
 
     def _admit(self, conn, frame):
@@ -262,6 +470,13 @@ class CodePackServer:
                         % self.config.request_timeout)
                 except ProtocolError:
                     raise
+                except _Redirect as exc:
+                    # Misrouted: answer with the owning shard's address
+                    # so a shard-aware client re-issues it there.
+                    self.metrics.record_redirect()
+                    await self._send_redirect(conn, frame.request_id,
+                                              exc.shard_id)
+                    return
                 except (ContainerError, DecompressionError, ValueError,
                         KeyError) as exc:
                     raise ProtocolError(protocol.ERR_BAD_REQUEST, str(exc))
@@ -286,7 +501,7 @@ class CodePackServer:
         if frame.type == protocol.REQ_PING:
             return b""
         if frame.type == protocol.REQ_METRICS:
-            return protocol.encode_json_payload(self.metrics.snapshot())
+            return self._handle_metrics(frame.payload)
         if frame.type == protocol.REQ_COMPRESS:
             return await self._handle_compress(frame.payload)
         if frame.type == protocol.REQ_DECOMPRESS:
@@ -295,13 +510,39 @@ class CodePackServer:
             return self._handle_stats(frame.payload)
         if frame.type == protocol.REQ_SWEEP_CELL:
             return await self._handle_sweep_cell(frame.payload)
+        if frame.type == protocol.REQ_FLEET:
+            return await self._handle_fleet(frame.payload)
         raise ProtocolError(protocol.ERR_UNKNOWN_TYPE,
                             "unknown request type 0x%02x" % frame.type)
+
+    def _handle_metrics(self, payload):
+        """An empty payload keeps the v1 behaviour; a JSON object may
+        ask for the raw latency window (``{"samples": true}``) so a
+        fleet aggregator can merge exact percentiles."""
+        samples = False
+        if payload:
+            spec = protocol.decode_json_payload(payload)
+            if not isinstance(spec, dict):
+                raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                    "metrics payload must be an object")
+            samples = bool(spec.get("samples", False))
+        return protocol.encode_json_payload(
+            self.metrics.snapshot(samples=samples))
 
     # -- handlers ------------------------------------------------------------
 
     async def _handle_compress(self, payload):
         words, text_base, name = protocol.decode_compress_request(payload)
+        if self.config.batch_window > 0:
+            # Through the batching window: a window of compress frames
+            # becomes one compress_many call -- the fused shared-dict
+            # vec path when this worker pins fleet dictionaries.
+            image = await self.batcher.compress(words, text_base=text_base,
+                                                name=name)
+            blob = dump_image(image)
+            digest = hashlib.sha256(blob).digest()
+            self.registry.register(digest, image)
+            return protocol.encode_compress_response(digest, blob)
         loop = asyncio.get_running_loop()
         # The compressor runs on the default loop executor and fans its
         # per-group encoding out over the shared codec pool (the
@@ -314,7 +555,9 @@ class CodePackServer:
     def _compress_sync(self, words, text_base, name):
         image = compress_words_parallel(
             words, text_base=text_base, name=name,
-            executor=self.executor)
+            executor=self.executor,
+            high_dict=self.shared_dicts[0],
+            low_dict=self.shared_dicts[1])
         blob = dump_image(image)
         digest = hashlib.sha256(blob).digest()
         self.registry.register(digest, image)
@@ -325,10 +568,17 @@ class CodePackServer:
             protocol.decode_decompress_request(payload)
         if image_bytes is not None:
             # Inline image: canonicalise (parse + re-dump) so the digest
-            # never depends on how the client serialised it.
+            # never depends on how the client serialised it.  Inline
+            # requests are always served locally -- the client chose
+            # this shard deliberately (e.g. re-registering after a
+            # NOT_FOUND), so no ownership check applies.
             image = parse_image(image_bytes)
             digest = hashlib.sha256(dump_image(image)).digest()
             self.registry.register(digest, image)
+        elif self.ring is not None:
+            owner = self.ring.owner(routing_key(digest, start))
+            if owner != self.shard_id:
+                raise _Redirect(owner)
         words = await self.batcher.decode_span(digest, start, count)
         return protocol.encode_decompress_response(digest, start, words)
 
@@ -430,6 +680,84 @@ class CodePackServer:
             self._sweep_cache = result_cache_cls(
                 root=self.config.sweep_cache_dir)
         return self._sweep_cache
+
+    # -- fleet control -------------------------------------------------------
+
+    async def _handle_fleet(self, payload):
+        """Fleet control ops (JSON): ``describe`` returns topology and
+        snapshot state, ``snapshot`` forces a hot-set write, and
+        ``metrics`` fans out to every peer worker and returns the
+        merged fleet-wide snapshot."""
+        spec = protocol.decode_json_payload(payload) if payload else {}
+        if not isinstance(spec, dict):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "fleet payload must be an object")
+        op = spec.get("op", "describe")
+        if op == "describe":
+            return protocol.encode_json_payload(self._describe_fleet())
+        if op == "snapshot":
+            return protocol.encode_json_payload(await self.snapshot_now())
+        if op == "metrics":
+            samples = bool(spec.get("samples", True))
+            return protocol.encode_json_payload(
+                await self._fleet_metrics(samples))
+        raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                            "unknown fleet op %r" % (op,))
+
+    def _describe_fleet(self):
+        return {
+            "shard_id": self.shard_id,
+            "workers": len(self._addresses) if self._addresses else 1,
+            "addresses": list(self._addresses) if self._addresses else [],
+            "ring": self.ring.describe() if self.ring else None,
+            "snapshot": dict(self._snapshot_state,
+                             dir=self.config.snapshot_dir),
+            "shared_dictionaries": self.config.shared_dictionaries,
+            "serve_version": self._serve_version(),
+            "protocol_version": protocol.PROTOCOL_VERSION,
+        }
+
+    async def _fleet_metrics(self, samples=True):
+        """Merge this worker's metrics with every reachable peer's."""
+        from repro.serve.client import ServeClient
+
+        snaps = [self.metrics.snapshot(samples=samples)]
+        shards = [self.shard_id]
+        unreachable = []
+        if self._addresses:
+            for shard, address in enumerate(self._addresses):
+                if shard == self.shard_id:
+                    continue
+                try:
+                    client = self._peer_clients.get(shard)
+                    if client is None:
+                        host, _, port = address.rpartition(":")
+                        client = ServeClient(host or "127.0.0.1",
+                                             int(port))
+                        await client.connect()
+                        self._peer_clients[shard] = client
+                    frame = await client.request(
+                        protocol.REQ_METRICS,
+                        protocol.encode_json_payload(
+                            {"samples": samples}),
+                        timeout=5.0)
+                    snaps.append(protocol.decode_json_payload(
+                        frame.payload))
+                    shards.append(shard)
+                except Exception:
+                    self._peer_clients.pop(shard, None)
+                    unreachable.append(shard)
+        merged = merge_snapshots(snaps, shards=shards)
+        merged["unreachable"] = unreachable
+        return merged
+
+    async def _send_redirect(self, conn, request_id, owner):
+        host, port = "", 0
+        if self._addresses and 0 <= owner < len(self._addresses):
+            host, _, port_text = self._addresses[owner].rpartition(":")
+            port = int(port_text)
+        await self._send(conn, protocol.RESP_REDIRECT, request_id,
+                         protocol.encode_redirect(owner, host, port))
 
     # -- writing -------------------------------------------------------------
 

@@ -1,0 +1,171 @@
+"""Warm-start cache snapshots for serve workers.
+
+A restarted worker used to cold-start: its decoded-group LRU and image
+registry lived only in process memory, so the first wave of requests
+after any restart paid full decode cost.  This module persists each
+shard's **hot set** -- the registered images (container bytes) plus the
+most-recently-used decoded groups -- as one JSON file per shard, and
+restores it on startup so a rejoining worker serves its working set
+from cache immediately.
+
+Persistence rules mirror the sweep result cache and the trace format
+(PR 2 / PR 4):
+
+* **Atomic** -- temp file + ``os.replace``; a worker killed mid-write
+  never leaves a half-written snapshot where the next start would read
+  it.
+* **Versioned** -- ``format`` (this layout) and ``serve_version``
+  (cache semantics) are both embedded; a mismatch on either means the
+  file is silently ignored and the worker cold-starts.
+* **Corruption-tolerant** -- the body carries a SHA-256 checksum; any
+  parse failure, checksum mismatch, truncation, or type surprise loads
+  as ``None`` (a cold start), never an exception.  Snapshots are an
+  optimisation, so a bad one must never stop a worker from serving.
+
+Every image entry is additionally self-validating: the container blob
+must hash to its claimed digest or the entry (and its groups) is
+dropped, so a snapshot can never poison the content-addressed cache.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.tools.container import dump_image, parse_image
+
+__all__ = ["SNAPSHOT_FORMAT_VERSION", "snapshot_path", "write_snapshot",
+           "load_snapshot", "collect_hot_set", "restore_hot_set"]
+
+#: Snapshot file layout version (bump on incompatible changes).
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def snapshot_path(root, shard_id):
+    """The snapshot file of *shard_id* under *root*."""
+    return os.path.join(root, "shard-%04d.json" % shard_id)
+
+
+def _body_checksum(body):
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def collect_hot_set(registry, cache, max_groups=2048):
+    """The snapshot body for one worker's current hot set.
+
+    Groups come from the LRU in eviction order (coldest first) so the
+    restore replays them in the same order and the restored LRU ranks
+    entries exactly as the live one did; only the ``max_groups``
+    hottest survive the cap.  Every registered image rides along
+    (container bytes are small next to decoded words), so spans that
+    *missed* the snapshot window still decode without the client
+    having to re-upload.  Groups of images no longer registered are
+    dropped -- without the container bytes a rejoining worker could
+    not serve follow-up spans of that image anyway.
+    """
+    images = {}
+    for digest in registry.digests():
+        images[digest.hex()] = registry.get(digest)
+    groups = []
+    for (digest, group), words in cache.items():
+        if digest.hex() in images:
+            groups.append([digest.hex(), group, list(words)])
+    if max_groups >= 0:
+        groups = groups[-max_groups:]
+    return {
+        "images": [[digest_hex, dump_image(image).hex()]
+                   for digest_hex, image in sorted(images.items())],
+        "groups": groups,
+    }
+
+
+def write_snapshot(path, body, shard_id, serve_version):
+    """Atomically write one shard snapshot; returns the byte size."""
+    entry = {
+        "format": SNAPSHOT_FORMAT_VERSION,
+        "serve_version": serve_version,
+        "shard": shard_id,
+        "checksum": _body_checksum(body),
+        "body": body,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        size = os.path.getsize(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return size
+
+
+def load_snapshot(path, shard_id, serve_version):
+    """Read a snapshot body, or ``None`` for anything not pristine.
+
+    "Not pristine" covers a missing file, unparseable JSON, a format or
+    serve-version bump, a shard-id mismatch (a copied or misnamed
+    file), and a checksum failure.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        if entry["format"] != SNAPSHOT_FORMAT_VERSION:
+            return None
+        if entry["serve_version"] != serve_version:
+            return None
+        if entry["shard"] != shard_id:
+            return None
+        body = entry["body"]
+        if entry["checksum"] != _body_checksum(body):
+            return None
+        if not isinstance(body.get("images"), list) \
+                or not isinstance(body.get("groups"), list):
+            return None
+        return body
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def restore_hot_set(body, registry, cache):
+    """Load a snapshot body into a registry + cache pair.
+
+    Returns ``(n_images, n_groups)`` actually restored.  Every image
+    blob is re-hashed and re-parsed; an entry whose bytes do not match
+    its claimed digest (or fail to parse as a container) is skipped
+    along with its groups.  Group word lists must be integer lists --
+    anything else is dropped entry-by-entry.
+    """
+    restored_images = set()
+    n_images = 0
+    for item in body.get("images", []):
+        try:
+            digest_hex, blob_hex = item
+            blob = bytes.fromhex(blob_hex)
+            if hashlib.sha256(blob).hexdigest() != digest_hex:
+                continue
+            image = parse_image(blob)
+        except Exception:
+            continue
+        registry.register(bytes.fromhex(digest_hex), image)
+        restored_images.add(digest_hex)
+        n_images += 1
+    n_groups = 0
+    for item in body.get("groups", []):
+        try:
+            digest_hex, group, words = item
+            if digest_hex not in restored_images:
+                continue
+            key = (bytes.fromhex(digest_hex), int(group))
+            words = tuple(int(word) for word in words)
+        except Exception:
+            continue
+        cache.put(key, words)
+        n_groups += 1
+    return n_images, n_groups

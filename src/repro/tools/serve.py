@@ -2,44 +2,68 @@
 
 Subcommands::
 
-    serve                       run a server until interrupted
-    bench                       loadgen: self-hosted A/B compare, or
-                                --connect HOST:PORT for a running server
+    serve                       run a server (or, with --fleet N, a
+                                sharded multi-worker fleet) until
+                                interrupted
+    bench                       loadgen: self-hosted A/B compare,
+                                --connect HOST:PORT for a running
+                                server, or --fleet N for the fleet
+                                scaling comparison
 
 Examples::
 
     python -m repro.tools.serve serve --port 7633 --batch-window-ms 2
+    python -m repro.tools.serve serve --fleet 4 --snapshot-dir /tmp/snap
     python -m repro.tools.serve bench --requests 600 -o BENCH_serve.json
     python -m repro.tools.serve bench --connect 127.0.0.1:7633 --mode open
+    python -m repro.tools.serve bench --fleet 4 -o BENCH_serve_fleet.json
 """
 
 import argparse
 import asyncio
 import json
+import signal
 import sys
+import time
 
 from repro.serve.loadgen import (
     LoadgenConfig,
     run_compare,
+    run_fleet_compare,
     run_load,
 )
 from repro.serve.server import CodePackServer, ServerConfig
 
 
+def _server_kwargs(args):
+    return {
+        "batch_window": args.batch_window_ms / 1000.0,
+        "max_batch": args.max_batch,
+        "group_cache_entries": args.group_cache,
+        "queue_limit": args.queue_limit,
+        "request_timeout": args.request_timeout,
+        "workers": args.workers,
+        "snapshot_dir": args.snapshot_dir,
+        "snapshot_interval": args.snapshot_interval,
+        "shared_dictionaries": args.shared_dicts,
+    }
+
+
 def _server_config(args):
-    return ServerConfig(
-        host=args.host,
-        port=args.port,
-        batch_window=args.batch_window_ms / 1000.0,
-        max_batch=args.max_batch,
-        group_cache_entries=args.group_cache,
-        queue_limit=args.queue_limit,
-        request_timeout=args.request_timeout,
-        workers=args.workers,
-    )
+    return ServerConfig(host=args.host, port=args.port,
+                        **_server_kwargs(args))
 
 
 def _add_server_options(parser):
+    parser.add_argument("--snapshot-dir", default=None,
+                        help="directory for warm-start hot-set "
+                             "snapshots (default: disabled)")
+    parser.add_argument("--snapshot-interval", type=float, default=30.0,
+                        help="seconds between hot-set snapshot writes")
+    parser.add_argument("--shared-dicts", default=None, metavar="BENCH",
+                        help="pin fleet-wide dictionaries built from "
+                             "this suite benchmark (enables fused "
+                             "compress batching)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7633,
                         help="listen port (0 = ephemeral; default 7633)")
@@ -60,7 +84,24 @@ def _add_server_options(parser):
                         help="codec executor threads")
 
 
+def _trap_sigterm():
+    """Treat SIGTERM (systemd/docker stop) like ^C: drain, then exit.
+
+    Without this the default disposition kills the process mid-request
+    -- and a fleet parent would die without stopping its workers.
+    """
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:
+        pass  # not the main thread (embedded use); keep the default
+
+
 def _cmd_serve(args):
+    _trap_sigterm()
+    if args.fleet and args.fleet > 1:
+        return _cmd_serve_fleet(args)
     config = _server_config(args)
 
     async def main():
@@ -86,6 +127,33 @@ def _cmd_serve(args):
     return 0
 
 
+def _cmd_serve_fleet(args):
+    from repro.serve.fleet import Fleet
+
+    fleet = Fleet(n_workers=args.fleet, host=args.host,
+                  **_server_kwargs(args))
+    fleet.start()
+    print("repro.serve fleet of %d workers: %s"
+          % (args.fleet, " ".join(fleet.addresses)))
+    if args.snapshot_dir:
+        print("warm-start snapshots every %.0fs under %s"
+              % (args.snapshot_interval, args.snapshot_dir))
+    sys.stdout.flush()
+    try:
+        while all(fleet.alive()):
+            time.sleep(0.5)
+        down = [shard for shard, alive in enumerate(fleet.alive())
+                if not alive]
+        print("worker(s) %s exited; stopping fleet" % down,
+              file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("draining fleet...")
+        return 0
+    finally:
+        fleet.stop()
+
+
 def _loadgen_config(args, host, port):
     return LoadgenConfig(
         host=host, port=port, mode=args.mode,
@@ -105,6 +173,26 @@ def _print_report(label, report):
 
 
 def _cmd_bench(args):
+    if args.fleet and args.fleet > 1:
+        loadgen = _loadgen_config(args, "127.0.0.1", 0)
+        kwargs = _server_kwargs(args)
+        result = run_fleet_compare(loadgen=loadgen, n_workers=args.fleet,
+                                   drivers=args.drivers, **kwargs)
+        _print_report("single", result["single"])
+        _print_report("fleet", result["fleet"])
+        for row in result["per_shard"]:
+            print("  shard %d: %5d reqs  p99 %6.2fms"
+                  % (row["shard"], row["completed"], row["p99_ms"]))
+        print("fleet speedup: %.2fx over one worker "
+              "(%d workers, fairness %.3f)"
+              % (result["fleet_speedup"], args.fleet,
+                 result["fairness"]))
+        if args.output:
+            with open(args.output, "w") as handle:
+                json.dump(result, handle, indent=2)
+                handle.write("\n")
+            print("wrote %s" % args.output)
+        return 0
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         loadgen = _loadgen_config(args, host or "127.0.0.1", int(port))
@@ -148,6 +236,9 @@ def main(argv=None):
 
     serve = sub.add_parser("serve", help="run a server until interrupted")
     _add_server_options(serve)
+    serve.add_argument("--fleet", type=int, default=0, metavar="N",
+                       help="run N sharded worker processes instead of "
+                            "one in-process server")
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser("bench",
@@ -157,6 +248,12 @@ def main(argv=None):
     bench.add_argument("--connect", metavar="HOST:PORT", default=None,
                        help="drive an already-running server instead of "
                             "self-hosting the A/B compare")
+    bench.add_argument("--fleet", type=int, default=0, metavar="N",
+                       help="fleet scaling comparison: N sharded "
+                            "workers vs one (multiprocess drivers)")
+    bench.add_argument("--drivers", type=int, default=None,
+                       help="loadgen driver processes for --fleet "
+                            "(default: scaled to the core count)")
     bench.add_argument("--mode", choices=("closed", "open"),
                        default="closed")
     bench.add_argument("--connections", type=int, default=4)

@@ -1,0 +1,297 @@
+"""Fleet end-to-end tests: routing, redirects, healing, warm restarts.
+
+:class:`LocalFleet` runs every worker in the test's own event loop, so
+these tests reach straight into worker registries and caches to verify
+*where* data landed, not just that responses came back.  One smoke
+test exercises the multiprocess :class:`Fleet` runner over real worker
+processes.
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.codepack.compressor import compress_words
+from repro.codepack.decompressor import decompress_program
+from repro.serve.client import FleetClient, Redirected, ServeClient
+from repro.serve.fleet import Fleet, LocalFleet, reserve_ports
+from repro.serve.protocol import ProtocolError
+from repro.serve.ring import HashRing, routing_key
+from repro.serve.server import ServerConfig
+
+from tests.conftest import random_word_program
+
+PROGRAM = random_word_program(31, size=400, kind="workload")
+IMAGE = compress_words(PROGRAM.text, name=PROGRAM.name)
+EXPECTED_WORDS = decompress_program(IMAGE)
+PER_GROUP = IMAGE.block_instructions * IMAGE.group_blocks
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@contextlib.asynccontextmanager
+async def local_fleet(n_workers, **overrides):
+    fleet = LocalFleet(n_workers=n_workers,
+                       config=ServerConfig(**overrides))
+    await fleet.start()
+    try:
+        yield fleet
+    finally:
+        await fleet.stop()
+
+
+def span_words(start, count):
+    return tuple(EXPECTED_WORDS[start * PER_GROUP:
+                                (start + count) * PER_GROUP])
+
+
+class TestRouting:
+    def test_spans_route_to_owning_shards(self):
+        async def main():
+            async with local_fleet(3) as fleet:
+                async with FleetClient(fleet.addresses) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    await client.broadcast_register(image_bytes=blob)
+                    starts = list(range(0, IMAGE.n_groups - 2, 2))
+                    for start in starts:
+                        words = await client.decompress(
+                            digest=digest, group_start=start,
+                            group_count=2, timeout=30.0)
+                        assert tuple(words) == span_words(start, 2)
+                    # Each span's decoded groups live in exactly the
+                    # worker the client ring named -- and nowhere else
+                    # (no redirects happened, no cache duplication).
+                    # Group 0 is exempt: broadcast_register decodes it
+                    # inline on every worker to seed the registry.
+                    for start in starts:
+                        owner = client.shard_for(digest, start)
+                        for shard, server in enumerate(fleet.servers):
+                            cached = server.cache.get((digest, start))
+                            if shard == owner:
+                                assert cached is not None
+                            elif start != 0:
+                                assert cached is None
+                    metrics = await client.metrics(fleet=True)
+                    assert metrics["workers"] == 3
+                    assert metrics["redirected"] == 0
+                    served = {row["shard"]: row["responses"]
+                              for row in metrics["per_worker"]}
+                    assert sum(1 for n in served.values() if n > 0) > 1
+
+        run(main())
+
+    def test_whole_image_request_served_by_first_group_owner(self):
+        async def main():
+            async with local_fleet(2) as fleet:
+                async with FleetClient(fleet.addresses) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    await client.broadcast_register(image_bytes=blob)
+                    words = await client.decompress(digest=digest,
+                                                    timeout=30.0)
+                    assert words == EXPECTED_WORDS
+
+        run(main())
+
+
+class TestRedirects:
+    def test_wrong_worker_answers_with_redirect(self):
+        async def main():
+            async with local_fleet(3) as fleet:
+                async with FleetClient(fleet.addresses) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    await client.broadcast_register(image_bytes=blob)
+                ring = fleet.servers[0].ring
+                start = 2
+                owner = ring.owner(routing_key(digest, start))
+                wrong = next(shard for shard in range(3)
+                             if shard != owner)
+                wrong_client = ServeClient(
+                    port=fleet.servers[wrong].port)
+                await wrong_client.connect()
+                try:
+                    with pytest.raises(Redirected) as caught:
+                        await wrong_client.decompress(
+                            digest=digest, group_start=start,
+                            group_count=2, timeout=30.0)
+                finally:
+                    await wrong_client.close()
+                # The redirect names the true owner and its address.
+                assert caught.value.shard_id == owner
+                host, _, port = \
+                    fleet.addresses[owner].rpartition(":")
+                assert caught.value.port == int(port)
+
+        run(main())
+
+    def test_fleet_client_follows_redirects_from_stale_ring(self):
+        async def main():
+            async with local_fleet(3) as fleet:
+                async with FleetClient(fleet.addresses) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    await client.broadcast_register(image_bytes=blob)
+                    # Sabotage the client's ring (different vnode
+                    # placement => frequent misroutes).  Every request
+                    # must still succeed, via redirect frames.
+                    client.ring = HashRing(range(3), replicas=1)
+                    for start in range(0, IMAGE.n_groups - 2, 2):
+                        words = await client.decompress(
+                            digest=digest, group_start=start,
+                            group_count=2, timeout=30.0)
+                        assert tuple(words) == span_words(start, 2)
+                    metrics = await client.metrics(fleet=True)
+                    assert metrics["redirected"] > 0
+
+        run(main())
+
+
+class TestNotFoundHealing:
+    def test_cold_shard_healed_with_inline_image(self):
+        async def main():
+            async with local_fleet(2) as fleet:
+                async with FleetClient(fleet.addresses) as client:
+                    # Compress registers the image only on the worker
+                    # that served the request -- no broadcast here.
+                    digest, _blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    compress_shard = next(
+                        shard for shard, server
+                        in enumerate(fleet.servers)
+                        if digest in server.registry)
+                    other = 1 - compress_shard
+                    start = next(
+                        s for s in range(IMAGE.n_groups)
+                        if client.shard_for(digest, s) == other)
+                    words = await client.decompress(
+                        digest=digest, group_start=start,
+                        group_count=1, timeout=30.0)
+                    assert tuple(words) == span_words(start, 1)
+                    # The healing round trip registered the image on
+                    # the formerly-cold shard.
+                    assert digest in fleet.servers[other].registry
+
+        run(main())
+
+
+class TestWarmRestart:
+    def test_restarted_worker_rejoins_warm(self, tmp_path):
+        async def main():
+            async with local_fleet(
+                    2, snapshot_dir=str(tmp_path),
+                    snapshot_interval=0.0) as fleet:
+                async with FleetClient(fleet.addresses) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    await client.broadcast_register(image_bytes=blob)
+                    starts = list(range(0, IMAGE.n_groups - 1))
+                    for start in starts:
+                        await client.decompress(
+                            digest=digest, group_start=start,
+                            group_count=1, timeout=30.0)
+                    victim = client.shard_for(digest, starts[0])
+                    warm_keys = [
+                        key for key in starts
+                        if client.shard_for(digest, key) == victim]
+                    assert warm_keys
+
+                    # Bounce the worker: the shutdown half writes the
+                    # farewell snapshot, the start half restores it.
+                    server = await fleet.restart(victim)
+                    state = server._snapshot_state
+                    assert state["restored_images"] >= 1
+                    assert state["restored_groups"] >= len(warm_keys)
+                    counters = server.cache.counters()
+                    assert counters["entries"] >= len(warm_keys)
+                    assert counters["hits"] == 0
+
+                    # Hit-rate recovery: the rejoined worker serves its
+                    # old working set from the restored cache.
+                    for start in warm_keys:
+                        words = await client.decompress(
+                            digest=digest, group_start=start,
+                            group_count=1, timeout=30.0)
+                        assert tuple(words) == span_words(start, 1)
+                    counters = server.cache.counters()
+                    assert counters["hits"] >= len(warm_keys)
+                    assert counters["hit_rate"] == 1.0
+
+        run(main())
+
+    def test_cold_restart_without_snapshots_pays_misses(self):
+        async def main():
+            async with local_fleet(2) as fleet:  # no snapshot_dir
+                async with FleetClient(fleet.addresses) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+                    await client.broadcast_register(image_bytes=blob)
+                    start = next(
+                        s for s in range(IMAGE.n_groups)
+                        if client.shard_for(digest, s) == 0)
+                    await client.decompress(digest=digest,
+                                            group_start=start,
+                                            group_count=1, timeout=30.0)
+                    server = await fleet.restart(0)
+                    assert server._snapshot_state["restored_groups"] == 0
+                    # Cold: still serves (healed inline), but misses.
+                    words = await client.decompress(
+                        digest=digest, group_start=start,
+                        group_count=1, timeout=30.0)
+                    assert tuple(words) == span_words(start, 1)
+                    assert server.cache.counters()["hits"] == 0
+
+        run(main())
+
+
+class TestReservePorts:
+    def test_ports_are_distinct_and_bindable(self):
+        ports = reserve_ports(4)
+        assert len(set(ports)) == 4
+        assert all(1024 <= port <= 65535 for port in ports)
+
+
+@pytest.mark.slow
+class TestMultiprocessFleet:
+    def test_fleet_smoke_with_restart(self, tmp_path):
+        with Fleet(n_workers=2, snapshot_dir=str(tmp_path),
+                   snapshot_interval=0.0, workers=1) as fleet:
+            assert fleet.alive() == [True, True]
+
+            async def drive():
+                async with FleetClient(fleet.addresses) as client:
+                    assert await client.ping(timeout=10.0)
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=60.0)
+                    await client.broadcast_register(image_bytes=blob)
+                    words = await client.decompress(digest=digest,
+                                                    timeout=60.0)
+                    assert words == EXPECTED_WORDS
+                    metrics = await client.metrics(fleet=True)
+                    assert metrics["workers"] == 2
+                    return digest
+
+            digest = run(drive())
+
+            # SIGTERM -> drain + farewell snapshot -> warm respawn on
+            # the same port; the fleet keeps serving afterwards.
+            fleet.restart(0)
+            assert fleet.alive() == [True, True]
+
+            async def after():
+                async with FleetClient(fleet.addresses) as client:
+                    words = await client.decompress(digest=digest,
+                                                    timeout=60.0)
+                    assert words == EXPECTED_WORDS
+                    describe = await (await client._client(0)) \
+                        .fleet("describe", timeout=10.0)
+                    return describe
+
+            describe = run(after())
+            assert describe["shard_id"] == 0
+            assert describe["workers"] == 2
+            assert describe["snapshot"]["restored_images"] >= 1

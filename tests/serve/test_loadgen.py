@@ -115,3 +115,52 @@ class TestRunCompare:
         with pytest.raises(ValueError):
             asyncio.run(run_compare(
                 server_config=ServerConfig(batch_window=0.0)))
+
+
+class TestJainFairness:
+    def test_even_is_one(self):
+        from repro.serve.loadgen import jain_fairness
+        assert jain_fairness([100, 100, 100]) == pytest.approx(1.0)
+
+    def test_single_hot_shard_is_one_over_n(self):
+        from repro.serve.loadgen import jain_fairness
+        assert jain_fairness([300, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_idle_fleet_counts_as_fair(self):
+        from repro.serve.loadgen import jain_fairness
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0, 0]) == 1.0
+
+
+@pytest.mark.slow
+class TestRunFleetLoad:
+    def test_small_fleet_run_report_shape(self):
+        from repro.serve.fleet import Fleet
+        from repro.serve.loadgen import run_fleet_load
+
+        config = LoadgenConfig(mode="closed", connections=2, pipeline=2,
+                               requests=60, span=4, working_set=12,
+                               skew=0.8, benchmark="pegwit", scale=0.02,
+                               seed=11)
+        with Fleet(n_workers=2, batch_window=0.002, workers=1) as fleet:
+            report = run_fleet_load(config, fleet.addresses, drivers=2)
+
+        assert report["completed"] == 60
+        assert report["errors"] == {}
+        assert report["n_workers"] == 2
+        assert report["throughput_rps"] > 0
+        assert 0.0 < report["fairness"] <= 1.0
+        rows = report["per_shard"]
+        assert [row["shard"] for row in rows] == [0, 1]
+        assert sum(row["completed"] for row in rows) == 60
+        assert all(row["p99_ms"] >= 0 for row in rows)
+        fleet_metrics = report["fleet_metrics"]
+        assert fleet_metrics["workers"] == 2
+        assert fleet_metrics["latency"]["approximate"] is False
+
+    def test_open_loop_rejected(self):
+        from repro.serve.loadgen import run_fleet_load
+
+        with pytest.raises(ValueError):
+            run_fleet_load(LoadgenConfig(mode="open"),
+                           ["127.0.0.1:1"])

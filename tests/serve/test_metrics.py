@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.serve.metrics import MetricsRegistry, percentile
+from repro.serve.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    percentile,
+)
 
 
 class TestPercentile:
@@ -88,3 +92,98 @@ class TestRegistry:
         assert snap["gauges"]["broken"] is None
         value["depth"] = 9
         assert registry.snapshot()["gauges"]["queue_depth"] == 9
+
+
+def _worker_snapshot(latencies_ms, kind="decompress", cache=None,
+                     redirected=0, samples=True):
+    registry = MetricsRegistry()
+    for ms in latencies_ms:
+        registry.record_request(kind)
+        registry.record_response(kind, ms / 1000.0)
+    for _ in range(redirected):
+        registry.record_redirect()
+    if cache is not None:
+        registry.register_gauge("cache", lambda: dict(cache))
+    return registry.snapshot(samples=samples)
+
+
+class TestMergeSnapshots:
+    def test_empty(self):
+        assert merge_snapshots([]) == {"workers": 0}
+        # Unreachable workers (None or empty dicts) just drop out.
+        assert merge_snapshots([None, {}]) == {"workers": 0}
+        assert merge_snapshots(
+            [None, _worker_snapshot([1.0])])["workers"] == 1
+
+    def test_counters_and_redirects_sum(self):
+        merged = merge_snapshots([
+            _worker_snapshot([1.0, 2.0], redirected=2),
+            _worker_snapshot([3.0], redirected=1),
+        ])
+        assert merged["workers"] == 2
+        assert merged["responses"] == {"decompress": 3}
+        assert merged["redirected"] == 3
+
+    def test_exact_percentiles_from_raw_samples(self):
+        """With every worker exporting its sample window the merged
+        percentiles are computed over the union -- not averaged."""
+        fast = list(range(1, 100))        # 1..99 ms
+        slow = [1000.0]                   # one outlier on worker 2
+        merged = merge_snapshots([_worker_snapshot(fast),
+                                  _worker_snapshot(slow)])
+        latency = merged["latency"]
+        assert latency["approximate"] is False
+        assert latency["count"] == 100
+        union = fast + slow
+        assert latency["p50_ms"] == pytest.approx(
+            percentile(union, 0.50))
+        assert latency["p99_ms"] == pytest.approx(
+            percentile(union, 0.99))
+        assert latency["max_ms"] == pytest.approx(1000.0)
+
+    def test_approximate_fallback_without_samples(self):
+        merged = merge_snapshots([
+            _worker_snapshot([1.0] * 10, samples=False),
+            _worker_snapshot([9.0] * 10, samples=False),
+        ])
+        latency = merged["latency"]
+        assert latency["approximate"] is True
+        assert latency["count"] == 20
+        # Conservative: worst per-worker percentile, weighted mean.
+        assert latency["p99_ms"] == pytest.approx(9.0)
+        assert latency["mean_ms"] == pytest.approx(5.0)
+
+    def test_fleet_cache_hit_rate(self):
+        merged = merge_snapshots([
+            _worker_snapshot([1.0],
+                             cache={"hits": 30, "misses": 10,
+                                    "entries": 5}),
+            _worker_snapshot([1.0],
+                             cache={"hits": 10, "misses": 30,
+                                    "entries": 7}),
+        ])
+        assert merged["cache"] == {
+            "entries": 12, "hits": 40, "misses": 40, "hit_rate": 0.5}
+
+    def test_per_worker_rows_carry_shard_labels(self):
+        merged = merge_snapshots(
+            [_worker_snapshot([1.0]), _worker_snapshot([2.0, 4.0])],
+            shards=[3, 0])
+        rows = merged["per_worker"]
+        assert [row["shard"] for row in rows] == [3, 0]
+        assert rows[1]["responses"] == 2
+        assert rows[1]["p99_ms"] == pytest.approx(4.0)
+
+    def test_qps_and_batch_totals_sum(self):
+        first = MetricsRegistry()
+        first.record_compress_batch(4)
+        first.record_batch(6, 3)
+        second = MetricsRegistry()
+        second.record_compress_batch(2)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        batch = merged["batch"]
+        assert batch["compress_batches"] == 2
+        assert batch["compress_requests"] == 6
+        assert batch["batches"] == 1
+        assert batch["requests"] == 6
+        assert batch["occupancy"] == pytest.approx(6.0)

@@ -1,0 +1,150 @@
+"""Consistent-hash ring properties.
+
+The two properties the fleet depends on, stated as Hypothesis
+properties: ownership is deterministic across processes (routing needs
+no coordination beyond the shard list), and removing one of N shards
+remaps only the keys that shard owned -- about 1/N of the keyspace --
+so a resize never invalidates the surviving workers' caches.
+"""
+
+import hashlib
+import struct
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing, routing_key
+
+digests = st.binary(min_size=32, max_size=32)
+group_starts = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def sample_keys(n, salt=b""):
+    """*n* deterministic distinct routing keys."""
+    return [routing_key(hashlib.sha256(salt + b"%d" % i).digest(),
+                        i % 97)
+            for i in range(n)]
+
+
+class TestRoutingKey:
+    @given(digests, group_starts)
+    def test_deterministic_and_injective_layout(self, digest, start):
+        key = routing_key(digest, start)
+        assert key == routing_key(digest, start)
+        # digest and group start are recoverable: distinct spans can
+        # never collide into one routing key.
+        assert key[:32] == digest
+        assert struct.unpack("<I", key[32:])[0] == start
+
+    def test_span_start_spreads_one_image(self):
+        # One hot image must not pin the whole fleet to one worker:
+        # different span starts of the same digest reach different
+        # shards.
+        ring = HashRing(range(4))
+        digest = hashlib.sha256(b"hot image").digest()
+        owners = {ring.owner_of_span(digest, start)
+                  for start in range(0, 256, 8)}
+        assert len(owners) > 1
+
+    def test_rejects_nothing_but_requires_bytes(self):
+        with pytest.raises((TypeError, struct.error)):
+            routing_key(hashlib.sha256(b"x").digest(), -1)
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=1, max_value=12), digests, group_starts)
+    @settings(max_examples=60)
+    def test_two_rings_agree(self, n_shards, digest, start):
+        first = HashRing(range(n_shards))
+        second = HashRing(range(n_shards))
+        assert first.owner_of_span(digest, start) \
+            == second.owner_of_span(digest, start)
+
+    def test_shard_order_and_duplicates_irrelevant(self):
+        keys = sample_keys(64)
+        ring = HashRing([0, 1, 2, 3])
+        shuffled = HashRing([3, 1, 0, 2, 1, 0])
+        assert [ring.owner(k) for k in keys] \
+            == [shuffled.owner(k) for k in keys]
+
+    def test_owner_map_survives_process_boundary(self):
+        """A fresh interpreter with a different PYTHONHASHSEED maps
+        every sampled key to the same shard -- routing never leans on
+        Python's randomised ``hash()``."""
+        keys = sample_keys(128)
+        ring = HashRing(range(5))
+        local = [ring.owner(key) for key in keys]
+        script = (
+            "import sys\n"
+            "from repro.serve.ring import HashRing, routing_key\n"
+            "ring = HashRing(range(5))\n"
+            "data = sys.stdin.buffer.read()\n"
+            "keys = [data[i:i+36] for i in range(0, len(data), 36)]\n"
+            "print(','.join(str(ring.owner(k)) for k in keys))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            input=b"".join(keys), capture_output=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "424242"})
+        remote = [int(x) for x in
+                  result.stdout.decode().strip().split(",")]
+        assert remote == local
+
+
+class TestMinimalRemapping:
+    @given(st.integers(min_value=2, max_value=8),
+           st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_removal_remaps_only_the_lost_shards_keys(self, n_shards,
+                                                      data):
+        """Exact consistent-hashing property: after removing shard R,
+        a key changes owner **iff** R owned it."""
+        ring = HashRing(range(n_shards))
+        removed = data.draw(st.integers(min_value=0,
+                                        max_value=n_shards - 1))
+        shrunk = ring.without(removed)
+        assert len(shrunk) == n_shards - 1
+        for key in sample_keys(50, salt=b"%d" % removed):
+            before = ring.owner(key)
+            after = shrunk.owner(key)
+            if before == removed:
+                assert after != removed
+            else:
+                assert after == before
+
+    def test_about_one_nth_of_keys_remap(self):
+        n_shards, n_keys = 4, 4000
+        ring = HashRing(range(n_shards))
+        shrunk = ring.without(n_shards - 1)
+        keys = sample_keys(n_keys)
+        moved = sum(1 for key in keys
+                    if ring.owner(key) != shrunk.owner(key))
+        # Expect ~1/N; allow generous slack for vnode placement noise.
+        assert 0.5 / n_shards < moved / n_keys < 2.0 / n_shards
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing(range(4))
+        counts = {shard: 0 for shard in range(4)}
+        for key in sample_keys(4000):
+            counts[ring.owner(key)] += 1
+        for count in counts.values():
+            # Each shard within 2x of fair share with 64 vnodes.
+            assert 4000 / 8 < count < 4000 / 2
+
+
+class TestConstruction:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_replicas_floor_and_equality(self):
+        assert HashRing([0, 1]) == HashRing([1, 0])
+        assert HashRing([0, 1]) != HashRing([0, 1], replicas=8)
+        assert HashRing([0], replicas=0).replicas == 1
+
+    def test_describe(self):
+        assert HashRing([2, 0]).describe() == {
+            "shards": [0, 2], "replicas": DEFAULT_REPLICAS}

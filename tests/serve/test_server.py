@@ -414,3 +414,99 @@ class TestSweepCell:
                     assert excinfo.value.code == protocol.ERR_BAD_REQUEST
 
         run(main())
+
+
+class TestCompressBatching:
+    """PR 7: compress frames flow through the micro-batch window and
+    come out as one fused ``compress_many`` call per window."""
+
+    def test_batched_compress_matches_direct_path(self):
+        async def main():
+            async with running_server(batch_window=0.002) as server:
+                async with connected(server) as client:
+                    digest, blob = await client.compress(
+                        PROGRAM.text, name=PROGRAM.name, timeout=30.0)
+            return digest, blob
+
+        digest, blob = run(main())
+        image = compress_words(PROGRAM.text, name=PROGRAM.name)
+        assert blob == dump_image(image)
+
+    def test_concurrent_compresses_share_windows(self):
+        async def main():
+            async with running_server(batch_window=0.01) as server:
+                async with connected(server) as client:
+                    jobs = [
+                        client.compress(PROGRAM.text,
+                                        name="prog-%d" % i,
+                                        timeout=30.0)
+                        for i in range(8)]
+                    results = await asyncio.gather(*jobs)
+                    snap = server.metrics.snapshot()
+            return results, snap
+
+        results, snap = run(main())
+        assert len({digest for digest, _blob in results}) == 8
+        batch = snap["batch"]
+        assert batch["compress_requests"] == 8
+        assert batch["compress_batches"] >= 1
+        # Windows actually merged concurrent compress frames.
+        assert batch["compress_occupancy"] > 1.0
+
+    def test_shared_dictionaries_identical_across_workers(self):
+        """Two workers pinning the same corpus benchmark produce
+        byte-identical containers for the same program -- the property
+        that makes fleet-side compress deterministic shard-to-shard."""
+        async def main():
+            blobs = []
+            for _ in range(2):
+                async with running_server(
+                        batch_window=0.002,
+                        shared_dictionaries="pegwit",
+                        shared_dict_scale=0.02) as server:
+                    assert server.shared_dicts[0] is not None
+                    async with connected(server) as client:
+                        _digest, blob = await client.compress(
+                            PROGRAM.text, name=PROGRAM.name,
+                            timeout=30.0)
+                        words = await client.decompress(
+                            image_bytes=blob, timeout=30.0)
+                        assert words == EXPECTED_WORDS
+                    blobs.append(blob)
+            return blobs
+
+        first, second = run(main())
+        assert first == second
+        # Pinned dictionaries are corpus-built, not per-program: the
+        # container differs from the self-tuned one.
+        image = compress_words(PROGRAM.text, name=PROGRAM.name)
+        assert first != dump_image(image)
+
+    def test_unknown_shared_dictionary_benchmark_rejected(self):
+        async def main():
+            server = CodePackServer(ServerConfig(
+                port=0, shared_dictionaries="no-such-benchmark"))
+            with pytest.raises(ValueError):
+                await server.start()
+            await server.shutdown()
+
+        run(main())
+
+
+class TestMetricsSamples:
+    def test_samples_payload_exports_latency_window(self):
+        async def main():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    for _ in range(3):
+                        await client.ping(timeout=5.0)
+                    plain = await client.metrics(timeout=5.0)
+                    sampled = await client.metrics(samples=True,
+                                                   timeout=5.0)
+            return plain, sampled
+
+        plain, sampled = run(main())
+        assert "latency_samples_ms" not in plain
+        samples = sampled["latency_samples_ms"]
+        assert len(samples) >= 3
+        assert all(isinstance(value, float) for value in samples)

@@ -1,0 +1,170 @@
+"""Warm-start snapshot persistence.
+
+Mirrors the trace-format suite (``tests/sim/test_trace_format.py``)
+for the serve layer: round trips must be faithful, and *anything*
+short of a pristine, current-version, checksum-clean snapshot must
+load as ``None`` -- a cold start, never an exception, because a bad
+snapshot must not stop a worker from serving.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.codepack.compressor import compress_words
+from repro.serve import SERVE_VERSION
+from repro.serve.batcher import GroupCache, ImageRegistry
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    collect_hot_set,
+    load_snapshot,
+    restore_hot_set,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.tools.container import dump_image
+
+from tests.conftest import random_word_program
+
+PROGRAM = random_word_program(23, size=300, kind="workload")
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compress_words(PROGRAM.text, name=PROGRAM.name)
+
+
+@pytest.fixture()
+def warm_pair(image):
+    """A registry + cache holding one image and a few decoded groups."""
+    registry = ImageRegistry(max_images=8)
+    cache = GroupCache(max_entries=64)
+    digest = hashlib.sha256(dump_image(image)).digest()
+    registry.register(digest, image)
+    for group in range(4):
+        cache.put((digest, group), tuple(range(group, group + 16)))
+    return registry, cache, digest
+
+
+def roundtrip(tmp_path, body, shard_id=3, serve_version=SERVE_VERSION):
+    path = snapshot_path(str(tmp_path), shard_id)
+    write_snapshot(path, body, shard_id, serve_version)
+    return path
+
+
+class TestRoundTrip:
+    def test_hot_set_survives_restart(self, tmp_path, warm_pair):
+        registry, cache, digest = warm_pair
+        body = collect_hot_set(registry, cache)
+        path = roundtrip(tmp_path, body)
+
+        loaded = load_snapshot(path, 3, SERVE_VERSION)
+        assert loaded is not None
+        fresh_registry = ImageRegistry(max_images=8)
+        fresh_cache = GroupCache(max_entries=64)
+        n_images, n_groups = restore_hot_set(loaded, fresh_registry,
+                                             fresh_cache)
+        assert (n_images, n_groups) == (1, 4)
+        assert fresh_registry.get(digest).name == PROGRAM.name
+        for group in range(4):
+            assert fresh_cache.get((digest, group)) \
+                == tuple(range(group, group + 16))
+
+    def test_lru_order_preserved(self, tmp_path, warm_pair):
+        registry, cache, digest = warm_pair
+        cache.get((digest, 1))  # touch: group 1 becomes hottest
+        body = collect_hot_set(registry, cache)
+        # Coldest-first layout: the restored LRU evicts in the same
+        # order the live one would have.
+        assert [entry[1] for entry in body["groups"]] == [0, 2, 3, 1]
+
+    def test_group_cap_keeps_hottest(self, tmp_path, warm_pair):
+        registry, cache, _digest = warm_pair
+        body = collect_hot_set(registry, cache, max_groups=2)
+        assert [entry[1] for entry in body["groups"]] == [2, 3]
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path,
+                                                 warm_pair):
+        registry, cache, _digest = warm_pair
+        roundtrip(tmp_path, collect_hot_set(registry, cache))
+        assert [entry for entry in os.listdir(tmp_path)
+                if entry.endswith(".tmp")] == []
+
+
+class TestColdStartOnDamage:
+    @pytest.fixture()
+    def written(self, tmp_path, warm_pair):
+        registry, cache, _digest = warm_pair
+        return roundtrip(tmp_path, collect_hot_set(registry, cache))
+
+    def test_missing_file(self, tmp_path):
+        assert load_snapshot(snapshot_path(str(tmp_path), 0),
+                             0, SERVE_VERSION) is None
+
+    def test_truncation(self, written):
+        data = open(written, "rb").read()
+        with open(written, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        assert load_snapshot(written, 3, SERVE_VERSION) is None
+
+    def test_garbage(self, written):
+        with open(written, "w") as handle:
+            handle.write("not json {{{")
+        assert load_snapshot(written, 3, SERVE_VERSION) is None
+
+    def test_flipped_body_byte_fails_checksum(self, written):
+        entry = json.load(open(written))
+        entry["body"]["groups"][0][1] += 1  # tamper without re-checksum
+        with open(written, "w") as handle:
+            json.dump(entry, handle)
+        assert load_snapshot(written, 3, SERVE_VERSION) is None
+
+    def test_format_version_bump(self, written):
+        entry = json.load(open(written))
+        entry["format"] = SNAPSHOT_FORMAT_VERSION + 1
+        with open(written, "w") as handle:
+            json.dump(entry, handle)
+        assert load_snapshot(written, 3, SERVE_VERSION) is None
+
+    def test_serve_version_bump(self, written):
+        # The writer's serve version no longer matching the reader's
+        # means cache semantics may have changed: cold start.
+        assert load_snapshot(written, 3, SERVE_VERSION + 1) is None
+
+    def test_shard_mismatch(self, written):
+        # A copied or misnamed snapshot must not warm the wrong shard.
+        assert load_snapshot(written, 4, SERVE_VERSION) is None
+
+
+class TestRestoreValidation:
+    def test_blob_digest_mismatch_drops_image_and_groups(self, image):
+        blob = dump_image(image)
+        claimed = hashlib.sha256(b"some other image").hexdigest()
+        body = {
+            "images": [[claimed, blob.hex()]],
+            "groups": [[claimed, 0, [1, 2, 3]]],
+        }
+        registry = ImageRegistry(max_images=4)
+        cache = GroupCache(max_entries=16)
+        assert restore_hot_set(body, registry, cache) == (0, 0)
+        assert len(registry) == 0
+
+    def test_malformed_entries_skipped_individually(self, image):
+        blob = dump_image(image)
+        digest_hex = hashlib.sha256(blob).hexdigest()
+        body = {
+            "images": [["zz-not-hex", "zz"], [digest_hex, blob.hex()]],
+            "groups": [
+                [digest_hex, 0, [1, "two", 3]],   # non-integer words
+                [digest_hex],                     # wrong arity
+                [digest_hex, 1, [4, 5, 6]],       # fine
+            ],
+        }
+        registry = ImageRegistry(max_images=4)
+        cache = GroupCache(max_entries=16)
+        assert restore_hot_set(body, registry, cache) == (1, 1)
+        digest = bytes.fromhex(digest_hex)
+        assert cache.get((digest, 1)) == (4, 5, 6)
+        assert cache.get((digest, 0)) is None
