@@ -1,0 +1,155 @@
+"""Exploration-engine benchmarks: backend equivalence and warm resume.
+
+Three contracts, one report (``BENCH_explore.json``):
+
+* **Backend equivalence** -- the same seeded search over the full
+  default space must walk an *identical* visited-cell sequence (and
+  reach an identical frontier value set) on the local Workbench
+  backend and across a sharded serve fleet.  Determinism is the
+  foundation the journal, the shared result cache and every
+  reproducibility claim stand on, so it is asserted at benchmark
+  scale, not just in the unit tests.
+* **Coverage** -- the adaptive search must keep finding fresh cells:
+  every visited key unique, and at least ``EXPLORE_MIN_CELLS`` of them
+  (CI runs a reduced budget and still demands >= 50).
+* **Warm resume** -- replaying the journal must satisfy every cell
+  without pricing and finish at least ``RESUME_SPEEDUP_FLOOR``x faster
+  than the cold run.
+
+Environment knobs (CI sets reduced values; the defaults reproduce the
+paper-scale acceptance run)::
+
+    EXPLORE_BUDGET=500   unique cells per exploration
+    EXPLORE_SCALE=0.1    benchmark trip-count multiplier
+    BENCH_EXPLORE_JSON   report path (default BENCH_explore.json)
+"""
+
+import asyncio
+import contextlib
+import os
+import threading
+import time
+
+from repro.explore.backends import FleetBackend, LocalBackend
+from repro.explore.search import Explorer
+from repro.explore.space import default_space
+from repro.serve.fleet import LocalFleet
+from repro.serve.server import ServerConfig
+from repro.tools.benchinfo import write_report
+
+BUDGET = int(os.environ.get("EXPLORE_BUDGET", "500"))
+SCALE = float(os.environ.get("EXPLORE_SCALE", "0.1"))
+CAP = 2_000_000
+SEED = 7
+EXPLORE_MIN_CELLS = min(50, BUDGET)
+RESUME_SPEEDUP_FLOOR = 5.0
+FLEET_WORKERS = 2
+
+REPORT_PATH = os.environ.get("BENCH_EXPLORE_JSON", "BENCH_explore.json")
+
+SPACE = default_space()
+
+
+@contextlib.contextmanager
+def fleet_in_thread(n_workers):
+    """A LocalFleet serving on a background thread's event loop."""
+    started = threading.Event()
+    holder = {}
+
+    def host():
+        async def main():
+            fleet = LocalFleet(n_workers=n_workers,
+                               config=ServerConfig(sweep_cache=False))
+            await fleet.start()
+            holder["fleet"] = fleet
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            started.set()
+            await holder["stop"].wait()
+            await fleet.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=host, daemon=True)
+    thread.start()
+    assert started.wait(timeout=60), "fleet failed to start"
+    try:
+        yield holder["fleet"]
+    finally:
+        holder["loop"].call_soon_threadsafe(holder["stop"].set)
+        thread.join(timeout=60)
+
+
+def explore(backend, journal=None, resume=False):
+    explorer = Explorer(SPACE, backend, seed=SEED, budget=BUDGET,
+                        batch=16, journal=journal, resume=resume)
+    started = time.perf_counter()
+    result = explorer.run()
+    return result, time.perf_counter() - started
+
+
+def stats_section(result, elapsed):
+    return {
+        "visited": result.stats.visited,
+        "unique": len(set(result.visited)),
+        "frontier": result.stats.frontier_size,
+        "hypervolume": round(result.stats.hypervolume, 4),
+        "backend_priced": result.stats.backend_priced,
+        "journal_hits": result.stats.journal_hits,
+        "duplicates": result.stats.duplicates,
+        "stopped": result.stats.stopped,
+        "elapsed_s": round(elapsed, 3),
+        "cells_per_second": round(result.stats.visited / elapsed, 2)
+        if elapsed > 0 else 0.0,
+    }
+
+
+def test_explore_contract(tmp_path):
+    journal = str(tmp_path / "explore.jsonl")
+
+    local, local_s = explore(
+        LocalBackend(scale=SCALE, max_instructions=CAP), journal=journal)
+
+    with fleet_in_thread(FLEET_WORKERS) as fleet:
+        backend = FleetBackend(fleet.addresses, scale=SCALE,
+                               max_instructions=CAP, timeout=600.0)
+        try:
+            remote, remote_s = explore(backend)
+        finally:
+            backend.close()
+
+    resumed, warm_s = explore(
+        LocalBackend(scale=SCALE, max_instructions=CAP), journal=journal,
+        resume=True)
+
+    resume_speedup = local_s / warm_s if warm_s > 0 else float("inf")
+    write_report(REPORT_PATH, {"explore": {
+        "budget": BUDGET, "scale": SCALE, "seed": SEED,
+        "space_sha": SPACE.fingerprint(),
+        "local": stats_section(local, local_s),
+        "fleet": dict(stats_section(remote, remote_s),
+                      workers=FLEET_WORKERS),
+        "resume": dict(stats_section(resumed, warm_s),
+                       speedup_vs_cold=round(resume_speedup, 2)),
+        "sequences_identical": remote.visited == local.visited,
+    }})
+    print("\nexplore bench: local %.1fs, fleet %.1fs, warm resume %.2fs "
+          "(%.1fx) -> %s" % (local_s, remote_s, warm_s, resume_speedup,
+                             REPORT_PATH))
+
+    # Coverage: the search kept finding fresh cells.
+    assert len(set(local.visited)) == local.stats.visited
+    assert local.stats.visited >= EXPLORE_MIN_CELLS
+    assert len(local.frontier) > 0
+
+    # Backend equivalence: same proposals, same frontier, cell by cell.
+    assert remote.visited == local.visited
+    assert remote.frontier.values_set() == local.frontier.values_set()
+
+    # Warm resume: everything from the journal, nothing re-priced.
+    assert resumed.stats.journal_hits == local.stats.visited
+    assert resumed.stats.backend_priced == 0
+    assert resumed.visited == local.visited
+    assert resume_speedup >= RESUME_SPEEDUP_FLOOR, (
+        "warm resume only %.2fx over the cold run (cold %.2fs, "
+        "warm %.2fs)" % (resume_speedup, local_s, warm_s))

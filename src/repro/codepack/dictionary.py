@@ -98,6 +98,28 @@ def _admit(scheme, ranked):
     return entries
 
 
+def _pack_words(words):
+    """*words* as a packed 32-bit :class:`array.array`, or ``None``.
+
+    ``None`` means the words cannot be reinterpreted in C (a value out
+    of range, a non-integer, or a platform with unusual C-int sizes)
+    and callers must take the masking generator path.
+    """
+    try:
+        packed = array.array("I", words)
+    except (OverflowError, TypeError):
+        return None
+    return packed if packed.itemsize == 4 else None
+
+
+def _split_halves(packed):
+    """The (high, low) halfword streams of *packed* as NumPy arrays."""
+    halves = _np.frombuffer(packed.tobytes(), dtype=_np.uint16)
+    if sys.byteorder == "little":
+        return halves[1::2], halves[0::2]
+    return halves[0::2], halves[1::2]
+
+
 def _bincount_histogram(halves):
     """A :class:`Counter` over 16-bit symbols via one bincount pass.
 
@@ -126,16 +148,10 @@ def halfword_histograms(words):
     generator path, which masks exactly like the reference encoder.
     All three tiers produce identical histograms.
     """
-    try:
-        packed = array.array("I", words)
-    except (OverflowError, TypeError):
-        packed = None
-    if packed is not None and packed.itemsize == 4:
+    packed = _pack_words(words)
+    if packed is not None:
         if _np is not None and len(packed):
-            halves = _np.frombuffer(packed.tobytes(), dtype=_np.uint16)
-            high, low = ((halves[1::2], halves[0::2])
-                         if sys.byteorder == "little"
-                         else (halves[0::2], halves[1::2]))
+            high, low = _split_halves(packed)
             return (_bincount_histogram(high),
                     _bincount_histogram(low))
         halves = array.array("H", packed.tobytes())
@@ -147,25 +163,73 @@ def halfword_histograms(words):
     return high, low
 
 
-def build_dictionary(scheme, histogram):
-    """Build one dictionary for *scheme* from a symbol *histogram*."""
+def _ranked_candidates(scheme, histogram):
+    """Top-capacity ``(value, count)`` pairs by ``(-count, value)``.
+
+    Deterministic: ties broken by value.  Only the top ``capacity``
+    candidates can ever be admitted, so an O(n log capacity) partial
+    sort replaces the full sort of the symbol tail.
+    """
     items = histogram.items()
     if scheme.zero_special:
         items = ((value, count) for value, count in items if value != 0)
-    # Deterministic: ties broken by value.  Only the top ``capacity``
-    # candidates can ever be admitted, so an O(n log capacity) partial
-    # sort replaces the full sort of the symbol tail.
-    ranked = heapq.nsmallest(scheme.dictionary_capacity, items,
-                             key=lambda pair: (-pair[1], pair[0]))
-    return Dictionary(scheme=scheme, entries=_admit(scheme, ranked))
+    return heapq.nsmallest(scheme.dictionary_capacity, items,
+                           key=lambda pair: (-pair[1], pair[0]))
+
+
+def _ranked_vectorized(scheme, halves):
+    """Vectorized candidate ranking: bincount then stable argsort.
+
+    ``np.nonzero`` yields observed values in ascending order, so a
+    *stable* argsort on the negated counts produces exactly the
+    ``(-count, value)`` lexicographic order :func:`_ranked_candidates`
+    computes -- the two paths rank (and therefore admit) byte-identical
+    dictionaries.  The symbol space never materialises as Python
+    objects: only the top ``capacity`` survivors do.
+    """
+    counts = _np.bincount(halves, minlength=0x10000)
+    values = _np.nonzero(counts)[0]
+    counts = counts[values]
+    if scheme.zero_special and values.size and values[0] == 0:
+        values, counts = values[1:], counts[1:]
+    order = _np.argsort(-counts, kind="stable")
+    order = order[:scheme.dictionary_capacity]
+    return list(zip(values[order].tolist(), counts[order].tolist()))
+
+
+def build_dictionary(scheme, histogram):
+    """Build one dictionary for *scheme* from a symbol *histogram*."""
+    return Dictionary(scheme=scheme,
+                      entries=_admit(scheme,
+                                     _ranked_candidates(scheme, histogram)))
 
 
 def build_dictionaries(words, high_scheme=None, low_scheme=None):
-    """Build the (high, low) dictionary pair for a ``.text`` section."""
+    """Build the (high, low) dictionary pair for a ``.text`` section.
+
+    With NumPy the whole pipeline -- halfword split, histogram,
+    frequency ranking -- runs as array kernels; otherwise the
+    histogram/:func:`build_dictionary` path serves, with identical
+    output either way.
+    """
     from repro.codepack.codewords import HIGH_SCHEME, LOW_SCHEME
 
     high_scheme = high_scheme or HIGH_SCHEME
     low_scheme = low_scheme or LOW_SCHEME
+    if _np is not None:
+        packed = _pack_words(words)
+        if packed is not None and len(packed):
+            high, low = _split_halves(packed)
+            return (
+                Dictionary(scheme=high_scheme,
+                           entries=_admit(high_scheme,
+                                          _ranked_vectorized(high_scheme,
+                                                             high))),
+                Dictionary(scheme=low_scheme,
+                           entries=_admit(low_scheme,
+                                          _ranked_vectorized(low_scheme,
+                                                             low))),
+            )
     high_hist, low_hist = halfword_histograms(words)
     return (build_dictionary(high_scheme, high_hist),
             build_dictionary(low_scheme, low_hist))

@@ -35,26 +35,10 @@ from repro.eval.runner import Workbench
 from repro.eval.sweep import (
     DEFAULT_CACHE_DIR,
     default_cache_dir,
+    parse_size,  # re-exported; historical home of the size parser
     resolve_jobs,
 )
 from repro.eval.tables import format_table, table_to_csv
-
-
-def parse_size(text):
-    """Parse a ``--trace-cache-limit`` byte size ('8M', '1G', '65536')."""
-    s = str(text).strip().lower()
-    mult = 1
-    if s and s[-1] in "kmg":
-        mult = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[s[-1]]
-        s = s[:-1]
-    try:
-        value = int(s)
-    except ValueError:
-        raise ValueError("invalid byte size %r: expected an integer with "
-                         "an optional K/M/G suffix" % (text,))
-    if value < 0:
-        raise ValueError("invalid byte size %r: must be >= 0" % (text,))
-    return value * mult
 
 
 def profile_hottest(wb):
@@ -123,11 +107,19 @@ def main(argv=None):
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the result cache before running "
                              "(requires --cache)")
+    parser.add_argument("--cache-limit", metavar="BYTES", default=None,
+                        help="cap the on-disk result cache at BYTES total "
+                             "(suffixes K/M/G allowed); least-recently-used "
+                             "entries are pruned after each store "
+                             "(default: unbounded)")
     parser.add_argument("--stats", action="store_true",
                         help="print sweep statistics (cache hits/misses, "
                              "per-phase timing) after the exhibits")
     parser.add_argument("--timing-json", metavar="PATH", default=None,
                         help="write sweep statistics as JSON to PATH")
+    parser.add_argument("--stats-json", metavar="PATH", default=None,
+                        help="write the raw sweep stats object (cache "
+                             "counters included) as JSON to PATH")
     parser.add_argument("--replay", dest="replay", action="store_true",
                         default=True,
                         help="trace each benchmark once and run all cells "
@@ -186,10 +178,19 @@ def main(argv=None):
             limit = parse_size(limit)
         except ValueError as exc:
             parser.error(str(exc))
+    cache_limit = args.cache_limit
+    if cache_limit is not None:
+        if args.cache is None:
+            parser.error("--cache-limit requires --cache")
+        try:
+            cache_limit = parse_size(cache_limit)
+        except ValueError as exc:
+            parser.error(str(exc))
     try:
         wb = Workbench(scale=args.scale, cache=args.cache, jobs=jobs,
                        replay=args.replay, trace_cache=args.trace_cache,
-                       trace_cache_limit=limit, vec=args.vec)
+                       trace_cache_limit=limit, vec=args.vec,
+                       cache_limit=cache_limit)
     except RuntimeError as exc:  # --vec without NumPy
         parser.error(str(exc))
     if args.clear_cache:
@@ -228,6 +229,10 @@ def main(argv=None):
         }
         with open(args.timing_json, "w") as handle:
             json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(wb.stats.as_dict(cache=wb.cache), handle, indent=2)
             handle.write("\n")
     return 0
 

@@ -56,6 +56,8 @@ class Workbench:
       in-memory otherwise.
     * ``trace_cache_limit`` -- byte cap for the trace cache directory
       (LRU-pruned after each store); ``None`` = unbounded.
+    * ``cache_limit`` -- byte cap for the persistent result cache
+      (LRU-pruned after each store, mtime order); ``None`` = unbounded.
     * ``vec`` -- default ``None``: price sweep cells with the
       vectorized replay backend (:mod:`repro.sim.vecreplay`) whenever
       NumPy is importable, falling back to scalar replay per cell
@@ -68,12 +70,14 @@ class Workbench:
 
     def __init__(self, scale=1.0, max_instructions=5_000_000, cache=None,
                  jobs=1, replay=True, trace_cache=None,
-                 trace_cache_limit=None, vec=None):
+                 trace_cache_limit=None, vec=None, cache_limit=None):
         self.scale = scale
         self.max_instructions = max_instructions
         self.jobs = resolve_jobs(jobs)
         if cache is not None and not isinstance(cache, ResultCache):
-            cache = ResultCache(cache)
+            cache = ResultCache(cache, limit_bytes=cache_limit)
+        elif isinstance(cache, ResultCache) and cache_limit is not None:
+            cache.limit_bytes = int(cache_limit)
         self.cache = cache
         self.replay = replay
         if trace_cache is None and cache is not None:

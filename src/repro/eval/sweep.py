@@ -67,6 +67,23 @@ def default_cache_dir():
     return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
 
 
+def parse_size(text):
+    """Parse a byte-size flag value ('8M', '1G', '65536')."""
+    s = str(text).strip().lower()
+    mult = 1
+    if s and s[-1] in "kmg":
+        mult = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[s[-1]]
+        s = s[:-1]
+    try:
+        value = int(s)
+    except ValueError:
+        raise ValueError("invalid byte size %r: expected an integer with "
+                         "an optional K/M/G suffix" % (text,))
+    if value < 0:
+        raise ValueError("invalid byte size %r: must be >= 0" % (text,))
+    return value * mult
+
+
 # ---------------------------------------------------------------------------
 # Cell keys
 # ---------------------------------------------------------------------------
@@ -132,14 +149,30 @@ class ResultCache:
     killed run never leaves a half-written entry behind; any entry that
     fails to load for whatever reason (truncation, hand-editing, a
     format change) counts as a miss and is overwritten by the re-run.
+
+    ``limit_bytes`` bounds the total ``.json`` entry payload, exactly
+    like the trace cache's cap: after every :meth:`put` the least-
+    recently-used entries (by file mtime -- :meth:`get` touches entries
+    it serves) are deleted until the total fits; the entry just written
+    survives even when it is alone over the limit.  ``None`` (the
+    default) keeps the historical unbounded behaviour.  Only entry
+    files directly under *root* are governed -- the ``traces/``
+    subdirectory a Workbench keeps inside the cache has its own cap.
     """
 
-    def __init__(self, root=None):
+    def __init__(self, root=None, limit_bytes=None):
+        if limit_bytes is not None:
+            limit_bytes = int(limit_bytes)
+            if limit_bytes < 0:
+                raise ValueError("limit_bytes must be >= 0 or None")
         self.root = default_cache_dir() if root is None else root
+        self.limit_bytes = limit_bytes
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        self.pruned_files = 0
+        self.pruned_bytes = 0
         os.makedirs(self.root, exist_ok=True)
 
     def _path(self, key):
@@ -164,6 +197,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # mark as recently used for LRU pruning
+        except OSError:
+            pass
         return result
 
     def put(self, key, result, payload=None):
@@ -194,7 +231,54 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if self.limit_bytes is not None:
+            self.prune(keep=self._path(key))
         return True
+
+    def prune(self, keep=None):
+        """Delete LRU entry files until the total fits the limit.
+
+        *keep* (a path) is exempt -- the caller just wrote it.  Only
+        ``.json`` files directly under the root are considered (the
+        ``traces/`` subdirectory prunes itself).  Files that vanish
+        concurrently are skipped; pruning is best-effort and never
+        raises for racing sweeps.  Returns the number of files deleted.
+        """
+        if self.limit_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        if total <= self.limit_bytes:
+            return 0
+        deleted = 0
+        for mtime, size, path in sorted(entries):
+            if total <= self.limit_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            deleted += 1
+            self.pruned_files += 1
+            self.pruned_bytes += size
+        return deleted
 
     def clear(self):
         """Delete every cache entry (not the directory itself)."""
@@ -214,7 +298,9 @@ class ResultCache:
 
     def counters(self):
         return {"hits": self.hits, "misses": self.misses,
-                "corrupt": self.corrupt, "stores": self.stores}
+                "corrupt": self.corrupt, "stores": self.stores,
+                "pruned_files": self.pruned_files,
+                "pruned_bytes": self.pruned_bytes}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,32 @@
+"""Design-space exploration over the CodePack evaluation stack.
+
+The paper evaluates a fixed 309-cell grid (Tables 5-12); this package
+*searches* instead.  A declarative :class:`~repro.explore.space
+.SearchSpace` generalises the grid -- cache geometries, issue widths,
+bus widths, memory latencies, decompressor variants and their knobs --
+and the :class:`~repro.explore.search.Explorer` walks it with seeded
+random + adaptive (epsilon-greedy frontier mutation) search, pricing
+cells through a pluggable backend (in-process
+:class:`~repro.explore.backends.LocalBackend` composing with the
+vectorized replay sweep, or :class:`~repro.explore.backends
+.FleetBackend` dispatching ``sweep_cell`` frames across serve
+workers).  Results accumulate in a multi-objective Pareto frontier
+(:mod:`repro.explore.pareto`): compression ratio vs cycles-per-
+instruction vs decoder/index-cache hardware cost.
+
+Everything is deterministic under a seed, deduped through the
+persistent SHA-keyed result cache of :mod:`repro.eval.sweep`, and
+journaled (:mod:`repro.explore.journal`) so an interrupted or repeated
+exploration resumes without re-pricing a single cell.
+
+Entry point: ``python -m repro.tools.explore``.
+"""
+
+#: Bump when search semantics change in a way that invalidates journals.
+EXPLORE_VERSION = 1
+
+from repro.explore.pareto import ParetoFrontier, dominates  # noqa: E402
+from repro.explore.space import SearchSpace, default_space  # noqa: E402
+
+__all__ = ["EXPLORE_VERSION", "ParetoFrontier", "dominates",
+           "SearchSpace", "default_space"]

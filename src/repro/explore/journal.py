@@ -1,0 +1,158 @@
+"""Resumable run journal: one JSONL line per priced cell.
+
+The journal is the exploration's write-ahead log.  Line one is a
+header binding everything that shapes the deterministic proposal
+stream -- space fingerprint, seed, objectives, scale, instruction cap,
+epsilon, batch size, the explore format version -- and every
+subsequent line records one evaluated cell (visit sequence number,
+point values, sweep cell key, objective vector, which backend priced
+it, wall-clock).
+
+Resume is a *replay*: the engine re-runs the identical search loop and
+every proposal whose cell already has a journal entry is satisfied
+from the entry instead of being priced.  Because search decisions
+depend only on the RNG and on previously observed objectives -- both
+reproduced exactly -- a resumed run walks the same visited-cell
+sequence and re-prices nothing, then continues past the old end if
+budget remains.
+
+Crash tolerance mirrors the result cache: lines are appended and
+flushed one eval at a time, and an unparsable tail line (a cut-off
+write) is dropped on load rather than poisoning the run.
+"""
+
+import json
+import os
+
+__all__ = ["RunJournal", "JournalError", "JOURNAL_FORMAT_VERSION"]
+
+#: Bump when the journal line layout changes.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Header fields that must match for a resume to be sound (they all
+#: shape the proposal stream or the meaning of recorded objectives).
+_IDENTITY_FIELDS = ("format", "explore_version", "space_sha", "seed",
+                    "objectives", "scale", "max_instructions", "epsilon",
+                    "batch")
+
+
+class JournalError(ValueError):
+    """The journal cannot serve this run (mismatched identity, bad
+    header)."""
+
+
+class RunJournal:
+    """Append-only JSONL journal for one (space, seed, ...) run."""
+
+    def __init__(self, path):
+        self.path = path
+        self.header = None
+        self.entries = []
+        self.dropped_lines = 0
+        self._handle = None
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self):
+        """Read the journal from disk; tolerate a truncated tail.
+
+        Returns self.  A missing file loads as empty; unparsable or
+        non-object lines are counted in ``dropped_lines`` and skipped
+        (the atomic unit is one line, so only crash tails drop).
+        """
+        self.header = None
+        self.entries = []
+        self.dropped_lines = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return self
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.dropped_lines += 1
+                continue
+            if not isinstance(record, dict):
+                self.dropped_lines += 1
+                continue
+            kind = record.get("kind")
+            if kind == "header":
+                if self.header is None:
+                    self.header = record
+                # A duplicate header (crashed rewrite) is ignored.
+            elif kind == "eval" and self.header is not None:
+                self.entries.append(record)
+            else:
+                self.dropped_lines += 1
+        return self
+
+    def memo(self):
+        """``{cell key: entry}`` over every loaded eval record."""
+        return {entry["key"]: entry for entry in self.entries
+                if "key" in entry}
+
+    # -- writing -------------------------------------------------------------
+
+    def start(self, header, resume=False):
+        """Open for appending; write or verify the header.
+
+        Without *resume* any existing journal is truncated and a fresh
+        header written.  With *resume* the on-disk header's identity
+        fields must match *header* exactly (a different space, seed,
+        objective list, scale, epsilon or batch would make replay
+        unsound) -- mismatches raise :class:`JournalError`.
+        """
+        header = dict(header)
+        header["kind"] = "header"
+        header.setdefault("format", JOURNAL_FORMAT_VERSION)
+        if resume:
+            self.load()
+            if self.header is not None:
+                for name in _IDENTITY_FIELDS:
+                    if self.header.get(name) != header.get(name):
+                        raise JournalError(
+                            "cannot resume: journal %s has %s=%r, this "
+                            "run has %r" % (self.path, name,
+                                            self.header.get(name),
+                                            header.get(name)))
+        else:
+            self.header = None
+            self.entries = []
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        mode = "a" if (resume and self.header is not None) else "w"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if self.header is None:
+            self.header = header
+            self._write(header)
+        return self
+
+    def append(self, entry):
+        """Append one eval record (flushed immediately)."""
+        if self._handle is None:
+            raise JournalError("journal is not open for writing")
+        record = dict(entry)
+        record["kind"] = "eval"
+        self.entries.append(record)
+        self._write(record)
+
+    def _write(self, record):
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

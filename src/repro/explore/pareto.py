@@ -1,0 +1,169 @@
+"""Multi-objective Pareto frontier (minimisation convention).
+
+Every objective is *minimised*: compression ratio (compressed/original,
+smaller is denser), cycles-per-instruction, abstract decoder cost.  A
+vector ``a`` dominates ``b`` when it is no worse in every objective and
+strictly better in at least one; the frontier is the set of visited
+cells no other visited cell dominates.
+
+The frontier's *value set* is independent of insertion order: a
+candidate weakly dominated by a member (including exactly equal) is
+rejected, and inserting a candidate evicts every member it dominates.
+Ties -- distinct cells with identical objective vectors -- keep the
+first-inserted cell, so membership identity (not values) can depend on
+order; callers that care about reproducible member lists get it from
+the deterministic visit order of the search itself.
+
+:func:`hypervolume` is the standard dominated-hypervolume indicator
+(volume between the frontier and a reference point), computed exactly
+by recursive slicing on the last objective -- O(n^2) per dimension,
+fine for the tens-of-members frontiers explorations produce.  The
+engine feeds it min/max-normalised values so wildly different scales
+(cycles ~1e6, ratio ~0.6) contribute comparably.
+"""
+
+from dataclasses import dataclass, field
+
+__all__ = ["dominates", "FrontierMember", "ParetoFrontier", "hypervolume"]
+
+
+def dominates(a, b):
+    """True when vector *a* Pareto-dominates *b* (minimisation)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors differ in length: %d vs %d"
+                         % (len(a), len(b)))
+    better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            better = True
+    return better
+
+
+@dataclass
+class FrontierMember:
+    """One non-dominated cell: its identity, point and objectives."""
+
+    key: str            # sweep cell key (sha256 hex)
+    values: tuple       # objective vector, minimisation
+    point: tuple = None  # SearchSpace point (choice indices), if any
+    meta: dict = field(default_factory=dict)
+    seq: int = 0        # visit sequence number of first insertion
+
+
+class ParetoFrontier:
+    """Insertion-ordered set of mutually non-dominated members."""
+
+    def __init__(self, n_objectives):
+        if n_objectives < 1:
+            raise ValueError("need at least one objective")
+        self.n_objectives = n_objectives
+        self._members = []  # insertion order, survivors only
+        self._by_key = {}
+        self.inserted = 0
+        self.rejected = 0
+        self.evicted = 0
+
+    def __len__(self):
+        return len(self._members)
+
+    def __contains__(self, key):
+        return key in self._by_key
+
+    def members(self):
+        """Members in first-insertion order (deterministic for a
+        deterministic visit sequence)."""
+        return list(self._members)
+
+    def values_set(self):
+        """The set of objective vectors on the frontier -- this set is
+        independent of the order members were offered."""
+        return {member.values for member in self._members}
+
+    def add(self, key, values, point=None, meta=None, seq=0):
+        """Offer one evaluated cell; returns ``True`` when it joins.
+
+        A candidate weakly dominated by any member (equal vectors
+        count) is rejected; otherwise it joins and evicts every member
+        it dominates.  Re-offering a key already on the frontier is a
+        no-op (cells are deduped upstream, but resume replays them).
+        """
+        values = tuple(values)
+        if len(values) != self.n_objectives:
+            raise ValueError("expected %d objectives, got %d"
+                             % (self.n_objectives, len(values)))
+        if key in self._by_key:
+            return False
+        for member in self._members:
+            if member.values == values or dominates(member.values, values):
+                self.rejected += 1
+                return False
+        survivors = []
+        for member in self._members:
+            if dominates(values, member.values):
+                del self._by_key[member.key]
+                self.evicted += 1
+            else:
+                survivors.append(member)
+        entrant = FrontierMember(key=key, values=values, point=point,
+                                 meta=dict(meta or {}), seq=seq)
+        survivors.append(entrant)
+        self._members = survivors
+        self._by_key[key] = entrant
+        self.inserted += 1
+        return True
+
+    # -- indicator -----------------------------------------------------------
+
+    def normalized_hypervolume(self, bounds, ref=1.1):
+        """Hypervolume of the frontier after min/max normalisation.
+
+        *bounds* is one ``(lo, hi)`` pair per objective (typically the
+        extremes over every visited cell); each value maps to
+        ``(v - lo) / (hi - lo)`` (0.0 when the bound is degenerate) and
+        the reference point is ``ref`` in every dimension.  Purely a
+        progress indicator -- it grows as the frontier advances -- not
+        a quantity with physical units.
+        """
+        if len(bounds) != self.n_objectives:
+            raise ValueError("expected %d bounds pairs" % self.n_objectives)
+        points = []
+        for member in self._members:
+            normed = []
+            for value, (lo, hi) in zip(member.values, bounds):
+                span = hi - lo
+                normed.append((value - lo) / span if span > 0 else 0.0)
+            points.append(tuple(normed))
+        return hypervolume(points, (ref,) * self.n_objectives)
+
+
+def hypervolume(points, ref):
+    """Exact dominated hypervolume of *points* w.r.t. *ref* (minimise).
+
+    Points not strictly below the reference in every coordinate
+    contribute nothing.  Recursive slicing: sort by the last
+    coordinate, each slab's thickness times the hypervolume of the
+    projection of every point at or below the slab.
+    """
+    ref = tuple(ref)
+    pts = [tuple(p) for p in points
+           if len(p) == len(ref) and all(pi < ri for pi, ri in zip(p, ref))]
+    if not pts:
+        return 0.0
+    return _hv(sorted(set(pts)), ref)
+
+
+def _hv(pts, ref):
+    if len(ref) == 1:
+        return ref[0] - min(p[0] for p in pts)
+    pts = sorted(pts, key=lambda p: p[-1])
+    volume = 0.0
+    for i, point in enumerate(pts):
+        upper = pts[i + 1][-1] if i + 1 < len(pts) else ref[-1]
+        thickness = upper - point[-1]
+        if thickness <= 0:
+            continue
+        slab = [q[:-1] for q in pts[:i + 1]]
+        volume += thickness * _hv(slab, ref[:-1])
+    return volume

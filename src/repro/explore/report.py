@@ -1,0 +1,124 @@
+"""Frontier reports: machine-readable JSON and human markdown.
+
+The JSON report is the exploration's durable artifact -- header
+(space fingerprint, seed, objectives, budget), full frontier (point
+descriptions, objective vectors, cell keys), per-objective bounds and
+the run stats -- everything needed to regenerate the markdown table,
+diff two runs, or seed a follow-up exploration.
+"""
+
+import json
+import os
+
+__all__ = ["frontier_report", "render_markdown", "write_report"]
+
+REPORT_FORMAT_VERSION = 1
+
+
+def frontier_report(result, space, objectives, header=None):
+    """Build the plain-data report for one :class:`ExploreResult`."""
+    members = sorted(result.frontier.members(), key=lambda m: m.seq)
+    report = {
+        "format": REPORT_FORMAT_VERSION,
+        "kind": "explore-frontier",
+        "objectives": list(objectives),
+        "space_sha": space.fingerprint(),
+        "space_size": space.size(),
+        "bounds": [list(pair) for pair in result.bounds],
+        "frontier": [
+            {
+                "seq": member.seq,
+                "key": member.key,
+                "point": space.describe(member.point)
+                if member.point is not None else None,
+                "objectives": {name: value for name, value
+                               in zip(objectives, member.values)},
+                "meta": dict(member.meta),
+            }
+            for member in members
+        ],
+        "stats": result.stats.as_dict(),
+    }
+    if header:
+        report["run"] = dict(header)
+    return report
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return "%d" % int(value)
+        return "%.4f" % value
+    return str(value)
+
+
+def render_markdown(report):
+    """Render a report dict as a markdown frontier table."""
+    objectives = report["objectives"]
+    lines = ["# Exploration frontier", ""]
+    run = report.get("run") or {}
+    facts = [
+        ("objectives", ", ".join(objectives)),
+        ("space", "%s (%s points)" % (report["space_sha"][:12],
+                                      "{:,}".format(report["space_size"]))),
+    ]
+    for name in ("seed", "scale", "max_instructions", "epsilon", "batch"):
+        if name in run:
+            facts.append((name, _fmt(run[name])))
+    stats = report.get("stats") or {}
+    if stats:
+        facts.append(("visited", "%s cells (%s priced, %s cache hits, "
+                      "%s journal hits)" % (stats.get("visited", 0),
+                                            stats.get("backend_priced", 0),
+                                            stats.get("cache_hits", 0),
+                                            stats.get("journal_hits", 0))))
+        facts.append(("hypervolume", _fmt(stats.get("hypervolume", 0.0))))
+        facts.append(("backend", stats.get("backend", "?")))
+    for name, value in facts:
+        lines.append("- **%s**: %s" % (name, value))
+    lines.append("")
+
+    members = report["frontier"]
+    lines.append("%d non-dominated cells:" % len(members))
+    lines.append("")
+    header = ["#", "benchmark", "arch", "scheme"] + list(objectives)
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for member in members:
+        point = member.get("point") or {}
+        scheme = point.get("scheme", "?")
+        if scheme == "codepack":
+            knobs = ["d%s" % point.get("decode_rate", "?")]
+            if point.get("index_lines"):
+                knobs.append("ic%sx%s" % (point.get("index_lines"),
+                                          point.get("index_entries")))
+            if point.get("output_buffer"):
+                knobs.append("ob")
+            scheme = "codepack(%s)" % ",".join(knobs)
+        row = [str(member["seq"]),
+               str(point.get("benchmark", member["meta"].get(
+                   "benchmark", "?"))),
+               str(member["meta"].get("arch", point.get("arch", "?"))),
+               scheme]
+        row += [_fmt(member["objectives"][name]) for name in objectives]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(report, path, markdown_path=None):
+    """Write the JSON report (atomic) and optionally the markdown."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    if markdown_path:
+        directory = os.path.dirname(os.path.abspath(markdown_path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = markdown_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown(report))
+        os.replace(tmp, markdown_path)

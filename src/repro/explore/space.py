@@ -1,0 +1,376 @@
+"""Declarative search spaces over architecture x scheme x workload.
+
+A :class:`SearchSpace` generalises the paper's evaluation grid into
+eleven named dimensions, each a finite list of choices:
+
+=============== ======================================== ==============
+dimension       meaning                                  paper anchor
+=============== ======================================== ==============
+benchmark       workload stand-in                        Table 1
+arch            baseline machine (issue width, core)     Table 2
+icache_kb       L1 I-cache size                          Table 10
+bus_bits        main-memory bus width                    Table 11
+first_latency   cycles to the first bus beat             Table 12
+memory_rate     cycles per successive beat               Table 12
+scheme          ``native`` or ``codepack``               Table 5
+decode_rate     instructions decompressed per cycle      Table 8
+index_lines     index-cache lines (0 = last-index buf)   Tables 6-7
+index_entries   index entries per line                   Table 6
+output_buffer   16-instruction output buffer on/off      ablation
+=============== ======================================== ==============
+
+A *point* is a tuple of choice indices (one per dimension, in
+:data:`DIMENSION_ORDER`).  Points are hashable, trivially mutable
+(change one index) and JSON-serialisable through :meth:`describe`.
+:meth:`SearchSpace.cell` lowers a point to the ``(benchmark,
+ArchConfig, CodePackConfig|None)`` triple the whole sweep machinery
+already speaks, via the same builders the serve tier uses to rebuild
+cells from wire specs (:func:`cell_from_config`) -- both paths produce
+*identical* frozen configs, so their sweep cache keys agree and local
+and fleet pricing dedupe against the same store.
+
+Points that differ only in dimensions the scheme ignores (a ``native``
+cell's decoder knobs; ``index_entries`` when there is no index cache)
+collapse to one canonical point (:meth:`canonical`), so the search
+never prices one machine twice under different names.
+"""
+
+import hashlib
+
+from repro.eval.sweep import canonical_json
+from repro.sim.config import (
+    BASELINES,
+    CodePackConfig,
+    IndexCacheConfig,
+    KB,
+)
+from repro.workloads.suite import BENCHMARK_NAMES
+
+__all__ = ["SearchSpace", "SpaceError", "default_space", "build_arch",
+           "build_codepack", "cell_from_config", "DIMENSION_ORDER"]
+
+#: Spec format version, embedded in fingerprints and journals.
+SPACE_FORMAT_VERSION = 1
+
+#: The fixed dimension order points are indexed by.
+DIMENSION_ORDER = (
+    "benchmark", "arch", "icache_kb", "bus_bits", "first_latency",
+    "memory_rate", "scheme", "decode_rate", "index_lines",
+    "index_entries", "output_buffer",
+)
+
+#: Dimensions only ``codepack``-scheme cells consume.
+_SCHEME_DIMENSIONS = ("decode_rate", "index_lines", "index_entries",
+                      "output_buffer")
+
+#: Validation bounds for wire-supplied configs (inclusive).
+_BOUNDS = {
+    "icache_kb": (1, 4096),
+    "bus_bits": (8, 1024),
+    "first_latency": (1, 10_000),
+    "memory_rate": (1, 1000),
+    "decode_rate": (1, 64),
+    "index_lines": (0, 4096),
+    "index_entries": (1, 64),
+}
+
+_DEFAULT_CHOICES = {
+    "benchmark": BENCHMARK_NAMES,
+    "arch": ("1-issue", "4-issue", "8-issue"),
+    "icache_kb": (1, 4, 8, 16, 32, 64),
+    "bus_bits": (16, 32, 64, 128),
+    "first_latency": (5, 10, 20, 40),
+    "memory_rate": (1, 2, 4),
+    "scheme": ("native", "codepack"),
+    "decode_rate": (1, 2, 4, 16),
+    "index_lines": (0, 1, 4, 16, 64),
+    "index_entries": (2, 4, 8),
+    "output_buffer": (True, False),
+}
+
+
+class SpaceError(ValueError):
+    """A malformed space spec, point or wire config."""
+
+
+# ---------------------------------------------------------------------------
+# Cell builders (shared by local pricing and the serve wire path)
+# ---------------------------------------------------------------------------
+
+def build_arch(base, icache_kb, bus_bits, first_latency, memory_rate):
+    """Derive an :class:`~repro.sim.config.ArchConfig` from knob values.
+
+    Knobs equal to the baseline's are left untouched (the config keeps
+    the baseline's name), mirroring how the paper's sensitivity sweeps
+    derive variants; every caller applies the same rule, so equal knob
+    values always produce byte-identical config fingerprints.
+    """
+    arch = BASELINES[base]
+    if icache_kb * KB != arch.icache.size_bytes:
+        arch = arch.with_icache(icache_kb * KB)
+    memory = arch.memory
+    if (bus_bits != memory.bus_bits
+            or first_latency != memory.first_latency
+            or memory_rate != memory.rate):
+        arch = arch.with_memory(bus_bits=bus_bits,
+                                first_latency=first_latency,
+                                rate=memory_rate)
+    return arch
+
+
+def build_codepack(scheme, decode_rate, index_lines, index_entries,
+                   output_buffer):
+    """The :class:`~repro.sim.config.CodePackConfig` for knob values
+    (``None`` for the native scheme)."""
+    if scheme == "native":
+        return None
+    index_cache = (IndexCacheConfig(index_lines, index_entries)
+                   if index_lines else None)
+    return CodePackConfig(decode_rate=decode_rate, index_cache=index_cache,
+                          output_buffer=bool(output_buffer))
+
+
+def _check_int(config, name):
+    value = config.get(name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpaceError("config %r must be an integer, got %r"
+                         % (name, value))
+    lo, hi = _BOUNDS[name]
+    if not lo <= value <= hi:
+        raise SpaceError("config %r = %r out of range [%d, %d]"
+                         % (name, value, lo, hi))
+    return value
+
+
+def cell_from_config(config):
+    """Rebuild ``(benchmark, arch, codepack)`` from a wire config dict.
+
+    The serve tier's ``sweep_cell`` handler feeds request payloads
+    through here; validation errors surface as :class:`SpaceError` so
+    the server can answer with a typed bad-request frame.  Identity
+    guarantee: for any space point ``p``,
+    ``cell_from_config(space.config(p)) == space.cell(p)`` -- including
+    derived config *names* -- which is what makes local and fleet
+    sweep-cache keys interchangeable.
+    """
+    if not isinstance(config, dict):
+        raise SpaceError("config must be an object")
+    bench = config.get("benchmark")
+    if bench not in BENCHMARK_NAMES:
+        raise SpaceError("unknown benchmark %r (choose from %s)"
+                         % (bench, ", ".join(BENCHMARK_NAMES)))
+    base = config.get("arch")
+    if base not in BASELINES:
+        raise SpaceError("unknown arch %r (choose from %s)"
+                         % (base, ", ".join(sorted(BASELINES))))
+    scheme = config.get("scheme")
+    if scheme not in ("native", "codepack"):
+        raise SpaceError("scheme must be 'native' or 'codepack', got %r"
+                         % (scheme,))
+    icache_kb = _check_int(config, "icache_kb")
+    bus_bits = _check_int(config, "bus_bits")
+    if bus_bits % 8:
+        raise SpaceError("bus_bits must be a multiple of 8, got %d"
+                         % bus_bits)
+    first_latency = _check_int(config, "first_latency")
+    memory_rate = _check_int(config, "memory_rate")
+    arch = BASELINES[base]
+    line_assoc = arch.icache.line_bytes * arch.icache.assoc
+    if (icache_kb * KB) % line_assoc:
+        raise SpaceError("icache_kb %d not a multiple of line*assoc (%dB)"
+                         % (icache_kb, line_assoc))
+    if scheme == "codepack":
+        decode_rate = _check_int(config, "decode_rate")
+        index_lines = _check_int(config, "index_lines")
+        index_entries = (_check_int(config, "index_entries")
+                         if index_lines else 1)
+        output_buffer = config.get("output_buffer", True)
+        if not isinstance(output_buffer, bool):
+            raise SpaceError("output_buffer must be a boolean, got %r"
+                             % (output_buffer,))
+    else:
+        decode_rate, index_lines, index_entries = 1, 0, 1
+        output_buffer = True
+    return (bench,
+            build_arch(base, icache_kb, bus_bits, first_latency,
+                       memory_rate),
+            build_codepack(scheme, decode_rate, index_lines, index_entries,
+                           output_buffer))
+
+
+# ---------------------------------------------------------------------------
+# The space itself
+# ---------------------------------------------------------------------------
+
+class SearchSpace:
+    """An ordered product of finite choice lists, one per dimension."""
+
+    def __init__(self, dimensions):
+        """*dimensions* maps every name in :data:`DIMENSION_ORDER` to a
+        non-empty sequence of unique choices."""
+        missing = [n for n in DIMENSION_ORDER if n not in dimensions]
+        if missing:
+            raise SpaceError("missing dimensions: %s" % ", ".join(missing))
+        extra = [n for n in dimensions if n not in DIMENSION_ORDER]
+        if extra:
+            raise SpaceError("unknown dimensions: %s" % ", ".join(extra))
+        self.dimensions = []
+        for name in DIMENSION_ORDER:
+            choices = tuple(dimensions[name])
+            if not choices:
+                raise SpaceError("dimension %r has no choices" % name)
+            if len(set(choices)) != len(choices):
+                raise SpaceError("dimension %r has duplicate choices"
+                                 % name)
+            self.dimensions.append((name, choices))
+        self._index = {name: i for i, (name, _) in
+                       enumerate(self.dimensions)}
+        # Validate every choice eagerly: a bad spec should fail at
+        # construction, not thousands of cells into a search.
+        for bench in self.choices("benchmark"):
+            if bench not in BENCHMARK_NAMES:
+                raise SpaceError("unknown benchmark %r" % (bench,))
+        for base in self.choices("arch"):
+            if base not in BASELINES:
+                raise SpaceError("unknown arch %r" % (base,))
+        for scheme in self.choices("scheme"):
+            if scheme not in ("native", "codepack"):
+                raise SpaceError("unknown scheme %r" % (scheme,))
+        for name in _BOUNDS:
+            lo, hi = _BOUNDS[name]
+            for value in self.choices(name):
+                if isinstance(value, bool) or not isinstance(value, int) \
+                        or not lo <= value <= hi:
+                    raise SpaceError("dimension %r choice %r out of range "
+                                     "[%d, %d]" % (name, value, lo, hi))
+
+    # -- structure -----------------------------------------------------------
+
+    def choices(self, name):
+        return self.dimensions[self._index[name]][1]
+
+    def size(self):
+        """Number of raw points (canonical cells are fewer: native
+        points collapse across decoder knobs)."""
+        total = 1
+        for _, choices in self.dimensions:
+            total *= len(choices)
+        return total
+
+    def to_dict(self):
+        return {"format": SPACE_FORMAT_VERSION,
+                "dimensions": {name: list(choices)
+                               for name, choices in self.dimensions}}
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict) or "dimensions" not in data:
+            raise SpaceError("space spec must be an object with a "
+                             "'dimensions' key")
+        if data.get("format", SPACE_FORMAT_VERSION) != SPACE_FORMAT_VERSION:
+            raise SpaceError("unsupported space format %r"
+                             % (data.get("format"),))
+        return cls(data["dimensions"])
+
+    def fingerprint(self):
+        """Content hash identifying the space (for journal headers)."""
+        text = canonical_json(self.to_dict())
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # -- points --------------------------------------------------------------
+
+    def random_point(self, rng):
+        """A uniform random point (one RNG draw per dimension)."""
+        return tuple(rng.randrange(len(choices))
+                     for _, choices in self.dimensions)
+
+    def mutate(self, point, rng):
+        """Change one dimension of *point* to a different choice.
+
+        Dimensions with a single choice are never picked (nothing to
+        change); exactly two RNG draws are consumed, so the proposal
+        stream is deterministic under a seed.
+        """
+        self._check_point(point)
+        mutable = [i for i, (_, choices) in enumerate(self.dimensions)
+                   if len(choices) > 1]
+        if not mutable:
+            rng.randrange(1), rng.randrange(1)  # keep draw count fixed
+            return tuple(point)
+        dim = mutable[rng.randrange(len(mutable))]
+        n = len(self.dimensions[dim][1])
+        shift = rng.randrange(n - 1)
+        new_index = shift if shift < point[dim] else shift + 1
+        out = list(point)
+        out[dim] = new_index
+        return tuple(out)
+
+    def canonical(self, point):
+        """Collapse don't-care dimensions so equal cells share a point.
+
+        Native-scheme points ignore every decoder knob; codepack points
+        without an index cache (``index_lines == 0``) ignore
+        ``index_entries``.  Don't-care dimensions are forced to choice
+        index 0.
+        """
+        self._check_point(point)
+        out = list(point)
+        value = dict(self.describe(point))
+        if value["scheme"] == "native":
+            for name in _SCHEME_DIMENSIONS:
+                out[self._index[name]] = 0
+        elif value["index_lines"] == 0:
+            out[self._index["index_entries"]] = 0
+        return tuple(out)
+
+    def describe(self, point):
+        """The point as a ``{dimension: choice value}`` dict."""
+        self._check_point(point)
+        return {name: choices[index]
+                for (name, choices), index in zip(self.dimensions, point)}
+
+    def _check_point(self, point):
+        if len(point) != len(self.dimensions):
+            raise SpaceError("point has %d indices, space has %d "
+                             "dimensions" % (len(point),
+                                             len(self.dimensions)))
+        for (name, choices), index in zip(self.dimensions, point):
+            if not 0 <= index < len(choices):
+                raise SpaceError("point index %r out of range for "
+                                 "dimension %r" % (index, name))
+
+    # -- lowering ------------------------------------------------------------
+
+    def config(self, point):
+        """The point as a wire config dict (see :func:`cell_from_config`).
+
+        Canonicalised first, so equal cells serialise identically and
+        hash to the same sweep-cache key everywhere.
+        """
+        value = self.describe(self.canonical(point))
+        config = {name: value[name] for name in DIMENSION_ORDER}
+        if value["scheme"] == "native":
+            for name in _SCHEME_DIMENSIONS:
+                config.pop(name)
+        elif value["index_lines"] == 0:
+            config.pop("index_entries")
+        return config
+
+    def cell(self, point):
+        """Lower a point to ``(benchmark, ArchConfig, CodePackConfig)``."""
+        return cell_from_config(self.config(point))
+
+
+def default_space(benchmarks=None):
+    """The stock space: ~1.2M raw points generalising the paper grid.
+
+    *benchmarks* restricts the workload dimension (e.g. for tests and
+    smoke runs); every other dimension keeps its defaults.
+    """
+    choices = dict(_DEFAULT_CHOICES)
+    if benchmarks is not None:
+        benchmarks = tuple(benchmarks)
+        if not benchmarks:
+            raise SpaceError("benchmarks restriction is empty")
+        choices["benchmark"] = benchmarks
+    return SearchSpace(choices)

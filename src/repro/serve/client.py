@@ -23,7 +23,21 @@ from repro.serve.protocol import ProtocolError
 from repro.serve.ring import HashRing, routing_key
 
 __all__ = ["ServeClient", "FleetClient", "Redirected",
-           "ServerClosedError"]
+           "ServerClosedError", "spec_shard"]
+
+
+def spec_shard(spec, n_shards):
+    """Deterministic shard for a JSON-able request spec.
+
+    Hashes the canonical JSON encoding (sorted keys, fixed separators),
+    so the same spec routes to the same worker across processes, runs
+    and ``PYTHONHASHSEED`` values -- which is what keeps that worker's
+    in-process sweep memo warm for repeated explorations.
+    """
+    from repro.eval.sweep import canonical_json
+
+    digest = hashlib.sha256(canonical_json(spec).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % n_shards
 
 
 class ServerClosedError(ConnectionError):
@@ -375,6 +389,28 @@ class FleetClient:
     async def stats(self, digest, group_start=0, timeout=None):
         client = await self._client(self.shard_for(digest, group_start))
         return await client.stats(digest, timeout=timeout)
+
+    def sweep_shard(self, spec):
+        """The worker a sweep_cell spec routes to (content-hashed)."""
+        return spec_shard(spec, len(self.addresses))
+
+    async def sweep_cell(self, spec, timeout=None, shard=None):
+        """Price one sweep cell on its deterministic worker.
+
+        *shard* overrides routing (e.g. a driver that already hashed
+        the spec for its own accounting).  A connection that died
+        between requests is redialed once, mirroring
+        :meth:`decompress` -- warm worker restarts are a supported
+        operation mid-exploration.
+        """
+        if shard is None:
+            shard = self.sweep_shard(spec)
+        client = await self._client(shard)
+        try:
+            return await client.sweep_cell(spec, timeout=timeout)
+        except (ServerClosedError, ConnectionError):
+            client = await self._client(shard)
+            return await client.sweep_cell(spec, timeout=timeout)
 
     async def metrics(self, fleet=True, samples=False, timeout=None):
         """Fleet-merged metrics (served in-band by worker 0) or a

@@ -35,6 +35,7 @@ Robustness model:
 import asyncio
 import concurrent.futures
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 
@@ -177,6 +178,9 @@ class CodePackServer:
         self._peak_active = 0
         self._closing = False
         self._sweep_cache = None
+        self._sweep_lock = threading.Lock()
+        self._sweep_workbenches = {}
+        self._sweep_state = {"priced": 0, "memo_hits": 0, "cache_hits": 0}
         self.shared_dicts = (None, None)
         self.ring = None
         self._addresses = list(self.config.fleet) if self.config.fleet \
@@ -237,6 +241,7 @@ class CodePackServer:
         self.metrics.register_gauge("cache", self.cache.counters)
         self.metrics.register_gauge("images", lambda: len(self.registry))
         self.metrics.register_gauge("shard", self._shard_gauge)
+        self.metrics.register_gauge("sweep", self._sweep_gauge)
         self.metrics.register_gauge("snapshot",
                                     lambda: dict(self._snapshot_state))
         if self.config.snapshot_dir:
@@ -613,16 +618,40 @@ class CodePackServer:
                                             spec)
         return protocol.encode_json_payload(result)
 
-    def _sweep_cell_sync(self, spec):
-        from repro.eval.sweep import ResultCache, cell_key
+    def _decode_sweep_cell(self, spec):
+        """Lower a sweep_cell payload to its simulation quintuple.
+
+        Two spec shapes are accepted: the exploration wire form (a
+        ``config`` object naming every architecture and scheme knob,
+        rebuilt through the same builders the explorer lowers points
+        with -- see :func:`repro.explore.space.cell_from_config`) and
+        the legacy named-arch form (``benchmark``/``arch``/``codepack``
+        /``optimized``) kept for v2 clients.
+        """
+        try:
+            scale = float(spec.get("scale", 0.1))
+            max_instructions = int(spec.get("max_instructions", 5_000_000))
+        except (TypeError, ValueError):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "scale/max_instructions must be numeric")
+        if not 0.0 < scale <= 10.0 or max_instructions < 1:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "scale or max_instructions out of range")
+        if "config" in spec:
+            from repro.explore.space import SpaceError, cell_from_config
+
+            try:
+                bench, arch, codepack = cell_from_config(spec["config"])
+            except SpaceError as exc:
+                raise ProtocolError(protocol.ERR_BAD_REQUEST, str(exc))
+            return bench, arch, codepack, scale, max_instructions
         from repro.sim.config import (
             ARCH_1_ISSUE,
             ARCH_4_ISSUE,
             ARCH_8_ISSUE,
             CodePackConfig,
         )
-        from repro.sim.machine import simulate
-        from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+        from repro.workloads.suite import BENCHMARK_NAMES
 
         arches = {"1-issue": ARCH_1_ISSUE, "4-issue": ARCH_4_ISSUE,
                   "8-issue": ARCH_8_ISSUE}
@@ -642,33 +671,64 @@ class CodePackServer:
             codepack = (CodePackConfig.optimized()
                         if spec.get("optimized", False)
                         else CodePackConfig())
-        try:
-            scale = float(spec.get("scale", 0.1))
-            max_instructions = int(spec.get("max_instructions", 5_000_000))
-        except (TypeError, ValueError):
-            raise ProtocolError(protocol.ERR_BAD_REQUEST,
-                                "scale/max_instructions must be numeric")
-        if not 0.0 < scale <= 10.0 or max_instructions < 1:
-            raise ProtocolError(protocol.ERR_BAD_REQUEST,
-                                "scale or max_instructions out of range")
+        return bench, arch, codepack, scale, max_instructions
 
+    def _sweep_workbench(self, scale, max_instructions):
+        """The per-(scale, cap) Workbench memo (call under the lock).
+
+        A Workbench records each benchmark's functional trace once and
+        replays every architecture variant against it -- exactly the
+        access pattern an exploration's consistent-hash routing
+        produces (the same cells keep landing on this worker), and
+        cycle-exact against the execute-driven path, so the cached
+        results are indistinguishable.
+        """
+        key = (scale, max_instructions)
+        wb = self._sweep_workbenches.get(key)
+        if wb is None:
+            from repro.eval.runner import Workbench
+
+            # cache=None: the persistent sweep cache is consulted (and
+            # filled) by the handler itself, so the workbench only adds
+            # the in-process trace/program/result memo.
+            wb = Workbench(scale=scale, max_instructions=max_instructions,
+                           cache=None, jobs=1)
+            self._sweep_workbenches[key] = wb
+        return wb
+
+    def _sweep_cell_sync(self, spec):
+        from repro.eval.sweep import ResultCache, cell_key
+
+        bench, arch, codepack, scale, max_instructions = \
+            self._decode_sweep_cell(spec)
         key = cell_key(bench, arch, codepack, scale, max_instructions)
         cache = self._sweep_result_cache(ResultCache)
         if cache is not None:
             cached = cache.get(key)
             if cached is not None:
+                with self._sweep_lock:
+                    self._sweep_state["cache_hits"] += 1
                 return {"cached": True, "key": key,
                         "result": cached.to_dict()}
-        program = build_benchmark(bench, scale)
-        image = None
-        if codepack is not None:
-            from repro.codepack.compressor import compress_program
-            image = compress_program(program)
-        result = simulate(program, arch, codepack=codepack, image=image,
-                          max_instructions=max_instructions)
+        # Serialised: handlers run on executor threads but Workbench
+        # state is not thread-safe, and sweep pricing is CPU-bound
+        # anyway -- concurrent frames would only contend on the GIL.
+        with self._sweep_lock:
+            wb = self._sweep_workbench(scale, max_instructions)
+            memo_hits = wb.stats.memo_hits
+            result = wb.run(bench, arch, codepack)
+            warm = wb.stats.memo_hits > memo_hits
+            self._sweep_state["memo_hits" if warm else "priced"] += 1
         if cache is not None:
+            # The persistent cache missed above (even on a memo hit),
+            # so writing back always either fills or heals it.
             cache.put(key, result)
-        return {"cached": False, "key": key, "result": result.to_dict()}
+        return {"cached": warm, "key": key, "result": result.to_dict()}
+
+    def _sweep_gauge(self):
+        with self._sweep_lock:
+            return dict(self._sweep_state,
+                        workbenches=len(self._sweep_workbenches))
 
     def _sweep_result_cache(self, result_cache_cls):
         if not self.config.sweep_cache:

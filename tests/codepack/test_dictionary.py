@@ -175,3 +175,104 @@ class TestBincountParity:
         words += [0x34120004] * 500
         blob = dump_image(compress_words(words, name="parity"))
         assert hashlib.sha256(blob).hexdigest() == proc.stdout.strip()
+
+
+class TestRankingParity:
+    """PR 8: build_dictionaries ranks candidates with a stable argsort
+    over the bincount histogram.  The ordering -- and therefore the
+    admitted entries -- must be byte-identical to the heapq reference
+    path, including under heavy ties and zero-exclusion."""
+
+    def skewed_words(self, rng, n):
+        """A worst-case mix: uniform noise, heavy ties, zero halves."""
+        words = [rng.randrange(2**32) for _ in range(n)]
+        # Ties: many distinct values sharing one count, so ordering
+        # hinges entirely on the value tie-break.
+        for value in rng.sample(range(1, 0x8000), 64):
+            words += [value << 16 | value] * 3
+        words += [0x00000000] * rng.randrange(8)          # zero halves
+        words += [0x0000FFFF, 0xFFFF0000] * rng.randrange(4)
+        return words
+
+    def test_vectorized_ranking_matches_reference(self):
+        pytest.importorskip("numpy")
+        import random
+
+        from repro.codepack.dictionary import (
+            _pack_words,
+            _ranked_candidates,
+            _ranked_vectorized,
+            _split_halves,
+        )
+
+        rng = random.Random(97)
+        for trial in range(25):
+            words = self.skewed_words(rng, rng.randrange(1, 2000))
+            high, low = _split_halves(_pack_words(words))
+            high_hist, low_hist = halfword_histograms(words)
+            assert _ranked_vectorized(HIGH_SCHEME, high) == \
+                _ranked_candidates(HIGH_SCHEME, high_hist)
+            assert _ranked_vectorized(LOW_SCHEME, low) == \
+                _ranked_candidates(LOW_SCHEME, low_hist)
+
+    def test_build_dictionaries_identical_to_histogram_path(self):
+        pytest.importorskip("numpy")
+        import random
+
+        rng = random.Random(55)
+        for trial in range(10):
+            words = self.skewed_words(rng, rng.randrange(0, 1500))
+            vec_high, vec_low = build_dictionaries(words)
+            high_hist, low_hist = halfword_histograms(words)
+            ref_high = build_dictionary(HIGH_SCHEME, high_hist)
+            ref_low = build_dictionary(LOW_SCHEME, low_hist)
+            assert vec_high.entries == ref_high.entries
+            assert vec_low.entries == ref_low.entries
+
+    def test_build_dictionaries_without_numpy_subprocess(self, tmp_path):
+        """The scalar fallback admits the same entries: a no-NumPy
+        subprocess builds dictionaries for the same words and reports
+        identical entry tuples."""
+        pytest.importorskip("numpy")
+        import json
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import json, random, sys\n"
+            "try:\n"
+            "    import numpy\n"
+            "except ImportError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('shim failed: numpy importable')\n"
+            "from repro.codepack.dictionary import build_dictionaries\n"
+            "rng = random.Random(1889)\n"
+            "words = [rng.randrange(2**32) for _ in range(2500)]\n"
+            "words += [0x00010001] * 40 + [0] * 7\n"
+            "high, low = build_dictionaries(words)\n"
+            "sys.stdout.write(json.dumps([list(high.entries),\n"
+            "                             list(low.entries)]))\n"
+        )
+        shim_dir = tmp_path / "shim"
+        shim_dir.mkdir()
+        (shim_dir / "numpy.py").write_text(
+            "raise ImportError('numpy blocked by test shim')\n")
+        src = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join([str(shim_dir), src])
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, env=env,
+                              timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        scalar_high, scalar_low = json.loads(proc.stdout)
+
+        import random
+        rng = random.Random(1889)
+        words = [rng.randrange(2**32) for _ in range(2500)]
+        words += [0x00010001] * 40 + [0] * 7
+        high, low = build_dictionaries(words)
+        assert list(high.entries) == scalar_high
+        assert list(low.entries) == scalar_low

@@ -363,3 +363,119 @@ class TestCacheDirEnvOverride:
         cache.put("cell", make_result())
         assert (explicit / "cell.json").is_file()
         assert not (tmp_path / "env-cache" / "cell.json").exists()
+
+
+class TestParseSize:
+    def test_plain_and_suffixed(self):
+        assert sweep.parse_size("65536") == 65536
+        assert sweep.parse_size("8K") == 8 << 10
+        assert sweep.parse_size("8k") == 8 << 10
+        assert sweep.parse_size("2M") == 2 << 20
+        assert sweep.parse_size("1G") == 1 << 30
+        assert sweep.parse_size(" 4m ") == 4 << 20
+        assert sweep.parse_size(0) == 0
+
+    @pytest.mark.parametrize("bad", ["", "M", "1.5M", "8Q", "-1", "-2K"])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            sweep.parse_size(bad)
+
+    def test_still_importable_from_historical_home(self):
+        from repro.eval.__main__ import parse_size as from_main
+        assert from_main is sweep.parse_size
+
+
+class TestResultCachePrune:
+    """PR 8: ``limit_bytes`` caps the cache, LRU entries (mtime order,
+    refreshed by get()) pruned after each store."""
+
+    def fill(self, cache, n, t0=1_000_000.0):
+        """Store *n* entries with strictly increasing mtimes."""
+        for i in range(n):
+            key = "cell%02d" % i
+            cache.put(key, make_result())
+            os.utime(os.path.join(cache.root, key + ".json"),
+                     (t0 + i, t0 + i))
+        return [os.path.join(cache.root, "cell%02d.json" % i)
+                for i in range(n)]
+
+    def entry_size(self, tmp_path):
+        # The key is embedded in the entry JSON, so the probe key must
+        # be as long as the "cellNN" keys fill() writes.
+        probe = ResultCache(str(tmp_path / "probe"))
+        probe.put("cell99", make_result())
+        return os.path.getsize(os.path.join(probe.root, "cell99.json"))
+
+    def test_unlimited_cache_never_prunes(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        paths = self.fill(cache, 5)
+        assert cache.prune() == 0
+        assert all(os.path.exists(p) for p in paths)
+        assert cache.pruned_files == 0
+
+    def test_negative_limit_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(str(tmp_path), limit_bytes=-1)
+
+    def test_oldest_entries_pruned_first(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path), limit_bytes=3 * size)
+        paths = self.fill(cache, 5)
+        # put() pruned after each store, so only the newest 3 remain.
+        survivors = [p for p in paths if os.path.exists(p)]
+        assert survivors == paths[2:]
+        assert cache.pruned_files == 2
+        assert cache.pruned_bytes == 2 * size
+        assert cache.counters()["pruned_files"] == 2
+
+    def test_get_refreshes_lru_position(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path), limit_bytes=10 * size)
+        paths = self.fill(cache, 3)
+        assert cache.get("cell00") is not None  # touch the oldest
+        cache.limit_bytes = 2 * size
+        cache.prune()
+        assert os.path.exists(paths[0])      # refreshed: survives
+        assert not os.path.exists(paths[1])  # now the LRU: pruned
+        assert os.path.exists(paths[2])
+
+    def test_fresh_store_survives_even_alone_over_limit(self, tmp_path):
+        cache = ResultCache(str(tmp_path), limit_bytes=1)
+        self.fill(cache, 3)
+        remaining = [n for n in os.listdir(cache.root)
+                     if n.endswith(".json")]
+        assert remaining == ["cell02.json"]
+
+    def test_traces_subdir_not_governed(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path), limit_bytes=2 * size)
+        traces = tmp_path / "traces"
+        traces.mkdir()
+        (traces / "trace.json").write_text("{}")
+        self.fill(cache, 4)
+        assert (traces / "trace.json").exists()
+        assert not (tmp_path / "cell00.json").exists()
+
+    def test_non_json_files_untouched(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        notes = tmp_path / "README.txt"
+        notes.write_text("x" * 10_000)
+        cache = ResultCache(str(tmp_path), limit_bytes=2 * size)
+        self.fill(cache, 4)
+        assert notes.exists()
+
+    def test_pruned_entry_is_a_clean_miss(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path), limit_bytes=2 * size)
+        self.fill(cache, 4)
+        assert cache.get("cell00") is None
+        assert cache.get("cell03") is not None
+
+    def test_workbench_threads_cache_limit_through(self, tmp_path):
+        wb = Workbench(scale=0.02, cache=str(tmp_path),
+                       cache_limit=4 << 20)
+        assert wb.cache.limit_bytes == 4 << 20
+        ready = ResultCache(str(tmp_path))
+        wb2 = Workbench(scale=0.02, cache=ready, cache_limit=1 << 20)
+        assert ready.limit_bytes == 1 << 20
+        assert wb2.cache is ready

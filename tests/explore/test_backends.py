@@ -1,0 +1,297 @@
+"""Pricing backends: local/fleet equivalence, wire specs, routing.
+
+The FleetBackend drives an asyncio fleet from synchronous engine code
+through its own private event loop, so these tests host a
+:class:`LocalFleet` on a *background thread's* loop and let the
+backend dial it over real sockets -- the same topology as a spawned
+fleet, without the process-fork cost.
+"""
+
+import asyncio
+import contextlib
+import random
+import threading
+
+import pytest
+
+from repro.eval.sweep import cell_key
+from repro.explore.backends import (
+    BackendError,
+    FleetBackend,
+    LocalBackend,
+    PriceJob,
+)
+from repro.explore.search import Explorer
+from repro.explore.space import cell_from_config, default_space
+from repro.serve import protocol
+from repro.serve.client import FleetClient, ServeClient, spec_shard
+from repro.serve.fleet import LocalFleet
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import CodePackServer, ServerConfig
+
+SPACE = default_space(["pegwit"])
+SCALE = 0.02
+CAP = 100_000
+
+CONFIG_SPEC = {
+    "config": {"benchmark": "pegwit", "arch": "4-issue", "icache_kb": 16,
+               "bus_bits": 64, "first_latency": 10, "memory_rate": 2,
+               "scheme": "codepack", "decode_rate": 1, "index_lines": 4,
+               "index_entries": 4, "output_buffer": True},
+    "scale": SCALE, "max_instructions": CAP,
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@contextlib.contextmanager
+def fleet_in_thread(n_workers=2, **overrides):
+    """A LocalFleet serving on a background thread's event loop."""
+    overrides.setdefault("sweep_cache", False)
+    started = threading.Event()
+    holder = {}
+
+    def host():
+        async def main():
+            fleet = LocalFleet(n_workers=n_workers,
+                               config=ServerConfig(**overrides))
+            await fleet.start()
+            holder["fleet"] = fleet
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            started.set()
+            await holder["stop"].wait()
+            await fleet.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=host, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30), "fleet failed to start"
+    try:
+        yield holder["fleet"]
+    finally:
+        holder["loop"].call_soon_threadsafe(holder["stop"].set)
+        thread.join(timeout=30)
+
+
+@contextlib.asynccontextmanager
+async def running_server(**overrides):
+    overrides.setdefault("port", 0)
+    overrides.setdefault("sweep_cache", False)
+    server = CodePackServer(ServerConfig(**overrides))
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.shutdown()
+
+
+def jobs_for(points):
+    out = []
+    for point in points:
+        point = SPACE.canonical(point)
+        cell = SPACE.cell(point)
+        out.append(PriceJob(cell=cell,
+                            key=cell_key(cell[0], cell[1], cell[2],
+                                         SCALE, CAP),
+                            config=SPACE.config(point), point=point))
+    return out
+
+
+class TestSpecShard:
+    def test_deterministic_and_in_range(self):
+        for n in (1, 2, 3, 7):
+            shard = spec_shard(CONFIG_SPEC, n)
+            assert 0 <= shard < n
+            assert spec_shard(CONFIG_SPEC, n) == shard
+
+    def test_key_order_does_not_matter(self):
+        reordered = dict(reversed(list(CONFIG_SPEC.items())))
+        assert spec_shard(reordered, 5) == spec_shard(CONFIG_SPEC, 5)
+
+    def test_different_specs_spread(self):
+        specs = []
+        for decode_rate in (1, 2, 4, 16):
+            spec = {"config": dict(CONFIG_SPEC["config"],
+                                   decode_rate=decode_rate),
+                    "scale": SCALE, "max_instructions": CAP}
+            specs.append(spec_shard(spec, 4))
+        assert len(set(specs)) > 1
+
+
+class TestServerConfigSpec:
+    def test_config_spec_prices_and_keys_match(self):
+        async def main():
+            async with running_server() as server:
+                client = ServeClient(port=server.port)
+                await client.connect()
+                try:
+                    return await client.sweep_cell(CONFIG_SPEC,
+                                                   timeout=60.0)
+                finally:
+                    await client.close()
+
+        response = run(main())
+        cell = cell_from_config(CONFIG_SPEC["config"])
+        assert response["key"] == cell_key(cell[0], cell[1], cell[2],
+                                           SCALE, CAP)
+        assert response["cached"] is False
+        assert response["result"]["instructions"] > 0
+
+    def test_legacy_spec_still_served(self):
+        async def main():
+            async with running_server() as server:
+                client = ServeClient(port=server.port)
+                await client.connect()
+                try:
+                    return await client.sweep_cell(
+                        {"benchmark": "pegwit", "arch": "4-issue",
+                         "codepack": False, "scale": SCALE,
+                         "max_instructions": CAP}, timeout=60.0)
+                finally:
+                    await client.close()
+
+        response = run(main())
+        assert response["result"]["instructions"] > 0
+
+    @pytest.mark.parametrize("spec", [
+        {"config": {"benchmark": "no-such"}, "scale": SCALE},
+        {"config": ["not", "an", "object"], "scale": SCALE},
+        dict(CONFIG_SPEC, scale="fast"),
+        dict(CONFIG_SPEC, scale=-1.0),
+        dict(CONFIG_SPEC, max_instructions=0),
+    ])
+    def test_bad_specs_get_typed_errors(self, spec):
+        async def main():
+            async with running_server() as server:
+                client = ServeClient(port=server.port)
+                await client.connect()
+                try:
+                    with pytest.raises(ProtocolError) as excinfo:
+                        await client.sweep_cell(spec, timeout=30.0)
+                    assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+                finally:
+                    await client.close()
+
+        run(main())
+
+    def test_workbench_memo_marks_second_hit_cached(self):
+        async def main():
+            async with running_server() as server:
+                client = ServeClient(port=server.port)
+                await client.connect()
+                try:
+                    cold = await client.sweep_cell(CONFIG_SPEC,
+                                                   timeout=60.0)
+                    warm = await client.sweep_cell(CONFIG_SPEC,
+                                                   timeout=60.0)
+                    return cold, warm, server._sweep_gauge()
+                finally:
+                    await client.close()
+
+        cold, warm, gauge = run(main())
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert warm["result"] == cold["result"]
+        assert gauge["priced"] == 1
+        assert gauge["memo_hits"] == 1
+        assert gauge["workbenches"] == 1
+
+
+class TestFleetClientSweep:
+    def test_sweep_cell_routes_by_spec_shard(self):
+        with fleet_in_thread(n_workers=2) as fleet:
+            async def main():
+                async with FleetClient(fleet.addresses) as client:
+                    shard = client.sweep_shard(CONFIG_SPEC)
+                    assert shard == spec_shard(CONFIG_SPEC, 2)
+                    response = await client.sweep_cell(CONFIG_SPEC,
+                                                       timeout=60.0)
+                    return shard, response
+
+            shard, response = run(main())
+        assert response["result"]["instructions"] > 0
+        cell = cell_from_config(CONFIG_SPEC["config"])
+        assert response["key"] == cell_key(cell[0], cell[1], cell[2],
+                                           SCALE, CAP)
+
+
+class TestLocalBackend:
+    def test_prices_jobs_in_order(self):
+        backend = LocalBackend(scale=SCALE, max_instructions=CAP)
+        rng = random.Random(2)
+        jobs = jobs_for([SPACE.random_point(rng) for _ in range(4)])
+        outcomes = backend.price(jobs)
+        assert len(outcomes) == len(jobs)
+        for job, outcome in zip(jobs, outcomes):
+            assert outcome.backend == "local"
+            assert outcome.result.instructions > 0
+        assert backend.describe().startswith("local(")
+        assert "sweep" in backend.stats()
+        backend.close()
+
+
+class TestFleetBackend:
+    def test_needs_addresses(self):
+        with pytest.raises(ValueError):
+            FleetBackend([])
+
+    def test_fleet_matches_local_and_sequence_is_identical(self):
+        local = Explorer(
+            SPACE, LocalBackend(scale=SCALE, max_instructions=CAP),
+            budget=10, seed=7, batch=5).run()
+        with fleet_in_thread(n_workers=2) as fleet:
+            backend = FleetBackend(fleet.addresses, scale=SCALE,
+                                   max_instructions=CAP, timeout=60.0)
+            try:
+                remote = Explorer(SPACE, backend, budget=10, seed=7,
+                                  batch=5).run()
+                stats = backend.stats()
+            finally:
+                backend.close()
+        assert remote.visited == local.visited
+        assert remote.frontier.values_set() == \
+            local.frontier.values_set()
+        assert remote.stats.backend_priced == 10
+        assert stats["frames"] == 10
+        assert sum(row["frames"] for row in
+                   stats["per_shard"].values()) == 10
+
+    def test_second_run_is_served_by_worker_memos(self):
+        with fleet_in_thread(n_workers=2) as fleet:
+            def explore_once():
+                backend = FleetBackend(fleet.addresses, scale=SCALE,
+                                       max_instructions=CAP,
+                                       timeout=60.0)
+                try:
+                    result = Explorer(SPACE, backend, budget=8, seed=3,
+                                      batch=4).run()
+                finally:
+                    backend.close()
+                return result
+
+            cold = explore_once()
+            warm = explore_once()
+        assert cold.stats.remote_cached == 0
+        # Same cells route to the same workers, whose sweep workbench
+        # memos answer without re-simulating.
+        assert warm.stats.remote_cached == 8
+        assert warm.visited == cold.visited
+
+    def test_key_mismatch_is_a_loud_failure(self):
+        with fleet_in_thread(n_workers=1) as fleet:
+            backend = FleetBackend(fleet.addresses, scale=SCALE,
+                                   max_instructions=CAP, timeout=60.0)
+            try:
+                point = SPACE.canonical(
+                    SPACE.random_point(random.Random(1)))
+                cell = SPACE.cell(point)
+                job = PriceJob(cell=cell, key="f" * 64,
+                               config=SPACE.config(point), point=point)
+                with pytest.raises(BackendError):
+                    backend.price([job])
+            finally:
+                backend.close()

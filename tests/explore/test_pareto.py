@@ -1,0 +1,212 @@
+"""Pareto frontier invariants, dominance properties, hypervolume math."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.pareto import (
+    FrontierMember,
+    ParetoFrontier,
+    dominates,
+    hypervolume,
+)
+
+vectors = st.lists(st.integers(min_value=0, max_value=4),
+                   min_size=2, max_size=2).map(tuple)
+vector_lists = st.lists(vectors, min_size=1, max_size=24)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_in_one_equal_elsewhere(self):
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_tradeoff_neither_dominates(self):
+        assert not dominates((1.0, 3.0), (3.0, 1.0))
+        assert not dominates((3.0, 1.0), (1.0, 3.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    @given(vectors)
+    def test_irreflexive(self, v):
+        assert not dominates(v, v)
+
+    @given(vectors, vectors)
+    def test_antisymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+    @given(vectors, vectors, vectors)
+    def test_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+
+def offer_all(vecs):
+    frontier = ParetoFrontier(2)
+    for i, values in enumerate(vecs):
+        frontier.add("k%d" % i, values, seq=i)
+    return frontier
+
+
+class TestFrontier:
+    def test_requires_an_objective(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(0)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(2).add("k", (1.0,))
+
+    def test_insert_and_evict(self):
+        frontier = ParetoFrontier(2)
+        assert frontier.add("a", (2.0, 2.0))
+        assert frontier.add("b", (1.0, 3.0))       # tradeoff: both stay
+        assert len(frontier) == 2
+        assert frontier.add("c", (1.0, 1.0))       # dominates both
+        assert len(frontier) == 1
+        assert "c" in frontier and "a" not in frontier
+        assert frontier.inserted == 3
+        assert frontier.evicted == 2
+
+    def test_dominated_candidate_rejected(self):
+        frontier = ParetoFrontier(2)
+        frontier.add("a", (1.0, 1.0))
+        assert not frontier.add("b", (2.0, 2.0))
+        assert not frontier.add("c", (1.0, 1.0))   # equal counts too
+        assert frontier.rejected == 2
+        assert len(frontier) == 1
+
+    def test_reoffering_member_key_is_noop(self):
+        frontier = ParetoFrontier(2)
+        frontier.add("a", (1.0, 2.0))
+        assert not frontier.add("a", (0.0, 0.0))   # resume replays keys
+        assert frontier.members()[0].values == (1.0, 2.0)
+
+    def test_members_keep_first_insertion_order(self):
+        frontier = offer_all([(0, 9), (9, 0), (4, 4)])
+        assert [m.key for m in frontier.members()] == ["k0", "k1", "k2"]
+        assert [m.seq for m in frontier.members()] == [0, 1, 2]
+
+    @given(vector_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_no_member_dominates_another(self, vecs):
+        members = offer_all(vecs).members()
+        for a in members:
+            for b in members:
+                assert not dominates(a.values, b.values)
+
+    @given(vector_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=80, deadline=None)
+    def test_value_set_is_insertion_order_independent(self, vecs, rng):
+        shuffled = list(vecs)
+        rng.shuffle(shuffled)
+        assert offer_all(vecs).values_set() == \
+            offer_all(shuffled).values_set()
+
+    @given(vector_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_every_offer_is_dominated_or_on_frontier(self, vecs):
+        frontier = offer_all(vecs)
+        values = frontier.values_set()
+        for v in vecs:
+            v = tuple(float(x) for x in v)
+            assert v in values or any(dominates(m, v) for m in values)
+
+    @given(vector_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_counters_balance(self, vecs):
+        frontier = offer_all(vecs)
+        assert frontier.inserted - frontier.evicted == len(frontier)
+        assert frontier.inserted + frontier.rejected == len(vecs)
+
+
+class TestHypervolume:
+    def test_empty(self):
+        assert hypervolume([], (1.0, 1.0)) == 0.0
+
+    def test_single_point_1d(self):
+        assert hypervolume([(0.25,)], (1.0,)) == pytest.approx(0.75)
+
+    def test_single_point_2d_is_box_area(self):
+        assert hypervolume([(0.0, 0.0)], (1.0, 1.0)) == pytest.approx(1.0)
+        assert hypervolume([(0.5, 0.5)], (1.0, 1.0)) == pytest.approx(0.25)
+
+    def test_two_point_union_subtracts_overlap(self):
+        # Boxes [0.5,1]x[0,1] and [0,1]x[0.5,1]: 0.5 + 0.5 - 0.25.
+        hv = hypervolume([(0.5, 0.0), (0.0, 0.5)], (1.0, 1.0))
+        assert hv == pytest.approx(0.75)
+
+    def test_three_objectives_exact(self):
+        # One corner box plus a disjoint-in-z slab contribution.
+        hv = hypervolume([(0.0, 0.0, 0.5), (0.5, 0.5, 0.0)],
+                         (1.0, 1.0, 1.0))
+        # (0,0,0.5) covers 1*1*0.5; (0.5,0.5,0) adds 0.25*0.5 below
+        # z=0.5 (its z-slab [0,0.5) where the first point is absent).
+        assert hv == pytest.approx(0.5 + 0.125)
+
+    def test_points_outside_reference_contribute_nothing(self):
+        assert hypervolume([(1.0, 0.0), (2.0, 2.0)], (1.0, 1.0)) == 0.0
+
+    def test_duplicates_count_once(self):
+        hv = hypervolume([(0.5, 0.5), (0.5, 0.5)], (1.0, 1.0))
+        assert hv == pytest.approx(0.25)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume([(0.2, 0.2)], (1.0, 1.0))
+        both = hypervolume([(0.2, 0.2), (0.6, 0.6)], (1.0, 1.0))
+        assert both == pytest.approx(base)
+
+    @given(vector_lists, vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_under_extra_points(self, vecs, extra):
+        ref = (5.0, 5.0)
+        assert hypervolume(vecs + [extra], ref) >= \
+            hypervolume(vecs, ref) - 1e-12
+
+
+class TestNormalizedHypervolume:
+    def test_bounds_arity_checked(self):
+        frontier = ParetoFrontier(2)
+        with pytest.raises(ValueError):
+            frontier.normalized_hypervolume([(0.0, 1.0)])
+
+    def test_single_member_degenerate_bounds(self):
+        # Degenerate bounds normalise to 0.0, so one member spans the
+        # whole [0, ref) box: ref**n.
+        frontier = ParetoFrontier(2)
+        frontier.add("a", (3.0, 7.0))
+        hv = frontier.normalized_hypervolume([(3.0, 3.0), (7.0, 7.0)])
+        assert hv == pytest.approx(1.1 * 1.1)
+
+    def test_normalisation_maps_extremes(self):
+        frontier = ParetoFrontier(2)
+        frontier.add("a", (0.0, 100.0))
+        frontier.add("b", (10.0, 0.0))
+        hv = frontier.normalized_hypervolume([(0.0, 10.0), (0.0, 100.0)])
+        # Normalised members are (0,1) and (1,0) against ref (1.1,1.1):
+        # 2 * (1.1 * 0.1) - 0.1**2.
+        assert hv == pytest.approx(0.21)
+
+    def test_grows_as_frontier_advances(self):
+        bounds = [(0.0, 10.0), (0.0, 10.0)]
+        frontier = ParetoFrontier(2)
+        frontier.add("a", (8.0, 8.0))
+        before = frontier.normalized_hypervolume(bounds)
+        frontier.add("b", (2.0, 2.0))
+        assert frontier.normalized_hypervolume(bounds) > before
+
+
+def test_frontier_member_defaults():
+    member = FrontierMember(key="k", values=(1.0, 2.0))
+    assert member.point is None
+    assert member.meta == {}
+    assert member.seq == 0

@@ -1,0 +1,275 @@
+"""SearchSpace: structure, canonicalisation, lowering, validation.
+
+The load-bearing property is the identity guarantee: for any point
+``p``, ``cell_from_config(space.config(p)) == space.cell(p)`` --
+including derived config *names* -- which is what makes local and
+fleet sweep-cache keys interchangeable.
+"""
+
+import random
+
+import pytest
+
+from repro.eval.sweep import cell_key
+from repro.explore.space import (
+    DIMENSION_ORDER,
+    SearchSpace,
+    SpaceError,
+    build_arch,
+    build_codepack,
+    cell_from_config,
+    default_space,
+)
+from repro.sim.config import BASELINES, KB
+
+SPACE = default_space()
+PEGWIT = default_space(["pegwit"])
+
+#: A minimal valid spec to perturb in validation tests.
+GOOD_CONFIG = {
+    "benchmark": "pegwit", "arch": "4-issue", "icache_kb": 16,
+    "bus_bits": 64, "first_latency": 10, "memory_rate": 2,
+    "scheme": "codepack", "decode_rate": 2, "index_lines": 4,
+    "index_entries": 4, "output_buffer": True,
+}
+
+
+def tiny_dimensions(**overrides):
+    dims = {
+        "benchmark": ("pegwit",), "arch": ("1-issue",),
+        "icache_kb": (16,), "bus_bits": (64,), "first_latency": (10,),
+        "memory_rate": (2,), "scheme": ("native", "codepack"),
+        "decode_rate": (1,), "index_lines": (0,), "index_entries": (2,),
+        "output_buffer": (True,),
+    }
+    dims.update(overrides)
+    return dims
+
+
+class TestStructure:
+    def test_default_space_size(self):
+        assert SPACE.size() == 6 * 3 * 6 * 4 * 4 * 3 * 2 * 4 * 5 * 3 * 2
+
+    def test_benchmark_restriction(self):
+        assert PEGWIT.size() == SPACE.size() // 6
+        assert PEGWIT.choices("benchmark") == ("pegwit",)
+
+    def test_round_trip_preserves_fingerprint(self):
+        clone = SearchSpace.from_dict(SPACE.to_dict())
+        assert clone.to_dict() == SPACE.to_dict()
+        assert clone.fingerprint() == SPACE.fingerprint()
+
+    def test_fingerprint_distinguishes_spaces(self):
+        assert SPACE.fingerprint() != PEGWIT.fingerprint()
+
+    def test_from_dict_rejects_bad_specs(self):
+        with pytest.raises(SpaceError):
+            SearchSpace.from_dict([])
+        with pytest.raises(SpaceError):
+            SearchSpace.from_dict({"format": 99,
+                                   "dimensions": tiny_dimensions()})
+
+    def test_missing_dimension_rejected(self):
+        dims = tiny_dimensions()
+        del dims["bus_bits"]
+        with pytest.raises(SpaceError):
+            SearchSpace(dims)
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(voltage=(1, 2)))
+
+    def test_empty_and_duplicate_choices_rejected(self):
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(bus_bits=()))
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(bus_bits=(64, 64)))
+
+    def test_choice_values_validated_eagerly(self):
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(benchmark=("no-such-bench",)))
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(arch=("128-issue",)))
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(scheme=("huffman",)))
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(icache_kb=(0,)))
+        with pytest.raises(SpaceError):
+            SearchSpace(tiny_dimensions(decode_rate=(True,)))
+
+    def test_default_space_empty_restriction_rejected(self):
+        with pytest.raises(SpaceError):
+            default_space([])
+        with pytest.raises(SpaceError):
+            default_space(["no-such-bench"])
+
+
+class TestPoints:
+    def test_random_point_is_deterministic(self):
+        a = SPACE.random_point(random.Random(11))
+        b = SPACE.random_point(random.Random(11))
+        assert a == b
+        assert len(a) == len(DIMENSION_ORDER)
+
+    def test_describe_names_every_dimension(self):
+        point = SPACE.random_point(random.Random(3))
+        value = SPACE.describe(point)
+        assert set(value) == set(DIMENSION_ORDER)
+        assert value["benchmark"] in SPACE.choices("benchmark")
+
+    def test_bad_points_rejected(self):
+        with pytest.raises(SpaceError):
+            SPACE.describe((0,) * (len(DIMENSION_ORDER) - 1))
+        with pytest.raises(SpaceError):
+            SPACE.describe((99,) + (0,) * (len(DIMENSION_ORDER) - 1))
+
+    def test_mutate_changes_exactly_one_dimension(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            point = SPACE.random_point(rng)
+            mutated = SPACE.mutate(point, rng)
+            diffs = [i for i, (a, b) in enumerate(zip(point, mutated))
+                     if a != b]
+            assert len(diffs) == 1
+
+    def test_mutate_is_deterministic(self):
+        point = SPACE.random_point(random.Random(1))
+        assert SPACE.mutate(point, random.Random(2)) == \
+            SPACE.mutate(point, random.Random(2))
+
+    def test_mutate_on_frozen_space_returns_point(self):
+        frozen = SearchSpace(tiny_dimensions(scheme=("codepack",)))
+        point = frozen.random_point(random.Random(0))
+        assert frozen.mutate(point, random.Random(0)) == point
+
+
+class TestCanonical:
+    def test_native_collapses_decoder_knobs(self):
+        point = [0] * len(DIMENSION_ORDER)
+        idx = {name: i for i, name in enumerate(DIMENSION_ORDER)}
+        point[idx["scheme"]] = SPACE.choices("scheme").index("native")
+        point[idx["decode_rate"]] = 2
+        point[idx["index_lines"]] = 3
+        point[idx["index_entries"]] = 1
+        point[idx["output_buffer"]] = 1
+        canon = SPACE.canonical(tuple(point))
+        for name in ("decode_rate", "index_lines", "index_entries",
+                     "output_buffer"):
+            assert canon[idx[name]] == 0
+
+    def test_no_index_cache_collapses_entries(self):
+        point = [0] * len(DIMENSION_ORDER)
+        idx = {name: i for i, name in enumerate(DIMENSION_ORDER)}
+        point[idx["scheme"]] = SPACE.choices("scheme").index("codepack")
+        point[idx["index_lines"]] = SPACE.choices("index_lines").index(0)
+        point[idx["index_entries"]] = 2
+        canon = SPACE.canonical(tuple(point))
+        assert canon[idx["index_entries"]] == 0
+
+    def test_canonical_is_idempotent_and_cell_preserving(self):
+        rng = random.Random(23)
+        for _ in range(40):
+            point = SPACE.random_point(rng)
+            canon = SPACE.canonical(point)
+            assert SPACE.canonical(canon) == canon
+            assert SPACE.cell(canon) == SPACE.cell(point)
+
+
+class TestLowering:
+    def test_config_drops_dont_care_keys(self):
+        idx = {name: i for i, name in enumerate(DIMENSION_ORDER)}
+        native = [0] * len(DIMENSION_ORDER)
+        native[idx["scheme"]] = SPACE.choices("scheme").index("native")
+        config = SPACE.config(tuple(native))
+        for name in ("decode_rate", "index_lines", "index_entries",
+                     "output_buffer"):
+            assert name not in config
+        no_index = [0] * len(DIMENSION_ORDER)
+        no_index[idx["scheme"]] = SPACE.choices("scheme").index("codepack")
+        no_index[idx["index_lines"]] = \
+            SPACE.choices("index_lines").index(0)
+        config = SPACE.config(tuple(no_index))
+        assert "index_entries" not in config
+        assert config["decode_rate"] in SPACE.choices("decode_rate")
+
+    def test_wire_identity_over_random_points(self):
+        """cell_from_config(space.config(p)) == space.cell(p), so local
+        and fleet sweep-cache keys agree for every point."""
+        rng = random.Random(31337)
+        for _ in range(30):
+            point = SPACE.random_point(rng)
+            direct = SPACE.cell(point)
+            rebuilt = cell_from_config(SPACE.config(point))
+            assert rebuilt == direct
+            assert rebuilt[1].name == direct[1].name
+            assert cell_key(*rebuilt, 0.1, 1000) == \
+                cell_key(*direct, 0.1, 1000)
+
+    def test_baseline_knobs_keep_baseline_identity(self):
+        base = BASELINES["4-issue"]
+        arch = build_arch("4-issue", base.icache.size_bytes // KB,
+                          base.memory.bus_bits, base.memory.first_latency,
+                          base.memory.rate)
+        assert arch is base
+
+    def test_derived_arch_reflects_knobs(self):
+        arch = build_arch("4-issue", 4, 16, 40, 4)
+        assert arch.icache.size_bytes == 4 * KB
+        assert arch.memory.bus_bits == 16
+        assert arch.memory.first_latency == 40
+        assert arch.memory.rate == 4
+
+    def test_build_codepack_shapes(self):
+        assert build_codepack("native", 4, 4, 4, True) is None
+        cp = build_codepack("codepack", 2, 4, 8, False)
+        assert cp.decode_rate == 2
+        assert cp.index_cache.lines == 4
+        assert cp.index_cache.entries_per_line == 8
+        assert cp.output_buffer is False
+        assert build_codepack("codepack", 1, 0, 1, True).index_cache \
+            is None
+
+
+class TestCellFromConfig:
+    def test_good_config_builds_cell(self):
+        bench, arch, codepack = cell_from_config(GOOD_CONFIG)
+        assert bench == "pegwit"
+        assert arch.icache.size_bytes == 16 * KB
+        assert codepack.index_cache.lines == 4
+
+    @pytest.mark.parametrize("mutation", [
+        {"benchmark": "no-such"},
+        {"arch": "2-issue"},
+        {"scheme": "huffman"},
+        {"icache_kb": 0},
+        {"icache_kb": "16"},
+        {"icache_kb": True},
+        {"bus_bits": 12},
+        {"first_latency": 0},
+        {"memory_rate": 0},
+        {"decode_rate": 0},
+        {"index_lines": -1},
+        {"output_buffer": "yes"},
+    ])
+    def test_bad_values_raise_space_error(self, mutation):
+        config = dict(GOOD_CONFIG)
+        config.update(mutation)
+        with pytest.raises(SpaceError):
+            cell_from_config(config)
+
+    def test_missing_keys_raise_space_error(self):
+        config = dict(GOOD_CONFIG)
+        del config["bus_bits"]
+        with pytest.raises(SpaceError):
+            cell_from_config(config)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpaceError):
+            cell_from_config(["not", "a", "dict"])
+
+    def test_native_ignores_decoder_knobs(self):
+        config = {"benchmark": "pegwit", "arch": "4-issue",
+                  "icache_kb": 16, "bus_bits": 64, "first_latency": 10,
+                  "memory_rate": 2, "scheme": "native"}
+        bench, arch, codepack = cell_from_config(config)
+        assert codepack is None
