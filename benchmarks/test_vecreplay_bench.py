@@ -39,8 +39,18 @@ from repro.tools.benchinfo import write_report
 
 REPORT_PATH = os.environ.get("BENCH_VECREPLAY_JSON", "BENCH_vecreplay.json")
 
-#: Minimum scalar/vec full-sweep wall-clock ratio on one tree.
-VEC_SPEEDUP_FLOOR = 2.0
+#: Minimum scalar/vec full-sweep wall-clock ratio on one tree.  Since
+#: the decline paths closed, the vec arm prices *every* cell with
+#: column kernels -- including the narrow 8-issue and in-order groups
+#: (3 cells per benchmark), where per-op ufunc call overhead is flat
+#: in the column count and a columnar pass is genuinely slower than
+#: compiled scalar replay.  The old 2.0 floor was measured with those
+#: 36 cells silently falling back to scalar; the all-vec contract is
+#: lower on one core and is instead recovered (and exceeded) by
+#: ``--jobs N`` partitioning whole kernel groups across cores, which
+#: the declines previously made impossible (see
+#: benchmarks/test_vecsweep_bench.py for the composition contract).
+VEC_SPEEDUP_FLOOR = 1.35
 
 SWEEP_SCALE = 0.1
 REPS = 3
@@ -50,7 +60,8 @@ REPS = 3
 #: column/dependency caches are the vec backend's own cost.  The flat
 #: dynamic op list (``_dyn``) stays warm -- it is PR 4 functional
 #: infrastructure shared verbatim by both.
-_TIMED_MEMOS = ("_kernel", "_profiles", "_columns", "_vdeps")
+_TIMED_MEMOS = ("_kernel", "_profiles", "_columns", "_vdeps", "_vkinds",
+                "_vec_dallmiss")
 
 
 def _floor():
@@ -97,7 +108,9 @@ def test_full_sweep_vec_speedup():
         seconds, vec_wb = _timed_sweep(base, cells, vec=True)
         vec_times.append(seconds)
 
-    # The backends must agree cell-for-cell before any speed claim.
+    # The backends must agree cell-for-cell before any speed claim,
+    # and the vec arm must have priced every cell with column kernels.
+    assert not vec_wb.stats.vec_declines, vec_wb.stats.vec_declines
     assert set(vec_wb._results) == set(scalar_wb._results)
     for key, expected in scalar_wb._results.items():
         assert vec_wb._results[key].to_dict() == expected.to_dict(), key
@@ -105,7 +118,7 @@ def test_full_sweep_vec_speedup():
     speedup = min(scalar_times) / min(vec_times)
     floor = _floor()
     print("\nvec sweep: scalar %s vs vec %s -> min %.2fs / %.2fs = "
-          "%.2fx (floor %.1fx, %d cells, %d vec-priced) -> %s"
+          "%.2fx (floor %.2fx, %d cells, %d vec-priced) -> %s"
           % (["%.2f" % t for t in scalar_times],
              ["%.2f" % t for t in vec_times],
              min(scalar_times), min(vec_times), speedup, floor,

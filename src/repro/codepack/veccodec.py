@@ -26,7 +26,11 @@ the padded-length whole-block raw-escape decision), and scatters the
 codewords into the output buffer through four ``bitwise_or.at`` byte
 lanes -- a fused bit-packing kernel with no per-codeword Python.  With
 shared dictionaries, a whole batch of programs is encoded by one fused
-pass over the concatenated symbol stream.
+pass over the concatenated symbol stream.  Image assembly is bulk work
+too: block geometry converts to :class:`BlockInfo` rows via whole-array
+``tolist`` passes and the group index entries derive from array slices
+(:func:`_index_entries_vec`), so no per-block NumPy-scalar boxing
+remains on the encode path.
 
 Everything here is an accelerator, never a model change: outputs are
 byte-identical ``.cpk`` artifacts, ``repro.codepack.reference`` stays
@@ -61,6 +65,7 @@ from repro.codepack.decompressor import decoder_for_image
 from repro.codepack.dictionary import build_dictionaries
 from repro.codepack.errors import DecompressionError
 from repro.codepack.fastcodec import DECODE_LOOKUP_BITS, build_decode_table
+from repro.codepack.index_table import IndexEntry
 from repro.codepack.reference import build_index_entries
 from repro.codepack.stats import CompositionStats
 from repro.isa.encoding import INSTRUCTION_BYTES
@@ -286,17 +291,63 @@ def _encode_spans(tables_high, tables_low, words, spans,
     return results
 
 
+def _index_entries_vec(byte_offsets, byte_lengths, is_raw, group_blocks):
+    """Vectorized :func:`~repro.codepack.reference.build_index_entries`.
+
+    Derives every group's ``(block1_base, block2_offset, raw flags)``
+    with array slicing over the block-geometry columns instead of a
+    per-group Python walk, then materialises the identical
+    :class:`IndexEntry` list in one bulk pass.  The scalar builder
+    stays the oracle (the differential suite compares images
+    field-for-field).
+    """
+    n = len(byte_offsets)
+    first = np.arange(0, n, group_blocks, dtype=np.int64)
+    second = first + 1
+    has_second = group_blocks > 1
+    with_second = second < n if has_second \
+        else np.zeros(len(first), dtype=bool)
+    second_c = np.minimum(second, max(n - 1, 0))
+    b2 = np.where(with_second,
+                  byte_offsets[second_c] - byte_offsets[first],
+                  byte_lengths[first])
+    r2 = with_second & is_raw[second_c]
+    return [IndexEntry(block1_base=base, block2_offset=off,
+                       block1_raw=raw1, block2_raw=raw2)
+            for base, off, raw1, raw2 in zip(
+                byte_offsets[first].tolist(), b2.tolist(),
+                is_raw[first].tolist(), r2.tolist())]
+
+
 def _assemble_image(words, name, text_base, high_scheme, low_scheme,
                     high_dict, low_dict, block_instructions, group_blocks,
                     encoded):
-    """Build a :class:`CodePackImage` from the kernel's block arrays."""
+    """Build a :class:`CodePackImage` from the kernel's block arrays.
+
+    The per-block assembly is bulk work too: geometry columns convert
+    to Python scalars with one ``tolist`` pass each and zip straight
+    into :class:`BlockInfo` constructors, and the group index entries
+    come from :func:`_index_entries_vec` -- no per-block element
+    indexing into arrays (each such access pays a NumPy-scalar box).
+    """
     code_bytes, is_raw, byte_lengths, byte_offsets, ends, stats = encoded
-    blocks = [
-        BlockInfo(index=i, byte_offset=int(byte_offsets[i]),
-                  byte_length=int(byte_lengths[i]), is_raw=bool(is_raw[i]),
-                  n_instructions=len(ends[i]), inst_end_bits=ends[i])
-        for i in range(len(ends))]
-    index_entries = build_index_entries(blocks, group_blocks)
+    if len(ends):  # empty spans carry plain tuples, not arrays
+        blocks = [
+            BlockInfo(index=i, byte_offset=offset, byte_length=length,
+                      is_raw=raw, n_instructions=len(block_ends),
+                      inst_end_bits=block_ends)
+            for i, (offset, length, raw, block_ends) in enumerate(
+                zip(byte_offsets.tolist(), byte_lengths.tolist(),
+                    is_raw.tolist(), ends))]
+    else:
+        blocks = []
+    if group_blocks >= 1 and len(blocks):
+        index_entries = _index_entries_vec(
+            np.asarray(byte_offsets, dtype=np.int64),
+            np.asarray(byte_lengths, dtype=np.int64),
+            np.asarray(is_raw, dtype=bool), group_blocks)
+    else:  # degenerate geometry: keep the scalar builder's behaviour
+        index_entries = build_index_entries(blocks, group_blocks)
     ct, di, rt, rb, pad = stats
     return CodePackImage(
         name=name,

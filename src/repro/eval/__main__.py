@@ -16,12 +16,18 @@ Sweep acceleration::
     python -m repro.eval all --no-vec      # force scalar replay
 
 The vectorized backend (``--vec``, default-on when NumPy is
-importable) prices whole groups of timing cells in one columnar trace
-pass, so on a single-CPU host ``--jobs 1`` (the default) with ``--vec``
-is usually faster than ``--jobs N`` scalar workers: workers pay a
-per-process rebuild and price cells one at a time, while the column
-kernels amortise each trace pass across every cell that shares a
-pipeline shape.  ``--jobs auto`` resolves to one worker per CPU.
+importable) prices the whole sweep grid in columnar trace passes --
+cells from every benchmark that share a pipeline shape batch into one
+kernel invocation.  ``--jobs N`` composes with it: the sweep
+partitions whole kernel groups (not benchmarks) across the worker
+processes and shares each benchmark's recorded trace through the
+trace cache, so every worker runs column kernels on its slice of the
+grid rather than pricing cells one at a time.  On a multi-core host
+prefer ``--jobs auto`` (one worker per CPU) together with the default
+``--vec``; on a single CPU ``--jobs 1`` already gets the full
+columnar speedup.  ``--stats`` / ``--stats-json`` include a decline
+histogram -- on the default grid it is empty, so any entry means some
+cells silently fell back to scalar replay.
 """
 
 import argparse

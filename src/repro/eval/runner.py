@@ -211,32 +211,38 @@ class Workbench:
 
     def _prefetch_vec(self, cells):
         """Price *cells* through the column kernels; returns the cells
-        they could not serve (to run scalar)."""
-        by_bench = {}
-        for cell in cells:
-            by_bench.setdefault(cell[0], []).append(cell)
+        they could not serve (to run scalar).
+
+        The whole set goes through :func:`vecreplay.price_grid` in one
+        invocation, so cells from different benchmarks that share a
+        pipeline shape batch into one kernel pass.  ``min_group=1``:
+        the sweep's contract is that replay+vec means vec-priced, for
+        any ``--jobs`` value -- the histogram then only ever reports
+        genuinely unsupported shapes, never a size gate (which would
+        also fire differently serial vs partitioned).  Declines land
+        in the stats histogram.
+        """
+        needs_image = {c[0] for c in cells if c[2] is not None}
+        benches = {}
+        for bench in {c[0] for c in cells}:
+            benches[bench] = (
+                self.program(bench), self.static(bench), self.trace(bench),
+                self.image(bench) if bench in needs_image else None)
+        with timed_phase(self.stats, "simulate"):
+            priced = vecreplay.price_grid(
+                benches, list(cells),
+                max_instructions=self.max_instructions, min_group=1,
+                declines=self.stats.vec_declines)
         leftover = []
-        for bench, bcells in by_bench.items():
-            program = self.program(bench)
-            static = self.static(bench)
-            trace = self.trace(bench)
-            image = (self.image(bench)
-                     if any(c[2] is not None for c in bcells) else None)
-            with timed_phase(self.stats, "simulate"):
-                priced = vecreplay.price_cells(
-                    program, [(arch, cp) for _, arch, cp in bcells],
-                    static=static, trace=trace, image=image,
-                    max_instructions=self.max_instructions)
-            for pos, cell in enumerate(bcells):
-                result = priced.get(pos)
-                if result is None:
-                    leftover.append(cell)
-                    continue
-                self._store(cell, result)
-                self.stats.vec_cells += 1
-                self.stats.note_backend(
-                    "%s/%s/%s" % (bench, cell[1].name, result.mode),
-                    "vec")
+        for pos, cell in enumerate(cells):
+            result = priced.get(pos)
+            if result is None:
+                leftover.append(cell)
+                continue
+            self._store(cell, result)
+            self.stats.vec_cells += 1
+            self.stats.note_backend(
+                "%s/%s/%s" % (cell[0], cell[1].name, result.mode), "vec")
         return leftover
 
     def prefetch(self, cells):
@@ -283,6 +289,12 @@ class Workbench:
                 return len(todo)
             trace_dir = (self.trace_cache.root
                          if self.trace_cache is not None else None)
+            if self.replay and trace_dir is not None:
+                # Pre-warm the trace cache in the parent so workers
+                # load shared recordings instead of each re-recording
+                # the benchmarks their batch happens to touch.
+                for bench in sorted({cell[0] for cell in todo}):
+                    self.trace(bench)
             results = run_batches(todo, self.scale, self.max_instructions,
                                   self.jobs, stats=self.stats,
                                   replay=self.replay, trace_dir=trace_dir,

@@ -322,6 +322,7 @@ class SweepStats:
     trace_pruned_bytes: int = 0
     phase_seconds: dict = field(default_factory=dict)
     backends: dict = field(default_factory=dict)  # cell label -> vec/scalar
+    vec_declines: dict = field(default_factory=dict)  # reason -> cells
 
     def add_phase(self, name, seconds):
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
@@ -329,6 +330,12 @@ class SweepStats:
     def note_backend(self, label, backend):
         """Record which replay backend (vec/scalar) served a cell."""
         self.backends[label] = backend
+
+    def note_declines(self, declines):
+        """Merge a vec decline histogram (reason -> cell count)."""
+        for reason, count in declines.items():
+            self.vec_declines[reason] = \
+                self.vec_declines.get(reason, 0) + count
 
     def as_dict(self, cache=None):
         d = {
@@ -343,6 +350,7 @@ class SweepStats:
             "trace_pruned_bytes": self.trace_pruned_bytes,
             "phase_seconds": dict(self.phase_seconds),
             "backends": dict(self.backends),
+            "vec_declines": dict(self.vec_declines),
         }
         if cache is not None:
             d["cache_files"] = cache.counters()
@@ -362,6 +370,10 @@ class SweepStats:
             lines.append("trace cache: pruned %d files (%d bytes)"
                          % (self.trace_pruned_files,
                             self.trace_pruned_bytes))
+        if self.vec_declines:
+            parts = ["%s (%d)" % (reason, count) for reason, count
+                     in sorted(self.vec_declines.items())]
+            lines.append("vec declines: " + ", ".join(parts))
         if self.backends:
             by_backend = {}
             for label, backend in sorted(self.backends.items()):
@@ -438,23 +450,58 @@ def partition_cells(cells, jobs):
     return batches
 
 
+def partition_cells_vec(cells, jobs):
+    """Partition cells into batches of whole vec kernel groups.
+
+    The vectorized backend prices one (benchmark, pipeline-shape)
+    group per kernel pass, so that pair is the unit of parallel work:
+    splitting a pair across workers would run the same trace pass
+    twice for half the columns each.  Pairs are packed whole into the
+    lightest batch, largest pair first; ties keep first-seen order, so
+    the partition depends only on the input order and *jobs*.
+    """
+    from repro.sim.vecreplay import _group_key
+
+    units = {}
+    order = []
+    for cell in cells:
+        key = (cell[0], _group_key(cell[1]))
+        if key not in units:
+            units[key] = []
+            order.append(key)
+        units[key].append(cell)
+    if jobs <= 1 or len(order) <= 1:
+        return [list(cells)] if cells else []
+    nbatch = min(jobs, len(order))
+    batches = [[] for _ in range(nbatch)]
+    sizes = [0] * nbatch
+    rank = {key: pos for pos, key in enumerate(order)}
+    for key in sorted(order, key=lambda k: (-len(units[k]), rank[k])):
+        i = sizes.index(min(sizes))
+        batches[i].extend(units[key])
+        sizes[i] += len(units[key])
+    return [b for b in batches if b]
+
+
 def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None,
                vec=None):
-    """Pool worker: simulate a batch of same-benchmark cells.
+    """Pool worker: simulate one batch of cells.
 
     Programs, predecoded text and compressed images are rebuilt in the
     worker (compiled closures and block tables do not pickle, and
-    shipping them would cost more than rebuilding); results travel back
-    as ``(dict, backend)`` pairs, *backend* being ``"vec"`` or
-    ``"scalar"``.
+    shipping them would cost more than rebuilding); results travel
+    back as ``{"results": [(dict, backend), ...], "declines": {...}}``,
+    *backend* being ``"vec"`` or ``"scalar"`` and *declines* the vec
+    backend's reason histogram for the batch.
 
     With ``replay`` on, each benchmark's functional trace is recorded
     (or loaded from the :class:`~repro.sim.replay.TraceCache` under
-    *trace_dir*) once, and every cell runs the timing-only replay
-    engine over it -- identical results, a fraction of the work.  With
-    ``vec`` on (default: on when NumPy is importable), cells sharing a
-    pipeline shape are priced together by the column kernels of
-    :mod:`repro.sim.vecreplay`; the rest fall back to scalar replay.
+    *trace_dir* -- the parent pre-warms it, so workers share one
+    recording) once, and every cell runs the timing-only replay engine
+    over it -- identical results, a fraction of the work.  With ``vec``
+    on (default: on when NumPy is importable), the whole batch prices
+    through :func:`repro.sim.vecreplay.price_grid` in one invocation;
+    whatever it declines falls back to scalar replay.
     """
     trace_cache = None
     if replay and trace_dir is not None:
@@ -486,21 +533,22 @@ def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None,
             images[bench] = compress_program(programs[bench])
 
     vec_results = {}
+    declines = {}
     if replay and (vec or vec is None):
         from repro.sim import vecreplay
         if vecreplay.available():
-            by_bench = {}
-            for pos, cell in enumerate(cells):
-                by_bench.setdefault(cell[0], []).append(pos)
-            for bench, positions in by_bench.items():
-                priced = vecreplay.price_cells(
-                    programs[bench],
-                    [(cells[p][1], cells[p][2]) for p in positions],
-                    static=statics[bench], trace=trace_for(bench),
-                    image=images.get(bench),
-                    max_instructions=max_instructions)
-                for local, result in priced.items():
-                    vec_results[positions[local]] = result
+            benches = {bench: (programs[bench], statics[bench],
+                               trace_for(bench), images.get(bench))
+                       for bench in programs}
+            # min_group=1: the batch was partitioned at kernel-group
+            # granularity (partition_cells_vec), so a worker's slice
+            # of a grid-wide group may be small -- second-guessing it
+            # with the global gate would re-introduce exactly the
+            # scalar fallback the partitioning exists to avoid.
+            vec_results = vecreplay.price_grid(
+                benches, [(b, a, cp) for b, a, cp in cells],
+                max_instructions=max_instructions, min_group=1,
+                declines=declines)
 
     out = []
     for pos, (bench, arch, codepack) in enumerate(cells):
@@ -514,7 +562,7 @@ def _run_batch(scale, max_instructions, cells, replay=False, trace_dir=None,
                           replay=trace_for(bench) if replay else None,
                           vec=vec)
         out.append((result.to_dict(), "scalar"))
-    return out
+    return {"results": out, "declines": declines}
 
 
 def run_batches(cells, scale, max_instructions, jobs, stats=None,
@@ -545,20 +593,32 @@ def run_batches(cells, scale, max_instructions, jobs, stats=None,
                                              results[cell].mode), backend)
         return backend
 
+    def note_declines(declines):
+        if stats is not None and declines:
+            stats.note_declines(declines)
+
+    use_vec_partition = False
+    if replay and (vec or vec is None):
+        from repro.sim import vecreplay
+        use_vec_partition = vecreplay.available()
+
     results = {}
     if jobs == 1 or len(cells) == 1:
         scalar = 0
         for batch in partition_cells(cells, 1):
-            for cell, payload in zip(
-                    batch, _run_batch(scale, max_instructions, batch,
-                                      replay=replay, trace_dir=trace_dir,
-                                      vec=vec)):
-                if record(cell, payload) == "scalar":
+            payload = _run_batch(scale, max_instructions, batch,
+                                 replay=replay, trace_dir=trace_dir, vec=vec)
+            note_declines(payload["declines"])
+            for cell, entry in zip(batch, payload["results"]):
+                if record(cell, entry) == "scalar":
                     scalar += 1
         if stats is not None:
             stats.sim_runs += scalar
         return results
-    batches = partition_cells(cells, jobs)
+    if use_vec_partition:
+        batches = partition_cells_vec(cells, jobs)
+    else:
+        batches = partition_cells(cells, jobs)
     if stats is not None:
         stats.parallel_cells += len(cells)
         stats.parallel_batches += len(batches)
@@ -568,8 +628,10 @@ def run_batches(cells, scale, max_instructions, jobs, stats=None,
                    batch for batch in batches}
         for future in as_completed(futures):
             batch = futures[future]
-            for cell, payload in zip(batch, future.result()):
-                record(cell, payload)
+            payload = future.result()
+            note_declines(payload["declines"])
+            for cell, entry in zip(batch, payload["results"]):
+                record(cell, entry)
     return results
 
 

@@ -143,7 +143,8 @@ class Trace:
     __slots__ = ("n", "span_start", "span_len", "takens", "mem_addrs",
                  "out_pos", "out_text", "halted", "exit_code", "fault",
                  "max_instructions", "text_base", "program_sha",
-                 "_kernel", "_profiles", "_dyn", "_columns", "_vdeps")
+                 "_kernel", "_profiles", "_dyn", "_columns", "_vdeps",
+                 "_vkinds", "_vec_dallmiss")
 
     def __init__(self, n, span_start, span_len, takens, mem_addrs,
                  out_pos, out_text, halted, exit_code, fault,

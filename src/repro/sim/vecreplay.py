@@ -31,6 +31,12 @@ traversal over structure-of-arrays NumPy columns:
   one cheap per-class event walk yields those outcomes (and the exact
   :class:`~repro.sim.codepack_engine.EngineStats`) for every cell of
   the class.
+* :func:`price_grid` batches *across traces*: cells from every
+  benchmark group globally by pipeline shape, so the whole sweep grid
+  prices in one invocation and small per-benchmark families never
+  fall under the ``min_group`` gate.  Whatever a kernel cannot serve
+  is recorded in a caller-supplied decline histogram rather than
+  silently skipped -- an empty histogram is the all-vec-priced claim.
 
 Everything here is an accelerator, not a model: the scalar
 ``replay_inorder``/``replay_ooo`` engines remain the oracle, and the
@@ -683,7 +689,8 @@ class _Subgroup:
                  "cp_segs", "blocks1", "base1", "class_walks",
                  "nbytes1", "cp_sl", "rel1", "idxadd1", "bh1", "upd1",
                  "bh_any", "upd_any", "abs_buf", "ready_buf",
-                 "nat_sl", "noff1", "descw")
+                 "nat_sl", "noff1", "descw", "lastbeat1", "busy_cp",
+                 "busy_tmp", "nobh1")
 
     def __init__(self, sl, icache):
         self.sl = sl
@@ -704,21 +711,36 @@ class _Subgroup:
         self.nbytes1 = None
         self.cp_sl = None
         self.nat_sl = None
+        self.lastbeat1 = None
+        self.busy_cp = None
+        self.busy_tmp = None
+        self.nobh1 = None
 
-    def attach_profile(self, profile, n):
+    def attach_profile(self, profile, n, limit):
         self.profile = profile
-        self.fe_pos = profile.fe_pos  # array('q'): fast scalar indexing
-        self.fe_flags = profile.fe_flags
-        self.fe_addr = profile.fe_addr
-        self.n_fe = len(profile.fe_pos)
-        self.next_fe = self.fe_pos[0] if self.n_fe else n
+        fe_pos = profile.fe_pos  # array('q'): fast scalar indexing
+        fe_flags = profile.fe_flags
+        fe_addr = profile.fe_addr
+        if limit < n:
+            # Truncating cap: the stream is prefix-valid (no timing
+            # feedback), so the kernels just see the clipped events.
+            nf = int(np.searchsorted(
+                np.frombuffer(fe_pos, dtype=np.int64), limit))
+            fe_pos = fe_pos[:nf]
+            fe_flags = fe_flags[:nf]
+            fe_addr = fe_addr[:nf]
+        self.fe_pos = fe_pos
+        self.fe_flags = fe_flags
+        self.fe_addr = fe_addr
+        self.n_fe = len(fe_pos)
+        self.next_fe = self.fe_pos[0] if self.n_fe else limit
         # Positions of the *state-bearing* events (miss fills and
         # in-flight-line hits).  Plain hit-visits only close a consult
         # window, so they never force a chunk boundary.
-        fp = np.frombuffer(profile.fe_pos, dtype=np.int64)
-        fl = np.frombuffer(bytes(profile.fe_flags), dtype=np.uint8)
+        fp = np.frombuffer(fe_pos, dtype=np.int64)
+        fl = np.frombuffer(bytes(fe_flags), dtype=np.uint8)
         self.nz_pos = fp[fl != 0].tolist()
-        self.nz_pos.append(n)
+        self.nz_pos.append(limit)
         self.nbi = 0
         self.next_break = self.nz_pos[0]
         self.span_end = 0
@@ -738,7 +760,20 @@ class _Subgroup:
         if self.cp_sl is not None:
             nowcp = now[self.cp_sl]
             ready = self.ready_buf
-            np.add(nowcp, self.idxadd1[e1], ready)
+            if self.busy_cp is not None:
+                # Single-port bus: the index burst (when one is paid)
+                # and the block burst queue behind whatever request the
+                # cell's channel is still serving, exactly like the
+                # scalar engine's `_index_ready`/`_decompress_block`
+                # pair.  Output-buffer hits generate no traffic, so
+                # their columns leave the channel untouched.
+                np.maximum(self.busy_cp, nowcp, out=ready)
+                np.add(ready, self.idxadd1[e1], ready)
+                np.add(ready, self.lastbeat1[e1], self.busy_tmp)
+                np.copyto(self.busy_cp, self.busy_tmp,
+                          where=self.nobh1[e1])
+            else:
+                np.add(nowcp, self.idxadd1[e1], ready)
             absolute = self.abs_buf
             np.add(ready[:, None], self.rel1[e1], absolute)
             base = self.base1[e1]
@@ -760,10 +795,11 @@ class _Subgroup:
 
 
 def _prepare_group(group_cells, static, trace, image, cols,
-                   critical_word_first, native_prefetch):
+                   critical_word_first, native_prefetch, limit):
     """Order a group's cells into subgroups/segments and precompute
     every per-event table the kernels consume."""
     text_base = trace.text_base
+    shared = bool(group_cells[0][1].shared_memory_bus)
     by_icache = {}
     for cell in group_cells:
         by_icache.setdefault(cell[1].icache, []).append(cell)
@@ -786,9 +822,9 @@ def _prepare_group(group_cells, static, trace, image, cols,
         sg = _Subgroup(slice(start, start + len(members)), icache)
         n = trace.n
         profile = _get_profile_for(static, trace, members[0][1])
-        sg.attach_profile(profile, n)
-        fe_flags_np = np.frombuffer(bytes(profile.fe_flags), dtype=np.uint8)
-        fe_addr_np = np.frombuffer(profile.fe_addr, dtype=np.int64)
+        sg.attach_profile(profile, n, limit)
+        fe_flags_np = np.frombuffer(bytes(sg.fe_flags), dtype=np.uint8)
+        fe_addr_np = np.frombuffer(sg.fe_addr, dtype=np.int64)
         ev_addr1 = fe_addr_np[fe_flags_np == 1]
         sg.fill_mat = np.zeros((len(members), sg.words), dtype=np.int64)
 
@@ -828,6 +864,7 @@ def _prepare_group(group_cells, static, trace, image, cols,
             rel_cols = []
             idx_cols = []
             bh_cols = []
+            lb_cols = []
             hasbuf = []
             for (mem, rate), seg_cells in cp_by_key.items():
                 rel, nbytes, nvalid = _block_rel_matrix(image, rate, mem)
@@ -836,6 +873,15 @@ def _prepare_group(group_cells, static, trace, image, cols,
                 rel1_seg = rel[blocks1]  # (n1, width), one gather per seg
                 beats = -(-INDEX_ENTRY_BYTES // mem.bus_bytes)
                 idxcost = mem.first_latency + (beats - 1) * mem.rate
+                if shared:
+                    # Last-beat offset of each event's block burst (from
+                    # the burst's own start): the channel stays busy
+                    # until it lands, exactly `burst_arrivals()[-1]`.
+                    bcols = _image_block_columns(image)
+                    nbeats = -(-((bcols["offset"] % mem.bus_bytes)
+                                 + bcols["nbytes"]) // mem.bus_bytes)
+                    lastbeat_seg = (mem.first_latency
+                                    + (nbeats - 1) * mem.rate)[blocks1]
                 for c in seg_cells:
                     cp = c[2]
                     ck = (cp.output_buffer, cp.perfect_index,
@@ -848,6 +894,8 @@ def _prepare_group(group_cells, static, trace, image, cols,
                     idx_cols.append(walk[1] * idxcost)
                     rel_cols.append(rel1_seg)
                     hasbuf.append(cp.output_buffer)
+                    if shared:
+                        lb_cols.append(lastbeat_seg)
                 sg.cp_segs.append(_CodePackSeg(seg_cells, rel, idxcost))
                 ordered.extend(seg_cells)
                 lcol += len(seg_cells)
@@ -861,6 +909,10 @@ def _prepare_group(group_cells, static, trace, image, cols,
             upd1 = np.array(hasbuf, dtype=bool)[None, :] & ~bh1
             sg.bh1 = bh1
             sg.upd1 = upd1
+            if shared:
+                sg.lastbeat1 = np.stack(lb_cols, axis=1)
+                sg.nobh1 = ~bh1
+                sg.busy_tmp = np.empty(n_cp, dtype=np.int64)
             sg.bh_any = bh1.any(axis=1).tolist()
             sg.upd_any = upd1.any(axis=1).tolist()
             sg.cp_sl = slice(cp_start, lcol)
@@ -905,6 +957,45 @@ def _get_profile_for(static, trace, arch):
 # chunk.  The in-order kernel is a straight per-instruction lockstep.
 
 _NO_DEP = -(1 << 62)
+
+# Dense per-instruction kind codes for the out-of-order kernel's hot
+# loop: the execution-class / latency / miss-stream decisions are pure
+# properties of the dynamic op stream, so they are classified once per
+# trace (see :func:`_dyn_kinds`) instead of re-deriving them from the
+# op tuple on every (group, instruction) visit.
+K_ALU = 0    # unit-latency ALU/jump-class op on the ALU pool
+K_BR = 1     # unit-latency conditional branch (consumes the brk stream)
+K_LOAD = 2   # unit-latency load (consults the d-miss stream)
+K_STORE = 3  # unit-latency store (advances the mem-op cursor)
+K_MULT = 4   # multiplier-pool op, explicit latency
+K_GEN = 5    # anything else: generic slow path
+
+
+def _dyn_kinds(trace, dyn):
+    """Per-instruction kind codes (``K_*``), memoised on the trace."""
+    kinds = getattr(trace, "_vkinds", None)
+    if kinds is None:
+        kinds = []
+        ap = kinds.append
+        for op in dyn:
+            ex = op[0]
+            if ex == EX_MULT:
+                ap(K_MULT)
+            elif op[1] != 1:
+                ap(K_GEN)
+            elif ex == EX_LOAD:
+                ap(K_LOAD)
+            elif ex == EX_STORE:
+                ap(K_STORE)
+            elif ex == EX_BRANCH:
+                ap(K_BR)
+            else:
+                ap(K_ALU)
+        try:
+            trace._vkinds = kinds
+        except AttributeError:
+            pass
+    return kinds
 
 
 def _dyn_deps(trace, dyn):
@@ -951,8 +1042,8 @@ def _dyn_deps(trace, dyn):
     return deps
 
 
-def _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat, rlist,
-                   deps):
+def _run_ooo_group(subgroups, C, n, dyn, kinds, dmiss, brk, arch, dlat,
+                   rlist, deps):
     width_f = arch.fetch_queue
     width_c = arch.issue_width
     sf = _pow2_shift(width_f)
@@ -965,14 +1056,33 @@ def _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat, rlist,
     F2 = np.empty(C, dtype=np.int64)
     K = np.zeros(C, dtype=np.int64)
     hist = np.zeros((ruu, C), dtype=np.int64)
+    # Each FU pool is a (size, C) matrix kept sorted ascending along
+    # axis 0, so row 0 is always the per-cell earliest-free port.  The
+    # hot loop binds a per-pool insertion strategy up front: a plain
+    # row overwrite (size 1), a two-op min/max ladder (size 2), or an
+    # in-place column sort (size >= 3) -- ndarray.sort on a handful of
+    # short columns beats the 2(P-1)-ufunc ladder from P == 3 up and
+    # is flat in P, which is what makes wide (8-ALU) groups cheap.
     pools = {}
     for ex_class, size in ((0, arch.n_alu), (1, arch.n_memport),
                            (2, arch.n_mult)):
         pool = np.zeros((size, C), dtype=np.int64)
-        pools[ex_class] = ([pool[j] for j in range(size)], size)
-    alu_pool = pools[0]
-    mem_pool = pools[1]
-    mult_pool = pools[2]
+        pools[ex_class] = ([pool[j] for j in range(size)], size, pool)
+    alu_pool = pools[0][:2]
+    mem_pool = pools[1][:2]
+    mult_pool = pools[2][:2]
+
+    def pool_locals(ex_class):
+        rows, size, mat = pools[ex_class]
+        if size >= 3:
+            return 3, rows[0], None, mat.sort
+        if size == 2:
+            return 2, rows[0], rows[1], None
+        return 1, rows[0], None, None
+
+    alu_mode, alu0, alu1, alu_sort = pool_locals(0)
+    mem_mode, mem0, mem1, mem_sort = pool_locals(1)
+    mult_mode, mult0, mult1, mult_sort = pool_locals(2)
 
     A = np.empty((ruu, C), dtype=np.int64)
     Arows = [A[r] for r in range(ruu)]
@@ -991,9 +1101,21 @@ def _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat, rlist,
     DB = np.empty(C, dtype=np.int64)
     PM = np.empty(C, dtype=np.int64)
     T0 = np.empty(C, dtype=np.int64)
-    BT = np.empty(C, dtype=np.bool_)
-    ge = np.greater_equal
-    all_reduce = np.logical_and.reduce
+    subtract = np.subtract
+
+    BUSY = None
+    EFB = None
+    if arch.shared_memory_bus:
+        # Single-port bus: one channel per cell, shared by D-miss
+        # bursts and CodePack fill/index bursts.  The kernel visits
+        # events in program order (chunk-head fills, then the chunk's
+        # loads), which is exactly the scalar loop's request order, so
+        # a busy-until column is the whole arbitration state.
+        BUSY = np.zeros(C, dtype=np.int64)
+        EFB = np.empty(C, dtype=np.int64)
+        for sg in subgroups:
+            if sg.cp_sl is not None:
+                sg.busy_cp = BUSY[sg.sl][sg.cp_sl]
 
     mi = 0
     bi = 0
@@ -1004,6 +1126,7 @@ def _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat, rlist,
     maximum = np.maximum
     minimum = np.minimum
     add = np.add
+    ONE = np.int64(1)  # np scalar: skips per-call int conversion
 
     i = 0
     while i < n:
@@ -1127,82 +1250,128 @@ def _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat, rlist,
         # ---- per-instruction dispatch / FU / scoreboard --------------
         # Ufunc `out` is passed positionally throughout this loop: the
         # kernel is call-overhead bound and keyword parsing is a
-        # measurable share of each tiny-array ufunc call.
+        # measurable share of each tiny-array ufunc call.  The branch
+        # structure follows the memoised kind stream (cheap int
+        # compares ordered by frequency) rather than re-deriving the
+        # class/latency split from the op tuple per visit.
         stale = i - ruu
-        for op, d, cm, j, j2 in zip(dyn[i:lim], Arows, cmk,
-                                    j0s[i:lim], j1s[i:lim]):
-            ex = op[0]
-            lat = op[1]
+        for op, k, d, cm, j, j2 in zip(dyn[i:lim], kinds[i:lim], Arows,
+                                       cmk, j0s[i:lim], j1s[i:lim]):
             # d: this slot's dispatch row (free after the fetch fold)
             if j > stale:
                 maximum(d, CMrows[j % ruu], out=d)
             if j2 > stale:
                 maximum(d, CMrows[j2 % ruu], out=d)
-            dmiss_now = False
-            if ex == EX_LOAD:
-                dmiss_now = dmiss[mi] != 0
-                mi += 1
-                rows, size = mem_pool
-            elif ex == EX_STORE:
-                mi += 1
-                rows, size = mem_pool
-            elif ex == EX_MULT:
-                rows, size = mult_pool
-            else:
-                if ex == EX_BRANCH:
+            stale += 1
+            if k <= K_BR:  # unit-latency ALU-class op (the bulk)
+                if k == K_BR:
                     last_brk = brk[bi]
                     bi += 1
-                rows, size = alu_pool
-            if size == 1:
-                row = rows[0]
-                maximum(d, row, out=d)
-                if ex == EX_MULT:
-                    add(d, lat, cm)
-                    row[:] = cm
-                elif dmiss_now:
-                    add(d, 1, row)
-                    add(d, dlat, cm)
-                elif lat == 1:
-                    add(d, 1, cm)
-                    row[:] = cm
+                maximum(d, alu0, out=d)
+                add(d, ONE, cm)
+                if alu_mode == 3:
+                    # Row 0 is the pool min; overwrite it with the new
+                    # completion and re-sort the columns in place (the
+                    # alu0 view tracks the sorted row 0).
+                    alu0[:] = cm
+                    alu_sort(0)
+                elif alu_mode == 2:
+                    minimum(alu1, cm, out=alu0)
+                    maximum(alu1, cm, out=alu1)
                 else:
-                    add(d, 1, row)
-                    add(d, lat, cm)
+                    alu0[:] = cm
+            elif k <= K_STORE:  # unit-latency load or store
+                dm = dmiss[mi] if k == K_LOAD else 0
+                mi += 1
+                maximum(d, mem0, out=d)
+                if dm:
+                    add(d, ONE, PM)
+                    if BUSY is None:
+                        add(d, dlat, cm)
+                    else:
+                        maximum(d, BUSY, out=EFB)
+                        add(EFB, dlat, cm)
+                        subtract(cm, ONE, BUSY)
+                    v = PM
+                else:
+                    add(d, ONE, cm)
+                    v = cm
+                if mem_mode == 2:
+                    minimum(mem1, v, out=mem0)
+                    maximum(mem1, v, out=mem1)
+                elif mem_mode == 3:
+                    mem0[:] = v
+                    mem_sort(0)
+                else:
+                    mem0[:] = v
+            elif k == K_MULT:
+                maximum(d, mult0, out=d)
+                add(d, op[1], cm)
+                if mult_mode == 1:
+                    mult0[:] = cm
+                elif mult_mode == 2:
+                    minimum(mult1, cm, out=mult0)
+                    maximum(mult1, cm, out=mult1)
+                else:
+                    mult0[:] = cm
+                    mult_sort(0)
             else:
-                # Sorted-ladder pool: rows kept ascending, so rows[0]
-                # is the heap min; replacing it with v leaves the
-                # other rows plus v, re-sorted by a min/max ladder
-                # (2(P-1) elementwise ops, no argmin/fancy indexing).
+                # Generic slow path (non-unit latency outside the
+                # multiplier pool) -- never taken on the paper's grid,
+                # kept for exactness on exotic op streams.  The ladder
+                # writes in place, preserving the matrix-row order the
+                # fast paths' views depend on.
+                ex = op[0]
+                lat = op[1]
+                dmiss_now = False
+                if ex == EX_LOAD:
+                    dmiss_now = dmiss[mi] != 0
+                    mi += 1
+                    rows, size = mem_pool
+                elif ex == EX_STORE:
+                    mi += 1
+                    rows, size = mem_pool
+                else:
+                    if ex == EX_BRANCH:
+                        last_brk = brk[bi]
+                        bi += 1
+                    rows, size = alu_pool
                 maximum(d, rows[0], out=d)
-                if ex == EX_MULT:
-                    add(d, lat, cm)
-                    v = cm
-                elif dmiss_now:
-                    add(d, 1, PM)
-                    add(d, dlat, cm)
-                    v = PM
-                elif lat == 1:
-                    add(d, 1, cm)
-                    v = cm
+                if size == 1:
+                    row = rows[0]
+                    if dmiss_now:
+                        add(d, 1, row)
+                        if BUSY is None:
+                            add(d, dlat, cm)
+                        else:
+                            maximum(d, BUSY, out=EFB)
+                            add(EFB, dlat, cm)
+                            subtract(cm, 1, BUSY)
+                    else:
+                        add(d, 1, row)
+                        add(d, lat, cm)
                 else:
-                    add(d, 1, PM)
-                    add(d, lat, cm)
-                    v = PM
-                if size > 2 and all_reduce(ge(v, rows[size - 1], BT)):
-                    # v tops the whole pool in every cell: replacing
-                    # the min is just a rotation plus one copy.
-                    rows.append(rows.pop(0))
-                    np.copyto(rows[size - 1], v)
-                else:
-                    for j in range(1, size - 1):
-                        rj = rows[j]
-                        minimum(rj, v, out=rows[j - 1])
+                    if dmiss_now:
+                        add(d, 1, PM)
+                        if BUSY is None:
+                            add(d, dlat, cm)
+                        else:
+                            maximum(d, BUSY, out=EFB)
+                            add(EFB, dlat, cm)
+                            subtract(cm, 1, BUSY)
+                        v = PM
+                    else:
+                        add(d, 1, PM)
+                        add(d, lat, cm)
+                        v = PM
+                    for jj in range(1, size - 1):
+                        rj = rows[jj]
+                        minimum(rj, v, out=rows[jj - 1])
                         maximum(rj, v, out=T0)
                         v = T0
                     rl = rows[size - 1]
                     minimum(rl, v, out=rows[size - 2])
                     maximum(rl, v, out=rl)
-            stale += 1
 
         # ---- commit slots for the whole chunk ------------------------
         # Slot algebra with the +1/-1 constants folded away: with
@@ -1285,16 +1454,31 @@ def _run_inorder_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat,
     maximum = np.maximum
     add = np.add
 
+    BUSY = None
+    if arch.shared_memory_bus:
+        # Single-port bus: one busy-until column per cell (see the
+        # out-of-order kernel); requests happen in program order here
+        # too (the fill at a break, then that instruction's D-miss).
+        BUSY = np.zeros(C, dtype=np.int64)
+        for sg in subgroups:
+            if sg.cp_sl is not None:
+                sg.busy_cp = BUSY[sg.sl][sg.cp_sl]
+
     # ---- break-set precomputation (pure array work) ------------------
-    j0np, j1np, opmat = deps[2], deps[3], deps[4]
-    lat_col = opmat[:, 1]
-    ex_col = cols.ex
-    dmiss_np = np.frombuffer(bytes(dmiss), dtype=np.uint8)
-    brk_np = np.frombuffer(bytes(brk), dtype=np.uint8)
+    # Event columns are clipped to the replay window ``n`` (the
+    # truncating cap, if any): ``mpos``/``bpos`` are sorted, so the
+    # prefix is a searchsorted slice.
+    j0np, j1np, opmat = deps[2][:n], deps[3][:n], deps[4]
+    lat_col = opmat[:n, 1]
+    ex_col = cols.ex[:n]
+    nm = int(np.searchsorted(cols.mpos, n))
+    nb = int(np.searchsorted(cols.bpos, n))
+    dmiss_np = np.frombuffer(bytes(dmiss), dtype=np.uint8)[:nm]
+    brk_np = np.frombuffer(bytes(brk), dtype=np.uint8)[:nb]
     miss_mask = np.zeros(n, dtype=bool)
-    miss_mask[cols.mpos[cols.is_load & (dmiss_np != 0)]] = True
+    miss_mask[cols.mpos[:nm][cols.is_load[:nm] & (dmiss_np != 0)]] = True
     brk2_mask = np.zeros(n, dtype=bool)
-    brk2_mask[cols.bpos[brk_np == 2]] = True
+    brk2_mask[cols.bpos[:nb][brk_np == 2]] = True
     heavy = miss_mask | (lat_col > 1) | (ex_col == EX_MULT)
     hpos = np.flatnonzero(heavy)
     hmap = np.full(n, -1, dtype=np.int64)
@@ -1407,7 +1591,12 @@ def _run_inorder_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat,
             add(IS, lat, out=CPL)
             MF[:] = CPL
         elif miss_mask[i]:
-            add(IS, dlat, out=CPL)
+            if BUSY is None:
+                add(IS, dlat, out=CPL)
+            else:
+                maximum(IS, BUSY, out=T1)
+                add(T1, dlat, out=CPL)
+                np.subtract(CPL, 1, out=BUSY)
         else:
             add(IS, lat, out=CPL)
         if hmap[i] >= 0:
@@ -1430,21 +1619,46 @@ def _run_inorder_group(subgroups, C, n, dyn, dmiss, brk, arch, dlat,
 def _group_key(arch):
     return (arch.in_order, arch.issue_width, arch.fetch_queue,
             arch.ruu_size, arch.n_alu, arch.n_mult, arch.n_memport,
-            arch.mispredict_penalty, arch.predictor, arch.dcache)
+            arch.mispredict_penalty, arch.predictor, arch.dcache,
+            arch.shared_memory_bus)
+
+
+def _dmiss_all_positions(trace, cols, dcache):
+    """Sorted dynamic positions of *all* D-cache misses (loads and
+    stores) for one D-cache geometry, memoised on the trace.
+
+    The profile's ``dmiss`` stream only marks load misses (store
+    misses never stall the pipeline), but truncated replays report the
+    live cache's miss *count*, which includes stores; a prefix of this
+    column is exactly that count.
+    """
+    key = (dcache.line_bytes, dcache.n_sets, dcache.assoc)
+    memos = getattr(trace, "_vec_dallmiss", None)
+    if memos is None:
+        memos = {}
+        try:
+            trace._vec_dallmiss = memos
+        except AttributeError:
+            pass
+    entry = memos.get(key)
+    if entry is None:
+        dhits = _lru_hits(cols.mem_addrs // np.int64(dcache.line_bytes),
+                          dcache.n_sets, dcache.assoc)
+        entry = memos[key] = cols.mpos[~dhits]
+    return entry
 
 
 def _price_group(program, group_cells, static, trace, image,
-                 critical_word_first, native_prefetch, halted, output,
-                 exit_code, truncated):
+                 critical_word_first, native_prefetch, limit, halted,
+                 output, exit_code, truncated):
     from repro.sim.replay import _dyn_ops
 
     arch0 = group_cells[0][1]
     cols = trace_columns(trace, static)
     subgroups, ordered = _prepare_group(group_cells, static, trace, image,
                                         cols, critical_word_first,
-                                        native_prefetch)
+                                        native_prefetch, limit)
     C = len(ordered)
-    n = trace.n
     dlat = np.array(
         [c[1].memory.access_done(c[1].dcache.line_bytes, 0) + 1
          for c in ordered], dtype=np.int64)
@@ -1453,22 +1667,44 @@ def _price_group(program, group_cells, static, trace, image,
     dmiss = prof0.dmiss
     brk = prof0.brk
     if arch0.in_order:
-        cycles = _run_inorder_group(subgroups, C, n, dyn, dmiss, brk,
+        cycles = _run_inorder_group(subgroups, C, limit, dyn, dmiss, brk,
                                     arch0, dlat, cols,
                                     _dyn_deps(trace, dyn))
     else:
-        brk_np = np.frombuffer(bytes(brk), dtype=np.uint8)
-        redirects = np.union1d(np.flatnonzero(cols.ex == EX_JUMP),
-                               cols.bpos[brk_np != 0])
+        nb = int(np.searchsorted(cols.bpos, limit))
+        brk_np = np.frombuffer(bytes(brk), dtype=np.uint8)[:nb]
+        redirects = np.union1d(np.flatnonzero(cols.ex[:limit] == EX_JUMP),
+                               cols.bpos[:nb][brk_np != 0])
         rlist = redirects.tolist()
-        rlist.append(n + 1)  # sentinel past the last chunk
-        cycles = _run_ooo_group(subgroups, C, n, dyn, dmiss, brk, arch0,
-                                dlat, rlist, _dyn_deps(trace, dyn))
+        rlist.append(limit + 1)  # sentinel past the last chunk
+        cycles = _run_ooo_group(subgroups, C, limit, dyn,
+                                _dyn_kinds(trace, dyn), dmiss, brk,
+                                arch0, dlat, rlist, _dyn_deps(trace, dyn))
+
+    full = limit == trace.n
+    if not full:
+        # The scalar truncating loops drive live caches/predictors, so
+        # their reported stats are exact prefix counts over the same
+        # event streams the profile records.
+        dca = int(np.searchsorted(cols.mpos, limit))
+        dcm = int(np.searchsorted(
+            _dmiss_all_positions(trace, cols, arch0.dcache), limit))
+        lookups = int(np.searchsorted(cols.bpos, limit))
+        mp_np = np.frombuffer(bytes(prof0.mp), dtype=np.uint8)
+        mispredicts = int(np.count_nonzero(mp_np[:lookups]))
 
     results = {}
     col = 0
     for sg in subgroups:
         p = sg.profile
+        if full:
+            ica, icm = p.icache_accesses, p.icache_misses
+            dca, dcm = p.dcache_accesses, p.dcache_misses
+            lookups, mispredicts = p.lookups, p.mispredicts
+        else:
+            ica = sg.n_fe
+            icm = int(np.count_nonzero(np.frombuffer(
+                bytes(sg.fe_flags), dtype=np.uint8) == 1))
         n1 = len(sg.blocks1) if sg.blocks1 is not None else 0
         for seg in sg.native_segs + sg.cp_segs:
             for c in seg.cells:
@@ -1495,14 +1731,14 @@ def _price_group(program, group_cells, static, trace, image,
                     benchmark=program.name,
                     arch=arch.name,
                     mode=describe_mode(codepack),
-                    instructions=n,
+                    instructions=limit,
                     cycles=int(cycles[col]),
-                    icache_accesses=p.icache_accesses,
-                    icache_misses=p.icache_misses,
-                    dcache_accesses=p.dcache_accesses,
-                    dcache_misses=p.dcache_misses,
-                    branch_lookups=p.lookups,
-                    branch_mispredicts=p.mispredicts,
+                    icache_accesses=ica,
+                    icache_misses=icm,
+                    dcache_accesses=dca,
+                    dcache_misses=dcm,
+                    branch_lookups=lookups,
+                    branch_mispredicts=mispredicts,
                     engine=engine,
                     output=output,
                     exit_code=exit_code,
@@ -1512,52 +1748,96 @@ def _price_group(program, group_cells, static, trace, image,
     return results
 
 
-def price_cells(program, cells, *, static, trace, image=None,
-                max_instructions, critical_word_first=True,
-                native_prefetch=False, min_group=6):
-    """Price many sweep cells of one benchmark in shared trace passes.
+def price_grid(benches, cells, *, max_instructions,
+               critical_word_first=True, native_prefetch=False,
+               min_group=6, declines=None):
+    """Price sweep cells spanning many benchmarks in shared passes.
 
-    ``cells`` is a sequence of ``(arch, codepack)`` pairs (``codepack``
-    ``None`` for native).  Cells sharing a pipeline shape (issue/fetch
-    widths, RUU, FU pools, penalty, predictor, D-cache) are priced
-    together -- one lockstep trace pass per group -- and each priced
-    cell's :class:`~repro.sim.results.SimResult` is exactly what
-    :func:`repro.sim.machine.simulate` returns for it.
+    ``benches`` maps a benchmark key to its ``(program, static, trace,
+    image)`` tuple; ``cells`` is a sequence of ``(bench_key, arch,
+    codepack)`` triples (``codepack`` ``None`` for native).  Cells are
+    grouped by pipeline shape (issue/fetch widths, RUU, FU pools,
+    penalty, predictor, D-cache, bus sharing) *across benchmarks*, so
+    ``min_group`` is judged against the whole grid's group: a shape
+    that appears only a few times per benchmark still prices
+    vectorized when the grid spans enough benchmarks.  Each group then
+    runs one lockstep kernel pass per trace, and every priced cell's
+    :class:`~repro.sim.results.SimResult` is exactly what
+    :func:`repro.sim.machine.simulate` returns for it -- including
+    shared-bus cells and truncating ``max_instructions`` caps.
 
     Returns ``{cell_index: SimResult}`` for the cells the vector
     backend could serve; callers run the rest through the scalar
-    engines.  Unsupported shapes (shared bus, truncating caps,
-    non-power-of-two widths, groups smaller than *min_group*) are
-    simply left out.
+    engines.  When *declines* (a ``Counter``-like mapping) is given,
+    every unserved cell is counted there under its decline reason, so
+    a silent regression to scalar pricing shows up in sweep stats.
     """
     out = {}
-    if np is None or trace is None or trace.n == 0:
+
+    def decline(count, reason):
+        if declines is not None and count:
+            declines[reason] = declines.get(reason, 0) + count
+
+    if np is None:
+        decline(len(list(cells)), "numpy unavailable")
         return out
-    if max_instructions < trace.n or not trace.covers(max_instructions):
-        return out
-    if trace.fault is not None and max_instructions > trace.n:
-        return out  # the scalar path raises; keep that behaviour there
     groups = {}
-    for pos, (arch, codepack) in enumerate(cells):
-        if arch.shared_memory_bus:
-            continue
+    for pos, (bench, arch, codepack) in enumerate(cells):
         groups.setdefault(_group_key(arch), []).append(
-            (pos, arch, codepack))
-    if not groups:
-        return out
-    halted = trace.halted  # full replay: consumed == trace.n
-    output = trace.output_upto(trace.n)
-    exit_code = trace.exit_code if halted else 0
-    truncated = not halted and trace.n >= max_instructions
+            (pos, bench, arch, codepack))
     for group_cells in groups.values():
         if len(group_cells) < min_group:
+            decline(len(group_cells), "group below min_group")
             continue
-        try:
-            results = _price_group(program, group_cells, static, trace,
-                                   image, critical_word_first,
-                                   native_prefetch, halted, output,
-                                   exit_code, truncated)
-        except _VecUnsupported:
-            continue
-        out.update(results)
+        by_bench = {}
+        for pos, bench, arch, codepack in group_cells:
+            by_bench.setdefault(bench, []).append((pos, arch, codepack))
+        for bench, bcells in by_bench.items():
+            program, static, trace, image = benches[bench]
+            if trace is None or trace.n == 0:
+                decline(len(bcells), "no trace")
+                continue
+            if not trace.covers(max_instructions):
+                decline(len(bcells), "trace does not cover the cap")
+                continue
+            if trace.fault is not None and max_instructions > trace.n:
+                # the scalar path raises; keep that behaviour there
+                decline(len(bcells), "trace fault within the cap")
+                continue
+            limit = min(trace.n, max_instructions)
+            if limit <= 0:
+                decline(len(bcells), "empty replay window")
+                continue
+            halted = trace.halted and limit == trace.n
+            output = trace.output_upto(limit)
+            exit_code = trace.exit_code if halted else 0
+            truncated = not halted and limit >= max_instructions
+            try:
+                out.update(_price_group(
+                    program, bcells, static, trace, image,
+                    critical_word_first, native_prefetch, limit,
+                    halted, output, exit_code, truncated))
+            except _VecUnsupported as exc:
+                decline(len(bcells), str(exc))
     return out
+
+
+def price_cells(program, cells, *, static, trace, image=None,
+                max_instructions, critical_word_first=True,
+                native_prefetch=False, min_group=6, declines=None):
+    """Price many sweep cells of one benchmark in shared trace passes.
+
+    Single-benchmark wrapper over :func:`price_grid`: ``cells`` is a
+    sequence of ``(arch, codepack)`` pairs and the returned mapping is
+    keyed by each cell's index in it.  ``min_group`` is judged against
+    this one benchmark's groups -- multi-benchmark sweeps should call
+    :func:`price_grid` directly so small per-benchmark groups batch
+    across traces instead of declining.
+    """
+    key = program.name if program is not None else "bench"
+    benches = {key: (program, static, trace, image)}
+    grid = [(key, arch, codepack) for arch, codepack in cells]
+    return price_grid(benches, grid, max_instructions=max_instructions,
+                      critical_word_first=critical_word_first,
+                      native_prefetch=native_prefetch,
+                      min_group=min_group, declines=declines)

@@ -152,6 +152,33 @@ class TestAdversarialShapes:
                              block_instructions=block_instructions,
                              group_blocks=group_blocks)
 
+    @pytest.mark.parametrize("group_blocks", [1, 2, 3, 4])
+    @pytest.mark.parametrize("n_blocks", [1, 2, 3, 7, 8, 9])
+    def test_index_entries_vec_matches_scalar(self, group_blocks,
+                                              n_blocks):
+        # The vectorized index builder against the shared scalar oracle
+        # over synthetic geometries: ragged tails, raw flags in both
+        # slots, single-block groups.
+        import numpy as np
+
+        from repro.codepack.compressor import BlockInfo
+        from repro.codepack.reference import build_index_entries
+        from repro.codepack.veccodec import _index_entries_vec
+
+        rng = random.Random(group_blocks * 100 + n_blocks)
+        lengths = [rng.randrange(1, 70) for _ in range(n_blocks)]
+        offsets = [sum(lengths[:i]) for i in range(n_blocks)]
+        raws = [rng.random() < 0.4 for _ in range(n_blocks)]
+        blocks = [BlockInfo(index=i, byte_offset=offsets[i],
+                            byte_length=lengths[i], is_raw=raws[i],
+                            n_instructions=4, inst_end_bits=())
+                  for i in range(n_blocks)]
+        assert _index_entries_vec(
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(lengths, dtype=np.int64),
+            np.asarray(raws, dtype=bool), group_blocks,
+        ) == build_index_entries(blocks, group_blocks)
+
 
 class TestBatchKernels:
     """The multi-program entry points: fused encode, one-pass decode."""

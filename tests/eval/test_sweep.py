@@ -205,6 +205,47 @@ class TestPartitioning:
             resolve_jobs(-2)
 
 
+class TestVecPartitioning:
+    """partition_cells_vec keeps (bench, kernel-group) units whole so
+    a worker never prices half a column group."""
+
+    CELLS = ([("a", ARCH_4_ISSUE, None)] * 4
+             + [("a", ARCH_1_ISSUE, None)] * 2
+             + [("b", ARCH_4_ISSUE, CP)] * 3
+             + [("b", ARCH_1_ISSUE, CP)])
+
+    @staticmethod
+    def _unit_key(cell):
+        from repro.sim.vecreplay import _group_key
+        return (cell[0], _group_key(cell[1]))
+
+    def test_units_stay_whole(self):
+        batches = sweep.partition_cells_vec(self.CELLS, 3)
+        placed = {}
+        for pos, batch in enumerate(batches):
+            for cell in batch:
+                key = self._unit_key(cell)
+                assert placed.setdefault(key, pos) == pos
+        flat = [cell for batch in batches for cell in batch]
+        assert sorted(flat, key=repr) == sorted(self.CELLS, key=repr)
+
+    def test_deterministic(self):
+        assert (sweep.partition_cells_vec(self.CELLS, 3)
+                == sweep.partition_cells_vec(self.CELLS, 3))
+
+    def test_balances_largest_first(self):
+        # Unit sizes 4, 3, 2, 1 pack greedily into two batches of 5.
+        batches = sweep.partition_cells_vec(self.CELLS, 2)
+        assert len(batches) == 2
+        assert sorted(len(b) for b in batches) == [5, 5]
+
+    def test_jobs_one_is_single_batch(self):
+        assert sweep.partition_cells_vec(self.CELLS, 1) == [self.CELLS]
+
+    def test_empty(self):
+        assert sweep.partition_cells_vec([], 4) == []
+
+
 class TestWorkbenchCache:
     SCALE = 0.01
 
@@ -318,7 +359,9 @@ class TestParallelPrefetch:
     def test_prefetch_serial_path(self):
         wb = Workbench(scale=self.SCALE)  # jobs=1
         assert wb.prefetch(self.CELLS[:2]) == 2
-        assert wb.stats.sim_runs == 2
+        # Vec-priced when NumPy is importable (min_group never gates
+        # the sweep), scalar simulation runs otherwise.
+        assert wb.stats.sim_runs + wb.stats.vec_cells == 2
         assert wb.prefetch(self.CELLS[:2]) == 0
 
     def test_run_batches_results_match_direct_simulation(self):
@@ -327,6 +370,41 @@ class TestParallelPrefetch:
         for cell, result in results.items():
             bench, arch, cp = cell
             assert result == wb.run(bench, arch, cp)
+
+    def test_run_batches_small_batch_vec_prices(self):
+        # The sweep passes min_group=1: even a two-cell batch prices
+        # through the column kernels with an empty decline histogram,
+        # so serial and partitioned runs report the same backend.
+        pytest.importorskip("numpy")
+        stats = sweep.SweepStats()
+        results = run_batches(self.CELLS[:2], self.SCALE, 5_000_000,
+                              jobs=1, stats=stats, replay=True)
+        assert len(results) == 2
+        assert stats.vec_declines == {}
+        assert stats.vec_cells == 2
+
+    def test_run_batches_counts_declines(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.sim import vecreplay
+
+        def declining_price_grid(benches, cells, *, declines=None,
+                                 **kwargs):
+            if declines is not None:
+                n = len(list(cells))
+                declines["synthetic reason"] = (
+                    declines.get("synthetic reason", 0) + n)
+            return {}
+
+        monkeypatch.setattr(vecreplay, "price_grid", declining_price_grid)
+        stats = sweep.SweepStats()
+        results = run_batches(self.CELLS[:2], self.SCALE, 5_000_000,
+                              jobs=1, stats=stats, replay=True)
+        # Declined cells still get served -- by scalar replay -- and
+        # the histogram says why they missed the vec backend.
+        assert len(results) == 2
+        assert stats.vec_declines == {"synthetic reason": 2}
+        assert stats.as_dict()["vec_declines"] == stats.vec_declines
+        assert "vec declines" in stats.summary()
 
 
 class TestCacheDirEnvOverride:

@@ -261,3 +261,46 @@ class TestTraceCacheLimit:
     def test_negative_limit_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="limit_bytes"):
             TraceCache(str(tmp_path), limit_bytes=-1)
+
+
+def _hammer_trace_cache(root, rounds, offset):
+    """Subprocess body for the concurrency stress test (module level
+    so it pickles).  Hammers a shared, byte-limited cache directory:
+    with ``limit_bytes=1`` every store prunes every other entry, so
+    the sibling process's loads constantly race files being replaced
+    or deleted.  Any anomaly is returned as a string (raising in a
+    pool worker would only surface a pickled traceback)."""
+    program = assemble(SOURCE)
+    static = prepare(program)
+    digest = program_digest(program)
+    cache = TraceCache(root, limit_bytes=1)
+    for i in range(rounds):
+        cap = 3 + ((i + offset) % 4)
+        trace = cache.get_or_record(program, static=static,
+                                    max_instructions=cap)
+        if trace.program_sha != digest:
+            return "wrong program digest for cap %d" % cap
+        if trace.max_instructions != cap:
+            return "wrong cap: wanted %d, got %d" % (cap,
+                                                     trace.max_instructions)
+        again = cache.get(program, cap)
+        if again is not None and trace_state(again) != trace_state(trace):
+            return "reread mismatch for cap %d" % cap
+    return None
+
+
+class TestTraceCacheConcurrency:
+    """Two processes sharing one cache directory must never observe a
+    torn trace: stores are tmp+atomic-replace, loads treat vanished or
+    partial files as misses, and pruning is best-effort."""
+
+    def test_two_process_stress(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+        root = str(tmp_path)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_hammer_trace_cache, root, 40, k)
+                       for k in range(2)]
+            errors = [f.result(timeout=300) for f in futures]
+        assert errors == [None, None]
+        # Atomic stores never leak temp files into the directory.
+        assert [n for n in os.listdir(root) if n.endswith(".tmp")] == []

@@ -126,17 +126,145 @@ class TestAblationKnobs:
                            native_prefetch=True)
             assert priced[pos].to_dict() == ref.to_dict()
 
-    def test_truncation_cap_left_to_scalar(self, suite):
-        # A cap below the trace length truncates the stream; the vector
-        # backend declines such cells and the caller's scalar fallback
-        # keeps the sweep exact (asserted Workbench-level below).
-        priced = price(suite, "cc1", self.CELLS, max_instructions=997)
-        assert priced == {}
+    TRUNC_CELLS = [(ARCH_1_ISSUE, None), (ARCH_1_ISSUE, CP_BASELINE),
+                   (ARCH_4_ISSUE, None), (ARCH_4_ISSUE, CP_BASELINE),
+                   (ARCH_4_ISSUE, CP_OPTIMIZED), (ARCH_8_ISSUE, None),
+                   (ARCH_8_ISSUE, CP_OPTIMIZED)]
+
+    @pytest.mark.parametrize("cap", (1, 37, 997))
+    def test_truncation_cap_priced_exactly(self, suite, cap):
+        # A cap below the trace length truncates the stream: the
+        # kernels clip every event column to the prefix and report the
+        # truncated SimResult (instructions, stats, output, flags)
+        # exactly as the scalar truncating loops do.
+        program, static, image, trace = suite["cc1"]
+        assert cap < trace.n
+        priced = price(suite, "cc1", self.TRUNC_CELLS,
+                       max_instructions=cap)
+        assert sorted(priced) == list(range(len(self.TRUNC_CELLS)))
+        for pos, (arch, codepack) in enumerate(self.TRUNC_CELLS):
+            ref = simulate(program, arch, codepack=codepack,
+                           image=image if codepack else None,
+                           static=static, replay=trace,
+                           max_instructions=cap)
+            got = priced[pos].to_dict()
+            assert got["instructions"] == cap
+            assert got == ref.to_dict(), (arch.name, codepack, cap)
 
     def test_min_group_gate(self, suite):
-        # Below min_group the group is declined, not mispriced.
-        priced = price(suite, "cc1", self.CELLS[:1], min_group=2)
+        # Below min_group the group is declined, not mispriced -- and
+        # the decline is counted, not silent.
+        declines = {}
+        priced = price(suite, "cc1", self.CELLS[:1], min_group=2,
+                       declines=declines)
         assert priced == {}
+        assert declines == {"group below min_group": 1}
+
+
+class TestSharedBus:
+    """The single-port-channel kernels vs the scalar arbitration."""
+
+    @pytest.mark.parametrize("arch", sorted(ARCHS))
+    def test_shared_bus_cells_priced_exactly(self, suite, arch):
+        program, static, image, trace = suite["pegwit"]
+        shared = ARCHS[arch].with_shared_bus()
+        cells = [(shared, None), (shared, CP_BASELINE),
+                 (shared, CP_OPTIMIZED)]
+        priced = price(suite, "pegwit", cells)
+        assert sorted(priced) == [0, 1, 2]
+        for pos, (a, codepack) in enumerate(cells):
+            ref = simulate(program, a, codepack=codepack,
+                           image=image if codepack else None,
+                           static=static, replay=trace)
+            assert priced[pos].to_dict() == ref.to_dict(), \
+                (arch, codepack)
+
+    def test_shared_and_idle_bus_grouped_apart(self, suite):
+        # Shared-bus cells must never share a kernel pass with
+        # idle-channel cells of the same shape: the group key splits
+        # them, and both price exactly in one call.
+        program, static, image, trace = suite["pegwit"]
+        cells = [(ARCH_4_ISSUE, CP_BASELINE),
+                 (ARCH_4_ISSUE.with_shared_bus(), CP_BASELINE)]
+        priced = price(suite, "pegwit", cells)
+        assert sorted(priced) == [0, 1]
+        assert priced[0].cycles < priced[1].cycles  # contention costs
+        for pos, (a, codepack) in enumerate(cells):
+            ref = simulate(program, a, codepack=codepack, image=image,
+                           static=static, replay=trace)
+            assert priced[pos].to_dict() == ref.to_dict()
+
+    def test_shared_bus_truncated(self, suite):
+        program, static, image, trace = suite["pegwit"]
+        shared = ARCH_4_ISSUE.with_shared_bus()
+        cells = [(shared, None), (shared, CP_BASELINE)]
+        priced = price(suite, "pegwit", cells, max_instructions=997)
+        assert sorted(priced) == [0, 1]
+        for pos, (a, codepack) in enumerate(cells):
+            ref = simulate(program, a, codepack=codepack,
+                           image=image if codepack else None,
+                           static=static, replay=trace,
+                           max_instructions=997)
+            assert priced[pos].to_dict() == ref.to_dict()
+
+
+class TestCrossTraceGrid:
+    """price_grid: one invocation prices cells spanning benchmarks."""
+
+    def _benches(self, suite):
+        return {name: (program, static, trace, image)
+                for name, (program, static, image, trace)
+                in suite.items()}
+
+    def test_small_groups_batch_across_traces(self, suite):
+        # Three cells per benchmark of one shape: below min_group=6
+        # per benchmark, but the *global* group spans both traces, so
+        # price_grid dissolves the decline that price_cells reports.
+        cells3 = [(ARCH_8_ISSUE, None), (ARCH_8_ISSUE, CP_BASELINE),
+                  (ARCH_8_ISSUE, CP_OPTIMIZED)]
+        declines = {}
+        per_bench = price(suite, "cc1", cells3, min_group=6,
+                          declines=declines)
+        assert per_bench == {}
+        assert declines == {"group below min_group": 3}
+
+        grid = [(bench, arch, cp) for bench in ("cc1", "pegwit")
+                for arch, cp in cells3]
+        declines = {}
+        priced = vecreplay.price_grid(
+            self._benches(suite), grid, max_instructions=5_000_000,
+            min_group=6, declines=declines)
+        assert declines == {}
+        assert sorted(priced) == list(range(len(grid)))
+        for pos, (bench, arch, codepack) in enumerate(grid):
+            program, static, image, trace = suite[bench]
+            ref = simulate(program, arch, codepack=codepack,
+                           image=image if codepack else None,
+                           static=static, replay=trace)
+            assert priced[pos].to_dict() == ref.to_dict()
+
+    def test_full_grid_zero_declines(self, suite, grid_cells):
+        # The whole sweep grid -- every experiment's cells for both
+        # benchmarks -- prices in one invocation with an empty decline
+        # histogram at the default min_group.
+        grid = [(bench, arch, cp) for bench, bcells in grid_cells.items()
+                for arch, cp in bcells]
+        declines = {}
+        priced = vecreplay.price_grid(
+            self._benches(suite), grid, max_instructions=5_000_000,
+            declines=declines)
+        assert declines == {}
+        assert sorted(priced) == list(range(len(grid)))
+
+    def test_decline_reasons_are_counted(self, suite):
+        benches = self._benches(suite)
+        grid = [("cc1", ARCH_4_ISSUE, None)]
+        declines = {}
+        out = vecreplay.price_grid(benches, grid,
+                                   max_instructions=5_000_000,
+                                   min_group=99, declines=declines)
+        assert out == {}
+        assert declines == {"group below min_group": 1}
 
 
 class TestWorkbenchIntegration:
@@ -241,6 +369,31 @@ class TestHypothesisProfiles:
             state = table.get(entry, 2)
             assert got[i] == state, i
             table[entry] = min(3, max(0, state + step))
+
+
+class TestHypothesisReplay:
+    """Random truncation caps x bus sharing vs the scalar engines."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(cap=st.integers(min_value=1, max_value=4000),
+           shared=st.booleans(),
+           arch_name=st.sampled_from(sorted(ARCHS)),
+           mode=st.sampled_from(["native", "base", "opt"]))
+    def test_random_cap_and_bus_exact(self, suite, cap, shared,
+                                      arch_name, mode):
+        program, static, image, trace = suite["pegwit"]
+        arch = ARCHS[arch_name]
+        if shared:
+            arch = arch.with_shared_bus()
+        codepack = {"native": None, "base": CP_BASELINE,
+                    "opt": CP_OPTIMIZED}[mode]
+        priced = price(suite, "pegwit", [(arch, codepack)],
+                       max_instructions=cap)
+        assert sorted(priced) == [0]
+        ref = simulate(program, arch, codepack=codepack,
+                       image=image if codepack else None, static=static,
+                       replay=trace, max_instructions=cap)
+        assert priced[0].to_dict() == ref.to_dict()
 
 
 class TestColumnCache:
