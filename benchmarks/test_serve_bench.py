@@ -1,6 +1,6 @@
-"""Serving-layer benchmarks: micro-batching, and fleet scaling.
+"""Serving-layer benchmarks: micro-batching, fleet scaling, peer-fetch.
 
-Two contracts:
+Three contracts:
 
 * **Batching** -- the same Zipf-skewed decompress workload against two
   in-process servers, one with the micro-batch window and
@@ -12,15 +12,23 @@ Two contracts:
   index are always *recorded*; the ``>= 2x`` floor is only *asserted*
   when ``SERVE_FLEET_MIN_SPEEDUP`` is set (CI exports ``2.0`` on its
   multi-core runners -- a one-core dev box cannot scale by fiat).
+* **Peer-fetch** -- the tier-2 cooperative cache: serving an evicted
+  hot span from the ring successor's replica tier must beat
+  re-decoding it by at least ``PEER_FETCH_MIN_SPEEDUP`` (default 3x),
+  byte-identically.  One localhost round trip versus a multi-group
+  kernel decode -- this is the whole reason the tier exists.
 
-Both reports land in ``BENCH_serve.json`` so CI can upload one
+All reports land in ``BENCH_serve.json`` so CI can upload one
 artifact::
 
     pytest benchmarks/test_serve_bench.py -q -s
 """
 
+import asyncio
 import json
 import os
+import statistics
+import time
 
 import pytest
 
@@ -34,6 +42,10 @@ SERVE_SPEEDUP_FLOOR = 2.0
 #: Fleet-vs-single floor, asserted only when the env var sets it.
 FLEET_SPEEDUP_FLOOR = float(
     os.environ.get("SERVE_FLEET_MIN_SPEEDUP", "0"))
+
+#: Peer-fetch-vs-decode floor (always asserted; env-tunable for CI).
+PEER_FETCH_FLOOR = float(
+    os.environ.get("PEER_FETCH_MIN_SPEEDUP", "3.0"))
 
 REPORT_PATH = os.environ.get("BENCH_SERVE_JSON", "BENCH_serve.json")
 
@@ -156,6 +168,112 @@ def test_fleet_scaling_contract():
     else:
         print("  (SERVE_FLEET_MIN_SPEEDUP unset: %.2fx recorded, "
               "not asserted)" % result["fleet_speedup"])
+
+
+#: Peer-fetch bench: spans long enough that a decode dwarfs a localhost
+#: round trip; the 1ms batch window rides on both sides of the compare.
+PEER_SPAN = 16
+PEER_TRIALS = 8
+
+
+def test_peer_fetch_contract():
+    from repro.serve.client import FleetClient
+    from repro.serve.fleet import LocalFleet
+    from repro.tools.container import parse_image
+    from repro.workloads.suite import build_benchmark
+
+    async def main():
+        fleet = LocalFleet(n_workers=3, config=ServerConfig(
+            batch_window=0.001, replicate_interval=0.01,
+            workers=SERVER.workers))
+        await fleet.start()
+        try:
+            async with FleetClient(fleet.addresses) as client:
+                program = build_benchmark(WORKLOAD.benchmark,
+                                          WORKLOAD.scale)
+                digest, blob = await client.compress(
+                    program.text, text_base=program.text_base,
+                    name=program.name, timeout=60.0)
+                await client.broadcast_register(image_bytes=blob)
+                n_groups = parse_image(blob).n_groups
+                starts = list(range(0, n_groups - PEER_SPAN,
+                                    PEER_SPAN))[:PEER_TRIALS]
+                assert len(starts) >= 3, "image too small for the bench"
+
+                baseline = {}
+                for start in starts:
+                    words = await client.decompress(
+                        digest=digest, group_start=start,
+                        group_count=PEER_SPAN, timeout=60.0)
+                    baseline[start] = tuple(words)
+
+                # Wait for the write-behind pump to mirror every span
+                # to its ring successor before evicting anything.
+                expected = len(starts) * PEER_SPAN
+                deadline = asyncio.get_running_loop().time() + 20.0
+                while sum(len(s.replicas)
+                          for s in fleet.servers) < expected:
+                    assert asyncio.get_running_loop().time() < deadline, \
+                        "replication pump never mirrored the hot set"
+                    await asyncio.sleep(0.02)
+
+                async def timed(start):
+                    began = time.perf_counter()
+                    words = await client.decompress(
+                        digest=digest, group_start=start,
+                        group_count=PEER_SPAN, timeout=60.0)
+                    elapsed = time.perf_counter() - began
+                    assert tuple(words) == baseline[start]
+                    return elapsed * 1000.0
+
+                # Peer path: evict the owner's primary cache; the span
+                # comes back from the successor's replica tier.
+                peer_ms = []
+                for start in starts:
+                    fleet.server(client.shard_for(
+                        digest, start)).cache.clear()
+                    peer_ms.append(await timed(start))
+                hits = sum(s.metrics.peer_fetch_hits
+                           for s in fleet.servers)
+                assert hits >= len(starts), \
+                    "evicted spans were not served by peers"
+
+                # Decode path: same eviction, but no replica anywhere
+                # -- the owner pays for the full span re-decode.
+                for server in fleet.servers:
+                    server.replicas.clear()
+                decode_ms = []
+                for start in starts:
+                    fleet.server(client.shard_for(
+                        digest, start)).cache.clear()
+                    decode_ms.append(await timed(start))
+
+                return {
+                    "span_groups": PEER_SPAN,
+                    "trials": len(starts),
+                    "peer_fetch_p50_ms": statistics.median(peer_ms),
+                    "decode_p50_ms": statistics.median(decode_ms),
+                    "speedup": (statistics.median(decode_ms)
+                                / statistics.median(peer_ms)),
+                    "floor": PEER_FETCH_FLOOR,
+                    "peer_fetch_hits": hits,
+                }
+        finally:
+            await fleet.stop()
+
+    result = asyncio.run(main())
+    _merge_into_report(REPORT_PATH, "peer_fetch", result)
+
+    print("\nserve peer-fetch bench: evicted %d-group span healed in "
+          "%.2fms via peer vs %.2fms re-decode = %.2fx -> %s"
+          % (PEER_SPAN, result["peer_fetch_p50_ms"],
+             result["decode_p50_ms"], result["speedup"], REPORT_PATH))
+
+    assert result["speedup"] >= PEER_FETCH_FLOOR, (
+        "peer-fetch only %.2fx over re-decode (peer %.2fms, "
+        "decode %.2fms; floor %.1fx)"
+        % (result["speedup"], result["peer_fetch_p50_ms"],
+           result["decode_p50_ms"], PEER_FETCH_FLOOR))
 
 
 if __name__ == "__main__":

@@ -15,6 +15,17 @@ frames.  Workers persist their hot set to versioned, checksummed
 snapshot files and restore them on start, so a bounced worker rejoins
 warm instead of refilling its cache from scratch.
 
+v3 makes the fleet cooperative and its membership live.  Each worker
+write-behind-replicates its warmest decoded groups to the key's ring
+successor (a second, byte-budgeted cache tier), and on a local miss
+peer-fetches from that successor before paying for a decode -- so a
+cold-restarted worker serves its hot set at cache speed from the first
+request.  Workers can join and leave a running fleet (``REQ_JOIN`` /
+``REQ_LEAVE``): the ring epoch bumps, old owners stream the hot keys
+they are losing to the new owners *before* flipping ownership, and
+epoch-stamped redirects let stale clients rediscover the member table
+from any worker.
+
 * :mod:`repro.serve.protocol` -- sans-IO frames, payload codecs,
   typed error codes
 * :mod:`repro.serve.server` -- the asyncio server (backpressure,
@@ -37,7 +48,9 @@ warm instead of refilling its cache from scratch.
 #: Serving-layer behaviour version (bump on protocol changes together
 #: with :data:`repro.serve.protocol.PROTOCOL_VERSION`).  v2: fleet
 #: sharding, redirect frames, warm-start snapshots, compress batching.
-SERVE_VERSION = 2
+#: v3: tier-2 cooperative cache (peer-fetch + successor replication),
+#: live membership with epoch-stamped redirects and hot-set handoff.
+SERVE_VERSION = 3
 
 from repro.serve.batcher import GroupCache, ImageRegistry, MicroBatcher
 from repro.serve.client import FleetClient, Redirected, ServeClient

@@ -36,7 +36,7 @@ from repro.serve.protocol import (
 )
 from repro.tools.container import dump_image
 
-__all__ = ["GroupCache", "ImageRegistry", "MicroBatcher",
+__all__ = ["GroupCache", "ImageRegistry", "MicroBatcher", "ReplicaCache",
            "decode_group", "image_digest"]
 
 
@@ -96,9 +96,23 @@ class GroupCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def peek(self, key):
+        """Look up without perturbing LRU order or hit/miss counters.
+
+        The peer-serve path uses this: a neighbour asking "do you hold
+        this group" must not promote the entry (the neighbour's
+        interest says nothing about local heat) nor skew the local
+        hit-rate metrics.
+        """
+        return self._entries.get(key)
+
     def hit_rate(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def clear(self):
+        """Drop every entry (counters survive -- they are lifetime)."""
+        self._entries.clear()
 
     def items(self):
         """``((digest, group), words)`` pairs, coldest first.
@@ -113,6 +127,80 @@ class GroupCache:
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses, "evictions": self.evictions,
                 "hit_rate": self.hit_rate()}
+
+
+class ReplicaCache:
+    """Byte-budgeted LRU of decoded groups replicated *to* this shard.
+
+    The second cache tier: ring predecessors push their warmest decoded
+    groups here (write-behind), so when they evict -- or die -- the
+    group is one peer round-trip away instead of one kernel decode.
+    Budgeted in bytes (4 per instruction word) rather than entries
+    because replicated spans arrive in bulk and group sizes vary; a
+    fixed byte budget keeps replica pressure from squeezing the primary
+    cache's memory headroom.
+    """
+
+    def __init__(self, max_bytes=8 * 1024 * 1024):
+        self.max_bytes = max_bytes
+        self._entries = OrderedDict()
+        self.bytes = 0
+        self.stores = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @staticmethod
+    def _cost(words):
+        return 4 * len(words)
+
+    def get(self, key):
+        words = self._entries.get(key)
+        if words is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return words
+
+    def peek(self, key):
+        return self._entries.get(key)
+
+    def put(self, key, words):
+        if self.max_bytes <= 0:
+            return False
+        words = tuple(words)
+        cost = self._cost(words)
+        if cost > self.max_bytes:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= self._cost(old)
+        self._entries[key] = words
+        self.bytes += cost
+        self.stores += 1
+        while self.bytes > self.max_bytes:
+            _key, evicted = self._entries.popitem(last=False)
+            self.bytes -= self._cost(evicted)
+            self.evictions += 1
+        return True
+
+    def discard(self, key):
+        words = self._entries.pop(key, None)
+        if words is not None:
+            self.bytes -= self._cost(words)
+
+    def clear(self):
+        self._entries.clear()
+        self.bytes = 0
+
+    def counters(self):
+        return {"entries": len(self._entries), "bytes": self.bytes,
+                "stores": self.stores, "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions}
 
 
 class ImageRegistry:
@@ -182,7 +270,7 @@ class MicroBatcher:
 
     def __init__(self, registry, cache, window=0.002, max_batch=128,
                  executor=None, metrics=None, high_dict=None,
-                 low_dict=None):
+                 low_dict=None, peer_fetch=None):
         self.registry = registry
         self.cache = cache
         self.window = window
@@ -191,6 +279,11 @@ class MicroBatcher:
         self.metrics = metrics
         self.high_dict = high_dict
         self.low_dict = low_dict
+        #: Optional async tier-2 hook ``(digest, groups) -> {group:
+        #: words}``.  Called on local cache misses *before* decode;
+        #: whatever it cannot produce falls through to the decode path,
+        #: so the hook can never make a request fail -- only faster.
+        self.peer_fetch = peer_fetch
         self._pending = {}  # (digest, group) -> [future, image, waiters]
         self._queue = asyncio.Queue()
         self._task = None
@@ -273,6 +366,15 @@ class MicroBatcher:
                 missing.append(group)
             else:
                 got[group] = words
+
+        if missing and self.peer_fetch is not None:
+            fetched = await self.peer_fetch(digest, list(missing))
+            if fetched:
+                for group, words in fetched.items():
+                    self.cache.put((digest, group), words)
+                    got[group] = tuple(words)
+                missing = [group for group in missing
+                           if group not in fetched]
 
         if missing and self.window <= 0:
             # Unbatched direct path: one executor call per request.

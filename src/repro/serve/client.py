@@ -17,6 +17,7 @@ keeps every blob it compressed or registered).
 
 import asyncio
 import hashlib
+import random
 
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
@@ -52,12 +53,15 @@ class Redirected(Exception):
     the named shard.
     """
 
-    def __init__(self, shard_id, host, port):
+    def __init__(self, shard_id, host, port, epoch=None):
         super().__init__("redirected to shard %d at %s:%d"
                          % (shard_id, host, port))
         self.shard_id = shard_id
         self.host = host
         self.port = port
+        #: The redirecting server's ring epoch (v3, epoch-stamped
+        #: requests only); ``None`` on legacy redirects.
+        self.epoch = epoch
 
 
 class ServeClient:
@@ -82,7 +86,8 @@ class ServeClient:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port)
         self._reader_task = asyncio.get_running_loop().create_task(
-            self._read_loop())
+            self._read_loop(),
+            name="serve-read-loop %s:%d" % (self.host, self.port))
         return self
 
     async def close(self):
@@ -130,9 +135,10 @@ class ServeClient:
                     code, message = protocol.decode_error(frame.payload)
                     future.set_exception(ProtocolError(code, message))
                 elif frame.type == protocol.RESP_REDIRECT:
-                    shard_id, host, port = \
+                    shard_id, host, port, epoch = \
                         protocol.decode_redirect(frame.payload)
-                    future.set_exception(Redirected(shard_id, host, port))
+                    future.set_exception(
+                        Redirected(shard_id, host, port, epoch=epoch))
                 else:
                     future.set_result(frame)
         except (asyncio.CancelledError, ConnectionError):
@@ -183,13 +189,19 @@ class ServeClient:
 
     async def decompress(self, digest=None, image_bytes=None,
                          group_start=0, group_count=protocol.WHOLE_IMAGE,
-                         timeout=None):
-        """Decode a group span; returns the instruction words."""
+                         timeout=None, epoch=None):
+        """Decode a group span; returns the instruction words.
+
+        With *epoch* (by-digest only) the request is stamped with the
+        caller's ring epoch, so a misroute earns an epoch-stamped
+        redirect instead of the legacy layout.
+        """
         frame = await self.request(
             protocol.REQ_DECOMPRESS,
             protocol.encode_decompress_request(
                 digest=digest, image_bytes=image_bytes,
-                group_start=group_start, group_count=group_count),
+                group_start=group_start, group_count=group_count,
+                epoch=epoch),
             timeout=timeout)
         _digest, _start, words = \
             protocol.decode_decompress_response(frame.payload)
@@ -222,6 +234,21 @@ class ServeClient:
                                    timeout=timeout)
         return protocol.decode_json_payload(frame.payload)
 
+    async def membership(self, epoch, members, shard=None, leaving=False,
+                         timeout=None):
+        """Announce a reshard (v3): the full post-change member table.
+
+        Sends ``REQ_LEAVE`` with *leaving* (the receiving shard is
+        allowed to be absent from the table), ``REQ_JOIN`` otherwise.
+        Returns the server's JSON acknowledgement (current epoch and
+        member table; a fresh reshard also reports handoff counts).
+        """
+        frame = await self.request(
+            protocol.REQ_LEAVE if leaving else protocol.REQ_JOIN,
+            protocol.encode_membership(epoch, members, shard=shard),
+            timeout=timeout)
+        return protocol.decode_json_payload(frame.payload)
+
 
 def _split_address(address):
     if isinstance(address, (tuple, list)):
@@ -235,32 +262,74 @@ class FleetClient:
     """Shard-aware client: one pipelined connection per fleet worker.
 
     The client mirrors the fleet's hash ring (same shard ids, same
-    replica count), so by-digest decompress requests go straight to
-    the owning shard and arrive cache-warm.  Should routing ever
-    disagree with the server -- a stale topology, a deliberately
-    misrouted test -- the redirect frame names the owner and the
-    request is replayed there once.
+    replica count, same epoch), so by-digest decompress requests go
+    straight to the owning shard and arrive cache-warm.  Should
+    routing ever disagree with the server -- a stale topology, a
+    deliberately misrouted test -- the redirect frame names the owner
+    and the request is replayed there.
+
+    Live-membership fleets (protocol v3) need two more behaviours,
+    both automatic: the member table can be **discovered** from any
+    one worker (:meth:`refresh_topology`, or ``discover=True`` to
+    bootstrap on connect), and an epoch-stamped redirect whose epoch
+    differs from the client's triggers a rediscovery before the
+    request is re-routed -- so a client started before a join/leave
+    converges on the new ring in one extra round-trip instead of
+    chasing redirects forever.
 
     Container blobs returned by :meth:`compress` (or passed inline)
     are memoised by digest: a shard answering ``not-found`` for a
     digest it never saw gets the request again with the bytes inline,
     which registers the image there for every later span.
+
+    Redialing a bounced worker backs off exponentially with
+    deterministic seeded jitter (*redial_attempts* dials spanning
+    roughly a second) -- enough for a supervised respawn to bind,
+    without hot-spinning on a shard that is mid-restart.
     """
 
+    #: Redial schedule: base * 2^attempt plus jitter, capped.
+    REDIAL_BASE = 0.05
+    REDIAL_CAP = 1.0
+
     def __init__(self, addresses, replicas=None,
-                 max_frame=protocol.MAX_FRAME_BYTES):
+                 max_frame=protocol.MAX_FRAME_BYTES, epoch=0,
+                 discover=False, redial_attempts=4, seed=0):
         if not addresses:
             raise ValueError("fleet needs at least one worker address")
-        self.addresses = [_split_address(address) for address in addresses]
-        kwargs = {} if replicas is None else {"replicas": replicas}
-        self.ring = HashRing(range(len(self.addresses)), **kwargs)
+        members = []
+        for index, item in enumerate(addresses):
+            if isinstance(item, (tuple, list)) and len(item) == 2 \
+                    and isinstance(item[0], int):
+                members.append((int(item[0]), _split_address(item[1])))
+            else:
+                members.append((index, _split_address(item)))
         self.max_frame = max_frame
+        self.replicas = replicas
+        self.discover = discover
+        self.redial_attempts = max(1, int(redial_attempts))
+        self._rng = random.Random(0xF1EE7 ^ int(seed))
         self._clients = {}
         self._blobs = {}
         self._next_compress = 0
+        self._set_members(members, epoch)
+
+    def _set_members(self, members, epoch):
+        self._members = dict(members)
+        self.addresses = list(self._members.values())
+        kwargs = {} if self.replicas is None \
+            else {"replicas": self.replicas}
+        self.ring = HashRing(self._members, epoch=epoch, **kwargs)
+        self.epoch = epoch
+
+    @property
+    def shards(self):
+        return sorted(self._members)
 
     async def connect(self):
-        for shard in range(len(self.addresses)):
+        if self.discover:
+            await self.refresh_topology()
+        for shard in self.shards:
             await self._client(shard)
         return self
 
@@ -286,11 +355,79 @@ class FleetClient:
             # connection and dial the same address again.
             self._clients.pop(shard, None)
             await client.close()
-        host, port = self.addresses[shard]
+        host, port = self._members[shard]
         client = ServeClient(host, port, max_frame=self.max_frame)
         await client.connect()
+        existing = self._clients.get(shard)
+        if existing is not None:
+            # A concurrent caller won the dial race while we awaited
+            # connect(); an orphaned connection would leak its
+            # read-loop task, so ours yields.
+            await client.close()
+            return existing
         self._clients[shard] = client
         return client
+
+    def _backoff(self, attempt):
+        """Exponential backoff with deterministic jitter (seeded rng):
+        repeatable in tests, decorrelated across clients in a fleet."""
+        base = min(self.REDIAL_CAP, self.REDIAL_BASE * (2 ** attempt))
+        return base * (0.5 + self._rng.random())
+
+    async def _retrying(self, shard, op):
+        """Run *op(client)* against *shard*, redialing through the
+        backoff schedule when the connection is down or dies mid-call.
+        """
+        for attempt in range(self.redial_attempts):
+            try:
+                client = await self._client(shard)
+                return await op(client)
+            except (ServerClosedError, ConnectionError, OSError):
+                dead = self._clients.pop(shard, None)
+                if dead is not None:
+                    await dead.close()
+                if attempt + 1 >= self.redial_attempts:
+                    raise
+                await asyncio.sleep(self._backoff(attempt))
+
+    # -- topology discovery --------------------------------------------------
+
+    async def refresh_topology(self):
+        """Adopt the fleet's current member table from any live worker.
+
+        Tries every known member in shard order until one answers a
+        ``fleet describe``; a table with a newer epoch (or richer
+        membership at the same epoch) replaces the local one and stale
+        per-shard connections are dropped.  Returns the adopted epoch.
+        """
+        last_error = None
+        for shard in self.shards:
+            try:
+                client = await self._client(shard)
+                info = await client.fleet("describe", timeout=5.0)
+            except Exception as exc:
+                last_error = exc
+                continue
+            members = info.get("members") or []
+            epoch = int(info.get("epoch", 0))
+            if not members:
+                continue
+            if epoch < self.epoch:
+                continue  # a shard that has not heard the news yet
+            await self._adopt([(int(sid), _split_address(address))
+                               for sid, address in members], epoch)
+            return self.epoch
+        if last_error is not None:
+            raise last_error
+        return self.epoch
+
+    async def _adopt(self, members, epoch):
+        if dict(members) == self._members and epoch == self.epoch:
+            return
+        self._set_members(members, epoch)
+        for shard in list(self._clients):
+            if shard not in self._members:
+                await self._clients.pop(shard).close()
 
     def shard_for(self, digest, group_start=0):
         """The shard owning the span starting at *group_start*."""
@@ -308,25 +445,33 @@ class FleetClient:
     # -- typed helpers -------------------------------------------------------
 
     async def ping(self, timeout=None):
-        for shard in range(len(self.addresses)):
+        for shard in self.shards:
             await (await self._client(shard)).ping(timeout=timeout)
         return True
 
     async def compress(self, words, text_base=0, name="program",
                        timeout=None):
         """Compress on the next worker round-robin; memoises the blob."""
-        shard = self._next_compress % len(self.addresses)
+        shards = self.shards
+        shard = shards[self._next_compress % len(shards)]
         self._next_compress += 1
-        client = await self._client(shard)
-        digest, blob = await client.compress(
-            words, text_base=text_base, name=name, timeout=timeout)
+        digest, blob = await self._retrying(
+            shard, lambda client: client.compress(
+                words, text_base=text_base, name=name, timeout=timeout))
         self._blobs[digest] = blob
         return digest, blob
 
     async def decompress(self, digest=None, image_bytes=None,
                          group_start=0, group_count=protocol.WHOLE_IMAGE,
                          timeout=None):
-        """Route a span to its owning shard; heal misses inline."""
+        """Route a span to its owning shard; heal misses inline.
+
+        Redirect handling is epoch-aware: a redirect carrying a newer
+        ring epoch means the fleet resharded since this client learned
+        its table, so the topology is rediscovered and the request
+        re-routed on the fresh ring (rather than blindly chasing the
+        named shard with a stale table).
+        """
         if digest is None:
             if image_bytes is None:
                 raise ValueError("need digest or image_bytes")
@@ -334,37 +479,48 @@ class FleetClient:
         if image_bytes is not None:
             self._blobs[digest] = bytes(image_bytes)
         shard = self.shard_for(digest, group_start)
-        client = await self._client(shard)
-        try:
+
+        def _op(client):
+            if image_bytes is not None:
+                # Inline mode registers the container server-side; it
+                # carries no epoch (the server decodes it wherever it
+                # lands, so there is nothing to misroute).
+                return client.decompress(
+                    image_bytes=image_bytes, group_start=group_start,
+                    group_count=group_count, timeout=timeout)
+            return client.decompress(
+                digest=digest, group_start=group_start,
+                group_count=group_count, timeout=timeout,
+                epoch=self.epoch)
+
+        redirect = None
+        for _hop in range(3):
             try:
-                return await client.decompress(
-                    digest=digest, image_bytes=image_bytes,
-                    group_start=group_start, group_count=group_count,
-                    timeout=timeout)
-            except (ServerClosedError, ConnectionError):
-                # One reconnect: the worker may have bounced between
-                # requests (warm restarts are a supported operation).
-                client = await self._client(shard)
-                return await client.decompress(
-                    digest=digest, image_bytes=image_bytes,
-                    group_start=group_start, group_count=group_count,
-                    timeout=timeout)
-        except Redirected as redirect:
-            client = await self._client(redirect.shard_id)
-            return await client.decompress(
-                digest=digest, image_bytes=image_bytes,
-                group_start=group_start, group_count=group_count,
-                timeout=timeout)
-        except ProtocolError as error:
-            blob = self._blobs.get(digest)
-            if error.code != protocol.ERR_NOT_FOUND or blob is None:
-                raise
-            # The owner has never seen this image (fresh worker, cold
-            # snapshot): replay with the container inline, which also
-            # registers it there for every later span.
-            return await client.decompress(
-                image_bytes=blob, group_start=group_start,
-                group_count=group_count, timeout=timeout)
+                return await self._retrying(shard, _op)
+            except Redirected as exc:
+                redirect = exc
+                if exc.epoch is not None and exc.epoch != self.epoch:
+                    await self.refresh_topology()
+                    shard = self.shard_for(digest, group_start)
+                elif exc.shard_id in self._members:
+                    shard = exc.shard_id
+                else:
+                    # A shard we have never heard of: the table is
+                    # stale in a way only rediscovery can fix.
+                    await self.refresh_topology()
+                    shard = self.shard_for(digest, group_start)
+            except ProtocolError as error:
+                blob = self._blobs.get(digest)
+                if error.code != protocol.ERR_NOT_FOUND or blob is None:
+                    raise
+                # The owner has never seen this image (fresh worker,
+                # cold snapshot): replay with the container inline,
+                # which also registers it there for every later span.
+                return await self._retrying(
+                    shard, lambda client: client.decompress(
+                        image_bytes=blob, group_start=group_start,
+                        group_count=group_count, timeout=timeout))
+        raise redirect
 
     async def broadcast_register(self, digest=None, image_bytes=None,
                                  timeout=None):
@@ -380,10 +536,11 @@ class FleetClient:
         blob = bytes(image_bytes)
         digest = hashlib.sha256(blob).digest()
         self._blobs[digest] = blob
-        for shard in range(len(self.addresses)):
-            client = await self._client(shard)
-            await client.decompress(image_bytes=blob, group_start=0,
-                                    group_count=1, timeout=timeout)
+        for shard in self.shards:
+            await self._retrying(
+                shard, lambda client: client.decompress(
+                    image_bytes=blob, group_start=0, group_count=1,
+                    timeout=timeout))
         return digest
 
     async def stats(self, digest, group_start=0, timeout=None):
@@ -392,35 +549,33 @@ class FleetClient:
 
     def sweep_shard(self, spec):
         """The worker a sweep_cell spec routes to (content-hashed)."""
-        return spec_shard(spec, len(self.addresses))
+        shards = self.shards
+        return shards[spec_shard(spec, len(shards))]
 
     async def sweep_cell(self, spec, timeout=None, shard=None):
         """Price one sweep cell on its deterministic worker.
 
         *shard* overrides routing (e.g. a driver that already hashed
         the spec for its own accounting).  A connection that died
-        between requests is redialed once, mirroring
-        :meth:`decompress` -- warm worker restarts are a supported
-        operation mid-exploration.
+        between requests is redialed through the backoff schedule,
+        mirroring :meth:`decompress` -- warm worker restarts are a
+        supported operation mid-exploration.
         """
         if shard is None:
             shard = self.sweep_shard(spec)
-        client = await self._client(shard)
-        try:
-            return await client.sweep_cell(spec, timeout=timeout)
-        except (ServerClosedError, ConnectionError):
-            client = await self._client(shard)
-            return await client.sweep_cell(spec, timeout=timeout)
+        return await self._retrying(
+            shard, lambda client: client.sweep_cell(spec,
+                                                    timeout=timeout))
 
     async def metrics(self, fleet=True, samples=False, timeout=None):
-        """Fleet-merged metrics (served in-band by worker 0) or a
-        plain per-worker list with ``fleet=False``."""
+        """Fleet-merged metrics (served in-band by the first worker) or
+        a plain per-worker list with ``fleet=False``."""
         if fleet:
-            client = await self._client(0)
+            client = await self._client(self.shards[0])
             return await client.fleet("metrics", samples=samples,
                                       timeout=timeout)
         out = []
-        for shard in range(len(self.addresses)):
+        for shard in self.shards:
             client = await self._client(shard)
             out.append(await client.metrics(samples=samples,
                                             timeout=timeout))

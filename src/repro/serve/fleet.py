@@ -1,6 +1,6 @@
 """Fleet orchestration: N serve workers as one consistent-hash fleet.
 
-Two runners share the same topology rules (shard ids ``0..n-1``, one
+Two runners share the same topology rules (integer shard ids, one
 ``host:port`` per shard, every worker holding an identical
 :class:`~repro.serve.ring.HashRing`):
 
@@ -13,13 +13,25 @@ Two runners share the same topology rules (shard ids ``0..n-1``, one
   the load generator and the CLI use: per-worker processes are the
   whole point of sharding, letting decode work scale across cores.
 
-Addresses must be known *before* workers start (each worker's config
-embeds the full fleet table), so :class:`Fleet` pre-reserves one
-ephemeral port per shard by binding and immediately releasing it.
-Workers shut down gracefully on SIGTERM -- drain admitted requests,
-write a farewell hot-set snapshot -- which is what makes
-:meth:`Fleet.restart` a *warm* restart when a snapshot directory is
-configured.
+Addresses must be known *before* workers start (each worker's member
+table is delivered right after it binds), so :class:`Fleet`
+pre-reserves one ephemeral port per shard by binding and immediately
+releasing it.  Workers shut down gracefully on SIGTERM -- drain
+admitted requests, write a farewell hot-set snapshot -- which is what
+makes :meth:`Fleet.restart` a *warm* restart when a snapshot directory
+is configured.
+
+**Live membership** (protocol v3): both runners can :meth:`join` a new
+worker or :meth:`leave` an existing one at runtime.  A reshard bumps
+the ring epoch and is announced to every affected worker as the full
+post-change member table; each old owner streams the hot-set entries
+it is about to stop owning to their new owner *before* flipping its
+ring, so the adopted keys stay warm across the ownership change.
+Shard ids are never reused after a leave -- the table may have gaps,
+which is why ids are explicit everywhere instead of list positions.
+:meth:`Fleet.kill` is the crash injector (SIGKILL, no drain, no
+snapshot, no membership change) used by the churn tests and the load
+generator's ``--churn`` schedule.
 """
 
 import asyncio
@@ -28,6 +40,7 @@ import multiprocessing
 import signal
 import socket
 import time
+from collections import OrderedDict
 
 from repro.serve.server import CodePackServer, ServerConfig
 
@@ -60,19 +73,52 @@ def reserve_ports(n, host="127.0.0.1"):
             sock.close()
 
 
-def _shard_config(base, shard_id, host, port, addresses):
-    return dataclasses.replace(
-        base, host=host, port=port, shard_id=shard_id,
-        fleet=tuple(addresses))
+def _split_address(address):
+    host, _, port = str(address).rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+async def _announce(address, epoch, members, shard, leaving, timeout=30.0):
+    """Send one membership frame to *address*; returns the ack JSON."""
+    from repro.serve.client import ServeClient
+
+    host, port = _split_address(address)
+    client = ServeClient(host, port)
+    await client.connect()
+    try:
+        return await client.membership(epoch, members, shard=shard,
+                                       leaving=leaving, timeout=timeout)
+    finally:
+        await client.close()
+
+
+async def _broadcast(targets, epoch, members, shard, leaving):
+    """Announce a reshard to every ``(sid, address)`` in *targets*.
+
+    Best-effort per target: a worker that is down (killed, mid-restart)
+    simply misses the announcement -- its replacement is spawned with
+    the current table, and the idempotent epoch guard makes a late
+    duplicate harmless.  Returns ``{sid: ack_or_None}``.
+    """
+    acks = {}
+    for sid, address in targets:
+        try:
+            acks[sid] = await _announce(address, epoch, members, shard,
+                                        leaving)
+        except Exception:
+            acks[sid] = None
+    return acks
 
 
 class LocalFleet:
     """Every worker in the current event loop (test harness).
 
-    Workers bind ephemeral ports first; the address table is
+    Workers bind ephemeral ports first; the member table is
     distributed afterwards via :meth:`CodePackServer.set_fleet` (safe
     because the ring hashes shard *ids*, so late address delivery
-    cannot change ownership).
+    cannot change ownership).  ``servers`` / ``addresses`` are views in
+    ascending shard-id order; after churn, use :meth:`server` to get a
+    worker by its id.
     """
 
     def __init__(self, n_workers=2, config=None, host="127.0.0.1"):
@@ -83,23 +129,46 @@ class LocalFleet:
         self.host = host
         self.servers = []
         self.addresses = []
+        self.members = OrderedDict()  # shard id -> "host:port"
+        self.epoch = 0
+        self._by_shard = OrderedDict()  # shard id -> CodePackServer
+
+    def server(self, shard):
+        """The live worker owning shard id *shard*."""
+        return self._by_shard[shard]
+
+    def member_table(self):
+        return [[sid, address] for sid, address in self.members.items()]
+
+    def _sync_views(self):
+        sids = sorted(self._by_shard)
+        self.servers = [self._by_shard[sid] for sid in sids]
+        self.addresses = [self.members[sid] for sid in sids]
+
+    async def _start_worker(self, shard):
+        config = dataclasses.replace(
+            self.base_config, host=self.host, port=0,
+            shard_id=shard, fleet=None)
+        server = CodePackServer(config)
+        await server.start()
+        return server
 
     async def start(self):
         for shard in range(self.n_workers):
-            config = dataclasses.replace(
-                self.base_config, host=self.host, port=0,
-                shard_id=shard, fleet=None)
-            server = CodePackServer(config)
-            await server.start()
-            self.servers.append(server)
-        self.addresses = ["%s:%d" % (self.host, server.port)
-                          for server in self.servers]
-        for shard, server in enumerate(self.servers):
-            server.set_fleet(self.addresses, shard_id=shard)
+            server = await self._start_worker(shard)
+            self._by_shard[shard] = server
+            self.members[shard] = "%s:%d" % (self.host, server.port)
+        self._sync_views()
+        table = self.member_table()
+        for shard, server in self._by_shard.items():
+            server.set_fleet(table, shard_id=shard, epoch=self.epoch)
         return self
 
     async def stop(self, drain=True):
-        servers, self.servers = self.servers, []
+        servers, self._by_shard = list(self._by_shard.values()), \
+            OrderedDict()
+        self.members = OrderedDict()
+        self._sync_views()
         for server in servers:
             await server.shutdown(drain=drain)
 
@@ -107,20 +176,75 @@ class LocalFleet:
         """Bounce one worker in place (same shard id, same port).
 
         The outgoing worker drains and writes its farewell snapshot;
-        the replacement binds the *same* port (the address table stays
+        the replacement binds the *same* port (the member table stays
         valid for every peer and client) and restores that snapshot on
         start -- the warm-rejoin path, exercised end-to-end in tests.
         """
-        old = self.servers[shard]
+        old = self._by_shard[shard]
         port = old.port
         await old.shutdown(drain=drain)
         config = dataclasses.replace(
             self.base_config, host=self.host, port=port,
-            shard_id=shard, fleet=tuple(self.addresses))
+            shard_id=shard, fleet=None)
         server = CodePackServer(config)
         await server.start()
-        self.servers[shard] = server
+        server.set_fleet(self.member_table(), shard_id=shard,
+                         epoch=self.epoch)
+        self._by_shard[shard] = server
+        self._sync_views()
         return server
+
+    async def join(self):
+        """Add a worker at runtime; returns ``(shard_id, server)``.
+
+        The joiner gets the lowest never-used shard id, learns the
+        post-join table directly, and only then is the reshard
+        announced to the incumbents -- each streams the hot-set keys
+        the joiner now owns *before* flipping its own ring, so the
+        moved keys arrive warm.
+        """
+        new_id = max(self._by_shard, default=-1) + 1
+        server = await self._start_worker(new_id)
+        address = "%s:%d" % (self.host, server.port)
+        epoch = self.epoch + 1
+        incumbents = list(self.members.items())
+        self.members[new_id] = address
+        self._by_shard[new_id] = server
+        table = self.member_table()
+        server.set_fleet(table, shard_id=new_id, epoch=epoch)
+        self.epoch = epoch
+        self._sync_views()
+        await _broadcast(incumbents, epoch, table, shard=new_id,
+                         leaving=False)
+        return new_id, server
+
+    async def leave(self, shard, drain=True):
+        """Retire worker *shard* gracefully.
+
+        The departing worker is told first (``REQ_LEAVE`` with a table
+        omitting it), which makes it hand its hot set to the new owners
+        while it still knows it owns those keys; the survivors then
+        adopt the same table, and the worker finally drains and stops.
+        """
+        if shard not in self._by_shard:
+            raise KeyError("unknown shard %d" % shard)
+        if len(self._by_shard) < 2:
+            raise FleetError("cannot retire the last worker")
+        departing = self._by_shard[shard]
+        epoch = self.epoch + 1
+        survivors = [(sid, address)
+                     for sid, address in self.members.items()
+                     if sid != shard]
+        await _broadcast([(shard, self.members[shard])], epoch,
+                         survivors, shard=shard, leaving=True)
+        await _broadcast(survivors, epoch, survivors, shard=shard,
+                         leaving=True)
+        del self._by_shard[shard]
+        del self.members[shard]
+        self.epoch = epoch
+        self._sync_views()
+        await departing.shutdown(drain=drain)
+        return departing
 
     async def __aenter__(self):
         return await self.start()
@@ -131,16 +255,18 @@ class LocalFleet:
 
 # -- multiprocess fleet ------------------------------------------------------
 
-def _worker_main(shard_id, host, port, addresses, config_kwargs, ready):
+def _worker_main(shard_id, host, port, members, epoch, config_kwargs,
+                 ready):
     """Entry point of one fleet worker process."""
     # The parent's SIGINT (Ctrl-C in a terminal) must not kill workers
     # before the orchestrator can drain them; SIGTERM is the shutdown
     # signal and is handled on the loop below.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    config = _shard_config(ServerConfig(**config_kwargs), shard_id,
-                           host, port, addresses)
+    config = dataclasses.replace(
+        ServerConfig(**config_kwargs), host=host, port=port,
+        shard_id=shard_id, fleet=None)
     try:
-        asyncio.run(_worker_serve(config, ready))
+        asyncio.run(_worker_serve(config, members, epoch, ready))
     except Exception as exc:  # bind failure, corrupt config, ...
         try:
             ready.put(("error", shard_id,
@@ -150,9 +276,13 @@ def _worker_main(shard_id, host, port, addresses, config_kwargs, ready):
         raise SystemExit(1)
 
 
-async def _worker_serve(config, ready):
+async def _worker_serve(config, members, epoch, ready):
     server = CodePackServer(config)
     await server.start()
+    if members:
+        server.set_fleet([(int(sid), str(address))
+                          for sid, address in members],
+                         shard_id=config.shard_id, epoch=epoch)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     try:
@@ -173,6 +303,11 @@ class Fleet:
     ``config_kwargs`` are :class:`ServerConfig` field overrides applied
     to every worker (each then gets its own ``shard_id``/``port``).
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
+
+    The churn API is synchronous (it drives its own short-lived event
+    loops for the membership announcements), so call :meth:`join` /
+    :meth:`leave` / :meth:`kill` either from plain sync code or via
+    ``run_in_executor`` from inside a loop.
     """
 
     #: Seconds to wait for the whole fleet to report ready.
@@ -186,26 +321,45 @@ class Fleet:
         self.n_workers = n_workers
         self.host = host
         self.config_kwargs = dict(config_kwargs)
-        self.ports = []
-        self.addresses = []
-        self._processes = []
+        self.members = OrderedDict()  # shard id -> "host:port"
+        self.epoch = 0
+        self._ports = {}              # shard id -> port
+        self._processes = OrderedDict()  # shard id -> Process
         self._context = multiprocessing.get_context("spawn")
         self._ready = None
 
+    @property
+    def shards(self):
+        return sorted(self._processes)
+
+    @property
+    def addresses(self):
+        return [self.members[sid] for sid in sorted(self.members)]
+
+    @property
+    def ports(self):
+        return [self._ports[sid] for sid in sorted(self.members)]
+
+    def member_table(self):
+        return [[sid, address] for sid, address in self.members.items()]
+
     def start(self):
-        self.ports = reserve_ports(self.n_workers, host=self.host)
-        self.addresses = ["%s:%d" % (self.host, port)
-                          for port in self.ports]
+        ports = reserve_ports(self.n_workers, host=self.host)
+        self._ports = dict(enumerate(ports))
+        self.members = OrderedDict(
+            (shard, "%s:%d" % (self.host, port))
+            for shard, port in enumerate(ports))
         self._ready = self._context.Queue()
-        self._processes = [self._spawn(shard)
-                           for shard in range(self.n_workers)]
+        for shard in range(self.n_workers):
+            self._processes[shard] = self._spawn(shard)
         self._await_ready(range(self.n_workers))
         return self
 
     def _spawn(self, shard):
         process = self._context.Process(
             target=_worker_main,
-            args=(shard, self.host, self.ports[shard], self.addresses,
+            args=(shard, self.host, self._ports[shard],
+                  self.member_table(), self.epoch,
                   self.config_kwargs, self._ready),
             daemon=True,
             name="serve-shard-%d" % shard)
@@ -231,25 +385,92 @@ class Fleet:
                                  % (shard, detail))
             waiting.discard(shard)
 
+    def _reap(self, shard, graceful):
+        process = self._processes[shard]
+        if process.is_alive():
+            if graceful:
+                process.terminate()  # SIGTERM -> drain + snapshot
+                process.join(self.STOP_TIMEOUT)
+            if process.is_alive():
+                process.kill()
+                process.join(self.STOP_TIMEOUT)
+
     def restart(self, shard):
         """Bounce one worker process (SIGTERM, wait, respawn).
 
         With a snapshot directory in ``config_kwargs`` this is a warm
         restart: the dying worker persists its hot set on the way out
         and the replacement restores it before accepting connections.
+        The replacement is spawned with the *current* member table and
+        epoch, so a worker that slept through a reshard (it was down
+        when the announcement went out) still comes back consistent.
         """
-        process = self._processes[shard]
-        if process.is_alive():
-            process.terminate()
-        process.join(self.STOP_TIMEOUT)
-        if process.is_alive():
-            process.kill()
-            process.join(self.STOP_TIMEOUT)
+        self._reap(shard, graceful=True)
         self._processes[shard] = self._spawn(shard)
         self._await_ready([shard])
 
+    def kill(self, shard):
+        """Crash one worker (SIGKILL: no drain, no farewell snapshot).
+
+        The membership table is untouched -- the fleet now has a dead
+        member, exactly like a real crash.  Follow with
+        :meth:`restart` to respawn it, or :meth:`leave` to retire the
+        id (the departed worker obviously cannot hand off, so its keys
+        come back cold).
+        """
+        process = self._processes[shard]
+        if process.is_alive():
+            process.kill()
+        process.join(self.STOP_TIMEOUT)
+
+    def join(self):
+        """Add a worker process at runtime; returns its shard id.
+
+        Spawn order mirrors :class:`LocalFleet`: the joiner starts
+        with the post-join table and epoch, reports ready, and only
+        then do the incumbents learn the reshard -- so every hot-set
+        handoff has a live receiver.
+        """
+        new_id = max(self._processes, default=-1) + 1
+        port = reserve_ports(1, host=self.host)[0]
+        incumbents = list(self.members.items())
+        self._ports[new_id] = port
+        self.members[new_id] = "%s:%d" % (self.host, port)
+        self.epoch += 1
+        self._processes[new_id] = self._spawn(new_id)
+        self._await_ready([new_id])
+        asyncio.run(_broadcast(incumbents, self.epoch,
+                               self.member_table(), shard=new_id,
+                               leaving=False))
+        return new_id
+
+    def leave(self, shard):
+        """Retire one worker gracefully (handoff, then drain).
+
+        The departing worker is announced to first so it streams its
+        hot set to the new owners while still the owner; the survivors
+        then adopt the reduced table, and the process gets SIGTERM.
+        """
+        if shard not in self._processes:
+            raise KeyError("unknown shard %d" % shard)
+        if len(self._processes) < 2:
+            raise FleetError("cannot retire the last worker")
+        self.epoch += 1
+        survivors = [(sid, address)
+                     for sid, address in self.members.items()
+                     if sid != shard]
+        asyncio.run(_broadcast([(shard, self.members[shard])],
+                               self.epoch, survivors, shard=shard,
+                               leaving=True))
+        asyncio.run(_broadcast(survivors, self.epoch, survivors,
+                               shard=shard, leaving=True))
+        del self.members[shard]
+        self._reap(shard, graceful=True)
+        del self._processes[shard]
+
     def stop(self, graceful=True):
-        processes, self._processes = self._processes, []
+        processes = list(self._processes.values())
+        self._processes = OrderedDict()
         if graceful:
             for process in processes:
                 if process.is_alive():
@@ -265,7 +486,8 @@ class Fleet:
             self._ready = None
 
     def alive(self):
-        return [process.is_alive() for process in self._processes]
+        return [self._processes[sid].is_alive()
+                for sid in sorted(self._processes)]
 
     def __enter__(self):
         return self.start()

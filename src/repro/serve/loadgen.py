@@ -51,7 +51,8 @@ from repro.workloads.suite import build_benchmark
 
 __all__ = ["LoadgenConfig", "run_load", "run_load_sync",
            "run_compare", "run_compare_sync",
-           "run_fleet_load", "run_fleet_compare", "jain_fairness"]
+           "run_fleet_load", "run_fleet_compare", "run_fleet_churn",
+           "default_churn_events", "jain_fairness"]
 
 
 @dataclass
@@ -501,6 +502,240 @@ def run_fleet_load(config, addresses, drivers=None, fetch_metrics=True):
         "fairness": jain_fairness(row["completed"] for row in per_shard),
         "fleet_metrics": fleet_metrics,
     }
+
+
+# -- churn mode --------------------------------------------------------------
+
+def default_churn_events(requests):
+    """The default churn schedule over a *requests*-long run.
+
+    A crash (SIGKILL + cold respawn) at 25%, a join at 50%, a leave at
+    75% -- in that order so the peer-fetch path (the respawned worker's
+    cold cache healed from its ring successor) and both reshard
+    directions all get exercised in one pass.  ``shard: None`` means
+    "pick a victim with the run's seeded rng".
+    """
+    return [
+        {"at": max(1, requests // 4), "action": "kill", "shard": None},
+        {"at": max(2, requests // 2), "action": "join"},
+        {"at": max(3, (3 * requests) // 4), "action": "leave",
+         "shard": None},
+    ]
+
+
+def _phase_row(label, after, chunk, tally, wall):
+    completed = len(tally.latencies)
+    return {
+        "phase": label,
+        "after": after,
+        "requests": len(chunk),
+        "completed": completed,
+        "errors": dict(tally.errors),
+        "wall_seconds": wall,
+        "qps": completed / wall,
+        "p50_ms": percentile(tally.latencies, 0.50) * 1000.0,
+        "p99_ms": percentile(tally.latencies, 0.99) * 1000.0,
+    }
+
+
+async def _churn_phase(client, digest, chunk, config, streams):
+    """One closed-loop phase over a contiguous plan slice."""
+    tally = _Tally()
+    queue = iter(chunk)
+
+    async def worker():
+        for start, count in queue:
+            began = time.perf_counter()
+            try:
+                words = await client.decompress(
+                    digest=digest, group_start=start, group_count=count,
+                    timeout=config.timeout)
+            except (ProtocolError, asyncio.TimeoutError,
+                    ServerClosedError, ConnectionError) as exc:
+                tally.record_error(exc)
+            else:
+                tally.latencies.append(time.perf_counter() - began)
+                tally.words += len(words)
+
+    began = time.monotonic()
+    await asyncio.gather(*[worker() for _ in range(max(1, streams))])
+    return tally, max(time.monotonic() - began, 1e-9)
+
+
+def _ownership_map(client, digest, plan):
+    return {start: client.shard_for(digest, start)
+            for start, _count in dict(plan).items()}
+
+
+#: Pause before each scripted event so the write-behind replication
+#: pump (interval ~50ms) catches up with the phase that just finished.
+#: Killing a worker faster than its hot set replicates would measure
+#: the pump's lag, not the peer-fetch path.
+CHURN_SETTLE_SECONDS = 0.4
+
+
+async def _apply_churn_event(fleet, client, event, rng, digest, plan):
+    """Apply one scripted event between phases; returns its record.
+
+    Fleet churn calls are synchronous (they drive their own loops for
+    the membership broadcast), so they run on the default executor.
+    A ``kill`` is immediately respawned -- the crash-recovery scenario
+    -- and the replacement cold-starts, which is exactly what the
+    tier-2 peer-fetch path is there to absorb.
+    """
+    await asyncio.sleep(CHURN_SETTLE_SECONDS)
+    loop = asyncio.get_running_loop()
+    action = event["action"]
+    record = {"action": action, "at": event["at"]}
+    if action == "kill":
+        victim = event.get("shard")
+        if victim is None:
+            victim = rng.choice(fleet.shards)
+        await loop.run_in_executor(None, fleet.kill, victim)
+        await loop.run_in_executor(None, fleet.restart, victim)
+        record["shard"] = victim
+    elif action == "join":
+        before = _ownership_map(client, digest, plan)
+        new_id = await loop.run_in_executor(None, fleet.join)
+        await client.refresh_topology()
+        after = _ownership_map(client, digest, plan)
+        moved = sum(1 for start in before if before[start] != after[start])
+        record["shard"] = new_id
+        record["moved_fraction"] = moved / max(1, len(before))
+        record["expected_fraction"] = 1.0 / max(1, len(fleet.shards))
+    elif action == "leave":
+        victim = event.get("shard")
+        if victim is None:
+            victim = rng.choice(fleet.shards)
+        await loop.run_in_executor(None, fleet.leave, victim)
+        await client.refresh_topology()
+        record["shard"] = victim
+    else:
+        raise ValueError("unknown churn action %r" % action)
+    record["epoch"] = fleet.epoch
+    return record
+
+
+async def _run_churn(fleet, config, events):
+    digest, blob, n_groups, n_instructions = await _fleet_setup(
+        config, fleet.addresses)
+    plan = _plan_spans(config, n_groups)
+    rng = random.Random(config.seed ^ 0xC0DE)
+    events = sorted(events, key=lambda item: item["at"])
+    offsets = [0] + [min(len(plan), max(0, int(item["at"])))
+                     for item in events] + [len(plan)]
+    streams = max(1, min(16, max(1, config.connections)
+                         * max(1, config.pipeline)))
+
+    client = FleetClient(fleet.addresses, seed=config.seed,
+                         discover=True)
+    await client.connect()
+    client.remember(blob)
+    phases = []
+    applied = []
+    try:
+        for index in range(len(offsets) - 1):
+            if index > 0:
+                applied.append(await _apply_churn_event(
+                    fleet, client, events[index - 1], rng, digest, plan))
+            chunk = plan[offsets[index]:offsets[index + 1]]
+            label = "pre" if index == 0 \
+                else "post-%s" % events[index - 1]["action"]
+            after = None if index == 0 else events[index - 1]["action"]
+            tally, wall = await _churn_phase(client, digest, chunk,
+                                             config, streams)
+            phases.append(_phase_row(label, after, chunk, tally, wall))
+        fleet_metrics = None
+        try:
+            fleet_metrics = await client.metrics(fleet=True)
+        except Exception:
+            pass
+    finally:
+        await client.close()
+
+    tier2 = (fleet_metrics or {}).get("tier2", {})
+    peer_hits = tier2.get("peer_fetch_hits", 0)
+    peer_misses = tier2.get("peer_fetch_misses", 0)
+    # The join contract compares the phase right after the join with
+    # the phase right before it (post-kill when the schedule crashes a
+    # worker first -- the fairest baseline, since that phase already
+    # carries the cold-respawn recovery cost).
+    join_index = next((i for i, row in enumerate(phases)
+                       if row["after"] == "join"), None)
+    join_p99_ratio = None
+    if join_index is not None and join_index > 0 \
+            and phases[join_index - 1]["p99_ms"] > 0:
+        join_p99_ratio = (phases[join_index]["p99_ms"]
+                          / phases[join_index - 1]["p99_ms"])
+    completed = sum(row["completed"] for row in phases)
+    errors = Counter()
+    for row in phases:
+        errors.update(row["errors"])
+    return {
+        "workload": dict(config.describe(), n_groups=n_groups,
+                         program_instructions=n_instructions),
+        "n_workers_initial": None,  # the sync wrapper fills this in
+        "n_workers_final": len(fleet.shards),
+        "events": applied,
+        "phases": phases,
+        "completed": completed,
+        "requests": len(plan),
+        "errors": dict(errors),
+        "epoch": fleet.epoch,
+        "peer_fetch_hits": peer_hits,
+        "peer_fetch_misses": peer_misses,
+        "peer_fetch_hit_ratio": peer_hits
+        / max(1, peer_hits + peer_misses),
+        "join_p99_ratio": join_p99_ratio,
+        "membership": (fleet_metrics or {}).get("membership"),
+        "replication": (fleet_metrics or {}).get("replication"),
+    }
+
+
+def run_fleet_churn(config=None, n_workers=4, events=None, output=None,
+                    **server_kwargs):
+    """Drive a fleet through a scripted churn schedule; returns the report.
+
+    Starts a multiprocess :class:`~repro.serve.fleet.Fleet` of
+    *n_workers*, runs the deterministic span plan in phases, and
+    between phases applies *events* -- ``[{"at": request_offset,
+    "action": "kill"|"join"|"leave", "shard": id_or_None}, ...]``
+    (default: :func:`default_churn_events`).  Victim picks with
+    ``shard: None`` use the run's seeded rng, so a given
+    ``(seed, requests)`` pair replays the identical schedule.
+
+    The report carries one qps/p50/p99 row per phase, the applied
+    events (a join also measures the working-set key-movement
+    fraction against the ``1/N`` expectation), and the merged tier-2
+    counters -- ``peer_fetch_hit_ratio`` is the CI churn contract's
+    main signal, together with ``join_p99_ratio``.
+    """
+    from repro.serve.fleet import Fleet
+
+    config = config or LoadgenConfig()
+    if config.mode != "closed":
+        raise ValueError("fleet churn is closed-loop only")
+    if n_workers < 2:
+        raise ValueError("fleet churn needs n_workers >= 2")
+    if events is None:
+        events = default_churn_events(config.requests)
+
+    fleet = Fleet(n_workers=n_workers, **server_kwargs)
+    fleet.start()
+    try:
+        report = asyncio.run(_run_churn(fleet, config, events))
+    finally:
+        fleet.stop()
+    report["n_workers_initial"] = n_workers
+    from repro.tools.benchinfo import stamp
+
+    result = stamp(dict(report, bench="serve_churn",
+                        server=dict(server_kwargs)))
+    if output:
+        with open(output, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
 
 
 def run_fleet_compare(loadgen=None, n_workers=4, drivers=None,

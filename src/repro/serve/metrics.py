@@ -61,6 +61,19 @@ class MetricsRegistry:
         self.batched_groups = 0
         self.compress_batches = 0
         self.compress_batched_requests = 0
+        self.peer_fetch_hits = 0        # tier-2: groups a peer supplied
+        self.peer_fetch_misses = 0      # tier-2: groups no peer held
+        self.peer_fetch_errors = 0      # tier-2: fetches that failed
+        self._peer_fetch_latencies = deque(maxlen=LATENCY_WINDOW)
+        self.peer_served_groups = 0     # groups served *to* peers
+        self.replicated_out_groups = 0  # pump: groups pushed to successor
+        self.replicated_out_bytes = 0
+        self.replicated_in_groups = 0   # groups accepted from peers
+        self.replicated_in_bytes = 0
+        self.handoff_out_groups = 0     # reshard: groups streamed away
+        self.handoff_in_groups = 0      # reshard: groups adopted
+        self.reshards = 0               # membership flips applied
+        self.ring_epoch = 0
         self._gauges = {}
 
     # -- recording ----------------------------------------------------------
@@ -93,6 +106,36 @@ class MetricsRegistry:
         """One fused encode pass served *n_requests* compress frames."""
         self.compress_batches += 1
         self.compress_batched_requests += n_requests
+
+    def record_peer_fetch(self, hits, misses, seconds, error=False):
+        """One tier-2 peer-fetch round: *hits* groups supplied by the
+        peer, *misses* fell through to decode, in *seconds*."""
+        self.peer_fetch_hits += hits
+        self.peer_fetch_misses += misses
+        if error:
+            self.peer_fetch_errors += 1
+        self._peer_fetch_latencies.append(seconds)
+
+    def record_peer_served(self, n_groups):
+        self.peer_served_groups += n_groups
+
+    def record_replicated_out(self, n_groups, n_bytes):
+        self.replicated_out_groups += n_groups
+        self.replicated_out_bytes += n_bytes
+
+    def record_replicated_in(self, n_groups, n_bytes):
+        self.replicated_in_groups += n_groups
+        self.replicated_in_bytes += n_bytes
+
+    def record_handoff(self, n_groups, outbound):
+        if outbound:
+            self.handoff_out_groups += n_groups
+        else:
+            self.handoff_in_groups += n_groups
+
+    def record_reshard(self, epoch):
+        self.reshards += 1
+        self.ring_epoch = epoch
 
     def register_gauge(self, name, callback):
         """Register a zero-argument callable sampled at snapshot time."""
@@ -144,6 +187,20 @@ class MetricsRegistry:
                 if self.compress_batches else 0.0),
         }
 
+    def tier2_summary(self):
+        total = self.peer_fetch_hits + self.peer_fetch_misses
+        fetch_samples = list(self._peer_fetch_latencies)
+        return {
+            "peer_fetch_hits": self.peer_fetch_hits,
+            "peer_fetch_misses": self.peer_fetch_misses,
+            "peer_fetch_errors": self.peer_fetch_errors,
+            "peer_fetch_hit_rate": (self.peer_fetch_hits / total
+                                    if total else 0.0),
+            "peer_fetch_p50_ms": percentile(fetch_samples, 0.50) * 1000.0,
+            "peer_fetch_p99_ms": percentile(fetch_samples, 0.99) * 1000.0,
+            "peer_served_groups": self.peer_served_groups,
+        }
+
     def snapshot(self, samples=False):
         """Everything as one JSON-ready dict (the ``metrics`` response).
 
@@ -169,6 +226,19 @@ class MetricsRegistry:
             },
             "latency": self.latency_summary(),
             "batch": self.batch_summary(),
+            "tier2": self.tier2_summary(),
+            "replication": {
+                "out_groups": self.replicated_out_groups,
+                "out_bytes": self.replicated_out_bytes,
+                "in_groups": self.replicated_in_groups,
+                "in_bytes": self.replicated_in_bytes,
+                "handoff_out_groups": self.handoff_out_groups,
+                "handoff_in_groups": self.handoff_in_groups,
+            },
+            "membership": {
+                "reshards": self.reshards,
+                "ring_epoch": self.ring_epoch,
+            },
             "gauges": gauges,
         }
         if samples:
@@ -243,6 +313,13 @@ def merge_snapshots(snapshots, shards=None):
         weighted = sum(snap.get("latency", {}).get("mean_ms", 0.0)
                        * snap.get("latency", {}).get("count", 0)
                        for snap in snaps)
+        # Name the shards that omitted their raw sample window: a
+        # fleet p99 that went approximate is only debuggable if the
+        # culprit worker is attributable from the merged payload.
+        missing = [(shards[index] if shards and index < len(shards)
+                    else index)
+                   for index, snap in enumerate(snaps)
+                   if "latency_samples_ms" not in snap]
         out["latency"] = {
             "count": total,
             "mean_ms": weighted / total if total else 0.0,
@@ -255,6 +332,46 @@ def merge_snapshots(snapshots, shards=None):
             "max_ms": max(snap.get("latency", {}).get("max_ms", 0.0)
                           for snap in snaps),
             "approximate": True,
+            "missing_samples_shards": missing,
+        }
+
+    tier2 = Counter()
+    have_tier2 = False
+    for snap in snaps:
+        section = snap.get("tier2")
+        if isinstance(section, dict):
+            have_tier2 = True
+            for key, value in section.items():
+                if not key.endswith(("_rate", "_ms")):
+                    tier2[key] += value
+    if have_tier2:
+        tier2 = dict(tier2)
+        fetches = (tier2.get("peer_fetch_hits", 0)
+                   + tier2.get("peer_fetch_misses", 0))
+        tier2["peer_fetch_hit_rate"] = (
+            tier2.get("peer_fetch_hits", 0) / fetches if fetches else 0.0)
+        tier2["peer_fetch_p99_ms"] = max(
+            snap.get("tier2", {}).get("peer_fetch_p99_ms", 0.0)
+            for snap in snaps)
+        out["tier2"] = tier2
+
+    replication = Counter()
+    have_replication = False
+    for snap in snaps:
+        section = snap.get("replication")
+        if isinstance(section, dict):
+            have_replication = True
+            replication.update(section)
+    if have_replication:
+        out["replication"] = dict(replication)
+
+    membership = [snap.get("membership") for snap in snaps
+                  if isinstance(snap.get("membership"), dict)]
+    if membership:
+        out["membership"] = {
+            "reshards": sum(m.get("reshards", 0) for m in membership),
+            "ring_epoch": max(m.get("ring_epoch", 0)
+                              for m in membership),
         }
 
     hits = misses = entries = 0

@@ -31,9 +31,11 @@ import struct
 __all__ = [
     "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "DIGEST_BYTES",
     "REQ_COMPRESS", "REQ_DECOMPRESS", "REQ_STATS", "REQ_SWEEP_CELL",
-    "REQ_METRICS", "REQ_PING", "REQ_FLEET", "RESP_COMPRESS",
+    "REQ_METRICS", "REQ_PING", "REQ_FLEET", "REQ_PEER_GET",
+    "REQ_REPLICATE", "REQ_JOIN", "REQ_LEAVE", "RESP_COMPRESS",
     "RESP_DECOMPRESS", "RESP_STATS", "RESP_SWEEP_CELL", "RESP_METRICS",
-    "RESP_PING", "RESP_FLEET", "RESP_ERROR", "RESP_REDIRECT",
+    "RESP_PING", "RESP_FLEET", "RESP_PEER_GET", "RESP_REPLICATE",
+    "RESP_JOIN", "RESP_LEAVE", "RESP_ERROR", "RESP_REDIRECT",
     "REQUEST_TYPES", "RESPONSE_TYPES",
     "ERR_MALFORMED", "ERR_TOO_LARGE", "ERR_UNKNOWN_TYPE", "ERR_TIMEOUT",
     "ERR_OVERLOADED", "ERR_NOT_FOUND", "ERR_INTERNAL",
@@ -48,14 +50,27 @@ __all__ = [
     "encode_json_payload", "decode_json_payload",
     "encode_error", "decode_error",
     "encode_redirect", "decode_redirect",
+    "encode_peer_get_request", "decode_peer_get_request",
+    "encode_peer_get_response", "decode_peer_get_response",
+    "encode_replicate_request", "decode_replicate_request",
+    "encode_replicate_response", "decode_replicate_response",
+    "encode_membership", "decode_membership",
 ]
 
 #: Protocol behaviour version (bump on incompatible frame changes).
 #: Version 2 added the fleet frames: ``RESP_REDIRECT`` (a sharded
 #: worker pointing a misrouted request at the owning shard) and
 #: ``REQ_FLEET``/``RESP_FLEET`` (topology, forced snapshots, merged
-#: fleet metrics).
-PROTOCOL_VERSION = 2
+#: fleet metrics).  Version 3 adds the cooperative-cache and live
+#: membership frames: ``REQ_PEER_GET`` (tier-2 decoded-group fetch
+#: between shards), ``REQ_REPLICATE`` (write-behind hot-set replication
+#: and reshard handoff), ``REQ_JOIN``/``REQ_LEAVE`` (runtime reshard),
+#: plus an epoch-stamped by-digest decompress mode whose redirects
+#: carry the server's ring epoch.  All v2 frames are unchanged on the
+#: wire: a v2 client talking to a v3 server sees byte-identical
+#: responses (including legacy redirects) and simply never benefits
+#: from the new tier.
+PROTOCOL_VERSION = 3
 
 #: Hard ceiling on a frame's ``length`` field.  Large enough for a
 #: multi-megabyte compressed image, small enough that a garbage length
@@ -80,6 +95,10 @@ REQ_SWEEP_CELL = 0x04
 REQ_METRICS = 0x05
 REQ_PING = 0x06
 REQ_FLEET = 0x07
+REQ_PEER_GET = 0x08
+REQ_REPLICATE = 0x09
+REQ_JOIN = 0x0A
+REQ_LEAVE = 0x0B
 
 RESP_COMPRESS = 0x81
 RESP_DECOMPRESS = 0x82
@@ -88,15 +107,22 @@ RESP_SWEEP_CELL = 0x84
 RESP_METRICS = 0x85
 RESP_PING = 0x86
 RESP_FLEET = 0x87
+RESP_PEER_GET = 0x88
+RESP_REPLICATE = 0x89
+RESP_JOIN = 0x8A
+RESP_LEAVE = 0x8B
 RESP_ERROR = 0x7F
 RESP_REDIRECT = 0x7E
 
 REQUEST_TYPES = frozenset((REQ_COMPRESS, REQ_DECOMPRESS, REQ_STATS,
                            REQ_SWEEP_CELL, REQ_METRICS, REQ_PING,
-                           REQ_FLEET))
+                           REQ_FLEET, REQ_PEER_GET, REQ_REPLICATE,
+                           REQ_JOIN, REQ_LEAVE))
 RESPONSE_TYPES = frozenset((RESP_COMPRESS, RESP_DECOMPRESS, RESP_STATS,
                             RESP_SWEEP_CELL, RESP_METRICS, RESP_PING,
-                            RESP_FLEET, RESP_ERROR, RESP_REDIRECT))
+                            RESP_FLEET, RESP_PEER_GET, RESP_REPLICATE,
+                            RESP_JOIN, RESP_LEAVE, RESP_ERROR,
+                            RESP_REDIRECT))
 
 
 def response_type_for(request_type):
@@ -346,33 +372,54 @@ WHOLE_IMAGE = 0
 
 DECOMPRESS_BY_DIGEST = 0
 DECOMPRESS_INLINE = 1
+#: v3: by-digest plus a trailing ``u32 epoch`` -- the client's ring
+#: epoch.  A misrouted mode-2 request earns an epoch-stamped redirect;
+#: mode 0 keeps the v2 redirect layout byte-for-byte, which is the
+#: whole backward-compatibility story (old clients call ``finish()``
+#: and would reject trailing epoch bytes).
+DECOMPRESS_BY_DIGEST_EPOCH = 2
 
 
 def encode_decompress_request(digest=None, image_bytes=None,
-                              group_start=0, group_count=WHOLE_IMAGE):
+                              group_start=0, group_count=WHOLE_IMAGE,
+                              epoch=None):
     """Request decode of a span of compression groups.
 
     Exactly one of *digest* (a registered image) and *image_bytes* (an
     inline ``.cpk`` container, registered as a side effect) must be
-    given.  ``group_count=0`` means "to the end of the image".
+    given.  ``group_count=0`` means "to the end of the image".  With
+    *epoch* (by-digest only), the request is stamped with the client's
+    ring epoch (v3) so a stale client learns the current epoch from the
+    redirect instead of ping-ponging between shards.
     """
     if (digest is None) == (image_bytes is None):
         raise ProtocolError(ERR_MALFORMED,
                             "exactly one of digest/image_bytes required")
     span = struct.pack("<II", group_start, group_count)
     if digest is not None:
+        if epoch is not None:
+            if not 0 <= epoch <= 0xFFFFFFFF:
+                raise ProtocolError(ERR_MALFORMED,
+                                    "ring epoch out of range")
+            return b"".join((struct.pack("<B", DECOMPRESS_BY_DIGEST_EPOCH),
+                             _check_digest(digest), span,
+                             struct.pack("<I", epoch)))
         return b"".join((struct.pack("<B", DECOMPRESS_BY_DIGEST),
                          _check_digest(digest), span))
+    if epoch is not None:
+        raise ProtocolError(ERR_MALFORMED,
+                            "inline decompress cannot carry an epoch")
     return b"".join((struct.pack("<B", DECOMPRESS_INLINE),
                      struct.pack("<I", len(image_bytes)), image_bytes,
                      span))
 
 
 def decode_decompress_request(payload):
-    """Returns ``(digest_or_None, image_bytes_or_None, start, count)``."""
+    """Returns ``(digest_or_None, image_bytes_or_None, start, count,
+    epoch_or_None)``."""
     reader = _PayloadReader(payload)
     mode = reader.u8()
-    if mode == DECOMPRESS_BY_DIGEST:
+    if mode in (DECOMPRESS_BY_DIGEST, DECOMPRESS_BY_DIGEST_EPOCH):
         digest = bytes(reader.take(DIGEST_BYTES))
         image_bytes = None
     elif mode == DECOMPRESS_INLINE:
@@ -383,8 +430,9 @@ def decode_decompress_request(payload):
                             "unknown decompress mode %d" % mode)
     group_start = reader.u32()
     group_count = reader.u32()
+    epoch = reader.u32() if mode == DECOMPRESS_BY_DIGEST_EPOCH else None
     reader.finish()
-    return digest, image_bytes, group_start, group_count
+    return digest, image_bytes, group_start, group_count, epoch
 
 
 def encode_decompress_response(digest, group_start, words):
@@ -435,12 +483,16 @@ def decode_json_payload(payload):
 
 # -- redirects ---------------------------------------------------------------
 
-def encode_redirect(shard_id, host, port):
-    """``u16 shard_id, u32 port, u16 host_len, utf-8 host``.
+def encode_redirect(shard_id, host, port, epoch=None):
+    """``u16 shard_id, u32 port, u16 host_len, utf-8 host[, u32 epoch]``.
 
     A sharded worker answers a misrouted by-digest decompress with this
     frame instead of serving it: the named shard owns the span's
     routing key, and a shard-aware client re-issues the request there.
+    The trailing epoch (the server's current ring epoch) appears only
+    when the request was epoch-stamped (v3, decompress mode 2); v2
+    requests get the legacy layout unchanged, because v2 clients reject
+    trailing payload bytes.
     """
     encoded_host = host.encode("utf-8")
     if len(encoded_host) > 0xFFFF:
@@ -449,18 +501,211 @@ def encode_redirect(shard_id, host, port):
         raise ProtocolError(ERR_MALFORMED, "shard id out of range")
     if not 0 <= port <= 0xFFFFFFFF:
         raise ProtocolError(ERR_MALFORMED, "redirect port out of range")
+    tail = b""
+    if epoch is not None:
+        if not 0 <= epoch <= 0xFFFFFFFF:
+            raise ProtocolError(ERR_MALFORMED, "ring epoch out of range")
+        tail = struct.pack("<I", epoch)
     return b"".join((struct.pack("<HIH", shard_id, port,
-                                 len(encoded_host)), encoded_host))
+                                 len(encoded_host)), encoded_host, tail))
 
 
 def decode_redirect(payload):
-    """Returns ``(shard_id, host, port)``."""
+    """Returns ``(shard_id, host, port, epoch_or_None)``.
+
+    Accepts both the legacy (v2) layout and the epoch-tailed v3 layout.
+    """
     reader = _PayloadReader(payload)
     shard_id = reader.u16()
     port = reader.u32()
     host = reader.take(reader.u16()).decode("utf-8", "replace")
+    epoch = None
+    if reader.pos < len(payload):
+        epoch = reader.u32()
     reader.finish()
-    return shard_id, host, port
+    return shard_id, host, port, epoch
+
+
+# -- tier-2 peer fetch (v3) --------------------------------------------------
+
+REPLICATE_TIER2 = 0    # store into the receiver's replica (tier-2) cache
+REPLICATE_HANDOFF = 1  # reshard handoff: store into the tier-1 cache
+
+
+def encode_peer_get_request(digest, groups):
+    """``32s digest, u32 n, n x u32 group`` -- ask a peer for decoded
+    groups it may hold (tier-1 or tier-2), never forcing a decode."""
+    try:
+        packed = struct.pack("<%dI" % len(groups), *groups)
+    except struct.error:
+        raise ProtocolError(ERR_MALFORMED, "group indices must be u32")
+    return b"".join((_check_digest(digest),
+                     struct.pack("<I", len(groups)), packed))
+
+
+def decode_peer_get_request(payload):
+    """Returns ``(digest, groups)``."""
+    reader = _PayloadReader(payload)
+    digest = bytes(reader.take(DIGEST_BYTES))
+    n = reader.u32()
+    groups = list(struct.unpack("<%dI" % n, reader.take(4 * n)))
+    reader.finish()
+    return digest, groups
+
+
+def encode_peer_get_response(digest, entries):
+    """``32s digest, u32 n, n x (u32 group, u8 present,
+    [u32 n_words, words])``.
+
+    *entries* is ``[(group, words_or_None), ...]``; a ``None`` words
+    list means "I don't hold that group" -- a peer miss is an answer,
+    not an error, so one response can mix hits and misses.
+    """
+    parts = [_check_digest(digest), struct.pack("<I", len(entries))]
+    for group, words in entries:
+        if words is None:
+            parts.append(struct.pack("<IB", group, 0))
+            continue
+        try:
+            packed = struct.pack("<%dI" % len(words), *words)
+        except struct.error:
+            raise ProtocolError(ERR_MALFORMED,
+                                "decoded words must be u32")
+        parts.append(struct.pack("<IBI", group, 1, len(words)))
+        parts.append(packed)
+    return b"".join(parts)
+
+
+def decode_peer_get_response(payload):
+    """Returns ``(digest, [(group, words_or_None), ...])``."""
+    reader = _PayloadReader(payload)
+    digest = bytes(reader.take(DIGEST_BYTES))
+    entries = []
+    for _ in range(reader.u32()):
+        group = reader.u32()
+        present = reader.u8()
+        if present == 0:
+            entries.append((group, None))
+        elif present == 1:
+            n_words = reader.u32()
+            entries.append((group, list(
+                struct.unpack("<%dI" % n_words,
+                              reader.take(4 * n_words)))))
+        else:
+            raise ProtocolError(ERR_MALFORMED,
+                                "peer-get presence flag must be 0/1")
+    reader.finish()
+    return digest, entries
+
+
+# -- replication / handoff (v3) ----------------------------------------------
+
+def encode_replicate_request(digest, entries, mode=REPLICATE_TIER2,
+                             image_bytes=None):
+    """``u8 mode, u8 has_image, [u32 image_len, image], 32s digest,
+    u32 n, n x (u32 group, u32 n_words, words)``.
+
+    Mode 0 (tier-2) is the write-behind replication pump: the receiver
+    files the groups in its byte-budgeted replica cache.  Mode 1
+    (handoff) is the reshard path: the receiver adopts the groups into
+    its *primary* cache because ownership is about to flip to it.  The
+    optional image container rides along so the receiver can serve
+    follow-up spans (and redirect-heal) without a registry miss.
+    """
+    if mode not in (REPLICATE_TIER2, REPLICATE_HANDOFF):
+        raise ProtocolError(ERR_MALFORMED,
+                            "unknown replicate mode %d" % mode)
+    parts = [struct.pack("<BB", mode, 0 if image_bytes is None else 1)]
+    if image_bytes is not None:
+        parts.append(struct.pack("<I", len(image_bytes)))
+        parts.append(bytes(image_bytes))
+    parts.append(_check_digest(digest))
+    parts.append(struct.pack("<I", len(entries)))
+    for group, words in entries:
+        try:
+            packed = struct.pack("<%dI" % len(words), *words)
+        except struct.error:
+            raise ProtocolError(ERR_MALFORMED,
+                                "decoded words must be u32")
+        parts.append(struct.pack("<II", group, len(words)))
+        parts.append(packed)
+    return b"".join(parts)
+
+
+def decode_replicate_request(payload):
+    """Returns ``(mode, image_bytes_or_None, digest,
+    [(group, words), ...])``."""
+    reader = _PayloadReader(payload)
+    mode = reader.u8()
+    if mode not in (REPLICATE_TIER2, REPLICATE_HANDOFF):
+        raise ProtocolError(ERR_MALFORMED,
+                            "unknown replicate mode %d" % mode)
+    has_image = reader.u8()
+    if has_image not in (0, 1):
+        raise ProtocolError(ERR_MALFORMED,
+                            "replicate image flag must be 0/1")
+    image_bytes = bytes(reader.take(reader.u32())) if has_image else None
+    digest = bytes(reader.take(DIGEST_BYTES))
+    entries = []
+    for _ in range(reader.u32()):
+        group = reader.u32()
+        n_words = reader.u32()
+        entries.append((group, list(
+            struct.unpack("<%dI" % n_words, reader.take(4 * n_words)))))
+    reader.finish()
+    return mode, image_bytes, digest, entries
+
+
+def encode_replicate_response(accepted, image_registered=False):
+    """``u32 accepted, u8 image_registered``."""
+    if not 0 <= accepted <= 0xFFFFFFFF:
+        raise ProtocolError(ERR_MALFORMED,
+                            "accepted count out of range")
+    return struct.pack("<IB", accepted, 1 if image_registered else 0)
+
+
+def decode_replicate_response(payload):
+    """Returns ``(accepted, image_registered)``."""
+    reader = _PayloadReader(payload)
+    accepted = reader.u32()
+    flag = reader.u8()
+    if flag not in (0, 1):
+        raise ProtocolError(ERR_MALFORMED,
+                            "image-registered flag must be 0/1")
+    reader.finish()
+    return accepted, bool(flag)
+
+
+# -- membership (v3 join/leave) ----------------------------------------------
+
+def encode_membership(epoch, members, shard=None):
+    """JSON membership payload for ``REQ_JOIN``/``REQ_LEAVE`` and their
+    responses: the full post-change member table ``[[id, "host:port"],
+    ...]``, the new ring epoch, and the joining/leaving shard id."""
+    payload = {"epoch": int(epoch),
+               "members": [[int(sid), str(addr)]
+                           for sid, addr in members]}
+    if shard is not None:
+        payload["shard"] = int(shard)
+    return encode_json_payload(payload)
+
+
+def decode_membership(payload):
+    """Returns ``(epoch, [(shard_id, address), ...], shard_or_None)``;
+    schema violations are :data:`ERR_MALFORMED` like any codec."""
+    obj = decode_json_payload(payload)
+    try:
+        epoch = int(obj["epoch"])
+        members = [(int(sid), str(addr)) for sid, addr in obj["members"]]
+        shard = obj.get("shard")
+        shard = None if shard is None else int(shard)
+    except (TypeError, ValueError, KeyError, AttributeError):
+        raise ProtocolError(ERR_MALFORMED,
+                            "malformed membership payload")
+    if epoch < 0 or not members:
+        raise ProtocolError(ERR_MALFORMED,
+                            "malformed membership payload")
+    return epoch, members, shard
 
 
 # -- errors ------------------------------------------------------------------

@@ -47,13 +47,22 @@ def routing_key(digest, group_start=0):
 
 
 class HashRing:
-    """Consistent-hash ring over integer shard ids."""
+    """Consistent-hash ring over integer shard ids.
 
-    def __init__(self, shards, replicas=DEFAULT_REPLICAS):
+    ``epoch`` is a monotonically increasing membership generation: every
+    live join/leave reshard produces a new ring with a higher epoch, and
+    clients stamp their epoch on requests so a server can tell a stale
+    client ("refresh your member list") from a misrouted request on the
+    current topology.  The epoch never influences ownership -- two rings
+    with the same shard set agree on every key regardless of epoch.
+    """
+
+    def __init__(self, shards, replicas=DEFAULT_REPLICAS, epoch=0):
         self.shards = sorted(set(int(shard) for shard in shards))
         if not self.shards:
             raise ValueError("a ring needs at least one shard")
         self.replicas = max(1, int(replicas))
+        self.epoch = int(epoch)
         points = []
         for shard in self.shards:
             for vnode in range(self.replicas):
@@ -62,6 +71,7 @@ class HashRing:
         points.sort()
         self._points = [point for point, _shard in points]
         self._owners = [shard for _point, shard in points]
+        self._without = {}
 
     def __len__(self):
         return len(self.shards)
@@ -83,9 +93,38 @@ class HashRing:
         return self.owner(routing_key(digest, group_start))
 
     def without(self, shard):
-        """A new ring with *shard* removed (surviving vnodes unmoved)."""
-        return HashRing([s for s in self.shards if s != shard],
-                        replicas=self.replicas)
+        """A new ring with *shard* removed (surviving vnodes unmoved).
+
+        Memoized per removed shard: successor queries hit this on every
+        cache miss, and rebuilding ``N * replicas`` SHA-256 points per
+        lookup would dominate the peer-fetch path.
+        """
+        cached = self._without.get(shard)
+        if cached is None:
+            cached = HashRing([s for s in self.shards if s != shard],
+                              replicas=self.replicas, epoch=self.epoch)
+            self._without[shard] = cached
+        return cached
+
+    def with_shard(self, shard, epoch=None):
+        """A new ring with *shard* added (existing vnodes unmoved)."""
+        epoch = self.epoch + 1 if epoch is None else epoch
+        return HashRing(self.shards + [int(shard)],
+                        replicas=self.replicas, epoch=epoch)
+
+    def successor(self, key):
+        """The shard owning *key* once its current owner is removed.
+
+        This is the natural replica target: when the owner evicts (or
+        dies), the successor is exactly where the ring would route the
+        key next, so replicating there means peer-fetch and failover
+        agree without any extra coordination.  ``None`` on a one-shard
+        ring (nowhere else to go).
+        """
+        if len(self.shards) < 2:
+            return None
+        return self.without(self.owner(key)).owner(key)
 
     def describe(self):
-        return {"shards": list(self.shards), "replicas": self.replicas}
+        return {"shards": list(self.shards), "replicas": self.replicas,
+                "epoch": self.epoch}

@@ -39,10 +39,17 @@ import threading
 import time
 from dataclasses import dataclass
 
+from collections import OrderedDict
+
 from repro.codepack.batch import compress_words_parallel
 from repro.codepack.errors import DecompressionError
 from repro.serve import protocol, snapshot as snapshot_format
-from repro.serve.batcher import GroupCache, ImageRegistry, MicroBatcher
+from repro.serve.batcher import (
+    GroupCache,
+    ImageRegistry,
+    MicroBatcher,
+    ReplicaCache,
+)
 from repro.serve.metrics import MetricsRegistry, merge_snapshots
 from repro.serve.protocol import ProtocolError
 from repro.serve.ring import DEFAULT_REPLICAS, HashRing, routing_key
@@ -58,15 +65,27 @@ _REQUEST_NAMES = {
     protocol.REQ_METRICS: "metrics",
     protocol.REQ_PING: "ping",
     protocol.REQ_FLEET: "fleet",
+    protocol.REQ_PEER_GET: "peer_get",
+    protocol.REQ_REPLICATE: "replicate",
+    protocol.REQ_JOIN: "join",
+    protocol.REQ_LEAVE: "leave",
 }
+
+#: Span anchors remembered for peer-fetch / replication routing.
+_MAX_SPAN_ANCHORS = 65536
+
+#: Replicate frames chunk at this many groups so a huge hot set can
+#: never build a frame over the protocol ceiling.
+_HANDOFF_CHUNK_GROUPS = 1024
 
 
 class _Redirect(Exception):
     """Internal: this request belongs to another shard."""
 
-    def __init__(self, shard_id):
+    def __init__(self, shard_id, with_epoch=False):
         super().__init__("owned by shard %d" % shard_id)
         self.shard_id = shard_id
+        self.with_epoch = with_epoch
 
 
 @dataclass
@@ -98,11 +117,17 @@ class ServerConfig:
     shard_id: int = None           # this worker's id on the ring
     fleet: tuple = None            # ("host:port", ...) indexed by shard
     ring_replicas: int = DEFAULT_REPLICAS
+    ring_epoch: int = 0            # membership generation at launch
     snapshot_dir: str = None       # None disables warm-start snapshots
     snapshot_interval: float = 30.0  # seconds between hot-set writes
     snapshot_groups: int = 2048    # hottest decoded groups persisted
     shared_dictionaries: str = None  # suite benchmark pinning fleet dicts
     shared_dict_scale: float = 0.05  # build scale for the pinned corpus
+    peer_fetch: bool = True        # tier-2: ask the successor before decode
+    peer_timeout: float = 2.0      # seconds per peer-fetch round-trip
+    replica_budget: int = 8 * 1024 * 1024  # tier-2 cache bytes; 0 disables
+    replicate_interval: float = 0.05  # write-behind pump period, seconds
+    replicate_batch_bytes: int = 256 * 1024  # pump budget per cycle
 
     def describe(self):
         return {
@@ -122,6 +147,9 @@ class ServerConfig:
             "snapshot_interval": self.snapshot_interval,
             "snapshot_groups": self.snapshot_groups,
             "shared_dictionaries": self.shared_dictionaries,
+            "peer_fetch": self.peer_fetch,
+            "replica_budget": self.replica_budget,
+            "replicate_interval": self.replicate_interval,
         }
 
 
@@ -183,19 +211,30 @@ class CodePackServer:
         self._sweep_state = {"priced": 0, "memo_hits": 0, "cache_hits": 0}
         self.shared_dicts = (None, None)
         self.ring = None
-        self._addresses = list(self.config.fleet) if self.config.fleet \
-            else None
-        if self._addresses is not None:
+        self._members = None  # OrderedDict shard_id -> "host:port"
+        if self.config.fleet:
             if self.config.shard_id is None:
                 raise ValueError("a fleet member needs a shard_id")
-            self.ring = HashRing(range(len(self._addresses)),
-                                 replicas=self.config.ring_replicas)
+            self._members = OrderedDict(
+                (shard, address)
+                for shard, address in enumerate(self.config.fleet))
+            self.ring = HashRing(self._members,
+                                 replicas=self.config.ring_replicas,
+                                 epoch=self.config.ring_epoch)
         self._snapshot_task = None
         self._snapshot_state = {"restored_images": 0,
                                 "restored_groups": 0,
                                 "writes": 0, "last_bytes": 0,
                                 "last_groups": 0}
         self._peer_clients = {}
+        # -- tier 2: replica store + write-behind bookkeeping ------------
+        self.replicas = ReplicaCache(max_bytes=self.config.replica_budget)
+        self._replicated = set()    # (digest, group) already pushed
+        self._sent_images = set()   # (target, digest) container sent
+        self._span_anchors = OrderedDict()  # (digest, group) -> span start
+        self._replicate_task = None
+        self._membership_state = {"reshards": 0, "handoff_out": 0,
+                                  "handoff_in": 0}
 
     @property
     def shard_id(self):
@@ -232,13 +271,16 @@ class CodePackServer:
             max_batch=self.config.max_batch,
             executor=self.executor, metrics=self.metrics,
             high_dict=self.shared_dicts[0],
-            low_dict=self.shared_dicts[1]).start()
+            low_dict=self.shared_dicts[1],
+            peer_fetch=(self._peer_fetch if self.config.peer_fetch
+                        else None)).start()
         self.metrics.register_gauge("queue_depth", lambda: self._active)
         self.metrics.register_gauge("queue_limit",
                                     lambda: self.config.queue_limit)
         self.metrics.register_gauge("queue_peak", lambda: self._peak_active)
         self.metrics.register_gauge("batcher_depth", self.batcher.depth)
         self.metrics.register_gauge("cache", self.cache.counters)
+        self.metrics.register_gauge("replicas", self.replicas.counters)
         self.metrics.register_gauge("images", lambda: len(self.registry))
         self.metrics.register_gauge("shard", self._shard_gauge)
         self.metrics.register_gauge("sweep", self._sweep_gauge)
@@ -249,30 +291,52 @@ class CodePackServer:
             if self.config.snapshot_interval > 0:
                 self._snapshot_task = asyncio.get_running_loop() \
                     .create_task(self._snapshot_loop())
+        if self.config.replicate_interval > 0 \
+                and self.config.replica_budget > 0:
+            self._replicate_task = asyncio.get_running_loop() \
+                .create_task(self._replicate_pump())
         self._server = await asyncio.start_server(
             self._on_connect, host=self.config.host, port=self.config.port)
         return self
 
-    def set_fleet(self, addresses, shard_id=None):
+    def set_fleet(self, addresses, shard_id=None, epoch=None):
         """Join (or re-shape) a fleet after construction.
 
         In-loop fleets bind ephemeral ports first and distribute the
         address table afterwards; ownership never changes here unless
-        the shard *count* does, because the ring hashes shard ids, not
-        addresses.
+        the shard set does, because the ring hashes shard ids, not
+        addresses.  *addresses* is either a plain list (index = shard
+        id, the launch-time form) or ``[(shard_id, address), ...]``
+        pairs (the live-membership form, where ids may have gaps).
         """
         if shard_id is not None:
             self.config.shard_id = shard_id
-        self._addresses = list(addresses)
         if self.config.shard_id is None:
             raise ValueError("a fleet member needs a shard_id")
-        self.config.fleet = tuple(self._addresses)
-        self.ring = HashRing(range(len(self._addresses)),
-                             replicas=self.config.ring_replicas)
+        members = OrderedDict()
+        for index, item in enumerate(addresses):
+            if isinstance(item, str):
+                members[index] = item
+            else:
+                sid, address = item
+                members[int(sid)] = str(address)
+        self._members = members
+        self.config.fleet = tuple(members.values())
+        if epoch is None:
+            epoch = self.ring.epoch if self.ring is not None \
+                else self.config.ring_epoch
+        self.ring = HashRing(members, replicas=self.config.ring_replicas,
+                             epoch=epoch)
+        self.metrics.ring_epoch = epoch
+
+    def _member_list(self):
+        return [[shard, address]
+                for shard, address in self._members.items()] \
+            if self._members else []
 
     def _shard_gauge(self):
         return {"id": self.shard_id,
-                "workers": len(self._addresses) if self._addresses else 1,
+                "workers": len(self._members) if self._members else 1,
                 "sharded": self.ring is not None}
 
     async def serve_forever(self):
@@ -287,6 +351,13 @@ class CodePackServer:
         the freshest possible cache.
         """
         self._closing = True
+        if self._replicate_task is not None:
+            self._replicate_task.cancel()
+            try:
+                await self._replicate_task
+            except asyncio.CancelledError:
+                pass
+            self._replicate_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -480,7 +551,8 @@ class CodePackServer:
                     # so a shard-aware client re-issues it there.
                     self.metrics.record_redirect()
                     await self._send_redirect(conn, frame.request_id,
-                                              exc.shard_id)
+                                              exc.shard_id,
+                                              with_epoch=exc.with_epoch)
                     return
                 except (ContainerError, DecompressionError, ValueError,
                         KeyError) as exc:
@@ -517,6 +589,16 @@ class CodePackServer:
             return await self._handle_sweep_cell(frame.payload)
         if frame.type == protocol.REQ_FLEET:
             return await self._handle_fleet(frame.payload)
+        if frame.type == protocol.REQ_PEER_GET:
+            return self._handle_peer_get(frame.payload)
+        if frame.type == protocol.REQ_REPLICATE:
+            return self._handle_replicate(frame.payload)
+        if frame.type == protocol.REQ_JOIN:
+            return await self._handle_membership(frame.payload,
+                                                 leaving=False)
+        if frame.type == protocol.REQ_LEAVE:
+            return await self._handle_membership(frame.payload,
+                                                 leaving=True)
         raise ProtocolError(protocol.ERR_UNKNOWN_TYPE,
                             "unknown request type 0x%02x" % frame.type)
 
@@ -569,7 +651,7 @@ class CodePackServer:
         return digest, blob
 
     async def _handle_decompress(self, payload):
-        digest, image_bytes, start, count = \
+        digest, image_bytes, start, count, epoch = \
             protocol.decode_decompress_request(payload)
         if image_bytes is not None:
             # Inline image: canonicalise (parse + re-dump) so the digest
@@ -583,9 +665,32 @@ class CodePackServer:
         elif self.ring is not None:
             owner = self.ring.owner(routing_key(digest, start))
             if owner != self.shard_id:
-                raise _Redirect(owner)
+                # An epoch-stamped (v3) request earns an epoch-stamped
+                # redirect so a stale client knows to rediscover; a v2
+                # request gets the legacy layout byte-for-byte.
+                raise _Redirect(owner, with_epoch=epoch is not None)
+            self._record_span_anchor(digest, start, count)
         words = await self.batcher.decode_span(digest, start, count)
         return protocol.encode_decompress_response(digest, start, words)
+
+    def _record_span_anchor(self, digest, start, count):
+        """Remember which span start routed each group here.
+
+        Peer-fetch and replication both pick the successor of the
+        *span's* routing key, so the anchor map is what keeps a group's
+        replica target and its later fetch target consistent even
+        though the cache itself is keyed per group.
+        """
+        if self.ring is None:
+            return
+        anchors = self._span_anchors
+        if count == 0 or count > 512:
+            count = min(count or 512, 512)
+        for group in range(start, start + count):
+            anchors[(digest, group)] = start
+            anchors.move_to_end((digest, group))
+        while len(anchors) > _MAX_SPAN_ANCHORS:
+            anchors.popitem(last=False)
 
     def _handle_stats(self, payload):
         digest = protocol.decode_stats_request(payload)
@@ -767,35 +872,59 @@ class CodePackServer:
     def _describe_fleet(self):
         return {
             "shard_id": self.shard_id,
-            "workers": len(self._addresses) if self._addresses else 1,
-            "addresses": list(self._addresses) if self._addresses else [],
+            "workers": len(self._members) if self._members else 1,
+            "addresses": list(self._members.values())
+            if self._members else [],
+            "members": self._member_list(),
+            "epoch": self.ring.epoch if self.ring else 0,
             "ring": self.ring.describe() if self.ring else None,
             "snapshot": dict(self._snapshot_state,
                              dir=self.config.snapshot_dir),
+            "membership": dict(self._membership_state),
             "shared_dictionaries": self.config.shared_dictionaries,
             "serve_version": self._serve_version(),
             "protocol_version": protocol.PROTOCOL_VERSION,
         }
 
-    async def _fleet_metrics(self, samples=True):
-        """Merge this worker's metrics with every reachable peer's."""
+    async def _peer_client(self, shard):
+        """A cached pipelined connection to peer *shard* (dial once)."""
         from repro.serve.client import ServeClient
 
+        client = self._peer_clients.get(shard)
+        if client is not None:
+            return client
+        address = (self._members or {}).get(shard)
+        if address is None:
+            raise ProtocolError(protocol.ERR_NOT_FOUND,
+                                "unknown fleet shard %d" % shard)
+        host, _, port = address.rpartition(":")
+        client = ServeClient(host or "127.0.0.1", int(port))
+        await client.connect()
+        return await self._adopt_peer_client(shard, client)
+
+    async def _adopt_peer_client(self, shard, client):
+        """File a freshly dialed *client* under *shard* -- unless a
+        concurrent caller won the dial race while we awaited connect(),
+        in which case ours is closed and theirs returned (an orphaned
+        connection would leak its read-loop task past shutdown)."""
+        existing = self._peer_clients.get(shard)
+        if existing is not None:
+            await client.close()
+            return existing
+        self._peer_clients[shard] = client
+        return client
+
+    async def _fleet_metrics(self, samples=True):
+        """Merge this worker's metrics with every reachable peer's."""
         snaps = [self.metrics.snapshot(samples=samples)]
         shards = [self.shard_id]
         unreachable = []
-        if self._addresses:
-            for shard, address in enumerate(self._addresses):
+        if self._members:
+            for shard in list(self._members):
                 if shard == self.shard_id:
                     continue
                 try:
-                    client = self._peer_clients.get(shard)
-                    if client is None:
-                        host, _, port = address.rpartition(":")
-                        client = ServeClient(host or "127.0.0.1",
-                                             int(port))
-                        await client.connect()
-                        self._peer_clients[shard] = client
+                    client = await self._peer_client(shard)
                     frame = await client.request(
                         protocol.REQ_METRICS,
                         protocol.encode_json_payload(
@@ -811,13 +940,330 @@ class CodePackServer:
         merged["unreachable"] = unreachable
         return merged
 
-    async def _send_redirect(self, conn, request_id, owner):
+    async def _send_redirect(self, conn, request_id, owner,
+                             with_epoch=False):
         host, port = "", 0
-        if self._addresses and 0 <= owner < len(self._addresses):
-            host, _, port_text = self._addresses[owner].rpartition(":")
+        address = (self._members or {}).get(owner)
+        if address is not None:
+            host, _, port_text = address.rpartition(":")
             port = int(port_text)
+        epoch = self.ring.epoch if with_epoch and self.ring else None
         await self._send(conn, protocol.RESP_REDIRECT, request_id,
-                         protocol.encode_redirect(owner, host, port))
+                         protocol.encode_redirect(owner, host, port,
+                                                  epoch=epoch))
+
+    # -- tier 2: cooperative cache -------------------------------------------
+
+    def _successor_for(self, digest, group):
+        """The replica / peer-fetch target of one cached group.
+
+        Routes by the group's recorded span anchor (falling back to the
+        group index itself), then asks the ring for the key's successor
+        -- the shard that would own the key if this one vanished.  The
+        pump pushes there and the miss path fetches from there, so the
+        two sides agree by construction.
+        """
+        anchor = self._span_anchors.get((digest, group), group)
+        key = routing_key(digest, anchor)
+        if self.ring.owner(key) != self.shard_id:
+            return None
+        return self.ring.successor(key)
+
+    async def _peer_fetch(self, digest, groups):
+        """The MicroBatcher tier-2 hook: try the ring successor for
+        locally-missing groups before paying for a decode.
+
+        Strictly best-effort -- any failure (no fleet, unreachable
+        peer, peer miss) just leaves the group on the decode path.
+        Returns ``{group: words}`` for the groups a peer supplied.
+        """
+        if self.ring is None or len(self.ring) < 2 or self._closing:
+            return {}
+        by_target = {}
+        for group in groups:
+            target = self._successor_for(digest, group)
+            if target is not None and target != self.shard_id:
+                by_target.setdefault(target, []).append(group)
+        got = {}
+        for target, wanted in by_target.items():
+            started = time.perf_counter()
+            hits = 0
+            error = False
+            try:
+                client = await self._peer_client(target)
+                frame = await client.request(
+                    protocol.REQ_PEER_GET,
+                    protocol.encode_peer_get_request(digest, wanted),
+                    timeout=self.config.peer_timeout)
+                _digest, entries = protocol.decode_peer_get_response(
+                    frame.payload)
+                for group, words in entries:
+                    if words is not None and group in wanted:
+                        got[group] = words
+                        hits += 1
+            except Exception:
+                self._peer_clients.pop(target, None)
+                error = True
+            self.metrics.record_peer_fetch(
+                hits, len(wanted) - hits,
+                time.perf_counter() - started, error=error)
+        return got
+
+    def _handle_peer_get(self, payload):
+        """Serve decoded groups a peer asks for -- replica tier first,
+        then a non-perturbing peek at the primary cache.  A miss is a
+        present-flag 0 entry, never an error and never a decode: the
+        asking shard decides whether decoding is worth it."""
+        digest, groups = protocol.decode_peer_get_request(payload)
+        entries = []
+        hits = 0
+        for group in groups:
+            words = self.replicas.peek((digest, group))
+            if words is None:
+                words = self.cache.peek((digest, group))
+            if words is None:
+                entries.append((group, None))
+            else:
+                entries.append((group, list(words)))
+                hits += 1
+        self.metrics.record_peer_served(hits)
+        return protocol.encode_peer_get_response(digest, entries)
+
+    def _handle_replicate(self, payload):
+        """Accept pushed decoded groups.
+
+        Mode 0 (tier-2) files them in the byte-budgeted replica cache;
+        mode 1 (handoff) adopts them into the primary cache because
+        ownership is flipping to this shard.  A riding image container
+        is re-hashed against its claimed digest before registration --
+        exactly the snapshot-restore validation -- so a peer can never
+        poison the content-addressed registry.
+        """
+        mode, image_bytes, digest, entries = \
+            protocol.decode_replicate_request(payload)
+        image_registered = False
+        if image_bytes is not None and digest not in self.registry:
+            try:
+                image = parse_image(image_bytes)
+                if hashlib.sha256(
+                        dump_image(image)).digest() == digest:
+                    self.registry.register(digest, image)
+                    image_registered = True
+            except (ContainerError, ValueError):
+                pass  # a bad rider drops; the groups may still serve
+        accepted = 0
+        n_bytes = 0
+        if mode == protocol.REPLICATE_HANDOFF:
+            # Adoption needs the container (follow-up spans must
+            # decode); without it the entries would be dead weight.
+            if digest in self.registry:
+                for group, words in entries:
+                    self.cache.put((digest, group), tuple(words))
+                    accepted += 1
+                    n_bytes += 4 * len(words)
+                self.metrics.record_handoff(accepted, outbound=False)
+                self._membership_state["handoff_in"] += accepted
+        else:
+            for group, words in entries:
+                if self.replicas.put((digest, group), words):
+                    accepted += 1
+                    n_bytes += 4 * len(words)
+        self.metrics.record_replicated_in(accepted, n_bytes)
+        return protocol.encode_replicate_response(accepted,
+                                                  image_registered)
+
+    async def _replicate_pump(self):
+        """Write-behind replication: push the warmest primary-cache
+        groups to their ring successors, newest heat first, bounded per
+        cycle so replication can never crowd out serving.
+
+        The loop re-checks ``_closing`` rather than trusting
+        cancellation alone: on 3.11, ``wait_for`` can swallow an
+        external cancel when the awaited peer response completes in the
+        same tick (e.g. failed by a peer that is also shutting down),
+        and a pump that survived its cancel would deadlock shutdown.
+        """
+        while not self._closing:
+            await asyncio.sleep(self.config.replicate_interval)
+            try:
+                await self._replicate_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass  # replication is an optimisation, never a crash
+
+    async def _replicate_once(self):
+        if self.ring is None or len(self.ring) < 2 or self._closing:
+            return 0
+        budget = self.config.replicate_batch_bytes
+        batches = {}  # (target, digest) -> [(group, words), ...]
+        for (digest, group), words in reversed(self.cache.items()):
+            if budget <= 0:
+                break
+            if (digest, group) in self._replicated:
+                continue
+            target = self._successor_for(digest, group)
+            if target is None or target == self.shard_id:
+                continue
+            batches.setdefault((target, digest), []).append(
+                (group, list(words)))
+            budget -= 4 * len(words)
+        pushed = 0
+        for (target, digest), entries in batches.items():
+            image_bytes = None
+            if (target, digest) not in self._sent_images \
+                    and digest in self.registry:
+                image_bytes = dump_image(self.registry.get(digest))
+            try:
+                client = await self._peer_client(target)
+                frame = await client.request(
+                    protocol.REQ_REPLICATE,
+                    protocol.encode_replicate_request(
+                        digest, entries, mode=protocol.REPLICATE_TIER2,
+                        image_bytes=image_bytes),
+                    timeout=self.config.peer_timeout)
+                protocol.decode_replicate_response(frame.payload)
+            except Exception:
+                self._peer_clients.pop(target, None)
+                continue
+            if image_bytes is not None:
+                self._sent_images.add((target, digest))
+            n_bytes = sum(4 * len(words) for _g, words in entries)
+            self.metrics.record_replicated_out(len(entries), n_bytes)
+            for group, _words in entries:
+                self._replicated.add((digest, group))
+            pushed += len(entries)
+        return pushed
+
+    # -- live membership -----------------------------------------------------
+
+    async def _handle_membership(self, payload, leaving):
+        """Apply a ``REQ_JOIN``/``REQ_LEAVE`` reshard.
+
+        The payload carries the full post-change member table and its
+        epoch.  Idempotent: an epoch at or below the current ring's is
+        acknowledged without touching anything, so orchestrators can
+        broadcast freely.  Ordering within one reshard: the hot-set
+        handoff streams *before* the ring flips, so entries leave while
+        this shard still owns them and arrive at a shard about to own
+        them -- the window where both answer is harmless (either can
+        serve the span), the window where neither would is avoided.
+        """
+        epoch, members, _changed = protocol.decode_membership(payload)
+        if self.ring is None:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "not a fleet member")
+        current = self.ring.epoch
+        if epoch <= current:
+            return protocol.encode_membership(
+                current, self._member_list(), shard=self.shard_id)
+        new_ids = [shard for shard, _address in members]
+        if self.shard_id not in new_ids and not leaving:
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "member table omits this shard")
+        new_ring = HashRing(new_ids, replicas=self.config.ring_replicas,
+                            epoch=epoch)
+        handed_off = await self._handoff_hot_set(new_ring, members)
+        # The departing shard keeps the survivors' address table so its
+        # post-flip redirects still resolve to real hosts.
+        self._members = OrderedDict(
+            (int(shard), str(address)) for shard, address in members)
+        self.config.fleet = tuple(self._members.values())
+        self.ring = new_ring
+        self._replicated.clear()
+        self._sent_images.clear()
+        for shard in list(self._peer_clients):
+            if shard not in self._members:
+                client = self._peer_clients.pop(shard)
+                try:
+                    await client.close()
+                except Exception:
+                    pass
+        self.metrics.record_reshard(epoch)
+        self._membership_state["reshards"] += 1
+        return protocol.encode_json_payload({
+            "epoch": epoch,
+            "shard": self.shard_id,
+            "members": [[shard, address]
+                        for shard, address in members],
+            "handoff_groups": handed_off,
+        })
+
+    async def _handoff_hot_set(self, new_ring, members):
+        """Stream hot-set entries this shard is about to stop owning to
+        their new owners (snapshot-format walk, replicate mode 1)."""
+        if self.ring is None:
+            return 0
+        member_ids = {int(shard) for shard, _address in members}
+
+        def route(digest, group):
+            anchor = self._span_anchors.get((digest, group), group)
+            key = routing_key(digest, anchor)
+            if self.ring.owner(key) != self.shard_id:
+                return None  # not ours to hand off
+            new_owner = new_ring.owner(key)
+            if new_owner == self.shard_id \
+                    or new_owner not in member_ids:
+                return None
+            return new_owner
+
+        buckets = snapshot_format.collect_handoff(self.registry,
+                                                  self.cache, route)
+        # Address book for targets not yet in self._members (a joiner).
+        addresses = dict(self._members or {})
+        addresses.update({int(shard): str(address)
+                          for shard, address in members})
+        handed_off = 0
+        for target, bucket in buckets.items():
+            groups_by_digest = {}
+            for digest, group, words in bucket["groups"]:
+                groups_by_digest.setdefault(digest, []).append(
+                    (group, words))
+            for digest, entries in groups_by_digest.items():
+                image_bytes = bucket["images"].get(digest)
+                for start in range(0, len(entries),
+                                   _HANDOFF_CHUNK_GROUPS):
+                    chunk = entries[start:start + _HANDOFF_CHUNK_GROUPS]
+                    try:
+                        client = await self._membership_client(
+                            target, addresses)
+                        frame = await client.request(
+                            protocol.REQ_REPLICATE,
+                            protocol.encode_replicate_request(
+                                digest, chunk,
+                                mode=protocol.REPLICATE_HANDOFF,
+                                image_bytes=image_bytes),
+                            timeout=self.config.peer_timeout)
+                        accepted, _registered = \
+                            protocol.decode_replicate_response(
+                                frame.payload)
+                    except Exception:
+                        self._peer_clients.pop(target, None)
+                        break  # unreachable target: new owner decodes
+                    image_bytes = None  # riders go once per digest
+                    handed_off += accepted
+        if handed_off:
+            self.metrics.record_handoff(handed_off, outbound=True)
+            self._membership_state["handoff_out"] += handed_off
+        return handed_off
+
+    async def _membership_client(self, shard, addresses):
+        """Like :meth:`_peer_client` but resolves through a reshard's
+        merged address book (the target may be the not-yet-listed
+        joiner)."""
+        from repro.serve.client import ServeClient
+
+        client = self._peer_clients.get(shard)
+        if client is not None:
+            return client
+        address = addresses.get(shard)
+        if address is None:
+            raise ProtocolError(protocol.ERR_NOT_FOUND,
+                                "unknown fleet shard %d" % shard)
+        host, _, port = address.rpartition(":")
+        client = ServeClient(host or "127.0.0.1", int(port))
+        await client.connect()
+        return await self._adopt_peer_client(shard, client)
 
     # -- writing -------------------------------------------------------------
 

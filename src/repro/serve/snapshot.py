@@ -35,7 +35,8 @@ import tempfile
 from repro.tools.container import dump_image, parse_image
 
 __all__ = ["SNAPSHOT_FORMAT_VERSION", "snapshot_path", "write_snapshot",
-           "load_snapshot", "collect_hot_set", "restore_hot_set"]
+           "load_snapshot", "collect_hot_set", "collect_handoff",
+           "restore_hot_set"]
 
 #: Snapshot file layout version (bump on incompatible changes).
 SNAPSHOT_FORMAT_VERSION = 1
@@ -78,6 +79,32 @@ def collect_hot_set(registry, cache, max_groups=2048):
                    for digest_hex, image in sorted(images.items())],
         "groups": groups,
     }
+
+
+def collect_handoff(registry, cache, route):
+    """Partition the live hot set for a reshard handoff.
+
+    The same hot-set walk as :func:`collect_hot_set`, but instead of
+    persisting to disk it buckets entries by their *new* owner: *route*
+    maps ``(digest, group)`` to a target shard id, or ``None`` for
+    entries that stay local.  Returns ``{target: {"images": {digest:
+    container_bytes}, "groups": [(digest, group, words), ...]}}`` in
+    LRU order (coldest first), so a receiver replaying the stream ranks
+    the adopted entries exactly as the donor did.  Container bytes ride
+    along once per image per target for the same reason they ride in
+    snapshots: the receiver must be able to decode follow-up spans
+    without a client re-upload.
+    """
+    out = {}
+    for (digest, group), words in cache.items():
+        target = route(digest, group)
+        if target is None:
+            continue
+        bucket = out.setdefault(target, {"images": {}, "groups": []})
+        if digest not in bucket["images"] and digest in registry:
+            bucket["images"][digest] = dump_image(registry.get(digest))
+        bucket["groups"].append((digest, group, list(words)))
+    return out
 
 
 def write_snapshot(path, body, shard_id, serve_version):

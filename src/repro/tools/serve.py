@@ -17,6 +17,7 @@ Examples::
     python -m repro.tools.serve bench --requests 600 -o BENCH_serve.json
     python -m repro.tools.serve bench --connect 127.0.0.1:7633 --mode open
     python -m repro.tools.serve bench --fleet 4 -o BENCH_serve_fleet.json
+    python -m repro.tools.serve bench --fleet 4 --churn -o BENCH_serve.json
 """
 
 import argparse
@@ -29,6 +30,7 @@ import time
 from repro.serve.loadgen import (
     LoadgenConfig,
     run_compare,
+    run_fleet_churn,
     run_fleet_compare,
     run_load,
 )
@@ -172,8 +174,55 @@ def _print_report(label, report):
              report["words_per_second"], latency["p50"], latency["p99"]))
 
 
+def _merge_output(path, key, payload):
+    """Merge *payload* under *key* into an existing JSON report file."""
+    try:
+        with open(path, "r") as handle:
+            report = json.load(handle)
+        if not isinstance(report, dict):
+            report = {}
+    except (OSError, ValueError):
+        report = {}
+    report[key] = payload
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def _cmd_bench_churn(args):
+    loadgen = _loadgen_config(args, "127.0.0.1", 0)
+    result = run_fleet_churn(config=loadgen, n_workers=args.fleet,
+                             **_server_kwargs(args))
+    for row in result["phases"]:
+        print("%-11s %5d/%-5d ok  %4d err  %7.0f req/s  "
+              "p50 %6.2fms  p99 %6.2fms"
+              % (row["phase"], row["completed"], row["requests"],
+                 sum(row["errors"].values()), row["qps"],
+                 row["p50_ms"], row["p99_ms"]))
+    for event in result["events"]:
+        extra = ""
+        if "moved_fraction" in event:
+            extra = "  moved %.3f of working set (1/N = %.3f)" \
+                % (event["moved_fraction"], event["expected_fraction"])
+        print("event @%d: %s shard %s -> epoch %d%s"
+              % (event["at"], event["action"], event.get("shard"),
+                 event["epoch"], extra))
+    print("peer-fetch hit ratio %.3f (%d hits / %d misses); "
+          "join p99 ratio %s"
+          % (result["peer_fetch_hit_ratio"], result["peer_fetch_hits"],
+             result["peer_fetch_misses"],
+             "%.2f" % result["join_p99_ratio"]
+             if result["join_p99_ratio"] is not None else "n/a"))
+    if args.output:
+        _merge_output(args.output, "fleet_churn", result)
+        print("wrote %s (fleet_churn section)" % args.output)
+    return 0
+
+
 def _cmd_bench(args):
     if args.fleet and args.fleet > 1:
+        if args.churn:
+            return _cmd_bench_churn(args)
         loadgen = _loadgen_config(args, "127.0.0.1", 0)
         kwargs = _server_kwargs(args)
         result = run_fleet_compare(loadgen=loadgen, n_workers=args.fleet,
@@ -254,6 +303,12 @@ def main(argv=None):
     bench.add_argument("--drivers", type=int, default=None,
                        help="loadgen driver processes for --fleet "
                             "(default: scaled to the core count)")
+    bench.add_argument("--churn", action="store_true",
+                       help="with --fleet N: run the scripted "
+                            "kill/join/leave churn schedule and report "
+                            "per-phase latency plus tier-2 peer-fetch "
+                            "counters (merged under 'fleet_churn' in "
+                            "the -o report)")
     bench.add_argument("--mode", choices=("closed", "open"),
                        default="closed")
     bench.add_argument("--connections", type=int, default=4)

@@ -1,0 +1,85 @@
+"""Fleet churn under load: crash-respawn, join, leave -- no lost work.
+
+These drive the real multiprocess :class:`Fleet` through the scripted
+churn schedule (:func:`run_fleet_churn`), so they cover the full v3
+stack end to end: SIGKILL + cold respawn healed by tier-2 peer-fetch,
+a joining shard warmed by handoff before ownership flips, and a
+leaving shard draining its hot set to the survivors -- all while a
+closed-loop workload keeps requests in flight between phases.
+"""
+
+import pytest
+
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    default_churn_events,
+    run_fleet_churn,
+)
+
+
+def churn_config(requests=240):
+    return LoadgenConfig(requests=requests, working_set=16, span=8,
+                         connections=4, pipeline=2, seed=1234)
+
+
+class TestSchedule:
+    def test_default_schedule_covers_all_three_actions(self):
+        events = default_churn_events(400)
+        assert [e["action"] for e in events] == ["kill", "join", "leave"]
+        assert [e["at"] for e in events] == [100, 200, 300]
+
+    def test_default_schedule_degenerate_run_stays_ordered(self):
+        offsets = [e["at"] for e in default_churn_events(4)]
+        assert offsets == sorted(offsets)
+        assert all(at >= 1 for at in offsets)
+
+    def test_open_loop_rejected(self):
+        with pytest.raises(ValueError):
+            run_fleet_churn(config=LoadgenConfig(mode="open"))
+
+    def test_single_worker_rejected(self):
+        with pytest.raises(ValueError):
+            run_fleet_churn(config=churn_config(), n_workers=1)
+
+
+@pytest.mark.slow
+class TestMultiprocessChurn:
+    def test_kill_join_leave_under_load(self):
+        """One pass through the full schedule against 4 real worker
+        processes; the contracts the CI churn gate also enforces."""
+        report = run_fleet_churn(config=churn_config(), n_workers=4,
+                                 batch_window=0.002,
+                                 replicate_interval=0.02)
+
+        # No lost responses: every planned request completed, no phase
+        # recorded an error -- the kill, the join and the leave were
+        # all absorbed by redial + redirects + topology refresh.
+        assert report["completed"] == report["requests"] == 240
+        assert report["errors"] == {}
+        assert [row["phase"] for row in report["phases"]] \
+            == ["pre", "post-kill", "post-join", "post-leave"]
+        assert all(row["completed"] == row["requests"]
+                   for row in report["phases"])
+
+        # The respawned worker cold-started; its hot set came back via
+        # tier-2 peer-fetch rather than decode.
+        assert report["peer_fetch_hits"] > 0
+        assert report["peer_fetch_hit_ratio"] > 0
+
+        # The join (5th shard, mid-run) moved about 1/N of the working
+        # set -- consistent hashing, not a rehash-the-world reshard.
+        join = next(e for e in report["events"]
+                    if e["action"] == "join")
+        assert join["shard"] == 4
+        assert join["moved_fraction"] <= join["expected_fraction"] + 0.15
+        assert join["moved_fraction"] > 0
+
+        # Post-join latency stays within 2x of the phase before it
+        # (the handoff warmed the joiner before ownership flipped).
+        assert report["join_p99_ratio"] is not None
+        assert report["join_p99_ratio"] <= 2.0
+
+        # kill leaves membership alone; join and leave each bump it.
+        assert report["epoch"] == 2
+        assert report["n_workers_initial"] == 4
+        assert report["n_workers_final"] == 4  # +1 join, -1 leave

@@ -91,7 +91,7 @@ class TestPayloadRoundTrips:
         payload = protocol.encode_decompress_request(
             digest=digest, group_start=start, group_count=count)
         assert protocol.decode_decompress_request(payload) \
-            == (digest, None, start, count)
+            == (digest, None, start, count, None)
 
     @given(blob=st.binary(max_size=300),
            start=st.integers(min_value=0, max_value=0xFFFFFFFF))
@@ -99,7 +99,7 @@ class TestPayloadRoundTrips:
         payload = protocol.encode_decompress_request(
             image_bytes=blob, group_start=start, group_count=2)
         assert protocol.decode_decompress_request(payload) \
-            == (None, blob, start, 2)
+            == (None, blob, start, 2, None)
 
     @given(digest=digests, start=st.integers(min_value=0,
                                              max_value=0xFFFFFFFF),
@@ -135,6 +135,118 @@ class TestPayloadRoundTrips:
         with pytest.raises(ProtocolError):
             protocol.encode_decompress_request(digest=b"\0" * 32,
                                                image_bytes=b"xx")
+
+    def test_inline_decompress_rejects_epoch(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_decompress_request(image_bytes=b"xx", epoch=3)
+
+
+epochs = st.integers(min_value=0, max_value=0xFFFFFFFF)
+group_lists = st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                       max_size=50)
+short_words = st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                       max_size=20)
+
+
+class TestV3PayloadRoundTrips:
+    """The cooperative-cache and live-membership frames (protocol v3)."""
+
+    @given(digest=digests,
+           start=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           count=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           epoch=epochs)
+    @settings(max_examples=150)
+    def test_decompress_request_epoch_stamped(self, digest, start, count,
+                                              epoch):
+        payload = protocol.encode_decompress_request(
+            digest=digest, group_start=start, group_count=count,
+            epoch=epoch)
+        assert protocol.decode_decompress_request(payload) \
+            == (digest, None, start, count, epoch)
+
+    @given(shard=st.integers(min_value=0, max_value=0xFFFF),
+           host=st.text(max_size=40),
+           port=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           epoch=st.none() | epochs)
+    @settings(max_examples=150)
+    def test_redirect_both_layouts(self, shard, host, port, epoch):
+        """The legacy (v2) layout and the epoch-tailed v3 layout decode
+        through the same function; the legacy layout stays byte-stable
+        (no tail), which is the v2-compat contract."""
+        payload = protocol.encode_redirect(shard, host, port, epoch=epoch)
+        assert protocol.decode_redirect(payload) \
+            == (shard, host, port, epoch)
+        if epoch is None:
+            legacy = protocol.encode_redirect(shard, host, port)
+            assert legacy == payload
+
+    @given(digest=digests, groups=group_lists)
+    @settings(max_examples=150)
+    def test_peer_get_request(self, digest, groups):
+        payload = protocol.encode_peer_get_request(digest, groups)
+        assert protocol.decode_peer_get_request(payload) \
+            == (digest, groups)
+
+    @given(digest=digests,
+           entries=st.lists(
+               st.tuples(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                         st.none() | short_words),
+               max_size=10))
+    @settings(max_examples=150)
+    def test_peer_get_response_mixes_hits_and_misses(self, digest,
+                                                     entries):
+        payload = protocol.encode_peer_get_response(digest, entries)
+        assert protocol.decode_peer_get_response(payload) \
+            == (digest, entries)
+
+    @given(digest=digests,
+           entries=st.lists(
+               st.tuples(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                         short_words),
+               max_size=10),
+           mode=st.sampled_from((protocol.REPLICATE_TIER2,
+                                 protocol.REPLICATE_HANDOFF)),
+           image=st.none() | st.binary(max_size=200))
+    @settings(max_examples=150)
+    def test_replicate_request(self, digest, entries, mode, image):
+        payload = protocol.encode_replicate_request(
+            digest, entries, mode=mode, image_bytes=image)
+        assert protocol.decode_replicate_request(payload) \
+            == (mode, image, digest, entries)
+
+    @given(accepted=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           registered=st.booleans())
+    def test_replicate_response(self, accepted, registered):
+        payload = protocol.encode_replicate_response(accepted, registered)
+        assert protocol.decode_replicate_response(payload) \
+            == (accepted, registered)
+
+    @given(epoch=epochs,
+           members=st.lists(
+               st.tuples(st.integers(min_value=0, max_value=0xFFFF),
+                         st.text(max_size=30)),
+               min_size=1, max_size=8),
+           shard=st.none() | st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=150)
+    def test_membership(self, epoch, members, shard):
+        payload = protocol.encode_membership(epoch, members, shard=shard)
+        assert protocol.decode_membership(payload) \
+            == (epoch, members, shard)
+
+    def test_replicate_rejects_unknown_mode(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_replicate_request(b"\0" * 32, [], mode=7)
+        good = protocol.encode_replicate_request(b"\0" * 32, [(1, [2])])
+        with pytest.raises(ProtocolError):
+            protocol.decode_replicate_request(b"\x07" + good[1:])
+
+    def test_membership_rejects_empty_table(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_membership(
+                protocol.encode_json_payload({"epoch": 0, "members": []}))
+        with pytest.raises(ProtocolError):
+            protocol.decode_membership(
+                protocol.encode_json_payload({"members": [[0, "a:1"]]}))
 
 
 class TestAdversarialFrames:
@@ -192,6 +304,12 @@ class TestAdversarialFrames:
             protocol.decode_stats_request,
             protocol.decode_error,
             protocol.decode_json_payload,
+            protocol.decode_redirect,
+            protocol.decode_peer_get_request,
+            protocol.decode_peer_get_response,
+            protocol.decode_replicate_request,
+            protocol.decode_replicate_response,
+            protocol.decode_membership,
         )
         for decode in decoders:
             try:

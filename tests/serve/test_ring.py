@@ -135,6 +135,58 @@ class TestMinimalRemapping:
             assert 4000 / 8 < count < 4000 / 2
 
 
+class TestSuccessorAndGrowth:
+    @given(st.integers(min_value=2, max_value=8), digests, group_starts)
+    @settings(max_examples=60)
+    def test_successor_never_the_owner(self, n_shards, digest, start):
+        ring = HashRing(range(n_shards))
+        key = routing_key(digest, start)
+        successor = ring.successor(key)
+        assert successor in ring.shards
+        assert successor != ring.owner(key)
+
+    @given(digests, group_starts)
+    def test_successor_is_failover_owner(self, digest, start):
+        """The replica target IS where the ring routes the key once its
+        owner disappears -- peer-fetch and failover agree by
+        construction."""
+        ring = HashRing(range(5))
+        key = routing_key(digest, start)
+        assert ring.successor(key) \
+            == ring.without(ring.owner(key)).owner(key)
+
+    def test_single_shard_has_no_successor(self):
+        ring = HashRing([0])
+        assert ring.successor(routing_key(b"\x05" * 32, 0)) is None
+
+    def test_with_shard_adds_only_the_new_shards_keys(self):
+        """Join mirror of the removal property: after adding shard S, a
+        key changes owner iff S now owns it."""
+        ring = HashRing(range(4))
+        grown = ring.with_shard(4)
+        assert grown.shards == [0, 1, 2, 3, 4]
+        assert grown.epoch == ring.epoch + 1
+        for key in sample_keys(200, salt=b"join"):
+            before = ring.owner(key)
+            after = grown.owner(key)
+            if after != before:
+                assert after == 4
+
+    def test_with_shard_explicit_epoch(self):
+        assert HashRing([0, 1], epoch=3).with_shard(2, epoch=9).epoch == 9
+
+    def test_without_is_memoized(self):
+        ring = HashRing(range(3))
+        assert ring.without(2) is ring.without(2)
+
+    def test_epoch_never_influences_ownership(self):
+        keys = sample_keys(100, salt=b"epoch")
+        old = HashRing(range(4), epoch=0)
+        new = HashRing(range(4), epoch=12)
+        assert [old.owner(k) for k in keys] == [new.owner(k) for k in keys]
+        assert old == new  # equality is membership, not generation
+
+
 class TestConstruction:
     def test_empty_ring_rejected(self):
         with pytest.raises(ValueError):
@@ -147,4 +199,5 @@ class TestConstruction:
 
     def test_describe(self):
         assert HashRing([2, 0]).describe() == {
-            "shards": [0, 2], "replicas": DEFAULT_REPLICAS}
+            "shards": [0, 2], "replicas": DEFAULT_REPLICAS, "epoch": 0}
+        assert HashRing([2, 0], epoch=7).describe()["epoch"] == 7
